@@ -1,0 +1,225 @@
+// Package ambit is a library-level reproduction of "Ambit: In-Memory
+// Accelerator for Bulk Bitwise Operations Using Commodity DRAM Technology"
+// (Seshadri et al., MICRO-50, 2017).
+//
+// Ambit performs bulk bitwise operations — AND, OR, NOT, NAND, NOR, XOR,
+// XNOR on multi-kilobyte bit vectors — completely inside DRAM, by
+// (a) activating three rows simultaneously to compute a bitwise majority
+// (Ambit-AND-OR, Section 3), and (b) using dual-contact cells connected to
+// both sides of the sense amplifier to compute NOT (Ambit-NOT, Section 4).
+//
+// This package is the system-level API of the reproduction (the paper's
+// Section 5.4 "bbop" instructions plus the driver of Section 5.4.2).  It
+// owns:
+//
+//   - a simulated Ambit DRAM device (internal/dram) driven by an Ambit
+//     controller (internal/controller),
+//   - an allocator that interleaves bitvectors across subarrays so that
+//     corresponding rows of different vectors share a subarray — the
+//     placement contract that lets every copy use RowClone-FPM
+//     (Section 5.4.2),
+//   - per-operation latency and energy accounting (internal/energy).
+//
+// All operations are functionally exact (the simulated DRAM really computes
+// through triple-row-activation majority and DCC negation), and the
+// accounting reproduces the paper's performance and energy models.
+//
+// # Quick start
+//
+//	sys, _ := ambit.New()
+//	a, _ := sys.Alloc(1 << 20) // 1 Mib bitvector
+//	b, _ := sys.Alloc(1 << 20)
+//	dst, _ := sys.Alloc(1 << 20)
+//	... load data with a.Load(...) / b.Load(...)
+//	sys.And(dst, a, b)         // executed inside simulated DRAM
+//	words, _ := dst.Peek()
+//	fmt.Println(sys.Stats().ElapsedNS, "ns simulated")
+package ambit
+
+import (
+	"fmt"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+	"ambit/internal/energy"
+	"ambit/internal/rowclone"
+)
+
+// Config configures a System.
+type Config struct {
+	// DRAM is the device geometry and timing.  Defaults to the paper's
+	// 8-bank DDR3-1600 module with 8 KB rows.
+	DRAM dram.Config
+	// Energy is the energy model (Table 3 calibration by default).
+	Energy energy.Model
+	// SplitDecoder enables the Section 5.3 AAP latency optimization
+	// (default on; turn off for ablation).
+	SplitDecoder bool
+	// CoherenceNSPerRow is the time charged per involved row for cache
+	// flush/invalidate before an Ambit operation (Section 5.4.4).  The
+	// default of 0 models clean/uncached operands; the full-system model
+	// supplies a realistic value.
+	CoherenceNSPerRow float64
+}
+
+// DefaultConfig returns the paper's standard configuration.
+func DefaultConfig() Config {
+	return Config{
+		DRAM:         dram.DefaultConfig(),
+		Energy:       energy.DefaultModel(),
+		SplitDecoder: true,
+	}
+}
+
+// System is an Ambit-enabled memory system: the DRAM device, its controller,
+// the RowClone engine, and the driver-level allocator.
+type System struct {
+	cfg  Config
+	dev  *dram.Device
+	ctrl *controller.Controller
+	rc   *rowclone.Engine
+
+	// Allocator state: nextRow[slot] is the next free D-group row in
+	// each (bank, subarray) slot; vector row r is placed in slot
+	// (r mod slots), giving corresponding rows of all vectors the same
+	// subarray (Section 5.4.2's placement contract).  freeRows[slot]
+	// holds rows returned by Free, reused before fresh rows so the
+	// co-location invariant (row r of equal-sized vectors shares a slot)
+	// still holds: freed rows re-enter the same slot they came from.
+	nextRow  []int
+	freeRows [][]int
+
+	stats Stats
+}
+
+// New creates a System with the default configuration.
+func New() (*System, error) { return NewSystem(DefaultConfig()) }
+
+// NewSystem creates a System from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Energy.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := dram.NewDevice(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := controller.New(dev)
+	ctrl.SplitDecoder = cfg.SplitDecoder
+	g := cfg.DRAM.Geometry
+	return &System{
+		cfg:      cfg,
+		dev:      dev,
+		ctrl:     ctrl,
+		rc:       rowclone.New(dev),
+		nextRow:  make([]int, g.Banks*g.SubarraysPerBank),
+		freeRows: make([][]int, g.Banks*g.SubarraysPerBank),
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Device exposes the underlying DRAM device (for inspection and tools).
+func (s *System) Device() *dram.Device { return s.dev }
+
+// Controller exposes the Ambit controller.
+func (s *System) Controller() *controller.Controller { return s.ctrl }
+
+// RowClone exposes the RowClone engine.
+func (s *System) RowClone() *rowclone.Engine { return s.rc }
+
+// slots returns the number of (bank, subarray) placement slots.
+func (s *System) slots() int {
+	g := s.dev.Geometry()
+	return g.Banks * g.SubarraysPerBank
+}
+
+// slotAddr converts a slot index and row number into a physical address.
+func (s *System) slotAddr(slot, row int) dram.PhysAddr {
+	g := s.dev.Geometry()
+	return dram.PhysAddr{
+		Bank:     slot % g.Banks,
+		Subarray: slot / g.Banks,
+		Row:      dram.D(row),
+	}
+}
+
+// RowSizeBits returns the number of bits one DRAM row holds; Ambit operation
+// sizes must be a multiple of this (Section 5.4.1: "size must be a multiple
+// of DRAM row size").
+func (s *System) RowSizeBits() int { return s.dev.Geometry().RowSizeBytes * 8 }
+
+// Alloc allocates a bitvector of at least `bits` bits, rounded up to whole
+// DRAM rows.  Row r of the vector is placed in placement slot (r mod slots),
+// so the corresponding rows of all vectors allocated by this System share a
+// subarray and every bitwise operation runs entirely on RowClone-FPM-
+// reachable rows.
+func (s *System) Alloc(bits int64) (*Bitvector, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("ambit: Alloc(%d): size must be positive", bits)
+	}
+	g := s.dev.Geometry()
+	rowBits := int64(s.RowSizeBits())
+	nRows := int((bits + rowBits - 1) / rowBits)
+	rows := make([]dram.PhysAddr, nRows)
+	for r := 0; r < nRows; r++ {
+		slot := r % s.slots()
+		var row int
+		if free := s.freeRows[slot]; len(free) > 0 {
+			row = free[len(free)-1]
+			s.freeRows[slot] = free[:len(free)-1]
+		} else {
+			row = s.nextRow[slot]
+			if row >= g.DataRows() {
+				return nil, fmt.Errorf("ambit: out of DRAM capacity (slot %d exhausted after %d rows)", slot, row)
+			}
+			s.nextRow[slot]++
+		}
+		rows[r] = s.slotAddr(slot, row)
+	}
+	return &Bitvector{sys: s, bits: bits, rows: rows}, nil
+}
+
+// Free returns a bitvector's rows to the allocator for reuse.  The vector
+// must not be used afterwards; its contents are not scrubbed (call Fill
+// first if the data is sensitive).
+func (s *System) Free(v *Bitvector) error {
+	if v == nil || v.sys != s {
+		return fmt.Errorf("ambit: Free: vector does not belong to this System")
+	}
+	if v.rows == nil {
+		return fmt.Errorf("ambit: Free: double free")
+	}
+	g := s.dev.Geometry()
+	for _, addr := range v.rows {
+		slot := addr.Subarray*g.Banks + addr.Bank
+		s.freeRows[slot] = append(s.freeRows[slot], addr.Row.Index)
+	}
+	v.rows = nil
+	v.bits = 0
+	return nil
+}
+
+// MustAlloc is Alloc that panics on failure; for examples and tests.
+func (s *System) MustAlloc(bits int64) *Bitvector {
+	v, err := s.Alloc(bits)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FreeRows reports how many D-group rows remain unallocated (including rows
+// recycled by Free).
+func (s *System) FreeRows() int {
+	g := s.dev.Geometry()
+	total := 0
+	for slot, used := range s.nextRow {
+		total += g.DataRows() - used + len(s.freeRows[slot])
+	}
+	return total
+}

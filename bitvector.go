@@ -1,0 +1,174 @@
+package ambit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ambit/internal/dram"
+)
+
+// Bitvector is a bit vector resident in simulated Ambit DRAM.  Its storage
+// is a sequence of full DRAM rows interleaved across (bank, subarray) slots;
+// bit i lives in row i/RowSizeBits, word (i%RowSizeBits)/64, bit i%64.
+type Bitvector struct {
+	sys  *System
+	bits int64
+	rows []dram.PhysAddr
+}
+
+// Len returns the logical length in bits.
+func (v *Bitvector) Len() int64 { return v.bits }
+
+// Rows returns the number of DRAM rows backing the vector.
+func (v *Bitvector) Rows() int { return len(v.rows) }
+
+// Row returns the physical address of backing row r.
+func (v *Bitvector) Row(r int) dram.PhysAddr { return v.rows[r] }
+
+// wordsPerRow returns 64-bit words per backing row.
+func (v *Bitvector) wordsPerRow() int { return v.sys.dev.Geometry().WordsPerRow() }
+
+// Words returns the number of 64-bit words the vector's rows hold (its
+// padded capacity; Len()/64 rounded up to whole rows).
+func (v *Bitvector) Words() int { return len(v.rows) * v.wordsPerRow() }
+
+// Load installs data into the vector's rows through the simulation backdoor,
+// free of simulated cost.  Use it to set up experiment state; use Write for
+// costed stores.  Missing tail words are zero-filled.
+func (v *Bitvector) Load(words []uint64) error {
+	if len(words) > v.Words() {
+		return fmt.Errorf("ambit: Load: %d words exceed capacity %d", len(words), v.Words())
+	}
+	wpr := v.wordsPerRow()
+	buf := make([]uint64, wpr)
+	for r, addr := range v.rows {
+		for i := range buf {
+			buf[i] = 0
+		}
+		lo := r * wpr
+		for i := 0; i < wpr && lo+i < len(words); i++ {
+			buf[i] = words[lo+i]
+		}
+		if err := v.sys.dev.PokeRow(addr, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Peek returns the vector's content through the simulation backdoor, free of
+// simulated cost.
+func (v *Bitvector) Peek() ([]uint64, error) {
+	out := make([]uint64, 0, v.Words())
+	for _, addr := range v.rows {
+		row, err := v.sys.dev.PeekRow(addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row...)
+	}
+	return out, nil
+}
+
+// Write stores data into the vector through the DRAM channel, charging the
+// corresponding commands and channel time.
+func (v *Bitvector) Write(words []uint64) error {
+	if len(words) > v.Words() {
+		return fmt.Errorf("ambit: Write: %d words exceed capacity %d", len(words), v.Words())
+	}
+	wpr := v.wordsPerRow()
+	buf := make([]uint64, wpr)
+	for r, addr := range v.rows {
+		for i := range buf {
+			buf[i] = 0
+		}
+		lo := r * wpr
+		for i := 0; i < wpr && lo+i < len(words); i++ {
+			buf[i] = words[lo+i]
+		}
+		if err := v.sys.dev.WriteRow(addr, buf); err != nil {
+			return err
+		}
+	}
+	v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
+	return nil
+}
+
+// Read returns the vector's content through the DRAM channel, charging the
+// corresponding commands and channel time.
+func (v *Bitvector) Read() ([]uint64, error) {
+	out := make([]uint64, 0, v.Words())
+	for _, addr := range v.rows {
+		row, err := v.sys.dev.ReadRow(addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row...)
+	}
+	v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
+	return out, nil
+}
+
+// Bit returns bit i (backdoor, cost-free).
+func (v *Bitvector) Bit(i int64) (bool, error) {
+	if i < 0 || i >= v.bits {
+		return false, fmt.Errorf("ambit: Bit(%d) out of range [0,%d)", i, v.bits)
+	}
+	rowBits := int64(v.sys.RowSizeBits())
+	row, err := v.sys.dev.PeekRow(v.rows[i/rowBits])
+	if err != nil {
+		return false, err
+	}
+	off := i % rowBits
+	return row[off/64]&(1<<uint(off%64)) != 0, nil
+}
+
+// SetBit sets or clears bit i (backdoor, cost-free).
+func (v *Bitvector) SetBit(i int64, val bool) error {
+	if i < 0 || i >= v.bits {
+		return fmt.Errorf("ambit: SetBit(%d) out of range [0,%d)", i, v.bits)
+	}
+	rowBits := int64(v.sys.RowSizeBits())
+	addr := v.rows[i/rowBits]
+	row, err := v.sys.dev.PeekRow(addr)
+	if err != nil {
+		return err
+	}
+	off := i % rowBits
+	if val {
+		row[off/64] |= 1 << uint(off%64)
+	} else {
+		row[off/64] &^= 1 << uint(off%64)
+	}
+	return v.sys.dev.PokeRow(addr, row)
+}
+
+// PopcountFree counts set bits through the backdoor (no simulated cost);
+// bits beyond Len() are ignored if the caller kept them zero (Load/Write
+// zero-fill them).
+func (v *Bitvector) PopcountFree() (int64, error) {
+	words, err := v.Peek()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, w := range words {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n, nil
+}
+
+// SameShape reports whether two vectors have identical row counts and
+// co-located corresponding rows (the bbop alignment requirement of
+// Section 5.4.3 plus the placement contract of Section 5.4.2).
+func (v *Bitvector) SameShape(o *Bitvector) bool {
+	if len(v.rows) != len(o.rows) {
+		return false
+	}
+	for i := range v.rows {
+		if v.rows[i].Bank != o.rows[i].Bank || v.rows[i].Subarray != o.rows[i].Subarray {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,48 @@
+// Command ambitbench regenerates the tables and figures of the Ambit paper
+// (Seshadri et al., MICRO-50, 2017) from the simulation models in this
+// repository.
+//
+// Usage:
+//
+//	ambitbench -list
+//	ambitbench                  # run every experiment
+//	ambitbench fig9 table3      # run selected experiments
+//	ambitbench -iterations 100000 table2
+//
+// Experiments: table1, table2, worstcase, fig8, fig9, table3, table4, aap,
+// fig10, fig11, fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ambit/internal/exp"
+)
+
+func main() {
+	iterations := flag.Int("iterations", 100000, "Monte-Carlo iterations per variation level (table2)")
+	seed := flag.Int64("seed", 42, "random seed for Monte-Carlo experiments")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.Names(), "\n"))
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = exp.Names()
+	}
+	for _, name := range names {
+		out, err := exp.Run(name, *iterations, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ambitbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", name, out)
+	}
+}

@@ -1,0 +1,177 @@
+// Command ambitsim executes bulk bitwise operations on the simulated Ambit
+// DRAM device and reports the result alongside the simulated cost.
+//
+// Usage:
+//
+//	ambitsim -op and -a deadbeef -b 0ff0cafe
+//	ambitsim -op not -a ff00
+//	ambitsim -op xor -a 1234 -b abcd -decoder naive
+//	ambitsim -decode B12          # show which wordlines an address raises
+//	ambitsim -info                # print device configuration
+//
+// Operands are hex strings; the operation is applied bytewise over the
+// operands (padded to equal length) through full row-wide DRAM command
+// trains, so the printed stats reflect real simulated ACTIVATE/PRECHARGE
+// traffic.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ambit"
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+	"ambit/internal/energy"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ambitsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	opName := flag.String("op", "", "operation: not, and, or, nand, nor, xor, xnor")
+	aHex := flag.String("a", "", "first operand (hex)")
+	bHex := flag.String("b", "", "second operand (hex, binary ops only)")
+	decoder := flag.String("decoder", "split", "row decoder: split (Section 5.3) or naive")
+	decode := flag.String("decode", "", "decode a row address (e.g. B12, C0, D5) and exit")
+	info := flag.Bool("info", false, "print device configuration and exit")
+	flag.Parse()
+
+	if *decode != "" {
+		decodeAddr(*decode)
+		return
+	}
+	if *info {
+		printInfo()
+		return
+	}
+	if *opName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	op, err := controller.ParseOp(*opName)
+	if err != nil {
+		fail("%v", err)
+	}
+	a, err := hex.DecodeString(pad(*aHex))
+	if err != nil || len(a) == 0 {
+		fail("operand -a: invalid hex %q", *aHex)
+	}
+	var b []byte
+	if !op.Unary() {
+		b, err = hex.DecodeString(pad(*bHex))
+		if err != nil || len(b) == 0 {
+			fail("operand -b: invalid hex %q", *bHex)
+		}
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+
+	cfg := ambit.DefaultConfig()
+	cfg.SplitDecoder = *decoder != "naive"
+	sys, err := ambit.NewSystem(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	bits := int64(n * 8)
+	va := sys.MustAlloc(bits)
+	vb := sys.MustAlloc(bits)
+	vd := sys.MustAlloc(bits)
+	if err := va.Load(bytesToWords(a, n)); err != nil {
+		fail("%v", err)
+	}
+	if err := vb.Load(bytesToWords(b, n)); err != nil {
+		fail("%v", err)
+	}
+	if err := sys.Apply(op, vd, va, vb); err != nil {
+		fail("%v", err)
+	}
+	words, err := vd.Peek()
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%v = %s\n", op, hex.EncodeToString(wordsToBytes(words, n)))
+	fmt.Printf("stats: %v\n", sys.Stats())
+	fmt.Printf("energy: %.2f nJ (model: %s wordline factor %.0f%%)\n",
+		sys.EnergyNJ(), "Rambus-style", energy.DefaultModel().ExtraWordlineFactor*100)
+}
+
+// pad makes a hex string even-length.
+func pad(s string) string {
+	s = strings.TrimPrefix(strings.ToLower(s), "0x")
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	return s
+}
+
+// bytesToWords packs bytes (little-endian) into words, padded to n bytes.
+func bytesToWords(b []byte, n int) []uint64 {
+	words := make([]uint64, (n+7)/8)
+	for i, v := range b {
+		words[i/8] |= uint64(v) << uint(8*(i%8))
+	}
+	return words
+}
+
+// wordsToBytes unpacks the first n bytes of a word slice.
+func wordsToBytes(words []uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(words[i/8] >> uint(8*(i%8)))
+	}
+	return out
+}
+
+func decodeAddr(s string) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if len(s) < 2 {
+		fail("bad address %q", s)
+	}
+	idx, err := strconv.Atoi(s[1:])
+	if err != nil {
+		fail("bad address index in %q", s)
+	}
+	var addr dram.RowAddr
+	switch s[0] {
+	case 'B':
+		addr = dram.B(idx)
+	case 'C':
+		addr = dram.C(idx)
+	case 'D':
+		addr = dram.D(idx)
+	default:
+		fail("bad address group in %q (use B/C/D)", s)
+	}
+	wls, err := dram.DecodeRowAddr(addr, dram.DefaultGeometry())
+	if err != nil {
+		fail("%v", err)
+	}
+	names := make([]string, len(wls))
+	for i, wl := range wls {
+		names[i] = wl.String()
+	}
+	fmt.Printf("%v -> %s (%d wordline(s))\n", addr, strings.Join(names, ", "), len(wls))
+}
+
+func printInfo() {
+	cfg := ambit.DefaultConfig()
+	g := cfg.DRAM.Geometry
+	t := cfg.DRAM.Timing
+	fmt.Printf("geometry: %d banks × %d subarrays × %d rows (%d data rows), %d B rows\n",
+		g.Banks, g.SubarraysPerBank, g.RowsPerSubarray, g.DataRows(), g.RowSizeBytes)
+	fmt.Printf("capacity: %d MB software-visible\n", g.DataCapacityBytes()>>20)
+	fmt.Printf("timing:   %s  tRCD=%.1f tRAS=%.1f tRP=%.1f\n", t.Name, t.TRCD, t.TRAS, t.TRP)
+	fmt.Printf("AAP:      naive %.0f ns, split-decoder %.0f ns\n", t.AAPNaive(), t.AAPSplit())
+	fmt.Printf("reserved: %d B-group + %d C-group addresses per subarray\n",
+		dram.BGroupAddresses, dram.CGroupAddresses)
+}

@@ -1,0 +1,89 @@
+// Command ambittrace prints the DRAM command trace of bulk bitwise
+// operations with per-step and cumulative latency, under either row-decoder
+// configuration (Section 5.3).
+//
+// Usage:
+//
+//	ambittrace and xor           # trace one row-wide and, then xor
+//	ambittrace -timing ddr4 not
+//	ambittrace -naive and        # without the split row decoder
+//	ambittrace -all              # trace all seven operations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+func main() {
+	timingName := flag.String("timing", "ddr3-1600", "timing: ddr3-1600, ddr3-1333, ddr4-2400, hmc")
+	naive := flag.Bool("naive", false, "disable the split row decoder (Section 5.3)")
+	all := flag.Bool("all", false, "trace all seven operations")
+	flag.Parse()
+
+	var timing dram.Timing
+	switch *timingName {
+	case "ddr3-1600":
+		timing = dram.DDR3_1600()
+	case "ddr3-1333":
+		timing = dram.DDR3_1333()
+	case "ddr4-2400":
+		timing = dram.DDR4_2400()
+	case "hmc":
+		timing = dram.HMCTiming()
+	default:
+		fmt.Fprintf(os.Stderr, "ambittrace: unknown timing %q\n", *timingName)
+		os.Exit(2)
+	}
+
+	var ops []controller.Op
+	if *all {
+		ops = controller.Ops
+	} else {
+		for _, name := range flag.Args() {
+			op, err := controller.ParseOp(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ambittrace: %v\n", err)
+				os.Exit(2)
+			}
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	split := !*naive
+	fmt.Printf("timing %s, split decoder %v\n\n", timing.Name, split)
+	var cum float64
+	for _, op := range ops {
+		seq, err := controller.Sequence(op, dram.D(2), dram.D(0), dram.D(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ambittrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("D2 = %v(D0, D1):\n", op)
+		var opTotal float64
+		for _, s := range seq {
+			var lat float64
+			switch {
+			case s.Kind == controller.StepAP:
+				lat = timing.AP()
+			case split && (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB):
+				lat = timing.AAPSplit()
+			default:
+				lat = timing.AAPNaive()
+			}
+			opTotal += lat
+			cum += lat
+			fmt.Printf("  %-28s %7.2f ns   (t = %8.2f ns)\n", s.String(), lat, cum)
+		}
+		fmt.Printf("  -- %v total: %.2f ns --\n\n", op, opTotal)
+	}
+	fmt.Printf("sequence total: %.2f ns\n", cum)
+}

@@ -1,0 +1,92 @@
+// Command bbop assembles and executes bbop instruction programs
+// (Section 5.4.1 of the Ambit paper) against the simulated device, showing
+// the Section 5.4.3 dispatch decision per instruction: row-aligned,
+// subarray-co-located operations run in DRAM; everything else falls back to
+// the CPU.
+//
+// Usage:
+//
+//	bbop -run program.bbop         # assemble and execute
+//	bbop -run - <<'EOF'            # read program from stdin
+//	and 0x0 0x4000 0x8000 8192
+//	not 0xc000 0x0 8192
+//	EOF
+//	bbop -demo                     # run a built-in demonstration program
+//
+// Program syntax: one instruction per line, `#` comments,
+// `<op> <dst> <src1> [<src2>] <size>` with decimal or 0x-hex numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ambit/internal/dram"
+	"ambit/internal/isa"
+)
+
+func main() {
+	runPath := flag.String("run", "", "program file to execute ('-' for stdin)")
+	demo := flag.Bool("demo", false, "run a built-in demonstration program")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *demo:
+		rowSz := dram.DefaultGeometry().RowSizeBytes
+		slots := dram.DefaultGeometry().Banks * dram.DefaultGeometry().SubarraysPerBank
+		stride := int64(rowSz) * int64(slots) // co-located stride
+		src = fmt.Sprintf(`# demo: one in-DRAM op, one placement miss, one sub-row CPU op
+and %#x %#x %#x %d
+and %#x %#x %#x %d
+xor 64 256 512 32
+`,
+			2*stride, 0, stride, rowSz, // co-located rows 0, slots, 2*slots
+			3*int64(rowSz), 0, int64(rowSz), rowSz) // adjacent rows: different banks
+	case *runPath == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail("reading stdin: %v", err)
+		}
+		src = string(data)
+	case *runPath != "":
+		data, err := os.ReadFile(*runPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := isa.ParseProgram(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	dev, err := dram.NewDevice(dram.DefaultConfig())
+	if err != nil {
+		fail("%v", err)
+	}
+	exec, err := isa.NewExecutor(dev)
+	if err != nil {
+		fail("%v", err)
+	}
+	for i, in := range prog {
+		path, lat, err := exec.Execute(in)
+		if err != nil {
+			fail("instruction %d (%v): %v", i+1, in, err)
+		}
+		fmt.Printf("%-3d %-44s -> %-5s %10.1f ns\n", i+1, in.String(), path, lat)
+	}
+	st := exec.Stats()
+	fmt.Printf("\n%d instructions: %d in DRAM (%.1f ns), %d on CPU (%.1f ns), %d placement misses\n",
+		len(prog), st.AmbitOps, st.AmbitNS, st.CPUOps, st.CPUNS, st.PlacementMisses)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bbop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Masked-initialization and bulk-XOR example (Sections 8.4.2 and 8.4.3 of
+// the paper): clear one color channel of an "image" with bulk AND/OR/NOT
+// inside Ambit DRAM, then encrypt the result with a bulk-XOR keystream —
+// both verified against CPU evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ambit"
+	"ambit/internal/xcrypt"
+)
+
+const pixels = 1 << 16 // 64K pixels, 4 bytes each (RGBA), bit-planar here
+
+func main() {
+	sys, err := ambit.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits := int64(pixels * 32) // 32-bit RGBA pixels, flattened to a bitvector
+	image := sys.MustAlloc(bits)
+	value := sys.MustAlloc(bits)
+	mask := sys.MustAlloc(bits)
+	keep := sys.MustAlloc(bits)
+	set := sys.MustAlloc(bits)
+	tmp := sys.MustAlloc(bits)
+
+	rng := rand.New(rand.NewSource(9))
+	img := make([]uint64, image.Words())
+	for i := range img {
+		img[i] = rng.Uint64()
+	}
+	must(image.Load(img))
+	// Mask selects the red channel (byte 0 of every 4-byte pixel); value
+	// is all-zero: "clearing a specific color in an image" (§8.4.2).
+	mw := make([]uint64, mask.Words())
+	for i := range mw {
+		mw[i] = 0x000000FF000000FF
+	}
+	must(mask.Load(mw))
+	must(sys.Fill(value, false))
+
+	sys.ResetStats()
+	// out = (image & ~mask) | (value & mask), all in DRAM.
+	must(sys.Not(tmp, mask))
+	must(sys.And(keep, image, tmp))
+	must(sys.And(set, value, mask))
+	must(sys.Or(image, keep, set))
+
+	got, _ := image.Peek()
+	for i := range got {
+		if want := img[i] &^ mw[i]; got[i] != want {
+			log.Fatalf("masked init wrong at word %d", i)
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("masked init over %d pixels: red channel cleared in DRAM (verified ✓)\n", pixels)
+	fmt.Printf("  %.2f µs, %.1f µJ, %d bulk ops\n", st.ElapsedNS/1e3, sys.EnergyNJ()/1e3, st.TotalBulkOps())
+
+	// Bulk-XOR encryption (§8.4.3): keystream XORed in DRAM.
+	ks := xcrypt.NewKeystream(0xC0FFEE).Vector(bits)
+	keyv := sys.MustAlloc(bits)
+	must(keyv.Load(ks.Words()))
+	cipher := sys.MustAlloc(bits)
+	sys.ResetStats()
+	must(sys.Xor(cipher, image, keyv))
+	must(sys.Xor(cipher, cipher, keyv)) // decrypt: XOR is an involution
+	dec, _ := cipher.Peek()
+	img2, _ := image.Peek()
+	for i := range dec {
+		if dec[i] != img2[i] {
+			log.Fatal("encrypt/decrypt round trip failed")
+		}
+	}
+	st = sys.Stats()
+	fmt.Printf("bulk-XOR encrypt + decrypt of %d KB: round trip verified ✓\n", bits/8/1024)
+	fmt.Printf("  %.2f µs, %.1f µJ in DRAM\n", st.ElapsedNS/1e3, sys.EnergyNJ()/1e3)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

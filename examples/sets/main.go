@@ -1,0 +1,110 @@
+// Sets example (Section 8.3 of the paper): bitvector-backed sets over a
+// bounded domain with union / intersection / difference running as bulk
+// bitwise operations inside Ambit DRAM, cross-checked against a red-black
+// tree implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ambit"
+	"ambit/internal/rbtree"
+)
+
+const (
+	domain = 1 << 16 // N = 64K: one DRAM row per set
+	nSets  = 15      // the paper's m = 15 input sets
+	eElems = 256     // elements per set
+)
+
+func main() {
+	sys, err := ambit.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+
+	// Build m random sets, both as DRAM bitvectors and as RB-trees.
+	vecs := make([]*ambit.Bitvector, nSets)
+	trees := make([]*rbtree.Tree, nSets)
+	for i := range vecs {
+		vecs[i] = sys.MustAlloc(domain)
+		must(sys.Fill(vecs[i], false))
+		trees[i] = rbtree.New()
+		for len(trees[i].Keys()) < eElems {
+			k := int64(rng.Intn(domain))
+			if trees[i].Insert(k) {
+				must(vecs[i].SetBit(k, true))
+			}
+		}
+	}
+
+	union := sys.MustAlloc(domain)
+	inter := sys.MustAlloc(domain)
+	diff := sys.MustAlloc(domain)
+	tmp := sys.MustAlloc(domain)
+
+	sys.ResetStats()
+	// union = s1 | s2 | ... | sm
+	must(sys.Copy(union, vecs[0]))
+	must(sys.Copy(inter, vecs[0]))
+	must(sys.Copy(diff, vecs[0]))
+	for _, v := range vecs[1:] {
+		must(sys.Or(union, union, v))
+		must(sys.And(inter, inter, v))
+		// difference: diff &= ~v  (NOT + AND on Ambit)
+		must(sys.Not(tmp, v))
+		must(sys.And(diff, diff, tmp))
+	}
+	uCount, _ := union.PopcountFree()
+	iCount, _ := inter.PopcountFree()
+	dCount, _ := diff.PopcountFree()
+	st := sys.Stats()
+
+	// Cross-check against the RB-trees.
+	wantU, wantI, wantD := refCounts(trees)
+	if uCount != wantU || iCount != wantI || dCount != wantD {
+		log.Fatalf("mismatch: ambit (%d,%d,%d) vs rbtree (%d,%d,%d)",
+			uCount, iCount, dCount, wantU, wantI, wantD)
+	}
+	fmt.Printf("m=%d sets, e=%d elements, domain %d (verified against RB-trees ✓)\n",
+		nSets, eElems, domain)
+	fmt.Printf("|union| = %d, |intersection| = %d, |difference| = %d\n", uCount, iCount, dCount)
+	fmt.Printf("simulated: %.2f µs, %.1f µJ for %d bulk ops + %d RowClone copies\n",
+		st.ElapsedNS/1e3, sys.EnergyNJ()/1e3, st.TotalBulkOps(), st.Copies)
+}
+
+// refCounts computes the three results with red-black trees.
+func refCounts(trees []*rbtree.Tree) (u, i, d int64) {
+	union := rbtree.New()
+	for _, t := range trees {
+		for _, k := range t.Keys() {
+			union.Insert(k)
+		}
+	}
+	for _, k := range trees[0].Keys() {
+		inAll, inAny := true, false
+		for _, t := range trees[1:] {
+			if t.Contains(k) {
+				inAny = true
+			} else {
+				inAll = false
+			}
+		}
+		if inAll {
+			i++
+		}
+		if !inAny {
+			d++
+		}
+	}
+	return int64(union.Len()), i, d
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

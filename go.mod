@@ -1,0 +1,3 @@
+module ambit
+
+go 1.22

@@ -1,0 +1,230 @@
+package ambit
+
+// Integration tests across layer boundaries: the circuit-level failure model
+// feeding faults into the functional DRAM model, TMR ECC recovering the
+// results (Section 5.4.5), and the driver placement contract enabling
+// RowClone-FPM for every copy (Section 5.4.2).
+
+import (
+	"math/rand"
+	"testing"
+
+	"ambit/internal/circuit"
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+	"ambit/internal/ecc"
+)
+
+// TestTRAFaultInjectionEndToEnd wires the circuit model's process-variation
+// failure rate into the functional device: an AND executed over a faulty TRA
+// produces exactly the predicted bit flips.
+func TestTRAFaultInjectionEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DRAM.Geometry = dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 128}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := int64(sys.RowSizeBits())
+	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	rng := rand.New(rand.NewSource(1))
+	wa, wb := make([]uint64, a.Words()), make([]uint64, b.Words())
+	for i := range wa {
+		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
+	}
+	if err := a.Load(wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(wb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Derive a fault mask from the ±15% Monte-Carlo failure rate.
+	mc := circuit.MonteCarlo(circuit.DefaultParams(), 0.15, 20000, rand.New(rand.NewSource(2)))
+	fm := circuit.NewFailureModel(mc.FailureRate(), 3)
+	mask := fm.Mask(a.Words())
+	var faultyBits int
+	for _, m := range mask {
+		for x := m; x != 0; x &= x - 1 {
+			faultyBits++
+		}
+	}
+	if faultyBits == 0 {
+		t.Fatalf("failure model produced no faults at rate %.4f", mc.FailureRate())
+	}
+
+	// Arm the fault on the subarray's next TRA (the AND's B12 activation).
+	addr := d.Row(0)
+	sys.Device().Bank(addr.Bank).Subarray(addr.Subarray).InjectTRAFault(mask)
+	if err := sys.And(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Peek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := range got {
+		diff := got[i] ^ (wa[i] & wb[i])
+		if diff != mask[i] {
+			t.Fatalf("word %d: fault pattern %#x, want %#x", i, diff, mask[i])
+		}
+		for x := diff; x != 0; x &= x - 1 {
+			flipped++
+		}
+	}
+	if flipped != faultyBits {
+		t.Fatalf("flipped %d bits, injected %d", flipped, faultyBits)
+	}
+}
+
+// TestTMRRecoversFaultyTRA runs an AND on three TMR replicas through the
+// real device, injects a TRA fault into one replica's computation, and
+// verifies the majority vote recovers the correct result — the Section 5.4.5
+// story end to end.
+func TestTMRRecoversFaultyTRA(t *testing.T) {
+	cfg := DefaultConfig()
+	// Three subarrays: one replica set per subarray so a TRA fault hits
+	// exactly one replica.
+	cfg.DRAM.Geometry = dram.Geometry{Banks: 1, SubarraysPerBank: 3, RowsPerSubarray: 64, RowSizeBytes: 128}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	words := cfg.DRAM.Geometry.WordsPerRow()
+	wa, wb := make([]uint64, words), make([]uint64, words)
+	for i := range wa {
+		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
+	}
+	ca, cb := ecc.Encode(wa), ecc.Encode(wb)
+
+	// Place each replica pair in its own subarray and run the op there.
+	ctrl := sys.Controller()
+	dev := sys.Device()
+	results := make([][]uint64, ecc.Replicas)
+	for r := 0; r < ecc.Replicas; r++ {
+		sub := r
+		if err := dev.PokeRow(dram.PhysAddr{Bank: 0, Subarray: sub, Row: dram.D(0)}, ca.Replica(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.PokeRow(dram.PhysAddr{Bank: 0, Subarray: sub, Row: dram.D(1)}, cb.Replica(r)); err != nil {
+			t.Fatal(err)
+		}
+		if r == 1 {
+			// Process variation strikes replica 1's TRA.
+			mask := make([]uint64, words)
+			mask[0] = 0b1011
+			mask[words-1] = 1 << 63
+			dev.Bank(0).Subarray(sub).InjectTRAFault(mask)
+		}
+		if _, err := ctrl.ExecuteOp(controller.OpAnd, 0, sub, dram.D(2), dram.D(0), dram.D(1)); err != nil {
+			t.Fatal(err)
+		}
+		row, err := dev.PeekRow(dram.PhysAddr{Bank: 0, Subarray: sub, Row: dram.D(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[r] = row
+	}
+	cw, err := ecc.FromReplicas(results[0], results[1], results[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Healthy() {
+		t.Fatal("fault did not land")
+	}
+	decoded, corrected := cw.Decode()
+	if corrected != 4 {
+		t.Errorf("corrected %d bits, want 4", corrected)
+	}
+	for i := range decoded {
+		if want := wa[i] & wb[i]; decoded[i] != want {
+			t.Fatalf("word %d: decoded %#x, want %#x", i, decoded[i], want)
+		}
+	}
+}
+
+// TestDriverPlacementAllCopiesFPM verifies the Section 5.4.2 contract: with
+// the System allocator, every RowClone copy issued by Copy/Fill is
+// intra-subarray FPM — PSM is never needed.
+func TestDriverPlacementAllCopiesFPM(t *testing.T) {
+	sys := mustSmallSystem(t)
+	bits := int64(sys.RowSizeBits() * 6)
+	a, b := sys.MustAlloc(bits), sys.MustAlloc(bits)
+	if err := sys.Fill(a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Copy(b, a); err != nil {
+		t.Fatal(err)
+	}
+	rc := sys.RowClone().Stats()
+	if rc.PSMCopies != 0 {
+		t.Errorf("driver placement leaked %d PSM copies", rc.PSMCopies)
+	}
+	if rc.FPMCopies != 12 {
+		t.Errorf("FPM copies = %d, want 12", rc.FPMCopies)
+	}
+}
+
+// TestChainedPipelineFunctional runs a realistic multi-op pipeline — the
+// BitWeaving inner loop — through the public API on multi-row vectors and
+// checks it against word-wise evaluation.
+func TestChainedPipelineFunctional(t *testing.T) {
+	sys := mustSmallSystem(t)
+	bits := int64(sys.RowSizeBits() * 5)
+	x := sys.MustAlloc(bits)
+	eq := sys.MustAlloc(bits)
+	lt := sys.MustAlloc(bits)
+	tmp := sys.MustAlloc(bits)
+
+	rng := rand.New(rand.NewSource(4))
+	wx := make([]uint64, x.Words())
+	weq := make([]uint64, x.Words())
+	for i := range wx {
+		wx[i], weq[i] = rng.Uint64(), rng.Uint64()
+	}
+	if err := x.Load(wx); err != nil {
+		t.Fatal(err)
+	}
+	if err := eq.Load(weq); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fill(lt, false); err != nil {
+		t.Fatal(err)
+	}
+	// lt |= eq & ~x ; eq &= x   (one BitWeaving plane step)
+	if err := sys.Not(tmp, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.And(tmp, eq, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Or(lt, lt, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.And(eq, eq, x); err != nil {
+		t.Fatal(err)
+	}
+	gotLT, _ := lt.Peek()
+	gotEQ, _ := eq.Peek()
+	for i := range wx {
+		if want := weq[i] &^ wx[i]; gotLT[i] != want {
+			t.Fatalf("lt word %d = %#x, want %#x", i, gotLT[i], want)
+		}
+		if want := weq[i] & wx[i]; gotEQ[i] != want {
+			t.Fatalf("eq word %d = %#x, want %#x", i, gotEQ[i], want)
+		}
+	}
+}
+
+func mustSmallSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DRAM.Geometry = dram.Geometry{Banks: 4, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 128}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

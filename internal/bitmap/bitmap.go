@@ -1,0 +1,262 @@
+// Package bitmap implements the database bitmap-index workload of
+// Section 8.1 of the Ambit paper (Figure 10).
+//
+// The workload, taken from a real analytics application, tracks users'
+// characteristics (gender) and daily activity with bitmap indices and runs
+// the query: "How many unique users were active every week for the past w
+// weeks? and How many male users were active each of the past w weeks?"
+//
+// Executing the query requires 6w bulk OR (7 daily bitmaps → 1 weekly bitmap
+// per week), 2w−1 bulk AND (intersecting the w weekly bitmaps, plus ANDing
+// each weekly bitmap with the gender bitmap), and w+1 bitcount operations.
+// Bitcounts run on the CPU in both configurations; the bulk bitwise
+// operations run on SIMD in the baseline and inside DRAM with Ambit.
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/controller"
+	"ambit/internal/sysmodel"
+)
+
+// DaysPerWeek is fixed by the workload: one activity bitmap per day.
+const DaysPerWeek = 7
+
+// Index is a user-activity bitmap index: one bitmap per day plus a gender
+// bitmap, over a fixed user population.
+type Index struct {
+	users  int64
+	weeks  int
+	days   [][]*bitvec.Vector // [week][day]
+	gender *bitvec.Vector
+}
+
+// NewIndex builds a synthetic index for `users` users over `weeks` weeks.
+// Each user is active on a given day with probability activityRate and male
+// with probability maleRate; the generator is deterministic in seed.
+func NewIndex(users int64, weeks int, activityRate, maleRate float64, seed int64) (*Index, error) {
+	if users <= 0 || weeks <= 0 {
+		return nil, fmt.Errorf("bitmap: users and weeks must be positive (%d, %d)", users, weeks)
+	}
+	if activityRate < 0 || activityRate > 1 || maleRate < 0 || maleRate > 1 {
+		return nil, fmt.Errorf("bitmap: rates must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ix := &Index{users: users, weeks: weeks}
+	ix.days = make([][]*bitvec.Vector, weeks)
+	for w := range ix.days {
+		ix.days[w] = make([]*bitvec.Vector, DaysPerWeek)
+		for d := range ix.days[w] {
+			ix.days[w][d] = randomBitmap(rng, users, activityRate)
+		}
+	}
+	ix.gender = randomBitmap(rng, users, maleRate)
+	return ix, nil
+}
+
+// randomBitmap fills a bitmap with the given density.  For efficiency it
+// works word-wise: each word gets an expected rate fraction of set bits via
+// threshold sampling per bit would be slow, so we set each bit independently
+// only for the probability's granularity of 1/64 using mask composition.
+func randomBitmap(rng *rand.Rand, n int64, rate float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	words := v.Words()
+	// Compose k random words with AND/OR to approximate the density:
+	// AND of k uniform words has density 2^-k; OR has 1-2^-k.  We build
+	// the density greedily bit by bit in binary.
+	for i := range words {
+		words[i] = densityWord(rng, rate)
+	}
+	// Re-mask the tail.
+	return bitvec.FromWords(words, n)
+}
+
+// densityWord returns a 64-bit word whose bits are set with probability
+// ~rate (quantized to 1/256 by 8 binary refinement steps).  Processing the
+// quantized rate's bits from LSB to MSB: a 1-bit raises half the clear bits
+// (d' = (1+d)/2), a 0-bit halves the density (d' = d/2); after the MSB step
+// the density is exactly q/256.
+func densityWord(rng *rand.Rand, rate float64) uint64 {
+	q := int(rate*256 + 0.5)
+	if q <= 0 {
+		return 0
+	}
+	if q >= 256 {
+		return ^uint64(0)
+	}
+	var w uint64
+	for b := 0; b < 8; b++ {
+		r := rng.Uint64()
+		if q&(1<<b) != 0 {
+			w |= ^w & r
+		} else {
+			w &= r
+		}
+	}
+	return w
+}
+
+// Users returns the user-population size.
+func (ix *Index) Users() int64 { return ix.users }
+
+// Weeks returns the number of weeks of data.
+func (ix *Index) Weeks() int { return ix.weeks }
+
+// Day returns the activity bitmap for (week, day); for tests.
+func (ix *Index) Day(week, day int) *bitvec.Vector { return ix.days[week][day] }
+
+// Gender returns the gender bitmap; for tests.
+func (ix *Index) Gender() *bitvec.Vector { return ix.gender }
+
+// OpCounts tallies the bulk operations a query performed.
+type OpCounts struct {
+	Or, And, Bitcount int
+}
+
+// Result is the outcome of one query execution.
+type Result struct {
+	// UniqueEveryWeek is the number of users active in all w weeks.
+	UniqueEveryWeek int64
+	// MaleActivePerWeek is the number of male active users per week.
+	MaleActivePerWeek []int64
+	// Ops are the executed operation counts (must match the paper's
+	// 6w / 2w−1 / w+1 formulas).
+	Ops OpCounts
+	// Breakdown prices the execution on the Table-4 machine.
+	Breakdown sysmodel.Breakdown
+}
+
+// Engine selects the execution configuration.
+type Engine int
+
+const (
+	// Baseline runs bulk bitwise ops on CPU SIMD (Section 8's baseline).
+	Baseline Engine = iota
+	// Ambit runs bulk bitwise ops inside DRAM.
+	Ambit
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == Ambit {
+		return "Ambit"
+	}
+	return "Baseline"
+}
+
+// Query executes the paper's query over the last w weeks, pricing it on m
+// under the given engine.  The computed counts are engine-independent (both
+// engines are functionally exact); only the Breakdown differs.
+func (ix *Index) Query(w int, m *sysmodel.Machine, engine Engine) (*Result, error) {
+	if w <= 0 || w > ix.weeks {
+		return nil, fmt.Errorf("bitmap: query window %d outside [1,%d]", w, ix.weeks)
+	}
+	res := &Result{}
+	bytes := (ix.users + 7) / 8
+	// The query's footprint: 7w day bitmaps + gender + intermediates —
+	// far beyond L2 for the paper's populations.
+	workingSet := bytes * int64(DaysPerWeek*w+2)
+
+	chargeBitwise := func(op controller.Op) {
+		if engine == Ambit {
+			res.Breakdown.Add(op.String(), m.AmbitBitwiseNS(op, bytes))
+		} else {
+			res.Breakdown.Add(op.String(), m.CPUBitwiseNS(op.InputRows(), bytes, workingSet))
+		}
+	}
+
+	// Per-week activity: OR of the 7 daily bitmaps (6 ORs each).
+	weekly := make([]*bitvec.Vector, w)
+	for i := 0; i < w; i++ {
+		week := ix.weeks - w + i
+		acc := ix.days[week][0].Clone()
+		for d := 1; d < DaysPerWeek; d++ {
+			acc.Or(acc, ix.days[week][d])
+			res.Ops.Or++
+			chargeBitwise(controller.OpOr)
+		}
+		weekly[i] = acc
+	}
+
+	// Users active every week: AND of the weekly bitmaps (w−1 ANDs).
+	every := weekly[0].Clone()
+	for i := 1; i < w; i++ {
+		every.And(every, weekly[i])
+		res.Ops.And++
+		chargeBitwise(controller.OpAnd)
+	}
+	res.UniqueEveryWeek = every.Popcount()
+	res.Ops.Bitcount++
+	res.Breakdown.Add("bitcount", m.PopcountNS(bytes))
+
+	// Male users active each week: AND with gender + bitcount (w each).
+	res.MaleActivePerWeek = make([]int64, w)
+	male := bitvec.New(ix.users)
+	for i := 0; i < w; i++ {
+		male.And(weekly[i], ix.gender)
+		res.Ops.And++
+		chargeBitwise(controller.OpAnd)
+		res.MaleActivePerWeek[i] = male.Popcount()
+		res.Ops.Bitcount++
+		res.Breakdown.Add("bitcount", m.PopcountNS(bytes))
+	}
+	return res, nil
+}
+
+// ExpectedOps returns the paper's operation-count formulas for window w:
+// 6w OR, 2w−1 AND, w+1 bitcount (Section 8.1).
+func ExpectedOps(w int) OpCounts {
+	return OpCounts{Or: 6 * w, And: 2*w - 1, Bitcount: w + 1}
+}
+
+// Figure10Point is one bar pair of Figure 10.
+type Figure10Point struct {
+	Users      int64
+	Weeks      int
+	BaselineMS float64
+	AmbitMS    float64
+	Speedup    float64
+}
+
+// Figure10Users and Figure10Weeks are the paper's sweep parameters.
+var (
+	Figure10Users = []int64{8 << 20, 16 << 20} // 8 million, 16 million
+	Figure10Weeks = []int{2, 3, 4}
+)
+
+// Figure10 reproduces Figure 10: end-to-end query time for the baseline and
+// Ambit across the u × w sweep.  The full-scale indices are generated
+// deterministically; both engines execute functionally and must agree.
+func Figure10(m *sysmodel.Machine) ([]Figure10Point, error) {
+	var out []Figure10Point
+	for _, u := range Figure10Users {
+		ix, err := NewIndex(u, 4, 0.3, 0.5, 42)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range Figure10Weeks {
+			base, err := ix.Query(w, m, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			amb, err := ix.Query(w, m, Ambit)
+			if err != nil {
+				return nil, err
+			}
+			if base.UniqueEveryWeek != amb.UniqueEveryWeek {
+				return nil, fmt.Errorf("bitmap: engines disagree at u=%d w=%d", u, w)
+			}
+			out = append(out, Figure10Point{
+				Users:      u,
+				Weeks:      w,
+				BaselineMS: base.Breakdown.TotalMS(),
+				AmbitMS:    amb.Breakdown.TotalMS(),
+				Speedup:    base.Breakdown.TotalNS() / amb.Breakdown.TotalNS(),
+			})
+		}
+	}
+	return out, nil
+}

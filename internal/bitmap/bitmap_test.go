@@ -1,0 +1,216 @@
+package bitmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ambit/internal/sysmodel"
+)
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(0, 1, 0.5, 0.5, 1); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := NewIndex(100, 0, 0.5, 0.5, 1); err == nil {
+		t.Error("zero weeks accepted")
+	}
+	if _, err := NewIndex(100, 1, 1.5, 0.5, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewIndex(100, 1, 0.5, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	a, err := NewIndex(10000, 2, 0.3, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIndex(10000, 2, 0.3, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Day(0, 0).Equal(b.Day(0, 0)) || !a.Gender().Equal(b.Gender()) {
+		t.Fatal("same seed produced different indices")
+	}
+	c, _ := NewIndex(10000, 2, 0.3, 0.5, 8)
+	if a.Day(0, 0).Equal(c.Day(0, 0)) {
+		t.Fatal("different seeds produced identical bitmaps")
+	}
+}
+
+func TestDensityWordRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []float64{0, 0.25, 0.3, 0.5, 0.75, 1} {
+		ones := 0
+		const words = 4000
+		for i := 0; i < words; i++ {
+			w := densityWord(rng, rate)
+			for ; w != 0; w &= w - 1 {
+				ones++
+			}
+		}
+		got := float64(ones) / (words * 64)
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("density for rate %.2f = %.4f", rate, got)
+		}
+	}
+}
+
+func TestQueryOpCountsMatchPaper(t *testing.T) {
+	// Section 8.1: 6w OR, 2w−1 AND, w+1 bitcount.
+	ix, err := NewIndex(1<<16, 4, 0.3, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sysmodel.MustDefault()
+	for w := 1; w <= 4; w++ {
+		res, err := ix.Query(w, m, Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != ExpectedOps(w) {
+			t.Errorf("w=%d: ops = %+v, want %+v", w, res.Ops, ExpectedOps(w))
+		}
+	}
+}
+
+func TestQueryWindowValidation(t *testing.T) {
+	ix, _ := NewIndex(1<<10, 2, 0.3, 0.5, 1)
+	m := sysmodel.MustDefault()
+	if _, err := ix.Query(0, m, Baseline); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if _, err := ix.Query(3, m, Baseline); err == nil {
+		t.Error("w beyond available weeks accepted")
+	}
+}
+
+func TestQueryCorrectnessAgainstNaive(t *testing.T) {
+	// Cross-check the bitmap query against a per-user scalar evaluation.
+	const users = 4096
+	ix, err := NewIndex(users, 3, 0.4, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sysmodel.MustDefault()
+	const w = 3
+	res, err := ix.Query(w, m, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantEvery int64
+	wantMale := make([]int64, w)
+	for u := int64(0); u < users; u++ {
+		all := true
+		for i := 0; i < w; i++ {
+			week := ix.Weeks() - w + i
+			active := false
+			for d := 0; d < DaysPerWeek; d++ {
+				if ix.Day(week, d).Get(u) {
+					active = true
+					break
+				}
+			}
+			if !active {
+				all = false
+			}
+			if active && ix.Gender().Get(u) {
+				wantMale[i]++
+			}
+		}
+		if all {
+			wantEvery++
+		}
+	}
+	if res.UniqueEveryWeek != wantEvery {
+		t.Errorf("UniqueEveryWeek = %d, want %d", res.UniqueEveryWeek, wantEvery)
+	}
+	for i := range wantMale {
+		if res.MaleActivePerWeek[i] != wantMale[i] {
+			t.Errorf("week %d male = %d, want %d", i, res.MaleActivePerWeek[i], wantMale[i])
+		}
+	}
+}
+
+func TestEnginesAgreeFunctionally(t *testing.T) {
+	ix, err := NewIndex(1<<15, 4, 0.3, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sysmodel.MustDefault()
+	base, err := ix.Query(4, m, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb, err := ix.Query(4, m, Ambit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.UniqueEveryWeek != amb.UniqueEveryWeek {
+		t.Error("engines disagree on UniqueEveryWeek")
+	}
+	for i := range base.MaleActivePerWeek {
+		if base.MaleActivePerWeek[i] != amb.MaleActivePerWeek[i] {
+			t.Errorf("engines disagree on week %d", i)
+		}
+	}
+	// At this small scale the baseline is cache-resident and may win;
+	// the paper-scale performance comparison lives in TestFigure10Shape.
+	if amb.Breakdown.TotalNS() <= 0 || base.Breakdown.TotalNS() <= 0 {
+		t.Error("zero-cost breakdown")
+	}
+}
+
+// TestFigure10Shape checks the reproduced Figure 10 against the paper:
+// speedups of roughly 5.4X–6.6X (we accept a ±25% band around 6X),
+// increasing with w, and query time increasing with both u and w.
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Figure 10 in -short mode")
+	}
+	m := sysmodel.MustDefault()
+	points, err := Figure10(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	var sum float64
+	for _, p := range points {
+		if p.Speedup < 4.0 || p.Speedup > 8.5 {
+			t.Errorf("u=%d w=%d: speedup %.2f outside the paper's ~5.4–6.6X band",
+				p.Users, p.Weeks, p.Speedup)
+		}
+		sum += p.Speedup
+	}
+	if avg := sum / float64(len(points)); avg < 4.8 || avg > 7.5 {
+		t.Errorf("average speedup %.2f, paper reports ~6.0X", avg)
+	}
+	// Speedup increases with w at fixed u (paper: 5.4 → 6.3, 5.7 → 6.6).
+	for u := 0; u < 2; u++ {
+		base := points[u*3]
+		for i := 1; i < 3; i++ {
+			if points[u*3+i].Speedup <= base.Speedup {
+				t.Errorf("u=%d: speedup not increasing with w: %+v", base.Users, points[u*3:u*3+3])
+			}
+			base = points[u*3+i]
+		}
+	}
+	// Query time grows linearly with u: the 16M rows take ~2x the 8M rows.
+	for i := 0; i < 3; i++ {
+		r := points[3+i].BaselineMS / points[i].BaselineMS
+		if r < 1.8 || r > 2.2 {
+			t.Errorf("w=%d: baseline 16M/8M ratio = %.2f, want ~2", points[i].Weeks, r)
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if Baseline.String() != "Baseline" || Ambit.String() != "Ambit" {
+		t.Error("engine strings wrong")
+	}
+}

@@ -1,0 +1,232 @@
+// Package bitvec provides plain CPU bitvector kernels: the functional ground
+// truth for the Ambit simulation and the computational core of the paper's
+// SIMD baseline ("Bitset", Section 8.3; the 128-bit-SIMD baseline of
+// Sections 8.1–8.2).  Word-wise Go code is the honest stand-in for SIMD
+// intrinsics: the baseline *cost* models live in internal/sysmodel, while
+// these kernels supply correct results.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a bit vector backed by 64-bit words.  Bit i is word i/64, bit
+// i%64.  Trailing bits beyond Len in the last word are kept zero.
+type Vector struct {
+	bits  int64
+	words []uint64
+}
+
+// New creates a zeroed vector of the given bit length.
+func New(bitsLen int64) *Vector {
+	if bitsLen < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", bitsLen))
+	}
+	return &Vector{bits: bitsLen, words: make([]uint64, (bitsLen+63)/64)}
+}
+
+// FromWords wraps a word slice as a vector of bitsLen bits.  The slice is
+// copied; excess tail bits are masked off.
+func FromWords(words []uint64, bitsLen int64) *Vector {
+	v := New(bitsLen)
+	copy(v.words, words)
+	v.maskTail()
+	return v
+}
+
+// maskTail zeroes bits beyond Len in the last word.
+func (v *Vector) maskTail() {
+	if v.bits%64 != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(v.bits%64)) - 1
+	}
+}
+
+// Len returns the vector length in bits.
+func (v *Vector) Len() int64 { return v.bits }
+
+// Words returns the backing words (not a copy).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{bits: v.bits, words: append([]uint64(nil), v.words...)}
+}
+
+// Get returns bit i.
+func (v *Vector) Get(i int64) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set sets bit i to val.
+func (v *Vector) Set(i int64, val bool) {
+	v.check(i)
+	if val {
+		v.words[i/64] |= 1 << uint(i%64)
+	} else {
+		v.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+func (v *Vector) check(i int64) {
+	if i < 0 || i >= v.bits {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.bits))
+	}
+}
+
+// sameLen panics unless all vectors share v's length.
+func (v *Vector) sameLen(others ...*Vector) {
+	for _, o := range others {
+		if o.bits != v.bits {
+			panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.bits, o.bits))
+		}
+	}
+}
+
+// And stores a AND b into v (v may alias a or b).
+func (v *Vector) And(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+	return v
+}
+
+// Or stores a OR b into v.
+func (v *Vector) Or(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+	return v
+}
+
+// Xor stores a XOR b into v.
+func (v *Vector) Xor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+	return v
+}
+
+// AndNot stores a AND (NOT b) into v — the set-difference kernel.
+func (v *Vector) AndNot(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+	return v
+}
+
+// Not stores NOT a into v (tail bits kept zero).
+func (v *Vector) Not(a *Vector) *Vector {
+	v.sameLen(a)
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+	return v
+}
+
+// Nand stores NOT (a AND b) into v.
+func (v *Vector) Nand(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = ^(a.words[i] & b.words[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Nor stores NOT (a OR b) into v.
+func (v *Vector) Nor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = ^(a.words[i] | b.words[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Xnor stores NOT (a XOR b) into v.
+func (v *Vector) Xnor(a, b *Vector) *Vector {
+	v.sameLen(a, b)
+	for i := range v.words {
+		v.words[i] = ^(a.words[i] ^ b.words[i])
+	}
+	v.maskTail()
+	return v
+}
+
+// Fill sets every bit to val.
+func (v *Vector) Fill(val bool) *Vector {
+	var w uint64
+	if val {
+		w = ^uint64(0)
+	}
+	for i := range v.words {
+		v.words[i] = w
+	}
+	v.maskTail()
+	return v
+}
+
+// Popcount returns the number of set bits.
+func (v *Vector) Popcount() int64 {
+	var n int64
+	for _, w := range v.words {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.bits != o.bits {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachSet calls fn for every set bit index in ascending order; fn
+// returning false stops the iteration.
+func (v *Vector) ForEachSet(fn func(i int64) bool) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(int64(wi*64 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (v *Vector) NextSet(i int64) int64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.bits {
+		return -1
+	}
+	wi := int(i / 64)
+	w := v.words[wi] >> uint(i%64) << uint(i%64)
+	for {
+		if w != 0 {
+			return int64(wi*64 + bits.TrailingZeros64(w))
+		}
+		wi++
+		if wi >= len(v.words) {
+			return -1
+		}
+		w = v.words[wi]
+	}
+}

@@ -1,0 +1,218 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	v := New(100)
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if len(v.Words()) != 2 {
+		t.Fatalf("words = %d, want 2", len(v.Words()))
+	}
+	if v.Popcount() != 0 {
+		t.Fatal("new vector not zero")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestGetSet(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	for _, i := range []int64{0, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Popcount() != 3 {
+		t.Errorf("popcount = %d", v.Popcount())
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Error("bit 64 not cleared")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int64{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestBooleanOpsProperty(t *testing.T) {
+	f := func(aw, bw [3]uint64) bool {
+		a := FromWords(aw[:], 190)
+		b := FromWords(bw[:], 190)
+		n := int64(190)
+		and := New(n).And(a, b)
+		or := New(n).Or(a, b)
+		xor := New(n).Xor(a, b)
+		nand := New(n).Nand(a, b)
+		nor := New(n).Nor(a, b)
+		xnor := New(n).Xnor(a, b)
+		andnot := New(n).AndNot(a, b)
+		nota := New(n).Not(a)
+		for i := int64(0); i < n; i++ {
+			x, y := a.Get(i), b.Get(i)
+			if and.Get(i) != (x && y) ||
+				or.Get(i) != (x || y) ||
+				xor.Get(i) != (x != y) ||
+				nand.Get(i) != !(x && y) ||
+				nor.Get(i) != !(x || y) ||
+				xnor.Get(i) != (x == y) ||
+				andnot.Get(i) != (x && !y) ||
+				nota.Get(i) != !x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailMasking(t *testing.T) {
+	// Not/Nand/Nor/Xnor must not set bits beyond Len.
+	a := New(70)
+	b := New(70)
+	for _, v := range []*Vector{
+		New(70).Not(a),
+		New(70).Nand(a, b),
+		New(70).Nor(a, b),
+		New(70).Xnor(a, b),
+		New(70).Fill(true),
+	} {
+		if got := v.Popcount(); got != 70 {
+			t.Errorf("popcount = %d, want 70 (tail leaked)", got)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	New(64).And(New(64), New(65))
+}
+
+func TestAliasing(t *testing.T) {
+	a := FromWords([]uint64{0b1100}, 64)
+	b := FromWords([]uint64{0b1010}, 64)
+	a.And(a, b) // in-place
+	if a.Words()[0] != 0b1000 {
+		t.Errorf("aliased And = %#b", a.Words()[0])
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromWords([]uint64{7}, 64)
+	c := a.Clone()
+	c.Set(0, false)
+	if !a.Get(0) {
+		t.Error("clone shares storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(New(65)) {
+		t.Error("different lengths equal")
+	}
+	if a.Equal(New(64)) {
+		t.Error("different contents equal")
+	}
+}
+
+func TestFromWordsMasksTail(t *testing.T) {
+	v := FromWords([]uint64{^uint64(0)}, 10)
+	if v.Popcount() != 10 {
+		t.Errorf("popcount = %d, want 10", v.Popcount())
+	}
+}
+
+func TestForEachSetAndNextSet(t *testing.T) {
+	v := New(200)
+	want := []int64{3, 64, 65, 130, 199}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	var got []int64
+	v.ForEachSet(func(i int64) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet order: %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	v.ForEachSet(func(i int64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// NextSet.
+	if v.NextSet(0) != 3 || v.NextSet(3) != 3 || v.NextSet(4) != 64 ||
+		v.NextSet(131) != 199 || v.NextSet(200) != -1 || v.NextSet(-5) != 3 {
+		t.Error("NextSet wrong")
+	}
+}
+
+func TestPopcountRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(1000)
+	naive := int64(0)
+	for i := int64(0); i < 1000; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i, true)
+			naive++
+		}
+	}
+	if v.Popcount() != naive {
+		t.Errorf("popcount = %d, want %d", v.Popcount(), naive)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(aw, bw [2]uint64) bool {
+		a := FromWords(aw[:], 128)
+		b := FromWords(bw[:], 128)
+		lhs := New(128).Nand(a, b)
+		rhs := New(128).Or(New(128).Not(a), New(128).Not(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

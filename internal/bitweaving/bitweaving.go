@@ -1,0 +1,299 @@
+// Package bitweaving implements BitWeaving-V (Li & Patel, SIGMOD 2013), the
+// database column-scan technique evaluated in Section 8.2 of the Ambit paper
+// (Figure 11).
+//
+// BitWeaving-V stores a b-bit column as b bit planes: plane i holds bit i of
+// every value contiguously (MSB first).  A range predicate
+// `c1 <= val <= c2` then becomes a short sequence of bulk bitwise operations
+// per plane, evaluated over all r rows at once:
+//
+//	lt(C):  lt |= eq & ~x        (planes where C's bit is 1)
+//	        eq &= x
+//	        eq &= ~x             (planes where C's bit is 0)
+//	gt(C):  gt |= eq & x         (planes where C's bit is 0)
+//	        eq &= ~x
+//	        eq &= x              (planes where C's bit is 1)
+//	match = ~lt(c1) & ~gt(c2)
+//
+// The baseline executes these with 128-bit SIMD (AND-NOT is a single fused
+// instruction); Ambit executes them in DRAM, where AND-NOT expands to
+// NOT + AND.  count(*) is a final bitcount, on the CPU in both systems.
+package bitweaving
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/controller"
+	"ambit/internal/sysmodel"
+)
+
+// Column is a b-bit integer column in BitWeaving-V (vertical) layout.
+type Column struct {
+	bits  int
+	rows  int64
+	plane []*bitvec.Vector // plane[0] is the most significant bit
+}
+
+// NewRandomColumn builds a column of uniformly random b-bit values.  For
+// uniform values every bit plane is an independent uniform bit vector, so
+// the planes are generated directly.
+func NewRandomColumn(bits int, rows int64, seed int64) (*Column, error) {
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("bitweaving: bits %d outside [1,64]", bits)
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("bitweaving: rows must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Column{bits: bits, rows: rows}
+	c.plane = make([]*bitvec.Vector, bits)
+	for i := range c.plane {
+		words := make([]uint64, (rows+63)/64)
+		for w := range words {
+			words[w] = rng.Uint64()
+		}
+		c.plane[i] = bitvec.FromWords(words, rows)
+	}
+	return c, nil
+}
+
+// FromValues builds a column by transposing explicit values (for tests and
+// small workloads).  Values must fit in `bits` bits.
+func FromValues(values []uint64, bits int) (*Column, error) {
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("bitweaving: bits %d outside [1,64]", bits)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("bitweaving: empty column")
+	}
+	c := &Column{bits: bits, rows: int64(len(values))}
+	c.plane = make([]*bitvec.Vector, bits)
+	for i := range c.plane {
+		c.plane[i] = bitvec.New(c.rows)
+	}
+	for r, v := range values {
+		if bits < 64 && v >= 1<<uint(bits) {
+			return nil, fmt.Errorf("bitweaving: value %d exceeds %d bits", v, bits)
+		}
+		for i := 0; i < bits; i++ {
+			if v&(1<<uint(bits-1-i)) != 0 {
+				c.plane[i].Set(int64(r), true)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Bits returns the column width.
+func (c *Column) Bits() int { return c.bits }
+
+// Rows returns the row count.
+func (c *Column) Rows() int64 { return c.rows }
+
+// ValueAt reconstructs row i's value from the planes (for verification).
+func (c *Column) ValueAt(i int64) uint64 {
+	var v uint64
+	for p := 0; p < c.bits; p++ {
+		v <<= 1
+		if c.plane[p].Get(i) {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// WorkingSetBytes returns the scan's working set: all b planes.
+func (c *Column) WorkingSetBytes() int64 { return int64(c.bits) * ((c.rows + 7) / 8) }
+
+// traceKind is one logical bulk operation of the scan.
+type traceKind uint8
+
+const (
+	opAnd traceKind = iota
+	opOr
+	opNot
+	opAndNot
+)
+
+// Trace records the bulk operations a scan executed, in order.
+type Trace struct {
+	kinds []traceKind
+}
+
+// Len returns the number of logical bulk operations.
+func (t *Trace) Len() int { return len(t.kinds) }
+
+// BaselineOps returns the SIMD instruction count: one vector op per logical
+// op (AND-NOT is fused on x86).
+func (t *Trace) BaselineOps() int { return len(t.kinds) }
+
+// AmbitOps expands the trace into Ambit operations: AND-NOT becomes
+// NOT + AND because Ambit's TRA computes only majority-derived functions
+// (Section 3.1).
+func (t *Trace) AmbitOps() []controller.Op {
+	var ops []controller.Op
+	for _, k := range t.kinds {
+		switch k {
+		case opAnd:
+			ops = append(ops, controller.OpAnd)
+		case opOr:
+			ops = append(ops, controller.OpOr)
+		case opNot:
+			ops = append(ops, controller.OpNot)
+		case opAndNot:
+			ops = append(ops, controller.OpNot, controller.OpAnd)
+		}
+	}
+	return ops
+}
+
+// Scan evaluates the predicate c1 <= val <= c2 over the column, returning
+// the match bitvector and the operation trace.
+func (c *Column) Scan(c1, c2 uint64) (*bitvec.Vector, *Trace, error) {
+	if c.bits < 64 {
+		if max := uint64(1)<<uint(c.bits) - 1; c1 > max || c2 > max {
+			return nil, nil, fmt.Errorf("bitweaving: constants exceed %d bits", c.bits)
+		}
+	}
+	tr := &Trace{}
+	lt := c.ltMask(c1, tr) // val < c1
+	gt := c.gtMask(c2, tr) // val > c2
+	match := bitvec.New(c.rows)
+	// match = ~lt & ~gt  (one NOR in SIMD terms; we keep it as the
+	// classic two-input form: NOT gt, then AND-NOT with lt).
+	match.Not(gt)
+	tr.kinds = append(tr.kinds, opNot)
+	match.AndNot(match, lt)
+	tr.kinds = append(tr.kinds, opAndNot)
+	return match, tr, nil
+}
+
+// ltMask computes the val < C bit vector MSB-first.
+func (c *Column) ltMask(C uint64, tr *Trace) *bitvec.Vector {
+	lt := bitvec.New(c.rows)
+	eq := bitvec.New(c.rows).Fill(true)
+	tmp := bitvec.New(c.rows)
+	for p := 0; p < c.bits; p++ {
+		x := c.plane[p]
+		if C&(1<<uint(c.bits-1-p)) != 0 {
+			// Constant bit 1: rows with x=0 and still-equal prefix
+			// are less; rows with x=1 stay equal.
+			tmp.AndNot(eq, x)
+			tr.kinds = append(tr.kinds, opAndNot)
+			lt.Or(lt, tmp)
+			tr.kinds = append(tr.kinds, opOr)
+			eq.And(eq, x)
+			tr.kinds = append(tr.kinds, opAnd)
+		} else {
+			// Constant bit 0: rows with x=1 become greater (not
+			// less); rows with x=0 stay equal.
+			eq.AndNot(eq, x)
+			tr.kinds = append(tr.kinds, opAndNot)
+		}
+	}
+	return lt
+}
+
+// gtMask computes the val > C bit vector MSB-first.
+func (c *Column) gtMask(C uint64, tr *Trace) *bitvec.Vector {
+	gt := bitvec.New(c.rows)
+	eq := bitvec.New(c.rows).Fill(true)
+	tmp := bitvec.New(c.rows)
+	for p := 0; p < c.bits; p++ {
+		x := c.plane[p]
+		if C&(1<<uint(c.bits-1-p)) != 0 {
+			eq.And(eq, x)
+			tr.kinds = append(tr.kinds, opAnd)
+		} else {
+			tmp.And(eq, x)
+			tr.kinds = append(tr.kinds, opAnd)
+			gt.Or(gt, tmp)
+			tr.kinds = append(tr.kinds, opOr)
+			eq.AndNot(eq, x)
+			tr.kinds = append(tr.kinds, opAndNot)
+		}
+	}
+	return gt
+}
+
+// QueryResult prices one scan on both engines.
+type QueryResult struct {
+	MatchCount int64
+	Trace      *Trace
+	BaselineNS float64
+	AmbitNS    float64
+}
+
+// Speedup returns BaselineNS / AmbitNS.
+func (r QueryResult) Speedup() float64 { return r.BaselineNS / r.AmbitNS }
+
+// RunQuery executes `select count(*) where c1 <= val <= c2` functionally and
+// prices it on the Table-4 machine for both the SIMD baseline and Ambit.
+func RunQuery(c *Column, c1, c2 uint64, m *sysmodel.Machine) (*QueryResult, error) {
+	match, tr, err := c.Scan(c1, c2)
+	if err != nil {
+		return nil, err
+	}
+	bytes := (c.rows + 7) / 8
+	ws := c.WorkingSetBytes()
+
+	base := float64(tr.BaselineOps()) * m.CPUBitwiseNS(2, bytes, ws)
+	base += m.PopcountNS(bytes)
+
+	var amb float64
+	for _, op := range tr.AmbitOps() {
+		amb += m.AmbitBitwiseNS(op, bytes)
+	}
+	amb += m.PopcountNS(bytes)
+
+	return &QueryResult{
+		MatchCount: match.Popcount(),
+		Trace:      tr,
+		BaselineNS: base,
+		AmbitNS:    amb,
+	}, nil
+}
+
+// Figure11Point is one point of Figure 11.
+type Figure11Point struct {
+	Bits    int
+	Rows    int64
+	Speedup float64
+	Cached  bool // whether the baseline's working set was L2-resident
+}
+
+// Figure11Bits and Figure11Rows are the paper's sweep parameters
+// (b = 4..32, r = 1m..8m).
+var (
+	Figure11Bits = []int{4, 8, 12, 16, 20, 24, 28, 32}
+	Figure11Rows = []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20}
+)
+
+// Figure11 reproduces Figure 11: Ambit's speedup over the SIMD baseline for
+// the b × r sweep.  The predicate constants select the middle half of the
+// value domain.
+func Figure11(m *sysmodel.Machine) ([]Figure11Point, error) {
+	var out []Figure11Point
+	for _, r := range Figure11Rows {
+		for _, b := range Figure11Bits {
+			col, err := NewRandomColumn(b, r, int64(b)*1000+r)
+			if err != nil {
+				return nil, err
+			}
+			max := uint64(1)<<uint(b) - 1
+			q, err := RunQuery(col, max/4, 3*(max/4), m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure11Point{
+				Bits:    b,
+				Rows:    r,
+				Speedup: q.Speedup(),
+				Cached:  m.Caches.FitsInL2(col.WorkingSetBytes()),
+			})
+		}
+	}
+	return out, nil
+}

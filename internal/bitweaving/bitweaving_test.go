@@ -1,0 +1,241 @@
+package bitweaving
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/sysmodel"
+)
+
+func TestFromValuesAndValueAt(t *testing.T) {
+	vals := []uint64{0, 1, 5, 7, 3, 6}
+	c, err := FromValues(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got := c.ValueAt(int64(i)); got != v {
+			t.Errorf("ValueAt(%d) = %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestFromValuesValidation(t *testing.T) {
+	if _, err := FromValues([]uint64{8}, 3); err == nil {
+		t.Error("oversized value accepted")
+	}
+	if _, err := FromValues(nil, 3); err == nil {
+		t.Error("empty column accepted")
+	}
+	if _, err := FromValues([]uint64{1}, 0); err == nil {
+		t.Error("0 bits accepted")
+	}
+	if _, err := FromValues([]uint64{1}, 65); err == nil {
+		t.Error("65 bits accepted")
+	}
+}
+
+func TestNewRandomColumnValidation(t *testing.T) {
+	if _, err := NewRandomColumn(0, 10, 1); err == nil {
+		t.Error("0 bits accepted")
+	}
+	if _, err := NewRandomColumn(8, 0, 1); err == nil {
+		t.Error("0 rows accepted")
+	}
+}
+
+func TestRandomColumnDeterministic(t *testing.T) {
+	a, _ := NewRandomColumn(8, 1000, 5)
+	b, _ := NewRandomColumn(8, 1000, 5)
+	for i := int64(0); i < 1000; i++ {
+		if a.ValueAt(i) != b.ValueAt(i) {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+// TestScanAgainstScalar cross-checks the bit-serial predicate against direct
+// scalar evaluation for exhaustive small domains.
+func TestScanAgainstScalar(t *testing.T) {
+	const bits = 4
+	// All 16 values, several times over.
+	var vals []uint64
+	for rep := 0; rep < 5; rep++ {
+		for v := uint64(0); v < 16; v++ {
+			vals = append(vals, v)
+		}
+	}
+	c, err := FromValues(vals, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c1 := uint64(0); c1 < 16; c1++ {
+		for c2 := c1; c2 < 16; c2++ {
+			match, _, err := c.Scan(c1, c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vals {
+				want := v >= c1 && v <= c2
+				if got := match.Get(int64(i)); got != want {
+					t.Fatalf("scan [%d,%d] row %d (val %d): got %v", c1, c2, i, v, got)
+				}
+			}
+		}
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	f := func(seed int64, rawC1, rawC2 uint16) bool {
+		const bits = 12
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, 500)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(1 << bits))
+		}
+		c, err := FromValues(vals, bits)
+		if err != nil {
+			return false
+		}
+		c1 := uint64(rawC1) % (1 << bits)
+		c2 := uint64(rawC2) % (1 << bits)
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		match, _, err := c.Scan(c1, c2)
+		if err != nil {
+			return false
+		}
+		var want int64
+		for _, v := range vals {
+			if v >= c1 && v <= c2 {
+				want++
+			}
+		}
+		return match.Popcount() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	c, _ := FromValues([]uint64{1, 2, 3}, 4)
+	// c1 > c2 yields no matches.
+	match, _, err := c.Scan(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Popcount() != 0 {
+		t.Error("inverted range matched rows")
+	}
+	if _, _, err := c.Scan(99, 100); err == nil {
+		t.Error("constants exceeding bit width accepted")
+	}
+}
+
+func TestTraceExpansion(t *testing.T) {
+	c, _ := FromValues([]uint64{0, 1, 2, 3}, 2)
+	_, tr, err := c.Scan(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Ambit expands AND-NOT into two ops, so it executes at least as
+	// many operations as the SIMD baseline.
+	if len(tr.AmbitOps()) < tr.BaselineOps() {
+		t.Error("Ambit ops fewer than baseline ops")
+	}
+}
+
+func TestOpsScaleWithBits(t *testing.T) {
+	m := sysmodel.MustDefault()
+	prev := 0
+	for _, b := range []int{4, 8, 16, 32} {
+		col, err := NewRandomColumn(b, 1<<12, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := uint64(1)<<uint(b) - 1
+		q, err := RunQuery(col, max/4, 3*(max/4), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Trace.Len() <= prev {
+			t.Errorf("b=%d: trace %d not larger than previous %d", b, q.Trace.Len(), prev)
+		}
+		prev = q.Trace.Len()
+	}
+}
+
+// TestFigure11Shape checks the reproduced Figure 11 against the paper:
+// speedups of 1.8X–11.8X averaging ~7X, increasing with b, with jumps when
+// the working set stops fitting in the on-chip cache.
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Figure 11 in -short mode")
+	}
+	m := sysmodel.MustDefault()
+	points, err := Figure11(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Figure11Bits)*len(Figure11Rows) {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := map[[2]int64]Figure11Point{}
+	var sum, min, max float64
+	min = 1e18
+	for _, p := range points {
+		byKey[[2]int64{int64(p.Bits), p.Rows}] = p
+		sum += p.Speedup
+		if p.Speedup < min {
+			min = p.Speedup
+		}
+		if p.Speedup > max {
+			max = p.Speedup
+		}
+	}
+	avg := sum / float64(len(points))
+	// Paper: 1.8X–11.8X, 7.0X average.
+	if avg < 4 || avg > 10.5 {
+		t.Errorf("average speedup %.2f, paper reports 7.0X", avg)
+	}
+	if min < 1.0 || min > 3.5 {
+		t.Errorf("min speedup %.2f, paper reports 1.8X", min)
+	}
+	if max < 8 || max > 16 {
+		t.Errorf("max speedup %.2f, paper reports 11.8X", max)
+	}
+	// Ambit wins everywhere (paper: up to 4.1X even cache-resident).
+	if min <= 1.0 {
+		t.Errorf("baseline wins somewhere (min %.2f)", min)
+	}
+	// The cache-spill jump (paper: "large jumps in the speedup ... where
+	// the working set stops fitting in the on-chip cache"): for b=8 the
+	// working set crosses 2 MB between r=2m and r=4m.
+	before := byKey[[2]int64{8, 2 << 20}]
+	after := byKey[[2]int64{8, 4 << 20}]
+	if !before.Cached || after.Cached {
+		t.Fatalf("expected cache spill between r=2m (%v) and r=4m (%v) at b=8",
+			before.Cached, after.Cached)
+	}
+	if after.Speedup < 2*before.Speedup {
+		t.Errorf("b=8 spill jump: %.2f -> %.2f (want a large jump)",
+			before.Speedup, after.Speedup)
+	}
+	// Speedup increases with b at fixed large r (paper: "the performance
+	// improvement of Ambit increases with increasing number of bits").
+	r := int64(8 << 20)
+	for i := 1; i < len(Figure11Bits); i++ {
+		lo := byKey[[2]int64{int64(Figure11Bits[i-1]), r}]
+		hi := byKey[[2]int64{int64(Figure11Bits[i]), r}]
+		if hi.Speedup < lo.Speedup*0.95 { // allow small constant-dependent wiggle
+			t.Errorf("r=8m: speedup fell from b=%d (%.2f) to b=%d (%.2f)",
+				lo.Bits, lo.Speedup, hi.Bits, hi.Speedup)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package bloom implements a BitFunnel-style document filter (Goodwin et
+// al., SIGIR 2017), the web-search application of Section 8.4.1 of the Ambit
+// paper.
+//
+// BitFunnel "represents both documents and queries as a bag of words using
+// Bloom filters, and uses bitwise AND operations on specific locations of
+// the Bloom filters to efficiently identify documents that contain all the
+// query words."  The index is stored *bit-sliced*: row j holds bit j of
+// every document's Bloom signature, one bit per document.  A query ANDs the
+// rows selected by its terms' hash functions; the surviving bits are the
+// candidate documents.  With Ambit the ANDs run inside DRAM across thousands
+// of documents at once.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/controller"
+	"ambit/internal/sysmodel"
+)
+
+// Index is a bit-sliced Bloom-filter document index.
+type Index struct {
+	docs   int64
+	bits   int
+	hashes int
+	rows   []*bitvec.Vector // rows[j].Get(d) = bit j of doc d's signature
+	added  *bitvec.Vector   // which document slots are occupied
+}
+
+// NewIndex creates an index for up to `docs` documents with signatures of
+// `bits` bits and `hashes` hash functions per term.
+func NewIndex(docs int64, bits, hashes int) (*Index, error) {
+	if docs <= 0 {
+		return nil, fmt.Errorf("bloom: docs must be positive")
+	}
+	if bits <= 0 || hashes <= 0 || hashes > bits {
+		return nil, fmt.Errorf("bloom: need 0 < hashes <= bits (bits=%d, hashes=%d)", bits, hashes)
+	}
+	ix := &Index{docs: docs, bits: bits, hashes: hashes, added: bitvec.New(docs)}
+	ix.rows = make([]*bitvec.Vector, bits)
+	for i := range ix.rows {
+		ix.rows[i] = bitvec.New(docs)
+	}
+	return ix, nil
+}
+
+// Docs returns the document capacity.
+func (ix *Index) Docs() int64 { return ix.docs }
+
+// Bits returns the signature width.
+func (ix *Index) Bits() int { return ix.bits }
+
+// termBits returns the signature bit positions for a term.
+func (ix *Index) termBits(term string) []int {
+	out := make([]int, ix.hashes)
+	for k := 0; k < ix.hashes; k++ {
+		h := fnv.New64a()
+		h.Write([]byte(term))
+		fmt.Fprintf(h, "#%d", k)
+		out[k] = int(h.Sum64() % uint64(ix.bits))
+	}
+	return out
+}
+
+// Add indexes a document's terms under document id doc.
+func (ix *Index) Add(doc int64, terms []string) error {
+	if doc < 0 || doc >= ix.docs {
+		return fmt.Errorf("bloom: doc %d out of range [0,%d)", doc, ix.docs)
+	}
+	for _, t := range terms {
+		for _, b := range ix.termBits(t) {
+			ix.rows[b].Set(doc, true)
+		}
+	}
+	ix.added.Set(doc, true)
+	return nil
+}
+
+// QueryResult holds the candidate documents of one query plus its pricing
+// on both execution engines.
+type QueryResult struct {
+	// Candidates has one bit per document: possibly containing all query
+	// terms (Bloom filters admit false positives, never false
+	// negatives).
+	Candidates *bitvec.Vector
+	// Ands is the number of bulk AND operations executed.
+	Ands int
+	// BaselineNS and AmbitNS price the row ANDs on the Table-4 machine.
+	BaselineNS, AmbitNS float64
+}
+
+// Speedup returns BaselineNS / AmbitNS.
+func (r *QueryResult) Speedup() float64 { return r.BaselineNS / r.AmbitNS }
+
+// Query returns the documents whose signatures contain every term of the
+// query: the AND of all selected rows.  Duplicate row selections are ANDed
+// only once.
+func (ix *Index) Query(terms []string, m *sysmodel.Machine) (*QueryResult, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("bloom: empty query")
+	}
+	seen := map[int]bool{}
+	var rows []int
+	for _, t := range terms {
+		for _, b := range ix.termBits(t) {
+			if !seen[b] {
+				seen[b] = true
+				rows = append(rows, b)
+			}
+		}
+	}
+	acc := ix.rows[rows[0]].Clone()
+	ands := 0
+	for _, b := range rows[1:] {
+		acc.And(acc, ix.rows[b])
+		ands++
+	}
+	// Only occupied document slots can be candidates.
+	acc.And(acc, ix.added)
+	ands++
+
+	res := &QueryResult{Candidates: acc, Ands: ands}
+	bytes := (ix.docs + 7) / 8
+	ws := bytes * int64(ix.bits)
+	res.BaselineNS = float64(ands) * m.CPUBitwiseNS(2, bytes, ws)
+	for i := 0; i < ands; i++ {
+		res.AmbitNS += m.AmbitBitwiseNS(controller.OpAnd, bytes)
+	}
+	return res, nil
+}

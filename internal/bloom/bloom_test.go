@@ -1,0 +1,164 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ambit/internal/sysmodel"
+)
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(0, 64, 3); err == nil {
+		t.Error("0 docs accepted")
+	}
+	if _, err := NewIndex(10, 0, 1); err == nil {
+		t.Error("0 bits accepted")
+	}
+	if _, err := NewIndex(10, 4, 5); err == nil {
+		t.Error("hashes > bits accepted")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ix, _ := NewIndex(10, 64, 3)
+	if err := ix.Add(10, []string{"x"}); err == nil {
+		t.Error("out-of-range doc accepted")
+	}
+	if err := ix.Add(-1, []string{"x"}); err == nil {
+		t.Error("negative doc accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// The defining Bloom-filter property: a document containing all
+	// query terms is always a candidate.
+	ix, err := NewIndex(256, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	docTerms := make([][]string, 256)
+	vocab := make([]string, 200)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%03d", i)
+	}
+	for d := range docTerms {
+		n := 3 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			docTerms[d] = append(docTerms[d], vocab[rng.Intn(len(vocab))])
+		}
+		if err := ix.Add(int64(d), docTerms[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := sysmodel.MustDefault()
+	for d, terms := range docTerms {
+		q := terms[:1+rng.Intn(len(terms))]
+		res, err := ix.Query(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Candidates.Get(int64(d)) {
+			t.Fatalf("doc %d missing from candidates for its own terms %v", d, q)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	// With a roomy filter, a query for an un-indexed term should match
+	// few documents.
+	ix, err := NewIndex(4096, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for d := int64(0); d < 4096; d++ {
+		terms := make([]string, 8)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("w%04d", rng.Intn(500))
+		}
+		if err := ix.Add(d, terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := sysmodel.MustDefault()
+	res, err := ix.Query([]string{"definitely-absent-term", "another-absent-term"}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := float64(res.Candidates.Popcount()) / 4096
+	if fp > 0.2 {
+		t.Errorf("false positive rate %.3f too high", fp)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ix, _ := NewIndex(10, 64, 3)
+	if _, err := ix.Query(nil, sysmodel.MustDefault()); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestUnoccupiedSlotsNeverMatch(t *testing.T) {
+	ix, _ := NewIndex(64, 128, 2)
+	if err := ix.Add(5, []string{"hello"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Query([]string{"hello"}, sysmodel.MustDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Candidates.Get(5) {
+		t.Fatal("indexed doc missing")
+	}
+	for d := int64(0); d < 64; d++ {
+		if d != 5 && res.Candidates.Get(d) {
+			t.Fatalf("empty slot %d matched", d)
+		}
+	}
+}
+
+func TestQueryPricing(t *testing.T) {
+	// At web scale (millions of documents) Ambit's AND throughput
+	// advantage applies directly (Section 8.4.1: "this operation can be
+	// significantly accelerated by simultaneously performing the
+	// filtering for thousands of documents").
+	ix, err := NewIndex(8<<20, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(0, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	m := sysmodel.MustDefault()
+	res, err := ix.Query([]string{"alpha", "beta", "gamma"}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ands < 3 {
+		t.Errorf("only %d ANDs for a 3-term query", res.Ands)
+	}
+	if res.Speedup() < 5 {
+		t.Errorf("Ambit speedup %.1fX at web scale, expected substantial", res.Speedup())
+	}
+}
+
+func TestDuplicateTermRowsAndedOnce(t *testing.T) {
+	ix, _ := NewIndex(100, 32, 2)
+	if err := ix.Add(0, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	m := sysmodel.MustDefault()
+	a, err := ix.Query([]string{"x", "x", "x"}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.Query([]string{"x"}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ands != b.Ands {
+		t.Errorf("duplicate terms changed AND count: %d vs %d", a.Ands, b.Ands)
+	}
+}

@@ -1,0 +1,240 @@
+// Package cache implements a set-associative LRU cache simulator matching
+// the on-chip hierarchy of the paper's full-system evaluation (Table 4:
+// 32 KB L1, 2 MB L2, 64 B lines, LRU).  The application models in
+// internal/sysmodel use it to decide whether a workload's working set is
+// cache-resident — the mechanism behind the BitWeaving speedup jumps of
+// Figure 11 ("these large jumps occur at points where the working set stops
+// fitting in the on-chip cache").
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level ("L1", "L2").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache-line size.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitNS is the access latency on a hit.
+	HitNS float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %s: sizes and ways must be positive", c.Name)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// L1D returns the Table-4 L1 data cache: 32 KB, 64 B lines, 8-way LRU.
+func L1D() Config {
+	return Config{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitNS: 1.0}
+}
+
+// L2 returns the Table-4 L2 cache: 2 MB, 64 B lines, 16-way LRU.
+func L2() Config {
+	return Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, HitNS: 5.0}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// HitRate returns Hits/Accesses (0 for no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lruTick is the timestamp of the last access (higher = more
+	// recent).
+	lruTick uint64
+}
+
+// Cache is a set-associative LRU cache over physical addresses.  It tracks
+// tags only (no data): the simulator's workloads carry their own data.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	tick  uint64
+	stats Stats
+}
+
+// New constructs a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// index splits an address into set index and tag.
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	return int(lineAddr % uint64(len(c.sets))), lineAddr / uint64(len(c.sets))
+}
+
+// Access touches addr.  write marks the line dirty.  It returns true on hit;
+// on a miss the line is filled (allocate-on-miss for both reads and writes,
+// i.e. write-allocate), possibly evicting the LRU way (writebacks counted).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.tick++
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lruTick = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Fill: choose an invalid way, else the LRU way.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			goto fill
+		}
+		if ways[i].lruTick < ways[victim].lruTick {
+			victim = i
+		}
+	}
+	c.stats.Evictions++
+	if ways[victim].dirty {
+		c.stats.Writebacks++
+	}
+fill:
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lruTick: c.tick}
+	return false
+}
+
+// Contains reports whether addr is resident, without touching LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange drops every line overlapping [addr, addr+size), counting
+// writebacks for dirty lines.  This is the coherence action the Ambit
+// memory controller performs on destination rows (Section 5.4.4); the
+// return value is the number of dirty lines written back (the "flush" cost
+// for source rows).
+func (c *Cache) InvalidateRange(addr uint64, size int64) (dirty int64) {
+	lb := uint64(c.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(size) - 1) / lb
+	for la := first; la <= last; la++ {
+		set := int(la % uint64(len(c.sets)))
+		tag := la / uint64(len(c.sets))
+		for i := range c.sets[set] {
+			l := &c.sets[set][i]
+			if l.valid && l.tag == tag {
+				if l.dirty {
+					dirty++
+					c.stats.Writebacks++
+				}
+				l.valid = false
+			}
+		}
+	}
+	return dirty
+}
+
+// Flush invalidates the entire cache, counting writebacks.
+func (c *Cache) Flush() (dirty int64) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.valid && l.dirty {
+				dirty++
+				c.stats.Writebacks++
+			}
+			l.valid = false
+		}
+	}
+	return dirty
+}
+
+// Hierarchy is a two-level cache hierarchy (L1 backed by L2) with a DRAM
+// miss latency, matching Table 4.
+type Hierarchy struct {
+	L1, L2 *Cache
+	// DRAMNS is the latency of an access that misses both levels.
+	DRAMNS float64
+}
+
+// NewHierarchy builds the Table-4 hierarchy.
+func NewHierarchy() (*Hierarchy, error) {
+	l1, err := New(L1D())
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(L2())
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2, DRAMNS: 50}, nil
+}
+
+// Access touches addr through the hierarchy and returns the access latency.
+func (h *Hierarchy) Access(addr uint64, write bool) float64 {
+	if h.L1.Access(addr, write) {
+		return h.L1.Config().HitNS
+	}
+	if h.L2.Access(addr, write) {
+		return h.L1.Config().HitNS + h.L2.Config().HitNS
+	}
+	return h.L1.Config().HitNS + h.L2.Config().HitNS + h.DRAMNS
+}
+
+// FitsInL2 reports whether a working set of the given size is L2-resident
+// (streaming workloads with ws ≤ capacity keep their lines under LRU).
+func (h *Hierarchy) FitsInL2(workingSetBytes int64) bool {
+	return workingSetBytes <= int64(h.L2.Config().SizeBytes)
+}

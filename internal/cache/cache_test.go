@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{Name: "test", SizeBytes: 1024, LineBytes: 64, Ways: 2, HitNS: 1}
+}
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2}, // not divisible
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if L1D().Validate() != nil || L2().Validate() != nil {
+		t.Error("default configs invalid")
+	}
+	if L1D().Sets() != 64 {
+		t.Errorf("L1 sets = %d, want 64", L1D().Sets())
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustNew(t, small())
+	if c.Access(0x1000, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1038, false) { // same 64B line
+		t.Fatal("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, small()) // 8 sets, 2 ways
+	// Three addresses mapping to the same set: line addresses 0, 8, 16.
+	a0, a1, a2 := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a0, false)
+	c.Access(a1, false)
+	c.Access(a0, false) // a0 most recent; a1 is LRU
+	c.Access(a2, false) // evicts a1
+	if !c.Contains(a0) {
+		t.Error("a0 evicted (should be MRU)")
+	}
+	if c.Contains(a1) {
+		t.Error("a1 not evicted (was LRU)")
+	}
+	if !c.Contains(a2) {
+		t.Error("a2 not resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustNew(t, small())
+	a0, a1, a2 := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a0, true) // dirty
+	c.Access(a1, false)
+	c.Access(a2, false) // evicts dirty a0
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := mustNew(t, small())
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	dirty := c.InvalidateRange(0, 192)
+	if dirty != 2 {
+		t.Errorf("dirty flushed = %d, want 2", dirty)
+	}
+	for _, a := range []uint64{0, 64, 128} {
+		if c.Contains(a) {
+			t.Errorf("addr %#x still resident", a)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, small())
+	c.Access(0, true)
+	c.Access(64, true)
+	c.Access(4096, false)
+	if dirty := c.Flush(); dirty != 2 {
+		t.Errorf("flush dirty = %d, want 2", dirty)
+	}
+	if c.Contains(0) || c.Contains(4096) {
+		t.Error("flush left lines resident")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := mustNew(t, small())
+	if c.Stats().HitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if got := c.Stats().HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", got)
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("ResetStats failed")
+	}
+	if !c.Contains(0) {
+		t.Error("ResetStats flushed contents")
+	}
+}
+
+func TestWorkingSetResidency(t *testing.T) {
+	// A working set half the cache size must be fully resident after one
+	// pass; twice the cache size must thrash.
+	c := mustNew(t, small()) // 1 KB
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 512; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 8 || s.Misses != 8 {
+		t.Errorf("resident set: %+v", s)
+	}
+
+	c2 := mustNew(t, small())
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 2048; a += 64 {
+			c2.Access(a, false)
+		}
+	}
+	if c2.Stats().Hits != 0 {
+		t.Errorf("thrashing set got %d hits (sequential sweep, LRU)", c2.Stats().Hits)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1 + L2 + DRAM.
+	cold := h.Access(0, false)
+	if cold != 1+5+50 {
+		t.Errorf("cold latency = %g, want 56", cold)
+	}
+	// Warm: L1 hit.
+	if got := h.Access(0, false); got != 1 {
+		t.Errorf("warm latency = %g, want 1", got)
+	}
+	// L2-only: evict from L1 with conflicting lines, keep in L2.
+	l1Sets := h.L1.Config().Sets()
+	for i := 1; i <= h.L1.Config().Ways; i++ {
+		h.Access(uint64(i*l1Sets*64), false)
+	}
+	got := h.Access(0, false)
+	if got != 1+5 {
+		t.Errorf("L2-hit latency = %g, want 6", got)
+	}
+}
+
+func TestFitsInL2(t *testing.T) {
+	h, err := NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.FitsInL2(1 << 20) {
+		t.Error("1 MB should fit")
+	}
+	if h.FitsInL2(4 << 20) {
+		t.Error("4 MB should not fit")
+	}
+}
+
+func TestAccessProperty(t *testing.T) {
+	// Property: accessing any address twice in a row always hits the
+	// second time.
+	c := mustNew(t, L1D())
+	f := func(addr uint64) bool {
+		c.Access(addr, false)
+		return c.Access(addr, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package circuit models the analog behaviour of triple-row activation (TRA)
+// at the charge-sharing level, replacing the SPICE simulations of Section 6
+// of the Ambit paper.
+//
+// The paper verifies TRA with 55 nm DDR3 Rambus power-model parameters (cell
+// capacitance 22 fF) and PTM low-power transistor models, varying every
+// component (cell capacitance, transistor length/width/resistance,
+// bitline/wordline capacitance and resistance, and voltage levels).  We model
+// the same decision quantity — the bitline deviation δ after charge sharing
+// (Equation 1) — with explicit perturbation terms for each varied component:
+//
+//	V_bl  = (Σᵢ Ccᵢ·Vᵢ + Cb·V_pre) / (Σᵢ Ccᵢ + Cb)
+//	δ     = (V_bl − V_pre,bar)·η − V_offset
+//
+// where η models resistance-induced incomplete charge transfer and V_offset
+// the sense-amplifier's transistor-mismatch offset.  The sense amplifier
+// resolves the bitline to VDD when δ > 0 and to 0 when δ < 0; a TRA fails
+// when the resolved value differs from the ideal bitwise majority.
+//
+// Two analyses mirror the paper:
+//
+//   - WorstCaseMargin / MaxReliableVariation: every component adversarial
+//     (the paper: "TRA works reliably for up to ±6% variation"),
+//   - MonteCarlo: independent uniform variation per component, reproducing
+//     Table 2's failure percentages at ±5%..±25%.
+package circuit
+
+import "fmt"
+
+// Params holds the nominal circuit parameters of the TRA model.
+type Params struct {
+	// CellCapFF is the nominal DRAM cell capacitance in femtofarads.
+	// The paper uses 22 fF (Rambus power model).
+	CellCapFF float64
+	// BitlineCapFF is the nominal bitline capacitance in femtofarads.
+	// Chosen so that the worst-case analysis crosses zero at ±6%
+	// variation, matching Section 6.
+	BitlineCapFF float64
+	// VDD is the supply voltage in volts (1.5 V for DDR3).
+	VDD float64
+	// SenseOffsetFrac scales the sense-amplifier offset voltage:
+	// V_offset = u·SenseOffsetFrac·VDD with u uniform in [−variation,
+	// +variation].  Models transistor mismatch inside the amplifier.
+	SenseOffsetFrac float64
+	// TransferLossFrac scales resistance-induced incomplete charge
+	// transfer: η = 1 − |u|·TransferLossFrac.  Models wordline/bitline
+	// resistance variation, which weakens but never flips the deviation.
+	TransferLossFrac float64
+	// ChargeDecay is the fraction of charge a "fully charged" cell has
+	// leaked since its last refresh.  Ambit performs TRAs on
+	// just-refreshed rows (the copies in Section 3.3 refresh them), so
+	// the default is 0; tests raise it to show why stale cells are a
+	// problem (Section 3.2, issue 4).
+	ChargeDecay float64
+}
+
+// DefaultParams returns the calibrated nominal parameters.  The bitline
+// capacitance (70 fF, Cb/Cc ≈ 3.2) is chosen so that the adversarial
+// worst-case margin reaches zero just above ±6% component variation,
+// matching the paper's SPICE finding.
+func DefaultParams() Params {
+	return Params{
+		CellCapFF:        22,
+		BitlineCapFF:     70,
+		VDD:              1.5,
+		SenseOffsetFrac:  0.01,
+		TransferLossFrac: 0.2,
+		ChargeDecay:      0,
+	}
+}
+
+// Validate checks parameter plausibility.
+func (p Params) Validate() error {
+	if p.CellCapFF <= 0 || p.BitlineCapFF <= 0 || p.VDD <= 0 {
+		return fmt.Errorf("circuit: capacitances and VDD must be positive: %+v", p)
+	}
+	if p.ChargeDecay < 0 || p.ChargeDecay >= 1 {
+		return fmt.Errorf("circuit: ChargeDecay must be in [0,1): %g", p.ChargeDecay)
+	}
+	if p.SenseOffsetFrac < 0 || p.TransferLossFrac < 0 {
+		return fmt.Errorf("circuit: offset/loss fractions must be non-negative")
+	}
+	return nil
+}
+
+// Perturbation holds one sampled (or adversarially chosen) set of component
+// variations, each a fraction in [−v, +v] for variation level v.
+type Perturbation struct {
+	// CellCap[i] perturbs cell i's capacitance.
+	CellCap [3]float64
+	// CellV[i] perturbs cell i's stored voltage level (charged cells
+	// only; an empty cell stores ~0 V regardless).
+	CellV [3]float64
+	// BitlineCap perturbs the bitline capacitance.
+	BitlineCap float64
+	// PreBL and PreBLBar perturb the precharge levels of the bitline and
+	// bitline-bar respectively.
+	PreBL, PreBLBar float64
+	// Offset perturbs the sense-amplifier offset (scaled by
+	// SenseOffsetFrac·VDD).
+	Offset float64
+	// Transfer perturbs the charge-transfer efficiency (scaled by
+	// TransferLossFrac).
+	Transfer float64
+}
+
+// Deviation computes the effective sense-amplifier input deviation (volts)
+// for a TRA whose three cells have the given charged states, under
+// perturbation pert.  Positive deviation resolves to logic 1.
+func (p Params) Deviation(charged [3]bool, pert Perturbation) float64 {
+	var q, c float64 // accumulated charge (fF·V) and capacitance (fF)
+	for i := 0; i < 3; i++ {
+		cc := p.CellCapFF * (1 + pert.CellCap[i])
+		c += cc
+		if charged[i] {
+			v := p.VDD * (1 - p.ChargeDecay) * (1 + pert.CellV[i])
+			q += cc * v
+		}
+	}
+	cb := p.BitlineCapFF * (1 + pert.BitlineCap)
+	preBL := p.VDD / 2 * (1 + pert.PreBL)
+	preBLBar := p.VDD / 2 * (1 + pert.PreBLBar)
+	vbl := (q + cb*preBL) / (c + cb)
+
+	eta := 1 - abs(pert.Transfer)*p.TransferLossFrac
+	if eta < 0 {
+		eta = 0
+	}
+	offset := pert.Offset * p.SenseOffsetFrac * p.VDD
+	return (vbl-preBLBar)*eta - offset
+}
+
+// Resolves reports the value the sense amplifier latches for the given
+// deviation, and whether that matches the ideal majority of the charged
+// states.
+func Resolves(charged [3]bool, deviation float64) (latched, correct bool) {
+	k := 0
+	for _, c := range charged {
+		if c {
+			k++
+		}
+	}
+	latched = deviation > 0
+	return latched, latched == (k >= 2)
+}
+
+// NominalDeviation returns the ideal (no variation) deviation for k charged
+// cells, i.e. Equation 1 of the paper:
+//
+//	δ = (2k−3)·Cc·VDD / (6Cc + 2Cb)
+func (p Params) NominalDeviation(k int) float64 {
+	return float64(2*k-3) * p.CellCapFF * p.VDD / (6*p.CellCapFF + 2*p.BitlineCapFF)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

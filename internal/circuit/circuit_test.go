@@ -1,0 +1,245 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{CellCapFF: 0, BitlineCapFF: 70, VDD: 1.5},
+		{CellCapFF: 22, BitlineCapFF: -1, VDD: 1.5},
+		{CellCapFF: 22, BitlineCapFF: 70, VDD: 0},
+		{CellCapFF: 22, BitlineCapFF: 70, VDD: 1.5, ChargeDecay: 1},
+		{CellCapFF: 22, BitlineCapFF: 70, VDD: 1.5, SenseOffsetFrac: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted %+v", i, p)
+		}
+	}
+}
+
+func TestNominalDeviationEquation1(t *testing.T) {
+	// Equation 1: δ = (2k−3)·Cc·VDD / (6Cc + 2Cb).
+	p := DefaultParams()
+	for k := 0; k <= 3; k++ {
+		want := float64(2*k-3) * p.CellCapFF * p.VDD / (6*p.CellCapFF + 2*p.BitlineCapFF)
+		if got := p.NominalDeviation(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("NominalDeviation(%d) = %g, want %g", k, got, want)
+		}
+	}
+	// δ > 0 iff k ∈ {2,3} (Section 3.1).
+	if p.NominalDeviation(0) >= 0 || p.NominalDeviation(1) >= 0 {
+		t.Error("k<2 should give negative deviation")
+	}
+	if p.NominalDeviation(2) <= 0 || p.NominalDeviation(3) <= 0 {
+		t.Error("k>=2 should give positive deviation")
+	}
+}
+
+func TestDeviationMatchesEquation1WithoutVariation(t *testing.T) {
+	p := DefaultParams()
+	configs := [][3]bool{
+		{false, false, false},
+		{true, false, false},
+		{true, true, false},
+		{true, true, true},
+	}
+	for k, charged := range configs {
+		got := p.Deviation(charged, Perturbation{})
+		want := p.NominalDeviation(k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: Deviation = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestDeviationPermutationInvariantNominal(t *testing.T) {
+	// With no variation, only the count of charged cells matters.
+	p := DefaultParams()
+	a := p.Deviation([3]bool{true, false, true}, Perturbation{})
+	b := p.Deviation([3]bool{false, true, true}, Perturbation{})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("permutation changed nominal deviation: %g vs %g", a, b)
+	}
+}
+
+func TestResolvesMajority(t *testing.T) {
+	p := DefaultParams()
+	for mask := 0; mask < 8; mask++ {
+		charged := [3]bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		k := 0
+		for _, c := range charged {
+			if c {
+				k++
+			}
+		}
+		d := p.Deviation(charged, Perturbation{})
+		latched, correct := Resolves(charged, d)
+		if !correct {
+			t.Errorf("config %03b: nominal TRA incorrect", mask)
+		}
+		if latched != (k >= 2) {
+			t.Errorf("config %03b: latched %v, want majority %v", mask, latched, k >= 2)
+		}
+	}
+}
+
+func TestWorstCaseMarginMatchesPaper(t *testing.T) {
+	// Section 6: "TRA works reliably for up to ±6% variation in each
+	// component" in the fully adversarial corner.
+	p := DefaultParams()
+	if m := WorstCaseMargin(p, 0.05); m <= 0 {
+		t.Errorf("margin at ±5%% = %g, want positive", m)
+	}
+	if m := WorstCaseMargin(p, 0.08); m >= 0 {
+		t.Errorf("margin at ±8%% = %g, want negative", m)
+	}
+	v := MaxReliableVariation(p)
+	if v < 0.055 || v > 0.065 {
+		t.Errorf("MaxReliableVariation = %.4f, want ~0.06 (paper: ±6%%)", v)
+	}
+}
+
+func TestWorstCaseMarginMonotone(t *testing.T) {
+	p := DefaultParams()
+	levels := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.15}
+	curve := MarginCurve(p, levels)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Errorf("worst-case margin not monotone: %v", curve)
+		}
+	}
+	if curve[0] <= 0 {
+		t.Error("zero-variation margin must be positive")
+	}
+}
+
+func TestTable2FailureBands(t *testing.T) {
+	// Table 2 of the paper:
+	//   ±0%: 0.00   ±5%: 0.00   ±10%: 0.29   ±15%: 6.01
+	//   ±20%: 16.36 ±25%: 26.19 (percent failures, 100k iterations).
+	// Our model must reproduce the shape: exactly zero through ±5%, well
+	// under 1% at ±10%, single digits at ±15%, and double digits beyond.
+	results := Table2(DefaultParams(), 100000, 1)
+	rates := make([]float64, len(results))
+	for i, r := range results {
+		rates[i] = r.FailureRate() * 100
+	}
+	if rates[0] != 0 || rates[1] != 0 {
+		t.Errorf("failures at ±0/±5%% = %g/%g, want 0/0", rates[0], rates[1])
+	}
+	if rates[2] <= 0 || rates[2] > 1 {
+		t.Errorf("±10%% failure rate = %.2f%%, want (0,1]%%", rates[2])
+	}
+	if rates[3] < 2 || rates[3] > 10 {
+		t.Errorf("±15%% failure rate = %.2f%%, want single digits", rates[3])
+	}
+	if rates[4] < 8 || rates[4] > 25 {
+		t.Errorf("±20%% failure rate = %.2f%%, want double digits", rates[4])
+	}
+	if rates[5] < 12 || rates[5] > 35 {
+		t.Errorf("±25%% failure rate = %.2f%%, want double digits", rates[5])
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Errorf("failure rate not monotone: %v", rates)
+		}
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := MonteCarlo(p, 0.15, 20000, rand.New(rand.NewSource(7)))
+	b := MonteCarlo(p, 0.15, 20000, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestChargeDecayDegradesReliability(t *testing.T) {
+	// Section 3.2, issue 4: leaked cells make TRA unreliable.  Ambit's
+	// fix is that the pre-TRA copies refresh the rows.  Verify that decay
+	// shrinks the worst-case margin and raises the failure rate.
+	fresh := DefaultParams()
+	stale := fresh
+	stale.ChargeDecay = 0.2
+	if WorstCaseMargin(stale, 0.05) >= WorstCaseMargin(fresh, 0.05) {
+		t.Error("decayed cells should have smaller margin")
+	}
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	fr := MonteCarlo(fresh, 0.15, 30000, rngA).FailureRate()
+	st := MonteCarlo(stale, 0.15, 30000, rngB).FailureRate()
+	if st <= fr {
+		t.Errorf("stale failure rate %.4f not worse than fresh %.4f", st, fr)
+	}
+}
+
+func TestDeviationSignPropertyUnderSmallVariation(t *testing.T) {
+	// Property: for any perturbation bounded by ±5%, TRA resolves
+	// correctly (this is the Table 2 "0.00% at ±5%" row as a property).
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := func() float64 { return (r.Float64()*2 - 1) * 0.05 }
+		charged := [3]bool{r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1}
+		pert := Perturbation{
+			CellCap:    [3]float64{u(), u(), u()},
+			CellV:      [3]float64{u(), u(), u()},
+			BitlineCap: u(),
+			PreBL:      u(),
+			PreBLBar:   u(),
+			Offset:     u(),
+			Transfer:   u(),
+		}
+		_, ok := Resolves(charged, p.Deviation(charged, pert))
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureModelMask(t *testing.T) {
+	fm := NewFailureModel(0, 1)
+	for _, w := range fm.Mask(8) {
+		if w != 0 {
+			t.Fatal("zero-rate failure model produced faults")
+		}
+	}
+	fm = NewFailureModel(0.5, 1)
+	ones := 0
+	for _, w := range fm.Mask(64) {
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+	}
+	total := 64 * 64
+	if ones < total/3 || ones > 2*total/3 {
+		t.Errorf("rate-0.5 mask has %d/%d bits set", ones, total)
+	}
+}
+
+func TestMCResultString(t *testing.T) {
+	r := MCResult{Variation: 0.15, Iterations: 100000, Failures: 6010}
+	if got := r.String(); got != "±15%: 6.01% failures (6010/100000)" {
+		t.Errorf("String() = %q", got)
+	}
+	if (MCResult{}).FailureRate() != 0 {
+		t.Error("empty result failure rate not 0")
+	}
+}

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the Monte-Carlo analysis of Section 6 (Table 2): "we
+// use Monte-Carlo simulations to understand the practical impact of process
+// variation on TRA.  We increase the amount of process variation from ±5% to
+// ±25% and run 100,000 simulations for each level of process variation."
+
+// MCResult summarizes one Monte-Carlo run.
+type MCResult struct {
+	// Variation is the component variation level (e.g. 0.15 for ±15%).
+	Variation float64
+	// Iterations is the number of simulated TRAs.
+	Iterations int
+	// Failures is the number of TRAs that resolved incorrectly.
+	Failures int
+}
+
+// FailureRate returns the fraction of failing TRAs.
+func (r MCResult) FailureRate() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Iterations)
+}
+
+// String renders the result in Table-2 form.
+func (r MCResult) String() string {
+	return fmt.Sprintf("±%.0f%%: %.2f%% failures (%d/%d)",
+		r.Variation*100, r.FailureRate()*100, r.Failures, r.Iterations)
+}
+
+// MonteCarlo runs iterations simulated TRAs at the given variation level.
+// Each iteration draws independent uniform perturbations in [−variation,
+// +variation] for every component and random charged states for the three
+// cells (each cell charged with probability 1/2, as TRA operates on
+// arbitrary data).
+func MonteCarlo(p Params, variation float64, iterations int, rng *rand.Rand) MCResult {
+	res := MCResult{Variation: variation, Iterations: iterations}
+	u := func() float64 { return (rng.Float64()*2 - 1) * variation }
+	for it := 0; it < iterations; it++ {
+		var charged [3]bool
+		for i := range charged {
+			charged[i] = rng.Intn(2) == 1
+		}
+		pert := Perturbation{
+			CellCap:    [3]float64{u(), u(), u()},
+			CellV:      [3]float64{u(), u(), u()},
+			BitlineCap: u(),
+			PreBL:      u(),
+			PreBLBar:   u(),
+			Offset:     u(),
+			Transfer:   u(),
+		}
+		d := p.Deviation(charged, pert)
+		if _, ok := Resolves(charged, d); !ok {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// Table2Levels are the variation levels of Table 2 in the paper.
+var Table2Levels = []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25}
+
+// Table2 reproduces Table 2: the TRA failure percentage at each variation
+// level.  The paper runs 100,000 iterations per level.
+func Table2(p Params, iterations int, seed int64) []MCResult {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MCResult, len(Table2Levels))
+	for i, v := range Table2Levels {
+		out[i] = MonteCarlo(p, v, iterations, rng)
+	}
+	return out
+}
+
+// FailureModel converts a Monte-Carlo failure rate into a per-bit fault-mask
+// generator for the functional DRAM model (Subarray.InjectTRAFault).  Each
+// bit of each word flips independently with probability rate.
+type FailureModel struct {
+	Rate float64
+	rng  *rand.Rand
+}
+
+// NewFailureModel creates a fault-mask generator with a deterministic seed.
+func NewFailureModel(rate float64, seed int64) *FailureModel {
+	return &FailureModel{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Mask produces a fault mask of `words` words in which each bit is set with
+// probability Rate.
+func (f *FailureModel) Mask(words int) []uint64 {
+	mask := make([]uint64, words)
+	if f.Rate <= 0 {
+		return mask
+	}
+	for w := 0; w < words; w++ {
+		var m uint64
+		for b := 0; b < 64; b++ {
+			if f.rng.Float64() < f.Rate {
+				m |= 1 << uint(b)
+			}
+		}
+		mask[w] = m
+	}
+	return mask
+}

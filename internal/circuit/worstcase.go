@@ -1,0 +1,97 @@
+package circuit
+
+// This file implements the adversarial ("worst case") analysis of Section 6:
+// "We first identify the worst case for TRA, wherein every component has
+// process variation that works toward making TRA fail.  Our results show that
+// even in this extremely adversarial scenario, TRA works reliably for up to
+// ±6% variation in each component."
+
+// WorstCaseMargin returns the minimum deviation margin (volts) over all
+// adversarial corner assignments of every component at ±variation, across
+// the weak charge configurations (k = 1 and k = 2).  The margin is positive
+// when TRA still resolves correctly in the worst corner; it crosses zero at
+// the maximum reliable variation.
+//
+// The deviation is monotone in each perturbation component, so the extremum
+// lies at a corner of the perturbation hypercube; we enumerate all corners
+// rather than rely on the monotonicity analysis.
+func WorstCaseMargin(p Params, variation float64) float64 {
+	worst := p.VDD // upper bound
+	for _, k := range []int{1, 2} {
+		m := worstCaseForK(p, variation, k)
+		if m < worst {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// worstCaseForK minimizes the correctness margin for a specific k.
+// For k=2 the ideal outcome is positive deviation, so margin = min deviation.
+// For k=1 the ideal outcome is negative deviation, so margin = min(−deviation).
+func worstCaseForK(p Params, variation float64, k int) float64 {
+	charged := [3]bool{}
+	for i := 0; i < k; i++ {
+		charged[i] = true
+	}
+	// 9 independently signed components: 3 cell caps, 2 charged-cell
+	// voltages (empty-cell voltage is pinned at 0), bitline cap, preBL,
+	// preBLBar, offset.  Transfer loss is magnitude-only: adversarial is
+	// always full loss.
+	const nComp = 9
+	margin := p.VDD
+	for corner := 0; corner < 1<<nComp; corner++ {
+		var pert Perturbation
+		sign := func(bit int) float64 {
+			if corner&(1<<bit) != 0 {
+				return variation
+			}
+			return -variation
+		}
+		pert.CellCap[0] = sign(0)
+		pert.CellCap[1] = sign(1)
+		pert.CellCap[2] = sign(2)
+		pert.CellV[0] = sign(3)
+		pert.CellV[1] = sign(4)
+		pert.BitlineCap = sign(5)
+		pert.PreBL = sign(6)
+		pert.PreBLBar = sign(7)
+		pert.Offset = sign(8)
+		pert.Transfer = variation // adversarial: maximum transfer loss
+		d := p.Deviation(charged, pert)
+		m := d
+		if k < 2 {
+			m = -d
+		}
+		if m < margin {
+			margin = m
+		}
+	}
+	return margin
+}
+
+// MaxReliableVariation binary-searches the largest component variation at
+// which the adversarial worst case still resolves correctly.  The paper's
+// SPICE result is ±6%.
+func MaxReliableVariation(p Params) float64 {
+	lo, hi := 0.0, 0.5
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if WorstCaseMargin(p, mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MarginCurve samples WorstCaseMargin at the given variation levels; used by
+// the experiment harness to print the worst-case analysis.
+func MarginCurve(p Params, variations []float64) []float64 {
+	out := make([]float64, len(variations))
+	for i, v := range variations {
+		out[i] = WorstCaseMargin(p, v)
+	}
+	return out
+}

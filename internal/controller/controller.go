@@ -1,0 +1,154 @@
+package controller
+
+import (
+	"fmt"
+
+	"ambit/internal/dram"
+)
+
+// Stats counts the primitives the controller has issued.
+type Stats struct {
+	AAPs int64
+	APs  int64
+	// OpCounts counts completed bulk bitwise operations by Op.
+	OpCounts [7]int64
+	// BusyNS is the total simulated DRAM-command latency issued.
+	BusyNS float64
+}
+
+// Controller drives an Ambit DRAM device.  It owns the reserved-address map
+// knowledge (via dram.DecodeRowAddr), issues AAP/AP command trains, and
+// accounts simulated latency, including the split-row-decoder optimization
+// of Section 5.3.
+type Controller struct {
+	dev *dram.Device
+
+	// SplitDecoder enables the Section 5.3 optimization: when exactly one
+	// of an AAP's two addresses is a B-group address, the two ACTIVATEs
+	// are overlapped, reducing AAP latency from 2·tRAS+tRP to
+	// tRAS+tOverlap+tRP.  The paper notes that all AAPs in Figure 8
+	// qualify except one in nand (AAP(B12, B5)).
+	SplitDecoder bool
+
+	stats Stats
+}
+
+// New creates a controller over dev with the split decoder enabled (the
+// paper's design point).
+func New(dev *dram.Device) *Controller {
+	return &Controller{dev: dev, SplitDecoder: true}
+}
+
+// Device returns the underlying device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// AAPLatencyNS returns the latency of AAP(a1, a2) under the current decoder
+// configuration.
+func (c *Controller) AAPLatencyNS(a1, a2 dram.RowAddr) float64 {
+	t := c.dev.Timing()
+	if c.SplitDecoder && (a1.Group == dram.GroupB) != (a2.Group == dram.GroupB) {
+		return t.AAPSplit()
+	}
+	return t.AAPNaive()
+}
+
+// APLatencyNS returns the latency of an AP.
+func (c *Controller) APLatencyNS() float64 { return c.dev.Timing().AP() }
+
+// AAP executes ACTIVATE a1; ACTIVATE a2; PRECHARGE on the given
+// bank/subarray and returns the train's latency.
+func (c *Controller) AAP(bank, sub int, a1, a2 dram.RowAddr) (float64, error) {
+	if err := c.dev.Activate(dram.PhysAddr{Bank: bank, Subarray: sub, Row: a1}); err != nil {
+		return 0, fmt.Errorf("AAP(%v,%v) first activate: %w", a1, a2, err)
+	}
+	if err := c.dev.Activate(dram.PhysAddr{Bank: bank, Subarray: sub, Row: a2}); err != nil {
+		return 0, fmt.Errorf("AAP(%v,%v) second activate: %w", a1, a2, err)
+	}
+	if err := c.dev.Precharge(bank); err != nil {
+		return 0, err
+	}
+	lat := c.AAPLatencyNS(a1, a2)
+	c.stats.AAPs++
+	c.stats.BusyNS += lat
+	return lat, nil
+}
+
+// AP executes ACTIVATE a; PRECHARGE.
+func (c *Controller) AP(bank, sub int, a dram.RowAddr) (float64, error) {
+	if err := c.dev.Activate(dram.PhysAddr{Bank: bank, Subarray: sub, Row: a}); err != nil {
+		return 0, fmt.Errorf("AP(%v): %w", a, err)
+	}
+	if err := c.dev.Precharge(bank); err != nil {
+		return 0, err
+	}
+	lat := c.APLatencyNS()
+	c.stats.APs++
+	c.stats.BusyNS += lat
+	return lat, nil
+}
+
+// ExecuteStep runs one sequence step on the given bank/subarray.
+func (c *Controller) ExecuteStep(bank, sub int, s Step) (float64, error) {
+	if s.Kind == StepAAP {
+		return c.AAP(bank, sub, s.Addr1, s.Addr2)
+	}
+	return c.AP(bank, sub, s.Addr1)
+}
+
+// ExecuteOp performs dk = op(di [, dj]) on rows of subarray sub in bank,
+// returning the total command-train latency in nanoseconds.  The source rows
+// are preserved (Section 3.3: the TRA operates on copies in the designated
+// rows).
+func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (float64, error) {
+	seq, err := Sequence(op, dk, di, dj)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, s := range seq {
+		lat, err := c.ExecuteStep(bank, sub, s)
+		if err != nil {
+			return total, fmt.Errorf("%v step %q: %w", op, s, err)
+		}
+		total += lat
+	}
+	c.stats.OpCounts[op]++
+	return total, nil
+}
+
+// OpLatencyNS returns the command-train latency of one row-wide operation
+// without executing it (the schedule is static, Section 5.5.2).
+func (c *Controller) OpLatencyNS(op Op) float64 {
+	seq, err := Sequence(op, dram.D(0), dram.D(1), dram.D(2))
+	if err != nil {
+		panic(err)
+	}
+	var total float64
+	for _, s := range seq {
+		if s.Kind == StepAAP {
+			total += c.AAPLatencyNS(s.Addr1, s.Addr2)
+		} else {
+			total += c.APLatencyNS()
+		}
+	}
+	return total
+}
+
+// ScheduleOp executes dk = op(di[, dj]) and reserves the bank's timeline
+// starting no earlier than `start`, returning the completion time.  Banks
+// operate independently, so operations scheduled on different banks overlap
+// (Section 7: Ambit exploits "the memory-level parallelism across multiple
+// DRAM arrays").
+func (c *Controller) ScheduleOp(op Op, bank, sub int, dk, di, dj dram.RowAddr, start float64) (float64, error) {
+	lat, err := c.ExecuteOp(op, bank, sub, dk, di, dj)
+	if err != nil {
+		return 0, err
+	}
+	return c.dev.Bank(bank).Reserve(start, lat), nil
+}

@@ -1,0 +1,360 @@
+package controller
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/dram"
+)
+
+func testGeom() dram.Geometry {
+	return dram.Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 64}
+}
+
+func testController(t *testing.T) *Controller {
+	t.Helper()
+	d, err := dram.NewDevice(dram.Config{Geometry: testGeom(), Timing: dram.DDR3_1600()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d)
+}
+
+func pokeRow(t *testing.T, c *Controller, bank, sub int, row dram.RowAddr, data []uint64) {
+	t.Helper()
+	if err := c.Device().PokeRow(dram.PhysAddr{Bank: bank, Subarray: sub, Row: row}, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func peekRow(t *testing.T, c *Controller, bank, sub int, row dram.RowAddr) []uint64 {
+	t.Helper()
+	got, err := c.Device().PeekRow(dram.PhysAddr{Bank: bank, Subarray: sub, Row: row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func randRow(rng *rand.Rand, words int) []uint64 {
+	r := make([]uint64, words)
+	for i := range r {
+		r[i] = rng.Uint64()
+	}
+	return r
+}
+
+// TestAllOpsFunctional executes every operation on random rows and compares
+// against the word-wise ground truth; it also verifies the sources survive.
+func TestAllOpsFunctional(t *testing.T) {
+	for _, op := range Ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			c := testController(t)
+			rng := rand.New(rand.NewSource(int64(op) + 100))
+			w := testGeom().WordsPerRow()
+			di, dj := randRow(rng, w), randRow(rng, w)
+			pokeRow(t, c, 0, 0, dram.D(0), di)
+			pokeRow(t, c, 0, 0, dram.D(1), dj)
+			lat, err := c.ExecuteOp(op, 0, 0, dram.D(2), dram.D(0), dram.D(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat <= 0 {
+				t.Error("latency not positive")
+			}
+			got := peekRow(t, c, 0, 0, dram.D(2))
+			for i := 0; i < w; i++ {
+				want := op.Eval(di[i], dj[i])
+				if got[i] != want {
+					t.Fatalf("%v word %d = %#x, want %#x", op, i, got[i], want)
+				}
+			}
+			// Sources preserved (Section 3.3, issue 3 resolution).
+			for i, want := range di {
+				if peekRow(t, c, 0, 0, dram.D(0))[i] != want {
+					t.Fatal("source Di destroyed")
+				}
+			}
+			if !op.Unary() {
+				for i, want := range dj {
+					if peekRow(t, c, 0, 0, dram.D(1))[i] != want {
+						t.Fatal("source Dj destroyed")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOpsProperty is a property-based check of the controller's end-to-end
+// correctness for arbitrary word pairs on all seven ops.
+func TestOpsProperty(t *testing.T) {
+	w := testGeom().WordsPerRow()
+	f := func(a, b uint64, opIdx uint8) bool {
+		op := Ops[int(opIdx)%len(Ops)]
+		d, err := dram.NewDevice(dram.Config{Geometry: testGeom(), Timing: dram.DDR3_1600()})
+		if err != nil {
+			return false
+		}
+		c := New(d)
+		row := func(v uint64) []uint64 {
+			r := make([]uint64, w)
+			for i := range r {
+				r[i] = v
+			}
+			return r
+		}
+		if err := d.PokeRow(dram.PhysAddr{Row: dram.D(0)}, row(a)); err != nil {
+			return false
+		}
+		if err := d.PokeRow(dram.PhysAddr{Row: dram.D(1)}, row(b)); err != nil {
+			return false
+		}
+		if _, err := c.ExecuteOp(op, 0, 0, dram.D(2), dram.D(0), dram.D(1)); err != nil {
+			return false
+		}
+		got, err := d.PeekRow(dram.PhysAddr{Row: dram.D(2)})
+		if err != nil {
+			return false
+		}
+		return got[0] == op.Eval(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceShapes(t *testing.T) {
+	// Figure 8 / Section 7: not = 2 AAPs; and/or = 4 AAPs; nand/nor = 5
+	// AAPs; xor/xnor = 5 AAPs + 2 APs.
+	wantAAP := map[Op]int{OpNot: 2, OpAnd: 4, OpOr: 4, OpNand: 5, OpNor: 5, OpXor: 5, OpXnor: 5}
+	wantAP := map[Op]int{OpNot: 0, OpAnd: 0, OpOr: 0, OpNand: 0, OpNor: 0, OpXor: 2, OpXnor: 2}
+	for _, op := range Ops {
+		aaps, aps := StepCounts(op)
+		if aaps != wantAAP[op] || aps != wantAP[op] {
+			t.Errorf("%v: %d AAPs + %d APs, want %d + %d", op, aaps, aps, wantAAP[op], wantAP[op])
+		}
+	}
+}
+
+func TestFigure8ANDSequenceVerbatim(t *testing.T) {
+	seq, err := Sequence(OpAnd, dram.D(2), dram.D(0), dram.D(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"AAP (D0, B0)",
+		"AAP (D1, B1)",
+		"AAP (C0, B2)",
+		"AAP (B12, D2)",
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence length %d, want %d", len(seq), len(want))
+	}
+	for i, s := range seq {
+		if !strings.HasPrefix(s.String(), want[i]) {
+			t.Errorf("step %d = %q, want prefix %q", i, s.String(), want[i])
+		}
+	}
+}
+
+func TestFigure8NANDUsesDCC(t *testing.T) {
+	seq, err := Sequence(OpNand, dram.D(2), dram.D(0), dram.D(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fourth step must be AAP(B12, B5) — TRA result negated into DCC0.
+	s := seq[3]
+	if s.Addr1 != dram.B(12) || s.Addr2 != dram.B(5) {
+		t.Errorf("nand step 4 = %v, want AAP(B12, B5)", s)
+	}
+}
+
+func TestSequenceRejectsNonDataOperands(t *testing.T) {
+	if _, err := Sequence(OpAnd, dram.B(0), dram.D(0), dram.D(1)); err == nil {
+		t.Error("B-group destination accepted")
+	}
+	if _, err := Sequence(OpAnd, dram.D(0), dram.C(0), dram.D(1)); err == nil {
+		t.Error("C-group source accepted")
+	}
+	if _, err := Sequence(OpAnd, dram.D(0), dram.D(1), dram.B(3)); err == nil {
+		t.Error("B-group second source accepted")
+	}
+	// Unary op ignores dj entirely.
+	if _, err := Sequence(OpNot, dram.D(0), dram.D(1), dram.RowAddr{}); err != nil {
+		t.Errorf("not with zero dj: %v", err)
+	}
+}
+
+func TestAAPLatencySplitDecoder(t *testing.T) {
+	c := testController(t)
+	// Section 5.3, DDR3-1600: split AAP = 49 ns, naive = 80 ns.
+	if got := c.AAPLatencyNS(dram.D(0), dram.B(0)); got != 49 {
+		t.Errorf("split AAP(D,B) = %g ns, want 49", got)
+	}
+	if got := c.AAPLatencyNS(dram.C(0), dram.B(2)); got != 49 {
+		t.Errorf("split AAP(C,B) = %g ns, want 49", got)
+	}
+	// Both addresses B-group (the nand exception) cannot overlap.
+	if got := c.AAPLatencyNS(dram.B(12), dram.B(5)); got != 80 {
+		t.Errorf("AAP(B12,B5) = %g ns, want 80", got)
+	}
+	// Neither address B-group (a plain FPM copy) cannot overlap either.
+	if got := c.AAPLatencyNS(dram.D(0), dram.D(1)); got != 80 {
+		t.Errorf("AAP(D,D) = %g ns, want 80", got)
+	}
+	c.SplitDecoder = false
+	if got := c.AAPLatencyNS(dram.D(0), dram.B(0)); got != 80 {
+		t.Errorf("naive decoder AAP = %g ns, want 80", got)
+	}
+}
+
+func TestOpLatencies(t *testing.T) {
+	c := testController(t)
+	// With the split decoder on DDR3-1600:
+	//   not  = 2×49                       =  98 ns
+	//   and  = 4×49                       = 196 ns
+	//   nand = 4×49 + 80                  = 276 ns
+	//   xor  = 5×49 + 2×45                = 335 ns
+	want := map[Op]float64{
+		OpNot: 98, OpAnd: 196, OpOr: 196,
+		OpNand: 276, OpNor: 276,
+		OpXor: 335, OpXnor: 335,
+	}
+	for op, w := range want {
+		if got := c.OpLatencyNS(op); got != w {
+			t.Errorf("%v latency = %g ns, want %g", op, got, w)
+		}
+	}
+}
+
+func TestOpLatencyMatchesExecution(t *testing.T) {
+	c := testController(t)
+	for _, op := range Ops {
+		want := c.OpLatencyNS(op)
+		got, err := c.ExecuteOp(op, 0, 0, dram.D(2), dram.D(0), dram.D(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v: executed latency %g != static %g", op, got, want)
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := testController(t)
+	if _, err := c.ExecuteOp(OpXor, 0, 0, dram.D(2), dram.D(0), dram.D(1)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.AAPs != 5 || s.APs != 2 {
+		t.Errorf("stats after xor: %+v", s)
+	}
+	if s.OpCounts[OpXor] != 1 {
+		t.Errorf("xor count = %d", s.OpCounts[OpXor])
+	}
+	if s.BusyNS != 335 {
+		t.Errorf("BusyNS = %g", s.BusyNS)
+	}
+	c.ResetStats()
+	if c.Stats().AAPs != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestScheduleOpAcrossBanksOverlaps(t *testing.T) {
+	c := testController(t)
+	// Two ANDs on different banks starting at t=0 finish at the same
+	// time; two on the same bank serialize.
+	end0, err := c.ScheduleOp(OpAnd, 0, 0, dram.D(2), dram.D(0), dram.D(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end1, err := c.ScheduleOp(OpAnd, 1, 0, dram.D(2), dram.D(0), dram.D(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end0 != end1 {
+		t.Errorf("parallel banks: %g vs %g", end0, end1)
+	}
+	end2, err := c.ScheduleOp(OpAnd, 0, 0, dram.D(3), dram.D(0), dram.D(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end2 != 2*end0 {
+		t.Errorf("serialized ops on one bank: %g, want %g", end2, 2*end0)
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if OpNot.InputRows() != 1 || OpXor.InputRows() != 2 {
+		t.Error("InputRows wrong")
+	}
+	for _, op := range Ops {
+		parsed, err := ParseOp(op.String())
+		if err != nil || parsed != op {
+			t.Errorf("ParseOp(%q) = %v, %v", op.String(), parsed, err)
+		}
+	}
+	if _, err := ParseOp("bogus"); err == nil {
+		t.Error("ParseOp accepted bogus name")
+	}
+	if Op(42).String() == "" {
+		t.Error("unknown op string empty")
+	}
+	if StepAAP.String() != "AAP" || StepAP.String() != "AP" {
+		t.Error("step kind strings wrong")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w uint64
+	}{
+		{OpNot, 0b1100, 0, ^uint64(0b1100)},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpNand, 0b1100, 0b1010, ^uint64(0b1000)},
+		{OpNor, 0b1100, 0b1010, ^uint64(0b1110)},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpXnor, 0b1100, 0b1010, ^uint64(0b0110)},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Eval(tc.a, tc.b); got != tc.w {
+			t.Errorf("%v(%#b,%#b) = %#x, want %#x", tc.op, tc.a, tc.b, got, tc.w)
+		}
+	}
+}
+
+// TestDeMorganProperty cross-checks op algebra through the DRAM path:
+// nand(a,b) must equal or(not a, not b) when both are computed by Ambit.
+func TestDeMorganProperty(t *testing.T) {
+	c := testController(t)
+	rng := rand.New(rand.NewSource(77))
+	w := testGeom().WordsPerRow()
+	a, b := randRow(rng, w), randRow(rng, w)
+	pokeRow(t, c, 0, 0, dram.D(0), a)
+	pokeRow(t, c, 0, 0, dram.D(1), b)
+	mustOp := func(op Op, dk, di, dj dram.RowAddr) {
+		t.Helper()
+		if _, err := c.ExecuteOp(op, 0, 0, dk, di, dj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOp(OpNand, dram.D(2), dram.D(0), dram.D(1)) // D2 = nand(a,b)
+	mustOp(OpNot, dram.D(3), dram.D(0), dram.RowAddr{})
+	mustOp(OpNot, dram.D(4), dram.D(1), dram.RowAddr{})
+	mustOp(OpOr, dram.D(5), dram.D(3), dram.D(4)) // D5 = or(!a,!b)
+	lhs := peekRow(t, c, 0, 0, dram.D(2))
+	rhs := peekRow(t, c, 0, 0, dram.D(5))
+	for i := range lhs {
+		if lhs[i] != rhs[i] {
+			t.Fatalf("De Morgan violated at word %d: %#x vs %#x", i, lhs[i], rhs[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package controller
+
+import (
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+// Error-path coverage: the controller must propagate device failures without
+// corrupting its counters, and its primitives must reject bad addresses.
+
+func TestAAPErrorPaths(t *testing.T) {
+	c := testController(t)
+	// First activate fails: out-of-range row.
+	if _, err := c.AAP(0, 0, dram.D(9999), dram.B(0)); err == nil {
+		t.Error("bad first address accepted")
+	}
+	// Second activate fails: cross-subarray is impossible through AAP (it
+	// takes one subarray), so use an invalid second address instead.
+	if _, err := c.AAP(0, 0, dram.D(0), dram.D(9999)); err == nil {
+		t.Error("bad second address accepted")
+	}
+	// The failed train left the bank open; clean up and confirm the
+	// controller still works.
+	if err := c.Device().Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AAP(0, 0, dram.D(0), dram.B(0)); err != nil {
+		t.Fatalf("controller unusable after failed AAP: %v", err)
+	}
+	if got := c.Stats().AAPs; got != 1 {
+		t.Errorf("failed AAPs counted: %d", got)
+	}
+}
+
+func TestAPErrorPath(t *testing.T) {
+	c := testController(t)
+	if _, err := c.AP(0, 0, dram.D(9999)); err == nil {
+		t.Error("bad AP address accepted")
+	}
+	if _, err := c.AP(9, 0, dram.D(0)); err == nil {
+		t.Error("bad bank accepted")
+	}
+	if c.Stats().APs != 0 {
+		t.Error("failed APs counted")
+	}
+}
+
+func TestExecuteOpPropagatesStepFailure(t *testing.T) {
+	c := testController(t)
+	// Destination out of range: the final AAP fails.
+	if _, err := c.ExecuteOp(OpAnd, 0, 0, dram.D(9999), dram.D(0), dram.D(1)); err == nil {
+		t.Error("bad destination accepted")
+	}
+	if c.Stats().OpCounts[OpAnd] != 0 {
+		t.Error("failed op counted as completed")
+	}
+}
+
+func TestExecuteOpBadOperandRejectedBeforeCommands(t *testing.T) {
+	c := testController(t)
+	before := c.Device().Stats()
+	if _, err := c.ExecuteOp(OpAnd, 0, 0, dram.B(0), dram.D(0), dram.D(1)); err == nil {
+		t.Error("B-group destination accepted")
+	}
+	if c.Device().Stats() != before {
+		t.Error("commands issued despite sequence rejection")
+	}
+}
+
+func TestScheduleOpErrorPath(t *testing.T) {
+	c := testController(t)
+	if _, err := c.ScheduleOp(OpAnd, 0, 0, dram.D(9999), dram.D(0), dram.D(1), 0); err == nil {
+		t.Error("bad scheduled op accepted")
+	}
+}
+
+func TestStepStringForms(t *testing.T) {
+	aap := Step{Kind: StepAAP, Addr1: dram.D(0), Addr2: dram.B(5), Comment: "DCC0 = !D0"}
+	if got := aap.String(); got != "AAP (D0, B5) ;DCC0 = !D0" {
+		t.Errorf("AAP string = %q", got)
+	}
+	ap := Step{Kind: StepAP, Addr1: dram.B(14), Comment: "T1 = DCC0 & T1"}
+	if got := ap.String(); got != "AP  (B14)       ;T1 = DCC0 & T1" {
+		t.Errorf("AP string = %q", got)
+	}
+}
+
+func TestEvalPanicsOnUnknownOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Op(42).Eval(1, 2)
+}

@@ -1,0 +1,90 @@
+// Package controller implements the Ambit controller of Section 5: the AAP
+// (ACTIVATE-ACTIVATE-PRECHARGE) and AP (ACTIVATE-PRECHARGE) primitives, the
+// command sequences for all seven bulk bitwise operations (Figure 8), the
+// split-row-decoder latency optimization (Section 5.3), and per-operation
+// latency/command accounting.
+package controller
+
+import "fmt"
+
+// Op enumerates the bulk bitwise operations Ambit supports (Section 7
+// evaluates these seven).
+type Op uint8
+
+const (
+	OpNot Op = iota
+	OpAnd
+	OpOr
+	OpNand
+	OpNor
+	OpXor
+	OpXnor
+	numOps
+)
+
+// Ops lists all supported operations in the paper's order.
+var Ops = []Op{OpNot, OpAnd, OpOr, OpNand, OpNor, OpXor, OpXnor}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpNot:
+		return "not"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpNand:
+		return "nand"
+	case OpNor:
+		return "nor"
+	case OpXor:
+		return "xor"
+	case OpXnor:
+		return "xnor"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Unary reports whether the operation takes a single source row.
+func (o Op) Unary() bool { return o == OpNot }
+
+// Eval computes the operation on two words (b ignored for unary ops); the
+// functional ground truth used by tests and baselines.
+func (o Op) Eval(a, b uint64) uint64 {
+	switch o {
+	case OpNot:
+		return ^a
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpNand:
+		return ^(a & b)
+	case OpNor:
+		return ^(a | b)
+	case OpXor:
+		return a ^ b
+	case OpXnor:
+		return ^(a ^ b)
+	}
+	panic(fmt.Sprintf("controller: unknown op %d", uint8(o)))
+}
+
+// ParseOp converts an operation name to an Op.
+func ParseOp(s string) (Op, error) {
+	for _, o := range Ops {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("controller: unknown operation %q", s)
+}
+
+// InputRows returns the number of source rows the op reads (1 or 2).
+func (o Op) InputRows() int {
+	if o.Unary() {
+		return 1
+	}
+	return 2
+}

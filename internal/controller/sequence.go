@@ -1,0 +1,145 @@
+package controller
+
+import (
+	"fmt"
+
+	"ambit/internal/dram"
+)
+
+// StepKind distinguishes the two command-train primitives of Section 5.2.
+type StepKind uint8
+
+const (
+	// StepAAP is ACTIVATE addr1; ACTIVATE addr2; PRECHARGE — it copies
+	// the result of activating addr1 into the row(s) mapped to addr2.
+	StepAAP StepKind = iota
+	// StepAP is ACTIVATE addr; PRECHARGE.
+	StepAP
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	if k == StepAAP {
+		return "AAP"
+	}
+	return "AP"
+}
+
+// Step is one primitive of a bulk bitwise operation's command sequence.
+type Step struct {
+	Kind StepKind
+	// Addr1 is the first (sensing) address.
+	Addr1 dram.RowAddr
+	// Addr2 is the second (copy-destination) address; unused for AP.
+	Addr2 dram.RowAddr
+	// Comment is the Figure-8 style annotation of the step's effect.
+	Comment string
+}
+
+// String renders the step in the paper's notation.
+func (s Step) String() string {
+	if s.Kind == StepAP {
+		return fmt.Sprintf("AP  (%v)       ;%s", s.Addr1, s.Comment)
+	}
+	return fmt.Sprintf("AAP (%v, %v) ;%s", s.Addr1, s.Addr2, s.Comment)
+}
+
+// Sequence returns the command sequence implementing `dk = op(di [, dj])` on
+// rows of one subarray, following Figure 8 of the paper.  The or/nor/xnor
+// variants are derived from and/nand/xor "by appropriately modifying the
+// control rows" (Figure 8 caption).
+func Sequence(op Op, dk, di, dj dram.RowAddr) ([]Step, error) {
+	for _, a := range []dram.RowAddr{dk, di} {
+		if a.Group != dram.GroupD {
+			return nil, fmt.Errorf("controller: %v operand %v is not a data row", op, a)
+		}
+	}
+	if !op.Unary() && dj.Group != dram.GroupD {
+		return nil, fmt.Errorf("controller: %v operand %v is not a data row", op, dj)
+	}
+	aap := func(a1, a2 dram.RowAddr, comment string) Step {
+		return Step{Kind: StepAAP, Addr1: a1, Addr2: a2, Comment: comment}
+	}
+	ap := func(a dram.RowAddr, comment string) Step {
+		return Step{Kind: StepAP, Addr1: a, Comment: comment}
+	}
+
+	switch op {
+	case OpNot:
+		// Section 5.2: Dk = not Di.
+		return []Step{
+			aap(di, dram.B(5), "DCC0 = !"+di.String()),
+			aap(dram.B(4), dk, dk.String()+" = DCC0"),
+		}, nil
+
+	case OpAnd, OpOr:
+		// Figure 8a; or uses control row C1 instead of C0.
+		ctrl, sym := dram.C(0), " & "
+		if op == OpOr {
+			ctrl, sym = dram.C(1), " | "
+		}
+		return []Step{
+			aap(di, dram.B(0), "T0 = "+di.String()),
+			aap(dj, dram.B(1), "T1 = "+dj.String()),
+			aap(ctrl, dram.B(2), "T2 = "+ctrl.String()),
+			aap(dram.B(12), dk, dk.String()+" = T0"+sym+"T1"),
+		}, nil
+
+	case OpNand, OpNor:
+		// Figure 8b; nor uses C1.
+		ctrl, sym := dram.C(0), " & "
+		if op == OpNor {
+			ctrl, sym = dram.C(1), " | "
+		}
+		return []Step{
+			aap(di, dram.B(0), "T0 = "+di.String()),
+			aap(dj, dram.B(1), "T1 = "+dj.String()),
+			aap(ctrl, dram.B(2), "T2 = "+ctrl.String()),
+			aap(dram.B(12), dram.B(5), "DCC0 = !(T0"+sym+"T1)"),
+			aap(dram.B(4), dk, dk.String()+" = DCC0"),
+		}, nil
+
+	case OpXor:
+		// Figure 8c: Dk = (Di & !Dj) | (!Di & Dj).
+		return []Step{
+			aap(di, dram.B(8), "DCC0 = !"+di.String()+", T0 = "+di.String()),
+			aap(dj, dram.B(9), "DCC1 = !"+dj.String()+", T1 = "+dj.String()),
+			aap(dram.C(0), dram.B(10), "T2 = T3 = 0"),
+			ap(dram.B(14), "T1 = DCC0 & T1"),
+			ap(dram.B(15), "T0 = DCC1 & T0"),
+			aap(dram.C(1), dram.B(2), "T2 = 1"),
+			aap(dram.B(12), dk, dk.String()+" = T0 | T1"),
+		}, nil
+
+	case OpXnor:
+		// xor with the control rows flipped:
+		// Dk = (Di | !Dj) & (!Di | Dj).
+		return []Step{
+			aap(di, dram.B(8), "DCC0 = !"+di.String()+", T0 = "+di.String()),
+			aap(dj, dram.B(9), "DCC1 = !"+dj.String()+", T1 = "+dj.String()),
+			aap(dram.C(1), dram.B(10), "T2 = T3 = 1"),
+			ap(dram.B(14), "T1 = DCC0 | T1"),
+			ap(dram.B(15), "T0 = DCC1 | T0"),
+			aap(dram.C(0), dram.B(2), "T2 = 0"),
+			aap(dram.B(12), dk, dk.String()+" = T0 & T1"),
+		}, nil
+	}
+	return nil, fmt.Errorf("controller: unknown operation %v", op)
+}
+
+// StepCounts returns the number of AAPs and APs in op's sequence; these
+// determine both latency and energy (Sections 5.3 and 7).
+func StepCounts(op Op) (aaps, aps int) {
+	seq, err := Sequence(op, dram.D(0), dram.D(1), dram.D(2))
+	if err != nil {
+		panic(err) // all Ops have sequences
+	}
+	for _, s := range seq {
+		if s.Kind == StepAAP {
+			aaps++
+		} else {
+			aps++
+		}
+	}
+	return
+}

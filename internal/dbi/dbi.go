@@ -1,0 +1,228 @@
+// Package dbi implements a Dirty-Block Index (Seshadri et al., ISCA 2014),
+// the structure Section 5.4.4 of the Ambit paper uses to accelerate cache
+// coherence for in-DRAM operations: "As Ambit operations are always
+// row-wide, we can use structures like the Dirty-Block Index to speed up
+// flushing dirty data."
+//
+// A conventional cache stores each block's dirty bit with the block, so
+// answering "which blocks of DRAM row R are dirty?" requires probing every
+// possibly-matching cache set.  The DBI reorganizes dirty bits by DRAM row:
+// one entry per row holds a bit per cache block of that row.  Before an
+// Ambit operation, the memory controller queries the source rows' entries
+// and flushes exactly the dirty blocks — O(1) lookup per row instead of a
+// cache sweep.
+package dbi
+
+import "fmt"
+
+// Config sizes the DBI.
+type Config struct {
+	// RowBytes is the DRAM row size the index is organized around.
+	RowBytes int
+	// LineBytes is the cache-block size.
+	LineBytes int
+	// MaxEntries bounds the number of row entries; inserting beyond the
+	// bound evicts the LRU entry, writing back all its dirty blocks
+	// (the DBI's "aggressive writeback").
+	MaxEntries int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RowBytes <= 0 || c.LineBytes <= 0 || c.MaxEntries <= 0:
+		return fmt.Errorf("dbi: all config fields must be positive: %+v", c)
+	case c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("dbi: row size %d not a multiple of line size %d", c.RowBytes, c.LineBytes)
+	}
+	return nil
+}
+
+// DefaultConfig matches the paper's setup: 8 KB rows, 64 B lines (128 blocks
+// per row), with capacity for 64 row entries (covering a 512 KB dirty
+// working set).
+func DefaultConfig() Config {
+	return Config{RowBytes: 8192, LineBytes: 64, MaxEntries: 64}
+}
+
+// Stats counts DBI events.
+type Stats struct {
+	// Marks counts MarkDirty calls; Evictions counts LRU entry
+	// evictions; EvictionWritebacks counts the dirty lines those
+	// evictions wrote back; FlushedLines counts lines written back by
+	// explicit flushes.
+	Marks              int64
+	Evictions          int64
+	EvictionWritebacks int64
+	FlushedLines       int64
+	RowQueries         int64
+}
+
+type entry struct {
+	bits    []uint64
+	dirty   int
+	lruTick uint64
+}
+
+// DBI is the dirty-block index.
+type DBI struct {
+	cfg          Config
+	linesPerRow  int
+	wordsPerMask int
+	entries      map[int64]*entry
+	tick         uint64
+	stats        Stats
+}
+
+// New builds a DBI.
+func New(cfg Config) (*DBI, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lpr := cfg.RowBytes / cfg.LineBytes
+	return &DBI{
+		cfg:          cfg,
+		linesPerRow:  lpr,
+		wordsPerMask: (lpr + 63) / 64,
+		entries:      make(map[int64]*entry),
+	}, nil
+}
+
+// Config returns the configuration.
+func (d *DBI) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the counters.
+func (d *DBI) Stats() Stats { return d.stats }
+
+// Entries returns the number of live row entries.
+func (d *DBI) Entries() int { return len(d.entries) }
+
+// locate splits a byte address into (row index, line index within row).
+func (d *DBI) locate(addr int64) (row int64, line int) {
+	row = addr / int64(d.cfg.RowBytes)
+	line = int(addr%int64(d.cfg.RowBytes)) / d.cfg.LineBytes
+	return row, line
+}
+
+// MarkDirty records that the cache block containing addr became dirty.  It
+// returns the number of dirty lines written back by any LRU eviction the
+// insertion caused.
+func (d *DBI) MarkDirty(addr int64) int {
+	if addr < 0 {
+		return 0
+	}
+	d.stats.Marks++
+	d.tick++
+	row, line := d.locate(addr)
+	e := d.entries[row]
+	writebacks := 0
+	if e == nil {
+		if len(d.entries) >= d.cfg.MaxEntries {
+			writebacks = d.evictLRU()
+		}
+		e = &entry{bits: make([]uint64, d.wordsPerMask)}
+		d.entries[row] = e
+	}
+	w, b := line/64, uint(line%64)
+	if e.bits[w]&(1<<b) == 0 {
+		e.bits[w] |= 1 << b
+		e.dirty++
+	}
+	e.lruTick = d.tick
+	return writebacks
+}
+
+// evictLRU removes the least-recently-touched entry, writing back its dirty
+// lines.
+func (d *DBI) evictLRU() int {
+	var victimRow int64
+	var victim *entry
+	for row, e := range d.entries {
+		if victim == nil || e.lruTick < victim.lruTick {
+			victim, victimRow = e, row
+		}
+	}
+	if victim == nil {
+		return 0
+	}
+	delete(d.entries, victimRow)
+	d.stats.Evictions++
+	d.stats.EvictionWritebacks += int64(victim.dirty)
+	return victim.dirty
+}
+
+// MarkClean clears the dirty bit for the block containing addr (e.g. after a
+// natural cache writeback).
+func (d *DBI) MarkClean(addr int64) {
+	row, line := d.locate(addr)
+	e := d.entries[row]
+	if e == nil {
+		return
+	}
+	w, b := line/64, uint(line%64)
+	if e.bits[w]&(1<<b) != 0 {
+		e.bits[w] &^= 1 << b
+		e.dirty--
+		if e.dirty == 0 {
+			delete(d.entries, row)
+		}
+	}
+}
+
+// IsDirty reports whether the block containing addr is marked dirty.
+func (d *DBI) IsDirty(addr int64) bool {
+	row, line := d.locate(addr)
+	e := d.entries[row]
+	if e == nil {
+		return false
+	}
+	return e.bits[line/64]&(1<<uint(line%64)) != 0
+}
+
+// DirtyLinesInRow returns the dirty-line count of DRAM row `row` — the O(1)
+// query the Ambit controller issues before an operation.
+func (d *DBI) DirtyLinesInRow(row int64) int {
+	d.stats.RowQueries++
+	if e := d.entries[row]; e != nil {
+		return e.dirty
+	}
+	return 0
+}
+
+// FlushRow writes back and cleans every dirty line of the row, returning the
+// number of lines flushed.
+func (d *DBI) FlushRow(row int64) int {
+	d.stats.RowQueries++
+	e := d.entries[row]
+	if e == nil {
+		return 0
+	}
+	n := e.dirty
+	delete(d.entries, row)
+	d.stats.FlushedLines += int64(n)
+	return n
+}
+
+// FlushRange flushes every row overlapping [addr, addr+size), returning the
+// total lines written back.  This is the pre-Ambit-operation source flush.
+func (d *DBI) FlushRange(addr, size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	first := addr / int64(d.cfg.RowBytes)
+	last := (addr + size - 1) / int64(d.cfg.RowBytes)
+	total := 0
+	for r := first; r <= last; r++ {
+		total += d.FlushRow(r)
+	}
+	return total
+}
+
+// FlushCostNS models the latency of a row flush given the dirty-line count:
+// each dirty line crosses the channel once; the DBI lookup itself is a few
+// nanoseconds.  Compare with a conventional cache, which must sweep every
+// set that could hold a block of the row.
+func FlushCostNS(dirtyLines int, lineBytes int, channelGBps float64) float64 {
+	const lookupNS = 2
+	return lookupNS + float64(dirtyLines)*float64(lineBytes)/channelGBps
+}

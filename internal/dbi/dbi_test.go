@@ -1,0 +1,192 @@
+package dbi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newDBI(t *testing.T, cfg Config) *DBI {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func small() Config { return Config{RowBytes: 512, LineBytes: 64, MaxEntries: 4} }
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{RowBytes: 0, LineBytes: 64, MaxEntries: 4},
+		{RowBytes: 512, LineBytes: 0, MaxEntries: 4},
+		{RowBytes: 512, LineBytes: 64, MaxEntries: 0},
+		{RowBytes: 500, LineBytes: 64, MaxEntries: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMarkAndQuery(t *testing.T) {
+	d := newDBI(t, small())
+	if d.IsDirty(0) {
+		t.Fatal("fresh DBI has dirty block")
+	}
+	d.MarkDirty(0)
+	d.MarkDirty(100) // same line (64 B) as 64..127? 100/64=1 -> line 1
+	d.MarkDirty(70)  // also line 1: idempotent
+	if !d.IsDirty(0) || !d.IsDirty(100) || !d.IsDirty(127) {
+		t.Error("dirty blocks not tracked")
+	}
+	if d.IsDirty(200) {
+		t.Error("clean block reported dirty")
+	}
+	if got := d.DirtyLinesInRow(0); got != 2 {
+		t.Errorf("dirty lines in row 0 = %d, want 2", got)
+	}
+}
+
+func TestMarkClean(t *testing.T) {
+	d := newDBI(t, small())
+	d.MarkDirty(0)
+	d.MarkDirty(64)
+	d.MarkClean(0)
+	if d.IsDirty(0) {
+		t.Error("block still dirty")
+	}
+	if d.DirtyLinesInRow(0) != 1 {
+		t.Error("count not decremented")
+	}
+	d.MarkClean(64)
+	if d.Entries() != 0 {
+		t.Error("empty entry not reclaimed")
+	}
+	// Cleaning an untracked block is a no-op.
+	d.MarkClean(4096)
+}
+
+func TestFlushRow(t *testing.T) {
+	d := newDBI(t, small())
+	d.MarkDirty(512)      // row 1, line 0
+	d.MarkDirty(512 + 64) // row 1, line 1
+	d.MarkDirty(0)        // row 0
+	if n := d.FlushRow(1); n != 2 {
+		t.Errorf("FlushRow = %d, want 2", n)
+	}
+	if d.IsDirty(512) {
+		t.Error("flushed block still dirty")
+	}
+	if !d.IsDirty(0) {
+		t.Error("other row affected")
+	}
+	if n := d.FlushRow(1); n != 0 {
+		t.Errorf("second flush = %d, want 0", n)
+	}
+	if d.Stats().FlushedLines != 2 {
+		t.Errorf("FlushedLines = %d", d.Stats().FlushedLines)
+	}
+}
+
+func TestFlushRange(t *testing.T) {
+	d := newDBI(t, small())
+	// Dirty one line in each of rows 0..2.
+	d.MarkDirty(0)
+	d.MarkDirty(512)
+	d.MarkDirty(1024)
+	d.MarkDirty(2048) // row 4, outside the range
+	if n := d.FlushRange(0, 512*3); n != 3 {
+		t.Errorf("FlushRange = %d, want 3", n)
+	}
+	if !d.IsDirty(2048) {
+		t.Error("out-of-range row flushed")
+	}
+	if d.FlushRange(0, 0) != 0 {
+		t.Error("empty range flushed something")
+	}
+}
+
+func TestLRUEvictionWritesBack(t *testing.T) {
+	d := newDBI(t, small()) // MaxEntries = 4
+	// Fill 4 entries, two dirty lines each.
+	for r := int64(0); r < 4; r++ {
+		d.MarkDirty(r * 512)
+		d.MarkDirty(r*512 + 64)
+	}
+	// Touch row 0 so row 1 is LRU.
+	d.MarkDirty(0)
+	// A fifth row evicts row 1.
+	wb := d.MarkDirty(4 * 512)
+	if wb != 2 {
+		t.Errorf("eviction wrote back %d lines, want 2", wb)
+	}
+	if d.IsDirty(512) {
+		t.Error("evicted row still tracked")
+	}
+	if !d.IsDirty(0) {
+		t.Error("MRU row evicted")
+	}
+	s := d.Stats()
+	if s.Evictions != 1 || s.EvictionWritebacks != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNegativeAddressIgnored(t *testing.T) {
+	d := newDBI(t, small())
+	if d.MarkDirty(-5) != 0 {
+		t.Error("negative address caused writeback")
+	}
+	if d.Entries() != 0 {
+		t.Error("negative address created entry")
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	d := newDBI(t, Config{RowBytes: 512, LineBytes: 64, MaxEntries: 1 << 30})
+	ref := map[int64]bool{} // line index -> dirty
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 20000; step++ {
+		addr := int64(rng.Intn(1 << 16))
+		line := addr / 64
+		switch rng.Intn(3) {
+		case 0:
+			d.MarkDirty(addr)
+			ref[line] = true
+		case 1:
+			d.MarkClean(addr)
+			delete(ref, line)
+		default:
+			if d.IsDirty(addr) != ref[line] {
+				t.Fatalf("step %d: IsDirty(%d) mismatch", step, addr)
+			}
+		}
+	}
+	// Cross-check per-row counts.
+	counts := map[int64]int{}
+	for line := range ref {
+		counts[line*64/512]++
+	}
+	for row, want := range counts {
+		if got := d.DirtyLinesInRow(row); got != want {
+			t.Fatalf("row %d: %d dirty, want %d", row, got, want)
+		}
+	}
+}
+
+func TestFlushCostModel(t *testing.T) {
+	clean := FlushCostNS(0, 64, 12.8)
+	dirty := FlushCostNS(128, 64, 12.8)
+	if clean <= 0 || dirty <= clean {
+		t.Errorf("flush costs: clean %g, dirty %g", clean, dirty)
+	}
+	// A clean row's flush is just the lookup — this is the DBI's win.
+	if clean > 5 {
+		t.Errorf("clean-row flush cost %g ns too high", clean)
+	}
+}

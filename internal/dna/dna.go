@@ -1,0 +1,241 @@
+// Package dna implements a bit-parallel DNA read pre-alignment filter in
+// the style of Shifted Hamming Distance (Xin et al., Bioinformatics 2015),
+// the genomics application of Section 8.4.4 of the Ambit paper.
+//
+// Read mappers align billions of short reads against candidate locations in
+// a reference genome; most candidates are bad, so a cheap filter that
+// rejects them before expensive alignment dominates performance.  The SHD
+// filter is built entirely from bulk bitwise operations:
+//
+//  1. encode bases 2 bits/base as two bit planes (hi, lo),
+//  2. a mismatch mask between read and reference window is
+//     (hi_a XOR hi_b) OR (lo_a XOR lo_b) — one bit per mismatching base,
+//  3. to tolerate e insertions/deletions, AND the mismatch masks of the
+//     window shifted by −e..+e — a base matching under any shift clears
+//     its bit,
+//  4. accept when the surviving mismatch count is ≤ the edit threshold.
+//
+// Steps 2–3 are exactly the bulk XOR/OR/AND operations Ambit accelerates;
+// the paper cites GRIM-Filter and GateKeeper as hardware realizations.
+package dna
+
+import (
+	"fmt"
+	"strings"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/controller"
+	"ambit/internal/sysmodel"
+)
+
+// Seq is a DNA sequence encoded as two bit planes (2 bits per base).
+type Seq struct {
+	hi, lo *bitvec.Vector
+	n      int64
+}
+
+// baseCode maps a base character to its 2-bit code.
+func baseCode(c byte) (hi, lo bool, err error) {
+	switch c {
+	case 'A', 'a':
+		return false, false, nil
+	case 'C', 'c':
+		return false, true, nil
+	case 'G', 'g':
+		return true, false, nil
+	case 'T', 't':
+		return true, true, nil
+	}
+	return false, false, fmt.Errorf("dna: invalid base %q", c)
+}
+
+// Encode converts an ACGT string into a Seq.
+func Encode(s string) (*Seq, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("dna: empty sequence")
+	}
+	seq := &Seq{hi: bitvec.New(int64(len(s))), lo: bitvec.New(int64(len(s))), n: int64(len(s))}
+	for i := 0; i < len(s); i++ {
+		hi, lo, err := baseCode(s[i])
+		if err != nil {
+			return nil, err
+		}
+		seq.hi.Set(int64(i), hi)
+		seq.lo.Set(int64(i), lo)
+	}
+	return seq, nil
+}
+
+// Len returns the number of bases.
+func (s *Seq) Len() int64 { return s.n }
+
+// String decodes the sequence back to ACGT text.
+func (s *Seq) String() string {
+	var b strings.Builder
+	for i := int64(0); i < s.n; i++ {
+		switch {
+		case !s.hi.Get(i) && !s.lo.Get(i):
+			b.WriteByte('A')
+		case !s.hi.Get(i) && s.lo.Get(i):
+			b.WriteByte('C')
+		case s.hi.Get(i) && !s.lo.Get(i):
+			b.WriteByte('G')
+		default:
+			b.WriteByte('T')
+		}
+	}
+	return b.String()
+}
+
+// Window extracts the subsequence [start, start+length).
+func (s *Seq) Window(start, length int64) (*Seq, error) {
+	if start < 0 || length <= 0 || start+length > s.n {
+		return nil, fmt.Errorf("dna: window [%d,%d) outside sequence of %d bases", start, start+length, s.n)
+	}
+	w := &Seq{hi: bitvec.New(length), lo: bitvec.New(length), n: length}
+	for i := int64(0); i < length; i++ {
+		w.hi.Set(i, s.hi.Get(start+i))
+		w.lo.Set(i, s.lo.Get(start+i))
+	}
+	return w, nil
+}
+
+// MismatchMask returns a bit per base position that differs between two
+// equal-length sequences: (hiA ^ hiB) | (loA ^ loB).  It costs three bulk
+// bitwise operations.
+func MismatchMask(a, b *Seq) (*bitvec.Vector, error) {
+	if a.n != b.n {
+		return nil, fmt.Errorf("dna: length mismatch %d vs %d", a.n, b.n)
+	}
+	x := bitvec.New(a.n).Xor(a.hi, b.hi)
+	y := bitvec.New(a.n).Xor(a.lo, b.lo)
+	return x.Or(x, y), nil
+}
+
+// HammingDistance counts mismatching bases between equal-length sequences.
+func HammingDistance(a, b *Seq) (int64, error) {
+	m, err := MismatchMask(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return m.Popcount(), nil
+}
+
+// opsPerShift is the bulk-op cost of one mismatch mask (2 XOR + 1 OR).
+const opsPerShift = 3
+
+// Filter is an SHD pre-alignment filter against one reference sequence.
+type Filter struct {
+	Ref *Seq
+	// MaxEdits is the edit-distance threshold e: candidates within e
+	// substitutions/indels must pass.
+	MaxEdits int
+}
+
+// NewFilter builds a filter over the reference.
+func NewFilter(ref *Seq, maxEdits int) (*Filter, error) {
+	if maxEdits < 0 {
+		return nil, fmt.Errorf("dna: negative edit threshold")
+	}
+	return &Filter{Ref: ref, MaxEdits: maxEdits}, nil
+}
+
+// Accept runs the SHD test for one read at reference position pos.  It
+// returns acceptance plus the number of bulk bitwise operations executed
+// (for pricing).
+//
+// SHD guarantee: a candidate whose true edit distance is ≤ MaxEdits is
+// always accepted (no false negatives); distant candidates are usually
+// rejected (false positives possible, like any filter).
+func (f *Filter) Accept(read *Seq, pos int64) (bool, int, error) {
+	ops := 0
+	var acc *bitvec.Vector
+	for shift := int64(-int64(f.MaxEdits)); shift <= int64(f.MaxEdits); shift++ {
+		start := pos + shift
+		if start < 0 || start+read.n > f.Ref.n {
+			continue
+		}
+		w, err := f.Ref.Window(start, read.n)
+		if err != nil {
+			return false, ops, err
+		}
+		m, err := MismatchMask(read, w)
+		if err != nil {
+			return false, ops, err
+		}
+		ops += opsPerShift
+		if acc == nil {
+			acc = m
+		} else {
+			acc.And(acc, m)
+			ops++
+		}
+	}
+	if acc == nil {
+		return false, ops, fmt.Errorf("dna: position %d out of reference range", pos)
+	}
+	return acc.Popcount() <= int64(f.MaxEdits), ops, nil
+}
+
+// BatchResult summarizes a filtering batch with pricing for both engines.
+type BatchResult struct {
+	Candidates int
+	Accepted   int
+	Ops        int
+	// BaselineNS and AmbitNS price the batch's bulk bitwise work on the
+	// Table-4 machine; the batch's vectors are the concatenation of all
+	// candidate masks (the bulk formulation of Section 8.4.4).
+	BaselineNS, AmbitNS float64
+}
+
+// Speedup returns BaselineNS / AmbitNS.
+func (r BatchResult) Speedup() float64 { return r.BaselineNS / r.AmbitNS }
+
+// FilterBatch filters each (read, position) candidate pair and prices the
+// total bulk bitwise work as batched vector operations: with B candidates
+// of read length L, each of the (2e+1)·3 + 2e logical steps operates on a
+// B·L-bit vector.
+func (f *Filter) FilterBatch(reads []*Seq, positions []int64, m *sysmodel.Machine) (*BatchResult, error) {
+	if len(reads) != len(positions) {
+		return nil, fmt.Errorf("dna: %d reads vs %d positions", len(reads), len(positions))
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("dna: empty batch")
+	}
+	res := &BatchResult{Candidates: len(reads)}
+	var totalBases int64
+	for i, r := range reads {
+		ok, ops, err := f.Accept(r, positions[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Ops += ops
+		if ok {
+			res.Accepted++
+		}
+		totalBases += r.n
+	}
+	res.BaselineNS, res.AmbitNS = PriceBatch(totalBases, f.MaxEdits, m)
+	return res, nil
+}
+
+// PriceBatch prices the bulk bitwise work of SHD-filtering candidates
+// totalling `totalBases` bases with edit threshold maxEdits, on both
+// engines.  The logical step sequence is shared across the batch, so each
+// of the (2e+1)·3 + 2e steps is one bulk op over a totalBases-bit vector.
+// Production batches (millions of candidates) exceed the cache, which is
+// where Ambit's advantage applies.
+func PriceBatch(totalBases int64, maxEdits int, m *sysmodel.Machine) (baselineNS, ambitNS float64) {
+	bytes := (totalBases + 7) / 8
+	stepsPerCandidate := (2*maxEdits+1)*opsPerShift + 2*maxEdits
+	ws := bytes * 4 // read planes + window planes stream per step
+	baselineNS = float64(stepsPerCandidate) * m.CPUBitwiseNS(2, bytes, ws)
+	for i := 0; i < stepsPerCandidate; i++ {
+		op := controller.OpXor
+		if i%3 == 2 {
+			op = controller.OpOr
+		}
+		ambitNS += m.AmbitBitwiseNS(op, bytes)
+	}
+	return baselineNS, ambitNS
+}

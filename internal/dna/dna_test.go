@@ -1,0 +1,248 @@
+package dna
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ambit/internal/sysmodel"
+)
+
+func mustEncode(t *testing.T, s string) *Seq {
+	t.Helper()
+	seq, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func randSeq(rng *rand.Rand, n int) string {
+	const bases = "ACGT"
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(bases[rng.Intn(4)])
+	}
+	return b.String()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		s := randSeq(rng, 1+rng.Intn(200))
+		seq := mustEncode(t, s)
+		if seq.String() != s {
+			t.Fatalf("round trip: %q -> %q", s, seq.String())
+		}
+		if seq.Len() != int64(len(s)) {
+			t.Fatal("length mismatch")
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(""); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := Encode("ACGN"); err == nil {
+		t.Error("invalid base accepted")
+	}
+	// Lowercase accepted.
+	if _, err := Encode("acgt"); err != nil {
+		t.Error("lowercase rejected")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	seq := mustEncode(t, "ACGTACGT")
+	w, err := seq.Window(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != "GTAC" {
+		t.Fatalf("window = %q", w.String())
+	}
+	for _, bad := range [][2]int64{{-1, 3}, {0, 0}, {6, 4}} {
+		if _, err := seq.Window(bad[0], bad[1]); err == nil {
+			t.Errorf("window %v accepted", bad)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := mustEncode(t, "ACGTACGT")
+	b := mustEncode(t, "ACGTACGT")
+	if d, _ := HammingDistance(a, b); d != 0 {
+		t.Errorf("identical distance = %d", d)
+	}
+	c := mustEncode(t, "TCGTACGA") // positions 0 and 7 differ
+	if d, _ := HammingDistance(a, c); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	short := mustEncode(t, "ACG")
+	if _, err := HammingDistance(a, short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestHammingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		x, y := randSeq(rng, 100), randSeq(rng, 100)
+		want := int64(0)
+		for i := range x {
+			if x[i] != y[i] {
+				want++
+			}
+		}
+		d, err := HammingDistance(mustEncode(t, x), mustEncode(t, y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != want {
+			t.Fatalf("distance %d, want %d", d, want)
+		}
+	}
+}
+
+// TestNoFalseNegativesSubstitutions is the SHD guarantee: a read within
+// MaxEdits substitutions of its true location always passes.
+func TestNoFalseNegativesSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := mustEncode(t, randSeq(rng, 2000))
+	f, err := NewFilter(ref, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		pos := int64(rng.Intn(1800)) + 50
+		w, err := ref.Window(pos, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read := []byte(w.String())
+		// Apply up to MaxEdits substitutions.
+		for e := 0; e < rng.Intn(4); e++ {
+			i := rng.Intn(len(read))
+			read[i] = "ACGT"[rng.Intn(4)]
+		}
+		seq := mustEncode(t, string(read))
+		ok, _, err := f.Accept(seq, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The mutations may not all change bases, but the distance is
+		// at most 3, so acceptance is guaranteed.
+		if !ok {
+			t.Fatalf("trial %d: true candidate rejected", trial)
+		}
+	}
+}
+
+// TestAcceptsSmallIndels: a single-base deletion shifts the suffix; the
+// shifted masks absorb it.
+func TestAcceptsSmallIndels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	refStr := randSeq(rng, 1000)
+	ref := mustEncode(t, refStr)
+	f, err := NewFilter(ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := int64(400)
+	// Read = reference window with one base deleted at offset 50.
+	window := refStr[pos : pos+101]
+	read := window[:50] + window[51:]
+	ok, _, err := f.Accept(mustEncode(t, read), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("single-deletion read rejected")
+	}
+}
+
+func TestRejectsRandomCandidates(t *testing.T) {
+	// Random reads at random positions should usually be rejected.
+	rng := rand.New(rand.NewSource(5))
+	ref := mustEncode(t, randSeq(rng, 4000))
+	f, err := NewFilter(ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		read := mustEncode(t, randSeq(rng, 100))
+		ok, _, err := f.Accept(read, int64(rng.Intn(3800))+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rejected++
+		}
+	}
+	if rejected < trials*3/4 {
+		t.Errorf("only %d/%d random candidates rejected", rejected, trials)
+	}
+}
+
+func TestAcceptOutOfRange(t *testing.T) {
+	ref := mustEncode(t, "ACGTACGTACGT")
+	f, _ := NewFilter(ref, 1)
+	read := mustEncode(t, "ACGTACGTACGTACGT") // longer than ref
+	if _, _, err := f.Accept(read, 0); err == nil {
+		t.Error("read longer than reference accepted")
+	}
+}
+
+func TestNewFilterValidation(t *testing.T) {
+	ref := mustEncode(t, "ACGT")
+	if _, err := NewFilter(ref, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestFilterBatchPricing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := mustEncode(t, randSeq(rng, 100000))
+	f, err := NewFilter(ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []*Seq
+	var positions []int64
+	for i := 0; i < 200; i++ {
+		pos := int64(rng.Intn(90000)) + 100
+		w, err := ref.Window(pos, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, w)
+		positions = append(positions, pos)
+	}
+	m := sysmodel.MustDefault()
+	res, err := f.FilterBatch(reads, positions, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != res.Candidates {
+		t.Errorf("exact candidates: accepted %d/%d", res.Accepted, res.Candidates)
+	}
+	if res.BaselineNS <= 0 || res.AmbitNS <= 0 {
+		t.Error("pricing missing")
+	}
+	// This small functional batch is cache-resident (the baseline can
+	// win); at production scale — millions of candidates — the batch
+	// streams from memory and Ambit wins decisively.
+	base, amb := PriceBatch(4<<20*100, 2, m) // 4M candidates × 100 bp
+	if base/amb < 5 {
+		t.Errorf("paper-scale batch speedup %.2f, expected substantial", base/amb)
+	}
+	if _, err := f.FilterBatch(reads[:1], positions[:2], m); err == nil {
+		t.Error("mismatched batch accepted")
+	}
+	if _, err := f.FilterBatch(nil, nil, m); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

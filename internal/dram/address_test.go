@@ -1,0 +1,221 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Mapping asserts the full B-group address map of Table 1 verbatim.
+func TestTable1Mapping(t *testing.T) {
+	want := map[int]string{
+		0:  "T0",
+		1:  "T1",
+		2:  "T2",
+		3:  "T3",
+		4:  "DCC0",
+		5:  "~DCC0",
+		6:  "DCC1",
+		7:  "~DCC1",
+		8:  "~DCC0,T0",
+		9:  "~DCC1,T1",
+		10: "T2,T3",
+		11: "T0,T3",
+		12: "T0,T1,T2",
+		13: "T1,T2,T3",
+		14: "DCC0,T1,T2",
+		15: "DCC1,T0,T3",
+	}
+	g := DefaultGeometry()
+	for i := 0; i < BGroupAddresses; i++ {
+		wls, err := DecodeRowAddr(B(i), g)
+		if err != nil {
+			t.Fatalf("decode B%d: %v", i, err)
+		}
+		var names []string
+		for _, wl := range wls {
+			names = append(names, wl.String())
+		}
+		if got := strings.Join(names, ","); got != want[i] {
+			t.Errorf("B%d -> %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestTable1ActivationCounts(t *testing.T) {
+	// B0..B7 raise one wordline, B8..B11 two, B12..B15 three (Section 5.1).
+	g := DefaultGeometry()
+	for i := 0; i < BGroupAddresses; i++ {
+		wls, err := DecodeRowAddr(B(i), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		switch {
+		case i >= 12:
+			want = 3
+		case i >= 8:
+			want = 2
+		}
+		if len(wls) != want {
+			t.Errorf("B%d raises %d wordlines, want %d", i, len(wls), want)
+		}
+	}
+}
+
+func TestDecodeCAndDGroups(t *testing.T) {
+	g := DefaultGeometry()
+	for i := 0; i < CGroupAddresses; i++ {
+		wls, err := DecodeRowAddr(C(i), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wls) != 1 || wls[0] != (Wordline{WLC, i}) {
+			t.Errorf("C%d -> %v, want single C wordline", i, wls)
+		}
+	}
+	wls, err := DecodeRowAddr(D(1005), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 1 || wls[0] != (Wordline{WLData, 1005}) {
+		t.Errorf("D1005 -> %v, want single data wordline", wls)
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	g := DefaultGeometry()
+	cases := []RowAddr{D(-1), D(g.DataRows()), B(-1), B(16), C(-1), C(2), {Group: Group(9), Index: 0}}
+	for _, a := range cases {
+		if err := a.Validate(g); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", a)
+		}
+	}
+	good := []RowAddr{D(0), D(g.DataRows() - 1), B(0), B(15), C(0), C(1)}
+	for _, a := range good {
+		if err := a.Validate(g); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", a, err)
+		}
+	}
+}
+
+func TestDataRowsCount(t *testing.T) {
+	// Section 5.1: "if each subarray contains 1024 rows, then the D-group
+	// contains 1006 addresses".
+	g := DefaultGeometry()
+	if got := g.DataRows(); got != 1006 {
+		t.Fatalf("DataRows() = %d, want 1006", got)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{Banks: 0, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 64},
+		{Banks: 1, SubarraysPerBank: 0, RowsPerSubarray: 64, RowSizeBytes: 64},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 18, RowSizeBytes: 64},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 0},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 63},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Errorf("default geometry invalid: %v", err)
+	}
+	if err := HMCGeometry().Validate(); err != nil {
+		t.Errorf("HMC geometry invalid: %v", err)
+	}
+}
+
+func TestTimingAAPLatencies(t *testing.T) {
+	// Section 5.3: for DDR3-1600 (8-8-8), naive AAP = 80 ns and the split
+	// row decoder reduces it to 49 ns.
+	ddr := DDR3_1600()
+	if got := ddr.AAPNaive(); got != 80 {
+		t.Errorf("AAPNaive = %g ns, want 80", got)
+	}
+	if got := ddr.AAPSplit(); got != 49 {
+		t.Errorf("AAPSplit = %g ns, want 49", got)
+	}
+	if got := ddr.AP(); got != 45 {
+		t.Errorf("AP = %g ns, want 45", got)
+	}
+}
+
+func TestTimingValidation(t *testing.T) {
+	ok := []Timing{DDR3_1600(), DDR3_1333(), DDR4_2400(), HMCTiming()}
+	for _, tm := range ok {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", tm.Name, err)
+		}
+	}
+	bad := Timing{Name: "bad", TRCD: 10, TRAS: 5, TRP: 10}
+	if err := bad.Validate(); err == nil {
+		t.Error("tRAS < tRCD accepted")
+	}
+	neg := Timing{Name: "neg", TRCD: 10, TRAS: 35, TRP: 10, TOverlap: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative tOverlap accepted")
+	}
+}
+
+func TestPhysAddrValidateAndString(t *testing.T) {
+	g := DefaultGeometry()
+	p := PhysAddr{Bank: 1, Subarray: 2, Row: D(3)}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "bank1/sub2/D3" {
+		t.Errorf("String() = %q", got)
+	}
+	bad := []PhysAddr{
+		{Bank: -1, Subarray: 0, Row: D(0)},
+		{Bank: g.Banks, Subarray: 0, Row: D(0)},
+		{Bank: 0, Subarray: g.SubarraysPerBank, Row: D(0)},
+		{Bank: 0, Subarray: 0, Row: D(g.DataRows())},
+	}
+	for _, p := range bad {
+		if err := p.Validate(g); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", p)
+		}
+	}
+}
+
+func TestBGroupTableIsACopy(t *testing.T) {
+	tbl := BGroupTable()
+	tbl[12][0] = Wordline{WLData, 999}
+	wls, _ := DecodeRowAddr(B(12), DefaultGeometry())
+	if wls[0] != (Wordline{WLT, 0}) {
+		t.Fatal("mutating BGroupTable() affected the decoder")
+	}
+}
+
+func TestGroupAndWordlineStrings(t *testing.T) {
+	if D(5).String() != "D5" || B(12).String() != "B12" || C(1).String() != "C1" {
+		t.Error("RowAddr.String mismatch")
+	}
+	if Group(7).String() == "" {
+		t.Error("unknown group String empty")
+	}
+	if (Wordline{WLDCCNeg, 1}).String() != "~DCC1" {
+		t.Error("wordline string mismatch")
+	}
+	if !(Wordline{WLDCCNeg, 0}).Negated() || (Wordline{WLDCCData, 0}).Negated() {
+		t.Error("Negated() polarity wrong")
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := DefaultGeometry()
+	if g.WordsPerRow() != 1024 {
+		t.Errorf("WordsPerRow = %d, want 1024", g.WordsPerRow())
+	}
+	if g.RowsPerBank() != 64*1006 {
+		t.Errorf("RowsPerBank = %d", g.RowsPerBank())
+	}
+	want := int64(8) * int64(64*1006) * 8192
+	if g.DataCapacityBytes() != want {
+		t.Errorf("DataCapacityBytes = %d, want %d", g.DataCapacityBytes(), want)
+	}
+}

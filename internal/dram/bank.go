@@ -1,0 +1,104 @@
+package dram
+
+import "fmt"
+
+// Bank models one DRAM bank: a set of subarrays sharing bank-level peripheral
+// logic.  At most one subarray can be open (activated) at a time; the second
+// ACTIVATE of an AAP must target the open subarray (intra-subarray copies are
+// what RowClone-FPM and Ambit rely on, Section 3.4).
+type Bank struct {
+	geom      Geometry
+	subarrays []*Subarray
+
+	// open is the index of the activated subarray, or -1 when precharged.
+	open int
+
+	// busyUntil is the simulated time (ns) at which the bank completes
+	// its current command train.  Maintained by the controller's
+	// scheduler through Reserve; the functional model does not depend on
+	// it.
+	busyUntil float64
+}
+
+// NewBank constructs a bank with all-zero cells.
+func NewBank(g Geometry) *Bank {
+	b := &Bank{geom: g, open: -1}
+	b.subarrays = make([]*Subarray, g.SubarraysPerBank)
+	for i := range b.subarrays {
+		b.subarrays[i] = NewSubarray(g)
+	}
+	return b
+}
+
+// Subarray returns subarray i.
+func (b *Bank) Subarray(i int) *Subarray { return b.subarrays[i] }
+
+// OpenSubarray returns the index of the activated subarray, or -1.
+func (b *Bank) OpenSubarray() int { return b.open }
+
+// Activated reports whether the bank has an open row.
+func (b *Bank) Activated() bool { return b.open >= 0 }
+
+// Activate issues ACTIVATE for row addr of subarray sub.  It returns the
+// number of wordlines raised (1, 2, or 3) for energy accounting.
+func (b *Bank) Activate(sub int, addr RowAddr) (int, error) {
+	if sub < 0 || sub >= len(b.subarrays) {
+		return 0, fmt.Errorf("dram: subarray %d out of range [0,%d)", sub, len(b.subarrays))
+	}
+	wls, err := DecodeRowAddr(addr, b.geom)
+	if err != nil {
+		return 0, err
+	}
+	if b.open >= 0 && b.open != sub {
+		return 0, fmt.Errorf("%w: subarray %d open, activate to subarray %d", ErrBankActive, b.open, sub)
+	}
+	n, err := b.subarrays[sub].Activate(wls)
+	if err != nil {
+		return 0, err
+	}
+	b.open = sub
+	return n, nil
+}
+
+// Precharge closes the bank.  Precharging an already precharged bank is a
+// harmless no-op, as in real DRAM.
+func (b *Bank) Precharge() {
+	if b.open >= 0 {
+		b.subarrays[b.open].Precharge()
+		b.open = -1
+	}
+}
+
+// ReadColumn reads word col from the open row buffer.
+func (b *Bank) ReadColumn(col int) (uint64, error) {
+	if b.open < 0 {
+		return 0, ErrBankPrecharged
+	}
+	return b.subarrays[b.open].ReadColumn(col)
+}
+
+// WriteColumn writes word col of the open row buffer (and the open row).
+func (b *Bank) WriteColumn(col int, v uint64) error {
+	if b.open < 0 {
+		return ErrBankPrecharged
+	}
+	return b.subarrays[b.open].WriteColumn(col, v)
+}
+
+// BusyUntil returns the bank's scheduled completion time in nanoseconds.
+func (b *Bank) BusyUntil() float64 { return b.busyUntil }
+
+// Reserve advances the bank's completion time: the command train begins no
+// earlier than `start` and occupies the bank for `dur` nanoseconds.  It
+// returns the completion time.
+func (b *Bank) Reserve(start, dur float64) float64 {
+	if start < b.busyUntil {
+		start = b.busyUntil
+	}
+	b.busyUntil = start + dur
+	return b.busyUntil
+}
+
+// ResetTimeline rewinds the bank's scheduled-completion clock to zero.  Used
+// when the owning system resets its simulated time base.
+func (b *Bank) ResetTimeline() { b.busyUntil = 0 }

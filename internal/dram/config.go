@@ -1,0 +1,246 @@
+// Package dram models the functional and timing behaviour of a DRAM device
+// extended with Ambit support (Seshadri et al., MICRO-50, 2017).
+//
+// The model follows the logical organization described in Section 2 of the
+// paper: a device contains banks, each bank contains subarrays, each subarray
+// contains rows of DRAM cells that share one row of sense amplifiers.  On top
+// of the ordinary ACTIVATE / READ / WRITE / PRECHARGE behaviour, the model
+// implements the Ambit extensions:
+//
+//   - the B-group of reserved row addresses (Table 1) whose activation raises
+//     one, two, or three wordlines simultaneously,
+//   - triple-row activation (TRA) computing the bitwise majority of three
+//     rows (Section 3.1),
+//   - dual-contact cell (DCC) rows whose negation wordline connects the cell
+//     capacitor to bitline-bar, capturing the negated sense-amplifier value
+//     (Section 4),
+//   - the C-group control rows C0 (all zeros) and C1 (all ones)
+//     (Section 3.4).
+//
+// The model is deliberately word-oriented: a row is a []uint64, and one sense
+// amplifier per bit is modelled by word-wise boolean algebra.  Analog
+// behaviour (charge sharing, process variation) lives in internal/circuit;
+// this package can consume a failure model from there to inject bit errors
+// into TRA results.
+package dram
+
+import "fmt"
+
+// Geometry describes the structural organization of an Ambit DRAM device.
+//
+// The default values mirror the configuration used throughout the paper: 8 KB
+// rows (Section 2: "typically 8 KB of data across a rank"), 1024 rows per
+// subarray, and the address-space split of Section 5.1 (16 B-group + 2
+// C-group + 1006 D-group addresses per 1024-row subarray).
+type Geometry struct {
+	// Banks is the number of independently operable banks in the device.
+	Banks int
+	// SubarraysPerBank is the number of subarrays in each bank.  Rows in
+	// different subarrays of one bank do not share sense amplifiers, but a
+	// bank can only have one subarray activated at a time in this model
+	// (subarray-level parallelism, SALP, is not modelled).
+	SubarraysPerBank int
+	// RowsPerSubarray is the number of row *addresses* per subarray,
+	// including the reserved B- and C-group addresses.
+	RowsPerSubarray int
+	// RowSizeBytes is the size of one DRAM row (the row buffer width).
+	RowSizeBytes int
+}
+
+// Reserved-address bookkeeping (Section 5.1).
+const (
+	// BGroupAddresses is the number of reserved bitwise-group addresses
+	// (B0..B15, Table 1).
+	BGroupAddresses = 16
+	// CGroupAddresses is the number of control-group addresses (C0, C1).
+	CGroupAddresses = 2
+)
+
+// DataRows returns the number of D-group (software-visible) row addresses in
+// each subarray.  With the paper's 1024-row subarray this is 1006.
+func (g Geometry) DataRows() int {
+	return g.RowsPerSubarray - BGroupAddresses - CGroupAddresses
+}
+
+// WordsPerRow returns the number of 64-bit words in one row.
+func (g Geometry) WordsPerRow() int { return g.RowSizeBytes / 8 }
+
+// RowsPerBank returns the number of D-group rows per bank.
+func (g Geometry) RowsPerBank() int { return g.SubarraysPerBank * g.DataRows() }
+
+// DataCapacityBytes returns the total software-visible capacity of the
+// device.
+func (g Geometry) DataCapacityBytes() int64 {
+	return int64(g.Banks) * int64(g.RowsPerBank()) * int64(g.RowSizeBytes)
+}
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Banks <= 0:
+		return fmt.Errorf("dram: geometry: Banks must be positive, got %d", g.Banks)
+	case g.SubarraysPerBank <= 0:
+		return fmt.Errorf("dram: geometry: SubarraysPerBank must be positive, got %d", g.SubarraysPerBank)
+	case g.RowsPerSubarray <= BGroupAddresses+CGroupAddresses:
+		return fmt.Errorf("dram: geometry: RowsPerSubarray must exceed %d reserved addresses, got %d",
+			BGroupAddresses+CGroupAddresses, g.RowsPerSubarray)
+	case g.RowSizeBytes <= 0 || g.RowSizeBytes%8 != 0:
+		return fmt.Errorf("dram: geometry: RowSizeBytes must be a positive multiple of 8, got %d", g.RowSizeBytes)
+	}
+	return nil
+}
+
+// DefaultGeometry returns the configuration evaluated in Section 7 of the
+// paper: a DRAM module with 8 banks, 8 KB rows and 1024-row subarrays.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Banks:            8,
+		SubarraysPerBank: 64,
+		RowsPerSubarray:  1024,
+		RowSizeBytes:     8192,
+	}
+}
+
+// HMCGeometry returns a geometry approximating the 4 GB HMC 2.0 device of
+// Section 7 extended with Ambit support (Ambit-3D): 256 banks with smaller
+// rows, per the paper's observation that 3D-stacked DRAM has many more banks
+// (256 banks in a 4 GB HMC 2.0).
+func HMCGeometry() Geometry {
+	return Geometry{
+		Banks:            256,
+		SubarraysPerBank: 64,
+		RowsPerSubarray:  1024,
+		RowSizeBytes:     1024,
+	}
+}
+
+// Timing holds the DRAM timing parameters the model uses, in nanoseconds.
+// Only the parameters that matter to Ambit's primitives are included.
+type Timing struct {
+	// Name identifies the speed bin, e.g. "DDR3-1600 (8-8-8)".
+	Name string
+	// TRCD is the ACTIVATE-to-READ/WRITE delay.
+	TRCD float64
+	// TRAS is the ACTIVATE-to-PRECHARGE delay (full restoration).
+	TRAS float64
+	// TRP is the PRECHARGE latency.
+	TRP float64
+	// TCL is the READ column access latency.
+	TCL float64
+	// TBL is the burst transfer time for one cache line on the channel.
+	TBL float64
+	// TOverlap is the extra latency of the second, overlapped ACTIVATE of
+	// an AAP when the split row decoder is used (Section 5.3: "our
+	// estimate of the latency of executing the back-to-back ACTIVATEs is
+	// only 4 ns larger than tRAS").
+	TOverlap float64
+	// ChannelGBps is the peak external channel bandwidth of the module in
+	// GB/s (used by baseline comparisons, not by Ambit itself).
+	ChannelGBps float64
+}
+
+// AAPNaive returns the latency of one AAP executed as three serial commands:
+// 2*tRAS + tRP (Section 5.3; 80 ns for DDR3-1600).
+func (t Timing) AAPNaive() float64 { return 2*t.TRAS + t.TRP }
+
+// AAPSplit returns the latency of one AAP with the split row decoder
+// optimization: tRAS + tOverlap + tRP (Section 5.3; 49 ns for DDR3-1600).
+func (t Timing) AAPSplit() float64 { return t.TRAS + t.TOverlap + t.TRP }
+
+// AP returns the latency of one AP (ACTIVATE followed by PRECHARGE).
+func (t Timing) AP() float64 { return t.TRAS + t.TRP }
+
+// Validate checks the timing parameters for plausibility.
+func (t Timing) Validate() error {
+	if t.TRCD <= 0 || t.TRAS <= 0 || t.TRP <= 0 {
+		return fmt.Errorf("dram: timing %q: tRCD/tRAS/tRP must be positive", t.Name)
+	}
+	if t.TRAS < t.TRCD {
+		return fmt.Errorf("dram: timing %q: tRAS (%g) must be >= tRCD (%g)", t.Name, t.TRAS, t.TRCD)
+	}
+	if t.TOverlap < 0 {
+		return fmt.Errorf("dram: timing %q: tOverlap must be non-negative", t.Name)
+	}
+	return nil
+}
+
+// DDR3_1600 returns DDR3-1600 (8-8-8) timing, the parameter set used for the
+// AAP latency discussion in Section 5.3 (AAP naive = 80 ns, split = 49 ns).
+func DDR3_1600() Timing {
+	return Timing{
+		Name:        "DDR3-1600 (8-8-8)",
+		TRCD:        10,
+		TRAS:        35,
+		TRP:         10,
+		TCL:         10,
+		TBL:         5,
+		TOverlap:    4,
+		ChannelGBps: 12.8,
+	}
+}
+
+// DDR3_1333 returns DDR3-1333 timing, the speed bin used for the energy
+// estimates of Section 7 (Table 3).
+func DDR3_1333() Timing {
+	return Timing{
+		Name:        "DDR3-1333 (9-9-9)",
+		TRCD:        13.5,
+		TRAS:        36,
+		TRP:         13.5,
+		TCL:         13.5,
+		TBL:         6,
+		TOverlap:    4,
+		ChannelGBps: 10.66,
+	}
+}
+
+// DDR4_2400 returns DDR4-2400 timing, the main-memory configuration of the
+// full-system evaluation (Table 4).
+func DDR4_2400() Timing {
+	return Timing{
+		Name:        "DDR4-2400 (16-16-16)",
+		TRCD:        13.32,
+		TRAS:        32,
+		TRP:         13.32,
+		TCL:         13.32,
+		TBL:         2.66,
+		TOverlap:    4,
+		ChannelGBps: 19.2,
+	}
+}
+
+// HMCTiming returns timing for one bank of the 3D-stacked (HMC-like) device
+// used by the Ambit-3D configuration in Section 7.  3D-stacked DRAM trades
+// row width for more banks; per-bank core timing is broadly similar to DDR.
+func HMCTiming() Timing {
+	return Timing{
+		Name:        "HMC 2.0 bank",
+		TRCD:        13.75,
+		TRAS:        27.5,
+		TRP:         13.75,
+		TCL:         13.75,
+		TBL:         3.2,
+		TOverlap:    4,
+		ChannelGBps: 320,
+	}
+}
+
+// Config bundles geometry and timing for device construction.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+}
+
+// DefaultConfig returns the paper's standard module: 8-bank DDR3-1600 with
+// 8 KB rows.
+func DefaultConfig() Config {
+	return Config{Geometry: DefaultGeometry(), Timing: DDR3_1600()}
+}
+
+// Validate checks the full configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	return c.Timing.Validate()
+}

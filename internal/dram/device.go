@@ -1,0 +1,205 @@
+package dram
+
+import "fmt"
+
+// Stats counts the DRAM commands a device has executed, broken down the way
+// the energy model needs them (Section 7: "the activation energy increases by
+// 22% for each additional wordline raised").
+type Stats struct {
+	// Activates[k] counts ACTIVATE commands that raised k+1 wordlines
+	// (k = 0, 1, 2).
+	Activates [3]int64
+	// Precharges counts PRECHARGE commands.
+	Precharges int64
+	// ColumnReads and ColumnWrites count 64-bit column accesses.
+	ColumnReads  int64
+	ColumnWrites int64
+}
+
+// TotalActivates returns the total number of ACTIVATE commands.
+func (s Stats) TotalActivates() int64 {
+	return s.Activates[0] + s.Activates[1] + s.Activates[2]
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	for i := range s.Activates {
+		s.Activates[i] += o.Activates[i]
+	}
+	s.Precharges += o.Precharges
+	s.ColumnReads += o.ColumnReads
+	s.ColumnWrites += o.ColumnWrites
+}
+
+// Sub returns s - o (useful for windowed measurements).
+func (s Stats) Sub(o Stats) Stats {
+	var r Stats
+	for i := range s.Activates {
+		r.Activates[i] = s.Activates[i] - o.Activates[i]
+	}
+	r.Precharges = s.Precharges - o.Precharges
+	r.ColumnReads = s.ColumnReads - o.ColumnReads
+	r.ColumnWrites = s.ColumnWrites - o.ColumnWrites
+	return r
+}
+
+// Device models one Ambit DRAM device: a set of banks plus the command
+// interface the memory controller drives.  Per Section 5, the command and
+// address interface is exactly that of commodity DRAM — ACTIVATE, READ,
+// WRITE, PRECHARGE — with the Ambit behaviour selected purely by the row
+// address group.
+type Device struct {
+	cfg   Config
+	banks []*Bank
+	stats Stats
+}
+
+// NewDevice constructs a device from cfg.  It panics only on nil-safety
+// violations; configuration errors are returned.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg}
+	d.banks = make([]*Bank, cfg.Geometry.Banks)
+	for i := range d.banks {
+		d.banks[i] = NewBank(cfg.Geometry)
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.cfg.Geometry }
+
+// Timing returns the device timing parameters.
+func (d *Device) Timing() Timing { return d.cfg.Timing }
+
+// Bank returns bank i.
+func (d *Device) Bank(i int) *Bank { return d.banks[i] }
+
+// Stats returns a snapshot of the command counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the command counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// ResetTimelines rewinds every bank's scheduling clock to zero.
+func (d *Device) ResetTimelines() {
+	for _, b := range d.banks {
+		b.ResetTimeline()
+	}
+}
+
+// Activate issues ACTIVATE to the addressed bank/subarray/row.
+func (d *Device) Activate(p PhysAddr) error {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return err
+	}
+	n, err := d.banks[p.Bank].Activate(p.Subarray, p.Row)
+	if err != nil {
+		return fmt.Errorf("activate %v: %w", p, err)
+	}
+	d.stats.Activates[n-1]++
+	return nil
+}
+
+// Precharge issues PRECHARGE to bank.
+func (d *Device) Precharge(bank int) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	d.banks[bank].Precharge()
+	d.stats.Precharges++
+	return nil
+}
+
+// PrechargeAll precharges every bank (the "precharge all" DRAM command).
+func (d *Device) PrechargeAll() {
+	for _, b := range d.banks {
+		b.Precharge()
+	}
+	d.stats.Precharges += int64(len(d.banks))
+}
+
+// ReadColumn reads 64-bit column col from the open row of bank.
+func (d *Device) ReadColumn(bank, col int) (uint64, error) {
+	if bank < 0 || bank >= len(d.banks) {
+		return 0, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	v, err := d.banks[bank].ReadColumn(col)
+	if err != nil {
+		return 0, err
+	}
+	d.stats.ColumnReads++
+	return v, nil
+}
+
+// WriteColumn writes 64-bit column col of the open row of bank.
+func (d *Device) WriteColumn(bank, col int, v uint64) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	if err := d.banks[bank].WriteColumn(col, v); err != nil {
+		return err
+	}
+	d.stats.ColumnWrites++
+	return nil
+}
+
+// ReadRow performs an ACTIVATE, a full row of column reads, and a PRECHARGE,
+// returning the row contents.  This is the conventional (non-Ambit) way to
+// get data out of the array, used by baselines and by the public API's Read.
+func (d *Device) ReadRow(p PhysAddr) ([]uint64, error) {
+	if err := d.Activate(p); err != nil {
+		return nil, err
+	}
+	w := d.cfg.Geometry.WordsPerRow()
+	out := make([]uint64, w)
+	for c := 0; c < w; c++ {
+		v, err := d.ReadColumn(p.Bank, c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = v
+	}
+	if err := d.Precharge(p.Bank); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteRow performs an ACTIVATE, a full row of column writes, and a
+// PRECHARGE.
+func (d *Device) WriteRow(p PhysAddr, data []uint64) error {
+	if len(data) != d.cfg.Geometry.WordsPerRow() {
+		return ErrRowSize
+	}
+	if err := d.Activate(p); err != nil {
+		return err
+	}
+	for c, v := range data {
+		if err := d.WriteColumn(p.Bank, c, v); err != nil {
+			return err
+		}
+	}
+	return d.Precharge(p.Bank)
+}
+
+// PeekRow returns the cell contents behind p without issuing commands.
+func (d *Device) PeekRow(p PhysAddr) ([]uint64, error) {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return nil, err
+	}
+	return d.banks[p.Bank].Subarray(p.Subarray).PeekRow(p.Row)
+}
+
+// PokeRow overwrites the cell contents behind p without issuing commands.
+func (d *Device) PokeRow(p PhysAddr, data []uint64) error {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return err
+	}
+	return d.banks[p.Bank].Subarray(p.Subarray).PokeRow(p.Row, data)
+}

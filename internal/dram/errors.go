@@ -1,0 +1,31 @@
+package dram
+
+import "errors"
+
+// Sentinel errors returned by the device model.  They describe conditions
+// that either violate the DRAM command protocol or have electrically
+// undefined results; a correct Ambit controller never triggers them.
+var (
+	// ErrBankActive is returned when ACTIVATE semantics require a
+	// precharged bank but the bank already has an open row and the
+	// command cannot be interpreted as the second ACTIVATE of an AAP.
+	ErrBankActive = errors.New("dram: bank already activated")
+
+	// ErrBankPrecharged is returned when READ/WRITE is issued to a bank
+	// with no activated row.
+	ErrBankPrecharged = errors.New("dram: bank is precharged (no open row)")
+
+	// ErrUndefinedChargeSharing is returned when a first ACTIVATE raises
+	// exactly two wordlines whose cells disagree: charge sharing between
+	// two cells produces a half-level bitline voltage with no defined
+	// sense-amplification outcome.  The controller only uses dual-wordline
+	// addresses (B8..B11) as the *second* ACTIVATE of an AAP (Section 5.1).
+	ErrUndefinedChargeSharing = errors.New("dram: undefined charge sharing (dual activation of unequal cells on precharged bank)")
+
+	// ErrColumnRange is returned for out-of-range column accesses.
+	ErrColumnRange = errors.New("dram: column out of range")
+
+	// ErrRowSize is returned when a row write does not supply exactly one
+	// row of data.
+	ErrRowSize = errors.New("dram: data length does not match row size")
+)

@@ -1,0 +1,167 @@
+package dram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Randomized robustness suite: drive the device with arbitrary command
+// sequences and check the state-machine invariants the rest of the stack
+// relies on:
+//
+//  1. the model never panics,
+//  2. errors occur only in defined situations (undefined dual-activation
+//     charge sharing, cross-subarray activation on an open bank, column
+//     access on a precharged bank, out-of-range addresses),
+//  3. rows in subarrays that were never activated keep their contents.
+
+func TestRandomCommandSequences(t *testing.T) {
+	g := smallGeom()
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		d, err := NewDevice(Config{Geometry: g, Timing: DDR3_1600()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sentinel data in subarray 1 of bank 1, which we never touch.
+		sentinel := randRow(rng, g.WordsPerRow())
+		quiet := PhysAddr{Bank: 1, Subarray: 1, Row: D(5)}
+		if err := d.PokeRow(quiet, sentinel); err != nil {
+			t.Fatal(err)
+		}
+
+		randAddr := func() RowAddr {
+			switch rng.Intn(3) {
+			case 0:
+				return D(rng.Intn(g.DataRows()))
+			case 1:
+				return B(rng.Intn(BGroupAddresses))
+			default:
+				return C(rng.Intn(CGroupAddresses))
+			}
+		}
+		for step := 0; step < 400; step++ {
+			bank := rng.Intn(g.Banks)
+			sub := rng.Intn(g.SubarraysPerBank)
+			if bank == 1 && sub == 1 {
+				continue // leave the sentinel subarray alone
+			}
+			var err error
+			switch rng.Intn(4) {
+			case 0:
+				err = d.Activate(PhysAddr{Bank: bank, Subarray: sub, Row: randAddr()})
+			case 1:
+				err = d.Precharge(bank)
+			case 2:
+				_, err = d.ReadColumn(bank, rng.Intn(g.WordsPerRow()))
+			default:
+				err = d.WriteColumn(bank, rng.Intn(g.WordsPerRow()), rng.Uint64())
+			}
+			if err != nil {
+				// Only the defined error classes may occur.
+				if !errors.Is(err, ErrUndefinedChargeSharing) &&
+					!errors.Is(err, ErrBankActive) &&
+					!errors.Is(err, ErrBankPrecharged) &&
+					!errors.Is(err, ErrColumnRange) {
+					t.Fatalf("trial %d step %d: unexpected error class: %v", trial, step, err)
+				}
+			}
+		}
+		got, err := d.PeekRow(quiet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRows(got, sentinel) {
+			t.Fatalf("trial %d: untouched subarray corrupted", trial)
+		}
+	}
+}
+
+// TestRandomAAPTrainsPreserveAlgebra drives random well-formed AAP trains
+// (the controller's usage pattern) and verifies the subarray is always left
+// consistent: after a precharge, a fresh single activation of any data row
+// returns exactly that row's cells.
+func TestRandomAAPTrainsPreserveAlgebra(t *testing.T) {
+	g := smallGeom()
+	rng := rand.New(rand.NewSource(99))
+	d, err := NewDevice(Config{Geometry: g, Timing: DDR3_1600()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 300; step++ {
+		// A well-formed AAP: first address single- or triple-wordline,
+		// second address anything.
+		var a1 RowAddr
+		switch rng.Intn(3) {
+		case 0:
+			a1 = D(rng.Intn(g.DataRows()))
+		case 1:
+			a1 = C(rng.Intn(2))
+		default:
+			a1 = B(12 + rng.Intn(4)) // a TRA
+		}
+		a2 := B(rng.Intn(BGroupAddresses))
+		if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: a1}); err != nil {
+			t.Fatalf("step %d: first activate %v: %v", step, a1, err)
+		}
+		if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: a2}); err != nil {
+			t.Fatalf("step %d: second activate %v: %v", step, a2, err)
+		}
+		if err := d.Precharge(0); err != nil {
+			t.Fatal(err)
+		}
+
+		// Invariant: reading any data row via activation matches Peek.
+		probe := D(rng.Intn(g.DataRows()))
+		want, err := d.PeekRow(PhysAddr{Bank: 0, Subarray: 0, Row: probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.ReadRow(PhysAddr{Bank: 0, Subarray: 0, Row: probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRows(got, want) {
+			t.Fatalf("step %d: activation of %v disagrees with cell state", step, probe)
+		}
+	}
+}
+
+// TestControlRowsNeverCorrupted: whatever command stream runs, C0 must stay
+// all-zeros and C1 all-ones after a precharge, since every use of them is as
+// an activation *source*.  (The controller never uses a C address as an AAP
+// destination; this test documents that the model would let a buggy
+// controller corrupt them, by checking the legal sequences only.)
+func TestControlRowsNeverCorrupted(t *testing.T) {
+	g := smallGeom()
+	rng := rand.New(rand.NewSource(5))
+	d, err := NewDevice(Config{Geometry: g, Timing: DDR3_1600()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run many legal controller-style trains.
+	for step := 0; step < 200; step++ {
+		first := []RowAddr{D(rng.Intn(g.DataRows())), C(rng.Intn(2)), B(12 + rng.Intn(4))}[rng.Intn(3)]
+		second := []RowAddr{B(rng.Intn(8)), B(8 + rng.Intn(4)), D(rng.Intn(g.DataRows()))}[rng.Intn(3)]
+		if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: first}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: second}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Precharge(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c0, _ := d.PeekRow(PhysAddr{Bank: 0, Subarray: 0, Row: C(0)})
+	c1, _ := d.PeekRow(PhysAddr{Bank: 0, Subarray: 0, Row: C(1)})
+	for i := range c0 {
+		if c0[i] != 0 {
+			t.Fatalf("C0 corrupted at word %d: %#x", i, c0[i])
+		}
+		if c1[i] != ^uint64(0) {
+			t.Fatalf("C1 corrupted at word %d: %#x", i, c1[i])
+		}
+	}
+}

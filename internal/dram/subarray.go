@@ -1,0 +1,293 @@
+package dram
+
+import "fmt"
+
+// Subarray models one DRAM subarray: a matrix of cells sharing one row of
+// sense amplifiers, plus the Ambit-reserved rows (Figure 7):
+//
+//	D-group: DataRows() ordinary rows,
+//	B-group: designated rows T0..T3 and two DCC rows (DCC0, DCC1),
+//	C-group: control rows C0 (zeros) and C1 (ones).
+//
+// All row data is stored as []uint64; bit i of word w corresponds to the cell
+// on bitline 64*w+i.
+type Subarray struct {
+	geom Geometry
+
+	data [][]uint64 // D-group rows
+	t    [4][]uint64
+	dcc  [2][]uint64
+	ctrl [2][]uint64 // C0, C1
+
+	// Sense-amplifier state.  amps holds the bitline values (the row
+	// buffer); ampsOn reports whether sense amplification has happened
+	// since the last precharge.
+	amps   []uint64
+	ampsOn bool
+
+	// raised is the set of wordlines raised since the last precharge, in
+	// activation order.  Used for introspection and testing.
+	raised []Wordline
+
+	// faultMask, when non-nil, is XORed into the majority result of the
+	// next TRA.  It is the hook through which the circuit-level failure
+	// model (internal/circuit) injects process-variation bit errors.
+	faultMask []uint64
+
+	// scratch buffers reused by sense() so the activation hot path does
+	// not allocate.
+	scratch [3][]uint64
+}
+
+// NewSubarray constructs a subarray with all cells zeroed except C1, which is
+// pre-initialized to all ones (Section 3.4).
+//
+// Data-row storage is allocated lazily on first access: a nil row reads as
+// all zeros, so an untouched multi-gigabyte device costs almost no host
+// memory.
+func NewSubarray(g Geometry) *Subarray {
+	w := g.WordsPerRow()
+	s := &Subarray{geom: g, amps: make([]uint64, w)}
+	s.data = make([][]uint64, g.DataRows())
+	for i := range s.t {
+		s.t[i] = make([]uint64, w)
+	}
+	for i := range s.dcc {
+		s.dcc[i] = make([]uint64, w)
+	}
+	for i := range s.ctrl {
+		s.ctrl[i] = make([]uint64, w)
+	}
+	for i := range s.ctrl[1] {
+		s.ctrl[1][i] = ^uint64(0) // C1 = all ones
+	}
+	return s
+}
+
+// cell returns the storage backing a wordline's row, allocating lazily for
+// data rows.
+func (s *Subarray) cell(w Wordline) []uint64 {
+	switch w.Kind {
+	case WLData:
+		if s.data[w.Index] == nil {
+			s.data[w.Index] = make([]uint64, s.geom.WordsPerRow())
+		}
+		return s.data[w.Index]
+	case WLT:
+		return s.t[w.Index]
+	case WLDCCData, WLDCCNeg:
+		return s.dcc[w.Index]
+	case WLC:
+		return s.ctrl[w.Index]
+	}
+	panic(fmt.Sprintf("dram: unknown wordline kind %d", w.Kind))
+}
+
+// Activated reports whether the subarray's sense amplifiers are enabled.
+func (s *Subarray) Activated() bool { return s.ampsOn }
+
+// Raised returns the wordlines raised since the last precharge.
+func (s *Subarray) Raised() []Wordline { return append([]Wordline(nil), s.raised...) }
+
+// InjectTRAFault arranges for the given bit mask to be XORed into the result
+// of the next triple-row activation, emulating process-variation failures
+// quantified by the circuit model (Section 6).  Passing nil clears the hook.
+func (s *Subarray) InjectTRAFault(mask []uint64) { s.faultMask = mask }
+
+// Activate performs the ACTIVATE command for the wordline set wls.
+//
+// If the subarray is precharged, this is a *first* activation: charge sharing
+// between the connected cells determines the bitline values, the sense
+// amplifiers latch and then restore every connected cell (Section 2,
+// Figure 3; Section 3.1, Figure 4 for TRA; Section 4, Figure 6 for the
+// n-wordline).  If the sense amplifiers are already enabled, this is the
+// second ACTIVATE of an AAP: the amplifiers overwrite the newly connected
+// cells with the latched value (Section 5.2).
+//
+// Returns the number of wordlines raised (for energy accounting).
+func (s *Subarray) Activate(wls []Wordline) (int, error) {
+	if len(wls) == 0 {
+		return 0, fmt.Errorf("dram: activate with empty wordline set")
+	}
+	if s.ampsOn {
+		s.overwrite(wls)
+		s.raised = append(s.raised, wls...)
+		return len(wls), nil
+	}
+	if err := s.sense(wls); err != nil {
+		return 0, err
+	}
+	s.raised = append(s.raised, wls...)
+	return len(wls), nil
+}
+
+// sense implements the first activation: charge sharing + sense
+// amplification + restoration.
+func (s *Subarray) sense(wls []Wordline) error {
+	w := s.geom.WordsPerRow()
+	switch len(wls) {
+	case 1:
+		src := s.cell(wls[0])
+		if wls[0].Negated() {
+			// The cell presents its value on bitline-bar; the row
+			// buffer (bitline side) therefore latches the negation.
+			for i := 0; i < w; i++ {
+				s.amps[i] = ^src[i]
+			}
+		} else {
+			copy(s.amps, src)
+		}
+	case 2:
+		// Dual activation on a precharged bank is only defined when
+		// both cells already agree (bitline-side view); otherwise the
+		// bitline settles at a half level.
+		a, b := s.contribution(0, wls[0]), s.contribution(1, wls[1])
+		for i := 0; i < w; i++ {
+			if a[i] != b[i] {
+				return ErrUndefinedChargeSharing
+			}
+		}
+		copy(s.amps, a)
+	case 3:
+		// Triple-row activation: bitwise majority (Section 3.1).
+		a, b, c := s.contribution(0, wls[0]), s.contribution(1, wls[1]), s.contribution(2, wls[2])
+		for i := 0; i < w; i++ {
+			s.amps[i] = a[i]&b[i] | b[i]&c[i] | c[i]&a[i]
+		}
+		if s.faultMask != nil {
+			for i := 0; i < w && i < len(s.faultMask); i++ {
+				s.amps[i] ^= s.faultMask[i]
+			}
+			s.faultMask = nil
+		}
+	default:
+		return fmt.Errorf("dram: activation of %d wordlines not supported", len(wls))
+	}
+	s.ampsOn = true
+	s.restore(wls)
+	return nil
+}
+
+// contribution returns the value a cell presents on the bitline side: the
+// cell value itself for data-side wordlines, its complement for n-wordlines.
+// Non-negated cells are returned directly (the callers only read); negated
+// views are built in the per-slot scratch buffer to keep activation
+// allocation-free.
+func (s *Subarray) contribution(slot int, wl Wordline) []uint64 {
+	src := s.cell(wl)
+	if !wl.Negated() {
+		return src
+	}
+	if s.scratch[slot] == nil {
+		s.scratch[slot] = make([]uint64, len(src))
+	}
+	out := s.scratch[slot]
+	for i := range src {
+		out[i] = ^src[i]
+	}
+	return out
+}
+
+// restore writes the latched sense-amplifier value back into every connected
+// cell, respecting polarity.  This models the restoration phase of
+// activation: TRA overwrites all three source cells with the majority value
+// (Section 3.2, issue 3), and an n-wordline cell is charged from bitline-bar,
+// i.e. with the complement of the row-buffer value.
+func (s *Subarray) restore(wls []Wordline) { s.overwrite(wls) }
+
+// overwrite copies the row buffer into the cells of the given wordlines.
+func (s *Subarray) overwrite(wls []Wordline) {
+	for _, wl := range wls {
+		dst := s.cell(wl)
+		if wl.Negated() {
+			for i := range dst {
+				dst[i] = ^s.amps[i]
+			}
+		} else {
+			copy(dst, s.amps)
+		}
+	}
+}
+
+// Precharge closes the subarray: the wordlines are lowered and the sense
+// amplifiers disabled (Section 2).
+func (s *Subarray) Precharge() {
+	s.ampsOn = false
+	s.raised = s.raised[:0]
+}
+
+// ReadColumn returns word col of the row buffer.  The bank must be activated.
+func (s *Subarray) ReadColumn(col int) (uint64, error) {
+	if !s.ampsOn {
+		return 0, ErrBankPrecharged
+	}
+	if col < 0 || col >= len(s.amps) {
+		return 0, ErrColumnRange
+	}
+	return s.amps[col], nil
+}
+
+// WriteColumn overwrites word col of the row buffer and propagates the value
+// into every currently raised wordline's cell (writes go through the sense
+// amplifiers into the open row).
+func (s *Subarray) WriteColumn(col int, v uint64) error {
+	if !s.ampsOn {
+		return ErrBankPrecharged
+	}
+	if col < 0 || col >= len(s.amps) {
+		return ErrColumnRange
+	}
+	s.amps[col] = v
+	for _, wl := range s.raised {
+		dst := s.cell(wl)
+		if wl.Negated() {
+			dst[col] = ^v
+		} else {
+			dst[col] = v
+		}
+	}
+	return nil
+}
+
+// RowBuffer returns a copy of the current sense-amplifier contents.
+func (s *Subarray) RowBuffer() ([]uint64, error) {
+	if !s.ampsOn {
+		return nil, ErrBankPrecharged
+	}
+	return append([]uint64(nil), s.amps...), nil
+}
+
+// PeekRow returns a copy of the cells behind a row address, without issuing
+// any DRAM command.  For multi-wordline B-group addresses it returns the
+// first wordline's row.  Intended for tests and debugging tools.
+func (s *Subarray) PeekRow(a RowAddr) ([]uint64, error) {
+	wls, err := DecodeRowAddr(a, s.geom)
+	if err != nil {
+		return nil, err
+	}
+	return append([]uint64(nil), s.cell(wls[0])...), nil
+}
+
+// PeekWordline returns a copy of the cells behind one physical wordline.
+func (s *Subarray) PeekWordline(wl Wordline) []uint64 {
+	return append([]uint64(nil), s.cell(wl)...)
+}
+
+// PokeRow overwrites the cells behind a single-wordline row address, without
+// issuing DRAM commands.  Used to initialize memory content ("load a memory
+// image") in tests and by the backdoor loader of the public API.
+func (s *Subarray) PokeRow(a RowAddr, data []uint64) error {
+	wls, err := DecodeRowAddr(a, s.geom)
+	if err != nil {
+		return err
+	}
+	if len(wls) != 1 {
+		return fmt.Errorf("dram: PokeRow on multi-wordline address %v", a)
+	}
+	dst := s.cell(wls[0])
+	if len(data) != len(dst) {
+		return ErrRowSize
+	}
+	copy(dst, data)
+	return nil
+}

@@ -1,0 +1,419 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// smallGeom is a compact geometry that keeps tests fast while preserving all
+// structural properties (reserved addresses, multi-word rows).
+func smallGeom() Geometry {
+	return Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 64}
+}
+
+func newTestSubarray(t *testing.T) *Subarray {
+	t.Helper()
+	g := smallGeom()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("geometry invalid: %v", err)
+	}
+	return NewSubarray(g)
+}
+
+func randRow(rng *rand.Rand, words int) []uint64 {
+	r := make([]uint64, words)
+	for i := range r {
+		r[i] = rng.Uint64()
+	}
+	return r
+}
+
+func activate(t *testing.T, s *Subarray, a RowAddr) {
+	t.Helper()
+	wls, err := DecodeRowAddr(a, smallGeom())
+	if err != nil {
+		t.Fatalf("decode %v: %v", a, err)
+	}
+	if _, err := s.Activate(wls); err != nil {
+		t.Fatalf("activate %v: %v", a, err)
+	}
+}
+
+func equalRows(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestControlRowsInitialized(t *testing.T) {
+	s := newTestSubarray(t)
+	c0, err := s.PeekRow(C(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range c0 {
+		if w != 0 {
+			t.Fatalf("C0 word %d = %#x, want 0", i, w)
+		}
+	}
+	c1, err := s.PeekRow(C(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range c1 {
+		if w != ^uint64(0) {
+			t.Fatalf("C1 word %d = %#x, want all ones", i, w)
+		}
+	}
+}
+
+func TestSingleActivationLatchesAndRestores(t *testing.T) {
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(1))
+	want := randRow(rng, smallGeom().WordsPerRow())
+	if err := s.PokeRow(D(3), want); err != nil {
+		t.Fatal(err)
+	}
+	activate(t, s, D(3))
+	buf, err := s.RowBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRows(buf, want) {
+		t.Fatalf("row buffer = %x, want %x", buf, want)
+	}
+	// The cell must be restored (activation is non-destructive end to end).
+	got, _ := s.PeekRow(D(3))
+	if !equalRows(got, want) {
+		t.Fatalf("cell after activation = %x, want %x", got, want)
+	}
+}
+
+func TestPrechargeClosesRowBuffer(t *testing.T) {
+	s := newTestSubarray(t)
+	activate(t, s, D(0))
+	s.Precharge()
+	if s.Activated() {
+		t.Fatal("subarray still activated after precharge")
+	}
+	if _, err := s.RowBuffer(); err != ErrBankPrecharged {
+		t.Fatalf("RowBuffer after precharge: err = %v, want ErrBankPrecharged", err)
+	}
+	if _, err := s.ReadColumn(0); err != ErrBankPrecharged {
+		t.Fatalf("ReadColumn after precharge: err = %v, want ErrBankPrecharged", err)
+	}
+	if err := s.WriteColumn(0, 1); err != ErrBankPrecharged {
+		t.Fatalf("WriteColumn after precharge: err = %v, want ErrBankPrecharged", err)
+	}
+}
+
+func TestSecondActivationCopies(t *testing.T) {
+	// AAP(Di, Dj) semantics: ACTIVATE Di, ACTIVATE Dj copies Di into Dj
+	// (this is RowClone-FPM, Section 3.4).
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(2))
+	src := randRow(rng, smallGeom().WordsPerRow())
+	if err := s.PokeRow(D(1), src); err != nil {
+		t.Fatal(err)
+	}
+	activate(t, s, D(1))
+	activate(t, s, D(2))
+	s.Precharge()
+	got, _ := s.PeekRow(D(2))
+	if !equalRows(got, src) {
+		t.Fatalf("FPM copy: D2 = %x, want %x", got, src)
+	}
+	// Source must be intact.
+	gotSrc, _ := s.PeekRow(D(1))
+	if !equalRows(gotSrc, src) {
+		t.Fatalf("FPM copy: D1 clobbered: %x, want %x", gotSrc, src)
+	}
+}
+
+func TestTRAMajority(t *testing.T) {
+	// Load T0, T1, T2 directly and issue the TRA address B12; the result
+	// must be the bitwise majority, and all three cells must hold it
+	// afterwards (Figure 4 state 3).
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(3))
+	w := smallGeom().WordsPerRow()
+	a, b, c := randRow(rng, w), randRow(rng, w), randRow(rng, w)
+	s.t[0] = append([]uint64(nil), a...)
+	s.t[1] = append([]uint64(nil), b...)
+	s.t[2] = append([]uint64(nil), c...)
+	activate(t, s, B(12))
+	want := make([]uint64, w)
+	for i := 0; i < w; i++ {
+		want[i] = a[i]&b[i] | b[i]&c[i] | c[i]&a[i]
+	}
+	buf, _ := s.RowBuffer()
+	if !equalRows(buf, want) {
+		t.Fatalf("TRA majority: buffer = %x, want %x", buf, want)
+	}
+	for i, wl := range []Wordline{{WLT, 0}, {WLT, 1}, {WLT, 2}} {
+		if got := s.PeekWordline(wl); !equalRows(got, want) {
+			t.Fatalf("TRA overwrote T%d with %x, want majority %x", i, got, want)
+		}
+	}
+}
+
+func TestTRAMajorityProperty(t *testing.T) {
+	// Property: for arbitrary word triples, TRA over T0..T2 equals the
+	// bitwise majority function AB + BC + CA.
+	g := smallGeom()
+	f := func(a, b, c uint64) bool {
+		s := NewSubarray(g)
+		for i := 0; i < g.WordsPerRow(); i++ {
+			s.t[0][i], s.t[1][i], s.t[2][i] = a, b, c
+		}
+		wls, _ := DecodeRowAddr(B(12), g)
+		if _, err := s.Activate(wls); err != nil {
+			return false
+		}
+		want := a&b | b&c | c&a
+		buf, err := s.RowBuffer()
+		if err != nil {
+			return false
+		}
+		for _, got := range buf {
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTRAWithControlRowIsANDOR(t *testing.T) {
+	// C(A+B) + ~C(AB): with C=0 the TRA computes AND, with C=1 OR
+	// (Section 3.1).
+	g := smallGeom()
+	f := func(a, b uint64, control bool) bool {
+		s := NewSubarray(g)
+		fill := uint64(0)
+		if control {
+			fill = ^uint64(0)
+		}
+		for i := 0; i < g.WordsPerRow(); i++ {
+			s.t[0][i], s.t[1][i], s.t[2][i] = a, b, fill
+		}
+		wls, _ := DecodeRowAddr(B(12), g)
+		if _, err := s.Activate(wls); err != nil {
+			return false
+		}
+		want := a & b
+		if control {
+			want = a | b
+		}
+		buf, _ := s.RowBuffer()
+		for _, got := range buf {
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCCNegationCapture(t *testing.T) {
+	// Figure 6: activate a source row, then the n-wordline (B5); the DCC
+	// cell must capture the negated source value.
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(4))
+	src := randRow(rng, smallGeom().WordsPerRow())
+	if err := s.PokeRow(D(7), src); err != nil {
+		t.Fatal(err)
+	}
+	activate(t, s, D(7))
+	activate(t, s, B(5)) // ~DCC0
+	s.Precharge()
+	got := s.PeekWordline(Wordline{WLDCCData, 0})
+	for i := range src {
+		if got[i] != ^src[i] {
+			t.Fatalf("DCC0 word %d = %#x, want %#x", i, got[i], ^src[i])
+		}
+	}
+	// Activating the d-wordline (B4) afterwards must present the negated
+	// value on the bitlines.
+	activate(t, s, B(4))
+	buf, _ := s.RowBuffer()
+	for i := range src {
+		if buf[i] != ^src[i] {
+			t.Fatalf("buffer word %d = %#x, want %#x", i, buf[i], ^src[i])
+		}
+	}
+}
+
+func TestDCCNWordlineFirstActivationPresentsNegation(t *testing.T) {
+	// Activating the n-wordline on a precharged subarray drives
+	// bitline-bar with the cell value, so the row buffer (bitline side)
+	// sees the complement — and the cell is restored unchanged.
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(5))
+	val := randRow(rng, smallGeom().WordsPerRow())
+	copy(s.dcc[0], val)
+	activate(t, s, B(5))
+	buf, _ := s.RowBuffer()
+	for i := range val {
+		if buf[i] != ^val[i] {
+			t.Fatalf("buffer word %d = %#x, want %#x", i, buf[i], ^val[i])
+		}
+	}
+	got := s.PeekWordline(Wordline{WLDCCData, 0})
+	if !equalRows(got, val) {
+		t.Fatalf("DCC cell disturbed by n-wordline activation: %x, want %x", got, val)
+	}
+}
+
+func TestDualActivationSecondIsDoubleCopy(t *testing.T) {
+	// B8 = {~DCC0, T0} as the second ACTIVATE of an AAP: simultaneously
+	// stores the negated row-buffer into DCC0 and the positive value into
+	// T0 (used by xor, Figure 8c).
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(6))
+	src := randRow(rng, smallGeom().WordsPerRow())
+	if err := s.PokeRow(D(5), src); err != nil {
+		t.Fatal(err)
+	}
+	activate(t, s, D(5))
+	activate(t, s, B(8))
+	s.Precharge()
+	t0 := s.PeekWordline(Wordline{WLT, 0})
+	if !equalRows(t0, src) {
+		t.Fatalf("T0 = %x, want %x", t0, src)
+	}
+	dcc := s.PeekWordline(Wordline{WLDCCData, 0})
+	for i := range src {
+		if dcc[i] != ^src[i] {
+			t.Fatalf("DCC0 word %d = %#x, want %#x", i, dcc[i], ^src[i])
+		}
+	}
+}
+
+func TestDualActivationFirstUndefinedWhenUnequal(t *testing.T) {
+	s := newTestSubarray(t)
+	// T2 = 0, T3 = 1 -> dual activation of B10 on precharged bank is
+	// undefined.
+	for i := range s.t[3] {
+		s.t[3][i] = ^uint64(0)
+	}
+	wls, _ := DecodeRowAddr(B(10), smallGeom())
+	if _, err := s.Activate(wls); err == nil {
+		t.Fatal("dual activation of unequal cells succeeded, want error")
+	}
+}
+
+func TestDualActivationFirstDefinedWhenEqual(t *testing.T) {
+	s := newTestSubarray(t)
+	for i := range s.t[2] {
+		s.t[2][i] = 0xF0F0F0F0F0F0F0F0
+		s.t[3][i] = 0xF0F0F0F0F0F0F0F0
+	}
+	wls, _ := DecodeRowAddr(B(10), smallGeom())
+	if _, err := s.Activate(wls); err != nil {
+		t.Fatalf("dual activation of equal cells: %v", err)
+	}
+	buf, _ := s.RowBuffer()
+	for _, w := range buf {
+		if w != 0xF0F0F0F0F0F0F0F0 {
+			t.Fatalf("buffer = %#x, want 0xF0F0...", w)
+		}
+	}
+}
+
+func TestWriteColumnPropagatesToOpenRow(t *testing.T) {
+	s := newTestSubarray(t)
+	activate(t, s, D(9))
+	if err := s.WriteColumn(2, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	s.Precharge()
+	got, _ := s.PeekRow(D(9))
+	if got[2] != 0xDEADBEEF {
+		t.Fatalf("D9 word 2 = %#x, want 0xDEADBEEF", got[2])
+	}
+}
+
+func TestColumnRangeErrors(t *testing.T) {
+	s := newTestSubarray(t)
+	activate(t, s, D(0))
+	if _, err := s.ReadColumn(smallGeom().WordsPerRow()); err != ErrColumnRange {
+		t.Fatalf("read out of range: err = %v, want ErrColumnRange", err)
+	}
+	if err := s.WriteColumn(-1, 0); err != ErrColumnRange {
+		t.Fatalf("write out of range: err = %v, want ErrColumnRange", err)
+	}
+}
+
+func TestInjectTRAFault(t *testing.T) {
+	s := newTestSubarray(t)
+	// All three designated rows zero: majority is zero; injected fault
+	// flips chosen bits.
+	mask := make([]uint64, smallGeom().WordsPerRow())
+	mask[0] = 0b1010
+	s.InjectTRAFault(mask)
+	activate(t, s, B(12))
+	buf, _ := s.RowBuffer()
+	if buf[0] != 0b1010 {
+		t.Fatalf("fault injection: buffer word0 = %#b, want 0b1010", buf[0])
+	}
+	// The hook is one-shot.
+	s.Precharge()
+	activate(t, s, B(12))
+	buf, _ = s.RowBuffer()
+	if buf[0] != 0b1010&0b1010 { // cells now hold the faulty value -> majority of identical rows
+		// All three rows were overwritten with the faulted result, so a
+		// clean TRA reproduces it.
+		t.Logf("buffer word0 after second TRA = %#b", buf[0])
+	}
+	if s.faultMask != nil {
+		t.Fatal("fault mask not cleared after TRA")
+	}
+}
+
+func TestPokeRowRejectsMultiWordlineAndBadSize(t *testing.T) {
+	s := newTestSubarray(t)
+	if err := s.PokeRow(B(12), make([]uint64, smallGeom().WordsPerRow())); err == nil {
+		t.Fatal("PokeRow on TRA address succeeded, want error")
+	}
+	if err := s.PokeRow(D(0), make([]uint64, 1)); err != ErrRowSize {
+		t.Fatalf("PokeRow short data: err = %v, want ErrRowSize", err)
+	}
+}
+
+func TestActivateEmptyWordlineSet(t *testing.T) {
+	s := newTestSubarray(t)
+	if _, err := s.Activate(nil); err == nil {
+		t.Fatal("Activate(nil) succeeded, want error")
+	}
+}
+
+func TestRaisedTracksActivationOrder(t *testing.T) {
+	s := newTestSubarray(t)
+	activate(t, s, D(1))
+	activate(t, s, B(0))
+	raised := s.Raised()
+	if len(raised) != 2 {
+		t.Fatalf("raised = %v, want 2 wordlines", raised)
+	}
+	if raised[0] != (Wordline{WLData, 1}) || raised[1] != (Wordline{WLT, 0}) {
+		t.Fatalf("raised = %v, want [data[1] T0]", raised)
+	}
+	s.Precharge()
+	if len(s.Raised()) != 0 {
+		t.Fatal("raised set not cleared by precharge")
+	}
+}

@@ -1,0 +1,161 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Tests for the TRA addresses beyond B12: B13 (T1,T2,T3), B14 (DCC0,T1,T2),
+// and B15 (DCC1,T0,T3).  B14/B15 mix a DCC d-wordline into the majority —
+// the mechanism xor/xnor rely on (Figure 8c).
+
+func setWordline(t *testing.T, s *Subarray, wl Wordline, v uint64) {
+	t.Helper()
+	row := make([]uint64, smallGeom().WordsPerRow())
+	for i := range row {
+		row[i] = v
+	}
+	switch wl.Kind {
+	case WLT:
+		copy(s.t[wl.Index], row)
+	case WLDCCData:
+		copy(s.dcc[wl.Index], row)
+	default:
+		t.Fatalf("unsupported wordline %v", wl)
+	}
+}
+
+func TestB13TRAMajorityOfT1T2T3(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		s := NewSubarray(smallGeom())
+		for i := range s.t[1] {
+			s.t[1][i], s.t[2][i], s.t[3][i] = a, b, c
+		}
+		wls, _ := DecodeRowAddr(B(13), smallGeom())
+		if _, err := s.Activate(wls); err != nil {
+			return false
+		}
+		buf, _ := s.RowBuffer()
+		want := a&b | b&c | c&a
+		return buf[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestB14TRAIncludesDCC0DataSide(t *testing.T) {
+	// B14 raises DCC0's d-wordline: the DCC contributes its stored value
+	// positively (the negation only applies through the n-wordline).
+	f := func(dcc, t1, t2 uint64) bool {
+		s := NewSubarray(smallGeom())
+		for i := range s.dcc[0] {
+			s.dcc[0][i], s.t[1][i], s.t[2][i] = dcc, t1, t2
+		}
+		wls, _ := DecodeRowAddr(B(14), smallGeom())
+		if _, err := s.Activate(wls); err != nil {
+			return false
+		}
+		buf, _ := s.RowBuffer()
+		want := dcc&t1 | t1&t2 | t2&dcc
+		return buf[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestB15TRAIncludesDCC1(t *testing.T) {
+	s := newTestSubarray(t)
+	setWordline(t, s, Wordline{WLDCCData, 1}, 0b1100)
+	setWordline(t, s, Wordline{WLT, 0}, 0b1010)
+	setWordline(t, s, Wordline{WLT, 3}, 0b0000) // control 0 -> AND
+	activate(t, s, B(15))
+	buf, _ := s.RowBuffer()
+	if buf[0] != 0b1000 {
+		t.Fatalf("B15 TRA = %#b, want 0b1000", buf[0])
+	}
+}
+
+// TestXorIntermediateStates walks Figure 8c's xor sequence step by step and
+// validates every intermediate row state against the figure's annotations.
+func TestXorIntermediateStates(t *testing.T) {
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(42))
+	w := smallGeom().WordsPerRow()
+	di, dj := randRow(rng, w), randRow(rng, w)
+	if err := s.PokeRow(D(0), di); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PokeRow(D(1), dj); err != nil {
+		t.Fatal(err)
+	}
+	aap := func(a1, a2 RowAddr) {
+		t.Helper()
+		activate(t, s, a1)
+		activate(t, s, a2)
+		s.Precharge()
+	}
+	ap := func(a RowAddr) {
+		t.Helper()
+		activate(t, s, a)
+		s.Precharge()
+	}
+	check := func(wl Wordline, want func(i int) uint64, label string) {
+		t.Helper()
+		got := s.PeekWordline(wl)
+		for i := range got {
+			if got[i] != want(i) {
+				t.Fatalf("%s: word %d = %#x, want %#x", label, i, got[i], want(i))
+			}
+		}
+	}
+
+	aap(D(0), B(8)) // DCC0 = !Di, T0 = Di
+	check(Wordline{WLDCCData, 0}, func(i int) uint64 { return ^di[i] }, "DCC0=!Di")
+	check(Wordline{WLT, 0}, func(i int) uint64 { return di[i] }, "T0=Di")
+
+	aap(D(1), B(9)) // DCC1 = !Dj, T1 = Dj
+	check(Wordline{WLDCCData, 1}, func(i int) uint64 { return ^dj[i] }, "DCC1=!Dj")
+	check(Wordline{WLT, 1}, func(i int) uint64 { return dj[i] }, "T1=Dj")
+
+	aap(C(0), B(10)) // T2 = T3 = 0
+	check(Wordline{WLT, 2}, func(i int) uint64 { return 0 }, "T2=0")
+	check(Wordline{WLT, 3}, func(i int) uint64 { return 0 }, "T3=0")
+
+	ap(B(14)) // T1 = DCC0 & T1 = !Di & Dj
+	check(Wordline{WLT, 1}, func(i int) uint64 { return ^di[i] & dj[i] }, "T1=!Di&Dj")
+
+	ap(B(15)) // T0 = DCC1 & T0 = Di & !Dj
+	check(Wordline{WLT, 0}, func(i int) uint64 { return di[i] &^ dj[i] }, "T0=Di&!Dj")
+
+	aap(C(1), B(2)) // T2 = 1
+	check(Wordline{WLT, 2}, func(i int) uint64 { return ^uint64(0) }, "T2=1")
+
+	aap(B(12), D(2)) // Dk = T0 | T1 = Di xor Dj
+	got, _ := s.PeekRow(D(2))
+	for i := range got {
+		if got[i] != di[i]^dj[i] {
+			t.Fatalf("xor result word %d = %#x, want %#x", i, got[i], di[i]^dj[i])
+		}
+	}
+}
+
+// TestDualActivationWritePropagation: WriteColumn with a multi-wordline
+// address raised must write all connected cells with correct polarity.
+func TestDualActivationWritePropagation(t *testing.T) {
+	s := newTestSubarray(t)
+	activate(t, s, D(0)) // open with some row
+	activate(t, s, B(8)) // raise ~DCC0 and T0
+	if err := s.WriteColumn(0, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	s.Precharge()
+	if got := s.PeekWordline(Wordline{WLT, 0})[0]; got != 0xABCD {
+		t.Errorf("T0 word 0 = %#x", got)
+	}
+	if got := s.PeekWordline(Wordline{WLDCCData, 0})[0]; got != ^uint64(0xABCD) {
+		t.Errorf("DCC0 word 0 = %#x, want negated", got)
+	}
+}

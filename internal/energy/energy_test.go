@@ -1,0 +1,242 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{ActivateNJ: 0, PrechargeNJ: 1, ReadPerKB: 1, WritePerKB: 1},
+		{ActivateNJ: 1, PrechargeNJ: 1, ExtraWordlineFactor: -1, ReadPerKB: 1, WritePerKB: 1},
+		{ActivateNJ: 1, PrechargeNJ: 1, ReadPerKB: 0, WritePerKB: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestActivateEnergyWordlineScaling(t *testing.T) {
+	// Section 7: "the activation energy increases by 22% for each
+	// additional wordline raised".
+	m := DefaultModel()
+	base := m.ActivateEnergyNJ(1)
+	if base != m.ActivateNJ {
+		t.Fatalf("single-wordline energy = %g, want %g", base, m.ActivateNJ)
+	}
+	if got, want := m.ActivateEnergyNJ(2), base*1.22; math.Abs(got-want) > 1e-9 {
+		t.Errorf("2-wordline energy = %g, want %g", got, want)
+	}
+	if got, want := m.ActivateEnergyNJ(3), base*1.44; math.Abs(got-want) > 1e-9 {
+		t.Errorf("3-wordline energy = %g, want %g", got, want)
+	}
+	if m.ActivateEnergyNJ(0) != 0 {
+		t.Error("0-wordline energy should be 0")
+	}
+}
+
+// TestTable3MatchesPaper checks the reproduced Table 3 against the paper's
+// values within tolerance.
+//
+//	Design   not    and/or  nand/nor  xor/xnor
+//	DDR3     93.7   137.9   137.9     137.9
+//	Ambit     1.6     3.2     4.0       5.5
+//	(down)   59.5X   43.9X   35.1X     25.1X
+func TestTable3MatchesPaper(t *testing.T) {
+	rows, err := Table3(DefaultModel(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table3 rows = %d, want 4", len(rows))
+	}
+	paper := []struct {
+		label                  string
+		ddr3, ambit, reduction float64
+	}{
+		{"not", 93.7, 1.6, 59.5},
+		{"and/or", 137.9, 3.2, 43.9},
+		{"nand/nor", 137.9, 4.0, 35.1},
+		{"xor/xnor", 137.9, 5.5, 25.1},
+	}
+	const tol = 0.06 // 6% relative tolerance
+	for i, want := range paper {
+		got := rows[i]
+		if got.Label != want.label {
+			t.Fatalf("row %d label = %s, want %s", i, got.Label, want.label)
+		}
+		check := func(name string, g, w float64) {
+			if math.Abs(g-w)/w > tol {
+				t.Errorf("%s %s = %.2f, paper %.2f (off by %.1f%%)",
+					want.label, name, g, w, 100*math.Abs(g-w)/w)
+			}
+		}
+		check("DDR3", got.DDR3, want.ddr3)
+		check("Ambit", got.Ambit, want.ambit)
+		check("reduction", got.Reduction, want.reduction)
+	}
+}
+
+func TestTable3ReductionRange(t *testing.T) {
+	// Section 7: "Ambit reduces energy consumption by 25.1X—59.5X".
+	rows, err := Table3(DefaultModel(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Reduction < 20 || r.Reduction > 70 {
+			t.Errorf("%s reduction %.1fX outside the paper's 25–60X band", r.Label, r.Reduction)
+		}
+	}
+}
+
+func TestAmbitEnergyOrdering(t *testing.T) {
+	// More command steps must cost more energy:
+	// not < and/or < nand/nor < xor/xnor.
+	m := DefaultModel()
+	g := dram.DefaultGeometry()
+	e := func(op controller.Op) float64 {
+		v, err := m.AmbitOpEnergyPerKB(op, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(e(controller.OpNot) < e(controller.OpAnd) &&
+		e(controller.OpAnd) < e(controller.OpNand) &&
+		e(controller.OpNand) < e(controller.OpXor)) {
+		t.Errorf("energy ordering violated: not=%g and=%g nand=%g xor=%g",
+			e(controller.OpNot), e(controller.OpAnd), e(controller.OpNand), e(controller.OpXor))
+	}
+}
+
+func TestDDR3EnergyByInputRows(t *testing.T) {
+	m := DefaultModel()
+	unary := m.DDR3OpEnergyPerKB(controller.OpNot)
+	binary := m.DDR3OpEnergyPerKB(controller.OpAnd)
+	if got, want := binary-unary, m.ReadPerKB; math.Abs(got-want) > 1e-9 {
+		t.Errorf("binary - unary = %g, want one extra read = %g", got, want)
+	}
+	for _, op := range []controller.Op{controller.OpOr, controller.OpNand, controller.OpNor, controller.OpXor, controller.OpXnor} {
+		if m.DDR3OpEnergyPerKB(op) != binary {
+			t.Errorf("%v baseline energy differs from and", op)
+		}
+	}
+}
+
+func TestDeviceEnergyFromStats(t *testing.T) {
+	m := DefaultModel()
+	s := dram.Stats{
+		Activates:    [3]int64{2, 1, 1},
+		Precharges:   3,
+		ColumnReads:  10,
+		ColumnWrites: 10,
+	}
+	want := 2*m.ActivateEnergyNJ(1) + m.ActivateEnergyNJ(2) + m.ActivateEnergyNJ(3) +
+		3*m.PrechargeNJ + 20*m.ColumnAccessNJ
+	if got := m.DeviceEnergyNJ(s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DeviceEnergyNJ = %g, want %g", got, want)
+	}
+	if m.DeviceEnergyNJ(dram.Stats{}) != 0 {
+		t.Error("empty stats should cost 0")
+	}
+}
+
+// TestStaticMatchesExecutedEnergy cross-checks the static per-op energy
+// against energy computed from actual device command statistics.
+func TestStaticMatchesExecutedEnergy(t *testing.T) {
+	g := dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 64}
+	m := DefaultModel()
+	for _, op := range controller.Ops {
+		d, err := dram.NewDevice(dram.Config{Geometry: g, Timing: dram.DDR3_1600()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := controller.New(d)
+		if _, err := c.ExecuteOp(op, 0, 0, dram.D(2), dram.D(0), dram.D(1)); err != nil {
+			t.Fatal(err)
+		}
+		fromStats := m.DeviceEnergyNJ(d.Stats())
+		static, err := m.AmbitOpEnergyNJ(op, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fromStats-static) > 1e-9 {
+			t.Errorf("%v: stats energy %g != static %g", op, fromStats, static)
+		}
+	}
+}
+
+func TestAmbitEnergyPerKBScalesWithRowSize(t *testing.T) {
+	// The command train is per-row, so energy per KB halves when the row
+	// is twice as large.
+	m := DefaultModel()
+	small := dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 4096}
+	big := dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 8192}
+	a, err := m.AmbitOpEnergyPerKB(controller.OpAnd, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AmbitOpEnergyPerKB(controller.OpAnd, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2*b) > 1e-9 {
+		t.Errorf("per-KB energy: 4KB row %g, 8KB row %g (want 2x)", a, b)
+	}
+}
+
+func TestAmbitOpEnergyGeometryErrors(t *testing.T) {
+	// A geometry whose reserved addresses cannot be decoded (too few
+	// rows) is rejected by validation before it reaches energy code, so
+	// exercise the error path with the exported helpers directly.
+	m := DefaultModel()
+	badGeom := dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 18, RowSizeBytes: 64}
+	if badGeom.Validate() == nil {
+		t.Fatal("expected invalid geometry")
+	}
+	// Valid geometry still works for every op.
+	for _, op := range controller.Ops {
+		if _, err := m.AmbitOpEnergyNJ(op, dram.DefaultGeometry()); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if _, err := m.AmbitOpEnergyPerKB(op, dram.DefaultGeometry()); err != nil {
+			t.Fatalf("%v per-KB: %v", op, err)
+		}
+	}
+}
+
+func TestDiffHelper(t *testing.T) {
+	if diff(3, 5) != 2 || diff(5, 3) != 2 || diff(4, 4) != 0 {
+		t.Error("diff wrong")
+	}
+}
+
+func TestTable3AllGroupsConsistent(t *testing.T) {
+	// Table3 verifies intra-group agreement internally; make sure it
+	// holds for a non-default (but valid) geometry too.
+	g := dram.Geometry{Banks: 2, SubarraysPerBank: 4, RowsPerSubarray: 128, RowSizeBytes: 4096}
+	rows, err := Table3(DefaultModel(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ambit <= 0 || r.DDR3 <= 0 || r.Reduction <= 0 {
+			t.Errorf("%s: non-positive entries: %+v", r.Label, r)
+		}
+	}
+}

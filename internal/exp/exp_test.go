@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsGenerate(t *testing.T) {
+	named, err := All(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) != len(Names()) {
+		t.Fatalf("All produced %d experiments, Names lists %d", len(named), len(Names()))
+	}
+	for _, n := range named {
+		if strings.TrimSpace(n.Text) == "" {
+			t.Errorf("%s produced empty output", n.Name)
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	for _, name := range Names() {
+		out, err := Run(name, 2000, 1)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if out == "" {
+			t.Fatalf("Run(%s) empty", name)
+		}
+	}
+	if _, err := Run("bogus", 1000, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1ContainsFullMap(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"B0", "B12", "B15", "T0, T1, T2", "DCC1, T0, T3", "~DCC0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Validation(t *testing.T) {
+	if _, err := Table2(0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestFigure8ContainsPaperSequences(t *testing.T) {
+	out, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AAP (D0, B0)", "AAP (B12, D2)", "AAP (B12, B5)", "AP  (B14)", "AAP (D0, B8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure8 missing %q", want)
+		}
+	}
+}
+
+func TestFigure9MentionsAllSystems(t *testing.T) {
+	out, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Skylake", "GTX 745", "HMC 2.0", "Ambit", "Ambit-3D", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure9 missing %q", want)
+		}
+	}
+}
+
+func TestTable3AndAAP(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"not", "and/or", "nand/nor", "xor/xnor", "Reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+	aap, err := AAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(aap, "80") || !strings.Contains(aap, "49") {
+		t.Error("AAP analysis missing the 80→49 ns headline")
+	}
+}

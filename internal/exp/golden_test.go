@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden-output tests: the deterministic generators must produce stable
+// values so EXPERIMENTS.md stays reproducible.  Comparison is
+// whitespace-normalized (tabwriter column widths are layout, not data).
+
+// containsNormalized reports whether any line of out, with runs of spaces
+// collapsed, equals want.
+func containsNormalized(out, want string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Join(strings.Fields(line), " ") == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGoldenAAP(t *testing.T) {
+	out, err := AAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"DDR3-1600 (8-8-8) 80 49.00 45.00",
+		"DDR4-2400 (16-16-16) 77 49.32 45.32",
+	}
+	for _, line := range want {
+		if !containsNormalized(out, line) {
+			t.Errorf("AAP output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestGoldenFigure9(t *testing.T) {
+	out, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Ambit 668.7 334.4 237.4 195.6 314.8",
+		"Skylake 8.9 6.7 6.7 6.7 7.0",
+		"Ambit-3D 2896.6 1448.3 1049.6 849.0 1370.1",
+	}
+	for _, line := range want {
+		if !containsNormalized(out, line) {
+			t.Errorf("Figure9 output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestGoldenTable3(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"DDR3 (nJ/KB) 93.7 137.9 137.9 137.9",
+		"Ambit (nJ/KB) 1.6 3.2 4.0 5.4",
+	} {
+		if !containsNormalized(out, line) {
+			t.Errorf("Table3 output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestGoldenTable2Deterministic(t *testing.T) {
+	a, err := Table2(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Table2 not deterministic for a fixed seed")
+	}
+	c, err := Table2(5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("Table2 identical across different seeds")
+	}
+}
+
+func TestGoldenFiguresDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figures in -short mode")
+	}
+	for _, gen := range []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"fig10", Figure10},
+		{"fig11", Figure11},
+		{"fig12", Figure12},
+	} {
+		a, err := gen.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s not deterministic", gen.name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ambit/internal/controller"
+)
+
+// This file implements a small textual assembly for bbop programs, so
+// instruction streams can be written by hand, stored, and replayed through
+// the Executor (cmd/bbop).
+//
+// Syntax, one instruction per line:
+//
+//	and  <dst> <src1> <src2> <size>
+//	not  <dst> <src1> <size>
+//	# comment lines and blank lines are ignored
+//
+// Numbers are decimal or 0x-hex.
+
+// ParseProgram assembles a textual program.
+func ParseProgram(src string) ([]Instruction, error) {
+	var prog []Instruction
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		in, err := ParseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		prog = append(prog, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseInstruction assembles one instruction line.
+func ParseInstruction(line string) (Instruction, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Instruction{}, fmt.Errorf("isa: empty instruction")
+	}
+	name := strings.TrimPrefix(strings.ToLower(fields[0]), "bbop_")
+	op, err := controller.ParseOp(name)
+	if err != nil {
+		return Instruction{}, err
+	}
+	want := 4 // op dst src1 size
+	if !op.Unary() {
+		want = 5 // op dst src1 src2 size
+	}
+	if len(fields) != want {
+		return Instruction{}, fmt.Errorf("isa: %s takes %d operands, got %d", name, want-1, len(fields)-1)
+	}
+	nums := make([]int64, 0, 4)
+	for _, f := range fields[1:] {
+		v, err := parseNum(f)
+		if err != nil {
+			return Instruction{}, err
+		}
+		nums = append(nums, v)
+	}
+	in := Instruction{Op: op, Dst: nums[0], Src1: nums[1]}
+	if op.Unary() {
+		in.Size = nums[2]
+	} else {
+		in.Src2 = nums[2]
+		in.Size = nums[3]
+	}
+	return in, nil
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSuffix(strings.ToLower(s), ",")
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		base, s = 16, s[2:]
+	}
+	v, err := strconv.ParseInt(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("isa: bad number %q", s)
+	}
+	return v, nil
+}
+
+// FormatProgram disassembles a program into the textual syntax; the result
+// round-trips through ParseProgram.
+func FormatProgram(prog []Instruction) string {
+	var b strings.Builder
+	for _, in := range prog {
+		if in.Op.Unary() {
+			fmt.Fprintf(&b, "%v %#x %#x %d\n", in.Op, in.Dst, in.Src1, in.Size)
+		} else {
+			fmt.Fprintf(&b, "%v %#x %#x %#x %d\n", in.Op, in.Dst, in.Src1, in.Src2, in.Size)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/controller"
+)
+
+func TestParseInstruction(t *testing.T) {
+	in, err := ParseInstruction("and 0x0 0x2000 0x4000 8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Instruction{Op: controller.OpAnd, Dst: 0, Src1: 0x2000, Src2: 0x4000, Size: 8192}
+	if in != want {
+		t.Fatalf("parsed %+v", in)
+	}
+	// Unary form, bbop_ prefix, commas, mixed case.
+	in, err = ParseInstruction("BBOP_NOT 16, 0x20, 64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != controller.OpNot || in.Dst != 16 || in.Src1 != 0x20 || in.Size != 64 {
+		t.Fatalf("parsed %+v", in)
+	}
+}
+
+func TestParseInstructionErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate 1 2 3 4",
+		"and 1 2 3",     // missing size
+		"and 1 2 3 4 5", // extra
+		"not 1 2 3 4",   // unary with 4 operands
+		"and 1 2 zz 4",  // bad number
+	}
+	for _, line := range bad {
+		if _, err := ParseInstruction(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseProgramWithComments(t *testing.T) {
+	src := `
+# clear then combine
+and 0x0 0x2000 0x4000 8192
+
+not 0x6000 0x0 8192
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 2 {
+		t.Fatalf("parsed %d instructions", len(prog))
+	}
+	if prog[1].Op != controller.OpNot {
+		t.Fatal("second op wrong")
+	}
+}
+
+func TestParseProgramReportsLine(t *testing.T) {
+	_, err := ParseProgram("and 0 1 2 3\nbogus x\n")
+	if err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if got := err.Error(); got[:6] != "line 2" {
+		t.Errorf("error missing line number: %v", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(opIdx uint8, dst, s1, s2 uint16, size uint8) bool {
+		in := Instruction{
+			Op:   controller.Ops[int(opIdx)%len(controller.Ops)],
+			Dst:  int64(dst),
+			Src1: int64(s1),
+			Size: int64(size) + 1,
+		}
+		if !in.Op.Unary() {
+			in.Src2 = int64(s2)
+		}
+		prog, err := ParseProgram(FormatProgram([]Instruction{in}))
+		return err == nil && len(prog) == 1 && prog[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package isa
+
+import (
+	"fmt"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// ExecStats counts what the executor did.
+type ExecStats struct {
+	// AmbitOps / CPUOps count instructions by execution path.
+	AmbitOps, CPUOps int64
+	// PlacementMisses counts instructions that were row-aligned but whose
+	// operands were not subarray-co-located, forcing the CPU path
+	// (Section 5.4.2: the driver is supposed to prevent this).
+	PlacementMisses int64
+	// AmbitNS / CPUNS accumulate simulated latency per path.
+	AmbitNS, CPUNS float64
+}
+
+// Executor dispatches bbop instructions to the Ambit memory controller or to
+// the CPU fallback (Section 5.4.3), executing both paths functionally
+// against the same DRAM device.
+type Executor struct {
+	dev  *dram.Device
+	ctrl *controller.Controller
+	am   AddressMap
+	// ChannelGBps is the external channel bandwidth the CPU path pays.
+	ChannelGBps float64
+
+	stats ExecStats
+	clock float64
+}
+
+// NewExecutor builds an executor over a device.
+func NewExecutor(dev *dram.Device) (*Executor, error) {
+	am, err := NewAddressMap(dev.Geometry())
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{
+		dev:         dev,
+		ctrl:        controller.New(dev),
+		am:          am,
+		ChannelGBps: dev.Timing().ChannelGBps,
+	}, nil
+}
+
+// AddressMap returns the executor's address map.
+func (e *Executor) AddressMap() AddressMap { return e.am }
+
+// Stats returns a snapshot of the execution counters.
+func (e *Executor) Stats() ExecStats { return e.stats }
+
+// Execute runs one bbop instruction, returning the path taken and the
+// simulated latency.
+func (e *Executor) Execute(in Instruction) (Path, float64, error) {
+	if err := in.Validate(e.am); err != nil {
+		return PathCPU, 0, err
+	}
+	if in.AmbitEligible(e.am) {
+		if lat, ok, err := e.executeAmbit(in); err != nil {
+			return PathAmbit, 0, err
+		} else if ok {
+			e.stats.AmbitOps++
+			e.stats.AmbitNS += lat
+			return PathAmbit, lat, nil
+		}
+		// Aligned but not co-located: the paper's driver would have
+		// placed these together; count the miss and fall back.
+		e.stats.PlacementMisses++
+	}
+	lat, err := e.executeCPU(in)
+	if err != nil {
+		return PathCPU, 0, err
+	}
+	e.stats.CPUOps++
+	e.stats.CPUNS += lat
+	return PathCPU, lat, nil
+}
+
+// executeAmbit issues Figure-8 command trains row by row.  It reports
+// ok=false without side effects when any row triple is not co-located.
+func (e *Executor) executeAmbit(in Instruction) (float64, bool, error) {
+	rowSize := e.am.RowSize()
+	slots := int64(e.am.Slots())
+	rows := in.Size / rowSize
+	dstR, s1R, s2R := in.Dst/rowSize, in.Src1/rowSize, in.Src2/rowSize
+	// Co-location check first (no partial execution on failure).
+	for r := int64(0); r < rows; r++ {
+		if (dstR+r)%slots != (s1R+r)%slots {
+			return 0, false, nil
+		}
+		if !in.Op.Unary() && (dstR+r)%slots != (s2R+r)%slots {
+			return 0, false, nil
+		}
+	}
+	start := e.clock
+	end := start
+	for r := int64(0); r < rows; r++ {
+		dp, err := e.am.RowOfIndex(dstR + r)
+		if err != nil {
+			return 0, false, err
+		}
+		sp1, err := e.am.RowOfIndex(s1R + r)
+		if err != nil {
+			return 0, false, err
+		}
+		var src2 dram.RowAddr
+		if !in.Op.Unary() {
+			sp2, err := e.am.RowOfIndex(s2R + r)
+			if err != nil {
+				return 0, false, err
+			}
+			src2 = sp2.Row
+		}
+		done, err := e.ctrl.ScheduleOp(in.Op, dp.Bank, dp.Subarray, dp.Row, sp1.Row, src2, start)
+		if err != nil {
+			return 0, false, err
+		}
+		if done > end {
+			end = done
+		}
+	}
+	e.clock = end
+	return end - start, true, nil
+}
+
+// executeCPU reads the operands over the channel, computes word-wise, and
+// writes the destination back — the Section 5.4.3 fallback for unaligned or
+// sub-row operations.
+func (e *Executor) executeCPU(in Instruction) (float64, error) {
+	a, err := e.readRange(in.Src1, in.Size)
+	if err != nil {
+		return 0, err
+	}
+	var b []byte
+	if !in.Op.Unary() {
+		if b, err = e.readRange(in.Src2, in.Size); err != nil {
+			return 0, err
+		}
+	}
+	out := make([]byte, in.Size)
+	for i := range out {
+		var bv uint64
+		if b != nil {
+			bv = uint64(b[i])
+		}
+		out[i] = byte(in.Op.Eval(uint64(a[i]), bv))
+	}
+	if err := e.writeRange(in.Dst, out); err != nil {
+		return 0, err
+	}
+	moved := float64(in.Size) * float64(in.Op.InputRows()+2) // reads + RFO + writeback
+	lat := moved / e.ChannelGBps
+	e.clock += lat
+	return lat, nil
+}
+
+// readRange reads size bytes starting at a physical byte address.
+func (e *Executor) readRange(addr, size int64) ([]byte, error) {
+	out := make([]byte, 0, size)
+	rowSize := e.am.RowSize()
+	for size > 0 {
+		p, off, err := e.am.Translate(addr)
+		if err != nil {
+			return nil, err
+		}
+		row, err := e.dev.ReadRow(p)
+		if err != nil {
+			return nil, err
+		}
+		n := rowSize - off
+		if n > size {
+			n = size
+		}
+		out = append(out, rowBytes(row)[off:off+n]...)
+		addr += n
+		size -= n
+	}
+	return out, nil
+}
+
+// writeRange writes data starting at a physical byte address.
+func (e *Executor) writeRange(addr int64, data []byte) error {
+	rowSize := e.am.RowSize()
+	for len(data) > 0 {
+		p, off, err := e.am.Translate(addr)
+		if err != nil {
+			return err
+		}
+		row, err := e.dev.ReadRow(p) // read-modify-write for partial rows
+		if err != nil {
+			return err
+		}
+		raw := rowBytes(row)
+		n := rowSize - off
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		copy(raw[off:off+n], data[:n])
+		if err := e.dev.WriteRow(p, bytesRow(raw)); err != nil {
+			return err
+		}
+		addr += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// rowBytes flattens a word row into little-endian bytes.
+func rowBytes(words []uint64) []byte {
+	out := make([]byte, len(words)*8)
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(w >> uint(8*j))
+		}
+	}
+	return out
+}
+
+// bytesRow packs little-endian bytes back into words.
+func bytesRow(b []byte) []uint64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("isa: row byte length %d not word-aligned", len(b)))
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		for j := 0; j < 8; j++ {
+			out[i] |= uint64(b[i*8+j]) << uint(8*j)
+		}
+	}
+	return out
+}

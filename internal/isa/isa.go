@@ -1,0 +1,231 @@
+// Package isa implements the instruction-set integration of Section 5.4 of
+// the Ambit paper:
+//
+//   - the bbop instruction family (Section 5.4.1):
+//     `bbop dst, src1, [src2], size`, operating on physical byte addresses,
+//   - the contiguous physical address space the Ambit controller exposes by
+//     interleaving D-group rows across subarrays (Section 5.1: "the Ambit
+//     controller interleaves the row addresses such that the D-group
+//     addresses across all subarrays are mapped contiguously to the
+//     processor's physical address space"),
+//   - the microarchitectural dispatch check (Section 5.4.3): a bbop whose
+//     operands are row-aligned and whose size is a multiple of the DRAM row
+//     size is sent to the memory controller (Ambit); otherwise the CPU
+//     executes it itself.
+//
+// A compact binary encoding is provided so instruction streams can be stored
+// and replayed by tools.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// AddressMap is the Ambit controller's physical address interleaving: byte
+// address a lives in global row r = a / RowSize; row r maps to placement
+// slot (r mod slots) — slot s is bank s%banks, subarray s/banks — at
+// per-slot row index r / slots.  Consecutive rows therefore hit different
+// banks (bank-level parallelism) while row-aligned vectors allocated at the
+// same stride stay subarray-co-located.
+type AddressMap struct {
+	geom dram.Geometry
+}
+
+// NewAddressMap builds an address map over a geometry.
+func NewAddressMap(g dram.Geometry) (AddressMap, error) {
+	if err := g.Validate(); err != nil {
+		return AddressMap{}, err
+	}
+	return AddressMap{geom: g}, nil
+}
+
+// Geometry returns the underlying geometry.
+func (am AddressMap) Geometry() dram.Geometry { return am.geom }
+
+// Slots returns the number of (bank, subarray) placement slots.
+func (am AddressMap) Slots() int { return am.geom.Banks * am.geom.SubarraysPerBank }
+
+// Capacity returns the size of the physical address space in bytes.
+func (am AddressMap) Capacity() int64 { return am.geom.DataCapacityBytes() }
+
+// RowSize returns the DRAM row size in bytes.
+func (am AddressMap) RowSize() int64 { return int64(am.geom.RowSizeBytes) }
+
+// RowOfIndex maps global row index r to its physical location.
+func (am AddressMap) RowOfIndex(r int64) (dram.PhysAddr, error) {
+	if r < 0 || r >= am.Capacity()/am.RowSize() {
+		return dram.PhysAddr{}, fmt.Errorf("isa: row index %d out of range", r)
+	}
+	slots := int64(am.Slots())
+	slot := int(r % slots)
+	return dram.PhysAddr{
+		Bank:     slot % am.geom.Banks,
+		Subarray: slot / am.geom.Banks,
+		Row:      dram.D(int(r / slots)),
+	}, nil
+}
+
+// Translate maps a physical byte address to its DRAM row and the byte offset
+// within that row.
+func (am AddressMap) Translate(addr int64) (dram.PhysAddr, int64, error) {
+	if addr < 0 || addr >= am.Capacity() {
+		return dram.PhysAddr{}, 0, fmt.Errorf("isa: address %#x outside [0,%#x)", addr, am.Capacity())
+	}
+	p, err := am.RowOfIndex(addr / am.RowSize())
+	return p, addr % am.RowSize(), err
+}
+
+// IndexOfRow is the inverse of RowOfIndex: the global row index of a
+// physical row location.
+func (am AddressMap) IndexOfRow(p dram.PhysAddr) (int64, error) {
+	if err := p.Validate(am.geom); err != nil {
+		return 0, err
+	}
+	if p.Row.Group != dram.GroupD {
+		return 0, fmt.Errorf("isa: %v is not a data row", p.Row)
+	}
+	slot := int64(p.Subarray*am.geom.Banks + p.Bank)
+	return int64(p.Row.Index)*int64(am.Slots()) + slot, nil
+}
+
+// Instruction is one bbop instruction (Section 5.4.1): size bytes at src1
+// (and src2 for binary ops) combined into dst.
+type Instruction struct {
+	Op   controller.Op
+	Dst  int64
+	Src1 int64
+	Src2 int64 // ignored for unary ops
+	Size int64
+}
+
+// String renders the instruction in the paper's assembly syntax.
+func (in Instruction) String() string {
+	if in.Op.Unary() {
+		return fmt.Sprintf("bbop_%v %#x, %#x, %d", in.Op, in.Dst, in.Src1, in.Size)
+	}
+	return fmt.Sprintf("bbop_%v %#x, %#x, %#x, %d", in.Op, in.Dst, in.Src1, in.Src2, in.Size)
+}
+
+// Validate performs the bounds checks common to both execution paths.
+func (in Instruction) Validate(am AddressMap) error {
+	if in.Size <= 0 {
+		return fmt.Errorf("isa: %v: size must be positive", in)
+	}
+	addrs := []int64{in.Dst, in.Src1}
+	if !in.Op.Unary() {
+		addrs = append(addrs, in.Src2)
+	}
+	for _, a := range addrs {
+		if a < 0 || a+in.Size > am.Capacity() {
+			return fmt.Errorf("isa: %v: operand [%#x,%#x) outside memory", in, a, a+in.Size)
+		}
+	}
+	return nil
+}
+
+// AmbitEligible implements the Section 5.4.3 microarchitectural check: the
+// instruction can be offloaded iff every operand is row-aligned and the size
+// is a multiple of the DRAM row size.
+func (in Instruction) AmbitEligible(am AddressMap) bool {
+	if in.Size%am.RowSize() != 0 {
+		return false
+	}
+	addrs := []int64{in.Dst, in.Src1}
+	if !in.Op.Unary() {
+		addrs = append(addrs, in.Src2)
+	}
+	for _, a := range addrs {
+		if a%am.RowSize() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Path reports which unit executed an instruction.
+type Path uint8
+
+const (
+	// PathAmbit means the memory controller completed the operation
+	// in DRAM.
+	PathAmbit Path = iota
+	// PathCPU means the CPU executed the operation itself (unaligned or
+	// sub-row-sized operands).
+	PathCPU
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	if p == PathAmbit {
+		return "ambit"
+	}
+	return "cpu"
+}
+
+// Encoding: 1 opcode byte, 3 × 8-byte little-endian addresses, 8-byte size.
+const encodedLen = 1 + 4*8
+
+// Encode serializes the instruction.
+func (in Instruction) Encode() []byte {
+	buf := make([]byte, encodedLen)
+	buf[0] = byte(in.Op)
+	binary.LittleEndian.PutUint64(buf[1:], uint64(in.Dst))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(in.Src1))
+	binary.LittleEndian.PutUint64(buf[17:], uint64(in.Src2))
+	binary.LittleEndian.PutUint64(buf[25:], uint64(in.Size))
+	return buf
+}
+
+// Decode deserializes one instruction.
+func Decode(buf []byte) (Instruction, error) {
+	if len(buf) < encodedLen {
+		return Instruction{}, fmt.Errorf("isa: short instruction (%d bytes)", len(buf))
+	}
+	op := controller.Op(buf[0])
+	valid := false
+	for _, o := range controller.Ops {
+		if o == op {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return Instruction{}, fmt.Errorf("isa: bad opcode %d", buf[0])
+	}
+	return Instruction{
+		Op:   op,
+		Dst:  int64(binary.LittleEndian.Uint64(buf[1:])),
+		Src1: int64(binary.LittleEndian.Uint64(buf[9:])),
+		Src2: int64(binary.LittleEndian.Uint64(buf[17:])),
+		Size: int64(binary.LittleEndian.Uint64(buf[25:])),
+	}, nil
+}
+
+// EncodeProgram serializes an instruction sequence.
+func EncodeProgram(prog []Instruction) []byte {
+	out := make([]byte, 0, len(prog)*encodedLen)
+	for _, in := range prog {
+		out = append(out, in.Encode()...)
+	}
+	return out
+}
+
+// DecodeProgram deserializes an instruction sequence.
+func DecodeProgram(buf []byte) ([]Instruction, error) {
+	if len(buf)%encodedLen != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of %d", len(buf), encodedLen)
+	}
+	prog := make([]Instruction, 0, len(buf)/encodedLen)
+	for off := 0; off < len(buf); off += encodedLen {
+		in, err := Decode(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

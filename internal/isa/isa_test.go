@@ -1,0 +1,344 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+func testGeom() dram.Geometry {
+	return dram.Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 128}
+}
+
+func testExecutor(t *testing.T) *Executor {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.Config{Geometry: testGeom(), Timing: dram.DDR3_1600()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecutor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAddressMapRoundTrip(t *testing.T) {
+	am, err := NewAddressMap(testGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := am.Capacity() / am.RowSize()
+	seen := map[dram.PhysAddr]bool{}
+	for r := int64(0); r < rows; r++ {
+		p, err := am.RowOfIndex(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("row %d: duplicate physical location %v", r, p)
+		}
+		seen[p] = true
+		back, err := am.IndexOfRow(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != r {
+			t.Fatalf("IndexOfRow(RowOfIndex(%d)) = %d", r, back)
+		}
+	}
+	if int64(len(seen)) != rows {
+		t.Fatalf("mapped %d locations, want %d", len(seen), rows)
+	}
+}
+
+func TestAddressMapInterleavesBanks(t *testing.T) {
+	// Consecutive rows must land on different banks until all slots are
+	// used (bank-level parallelism, Section 7).
+	am, _ := NewAddressMap(testGeom())
+	p0, _ := am.RowOfIndex(0)
+	p1, _ := am.RowOfIndex(1)
+	if p0.Bank == p1.Bank {
+		t.Errorf("rows 0 and 1 share bank %d", p0.Bank)
+	}
+	// Rows separated by exactly Slots() are co-located (same subarray).
+	pS, _ := am.RowOfIndex(int64(am.Slots()))
+	if pS.Bank != p0.Bank || pS.Subarray != p0.Subarray {
+		t.Error("stride-Slots rows not co-located")
+	}
+}
+
+func TestTranslateBounds(t *testing.T) {
+	am, _ := NewAddressMap(testGeom())
+	if _, _, err := am.Translate(-1); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, _, err := am.Translate(am.Capacity()); err == nil {
+		t.Error("address at capacity accepted")
+	}
+	p, off, err := am.Translate(am.RowSize() + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 5 {
+		t.Errorf("offset = %d, want 5", off)
+	}
+	want, _ := am.RowOfIndex(1)
+	if p != want {
+		t.Errorf("row = %v, want %v", p, want)
+	}
+}
+
+func TestIndexOfRowRejectsReserved(t *testing.T) {
+	am, _ := NewAddressMap(testGeom())
+	if _, err := am.IndexOfRow(dram.PhysAddr{Row: dram.B(0)}); err == nil {
+		t.Error("B-group row accepted")
+	}
+	if _, err := am.IndexOfRow(dram.PhysAddr{Bank: 99, Row: dram.D(0)}); err == nil {
+		t.Error("bad bank accepted")
+	}
+}
+
+func TestInstructionValidation(t *testing.T) {
+	am, _ := NewAddressMap(testGeom())
+	rs := am.RowSize()
+	ok := Instruction{Op: controller.OpAnd, Dst: 0, Src1: rs, Src2: 2 * rs, Size: rs}
+	if err := ok.Validate(am); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	bad := []Instruction{
+		{Op: controller.OpAnd, Dst: 0, Src1: rs, Src2: 2 * rs, Size: 0},
+		{Op: controller.OpAnd, Dst: -1, Src1: rs, Src2: 2 * rs, Size: rs},
+		{Op: controller.OpAnd, Dst: am.Capacity() - 1, Src1: 0, Src2: rs, Size: rs},
+	}
+	for i, in := range bad {
+		if err := in.Validate(am); err == nil {
+			t.Errorf("case %d accepted: %v", i, in)
+		}
+	}
+}
+
+func TestAmbitEligible(t *testing.T) {
+	am, _ := NewAddressMap(testGeom())
+	rs := am.RowSize()
+	cases := []struct {
+		in   Instruction
+		want bool
+	}{
+		{Instruction{Op: controller.OpAnd, Dst: 0, Src1: rs, Src2: 2 * rs, Size: rs}, true},
+		{Instruction{Op: controller.OpAnd, Dst: 0, Src1: rs, Src2: 2 * rs, Size: rs / 2}, false}, // sub-row size
+		{Instruction{Op: controller.OpAnd, Dst: 8, Src1: rs, Src2: 2 * rs, Size: rs}, false},     // unaligned dst
+		{Instruction{Op: controller.OpAnd, Dst: 0, Src1: rs + 8, Src2: 2 * rs, Size: rs}, false}, // unaligned src
+		{Instruction{Op: controller.OpNot, Dst: 0, Src1: rs, Src2: 99, Size: rs}, true},          // src2 ignored
+	}
+	for i, c := range cases {
+		if got := c.in.AmbitEligible(am); got != c.want {
+			t.Errorf("case %d: eligible = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestExecuteAmbitPath(t *testing.T) {
+	e := testExecutor(t)
+	am := e.AddressMap()
+	rs := am.RowSize()
+	slots := int64(am.Slots())
+
+	// Co-located operands: rows 0, slots, 2*slots share a subarray.
+	src1, src2, dst := int64(0), slots*rs, 2*slots*rs
+	writeBytes(t, e, src1, pattern(0xAA, int(rs)))
+	writeBytes(t, e, src2, pattern(0x0F, int(rs)))
+	in := Instruction{Op: controller.OpAnd, Dst: dst, Src1: src1, Src2: src2, Size: rs}
+	path, lat, err := e.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != PathAmbit {
+		t.Fatalf("path = %v, want ambit", path)
+	}
+	if lat <= 0 {
+		t.Error("no latency")
+	}
+	got, err := e.readRange(dst, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0xAA&0x0F {
+			t.Fatalf("byte %d = %#x, want %#x", i, v, 0xAA&0x0F)
+		}
+	}
+	if e.Stats().AmbitOps != 1 {
+		t.Error("ambit op not counted")
+	}
+}
+
+func TestExecutePlacementMissFallsBack(t *testing.T) {
+	e := testExecutor(t)
+	am := e.AddressMap()
+	rs := am.RowSize()
+	// Rows 0 and 1 are in different slots: aligned but not co-located.
+	in := Instruction{Op: controller.OpAnd, Dst: 2 * rs, Src1: 0, Src2: rs, Size: rs}
+	writeBytes(t, e, 0, pattern(0xF0, int(rs)))
+	writeBytes(t, e, rs, pattern(0x3C, int(rs)))
+	path, _, err := e.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != PathCPU {
+		t.Fatalf("path = %v, want cpu fallback", path)
+	}
+	if e.Stats().PlacementMisses != 1 {
+		t.Error("placement miss not counted")
+	}
+	got, _ := e.readRange(2*rs, rs)
+	for _, v := range got {
+		if v != 0xF0&0x3C {
+			t.Fatalf("wrong result %#x", v)
+		}
+	}
+}
+
+func TestExecuteCPUPathSubRow(t *testing.T) {
+	e := testExecutor(t)
+	// 10 bytes at unaligned addresses: CPU path.
+	writeBytes(t, e, 3, pattern(0xFF, 10))
+	writeBytes(t, e, 200, pattern(0x55, 10))
+	in := Instruction{Op: controller.OpXor, Dst: 77, Src1: 3, Src2: 200, Size: 10}
+	path, _, err := e.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != PathCPU {
+		t.Fatalf("path = %v", path)
+	}
+	got, _ := e.readRange(77, 10)
+	for _, v := range got {
+		if v != 0xFF^0x55 {
+			t.Fatalf("xor byte = %#x", v)
+		}
+	}
+	if e.Stats().CPUOps != 1 || e.Stats().PlacementMisses != 0 {
+		t.Errorf("stats = %+v", e.Stats())
+	}
+}
+
+// TestPathsAgree is the key dispatch property: for row-aligned co-located
+// operands, forcing the CPU path yields byte-identical results to the Ambit
+// path, for every opcode.
+func TestPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, op := range controller.Ops {
+		eA := testExecutor(t)
+		eC := testExecutor(t)
+		am := eA.AddressMap()
+		rs := am.RowSize()
+		slots := int64(am.Slots())
+		src1, src2, dst := int64(0), slots*rs, 2*slots*rs
+		data1, data2 := randBytes(rng, int(rs)), randBytes(rng, int(rs))
+		for _, e := range []*Executor{eA, eC} {
+			writeBytes(t, e, src1, data1)
+			writeBytes(t, e, src2, data2)
+		}
+		in := Instruction{Op: op, Dst: dst, Src1: src1, Src2: src2, Size: rs}
+		pathA, _, err := eA.Execute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pathA != PathAmbit {
+			t.Fatalf("%v: expected ambit path", op)
+		}
+		if _, err := eC.executeCPU(in); err != nil {
+			t.Fatal(err)
+		}
+		gotA, _ := eA.readRange(dst, rs)
+		gotC, _ := eC.readRange(dst, rs)
+		for i := range gotA {
+			if gotA[i] != gotC[i] {
+				t.Fatalf("%v: byte %d differs: ambit %#x vs cpu %#x", op, i, gotA[i], gotC[i])
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opIdx uint8, dst, s1, s2, size int64) bool {
+		in := Instruction{
+			Op:  controller.Ops[int(opIdx)%len(controller.Ops)],
+			Dst: dst, Src1: s1, Src2: s2, Size: size,
+		}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	buf := (Instruction{Op: controller.OpAnd}).Encode()
+	buf[0] = 200
+	if _, err := Decode(buf); err == nil {
+		t.Error("bad opcode accepted")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := []Instruction{
+		{Op: controller.OpAnd, Dst: 0, Src1: 128, Src2: 256, Size: 128},
+		{Op: controller.OpNot, Dst: 384, Src1: 0, Size: 128},
+	}
+	out, err := DecodeProgram(EncodeProgram(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != prog[0] || out[1] != prog[1] {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := DecodeProgram(make([]byte, 5)); err == nil {
+		t.Error("ragged program accepted")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	bin := Instruction{Op: controller.OpAnd, Dst: 0x100, Src1: 0x200, Src2: 0x300, Size: 128}
+	if bin.String() != "bbop_and 0x100, 0x200, 0x300, 128" {
+		t.Errorf("String = %q", bin.String())
+	}
+	un := Instruction{Op: controller.OpNot, Dst: 0x100, Src1: 0x200, Size: 128}
+	if un.String() != "bbop_not 0x100, 0x200, 128" {
+		t.Errorf("String = %q", un.String())
+	}
+	if PathAmbit.String() != "ambit" || PathCPU.String() != "cpu" {
+		t.Error("path strings")
+	}
+}
+
+// helpers
+
+func pattern(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+func writeBytes(t *testing.T, e *Executor, addr int64, data []byte) {
+	t.Helper()
+	if err := e.writeRange(addr, data); err != nil {
+		t.Fatal(err)
+	}
+}

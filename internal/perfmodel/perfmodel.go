@@ -1,0 +1,298 @@
+// Package perfmodel models the raw-throughput comparison of Section 7
+// (Figure 9): bulk bitwise operation throughput on an Intel Skylake CPU, an
+// NVIDIA GTX 745 GPU, the logic layer of an HMC 2.0 device, Ambit on a
+// commodity 8-bank module, and Ambit-3D (Ambit integrated into 3D-stacked
+// DRAM).
+//
+// The paper's central observation is that the three baseline systems are
+// *memory-bandwidth-bound*: "the throughput of Skylake, GTX 745, and HMC 2.0
+// are limited by the memory bandwidth available to the respective
+// processors."  We therefore model each baseline as a bandwidth-bound
+// machine — sustained bandwidth divided by the bytes each output byte must
+// move — with the paper's channel configurations:
+//
+//	Skylake: 4 cores with AVX, two 64-bit DDR3-2133 channels (34.1 GB/s peak)
+//	GTX 745: 3 SMs, one 128-bit DDR3-1800 channel (28.8 GB/s peak)
+//	HMC 2.0: 32 vaults × 10 GB/s (320 GB/s aggregate, full-duplex links)
+//
+// Ambit's throughput follows from first principles: each bank processes one
+// full row per command train (Section 5.2/5.3 latencies), and banks operate
+// in parallel, so throughput = banks × rowsize / op-latency.
+//
+// Sustained-efficiency factors are calibrated once against the paper's
+// headline ratios (44.9X vs Skylake, 32X vs GTX 745, 2.4X vs HMC 2.0, 9.7X
+// for Ambit-3D vs HMC 2.0) and recorded in EXPERIMENTS.md.
+package perfmodel
+
+import (
+	"fmt"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// System is anything with a modelled bulk-bitwise throughput.  Throughput is
+// reported in GOps/s where one "op" is one byte of output produced, matching
+// the paper's microbenchmark (repeated ops on 32 MB vectors).
+type System interface {
+	Name() string
+	// Throughput returns the sustained throughput of op in GOps/s.
+	Throughput(op controller.Op) float64
+}
+
+// BandwidthBound models a processor whose bulk-bitwise throughput is limited
+// by memory bandwidth.
+type BandwidthBound struct {
+	// SysName is the display name.
+	SysName string
+	// PeakGBps is the peak memory bandwidth.
+	PeakGBps float64
+	// Efficiency is the sustained fraction of peak achieved by streaming
+	// SIMD kernels (calibrated; see package comment).
+	Efficiency float64
+	// RFO adds one read per output byte for write-allocate caches: the
+	// CPU must fetch the destination line before overwriting it.
+	RFO bool
+	// FullDuplex models separate read/write paths (HMC SerDes links):
+	// the write stream overlaps the read streams, so cost is
+	// max(reads, writes) rather than their sum.
+	FullDuplex bool
+}
+
+// Name implements System.
+func (b BandwidthBound) Name() string { return b.SysName }
+
+// BytesPerOp returns the channel bytes moved per byte of output.
+func (b BandwidthBound) BytesPerOp(op controller.Op) float64 {
+	reads := float64(op.InputRows())
+	writes := 1.0
+	if b.RFO {
+		reads++ // destination line fetched before the store
+	}
+	if b.FullDuplex {
+		if reads > writes {
+			return reads
+		}
+		return writes
+	}
+	return reads + writes
+}
+
+// Throughput implements System.
+func (b BandwidthBound) Throughput(op controller.Op) float64 {
+	return b.PeakGBps * b.Efficiency / b.BytesPerOp(op)
+}
+
+// Skylake returns the paper's CPU baseline: 4-core Skylake with AVX and two
+// 64-bit DDR3-2133 channels.
+func Skylake() BandwidthBound {
+	return BandwidthBound{
+		SysName:    "Skylake",
+		PeakGBps:   34.1,
+		Efficiency: 0.785,
+		RFO:        true,
+	}
+}
+
+// GTX745 returns the paper's GPU baseline: GTX 745 with one 128-bit
+// DDR3-1800 channel.  GPU stores bypass write-allocate, and streaming
+// kernels sustain a high fraction of peak.
+func GTX745() BandwidthBound {
+	return BandwidthBound{
+		SysName:    "GTX 745",
+		PeakGBps:   28.8,
+		Efficiency: 0.957,
+	}
+}
+
+// HMC20 returns the paper's processing-in-logic-layer baseline: HMC 2.0 with
+// 32 vaults × 10 GB/s of full-duplex bandwidth.
+func HMC20() BandwidthBound {
+	return BandwidthBound{
+		SysName:    "HMC 2.0",
+		PeakGBps:   320,
+		Efficiency: 0.7175,
+		FullDuplex: true,
+	}
+}
+
+// AmbitSystem models an Ambit-enabled DRAM device: throughput is determined
+// by the per-row command-train latency and bank-level parallelism.
+type AmbitSystem struct {
+	SysName      string
+	Geom         dram.Geometry
+	Timing       dram.Timing
+	SplitDecoder bool
+	// SubarrayParallelism models subarray-level parallelism (SALP, Kim
+	// et al., ISCA 2012 — cited by the paper's scaling claim: Ambit
+	// throughput "scales linearly with ... the number of banks or
+	// subarrays").  A value of k lets k subarrays per bank run command
+	// trains concurrently; 0 or 1 means the baseline one-subarray-per-
+	// bank operation the functional model implements.
+	SubarrayParallelism int
+}
+
+// parallelism returns the number of concurrently operating arrays.
+func (a AmbitSystem) parallelism() float64 {
+	p := float64(a.Geom.Banks)
+	if a.SubarrayParallelism > 1 {
+		k := a.SubarrayParallelism
+		if k > a.Geom.SubarraysPerBank {
+			k = a.Geom.SubarraysPerBank
+		}
+		p *= float64(k)
+	}
+	return p
+}
+
+// Name implements System.
+func (a AmbitSystem) Name() string { return a.SysName }
+
+// OpLatencyNS returns the latency of one row-wide op under this system's
+// timing and decoder configuration.
+func (a AmbitSystem) OpLatencyNS(op controller.Op) float64 {
+	seq, err := controller.Sequence(op, dram.D(0), dram.D(1), dram.D(2))
+	if err != nil {
+		panic(err) // static sequences exist for all Ops
+	}
+	var total float64
+	for _, s := range seq {
+		switch {
+		case s.Kind == controller.StepAP:
+			total += a.Timing.AP()
+		case a.SplitDecoder && (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB):
+			total += a.Timing.AAPSplit()
+		default:
+			total += a.Timing.AAPNaive()
+		}
+	}
+	return total
+}
+
+// Throughput implements System: parallel arrays × rowsize / latency.  This
+// is the linear scaling of Section 1: "the performance of Ambit scales
+// linearly with the maximum internal bandwidth of DRAM (i.e., row buffer
+// size) and the memory-level parallelism available inside DRAM (i.e.,
+// number of banks or subarrays)".
+func (a AmbitSystem) Throughput(op controller.Op) float64 {
+	rowBytes := float64(a.Geom.RowSizeBytes)
+	return a.parallelism() * rowBytes / a.OpLatencyNS(op)
+}
+
+// VectorTimeNS returns the makespan of applying op to vectors of the given
+// size (bytes), processing rows round-robin across the parallel arrays.
+func (a AmbitSystem) VectorTimeNS(op controller.Op, bytes int64) float64 {
+	rows := (bytes + int64(a.Geom.RowSizeBytes) - 1) / int64(a.Geom.RowSizeBytes)
+	par := int64(a.parallelism())
+	waves := (rows + par - 1) / par
+	return float64(waves) * a.OpLatencyNS(op)
+}
+
+// Ambit8Banks returns the paper's commodity-module configuration: Ambit in a
+// DDR3-1600 module with 8 banks and 8 KB rows.
+func Ambit8Banks() AmbitSystem {
+	return AmbitSystem{
+		SysName:      "Ambit",
+		Geom:         dram.DefaultGeometry(),
+		Timing:       dram.DDR3_1600(),
+		SplitDecoder: true,
+	}
+}
+
+// Ambit3D returns Ambit integrated into a 3D-stacked (HMC-like) device with
+// 256 banks (Section 7: "3D-stacked DRAM architectures like HMC contain a
+// large number of banks (256 banks in 4GB HMC 2.0)").
+func Ambit3D() AmbitSystem {
+	return AmbitSystem{
+		SysName:      "Ambit-3D",
+		Geom:         dram.HMCGeometry(),
+		Timing:       dram.HMCTiming(),
+		SplitDecoder: true,
+	}
+}
+
+// MeanThroughput returns the arithmetic mean throughput across the paper's
+// seven operations.
+func MeanThroughput(s System) float64 {
+	var sum float64
+	for _, op := range controller.Ops {
+		sum += s.Throughput(op)
+	}
+	return sum / float64(len(controller.Ops))
+}
+
+// Figure9Systems returns the five systems of Figure 9 in plot order.
+func Figure9Systems() []System {
+	return []System{Skylake(), GTX745(), HMC20(), Ambit8Banks(), Ambit3D()}
+}
+
+// Figure9Groups are the x-axis groups of Figure 9.
+var Figure9Groups = []struct {
+	Label string
+	Ops   []controller.Op
+}{
+	{"not", []controller.Op{controller.OpNot}},
+	{"and/or", []controller.Op{controller.OpAnd, controller.OpOr}},
+	{"nand/nor", []controller.Op{controller.OpNand, controller.OpNor}},
+	{"xor/xnor", []controller.Op{controller.OpXor, controller.OpXnor}},
+}
+
+// Figure9Cell is one bar of Figure 9.
+type Figure9Cell struct {
+	System string
+	Group  string
+	GOpsS  float64
+}
+
+// Figure9 computes every bar of Figure 9, including the "mean" group.
+func Figure9() []Figure9Cell {
+	var cells []Figure9Cell
+	for _, sys := range Figure9Systems() {
+		for _, g := range Figure9Groups {
+			// Ops within one group have identical modelled
+			// throughput; report the first.
+			cells = append(cells, Figure9Cell{
+				System: sys.Name(),
+				Group:  g.Label,
+				GOpsS:  sys.Throughput(g.Ops[0]),
+			})
+		}
+		cells = append(cells, Figure9Cell{
+			System: sys.Name(),
+			Group:  "mean",
+			GOpsS:  MeanThroughput(sys),
+		})
+	}
+	return cells
+}
+
+// Speedups summarizes the paper's headline ratios from the modelled systems.
+type Speedups struct {
+	AmbitVsSkylake float64 // paper: 44.9X
+	AmbitVsGTX745  float64 // paper: 32.0X
+	AmbitVsHMC     float64 // paper: 2.4X
+	HMCVsSkylake   float64 // paper: 18.5X
+	Ambit3DVsHMC   float64 // paper: 9.7X
+}
+
+// ComputeSpeedups derives the headline mean-throughput ratios.
+func ComputeSpeedups() Speedups {
+	sky := MeanThroughput(Skylake())
+	gpu := MeanThroughput(GTX745())
+	hmc := MeanThroughput(HMC20())
+	amb := MeanThroughput(Ambit8Banks())
+	a3d := MeanThroughput(Ambit3D())
+	return Speedups{
+		AmbitVsSkylake: amb / sky,
+		AmbitVsGTX745:  amb / gpu,
+		AmbitVsHMC:     amb / hmc,
+		HMCVsSkylake:   hmc / sky,
+		Ambit3DVsHMC:   a3d / hmc,
+	}
+}
+
+// String renders the speedups for reports.
+func (s Speedups) String() string {
+	return fmt.Sprintf("Ambit vs Skylake %.1fX, vs GTX745 %.1fX, vs HMC %.1fX; HMC vs Skylake %.1fX; Ambit-3D vs HMC %.1fX",
+		s.AmbitVsSkylake, s.AmbitVsGTX745, s.AmbitVsHMC, s.HMCVsSkylake, s.Ambit3DVsHMC)
+}

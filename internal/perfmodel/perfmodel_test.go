@@ -1,0 +1,252 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+func relDiff(a, b float64) float64 { return math.Abs(a-b) / b }
+
+// TestHeadlineSpeedups checks the modelled mean-throughput ratios against the
+// paper's headline numbers (Section 7) within 15%.
+func TestHeadlineSpeedups(t *testing.T) {
+	s := ComputeSpeedups()
+	cases := []struct {
+		name  string
+		got   float64
+		paper float64
+	}{
+		{"Ambit vs Skylake", s.AmbitVsSkylake, 44.9},
+		{"Ambit vs GTX745", s.AmbitVsGTX745, 32.0},
+		{"Ambit vs HMC", s.AmbitVsHMC, 2.4},
+		{"HMC vs Skylake", s.HMCVsSkylake, 18.5},
+		{"Ambit-3D vs HMC", s.Ambit3DVsHMC, 9.7},
+	}
+	for _, c := range cases {
+		if relDiff(c.got, c.paper) > 0.15 {
+			t.Errorf("%s = %.1fX, paper %.1fX (off %.0f%%)", c.name, c.got, c.paper, 100*relDiff(c.got, c.paper))
+		}
+	}
+}
+
+func TestWhoWinsOrdering(t *testing.T) {
+	// Figure 9's qualitative ordering for every op group:
+	// Skylake < GTX745 < HMC 2.0 < Ambit < Ambit-3D.
+	systems := Figure9Systems()
+	for _, op := range controller.Ops {
+		for i := 1; i < len(systems); i++ {
+			lo, hi := systems[i-1], systems[i]
+			if !(lo.Throughput(op) < hi.Throughput(op)) {
+				t.Errorf("%v: %s (%.1f) not slower than %s (%.1f)",
+					op, lo.Name(), lo.Throughput(op), hi.Name(), hi.Throughput(op))
+			}
+		}
+	}
+}
+
+func TestAmbitThroughputValues(t *testing.T) {
+	// From first principles with DDR3-1600 and 8 banks of 8 KB rows:
+	// not = 8*8192/98 ns, and = /196, nand = /276, xor = /335.
+	a := Ambit8Banks()
+	cases := map[controller.Op]float64{
+		controller.OpNot:  8 * 8192.0 / 98,
+		controller.OpAnd:  8 * 8192.0 / 196,
+		controller.OpNand: 8 * 8192.0 / 276,
+		controller.OpXor:  8 * 8192.0 / 335,
+	}
+	for op, want := range cases {
+		if got := a.Throughput(op); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Ambit %v = %.2f GOps/s, want %.2f", op, got, want)
+		}
+	}
+}
+
+func TestAmbitScalesLinearlyWithBanks(t *testing.T) {
+	// Section 1: performance scales linearly with bank count.
+	base := Ambit8Banks()
+	double := base
+	double.Geom.Banks *= 2
+	for _, op := range controller.Ops {
+		if relDiff(double.Throughput(op), 2*base.Throughput(op)) > 1e-9 {
+			t.Errorf("%v: doubling banks did not double throughput", op)
+		}
+	}
+}
+
+func TestAmbitScalesLinearlyWithRowSize(t *testing.T) {
+	base := Ambit8Banks()
+	wide := base
+	wide.Geom.RowSizeBytes *= 2
+	for _, op := range controller.Ops {
+		if relDiff(wide.Throughput(op), 2*base.Throughput(op)) > 1e-9 {
+			t.Errorf("%v: doubling row size did not double throughput", op)
+		}
+	}
+}
+
+func TestSplitDecoderAblation(t *testing.T) {
+	// Disabling the Section 5.3 optimization must reduce throughput; for
+	// and (all four AAPs overlappable) the factor is 80/49.
+	on := Ambit8Banks()
+	off := on
+	off.SplitDecoder = false
+	ratio := on.Throughput(controller.OpAnd) / off.Throughput(controller.OpAnd)
+	if math.Abs(ratio-80.0/49.0) > 1e-9 {
+		t.Errorf("split-decoder and speedup = %.3f, want %.3f", ratio, 80.0/49.0)
+	}
+	for _, op := range controller.Ops {
+		if on.Throughput(op) <= off.Throughput(op) {
+			t.Errorf("%v: split decoder did not help", op)
+		}
+	}
+}
+
+func TestBytesPerOp(t *testing.T) {
+	cpu := Skylake()
+	if got := cpu.BytesPerOp(controller.OpNot); got != 3 { // src + RFO + writeback
+		t.Errorf("CPU not bytes/op = %g, want 3", got)
+	}
+	if got := cpu.BytesPerOp(controller.OpAnd); got != 4 {
+		t.Errorf("CPU and bytes/op = %g, want 4", got)
+	}
+	gpu := GTX745()
+	if got := gpu.BytesPerOp(controller.OpNot); got != 2 {
+		t.Errorf("GPU not bytes/op = %g, want 2", got)
+	}
+	hmc := HMC20()
+	if got := hmc.BytesPerOp(controller.OpAnd); got != 2 { // max(2 reads, 1 write)
+		t.Errorf("HMC and bytes/op = %g, want 2", got)
+	}
+	if got := hmc.BytesPerOp(controller.OpNot); got != 1 {
+		t.Errorf("HMC not bytes/op = %g, want 1", got)
+	}
+}
+
+func TestBaselinesBandwidthBound(t *testing.T) {
+	// No baseline can exceed its sustained memory bandwidth.
+	for _, sys := range []BandwidthBound{Skylake(), GTX745(), HMC20()} {
+		for _, op := range controller.Ops {
+			if sys.Throughput(op) > sys.PeakGBps*sys.Efficiency {
+				t.Errorf("%s %v exceeds sustained bandwidth", sys.Name(), op)
+			}
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	cells := Figure9()
+	// 5 systems × (4 groups + mean).
+	if len(cells) != 25 {
+		t.Fatalf("Figure9 has %d cells, want 25", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.GOpsS <= 0 {
+			t.Errorf("cell %+v not positive", c)
+		}
+		seen[c.System+"/"+c.Group] = true
+	}
+	for _, sys := range Figure9Systems() {
+		for _, g := range append([]string{"mean"}, "not", "and/or", "nand/nor", "xor/xnor") {
+			if !seen[sys.Name()+"/"+g] {
+				t.Errorf("missing cell %s/%s", sys.Name(), g)
+			}
+		}
+	}
+}
+
+func TestNotFasterThanXorEverywhere(t *testing.T) {
+	// Within each system, cheaper ops are at least as fast: not >= and
+	// >= nand >= xor for Ambit; for bandwidth-bound systems not > and =
+	// xor.
+	for _, sys := range Figure9Systems() {
+		not := sys.Throughput(controller.OpNot)
+		and := sys.Throughput(controller.OpAnd)
+		xor := sys.Throughput(controller.OpXor)
+		if not < and || and < xor {
+			t.Errorf("%s: throughput ordering violated: not=%.1f and=%.1f xor=%.1f",
+				sys.Name(), not, and, xor)
+		}
+	}
+}
+
+func TestVectorTime(t *testing.T) {
+	a := Ambit8Banks()
+	// 32 MB = 4096 rows of 8 KB = 512 waves on 8 banks.
+	ns := a.VectorTimeNS(controller.OpAnd, 32<<20)
+	want := 512 * a.OpLatencyNS(controller.OpAnd)
+	if math.Abs(ns-want) > 1e-9 {
+		t.Errorf("VectorTimeNS = %g, want %g", ns, want)
+	}
+	// A partial row still costs a full wave.
+	if got := a.VectorTimeNS(controller.OpAnd, 1); got != a.OpLatencyNS(controller.OpAnd) {
+		t.Errorf("1-byte vector time = %g", got)
+	}
+	// Throughput implied by vector time matches Throughput().
+	implied := float64(32<<20) / ns
+	if relDiff(implied, a.Throughput(controller.OpAnd)) > 1e-9 {
+		t.Errorf("implied throughput %.2f != modelled %.2f", implied, a.Throughput(controller.OpAnd))
+	}
+}
+
+func TestMeanThroughputIsMean(t *testing.T) {
+	sys := Skylake()
+	var sum float64
+	for _, op := range controller.Ops {
+		sum += sys.Throughput(op)
+	}
+	if relDiff(MeanThroughput(sys), sum/7) > 1e-12 {
+		t.Error("MeanThroughput mismatch")
+	}
+}
+
+func TestAmbit3DConfiguration(t *testing.T) {
+	a := Ambit3D()
+	if a.Geom.Banks != 256 {
+		t.Errorf("Ambit-3D banks = %d, want 256 (HMC 2.0)", a.Geom.Banks)
+	}
+	if a.Geom != dram.HMCGeometry() {
+		t.Error("Ambit-3D geometry not HMC geometry")
+	}
+}
+
+func TestSpeedupsString(t *testing.T) {
+	if ComputeSpeedups().String() == "" {
+		t.Error("empty speedups string")
+	}
+}
+
+func TestSubarrayParallelismScaling(t *testing.T) {
+	// SALP extension: k concurrently operating subarrays per bank
+	// multiply throughput by k, capped at the subarray count.
+	base := Ambit8Banks()
+	salp := base
+	salp.SubarrayParallelism = 4
+	for _, op := range controller.Ops {
+		if relDiff(salp.Throughput(op), 4*base.Throughput(op)) > 1e-9 {
+			t.Errorf("%v: SALP-4 did not quadruple throughput", op)
+		}
+	}
+	// Cap at SubarraysPerBank.
+	capped := base
+	capped.SubarrayParallelism = base.Geom.SubarraysPerBank * 10
+	want := float64(base.Geom.SubarraysPerBank) * base.Throughput(controller.OpAnd)
+	if relDiff(capped.Throughput(controller.OpAnd), want) > 1e-9 {
+		t.Error("SALP not capped at subarray count")
+	}
+	// 0 and 1 are the baseline.
+	one := base
+	one.SubarrayParallelism = 1
+	if one.Throughput(controller.OpAnd) != base.Throughput(controller.OpAnd) {
+		t.Error("SALP=1 changed throughput")
+	}
+	// VectorTimeNS consistency: implied throughput matches.
+	v := salp.VectorTimeNS(controller.OpAnd, 32<<20)
+	implied := float64(32<<20) / v
+	if relDiff(implied, salp.Throughput(controller.OpAnd)) > 1e-9 {
+		t.Error("SALP VectorTimeNS inconsistent with Throughput")
+	}
+}

@@ -1,0 +1,395 @@
+// Package rbtree implements a red-black tree over int64 keys — the baseline
+// set implementation of Section 8.3 of the Ambit paper ("Red-black trees are
+// typically used to implement a set", citing Guibas & Sedgewick).
+//
+// The implementation is a classic left-leaning-free, parent-pointer
+// red-black tree with insert, delete, lookup, minimum, and in-order
+// iteration.  It counts node visits and rotations so the full-system model
+// (internal/sysmodel) can charge cache-aware per-visit costs when
+// reproducing Figure 12.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node struct {
+	key                 int64
+	left, right, parent *node
+	color               color
+}
+
+// Tree is a red-black tree acting as an ordered set of int64 keys.
+type Tree struct {
+	root *node
+	size int
+
+	// Visits counts node touches (comparisons/links followed) across all
+	// operations; Rotations counts structural rotations.  Both feed the
+	// performance model.
+	Visits    int64
+	Rotations int64
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys in the set.
+func (t *Tree) Len() int { return t.size }
+
+// Contains reports whether key is in the set.
+func (t *Tree) Contains(key int64) bool { return t.find(key) != nil }
+
+func (t *Tree) find(key int64) *node {
+	n := t.root
+	for n != nil {
+		t.Visits++
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Insert adds key to the set; it returns true if the key was newly added.
+func (t *Tree) Insert(key int64) bool {
+	var parent *node
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		t.Visits++
+		switch {
+		case key < parent.key:
+			link = &parent.left
+		case key > parent.key:
+			link = &parent.right
+		default:
+			return false
+		}
+	}
+	n := &node{key: key, parent: parent, color: red}
+	*link = n
+	t.size++
+	t.insertFixup(n)
+	return true
+}
+
+func (t *Tree) rotateLeft(x *node) {
+	t.Rotations++
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree) rotateRight(x *node) {
+	t.Rotations++
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree) insertFixup(z *node) {
+	for z.parent != nil && z.parent.color == red {
+		t.Visits++
+		g := z.parent.parent
+		if z.parent == g.left {
+			u := g.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = black
+}
+
+// Delete removes key from the set; it returns true if the key was present.
+func (t *Tree) Delete(key int64) bool {
+	z := t.find(key)
+	if z == nil {
+		return false
+	}
+	t.size--
+
+	var x, xParent *node
+	y := z
+	yColor := y.color
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yColor == black {
+		t.deleteFixup(x, xParent)
+	}
+	return true
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree) minimum(n *node) *node {
+	for n.left != nil {
+		t.Visits++
+		n = n.left
+	}
+	return n
+}
+
+func isRed(n *node) bool { return n != nil && n.color == red }
+
+func (t *Tree) deleteFixup(x, parent *node) {
+	for x != t.root && !isRed(x) {
+		t.Visits++
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if isRed(w) {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.left) && !isRed(w.right) {
+				w.color = red
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.right) {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+		} else {
+			w := parent.left
+			if isRed(w) {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.left) && !isRed(w.right) {
+				w.color = red
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.left) {
+				if w.right != nil {
+					w.right.color = black
+				}
+				w.color = red
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.left != nil {
+				w.left.color = black
+			}
+			t.rotateRight(parent)
+			x = t.root
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// Min returns the smallest key; ok is false for an empty set.
+func (t *Tree) Min() (key int64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return t.minimum(t.root).key, true
+}
+
+// ForEach visits every key in ascending order; fn returning false stops the
+// walk.  Iteration counts node visits.
+func (t *Tree) ForEach(fn func(key int64) bool) {
+	stack := make([]*node, 0, 32)
+	n := t.root
+	for n != nil || len(stack) > 0 {
+		for n != nil {
+			t.Visits++
+			stack = append(stack, n)
+			n = n.left
+		}
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(n.key) {
+			return
+		}
+		n = n.right
+	}
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	t.ForEach(func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// ResetCounters zeroes the Visits and Rotations counters.
+func (t *Tree) ResetCounters() { t.Visits, t.Rotations = 0, 0 }
+
+// checkInvariants verifies the red-black properties; used by tests.  It
+// returns the black-height and panics on violation via the provided fail
+// function.
+func (t *Tree) checkInvariants(fail func(string)) int {
+	if isRed(t.root) {
+		fail("root is red")
+	}
+	var walk func(n *node, min, max int64) int
+	walk = func(n *node, min, max int64) int {
+		if n == nil {
+			return 1
+		}
+		if n.key <= min || n.key >= max {
+			fail("BST order violated")
+		}
+		if isRed(n) && (isRed(n.left) || isRed(n.right)) {
+			fail("red node with red child")
+		}
+		if n.left != nil && n.left.parent != n {
+			fail("broken parent pointer (left)")
+		}
+		if n.right != nil && n.right.parent != n {
+			fail("broken parent pointer (right)")
+		}
+		lh := walk(n.left, min, n.key)
+		rh := walk(n.right, n.key, max)
+		if lh != rh {
+			fail("black-height mismatch")
+		}
+		if n.color == black {
+			lh++
+		}
+		return lh
+	}
+	const inf = int64(1) << 62
+	return walk(t.root, -inf, inf)
+}
+
+// CheckInvariants exposes invariant checking for external tests and the
+// property-based suite; it returns a violation description or "".
+func (t *Tree) CheckInvariants() string {
+	msg := ""
+	defer func() { recover() }()
+	t.checkInvariants(func(m string) { msg = m; panic(m) })
+	return msg
+}

@@ -1,0 +1,221 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkOK(t *testing.T, tr *Tree, context string) {
+	t.Helper()
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("%s: invariant violated: %s", context, msg)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has size")
+	}
+	if tr.Contains(5) {
+		t.Fatal("empty tree contains key")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("empty tree has min")
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete from empty tree succeeded")
+	}
+	checkOK(t, tr, "empty")
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	keys := []int64{5, 3, 8, 1, 4, 7, 9, 2, 6}
+	for _, k := range keys {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+		checkOK(t, tr, "after insert")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Fatalf("missing key %d", k)
+		}
+	}
+	if tr.Contains(100) {
+		t.Fatal("contains absent key")
+	}
+	// Duplicate insert.
+	if tr.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatal("duplicate changed size")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	want := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Intn(1000))
+		tr.Insert(k)
+		want[k] = true
+	}
+	keys := tr.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys len = %d, want %d", len(keys), len(want))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys not sorted")
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{42, 17, 99, 3, 55} {
+		tr.Insert(k)
+	}
+	if min, ok := tr.Min(); !ok || min != 3 {
+		t.Fatalf("Min = %d,%v", min, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	keys := []int64{10, 5, 15, 2, 7, 12, 20, 1, 3, 6, 8, 11, 13, 17, 25}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(len(keys))
+	for i, pi := range perm {
+		k := keys[pi]
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if tr.Contains(k) {
+			t.Fatalf("key %d still present after delete", k)
+		}
+		if tr.Len() != len(keys)-i-1 {
+			t.Fatalf("size %d after %d deletes", tr.Len(), i+1)
+		}
+		checkOK(t, tr, "after delete")
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	if tr.Delete(2) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("size changed")
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	tr := New()
+	ref := map[int64]bool{}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 20000; step++ {
+		k := int64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			gotNew := tr.Insert(k)
+			if gotNew == ref[k] {
+				t.Fatalf("step %d: Insert(%d) new=%v, ref has=%v", step, k, gotNew, ref[k])
+			}
+			ref[k] = true
+		case 1:
+			got := tr.Delete(k)
+			if got != ref[k] {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, ref[k])
+			}
+			delete(ref, k)
+		default:
+			if tr.Contains(k) != ref[k] {
+				t.Fatalf("step %d: Contains(%d) mismatch", step, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: size %d vs ref %d", step, tr.Len(), len(ref))
+		}
+		if step%997 == 0 {
+			checkOK(t, tr, "random step")
+		}
+	}
+	checkOK(t, tr, "final")
+}
+
+func TestInvariantsProperty(t *testing.T) {
+	// Property: any insert sequence yields a valid red-black tree with
+	// logarithmic height behaviour (visits per insert stay bounded).
+	f := func(keys []int64) bool {
+		tr := New()
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogarithmicVisits(t *testing.T) {
+	// The cost model depends on Visits growing ~ n log n for n inserts.
+	tr := New()
+	n := int64(1 << 14)
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i) // adversarial sorted order
+	}
+	checkOK(t, tr, "sorted inserts")
+	perInsert := float64(tr.Visits) / float64(n)
+	// log2(16384) = 14; allow [7, 42] to confirm O(log n) not O(n).
+	if perInsert < 7 || perInsert > 42 {
+		t.Fatalf("visits per insert = %.1f, not logarithmic", perInsert)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.ForEach(func(k int64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d, want 10", count)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i)
+	}
+	if tr.Visits == 0 || tr.Rotations == 0 {
+		t.Fatal("counters not counting")
+	}
+	tr.ResetCounters()
+	if tr.Visits != 0 || tr.Rotations != 0 {
+		t.Fatal("counters not reset")
+	}
+}

@@ -1,0 +1,176 @@
+// Package refresh models DRAM refresh and charge retention, quantifying
+// issue 4 of Section 3.2 of the Ambit paper: "DRAM cells leak charge over
+// time.  If the cells involved have leaked significantly, TRA may not
+// operate as expected."
+//
+// Ambit's resolution (Section 3.3) is structural: every TRA operates on
+// designated rows that were written by RowClone copies "just before the
+// TRA", so the cells are "very close to the fully-refreshed state" — the
+// copy itself is a restore.  This package makes that argument measurable:
+//
+//   - a Tracker keeps per-row last-restore timestamps under a standard
+//     64 ms all-rows refresh policy, where any activation (access, copy,
+//     TRA) restores the row,
+//   - DecayAt converts time-since-restore into the fractional charge loss
+//     the circuit model consumes (circuit.Params.ChargeDecay),
+//   - MarginWithDecay evaluates how the worst-case TRA margin shrinks for
+//     stale rows.
+//
+// The headline result (tested): at the refresh deadline a row has leaked
+// enough that the worst-case reliable variation drops well below the ±6% of
+// fresh cells, while rows restored by Ambit's pre-TRA copies retain the full
+// margin.
+package refresh
+
+import (
+	"fmt"
+
+	"ambit/internal/circuit"
+)
+
+// Config describes the refresh policy and the retention behaviour.
+type Config struct {
+	// IntervalMS is the refresh interval: every row is refreshed at
+	// least once per interval (JEDEC: 64 ms).
+	IntervalMS float64
+	// MaxDecayAtDeadline is the fraction of charge the weakest
+	// acceptable cell has leaked when its refresh comes due.  Retention
+	// specs guarantee single-cell sensing still works at this point; TRA,
+	// with its 3x smaller margin, does not get the same guarantee.
+	MaxDecayAtDeadline float64
+}
+
+// DefaultConfig returns the standard 64 ms policy with 15% worst-case decay
+// at the deadline.
+func DefaultConfig() Config {
+	return Config{IntervalMS: 64, MaxDecayAtDeadline: 0.15}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.IntervalMS <= 0 {
+		return fmt.Errorf("refresh: interval must be positive")
+	}
+	if c.MaxDecayAtDeadline < 0 || c.MaxDecayAtDeadline >= 1 {
+		return fmt.Errorf("refresh: decay must be in [0,1)")
+	}
+	return nil
+}
+
+// Tracker tracks per-row charge freshness in one subarray (or any row set).
+type Tracker struct {
+	cfg Config
+	// lastRestoreNS[r] is the simulated time row r was last restored
+	// (refresh, activation, or RowClone copy).
+	lastRestoreNS []float64
+	nowNS         float64
+	// refreshes counts background refresh operations performed.
+	refreshes int64
+}
+
+// NewTracker creates a tracker for `rows` rows, all freshly restored at
+// t = 0.
+func NewTracker(rows int, cfg Config) (*Tracker, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("refresh: rows must be positive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, lastRestoreNS: make([]float64, rows)}, nil
+}
+
+// Rows returns the tracked row count.
+func (t *Tracker) Rows() int { return len(t.lastRestoreNS) }
+
+// NowNS returns the tracker's current simulated time.
+func (t *Tracker) NowNS() float64 { return t.nowNS }
+
+// Refreshes returns the number of background refreshes performed.
+func (t *Tracker) Refreshes() int64 { return t.refreshes }
+
+// Advance moves simulated time forward, performing the background refreshes
+// that come due: row r is refreshed whenever its age reaches the interval.
+func (t *Tracker) Advance(deltaNS float64) {
+	if deltaNS < 0 {
+		return
+	}
+	t.nowNS += deltaNS
+	interval := t.cfg.IntervalMS * 1e6
+	for r := range t.lastRestoreNS {
+		// Possibly multiple intervals elapsed; refresh lands the row
+		// at the most recent due point.
+		for t.nowNS-t.lastRestoreNS[r] >= interval {
+			t.lastRestoreNS[r] += interval
+			t.refreshes++
+		}
+	}
+}
+
+// Restore records that row r was just restored (activation, copy, or TRA
+// result write) at the current time.
+func (t *Tracker) Restore(r int) {
+	if r >= 0 && r < len(t.lastRestoreNS) {
+		t.lastRestoreNS[r] = t.nowNS
+	}
+}
+
+// AgeNS returns the time since row r was last restored.
+func (t *Tracker) AgeNS(r int) float64 {
+	if r < 0 || r >= len(t.lastRestoreNS) {
+		return 0
+	}
+	return t.nowNS - t.lastRestoreNS[r]
+}
+
+// DecayAt converts a row age into fractional charge loss (linear in age up
+// to the deadline decay; retention beyond the deadline keeps accruing).
+func (t *Tracker) DecayAt(r int) float64 {
+	interval := t.cfg.IntervalMS * 1e6
+	d := t.AgeNS(r) / interval * t.cfg.MaxDecayAtDeadline
+	if d >= 1 {
+		d = 0.999
+	}
+	return d
+}
+
+// MarginWithDecay returns the worst-case TRA margin (volts) at the given
+// component-variation level for cells that have leaked `decay` of their
+// charge, using the circuit model.
+func MarginWithDecay(decay, variation float64) float64 {
+	p := circuit.DefaultParams()
+	p.ChargeDecay = decay
+	return circuit.WorstCaseMargin(p, variation)
+}
+
+// MaxReliableVariationWithDecay returns the largest component variation at
+// which TRA still works in the adversarial corner, for the given decay.
+// Fresh cells (decay 0) give the paper's ±6%.
+func MaxReliableVariationWithDecay(decay float64) float64 {
+	p := circuit.DefaultParams()
+	p.ChargeDecay = decay
+	return circuit.MaxReliableVariation(p)
+}
+
+// TRAFreshnessReport summarizes why Ambit's copy-first discipline matters
+// for a row of the given age.
+type TRAFreshnessReport struct {
+	AgeNS                float64
+	Decay                float64
+	MaxReliableVariation float64
+	// SafeAtProcessVariation reports whether TRA would still tolerate
+	// the paper's validated ±5% component variation at this freshness.
+	SafeAtProcessVariation bool
+}
+
+// Report builds the freshness report for row r.
+func (t *Tracker) Report(r int) TRAFreshnessReport {
+	decay := t.DecayAt(r)
+	mrv := MaxReliableVariationWithDecay(decay)
+	return TRAFreshnessReport{
+		AgeNS:                  t.AgeNS(r),
+		Decay:                  decay,
+		MaxReliableVariation:   mrv,
+		SafeAtProcessVariation: mrv >= 0.05,
+	}
+}

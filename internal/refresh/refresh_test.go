@@ -1,0 +1,154 @@
+package refresh
+
+import (
+	"testing"
+)
+
+func newTracker(t *testing.T, rows int) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(rows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{IntervalMS: 0, MaxDecayAtDeadline: 0.1},
+		{IntervalMS: 64, MaxDecayAtDeadline: -0.1},
+		{IntervalMS: 64, MaxDecayAtDeadline: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewTracker(0, DefaultConfig()); err == nil {
+		t.Error("0 rows accepted")
+	}
+}
+
+func TestAgeAndDecayAccrue(t *testing.T) {
+	tr := newTracker(t, 4)
+	if tr.DecayAt(0) != 0 {
+		t.Fatal("fresh row has decay")
+	}
+	tr.Advance(32e6) // 32 ms: half the interval
+	if got := tr.AgeNS(1); got != 32e6 {
+		t.Fatalf("age = %g", got)
+	}
+	want := 0.5 * DefaultConfig().MaxDecayAtDeadline
+	if got := tr.DecayAt(1); got != want {
+		t.Fatalf("decay = %g, want %g", got, want)
+	}
+}
+
+func TestRestoreResetsFreshness(t *testing.T) {
+	tr := newTracker(t, 4)
+	tr.Advance(30e6)
+	tr.Restore(2) // e.g. a RowClone copy into the designated row
+	if tr.AgeNS(2) != 0 {
+		t.Fatal("restore did not reset age")
+	}
+	if tr.AgeNS(1) == 0 {
+		t.Fatal("restore leaked to other rows")
+	}
+	// Out-of-range restores are ignored.
+	tr.Restore(-1)
+	tr.Restore(99)
+}
+
+func TestBackgroundRefreshAtInterval(t *testing.T) {
+	tr := newTracker(t, 3)
+	tr.Advance(64e6) // exactly one interval
+	if tr.Refreshes() != 3 {
+		t.Fatalf("refreshes = %d, want 3", tr.Refreshes())
+	}
+	// Ages wrapped back to 0 at the refresh point.
+	for r := 0; r < 3; r++ {
+		if tr.AgeNS(r) != 0 {
+			t.Fatalf("row %d age %g after refresh", r, tr.AgeNS(r))
+		}
+	}
+	tr.Advance(3 * 64e6)
+	if tr.Refreshes() != 3+9 {
+		t.Fatalf("multi-interval refreshes = %d", tr.Refreshes())
+	}
+	// Negative advance ignored.
+	tr.Advance(-5)
+}
+
+func TestDecayCapped(t *testing.T) {
+	cfg := Config{IntervalMS: 1, MaxDecayAtDeadline: 0.9}
+	tr, err := NewTracker(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze refreshing by restoring manually then lying about time via
+	// AgeNS — instead exercise the cap through a huge age: advance a bit
+	// less than one interval repeatedly without triggering refresh is
+	// impossible here, so directly check DecayAt's cap with a fabricated
+	// tracker state.
+	tr.lastRestoreNS[0] = -10e6 // 10 ms ago with 1 ms interval
+	if d := tr.DecayAt(0); d >= 1 {
+		t.Fatalf("decay %g not capped below 1", d)
+	}
+}
+
+// TestStaleTRAMarginShrinks is the Section 3.2 issue-4 quantification: TRA
+// on leaked cells tolerates less process variation than on fresh cells.
+func TestStaleTRAMarginShrinks(t *testing.T) {
+	fresh := MaxReliableVariationWithDecay(0)
+	deadline := MaxReliableVariationWithDecay(DefaultConfig().MaxDecayAtDeadline)
+	if fresh < 0.055 || fresh > 0.065 {
+		t.Fatalf("fresh max variation = %.4f, want ~0.06", fresh)
+	}
+	if deadline >= fresh {
+		t.Fatalf("stale cells (%.4f) not worse than fresh (%.4f)", deadline, fresh)
+	}
+	// At the refresh deadline, TRA can no longer tolerate the validated
+	// ±5% process variation — the copy-first discipline is load-bearing.
+	if deadline >= 0.05 {
+		t.Errorf("deadline-stale TRA still tolerates ±5%% (%.4f); decay model too weak", deadline)
+	}
+	// Margins shrink monotonically with decay.
+	prev := MarginWithDecay(0, 0.05)
+	for _, d := range []float64{0.05, 0.10, 0.15} {
+		m := MarginWithDecay(d, 0.05)
+		if m >= prev {
+			t.Errorf("margin not shrinking with decay: %g -> %g at decay %g", prev, m, d)
+		}
+		prev = m
+	}
+}
+
+// TestAmbitCopyDisciplineKeepsTRASafe walks the paper's scenario: a data row
+// sits untouched for most of a refresh interval, then Ambit copies it into a
+// designated row (restoring it) right before the TRA.
+func TestAmbitCopyDisciplineKeepsTRASafe(t *testing.T) {
+	tr := newTracker(t, 8)
+	const dataRow, designatedRow = 0, 7
+	tr.Advance(60e6) // 60 ms of inactivity
+
+	// Direct TRA on the stale data row would be unsafe.
+	stale := tr.Report(dataRow)
+	if stale.SafeAtProcessVariation {
+		t.Fatalf("stale row reported safe: %+v", stale)
+	}
+
+	// Ambit's flow: AAP(data, designated) restores BOTH rows (the
+	// activation restores the source; the copy writes the destination).
+	tr.Restore(dataRow)
+	tr.Restore(designatedRow)
+	fresh := tr.Report(designatedRow)
+	if !fresh.SafeAtProcessVariation {
+		t.Fatalf("freshly copied row not safe: %+v", fresh)
+	}
+	if fresh.MaxReliableVariation <= stale.MaxReliableVariation {
+		t.Error("copy did not improve the margin")
+	}
+}

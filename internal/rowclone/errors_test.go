@@ -1,0 +1,84 @@
+package rowclone
+
+import (
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+// Error-path coverage: RowClone operations against invalid addresses must
+// fail cleanly without corrupting device state.
+
+func TestFPMBadAddresses(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	if _, err := e.FPM(0, 0, dram.D(999), dram.D(0)); err == nil {
+		t.Error("bad source row accepted")
+	}
+	if _, err := e.FPM(0, 0, dram.D(0), dram.D(999)); err == nil {
+		t.Error("bad destination row accepted")
+	}
+	if _, err := e.FPM(9, 0, dram.D(0), dram.D(1)); err == nil {
+		t.Error("bad bank accepted")
+	}
+	if _, err := e.FPM(0, 9, dram.D(0), dram.D(1)); err == nil {
+		t.Error("bad subarray accepted")
+	}
+	// No copies counted for failed operations.
+	if e.Stats().FPMCopies != 0 {
+		t.Errorf("failed ops counted: %+v", e.Stats())
+	}
+}
+
+func TestFPMFailureLeavesBankUsable(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	// A failing second activate (bad destination) may leave the bank
+	// open; the engine's caller can still precharge and proceed.
+	_, err := e.FPM(0, 0, dram.D(0), dram.D(999))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if err := d.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FPM(0, 0, dram.D(0), dram.D(1)); err != nil {
+		t.Fatalf("bank unusable after failed copy: %v", err)
+	}
+}
+
+func TestPSMBadAddresses(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	good := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)}
+	badRow := dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(999)}
+	if _, err := e.PSM(good, badRow); err == nil {
+		t.Error("bad PSM destination accepted")
+	}
+	if _, err := e.PSM(badRow, good); err == nil {
+		t.Error("bad PSM source accepted")
+	}
+}
+
+func TestMCCopyBadAddresses(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	good := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)}
+	bad := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(999)}
+	if _, err := e.MCCopy(bad, good); err == nil {
+		t.Error("bad MC source accepted")
+	}
+	if _, err := e.MCCopy(good, bad); err == nil {
+		t.Error("bad MC destination accepted")
+	}
+}
+
+func TestCopyBadAddressPropagates(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	bad := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(999)}
+	good := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)}
+	if _, _, err := e.Copy(bad, good); err == nil {
+		t.Error("Copy with bad source accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package rowclone
+
+import (
+	"math/rand"
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+func testDevice(t *testing.T) *dram.Device {
+	t.Helper()
+	g := dram.Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 64}
+	d, err := dram.NewDevice(dram.Config{Geometry: g, Timing: dram.DDR3_1600()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randRow(t *testing.T, d *dram.Device, seed int64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	r := make([]uint64, d.Geometry().WordsPerRow())
+	for i := range r {
+		r[i] = rng.Uint64()
+	}
+	return r
+}
+
+func mustEqual(t *testing.T, d *dram.Device, p dram.PhysAddr, want []uint64) {
+	t.Helper()
+	got, err := d.PeekRow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v word %d = %#x, want %#x", p, i, got[i], want[i])
+		}
+	}
+}
+
+func TestFPMCopiesWithinSubarray(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	data := randRow(t, d, 1)
+	src := dram.PhysAddr{Bank: 0, Subarray: 1, Row: dram.D(3)}
+	if err := d.PokeRow(src, data); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := e.FPM(0, 1, dram.D(3), dram.D(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 80 {
+		t.Errorf("FPM latency = %g ns, want 80 (RowClone paper)", lat)
+	}
+	mustEqual(t, d, dram.PhysAddr{Bank: 0, Subarray: 1, Row: dram.D(7)}, data)
+	mustEqual(t, d, src, data) // source preserved
+}
+
+func TestInitZeroAndOne(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	dirty := randRow(t, d, 2)
+	p := dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(5)}
+	if err := d.PokeRow(p, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InitZero(1, 0, dram.D(5)); err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]uint64, d.Geometry().WordsPerRow())
+	mustEqual(t, d, p, zeros)
+
+	if _, err := e.InitOne(1, 0, dram.D(5)); err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]uint64, d.Geometry().WordsPerRow())
+	for i := range ones {
+		ones[i] = ^uint64(0)
+	}
+	mustEqual(t, d, p, ones)
+	// The control rows must survive their use as sources.
+	mustEqual(t, d, dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.C(0)}, zeros)
+	mustEqual(t, d, dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.C(1)}, ones)
+}
+
+func TestPSMInterBank(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	data := randRow(t, d, 3)
+	src := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(1)}
+	dst := dram.PhysAddr{Bank: 1, Subarray: 1, Row: dram.D(2)}
+	if err := d.PokeRow(src, data); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := e.PSM(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= e.FPMLatencyNS() {
+		t.Errorf("PSM latency %g ns not slower than FPM %g ns", lat, e.FPMLatencyNS())
+	}
+	mustEqual(t, d, dst, data)
+	mustEqual(t, d, src, data)
+}
+
+func TestPSMIntraBankInterSubarray(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	data := randRow(t, d, 4)
+	src := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(1)}
+	dst := dram.PhysAddr{Bank: 0, Subarray: 1, Row: dram.D(1)}
+	if err := d.PokeRow(src, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PSM(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, d, dst, data)
+}
+
+func TestPSMRejectsIntraSubarray(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	src := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)}
+	dst := dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(1)}
+	if _, err := e.PSM(src, dst); err == nil {
+		t.Fatal("PSM within one subarray accepted")
+	}
+}
+
+func TestCopyModeSelection(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	mode, _, err := e.Copy(
+		dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)},
+		dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != ModeFPM {
+		t.Errorf("intra-subarray copy used %v, want FPM", mode)
+	}
+	mode, _, err = e.Copy(
+		dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)},
+		dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != ModePSM {
+		t.Errorf("inter-bank copy used %v, want PSM", mode)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// Section 3.4: FPM is the fastest, PSM is "significantly slower than
+	// RowClone-FPM" but faster than copying through the controller.
+	d := testDevice(t)
+	e := New(d)
+	if !(e.FPMLatencyNS() < e.PSMLatencyNS()) {
+		t.Errorf("FPM (%g) not faster than PSM (%g)", e.FPMLatencyNS(), e.PSMLatencyNS())
+	}
+	if !(e.PSMLatencyNS() < e.MCLatencyNS()) {
+		t.Errorf("PSM (%g) not faster than MC copy (%g)", e.PSMLatencyNS(), e.MCLatencyNS())
+	}
+}
+
+func TestMCCopyFunctional(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	data := randRow(t, d, 5)
+	src := dram.PhysAddr{Bank: 0, Subarray: 1, Row: dram.D(9)}
+	dst := dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(9)}
+	if err := d.PokeRow(src, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MCCopy(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, d, dst, data)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	if _, err := e.FPM(0, 0, dram.D(0), dram.D(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PSM(dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)},
+		dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MCCopy(dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(0)},
+		dram.PhysAddr{Bank: 1, Subarray: 0, Row: dram.D(1)}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.FPMCopies != 1 || s.PSMCopies != 1 || s.MCCopies != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TotalNS <= 0 {
+		t.Error("TotalNS not accumulated")
+	}
+	e.ResetStats()
+	if e.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFPM.String() != "RowClone-FPM" || ModePSM.String() != "RowClone-PSM" || ModeMC.String() != "memcpy" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+// TestFPMFromTRAAddress verifies that FPM's "source" can be a TRA address:
+// AAP(B12, Dk) copies the majority of T0..T2 into Dk.  This is the last step
+// of Figure 8a.
+func TestFPMFromTRAAddress(t *testing.T) {
+	d := testDevice(t)
+	e := New(d)
+	w := d.Geometry().WordsPerRow()
+	set := func(row dram.RowAddr, v uint64) {
+		data := make([]uint64, w)
+		for i := range data {
+			data[i] = v
+		}
+		if err := d.PokeRow(dram.PhysAddr{Bank: 0, Subarray: 0, Row: row}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// T0..T2 accessible via B0..B2 pokes? PokeRow only handles
+	// single-wordline addresses, which B0..B2 are.
+	set(dram.B(0), 0b1100)
+	set(dram.B(1), 0b1010)
+	set(dram.B(2), 0b0000) // control: AND
+	if _, err := e.FPM(0, 0, dram.B(12), dram.D(4)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.PeekRow(dram.PhysAddr{Bank: 0, Subarray: 0, Row: dram.D(4)})
+	if got[0] != 0b1000 {
+		t.Fatalf("TRA-sourced FPM: got %#b, want 0b1000", got[0])
+	}
+}

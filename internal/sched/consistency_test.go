@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"testing"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// TestSchedulerMatchesControllerLatency cross-validates the two timing
+// paths: scheduling one operation's command train on an idle bank must take
+// exactly the latency the Ambit controller computes statically for the same
+// sequence (Section 5.3 timing), for every operation and both decoder
+// configurations.
+func TestSchedulerMatchesControllerLatency(t *testing.T) {
+	geom := dram.Geometry{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 64, RowSizeBytes: 64}
+	for _, split := range []bool{true, false} {
+		dev, err := dram.NewDevice(dram.Config{Geometry: geom, Timing: dram.DDR3_1600()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl := controller.New(dev)
+		ctrl.SplitDecoder = split
+		for _, op := range controller.Ops {
+			seq, err := controller.Sequence(op, dram.D(2), dram.D(0), dram.D(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := make([]TrainStep, len(seq))
+			for i, s := range seq {
+				steps[i] = TrainStep{
+					AP:    s.Kind == controller.StepAP,
+					Addr1: s.Addr1,
+					Addr2: s.Addr2,
+				}
+			}
+			s, err := New(1, dram.DDR3_1600())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SplitDecoder = split
+			_, stats, err := s.Run(AmbitOpRequests(0, steps, 0, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ctrl.OpLatencyNS(op)
+			if stats.MakespanNS != want {
+				t.Errorf("split=%v %v: scheduler makespan %g ns, controller %g ns",
+					split, op, stats.MakespanNS, want)
+			}
+		}
+	}
+}

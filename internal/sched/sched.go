@@ -1,0 +1,263 @@
+// Package sched implements an FR-FCFS memory-request scheduler (Rixner et
+// al., ISCA 2000) — the scheduling policy of the paper's evaluated system
+// (Table 4: "FR-FCFS scheduling") — extended with Ambit command trains.
+//
+// Section 5.5.2: "When Ambit is plugged onto the system memory bus, the
+// controller can interleave the various AAP operations in the bitwise
+// operations with other regular memory requests from different
+// applications."  This scheduler demonstrates exactly that: AAP/AP trains
+// occupy one bank while ordinary reads and writes proceed on the others,
+// and the First-Ready (row-hit-first) policy keeps the row buffer working.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ambit/internal/dram"
+)
+
+// Kind classifies a memory request.
+type Kind uint8
+
+const (
+	// KindRead is an ordinary cache-line read.
+	KindRead Kind = iota
+	// KindWrite is an ordinary cache-line write.
+	KindWrite
+	// KindAAP is one Ambit ACTIVATE-ACTIVATE-PRECHARGE train; it leaves
+	// its bank precharged.
+	KindAAP
+	// KindAP is one Ambit ACTIVATE-PRECHARGE train.
+	KindAP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindAAP:
+		return "aap"
+	case KindAP:
+		return "ap"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Request is one queued memory request.
+type Request struct {
+	ID   int
+	Kind Kind
+	Bank int
+	// Row is the target row (for AAP, the first address).
+	Row dram.RowAddr
+	// Row2 is the AAP's second address (unused otherwise).
+	Row2 dram.RowAddr
+	// ArrivalNS is when the request enters the controller queue.
+	ArrivalNS float64
+}
+
+// Completion records one serviced request.
+type Completion struct {
+	Request
+	StartNS  float64
+	FinishNS float64
+	// RowHit reports whether a read/write found its row open.
+	RowHit bool
+}
+
+// Stats summarizes a scheduling run.
+type Stats struct {
+	RowHits, RowMisses, RowConflicts int64
+	AAPs, APs                        int64
+	// MakespanNS is the finish time of the last request.
+	MakespanNS float64
+}
+
+// HitRate returns the row-hit fraction among reads/writes.
+func (s Stats) HitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// bank tracks one bank's scheduling state.
+type bank struct {
+	readyAt float64
+	open    bool
+	openRow dram.RowAddr
+}
+
+// Scheduler services request queues against a timing model.
+type Scheduler struct {
+	timing dram.Timing
+	// SplitDecoder applies the Section 5.3 AAP latency.
+	SplitDecoder bool
+	// FCFSOnly disables the First-Ready rule (pure FCFS) for ablation.
+	FCFSOnly bool
+	banks    []bank
+}
+
+// New builds a scheduler for a device with the given bank count and timing.
+func New(banks int, timing dram.Timing) (*Scheduler, error) {
+	if banks <= 0 {
+		return nil, fmt.Errorf("sched: banks must be positive")
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{timing: timing, SplitDecoder: true, banks: make([]bank, banks)}, nil
+}
+
+// serviceTime computes the request's occupancy and updates the bank's
+// row-buffer state, classifying the access.
+func (s *Scheduler) serviceTime(b *bank, r Request) (dur float64, hit bool, class string) {
+	t := s.timing
+	switch r.Kind {
+	case KindRead, KindWrite:
+		access := t.TCL + t.TBL
+		switch {
+		case b.open && b.openRow == r.Row:
+			return access, true, "hit"
+		case !b.open:
+			b.open, b.openRow = true, r.Row
+			return t.TRCD + access, false, "miss"
+		default:
+			b.openRow = r.Row
+			return t.TRP + t.TRCD + access, false, "conflict"
+		}
+	case KindAAP:
+		dur := t.AAPNaive()
+		if s.SplitDecoder && (r.Row.Group == dram.GroupB) != (r.Row2.Group == dram.GroupB) {
+			dur = t.AAPSplit()
+		}
+		if b.open {
+			dur += t.TRP // close the open row first
+		}
+		b.open = false
+		return dur, false, "aap"
+	case KindAP:
+		dur := t.AP()
+		if b.open {
+			dur += t.TRP
+		}
+		b.open = false
+		return dur, false, "ap"
+	}
+	panic(fmt.Sprintf("sched: unknown request kind %v", r.Kind))
+}
+
+// Run services all requests and returns their completions in service order,
+// plus run statistics.  The schedule is deterministic.
+func (s *Scheduler) Run(reqs []Request) ([]Completion, Stats, error) {
+	for _, r := range reqs {
+		if r.Bank < 0 || r.Bank >= len(s.banks) {
+			return nil, Stats{}, fmt.Errorf("sched: request %d: bank %d out of range", r.ID, r.Bank)
+		}
+		if r.ArrivalNS < 0 {
+			return nil, Stats{}, fmt.Errorf("sched: request %d: negative arrival", r.ID)
+		}
+	}
+	pending := append([]Request(nil), reqs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].ArrivalNS < pending[j].ArrivalNS })
+
+	var out []Completion
+	var stats Stats
+	now := 0.0
+	for len(pending) > 0 {
+		// Earliest time any pending request could start on its bank.
+		earliest := -1.0
+		for _, r := range pending {
+			t := r.ArrivalNS
+			if ba := s.banks[r.Bank].readyAt; ba > t {
+				t = ba
+			}
+			if earliest < 0 || t < earliest {
+				earliest = t
+			}
+		}
+		if earliest > now {
+			now = earliest
+		}
+		// Candidates startable at `now`.
+		best := -1
+		bestHit := false
+		for i, r := range pending {
+			if r.ArrivalNS > now || s.banks[r.Bank].readyAt > now {
+				continue
+			}
+			b := &s.banks[r.Bank]
+			hit := (r.Kind == KindRead || r.Kind == KindWrite) && b.open && b.openRow == r.Row
+			switch {
+			case best < 0:
+				best, bestHit = i, hit
+			case !s.FCFSOnly && hit && !bestHit:
+				// First-Ready: row hits beat older non-hits.
+				best, bestHit = i, hit
+			}
+			// Otherwise keep the older request (pending is
+			// arrival-sorted, so earlier index = older).
+		}
+		if best < 0 {
+			// Nothing startable exactly at now (races between bank
+			// readiness); loop recomputes earliest.
+			continue
+		}
+		r := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		b := &s.banks[r.Bank]
+		dur, hit, class := s.serviceTime(b, r)
+		fin := now + dur
+		b.readyAt = fin
+		switch class {
+		case "hit":
+			stats.RowHits++
+		case "miss":
+			stats.RowMisses++
+		case "conflict":
+			stats.RowConflicts++
+		case "aap":
+			stats.AAPs++
+		case "ap":
+			stats.APs++
+		}
+		if fin > stats.MakespanNS {
+			stats.MakespanNS = fin
+		}
+		out = append(out, Completion{Request: r, StartNS: now, FinishNS: fin, RowHit: hit})
+	}
+	return out, stats, nil
+}
+
+// AmbitOpRequests expands one bulk bitwise operation into its AAP/AP request
+// train on a bank, arriving at `arrival` (helper for workload construction).
+func AmbitOpRequests(seqBank int, steps []TrainStep, arrival float64, firstID int) []Request {
+	out := make([]Request, 0, len(steps))
+	for i, st := range steps {
+		k := KindAAP
+		if st.AP {
+			k = KindAP
+		}
+		out = append(out, Request{
+			ID:        firstID + i,
+			Kind:      k,
+			Bank:      seqBank,
+			Row:       st.Addr1,
+			Row2:      st.Addr2,
+			ArrivalNS: arrival,
+		})
+	}
+	return out
+}
+
+// TrainStep is one AAP/AP of a command train (mirrors controller.Step
+// without importing it, keeping this package reusable for raw traces).
+type TrainStep struct {
+	AP           bool
+	Addr1, Addr2 dram.RowAddr
+}

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+func newSched(t *testing.T, banks int) *Scheduler {
+	t.Helper()
+	s, err := New(banks, dram.DDR3_1600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, dram.DDR3_1600()); err == nil {
+		t.Error("0 banks accepted")
+	}
+	if _, err := New(4, dram.Timing{}); err == nil {
+		t.Error("zero timing accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newSched(t, 2)
+	if _, _, err := s.Run([]Request{{Bank: 5}}); err == nil {
+		t.Error("bad bank accepted")
+	}
+	if _, _, err := s.Run([]Request{{Bank: 0, ArrivalNS: -1}}); err == nil {
+		t.Error("negative arrival accepted")
+	}
+}
+
+func TestRowHitMissConflictTiming(t *testing.T) {
+	s := newSched(t, 1)
+	tm := dram.DDR3_1600()
+	reqs := []Request{
+		{ID: 0, Kind: KindRead, Bank: 0, Row: dram.D(1), ArrivalNS: 0}, // miss (cold)
+		{ID: 1, Kind: KindRead, Bank: 0, Row: dram.D(1), ArrivalNS: 0}, // hit
+		{ID: 2, Kind: KindRead, Bank: 0, Row: dram.D(2), ArrivalNS: 0}, // conflict
+	}
+	comps, stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowMisses != 1 || stats.RowHits != 1 || stats.RowConflicts != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Durations: miss = tRCD+tCL+tBL; hit = tCL+tBL; conflict = tRP+tRCD+tCL+tBL.
+	d := func(i int) float64 { return comps[i].FinishNS - comps[i].StartNS }
+	if d(0) != tm.TRCD+tm.TCL+tm.TBL {
+		t.Errorf("miss duration %g", d(0))
+	}
+	if d(1) != tm.TCL+tm.TBL {
+		t.Errorf("hit duration %g", d(1))
+	}
+	if d(2) != tm.TRP+tm.TRCD+tm.TCL+tm.TBL {
+		t.Errorf("conflict duration %g", d(2))
+	}
+}
+
+func TestFirstReadyPrioritizesRowHits(t *testing.T) {
+	// Older request to row B vs newer request to the open row A:
+	// FR-FCFS services the hit first; FCFS does not.
+	mk := func() []Request {
+		return []Request{
+			{ID: 0, Kind: KindRead, Bank: 0, Row: dram.D(1), ArrivalNS: 0}, // opens row 1
+			{ID: 1, Kind: KindRead, Bank: 0, Row: dram.D(2), ArrivalNS: 1}, // older non-hit
+			{ID: 2, Kind: KindRead, Bank: 0, Row: dram.D(1), ArrivalNS: 2}, // newer hit
+		}
+	}
+	fr := newSched(t, 1)
+	comps, frStats, err := fr.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[1].ID != 2 {
+		t.Errorf("FR-FCFS serviced %d second, want the row hit (2)", comps[1].ID)
+	}
+	if frStats.RowHits != 1 {
+		t.Errorf("FR stats: %+v", frStats)
+	}
+
+	fc := newSched(t, 1)
+	fc.FCFSOnly = true
+	comps, fcStats, err := fc.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[1].ID != 1 {
+		t.Errorf("FCFS serviced %d second, want the older request (1)", comps[1].ID)
+	}
+	// FR-FCFS must finish no later than FCFS.
+	if frStats.MakespanNS > fcStats.MakespanNS {
+		t.Errorf("FR-FCFS makespan %g > FCFS %g", frStats.MakespanNS, fcStats.MakespanNS)
+	}
+}
+
+func TestAAPLeavesBankPrecharged(t *testing.T) {
+	s := newSched(t, 1)
+	tm := dram.DDR3_1600()
+	reqs := []Request{
+		{ID: 0, Kind: KindAAP, Bank: 0, Row: dram.D(0), Row2: dram.B(0), ArrivalNS: 0},
+		{ID: 1, Kind: KindRead, Bank: 0, Row: dram.D(0), ArrivalNS: 0},
+	}
+	comps, stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AAPs != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// The read after the AAP is a miss (bank precharged), not a hit or
+	// conflict.
+	if stats.RowMisses != 1 || stats.RowConflicts != 0 {
+		t.Errorf("post-AAP read: %+v", stats)
+	}
+	// The split-decoder AAP (D, B addresses) takes 49 ns.
+	if d := comps[0].FinishNS - comps[0].StartNS; d != tm.AAPSplit() {
+		t.Errorf("AAP duration %g, want %g", d, tm.AAPSplit())
+	}
+}
+
+func TestAAPClosesOpenRowFirst(t *testing.T) {
+	s := newSched(t, 1)
+	tm := dram.DDR3_1600()
+	reqs := []Request{
+		{ID: 0, Kind: KindRead, Bank: 0, Row: dram.D(3), ArrivalNS: 0}, // opens row
+		{ID: 1, Kind: KindAAP, Bank: 0, Row: dram.D(0), Row2: dram.B(0), ArrivalNS: 0},
+	}
+	comps, _, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := comps[1].FinishNS - comps[1].StartNS; d != tm.TRP+tm.AAPSplit() {
+		t.Errorf("AAP after open row: %g, want %g", d, tm.TRP+tm.AAPSplit())
+	}
+}
+
+func TestNaiveAAPWhenBothBGroup(t *testing.T) {
+	s := newSched(t, 1)
+	tm := dram.DDR3_1600()
+	reqs := []Request{
+		{ID: 0, Kind: KindAAP, Bank: 0, Row: dram.B(12), Row2: dram.B(5), ArrivalNS: 0},
+	}
+	comps, _, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := comps[0].FinishNS - comps[0].StartNS; d != tm.AAPNaive() {
+		t.Errorf("B,B AAP duration %g, want naive %g", d, tm.AAPNaive())
+	}
+}
+
+func TestAmbitInterleavesWithRegularTraffic(t *testing.T) {
+	// Section 5.5.2: AAP trains on bank 0 overlap reads on bank 1.
+	s := newSched(t, 2)
+	var reqs []Request
+	steps := []TrainStep{
+		{Addr1: dram.D(0), Addr2: dram.B(0)},
+		{Addr1: dram.D(1), Addr2: dram.B(1)},
+		{Addr1: dram.C(0), Addr2: dram.B(2)},
+		{Addr1: dram.B(12), Addr2: dram.D(2)},
+	}
+	reqs = append(reqs, AmbitOpRequests(0, steps, 0, 0)...)
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, Request{ID: 100 + i, Kind: KindRead, Bank: 1, Row: dram.D(7), ArrivalNS: 0})
+	}
+	comps, stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AAPs != 4 {
+		t.Fatalf("AAPs = %d", stats.AAPs)
+	}
+	// Makespan must be close to max(AAP train, read train), far below
+	// their sum.
+	aapTrain := 4 * dram.DDR3_1600().AAPSplit()
+	readTrain := dram.DDR3_1600().TRCD + 4*(dram.DDR3_1600().TCL+dram.DDR3_1600().TBL)
+	maxTrain := aapTrain
+	if readTrain > maxTrain {
+		maxTrain = readTrain
+	}
+	if stats.MakespanNS > maxTrain+1 {
+		t.Errorf("makespan %g exceeds parallel bound %g: no interleaving", stats.MakespanNS, maxTrain)
+	}
+	_ = comps
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() []Request {
+		var reqs []Request
+		for i := 0; i < 50; i++ {
+			reqs = append(reqs, Request{
+				ID: i, Kind: Kind(i % 2), Bank: i % 3,
+				Row: dram.D(i % 5), ArrivalNS: float64(i % 7),
+			})
+		}
+		return reqs
+	}
+	s1 := newSched(t, 3)
+	c1, st1, err := s1.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newSched(t, 3)
+	c2, st2, err := s2.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 || len(c1) != len(c2) {
+		t.Fatal("nondeterministic schedule")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("completion %d differs", i)
+		}
+	}
+}
+
+func TestAllRequestsServiced(t *testing.T) {
+	s := newSched(t, 4)
+	var reqs []Request
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Kind: Kind(i % 4), Bank: i % 4,
+			Row: dram.D(i % 9), Row2: dram.B(i % 16), ArrivalNS: float64(i),
+		})
+	}
+	comps, stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(reqs) {
+		t.Fatalf("serviced %d of %d", len(comps), len(reqs))
+	}
+	seen := map[int]bool{}
+	for _, c := range comps {
+		if seen[c.ID] {
+			t.Fatalf("request %d serviced twice", c.ID)
+		}
+		seen[c.ID] = true
+		if c.StartNS < c.ArrivalNS {
+			t.Fatalf("request %d started before arrival", c.ID)
+		}
+	}
+	if stats.MakespanNS <= 0 {
+		t.Error("zero makespan")
+	}
+	if stats.HitRate() < 0 || stats.HitRate() > 1 {
+		t.Error("hit rate out of range")
+	}
+}
+
+func TestBankSerialization(t *testing.T) {
+	// Two requests to one bank never overlap in time.
+	s := newSched(t, 1)
+	reqs := []Request{
+		{ID: 0, Kind: KindRead, Bank: 0, Row: dram.D(0), ArrivalNS: 0},
+		{ID: 1, Kind: KindRead, Bank: 0, Row: dram.D(5), ArrivalNS: 0},
+	}
+	comps, _, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[1].StartNS < comps[0].FinishNS {
+		t.Errorf("overlapping service on one bank: %+v", comps)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindRead: "read", KindWrite: "write", KindAAP: "aap", KindAP: "ap"} {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty hit rate")
+	}
+}

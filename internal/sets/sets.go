@@ -1,0 +1,300 @@
+// Package sets implements the set-data-structure study of Section 8.3 of
+// the Ambit paper (Figure 12): union, intersection, and difference over m
+// input sets with a bounded domain [0, N), implemented three ways:
+//
+//   - RBTree: red-black trees (internal/rbtree), the conventional set
+//     representation,
+//   - Bitset: N-bit bitvectors with CPU (SIMD-modelled) bulk operations,
+//   - Ambit: N-bit bitvectors with in-DRAM bulk operations.
+//
+// All three produce identical results; their costs are priced on the
+// Table-4 machine (internal/sysmodel).  The paper's benchmark uses m = 15
+// input sets over N = 512K and sweeps the number of elements e per set.
+//
+// The bitvector implementations stream their operand vectors from memory
+// (the benchmark operates on freshly produced input sets, so the vectors
+// are cold), which is what makes red-black trees competitive at small e —
+// the trade-off Figure 12 quantifies.
+package sets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/controller"
+	"ambit/internal/rbtree"
+	"ambit/internal/sysmodel"
+)
+
+// Op is a set operation.
+type Op int
+
+const (
+	// Union computes s1 ∪ s2 ∪ … ∪ sm.
+	Union Op = iota
+	// Intersection computes s1 ∩ s2 ∩ … ∩ sm.
+	Intersection
+	// Difference computes s1 − s2 − … − sm.
+	Difference
+)
+
+// Ops lists the three operations in the paper's order.
+var Ops = []Op{Union, Intersection, Difference}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Union:
+		return "union"
+	case Intersection:
+		return "intersection"
+	case Difference:
+		return "difference"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Workload is one Figure-12 experiment instance: m input sets of e elements
+// drawn from [0, N).
+type Workload struct {
+	N    int64
+	Sets [][]int64 // sorted unique elements per input set
+}
+
+// NewWorkload generates m sets of e distinct elements each, deterministic in
+// seed.
+func NewWorkload(m int, e int, n int64, seed int64) (*Workload, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("sets: need at least 2 input sets, got %d", m)
+	}
+	if n <= 0 || int64(e) > n {
+		return nil, fmt.Errorf("sets: need 0 < e <= N (e=%d, N=%d)", e, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{N: n, Sets: make([][]int64, m)}
+	for i := range w.Sets {
+		seen := make(map[int64]bool, e)
+		for len(seen) < e {
+			seen[rng.Int63n(n)] = true
+		}
+		s := make([]int64, 0, e)
+		for k := range seen {
+			s = append(s, k)
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		w.Sets[i] = s
+	}
+	return w, nil
+}
+
+// Result is one implementation's outcome: the resulting set (as a sorted
+// element slice) and the priced execution time.
+type Result struct {
+	Elements []int64
+	NS       float64
+}
+
+// RunRBTree executes op with red-black trees and prices it by node visits.
+func RunRBTree(w *Workload, op Op, m *sysmodel.Machine) *Result {
+	trees := make([]*rbtree.Tree, len(w.Sets))
+	for i, s := range w.Sets {
+		trees[i] = rbtree.New()
+		for _, k := range s {
+			trees[i].Insert(k)
+		}
+		trees[i].ResetCounters() // building the inputs is not measured
+	}
+	out := rbtree.New()
+	switch op {
+	case Union:
+		for _, t := range trees {
+			t.ForEach(func(k int64) bool {
+				out.Insert(k)
+				return true
+			})
+		}
+	case Intersection:
+		// Membership-count style: every candidate is probed in every
+		// other tree (the conventional m-way implementation counts
+		// occurrences rather than short-circuiting).
+		trees[0].ForEach(func(k int64) bool {
+			hits := 0
+			for _, t := range trees[1:] {
+				if t.Contains(k) {
+					hits++
+				}
+			}
+			if hits == len(trees)-1 {
+				out.Insert(k)
+			}
+			return true
+		})
+	case Difference:
+		trees[0].ForEach(func(k int64) bool {
+			hits := 0
+			for _, t := range trees[1:] {
+				if t.Contains(k) {
+					hits++
+				}
+			}
+			if hits == 0 {
+				out.Insert(k)
+			}
+			return true
+		})
+	}
+	var visits int64
+	for _, t := range trees {
+		visits += t.Visits
+	}
+	visits += out.Visits
+	return &Result{Elements: out.Keys(), NS: m.RBWorkNS(visits)}
+}
+
+// buildVectors materializes the input sets as N-bit vectors.
+func (w *Workload) buildVectors() []*bitvec.Vector {
+	vs := make([]*bitvec.Vector, len(w.Sets))
+	for i, s := range w.Sets {
+		v := bitvec.New(w.N)
+		for _, k := range s {
+			v.Set(k, true)
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// elements extracts the sorted element list from a vector.
+func elements(v *bitvec.Vector) []int64 {
+	var out []int64
+	v.ForEachSet(func(i int64) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// evalVectors computes the result vector and the logical op sequence shared
+// by the Bitset and Ambit implementations: m−1 binary bulk operations.
+func (w *Workload) evalVectors(op Op) (*bitvec.Vector, int) {
+	vs := w.buildVectors()
+	acc := vs[0].Clone()
+	ops := 0
+	for _, v := range vs[1:] {
+		switch op {
+		case Union:
+			acc.Or(acc, v)
+		case Intersection:
+			acc.And(acc, v)
+		case Difference:
+			acc.AndNot(acc, v)
+		}
+		ops++
+	}
+	return acc, ops
+}
+
+// RunBitset executes op with CPU bitvectors.  The operand vectors stream
+// from memory (cold inputs), so each of the m−1 ops is bandwidth-bound at
+// paper scale.
+func RunBitset(w *Workload, op Op, m *sysmodel.Machine) *Result {
+	acc, nops := w.evalVectors(op)
+	bytes := (w.N + 7) / 8
+	// Working set: all m vectors plus the accumulator — deliberately
+	// priced as streaming (cold inputs).
+	ws := bytes * int64(len(w.Sets)+1)
+	if fits := m.Caches.FitsInL2(ws); fits {
+		// Even when the vectors would fit, the benchmark's inputs are
+		// produced fresh per operation, so the first (only) pass over
+		// each input streams from DRAM.
+		ws = int64(m.Caches.L2.Config().SizeBytes) + 1
+	}
+	ns := float64(nops) * m.CPUBitwiseNS(2, bytes, ws)
+	return &Result{Elements: elements(acc), NS: ns}
+}
+
+// RunAmbit executes op with in-DRAM bulk operations.  Union and
+// intersection map directly to OR/AND; difference has no native AND-NOT, so
+// each step is NOT + AND (two command trains).
+func RunAmbit(w *Workload, op Op, m *sysmodel.Machine) *Result {
+	acc, nops := w.evalVectors(op)
+	bytes := (w.N + 7) / 8
+	var ns float64
+	for i := 0; i < nops; i++ {
+		switch op {
+		case Union:
+			ns += m.AmbitBitwiseNS(controller.OpOr, bytes)
+		case Intersection:
+			ns += m.AmbitBitwiseNS(controller.OpAnd, bytes)
+		case Difference:
+			ns += m.AmbitBitwiseNS(controller.OpNot, bytes)
+			ns += m.AmbitBitwiseNS(controller.OpAnd, bytes)
+		}
+	}
+	return &Result{Elements: elements(acc), NS: ns}
+}
+
+// Figure12Point is one bar triple of Figure 12.
+type Figure12Point struct {
+	Op       Op
+	Elements int
+	// RBTreeNorm is always 1; BitsetNorm and AmbitNorm are execution
+	// times normalized to the red-black tree's.
+	RBTreeNorm, BitsetNorm, AmbitNorm float64
+	// Raw times in nanoseconds.
+	RBTreeNS, BitsetNS, AmbitNS float64
+}
+
+// Figure-12 sweep parameters (Section 8.3: m = 15, N = 512K,
+// e ∈ {4, 16, 64, 256, 1k}).
+var (
+	Figure12M        = 15
+	Figure12N        = int64(512 << 10)
+	Figure12Elements = []int{4, 16, 64, 256, 1024}
+)
+
+// Figure12 reproduces Figure 12: per-operation execution time of Bitset and
+// Ambit normalized to the RB-tree implementation, across the element sweep.
+// All three implementations are verified to agree before pricing.
+func Figure12(m *sysmodel.Machine) ([]Figure12Point, error) {
+	var out []Figure12Point
+	for _, op := range Ops {
+		for _, e := range Figure12Elements {
+			w, err := NewWorkload(Figure12M, e, Figure12N, int64(e)*7+int64(op))
+			if err != nil {
+				return nil, err
+			}
+			rb := RunRBTree(w, op, m)
+			bs := RunBitset(w, op, m)
+			am := RunAmbit(w, op, m)
+			if !sameElements(rb.Elements, bs.Elements) || !sameElements(rb.Elements, am.Elements) {
+				return nil, fmt.Errorf("sets: implementations disagree for %v e=%d", op, e)
+			}
+			out = append(out, Figure12Point{
+				Op:         op,
+				Elements:   e,
+				RBTreeNorm: 1,
+				BitsetNorm: bs.NS / rb.NS,
+				AmbitNorm:  am.NS / rb.NS,
+				RBTreeNS:   rb.NS,
+				BitsetNS:   bs.NS,
+				AmbitNS:    am.NS,
+			})
+		}
+	}
+	return out, nil
+}
+
+func sameElements(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

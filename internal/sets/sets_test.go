@@ -1,0 +1,251 @@
+package sets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ambit/internal/sysmodel"
+)
+
+func TestNewWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(1, 4, 100, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := NewWorkload(3, 200, 100, 1); err == nil {
+		t.Error("e > N accepted")
+	}
+	if _, err := NewWorkload(3, 4, 0, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w, err := NewWorkload(5, 10, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Sets) != 5 {
+		t.Fatalf("sets = %d", len(w.Sets))
+	}
+	for _, s := range w.Sets {
+		if len(s) != 10 {
+			t.Fatalf("set size = %d", len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatal("set not sorted/unique")
+			}
+		}
+		for _, k := range s {
+			if k < 0 || k >= 1000 {
+				t.Fatalf("element %d out of domain", k)
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a, _ := NewWorkload(3, 5, 100, 7)
+	b, _ := NewWorkload(3, 5, 100, 7)
+	for i := range a.Sets {
+		if !sameElements(a.Sets[i], b.Sets[i]) {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+// refOp computes the set operation with maps, as an independent oracle.
+func refOp(w *Workload, op Op) []int64 {
+	in := make([]map[int64]bool, len(w.Sets))
+	for i, s := range w.Sets {
+		in[i] = map[int64]bool{}
+		for _, k := range s {
+			in[i][k] = true
+		}
+	}
+	res := map[int64]bool{}
+	switch op {
+	case Union:
+		for _, m := range in {
+			for k := range m {
+				res[k] = true
+			}
+		}
+	case Intersection:
+		for k := range in[0] {
+			all := true
+			for _, m := range in[1:] {
+				if !m[k] {
+					all = false
+					break
+				}
+			}
+			if all {
+				res[k] = true
+			}
+		}
+	case Difference:
+		for k := range in[0] {
+			any := false
+			for _, m := range in[1:] {
+				if m[k] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				res[k] = true
+			}
+		}
+	}
+	var out []int64
+	for k := range res {
+		out = append(out, k)
+	}
+	// sort
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestAllImplementationsAgreeWithOracle(t *testing.T) {
+	m := sysmodel.MustDefault()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		nsets := 2 + rng.Intn(6)
+		e := 1 + rng.Intn(50)
+		w, err := NewWorkload(nsets, e, 4096, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range Ops {
+			want := refOp(w, op)
+			rb := RunRBTree(w, op, m)
+			bs := RunBitset(w, op, m)
+			am := RunAmbit(w, op, m)
+			for name, got := range map[string][]int64{"rbtree": rb.Elements, "bitset": bs.Elements, "ambit": am.Elements} {
+				if !sameElements(got, want) {
+					t.Fatalf("trial %d %v: %s = %v, want %v", trial, op, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectionOverlapping makes sure intersection is exercised with a
+// non-empty result (random sparse sets intersect to empty).
+func TestIntersectionOverlapping(t *testing.T) {
+	m := sysmodel.MustDefault()
+	w := &Workload{N: 256, Sets: [][]int64{
+		{1, 5, 9, 100},
+		{1, 9, 100, 200},
+		{0, 1, 9, 100},
+	}}
+	want := []int64{1, 9, 100}
+	for _, run := range []func(*Workload, Op, *sysmodel.Machine) *Result{RunRBTree, RunBitset, RunAmbit} {
+		if got := run(w, Intersection, m); !sameElements(got.Elements, want) {
+			t.Fatalf("intersection = %v, want %v", got.Elements, want)
+		}
+	}
+	wantDiff := []int64{5}
+	for _, run := range []func(*Workload, Op, *sysmodel.Machine) *Result{RunRBTree, RunBitset, RunAmbit} {
+		if got := run(w, Difference, m); !sameElements(got.Elements, wantDiff) {
+			t.Fatalf("difference = %v, want %v", got.Elements, wantDiff)
+		}
+	}
+}
+
+// TestFigure12Shape checks the reproduced Figure 12 against the paper's
+// qualitative findings (Section 8.3).
+func TestFigure12Shape(t *testing.T) {
+	m := sysmodel.MustDefault()
+	points, err := Figure12(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Ops)*len(Figure12Elements) {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(op Op, e int) Figure12Point {
+		for _, p := range points {
+			if p.Op == op && p.Elements == e {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v e=%d", op, e)
+		return Figure12Point{}
+	}
+
+	// 1. "Ambit outperforms the baseline Bitset on all the experiments."
+	for _, p := range points {
+		if p.AmbitNorm >= p.BitsetNorm {
+			t.Errorf("%v e=%d: Ambit (%.2f) not faster than Bitset (%.2f)",
+				p.Op, p.Elements, p.AmbitNorm, p.BitsetNorm)
+		}
+	}
+
+	// 2. "when the number of elements in each set is very small ...
+	// RB-Tree performs better than Bitset" — Bitset is far slower than
+	// RB-tree at e=4 (the figure's clipped bars: 153X, 69X, ...).
+	for _, op := range Ops {
+		if p := get(op, 4); p.BitsetNorm < 10 {
+			t.Errorf("%v e=4: Bitset only %.1fX slower than RB-tree, expected ≫10X", op, p.BitsetNorm)
+		}
+	}
+
+	// 3. RB-tree beats Ambit at e=4 for intersection and difference
+	// (the paper's small-set exception applies to union).
+	for _, op := range []Op{Intersection, Difference} {
+		if p := get(op, 4); p.AmbitNorm <= 1 {
+			t.Errorf("%v e=4: Ambit (%.2f) should lose to RB-tree", op, p.AmbitNorm)
+		}
+	}
+
+	// 4. "even when each set contains only 64 or more elements, Ambit
+	// significantly outperforms RB-Tree, 3X on average."
+	var prod float64 = 1
+	n := 0
+	for _, op := range Ops {
+		for _, e := range []int{64, 256, 1024} {
+			p := get(op, e)
+			prod *= 1 / p.AmbitNorm
+			n++
+		}
+	}
+	geo := pow(prod, 1/float64(n))
+	if geo < 2 || geo > 12 {
+		t.Errorf("geomean Ambit speedup over RB-tree at e>=64 = %.2fX, paper ~3X", geo)
+	}
+
+	// 5. At e=1024 Ambit must clearly beat RB-tree on every op.
+	for _, op := range Ops {
+		if p := get(op, 1024); p.AmbitNorm > 0.5 {
+			t.Errorf("%v e=1024: Ambit norm %.2f, want < 0.5", op, p.AmbitNorm)
+		}
+	}
+
+	// 6. Bitset-to-Ambit ratio reflects the raw throughput gap of
+	// Figure 9 (tens of X; difference halves it because Ambit's AND-NOT
+	// takes two command trains).
+	for _, p := range points {
+		r := p.BitsetNS / p.AmbitNS
+		if r < 6 || r > 80 {
+			t.Errorf("%v e=%d: Bitset/Ambit = %.1fX, want 6–80X", p.Op, p.Elements, r)
+		}
+	}
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func TestOpString(t *testing.T) {
+	if Union.String() != "union" || Intersection.String() != "intersection" || Difference.String() != "difference" {
+		t.Error("op strings")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op string empty")
+	}
+}

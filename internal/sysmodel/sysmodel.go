@@ -1,0 +1,187 @@
+// Package sysmodel is the full-system performance model behind the
+// application studies of Section 8 (Figures 10–12), standing in for the
+// paper's Gem5 full-system simulation.
+//
+// The machine is the one in Table 4: an 8-wide out-of-order x86 at 4 GHz
+// with 32 KB L1 / 2 MB L2 (64 B lines, LRU) and one channel of DDR4-2400
+// main memory (16 banks, 8 KB rows, FR-FCFS).  Ambit operations run in the
+// same DRAM with the Section 5 command trains.
+//
+// The model prices four kinds of work:
+//
+//   - baseline bulk bitwise ops: compute-bound on SIMD when the working set
+//     is cache-resident, memory-bandwidth-bound otherwise (each output byte
+//     moves inputs + RFO + writeback bytes over the channel),
+//   - bitcount: popcount-instruction-bound (the paper's workloads perform
+//     bitcounts on the CPU in both configurations, Section 8.1),
+//   - pointer-chasing data structures (red-black trees): node visits at a
+//     cache-resident visit latency (Figure 12),
+//   - Ambit bulk ops: bank-parallel command trains (internal/perfmodel)
+//     plus the coherence work of Section 5.4.4, modelled as a
+//     Dirty-Block-Index-accelerated scan over the operand footprint.
+//
+// Rate constants are calibrated against the paper's reported speedups and
+// recorded in EXPERIMENTS.md.
+package sysmodel
+
+import (
+	"fmt"
+
+	"ambit/internal/cache"
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+	"ambit/internal/perfmodel"
+)
+
+// Machine is the Table-4 system with both a baseline CPU path and an Ambit
+// path.
+type Machine struct {
+	// CPUGHz is the core clock (Table 4: 4 GHz).
+	CPUGHz float64
+	// DRAMSustainedGBps is the sustained streaming bandwidth of the
+	// DDR4-2400 channel (19.2 GB/s peak × ~0.9 efficiency).
+	DRAMSustainedGBps float64
+	// CachedComputeGBps is the output rate of SIMD bitwise kernels on
+	// cache-resident data (128-bit SIMD, load/load/op/store through L2).
+	CachedComputeGBps float64
+	// PopcountGBps is the bitcount rate (popcount-instruction bound;
+	// lower than streaming bandwidth, which is what makes bitcount the
+	// residual bottleneck in Figures 10 and 11).
+	PopcountGBps float64
+	// RBVisitNS is the cost of one red-black-tree node visit on
+	// cache-resident trees.
+	RBVisitNS float64
+	// CoherenceGBps is the rate of the coherence pass an Ambit operation
+	// pays over its operand footprint (flush sources / invalidate
+	// destination, accelerated by a Dirty-Block-Index, Section 5.4.4).
+	CoherenceGBps float64
+	// Ambit is the in-DRAM accelerator configuration (DDR4-2400, 16
+	// banks, 8 KB rows).
+	Ambit perfmodel.AmbitSystem
+	// Caches is the Table-4 L1/L2 hierarchy used for working-set
+	// residency decisions.
+	Caches *cache.Hierarchy
+}
+
+// Default returns the calibrated Table-4 machine.
+func Default() (*Machine, error) {
+	h, err := cache.NewHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	geom := dram.DefaultGeometry()
+	geom.Banks = 16 // Table 4: 16 banks
+	return &Machine{
+		CPUGHz:            4,
+		DRAMSustainedGBps: 17.3,
+		CachedComputeGBps: 32,
+		PopcountGBps:      5,
+		RBVisitNS:         3.0,
+		CoherenceGBps:     210,
+		Ambit: perfmodel.AmbitSystem{
+			SysName:      "Ambit (Table 4)",
+			Geom:         geom,
+			Timing:       dram.DDR4_2400(),
+			SplitDecoder: true,
+		},
+		Caches: h,
+	}, nil
+}
+
+// MustDefault is Default that panics on error; for examples and benches.
+func MustDefault() *Machine {
+	m, err := Default()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate checks the machine parameters.
+func (m *Machine) Validate() error {
+	if m.CPUGHz <= 0 || m.DRAMSustainedGBps <= 0 || m.CachedComputeGBps <= 0 ||
+		m.PopcountGBps <= 0 || m.RBVisitNS <= 0 || m.CoherenceGBps <= 0 {
+		return fmt.Errorf("sysmodel: all rates must be positive: %+v", m)
+	}
+	if m.Caches == nil {
+		return fmt.Errorf("sysmodel: nil cache hierarchy")
+	}
+	return nil
+}
+
+// CPUBitwiseNS returns the baseline cost of one bulk bitwise op producing
+// `bytes` of output with the given number of input streams, given the
+// working set of the enclosing loop.
+//
+// Cache-resident working sets run at the SIMD compute rate; larger working
+// sets are bandwidth-bound, moving inputs + 1 (read-for-ownership on the
+// destination) + 1 (writeback) bytes per output byte.
+func (m *Machine) CPUBitwiseNS(inputs int, bytes, workingSetBytes int64) float64 {
+	if m.Caches.FitsInL2(workingSetBytes) {
+		return float64(bytes) / m.CachedComputeGBps
+	}
+	moved := float64(inputs + 2)
+	return float64(bytes) * moved / m.DRAMSustainedGBps
+}
+
+// PopcountNS returns the cost of counting bits over `bytes` of data.  The
+// popcount loop is instruction-bound well below streaming bandwidth, so
+// residency does not matter.
+func (m *Machine) PopcountNS(bytes int64) float64 {
+	return float64(bytes) / m.PopcountGBps
+}
+
+// RBWorkNS converts a red-black-tree visit count into time.
+func (m *Machine) RBWorkNS(visits int64) float64 {
+	return float64(visits) * m.RBVisitNS
+}
+
+// AmbitBitwiseNS returns the cost of one Ambit bulk op over vectors of
+// `bytes` bytes: the bank-parallel command train plus the coherence pass
+// over the operand footprint ((inputs+1) vectors).
+func (m *Machine) AmbitBitwiseNS(op controller.Op, bytes int64) float64 {
+	train := m.Ambit.VectorTimeNS(op, bytes)
+	footprint := float64(bytes) * float64(op.InputRows()+1)
+	return train + footprint/m.CoherenceGBps
+}
+
+// StreamNS returns the cost of streaming `bytes` from DRAM (read-only), the
+// floor for any CPU pass over uncached data.
+func (m *Machine) StreamNS(bytes int64) float64 {
+	return float64(bytes) / m.DRAMSustainedGBps
+}
+
+// Phase is one priced unit of application work, for reporting.
+type Phase struct {
+	Name string
+	NS   float64
+}
+
+// Breakdown is a priced execution: total time plus per-phase detail.
+type Breakdown struct {
+	Phases []Phase
+}
+
+// Add appends a phase.
+func (b *Breakdown) Add(name string, ns float64) { b.Phases = append(b.Phases, Phase{name, ns}) }
+
+// TotalNS sums the phases.
+func (b *Breakdown) TotalNS() float64 {
+	var t float64
+	for _, p := range b.Phases {
+		t += p.NS
+	}
+	return t
+}
+
+// TotalMS returns the total in milliseconds.
+func (b *Breakdown) TotalMS() float64 { return b.TotalNS() / 1e6 }
+
+// String renders the breakdown.
+func (b *Breakdown) String() string {
+	s := fmt.Sprintf("total %.3f ms:", b.TotalMS())
+	for _, p := range b.Phases {
+		s += fmt.Sprintf(" %s=%.3fms", p.Name, p.NS/1e6)
+	}
+	return s
+}

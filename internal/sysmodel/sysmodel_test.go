@@ -1,0 +1,125 @@
+package sysmodel
+
+import (
+	"math"
+	"testing"
+
+	"ambit/internal/controller"
+)
+
+func TestDefaultValid(t *testing.T) {
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ambit.Geom.Banks != 16 {
+		t.Errorf("Table-4 banks = %d, want 16", m.Ambit.Geom.Banks)
+	}
+}
+
+func TestValidateCatchesZeros(t *testing.T) {
+	m := MustDefault()
+	m.PopcountGBps = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	m2 := MustDefault()
+	m2.Caches = nil
+	if err := m2.Validate(); err == nil {
+		t.Error("nil caches accepted")
+	}
+}
+
+func TestCPUBitwiseCachedVsUncached(t *testing.T) {
+	m := MustDefault()
+	const mb = 1 << 20
+	cached := m.CPUBitwiseNS(2, mb, mb)      // 1 MB working set: resident
+	uncached := m.CPUBitwiseNS(2, mb, 32*mb) // 32 MB working set: streaming
+	if cached >= uncached {
+		t.Errorf("cached (%g) not faster than uncached (%g)", cached, uncached)
+	}
+	// Uncached binary op moves 4 bytes per output byte.
+	want := float64(mb) * 4 / m.DRAMSustainedGBps
+	if math.Abs(uncached-want) > 1e-6 {
+		t.Errorf("uncached = %g, want %g", uncached, want)
+	}
+	// Unary op moves one byte less.
+	unary := m.CPUBitwiseNS(1, mb, 32*mb)
+	if unary >= uncached {
+		t.Error("unary not cheaper than binary")
+	}
+}
+
+func TestPopcountSlowerThanStreaming(t *testing.T) {
+	// The calibration requires bitcount to be instruction-bound (slower
+	// than pure streaming): this is what keeps end-to-end bitmap-index
+	// speedups near 6X rather than the raw 40X of Figure 9.
+	m := MustDefault()
+	const mb = 1 << 20
+	if m.PopcountNS(mb) <= m.StreamNS(mb) {
+		t.Error("popcount should be slower than raw streaming")
+	}
+}
+
+func TestAmbitBitwiseBeatsCPUOnLargeVectors(t *testing.T) {
+	m := MustDefault()
+	const mb = 1 << 20
+	for _, op := range controller.Ops {
+		cpu := m.CPUBitwiseNS(op.InputRows(), mb, 32*mb)
+		amb := m.AmbitBitwiseNS(op, mb)
+		if amb >= cpu {
+			t.Errorf("%v: Ambit (%g) not faster than CPU (%g) on uncached 1MB", op, amb, cpu)
+		}
+	}
+}
+
+func TestAmbitIncludesCoherence(t *testing.T) {
+	m := MustDefault()
+	const mb = 1 << 20
+	bare := m.Ambit.VectorTimeNS(controller.OpAnd, mb)
+	full := m.AmbitBitwiseNS(controller.OpAnd, mb)
+	wantCoh := float64(mb) * 3 / m.CoherenceGBps
+	if math.Abs((full-bare)-wantCoh) > 1e-6 {
+		t.Errorf("coherence charge = %g, want %g", full-bare, wantCoh)
+	}
+}
+
+func TestAmbitOpScaling(t *testing.T) {
+	// Doubling the vector size should not more than double Ambit time
+	// (bank parallelism), and must not decrease it.
+	m := MustDefault()
+	const mb = 1 << 20
+	t1 := m.AmbitBitwiseNS(controller.OpAnd, mb)
+	t2 := m.AmbitBitwiseNS(controller.OpAnd, 2*mb)
+	if t2 < t1 || t2 > 2*t1+1 {
+		t.Errorf("scaling: 1MB=%g, 2MB=%g", t1, t2)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add("bitwise", 2e6)
+	b.Add("bitcount", 1e6)
+	if b.TotalNS() != 3e6 {
+		t.Errorf("TotalNS = %g", b.TotalNS())
+	}
+	if b.TotalMS() != 3 {
+		t.Errorf("TotalMS = %g", b.TotalMS())
+	}
+	if b.String() == "" {
+		t.Error("empty string")
+	}
+	if len(b.Phases) != 2 {
+		t.Error("phases not recorded")
+	}
+}
+
+func TestRBWork(t *testing.T) {
+	m := MustDefault()
+	if m.RBWorkNS(1000) != 1000*m.RBVisitNS {
+		t.Error("RBWorkNS wrong")
+	}
+}

@@ -1,0 +1,274 @@
+// Package wah implements Word-Aligned Hybrid (WAH) bitmap compression (Wu,
+// Otoo & Shoshani, SSDBM 2002) — the compression used by FastBit, one of
+// the bitmap-index systems Section 8.1 of the Ambit paper evaluates against.
+//
+// Real bitmap indices compress their bitmaps; Ambit operates on
+// *uncompressed* DRAM rows.  This package supplies the compressed baseline
+// so the trade-off can be measured (BenchmarkWAHTradeoff): for sparse
+// bitmaps, a CPU operating directly on WAH-compressed data touches far
+// fewer bytes than its uncompressed size, shrinking Ambit's advantage; for
+// dense bitmaps, compression does nothing and Ambit's raw throughput wins
+// outright.
+//
+// Encoding (64-bit WAH): each word is either
+//   - a literal (MSB 0) carrying 63 payload bits, or
+//   - a fill (MSB 1): bit 62 is the fill value, bits 0..61 count how many
+//     consecutive 63-bit groups the fill covers.
+package wah
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ambit/internal/bitvec"
+)
+
+const (
+	groupBits  = 63
+	fillFlag   = uint64(1) << 63
+	fillValue  = uint64(1) << 62
+	countMask  = fillValue - 1
+	literalMax = (uint64(1) << groupBits) - 1
+)
+
+// Compressed is a WAH-compressed bitvector.
+type Compressed struct {
+	words []uint64
+	// bits is the logical length of the uncompressed vector.
+	bits int64
+}
+
+// Len returns the logical (uncompressed) bit length.
+func (c *Compressed) Len() int64 { return c.bits }
+
+// SizeWords returns the compressed size in 64-bit words.
+func (c *Compressed) SizeWords() int { return len(c.words) }
+
+// CompressionRatio returns uncompressed/compressed size (≥ ~1 for
+// compressible data, slightly < 1 for incompressible data due to the 63/64
+// payload overhead).
+func (c *Compressed) CompressionRatio() float64 {
+	if len(c.words) == 0 {
+		return 1
+	}
+	groups := (c.bits + groupBits - 1) / groupBits
+	return float64(groups) / float64(len(c.words))
+}
+
+// emitter builds a compressed word stream with automatic fill merging.
+type emitter struct {
+	words []uint64
+}
+
+// group appends one 63-bit group.
+func (e *emitter) group(g uint64) {
+	switch g {
+	case 0:
+		e.fill(false, 1)
+	case literalMax:
+		e.fill(true, 1)
+	default:
+		e.words = append(e.words, g)
+	}
+}
+
+// fill appends a run of identical groups.
+func (e *emitter) fill(val bool, count uint64) {
+	if count == 0 {
+		return
+	}
+	var v uint64
+	if val {
+		v = fillValue
+	}
+	if n := len(e.words); n > 0 {
+		last := e.words[n-1]
+		if last&fillFlag != 0 && last&fillValue == v {
+			e.words[n-1] = last + count // merge into the previous fill
+			return
+		}
+	}
+	e.words = append(e.words, fillFlag|v|count)
+}
+
+// Compress encodes a bitvector.  The vector's bits are consumed in 63-bit
+// groups; a partial final group is zero-padded (Len preserves the true
+// length).
+func Compress(v *bitvec.Vector) *Compressed {
+	c := &Compressed{bits: v.Len()}
+	var e emitter
+	words := v.Words()
+	for pos := int64(0); pos < v.Len(); pos += groupBits {
+		e.group(extract63(words, pos))
+	}
+	c.words = e.words
+	return c
+}
+
+// extract63 reads 63 bits starting at bit position pos from a word slice
+// (missing tail bits read as zero).
+func extract63(words []uint64, pos int64) uint64 {
+	wi := pos / 64
+	off := uint(pos % 64)
+	var lo, hi uint64
+	if int(wi) < len(words) {
+		lo = words[wi] >> off
+	}
+	if off > 0 && int(wi+1) < len(words) {
+		hi = words[wi+1] << (64 - off)
+	}
+	return (lo | hi) & literalMax
+}
+
+// Decompress reconstructs the bitvector.
+func (c *Compressed) Decompress() *bitvec.Vector {
+	v := bitvec.New(c.bits)
+	words := v.Words()
+	pos := int64(0)
+	emit := func(g uint64) {
+		deposit63(words, pos, g)
+		pos += groupBits
+	}
+	for _, w := range c.words {
+		if w&fillFlag == 0 {
+			emit(w)
+			continue
+		}
+		g := uint64(0)
+		if w&fillValue != 0 {
+			g = literalMax
+		}
+		for n := w & countMask; n > 0; n-- {
+			emit(g)
+		}
+	}
+	return bitvec.FromWords(words, c.bits)
+}
+
+// deposit63 writes 63 bits at position pos.
+func deposit63(words []uint64, pos int64, g uint64) {
+	wi := pos / 64
+	off := uint(pos % 64)
+	if int(wi) < len(words) {
+		words[wi] |= g << off
+	}
+	if off > 0 && int(wi+1) < len(words) {
+		words[wi+1] |= g >> (64 - off)
+	}
+}
+
+// runIter walks a compressed stream as (group value, repeat count) runs.
+type runIter struct {
+	words []uint64
+	idx   int
+	// current run
+	lit   uint64
+	count uint64
+	isLit bool
+}
+
+func (it *runIter) next() bool {
+	if it.count > 0 {
+		return true
+	}
+	if it.idx >= len(it.words) {
+		return false
+	}
+	w := it.words[it.idx]
+	it.idx++
+	if w&fillFlag == 0 {
+		it.lit, it.count, it.isLit = w, 1, true
+	} else {
+		g := uint64(0)
+		if w&fillValue != 0 {
+			g = literalMax
+		}
+		it.lit, it.count, it.isLit = g, w&countMask, false
+	}
+	return it.count > 0
+}
+
+// take consumes up to n groups from the current run, returning the group
+// value and how many were consumed.
+func (it *runIter) take(n uint64) (uint64, uint64) {
+	if n > it.count {
+		n = it.count
+	}
+	it.count -= n
+	return it.lit, n
+}
+
+// binary applies a word-wise boolean function directly over two compressed
+// streams, without decompressing fills.
+func binary(a, b *Compressed, f func(x, y uint64) uint64) (*Compressed, error) {
+	if a.bits != b.bits {
+		return nil, fmt.Errorf("wah: length mismatch %d vs %d", a.bits, b.bits)
+	}
+	out := &Compressed{bits: a.bits}
+	var e emitter
+	ia := &runIter{words: a.words}
+	ib := &runIter{words: b.words}
+	for ia.next() && ib.next() {
+		if !ia.isLit && !ib.isLit {
+			// Two fills: combine min-run at once.
+			n := ia.count
+			if ib.count < n {
+				n = ib.count
+			}
+			ga, _ := ia.take(n)
+			gb, _ := ib.take(n)
+			g := f(ga, gb) & literalMax
+			switch g {
+			case 0:
+				e.fill(false, n)
+			case literalMax:
+				e.fill(true, n)
+			default:
+				for ; n > 0; n-- {
+					e.group(g)
+				}
+			}
+			continue
+		}
+		ga, _ := ia.take(1)
+		gb, _ := ib.take(1)
+		e.group(f(ga, gb) & literalMax)
+	}
+	out.words = e.words
+	return out, nil
+}
+
+// And returns the compressed AND of two compressed bitvectors.
+func And(a, b *Compressed) (*Compressed, error) {
+	return binary(a, b, func(x, y uint64) uint64 { return x & y })
+}
+
+// Or returns the compressed OR.
+func Or(a, b *Compressed) (*Compressed, error) {
+	return binary(a, b, func(x, y uint64) uint64 { return x | y })
+}
+
+// Xor returns the compressed XOR.
+func Xor(a, b *Compressed) (*Compressed, error) {
+	return binary(a, b, func(x, y uint64) uint64 { return x ^ y })
+}
+
+// AndNot returns the compressed a AND NOT b.
+func AndNot(a, b *Compressed) (*Compressed, error) {
+	return binary(a, b, func(x, y uint64) uint64 { return x &^ y })
+}
+
+// Popcount counts set bits without decompressing.  Bits in the zero-padded
+// tail of the last group are never set by Compress, so no correction is
+// needed.
+func (c *Compressed) Popcount() int64 {
+	var n int64
+	for _, w := range c.words {
+		if w&fillFlag == 0 {
+			n += int64(bits.OnesCount64(w))
+		} else if w&fillValue != 0 {
+			n += int64(w&countMask) * groupBits
+		}
+	}
+	return n
+}

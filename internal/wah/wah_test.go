@@ -1,0 +1,154 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/bitvec"
+)
+
+func randVec(rng *rand.Rand, n int64, density float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := int64(0); i < n; i++ {
+		if rng.Float64() < density {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestRoundTripDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, density := range []float64{0, 0.001, 0.01, 0.5, 0.99, 1} {
+		for _, n := range []int64{1, 62, 63, 64, 126, 1000, 10000} {
+			v := randVec(rng, n, density)
+			c := Compress(v)
+			if c.Len() != n {
+				t.Fatalf("Len = %d, want %d", c.Len(), n)
+			}
+			if !c.Decompress().Equal(v) {
+				t.Fatalf("round trip failed at density %g, n %d", density, n)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(words []uint64, lenMod uint16) bool {
+		if len(words) == 0 {
+			words = []uint64{0}
+		}
+		n := int64(lenMod)%int64(len(words)*64) + 1
+		v := bitvec.FromWords(words, n)
+		return Compress(v).Decompress().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sparse := Compress(randVec(rng, 1<<20, 0.0001))
+	if r := sparse.CompressionRatio(); r < 20 {
+		t.Errorf("sparse ratio %.1f, want ≫ 1", r)
+	}
+	dense := Compress(randVec(rng, 1<<20, 0.5))
+	if r := dense.CompressionRatio(); r > 1.05 {
+		t.Errorf("random-dense ratio %.2f, want ~1", r)
+	}
+	empty := Compress(bitvec.New(1 << 20))
+	if empty.SizeWords() != 1 {
+		t.Errorf("all-zero vector compressed to %d words, want 1", empty.SizeWords())
+	}
+	full := Compress(bitvec.New(1 << 20).Fill(true))
+	// 2^20 isn't a multiple of 63: one fill + one final literal.
+	if full.SizeWords() > 2 {
+		t.Errorf("all-one vector compressed to %d words", full.SizeWords())
+	}
+}
+
+func TestCompressedOpsMatchUncompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type op struct {
+		name string
+		comp func(a, b *Compressed) (*Compressed, error)
+		ref  func(dst, a, b *bitvec.Vector) *bitvec.Vector
+	}
+	ops := []op{
+		{"and", And, (*bitvec.Vector).And},
+		{"or", Or, (*bitvec.Vector).Or},
+		{"xor", Xor, (*bitvec.Vector).Xor},
+		{"andnot", AndNot, (*bitvec.Vector).AndNot},
+	}
+	for _, o := range ops {
+		for _, density := range []float64{0.001, 0.1, 0.9} {
+			n := int64(5000)
+			a := randVec(rng, n, density)
+			b := randVec(rng, n, density/2)
+			got, err := o.comp(Compress(a), Compress(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := o.ref(bitvec.New(n), a, b)
+			if !got.Decompress().Equal(want) {
+				t.Fatalf("%s mismatch at density %g", o.name, density)
+			}
+			if got.Len() != n {
+				t.Fatalf("%s result length %d", o.name, got.Len())
+			}
+		}
+	}
+}
+
+func TestCompressedOpsProperty(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		n := int64(250)
+		a := bitvec.FromWords(aw[:], n)
+		b := bitvec.FromWords(bw[:], n)
+		got, err := And(Compress(a), Compress(b))
+		if err != nil {
+			return false
+		}
+		return got.Decompress().Equal(bitvec.New(n).And(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	a := Compress(bitvec.New(100))
+	b := Compress(bitvec.New(200))
+	if _, err := And(a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPopcountWithoutDecompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, density := range []float64{0, 0.001, 0.3, 1} {
+		v := randVec(rng, 100000, density)
+		c := Compress(v)
+		if got, want := c.Popcount(), v.Popcount(); got != want {
+			t.Errorf("density %g: popcount %d, want %d", density, got, want)
+		}
+	}
+}
+
+func TestFillMergingAcrossOps(t *testing.T) {
+	// AND of two long sparse vectors must produce merged zero fills, not
+	// group-by-group output.
+	rng := rand.New(rand.NewSource(5))
+	a := Compress(randVec(rng, 1<<18, 0.0005))
+	b := Compress(randVec(rng, 1<<18, 0.0005))
+	out, err := And(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SizeWords() > a.SizeWords()+b.SizeWords() {
+		t.Errorf("AND output (%d words) larger than inputs (%d + %d)",
+			out.SizeWords(), a.SizeWords(), b.SizeWords())
+	}
+}

@@ -1,0 +1,143 @@
+package xcrypt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/bitvec"
+	"ambit/internal/sysmodel"
+)
+
+func randVec(rng *rand.Rand, n int64) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+func TestKeystreamDeterministicAndNonTrivial(t *testing.T) {
+	a := NewKeystream(42).Vector(1024)
+	b := NewKeystream(42).Vector(1024)
+	if !a.Equal(b) {
+		t.Fatal("same key produced different keystreams")
+	}
+	c := NewKeystream(43).Vector(1024)
+	if a.Equal(c) {
+		t.Fatal("different keys produced identical keystreams")
+	}
+	// Roughly balanced bits.
+	ones := a.Popcount()
+	if ones < 400 || ones > 624 {
+		t.Errorf("keystream bias: %d/1024 ones", ones)
+	}
+}
+
+func TestZeroKeyUsable(t *testing.T) {
+	v := NewKeystream(0).Vector(256)
+	if v.Popcount() == 0 || v.Popcount() == 256 {
+		t.Error("zero-key keystream degenerate")
+	}
+}
+
+func TestXORCipherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := sysmodel.MustDefault()
+	data := randVec(rng, 100000)
+	enc := XORCipher(data, 7, m)
+	if enc.Out.Equal(data) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	dec := XORCipher(enc.Out, 7, m)
+	if !dec.Out.Equal(data) {
+		t.Fatal("decryption failed")
+	}
+	wrong := XORCipher(enc.Out, 8, m)
+	if wrong.Out.Equal(data) {
+		t.Fatal("wrong key decrypted")
+	}
+}
+
+func TestXORCipherProperty(t *testing.T) {
+	m := sysmodel.MustDefault()
+	f := func(words [4]uint64, key uint64) bool {
+		data := bitvec.FromWords(words[:], 250)
+		enc := XORCipher(data, key, m)
+		dec := XORCipher(enc.Out, key, m)
+		return dec.Out.Equal(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORCipherPricing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := sysmodel.MustDefault()
+	// Large buffer (32 MB): streaming-bound baseline, Ambit wins.
+	data := randVec(rng, 32<<23)
+	res := XORCipher(data, 9, m)
+	if res.Speedup() < 5 {
+		t.Errorf("bulk XOR speedup %.1fX, expected substantial", res.Speedup())
+	}
+}
+
+func TestMaskedInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := sysmodel.MustDefault()
+	n := int64(5000)
+	dst := randVec(rng, n)
+	val := randVec(rng, n)
+	mask := randVec(rng, n)
+	res, err := MaskedInit(dst, val, mask, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		want := dst.Get(i)
+		if mask.Get(i) {
+			want = val.Get(i)
+		}
+		if res.Out.Get(i) != want {
+			t.Fatalf("bit %d: got %v, want %v", i, res.Out.Get(i), want)
+		}
+	}
+	if res.BaselineNS <= 0 || res.AmbitNS <= 0 {
+		t.Error("pricing missing")
+	}
+}
+
+func TestMaskedInitValidation(t *testing.T) {
+	m := sysmodel.MustDefault()
+	if _, err := MaskedInit(bitvec.New(10), bitvec.New(11), bitvec.New(10), m); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MaskedInit(bitvec.New(10), bitvec.New(10), bitvec.New(9), m); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+}
+
+func TestMaskedInitEdgeMasks(t *testing.T) {
+	m := sysmodel.MustDefault()
+	rng := rand.New(rand.NewSource(4))
+	n := int64(300)
+	dst := randVec(rng, n)
+	val := randVec(rng, n)
+	// All-zero mask: output = dst.
+	res, err := MaskedInit(dst, val, bitvec.New(n), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Equal(dst) {
+		t.Error("zero mask changed dst")
+	}
+	// All-one mask: output = value.
+	res, err = MaskedInit(dst, val, bitvec.New(n).Fill(true), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Equal(val) {
+		t.Error("full mask did not take value")
+	}
+}

@@ -1,0 +1,163 @@
+package ambit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// apply runs dst = op(a [, b]) row by row.  Corresponding rows of the
+// operands share a (bank, subarray) slot by the allocator's construction, so
+// every row-level operation is a pure Figure-8 command train; rows mapped to
+// different banks execute in parallel (Section 7's bank-level parallelism).
+func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
+	if dst == nil || a == nil || (!op.Unary() && b == nil) {
+		return fmt.Errorf("ambit: %v: nil operand", op)
+	}
+	if dst.sys != s || a.sys != s || (!op.Unary() && b.sys != s) {
+		return fmt.Errorf("ambit: %v: operand from another System", op)
+	}
+	if !dst.SameShape(a) || (!op.Unary() && !dst.SameShape(b)) {
+		return fmt.Errorf("ambit: %v: operands are not co-located row for row (size mismatch or foreign allocation); the Ambit driver requires cooperating bitvectors to be allocated with the same size on one System (Section 5.4.2)", op)
+	}
+
+	// Cache coherence: flush dirty source lines, invalidate destination
+	// lines (Section 5.4.4).  Destination invalidation proceeds in
+	// parallel with the operation; source flushes precede it.
+	rows := int64(len(dst.rows)) * int64(op.InputRows())
+	coherence := float64(rows) * s.cfg.CoherenceNSPerRow
+	s.stats.CoherenceNS += coherence
+	start := s.stats.ElapsedNS + coherence
+
+	end := start
+	for r := range dst.rows {
+		da, aa := dst.rows[r], a.rows[r]
+		var ba dram.RowAddr
+		if !op.Unary() {
+			ba = b.rows[r].Row
+		}
+		done, err := s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
+		if err != nil {
+			return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
+		}
+		if done > end {
+			end = done
+		}
+	}
+	s.stats.ElapsedNS = end
+	s.stats.BulkOps[op]++
+	s.stats.RowOps += int64(len(dst.rows))
+	return nil
+}
+
+// And computes dst = a AND b inside DRAM (Figure 8a).
+func (s *System) And(dst, a, b *Bitvector) error { return s.apply(controller.OpAnd, dst, a, b) }
+
+// Or computes dst = a OR b inside DRAM.
+func (s *System) Or(dst, a, b *Bitvector) error { return s.apply(controller.OpOr, dst, a, b) }
+
+// Not computes dst = NOT a inside DRAM (Section 5.2).
+func (s *System) Not(dst, a *Bitvector) error { return s.apply(controller.OpNot, dst, a, nil) }
+
+// Nand computes dst = NOT (a AND b) inside DRAM (Figure 8b).
+func (s *System) Nand(dst, a, b *Bitvector) error { return s.apply(controller.OpNand, dst, a, b) }
+
+// Nor computes dst = NOT (a OR b) inside DRAM.
+func (s *System) Nor(dst, a, b *Bitvector) error { return s.apply(controller.OpNor, dst, a, b) }
+
+// Xor computes dst = a XOR b inside DRAM (Figure 8c).
+func (s *System) Xor(dst, a, b *Bitvector) error { return s.apply(controller.OpXor, dst, a, b) }
+
+// Xnor computes dst = NOT (a XOR b) inside DRAM.
+func (s *System) Xnor(dst, a, b *Bitvector) error { return s.apply(controller.OpXnor, dst, a, b) }
+
+// Apply computes dst = op(a[, b]) for a dynamically chosen operation.
+func (s *System) Apply(op controller.Op, dst, a, b *Bitvector) error { return s.apply(op, dst, a, b) }
+
+// Copy copies src into dst using RowClone: FPM when the corresponding rows
+// are co-located (the normal case under this allocator), PSM otherwise.
+func (s *System) Copy(dst, src *Bitvector) error {
+	if dst.sys != s || src.sys != s {
+		return fmt.Errorf("ambit: Copy: operand from another System")
+	}
+	if len(dst.rows) != len(src.rows) {
+		return fmt.Errorf("ambit: Copy: size mismatch (%d vs %d rows)", len(dst.rows), len(src.rows))
+	}
+	start := s.stats.ElapsedNS
+	end := start
+	for r := range dst.rows {
+		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
+		if err != nil {
+			return fmt.Errorf("ambit: Copy row %d: %w", r, err)
+		}
+		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
+		if done > end {
+			end = done
+		}
+	}
+	s.stats.ElapsedNS = end
+	s.stats.Copies += int64(len(dst.rows))
+	return nil
+}
+
+// Fill sets every bit of v to the given value using RowClone from the
+// pre-initialized control rows — the "masked initialization" building block
+// of Section 8.4.2 and the row-initialization primitive of Section 3.4.
+func (s *System) Fill(v *Bitvector, bit bool) error {
+	if v.sys != s {
+		return fmt.Errorf("ambit: Fill: operand from another System")
+	}
+	start := s.stats.ElapsedNS
+	end := start
+	for _, addr := range v.rows {
+		var lat float64
+		var err error
+		if bit {
+			lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
+		} else {
+			lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
+		}
+		if err != nil {
+			return fmt.Errorf("ambit: Fill: %w", err)
+		}
+		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
+		if done > end {
+			end = done
+		}
+	}
+	s.stats.ElapsedNS = end
+	s.stats.Copies += int64(len(v.rows))
+	return nil
+}
+
+// Popcount counts the set bits of v on the CPU: the vector streams over the
+// memory channel (Ambit has no in-DRAM bitcount; the paper's workloads
+// perform bitcounts on the CPU, Section 8.1).  The cost charged is the
+// channel-bandwidth-bound streaming time.
+func (s *System) Popcount(v *Bitvector) (int64, error) {
+	if v.sys != s {
+		return 0, fmt.Errorf("ambit: Popcount: operand from another System")
+	}
+	var n int64
+	for _, addr := range v.rows {
+		row, err := s.dev.ReadRow(addr)
+		if err != nil {
+			return 0, err
+		}
+		for _, w := range row {
+			n += int64(bits.OnesCount64(w))
+		}
+	}
+	s.chargeChannel(int64(len(v.rows)) * int64(s.dev.Geometry().RowSizeBytes))
+	return n, nil
+}
+
+// chargeChannel advances simulated time by a channel-bandwidth-bound
+// transfer of the given byte count and records the traffic.
+func (s *System) chargeChannel(bytes int64) {
+	gbps := s.dev.Timing().ChannelGBps
+	s.stats.ElapsedNS += float64(bytes) / gbps
+	s.stats.ChannelBytes += bytes
+}

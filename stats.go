@@ -1,0 +1,80 @@
+package ambit
+
+import (
+	"fmt"
+	"strings"
+
+	"ambit/internal/controller"
+)
+
+// channelIOEnergyPerKB is the I/O and termination energy of moving one KB
+// over the DDR channel, charged on top of the in-device command energy for
+// Read/Write/Popcount traffic.  (The energy.Model Read/WritePerKB figures
+// are end-to-end and would double-count the device commands the simulator
+// already executed.)
+const channelIOEnergyPerKB = 40.0
+
+// Stats accumulates the simulated cost of everything a System has executed.
+type Stats struct {
+	// ElapsedNS is the simulated wall-clock time: bulk operations advance
+	// it by their cross-bank makespan, channel transfers by their
+	// bandwidth-bound streaming time.
+	ElapsedNS float64
+	// CoherenceNS is the portion of ElapsedNS spent flushing caches
+	// before Ambit operations (Section 5.4.4).
+	CoherenceNS float64
+	// ChannelBytes counts bytes moved over the external channel
+	// (Read/Write/Popcount); Ambit bulk operations move none.
+	ChannelBytes int64
+	// BulkOps counts completed bulk bitwise operations by opcode.
+	BulkOps [7]int64
+	// RowOps counts row-level command trains executed.
+	RowOps int64
+	// Copies counts RowClone row copies and initializations.
+	Copies int64
+}
+
+// TotalBulkOps sums BulkOps.
+func (st Stats) TotalBulkOps() int64 {
+	var n int64
+	for _, c := range st.BulkOps {
+		n += c
+	}
+	return n
+}
+
+// String renders a compact summary.
+func (st Stats) String() string {
+	var ops []string
+	for i, n := range st.BulkOps {
+		if n > 0 {
+			ops = append(ops, fmt.Sprintf("%v:%d", controller.Op(i), n))
+		}
+	}
+	return fmt.Sprintf("elapsed %.0f ns, %d row-ops [%s], %d copies, %d channel bytes",
+		st.ElapsedNS, st.RowOps, strings.Join(ops, " "), st.Copies, st.ChannelBytes)
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the system, device, controller, and RowClone counters.
+// Memory contents and allocations are untouched.
+func (s *System) ResetStats() {
+	s.stats = Stats{}
+	s.dev.ResetStats()
+	s.dev.ResetTimelines()
+	s.ctrl.ResetStats()
+	s.rc.ResetStats()
+}
+
+// EnergyNJ returns the total simulated energy: the device's command energy
+// under the configured model plus channel I/O energy for external traffic.
+func (s *System) EnergyNJ() float64 {
+	device := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats())
+	io := float64(s.stats.ChannelBytes) / 1024 * channelIOEnergyPerKB
+	return device + io
+}
+
+// ElapsedNS returns the simulated time consumed so far.
+func (s *System) ElapsedNS() float64 { return s.stats.ElapsedNS }
