@@ -18,7 +18,10 @@
 //     corresponding rows of different vectors share a subarray — the
 //     placement contract that lets every copy use RowClone-FPM
 //     (Section 5.4.2),
-//   - per-operation latency and energy accounting (internal/energy).
+//   - per-operation latency and energy accounting (internal/energy),
+//   - a batch execution engine (Batch) that records programs of bulk
+//     operations, derives their dependency graph, and dispatches
+//     independent operations concurrently across banks.
 //
 // All operations are functionally exact (the simulated DRAM really computes
 // through triple-row-activation majority and DCC negation), and the
@@ -34,10 +37,40 @@
 //	sys.And(dst, a, b)         // executed inside simulated DRAM
 //	words, _ := dst.Peek()
 //	fmt.Println(sys.Stats().ElapsedNS, "ns simulated")
+//
+// # Batch execution
+//
+// Issuing operations one at a time serializes them on the system's global
+// clock even when they occupy different banks.  A Batch instead records a
+// program of operations, builds a dependency graph from their operand row
+// sets, and dispatches every independent operation concurrently: per-bank
+// timelines advance independently (Section 7's bank-level parallelism, as
+// programs of primitives in the spirit of the follow-up "In-DRAM Bulk
+// Bitwise Execution Engine", arXiv 1905.09822), and the host-side functional
+// simulation fans out across a goroutine worker pool.
+//
+//	batch := sys.NewBatch()
+//	batch.Xor(t, a, b)   // recorded, not yet executed
+//	batch.And(u, c, d)   // independent of the xor -> runs concurrently
+//	batch.Or(out, t, u)  // depends on both -> runs after them
+//	rep, _ := batch.Run()
+//	fmt.Println(rep.MakespanNS, "ns makespan over", rep.Waves, "waves")
+//
+// # Concurrency
+//
+// A System is safe for concurrent use: every exported method of System,
+// Bitvector, and Batch may be called from multiple goroutines.  Allocator
+// state and statistics are guarded by one mutex per System, so plain calls
+// and Batch.Run serialize against each other; parallelism inside a batch
+// comes from its worker pool, not from overlapping public calls.  Direct
+// access to the underlying Device, Controller, or RowClone engine (via
+// their accessors) is NOT synchronized and should be confined to one
+// goroutine.
 package ambit
 
 import (
 	"fmt"
+	"sync"
 
 	"ambit/internal/controller"
 	"ambit/internal/dram"
@@ -58,7 +91,8 @@ type Config struct {
 	// CoherenceNSPerRow is the time charged per involved row for cache
 	// flush/invalidate before an Ambit operation (Section 5.4.4).  The
 	// default of 0 models clean/uncached operands; the full-system model
-	// supplies a realistic value.
+	// supplies a realistic value.  See DESIGN.md ("Coherence model") for
+	// which rows each primitive charges.
 	CoherenceNSPerRow float64
 }
 
@@ -72,19 +106,28 @@ func DefaultConfig() Config {
 }
 
 // System is an Ambit-enabled memory system: the DRAM device, its controller,
-// the RowClone engine, and the driver-level allocator.
+// the RowClone engine, and the driver-level allocator.  All exported methods
+// are safe for concurrent use; see the package comment for the exact
+// guarantees.
 type System struct {
 	cfg  Config
 	dev  *dram.Device
 	ctrl *controller.Controller
 	rc   *rowclone.Engine
 
+	// mu guards the allocator state and stats below, and serializes
+	// operation execution: each public operation (and each Batch.Run)
+	// holds it end to end, so concurrent callers observe a consistent
+	// simulated timeline.
+	mu sync.Mutex
+
 	// Allocator state: nextRow[slot] is the next free D-group row in
 	// each (bank, subarray) slot; vector row r is placed in slot
-	// (r mod slots), giving corresponding rows of all vectors the same
-	// subarray (Section 5.4.2's placement contract).  freeRows[slot]
-	// holds rows returned by Free, reused before fresh rows so the
-	// co-location invariant (row r of equal-sized vectors shares a slot)
+	// (base + r) mod slots — base is 0 for Alloc — giving corresponding
+	// rows of all vectors allocated with the same base the same subarray
+	// (Section 5.4.2's placement contract).  freeRows[slot] holds rows
+	// returned by Free, reused before fresh rows so the co-location
+	// invariant (row r of equal-sized, equal-base vectors shares a slot)
 	// still holds: freed rows re-enter the same slot they came from.
 	nextRow  []int
 	freeRows [][]int
@@ -124,12 +167,15 @@ func NewSystem(cfg Config) (*System, error) {
 func (s *System) Config() Config { return s.cfg }
 
 // Device exposes the underlying DRAM device (for inspection and tools).
+// Direct device access is not synchronized with concurrent System calls.
 func (s *System) Device() *dram.Device { return s.dev }
 
-// Controller exposes the Ambit controller.
+// Controller exposes the Ambit controller.  Direct controller access is not
+// synchronized with concurrent System calls.
 func (s *System) Controller() *controller.Controller { return s.ctrl }
 
-// RowClone exposes the RowClone engine.
+// RowClone exposes the RowClone engine.  Direct engine access is not
+// synchronized with concurrent System calls.
 func (s *System) RowClone() *rowclone.Engine { return s.rc }
 
 // slots returns the number of (bank, subarray) placement slots.
@@ -159,6 +205,29 @@ func (s *System) RowSizeBits() int { return s.dev.Geometry().RowSizeBytes * 8 }
 // subarray and every bitwise operation runs entirely on RowClone-FPM-
 // reachable rows.
 func (s *System) Alloc(bits int64) (*Bitvector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocLocked(bits, 0)
+}
+
+// AllocAt allocates like Alloc but starts placement at the given
+// (bank, subarray) slot: row r of the vector is placed in slot
+// (baseSlot + r) mod slots.  Vectors that cooperate in bulk bitwise
+// operations must share a base slot (they are then co-located row for row);
+// vectors with *different* bases occupy disjoint banks when they are small,
+// which is how a Batch spreads independent operations across the device.
+// The number of slots is Config().DRAM.Geometry.Banks * SubarraysPerBank.
+func (s *System) AllocAt(bits int64, baseSlot int) (*Bitvector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if baseSlot < 0 || baseSlot >= s.slots() {
+		return nil, fmt.Errorf("ambit: AllocAt: base slot %d out of range [0,%d)", baseSlot, s.slots())
+	}
+	return s.allocLocked(bits, baseSlot)
+}
+
+// allocLocked implements Alloc/AllocAt; the caller holds s.mu.
+func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("ambit: Alloc(%d): size must be positive", bits)
 	}
@@ -167,7 +236,7 @@ func (s *System) Alloc(bits int64) (*Bitvector, error) {
 	nRows := int((bits + rowBits - 1) / rowBits)
 	rows := make([]dram.PhysAddr, nRows)
 	for r := 0; r < nRows; r++ {
-		slot := r % s.slots()
+		slot := (baseSlot + r) % s.slots()
 		var row int
 		if free := s.freeRows[slot]; len(free) > 0 {
 			row = free[len(free)-1]
@@ -185,12 +254,14 @@ func (s *System) Alloc(bits int64) (*Bitvector, error) {
 }
 
 // Free returns a bitvector's rows to the allocator for reuse.  The vector
-// must not be used afterwards; its contents are not scrubbed (call Fill
-// first if the data is sensitive).
+// must not be used afterwards (operations on a freed vector are rejected);
+// its contents are not scrubbed (call Fill first if the data is sensitive).
 func (s *System) Free(v *Bitvector) error {
 	if v == nil || v.sys != s {
 		return fmt.Errorf("ambit: Free: vector does not belong to this System")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v.rows == nil {
 		return fmt.Errorf("ambit: Free: double free")
 	}
@@ -216,6 +287,8 @@ func (s *System) MustAlloc(bits int64) *Bitvector {
 // FreeRows reports how many D-group rows remain unallocated (including rows
 // recycled by Free).
 func (s *System) FreeRows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	g := s.dev.Geometry()
 	total := 0
 	for slot, used := range s.nextRow {

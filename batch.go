@@ -1,0 +1,508 @@
+package ambit
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+	"ambit/internal/program"
+)
+
+// batchKind enumerates the primitive kinds a Batch records.
+type batchKind uint8
+
+const (
+	batchBulk batchKind = iota
+	batchCopy
+	batchFill
+	batchPopcount
+)
+
+// batchOp is one recorded operation.  dst/a/b mirror the direct-call operand
+// roles: bulk ops use all three (b nil for unary), Copy uses dst/a
+// (destination/source), Fill uses dst, Popcount uses a.
+type batchOp struct {
+	kind    batchKind
+	op      controller.Op
+	dst     *Bitvector
+	a, b    *Bitvector
+	fillBit bool
+	result  *PopcountResult
+
+	// rowLats is filled by the functional phase: the command-train
+	// latency of each row-level operation, consumed by the deterministic
+	// timing phase.
+	rowLats []float64
+}
+
+// name renders the op for error messages.
+func (o *batchOp) name() string {
+	switch o.kind {
+	case batchBulk:
+		return o.op.String()
+	case batchCopy:
+		return "Copy"
+	case batchFill:
+		return "Fill"
+	default:
+		return "Popcount"
+	}
+}
+
+// operands returns the op's operand list by role — including nil entries, so
+// validation can reject them.
+func (o *batchOp) operands() []*Bitvector {
+	switch o.kind {
+	case batchBulk:
+		if o.op.Unary() {
+			return []*Bitvector{o.dst, o.a}
+		}
+		return []*Bitvector{o.dst, o.a, o.b}
+	case batchCopy:
+		return []*Bitvector{o.dst, o.a}
+	case batchFill:
+		return []*Bitvector{o.dst}
+	default:
+		return []*Bitvector{o.a}
+	}
+}
+
+// coherenceRows returns how many cached rows must be flushed or invalidated
+// before the op may touch DRAM (DESIGN.md "Coherence model"): bulk ops flush
+// their source rows (destination invalidation hides behind the B-group
+// staging), Copy flushes sources and invalidates destinations, Fill
+// invalidates destinations, and Popcount is an ordinary cached read.
+func (o *batchOp) coherenceRows() int64 {
+	switch o.kind {
+	case batchBulk:
+		return int64(len(o.dst.rows)) * int64(o.op.InputRows())
+	case batchCopy:
+		return 2 * int64(len(o.dst.rows))
+	case batchFill:
+		return int64(len(o.dst.rows))
+	default:
+		return 0
+	}
+}
+
+// PopcountResult is the pending result of a Batch.Popcount; its value
+// becomes available once the batch has run.
+type PopcountResult struct {
+	n    int64
+	done bool
+}
+
+// Value returns the popcount, or an error if the owning batch has not
+// successfully run yet.
+func (p *PopcountResult) Value() (int64, error) {
+	if !p.done {
+		return 0, fmt.Errorf("ambit: PopcountResult: batch has not run")
+	}
+	return p.n, nil
+}
+
+// BatchReport summarizes one Batch.Run.
+type BatchReport struct {
+	// Ops is the number of operations the batch executed.
+	Ops int
+	// Waves is the dependency depth of the program: the length of its
+	// longest chain of conflicting operations.  Waves == 1 means every
+	// operation was independent.
+	Waves int
+	// MakespanNS is the simulated time from batch start to the completion
+	// of its last operation.  Independent operations on different banks
+	// overlap, so the makespan of a well-spread batch is far below the
+	// sum of its operations' individual latencies.
+	MakespanNS float64
+}
+
+// Batch records a program of bulk operations for pipelined dispatch.
+//
+// Operations are recorded by the same-named methods (And, Xor, Copy, ...)
+// and validated immediately, but nothing executes until Run.  Run builds a
+// dependency graph from the operations' operand row sets (internal/program),
+// executes independent operations concurrently on a goroutine worker pool,
+// and schedules their command trains against per-bank timelines: two
+// operations that touch disjoint banks overlap fully in simulated time,
+// instead of serializing on the System's global clock the way direct calls
+// do.  This is the "program of bbop primitives" execution model of the
+// follow-up work "In-DRAM Bulk Bitwise Execution Engine" (arXiv 1905.09822).
+//
+// A Batch is not safe for concurrent recording; record from one goroutine,
+// then Run (Run itself synchronizes with all other System activity).  A
+// Batch can run only once.
+type Batch struct {
+	// Workers caps the goroutines executing the host-side functional
+	// simulation; 0 means GOMAXPROCS.
+	Workers int
+
+	sys *System
+	ops []*batchOp
+	ran bool
+}
+
+// NewBatch creates an empty batch on the system.
+func (s *System) NewBatch() *Batch { return &Batch{sys: s} }
+
+// Len returns the number of operations recorded so far.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// record validates and appends one operation.
+func (b *Batch) record(op *batchOp) error {
+	s := b.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.ran {
+		return fmt.Errorf("ambit: Batch: cannot record %s after Run", op.name())
+	}
+	if err := s.checkOperands("Batch."+op.name(), op.operands()...); err != nil {
+		return err
+	}
+	switch op.kind {
+	case batchBulk:
+		if !op.dst.sameShape(op.a) || (!op.op.Unary() && !op.dst.sameShape(op.b)) {
+			return fmt.Errorf("ambit: Batch.%v: operands are not co-located row for row (size mismatch or foreign allocation); cooperating bitvectors must be allocated with the same size and base slot on one System (Section 5.4.2)", op.op)
+		}
+	case batchCopy:
+		if len(op.dst.rows) != len(op.a.rows) {
+			return fmt.Errorf("ambit: Batch.Copy: size mismatch (%d vs %d rows)", len(op.dst.rows), len(op.a.rows))
+		}
+	}
+	b.ops = append(b.ops, op)
+	return nil
+}
+
+// bulk records dst = op(a[, b]).
+func (b *Batch) bulk(op controller.Op, dst, a, bv *Bitvector) error {
+	return b.record(&batchOp{kind: batchBulk, op: op, dst: dst, a: a, b: bv})
+}
+
+// And records dst = a AND b.
+func (b *Batch) And(dst, a, bv *Bitvector) error { return b.bulk(controller.OpAnd, dst, a, bv) }
+
+// Or records dst = a OR b.
+func (b *Batch) Or(dst, a, bv *Bitvector) error { return b.bulk(controller.OpOr, dst, a, bv) }
+
+// Not records dst = NOT a.
+func (b *Batch) Not(dst, a *Bitvector) error { return b.bulk(controller.OpNot, dst, a, nil) }
+
+// Nand records dst = NOT (a AND b).
+func (b *Batch) Nand(dst, a, bv *Bitvector) error { return b.bulk(controller.OpNand, dst, a, bv) }
+
+// Nor records dst = NOT (a OR b).
+func (b *Batch) Nor(dst, a, bv *Bitvector) error { return b.bulk(controller.OpNor, dst, a, bv) }
+
+// Xor records dst = a XOR b.
+func (b *Batch) Xor(dst, a, bv *Bitvector) error { return b.bulk(controller.OpXor, dst, a, bv) }
+
+// Xnor records dst = NOT (a XOR b).
+func (b *Batch) Xnor(dst, a, bv *Bitvector) error { return b.bulk(controller.OpXnor, dst, a, bv) }
+
+// Apply records dst = op(a[, b]) for a dynamically chosen operation.
+func (b *Batch) Apply(op controller.Op, dst, a, bv *Bitvector) error {
+	if op.Unary() {
+		return b.bulk(op, dst, a, nil)
+	}
+	return b.bulk(op, dst, a, bv)
+}
+
+// Copy records a RowClone copy of src into dst.
+func (b *Batch) Copy(dst, src *Bitvector) error {
+	return b.record(&batchOp{kind: batchCopy, dst: dst, a: src})
+}
+
+// Fill records setting every bit of v to the given value.
+func (b *Batch) Fill(v *Bitvector, bit bool) error {
+	return b.record(&batchOp{kind: batchFill, dst: v, fillBit: bit})
+}
+
+// Popcount records a CPU-side population count of v.  The returned
+// PopcountResult yields its value after Run succeeds.
+func (b *Batch) Popcount(v *Bitvector) (*PopcountResult, error) {
+	res := &PopcountResult{}
+	if err := b.record(&batchOp{kind: batchPopcount, a: v, result: res}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run executes the recorded program.
+//
+// The run has two phases.  The functional phase executes every operation's
+// command trains against the simulated device, fanning independent
+// operations out across a worker pool (one lock per bank keeps trains on a
+// bank atomic).  The timing phase then replays the program in deterministic
+// order against the per-bank timelines: an operation starts when its
+// dependencies finish, and each of its row trains occupies its bank from the
+// bank's own earliest free moment — so independent operations on disjoint
+// banks overlap in simulated time.  The System clock advances by the batch
+// makespan, not by the sum of operation latencies.
+//
+// On error the simulated clock and counters are left unchanged, but DRAM
+// contents may reflect a partially executed program.
+func (b *Batch) Run() (BatchReport, error) {
+	s := b.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.ran {
+		return BatchReport{}, fmt.Errorf("ambit: Batch: already run")
+	}
+	b.ran = true
+	if len(b.ops) == 0 {
+		return BatchReport{}, nil
+	}
+	// Operands may have been freed between recording and Run.
+	for i, op := range b.ops {
+		for _, v := range op.operands() {
+			if v.rows == nil {
+				return BatchReport{}, fmt.Errorf("ambit: Batch op %d (%s): operand freed after recording", i, op.name())
+			}
+		}
+	}
+	g := program.Build(b.programOps())
+	if err := b.execute(g); err != nil {
+		return BatchReport{}, err
+	}
+	makespan := b.schedule(g)
+	for _, op := range b.ops {
+		if op.result != nil {
+			op.result.done = true
+		}
+	}
+	return BatchReport{Ops: len(b.ops), Waves: g.Waves(), MakespanNS: makespan}, nil
+}
+
+// programOps converts the recorded ops into their read/write row sets.  The
+// B-group and control rows an op stages through are deliberately excluded:
+// they are transient within one atomic command train, so they impose bank
+// occupancy (modelled by the timelines) but no data dependency.
+func (b *Batch) programOps() []program.Op {
+	ops := make([]program.Op, len(b.ops))
+	for i, op := range b.ops {
+		p := program.Op{Label: op.name()}
+		switch op.kind {
+		case batchBulk:
+			p.Writes = op.dst.rows
+			p.Reads = append(p.Reads, op.a.rows...)
+			if !op.op.Unary() {
+				p.Reads = append(p.Reads, op.b.rows...)
+			}
+		case batchCopy:
+			p.Reads = op.a.rows
+			p.Writes = op.dst.rows
+		case batchFill:
+			p.Writes = op.dst.rows
+		case batchPopcount:
+			p.Reads = op.a.rows
+		}
+		ops[i] = p
+	}
+	return ops
+}
+
+// execute runs the functional phase: a dataflow dispatch over the dependency
+// graph with at most b.Workers concurrent executors.  Each op records its
+// per-row command-train latencies for the timing phase.
+func (b *Batch) execute(g *program.Graph) error {
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bankLocks := make([]sync.Mutex, b.sys.dev.Geometry().Banks)
+	sem := make(chan struct{}, workers)
+	indeg := make([]int32, len(b.ops))
+	for i := range b.ops {
+		indeg[i] = int32(len(g.Deps(i)))
+	}
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	wg.Add(len(b.ops))
+	var start func(i int)
+	start = func(i int) {
+		go func() {
+			sem <- struct{}{}
+			if !failed.Load() {
+				if err := b.execOp(i, bankLocks); err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+			<-sem
+			// Release successors before signalling completion so the
+			// WaitGroup never drains with work still unlaunched.
+			for _, succ := range g.Succs(i) {
+				if atomic.AddInt32(&indeg[succ], -1) == 0 {
+					start(succ)
+				}
+			}
+			wg.Done()
+		}()
+	}
+	// Roots are identified from the immutable graph, not the live indeg
+	// counters: a counter an already-running worker drains to zero would
+	// otherwise be started twice (once here, once by that worker).
+	for i := range b.ops {
+		if len(g.Deps(i)) == 0 {
+			start(i)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// lockBanks locks one or two bank mutexes in ascending order (avoiding
+// deadlock between concurrent two-bank copies) and returns the unlock.
+func lockBanks(lks []sync.Mutex, x, y int) func() {
+	if x == y {
+		lks[x].Lock()
+		return lks[x].Unlock
+	}
+	if x > y {
+		x, y = y, x
+	}
+	lks[x].Lock()
+	lks[y].Lock()
+	lo, hi := x, y
+	return func() {
+		lks[hi].Unlock()
+		lks[lo].Unlock()
+	}
+}
+
+// execOp functionally executes op i, holding the relevant bank lock for each
+// row-level command train so concurrent ops interleave only at train
+// boundaries (a train is self-contained: it stages operands into the B-group
+// rows, operates, and copies out before releasing the bank).
+func (b *Batch) execOp(i int, lks []sync.Mutex) error {
+	op := b.ops[i]
+	s := b.sys
+	switch op.kind {
+	case batchBulk:
+		op.rowLats = make([]float64, len(op.dst.rows))
+		for r := range op.dst.rows {
+			da, aa := op.dst.rows[r], op.a.rows[r]
+			var ba dram.RowAddr
+			if !op.op.Unary() {
+				ba = op.b.rows[r].Row
+			}
+			lks[da.Bank].Lock()
+			lat, err := s.ctrl.ExecuteOp(op.op, da.Bank, da.Subarray, da.Row, aa.Row, ba)
+			lks[da.Bank].Unlock()
+			if err != nil {
+				return fmt.Errorf("ambit: batch %v row %d: %w", op.op, r, err)
+			}
+			op.rowLats[r] = lat
+		}
+	case batchCopy:
+		op.rowLats = make([]float64, len(op.dst.rows))
+		for r := range op.dst.rows {
+			src, dst := op.a.rows[r], op.dst.rows[r]
+			unlock := lockBanks(lks, src.Bank, dst.Bank)
+			_, lat, err := s.rc.Copy(src, dst)
+			unlock()
+			if err != nil {
+				return fmt.Errorf("ambit: batch Copy row %d: %w", r, err)
+			}
+			op.rowLats[r] = lat
+		}
+	case batchFill:
+		op.rowLats = make([]float64, len(op.dst.rows))
+		for r, addr := range op.dst.rows {
+			var lat float64
+			var err error
+			lks[addr.Bank].Lock()
+			if op.fillBit {
+				lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
+			} else {
+				lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
+			}
+			lks[addr.Bank].Unlock()
+			if err != nil {
+				return fmt.Errorf("ambit: batch Fill row %d: %w", r, err)
+			}
+			op.rowLats[r] = lat
+		}
+	case batchPopcount:
+		var n int64
+		for r, addr := range op.a.rows {
+			lks[addr.Bank].Lock()
+			row, err := s.dev.ReadRow(addr)
+			lks[addr.Bank].Unlock()
+			if err != nil {
+				return fmt.Errorf("ambit: batch Popcount row %d: %w", r, err)
+			}
+			for _, w := range row {
+				n += int64(bits.OnesCount64(w))
+			}
+		}
+		op.result.n = n
+	}
+	return nil
+}
+
+// schedule runs the deterministic timing phase and returns the makespan.
+// Ops are replayed in recording order (a topological order of the graph):
+// each starts at the finish of its latest dependency plus its coherence
+// charge, each row train reserves its bank's own timeline, and channel-bound
+// ops (Popcount) serialize on a single channel timeline.  The system clock
+// advances to the finish of the last op.
+func (b *Batch) schedule(g *program.Graph) float64 {
+	s := b.sys
+	base := s.stats.ElapsedNS
+	finish := make([]float64, len(b.ops))
+	channelFree := base
+	makespan := base
+	for i, op := range b.ops {
+		start := base
+		for _, d := range g.Deps(i) {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		start += s.coherenceNS(op.coherenceRows())
+		end := start
+		switch op.kind {
+		case batchBulk:
+			for r, lat := range op.rowLats {
+				if done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat); done > end {
+					end = done
+				}
+			}
+			s.stats.BulkOps[op.op]++
+			s.stats.RowOps += int64(len(op.dst.rows))
+		case batchCopy, batchFill:
+			for r, lat := range op.rowLats {
+				if done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat); done > end {
+					end = done
+				}
+			}
+			s.stats.Copies += int64(len(op.dst.rows))
+		case batchPopcount:
+			bytes := int64(len(op.a.rows)) * int64(s.dev.Geometry().RowSizeBytes)
+			if channelFree > start {
+				start = channelFree
+			}
+			end = start + float64(bytes)/s.dev.Timing().ChannelGBps
+			channelFree = end
+			s.stats.ChannelBytes += bytes
+		}
+		finish[i] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	s.stats.ElapsedNS = makespan
+	return makespan - base
+}

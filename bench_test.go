@@ -498,6 +498,91 @@ func BenchmarkWAHTradeoff(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchVsSequential measures the batch execution engine against
+// direct one-at-a-time calls on the same workload: independent single-row
+// XORs spread across the device with AllocAt, so each operation occupies a
+// different bank.  Sequential issue serializes them on the global clock;
+// the batch overlaps them on per-bank timelines (simulated makespan) and
+// fans the functional simulation across a worker pool (wall-clock).  The
+// reported simulated_gain_x is the headline number: it approaches the bank
+// count when the groups spread evenly.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	const groups = 64
+	setup := func(b *testing.B) (*System, [][3]*Bitvector) {
+		sys, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		gs := make([][3]*Bitvector, groups)
+		rowBits := int64(sys.RowSizeBits())
+		for i := range gs {
+			for j := range gs[i] {
+				v, err := sys.AllocAt(rowBits, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gs[i][j] = v
+			}
+			w := make([]uint64, gs[i][0].Words())
+			for k := range w {
+				w[k] = rng.Uint64()
+			}
+			if err := gs[i][0].Load(w); err != nil {
+				b.Fatal(err)
+			}
+			for k := range w {
+				w[k] = rng.Uint64()
+			}
+			if err := gs[i][1].Load(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return sys, gs
+	}
+	bytesPerRound := int64(groups) * int64(dram.DefaultGeometry().RowSizeBytes)
+
+	var seqNS, batNS float64
+	b.Run("Sequential", func(b *testing.B) {
+		sys, gs := setup(b)
+		b.SetBytes(bytesPerRound)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.ResetStats()
+			for _, g := range gs {
+				if err := sys.Xor(g[2], g[0], g[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			seqNS = sys.ElapsedNS()
+		}
+		b.ReportMetric(seqNS, "simulated_ns")
+	})
+	b.Run("Batch", func(b *testing.B) {
+		sys, gs := setup(b)
+		b.SetBytes(bytesPerRound)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.ResetStats()
+			batch := sys.NewBatch()
+			for _, g := range gs {
+				if err := batch.Xor(g[2], g[0], g[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep, err := batch.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			batNS = rep.MakespanNS
+		}
+		b.ReportMetric(batNS, "simulated_ns")
+		if seqNS > 0 {
+			b.ReportMetric(seqNS/batNS, "simulated_gain_x")
+		}
+	})
+}
+
 // BenchmarkSubarrayScaling extends the bank-scaling ablation with
 // subarray-level parallelism (SALP): the second lever of the paper's
 // linear-scaling claim.

@@ -10,35 +10,78 @@ import (
 // Bitvector is a bit vector resident in simulated Ambit DRAM.  Its storage
 // is a sequence of full DRAM rows interleaved across (bank, subarray) slots;
 // bit i lives in row i/RowSizeBits, word (i%RowSizeBits)/64, bit i%64.
+//
+// A Bitvector is safe for concurrent use through its exported methods (they
+// synchronize on the owning System); a freed vector is rejected with an
+// error by every data-touching method.
 type Bitvector struct {
 	sys  *System
 	bits int64
 	rows []dram.PhysAddr
 }
 
-// Len returns the logical length in bits.
-func (v *Bitvector) Len() int64 { return v.bits }
+// checkLive verifies the vector has not been freed.  The caller holds
+// v.sys.mu.
+func (v *Bitvector) checkLive(name string) error {
+	if v.rows == nil {
+		return fmt.Errorf("ambit: %s: bitvector used after Free", name)
+	}
+	return nil
+}
 
-// Rows returns the number of DRAM rows backing the vector.
-func (v *Bitvector) Rows() int { return len(v.rows) }
+// Len returns the logical length in bits (0 after Free).
+func (v *Bitvector) Len() int64 {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return v.bits
+}
+
+// Rows returns the number of DRAM rows backing the vector (0 after Free).
+func (v *Bitvector) Rows() int {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return len(v.rows)
+}
 
 // Row returns the physical address of backing row r.
-func (v *Bitvector) Row(r int) dram.PhysAddr { return v.rows[r] }
+func (v *Bitvector) Row(r int) dram.PhysAddr {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return v.rows[r]
+}
 
 // wordsPerRow returns 64-bit words per backing row.
 func (v *Bitvector) wordsPerRow() int { return v.sys.dev.Geometry().WordsPerRow() }
 
 // Words returns the number of 64-bit words the vector's rows hold (its
 // padded capacity; Len()/64 rounded up to whole rows).
-func (v *Bitvector) Words() int { return len(v.rows) * v.wordsPerRow() }
+func (v *Bitvector) Words() int {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return v.words()
+}
+
+// words is Words without locking; the caller holds v.sys.mu.
+func (v *Bitvector) words() int { return len(v.rows) * v.wordsPerRow() }
 
 // Load installs data into the vector's rows through the simulation backdoor,
 // free of simulated cost.  Use it to set up experiment state; use Write for
 // costed stores.  Missing tail words are zero-filled.
 func (v *Bitvector) Load(words []uint64) error {
-	if len(words) > v.Words() {
-		return fmt.Errorf("ambit: Load: %d words exceed capacity %d", len(words), v.Words())
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("Load"); err != nil {
+		return err
 	}
+	if len(words) > v.words() {
+		return fmt.Errorf("ambit: Load: %d words exceed capacity %d", len(words), v.words())
+	}
+	return v.store(words, v.sys.dev.PokeRow)
+}
+
+// store writes words row by row through the given row writer, zero-filling
+// the tail.  The caller holds v.sys.mu.
+func (v *Bitvector) store(words []uint64, writeRow func(dram.PhysAddr, []uint64) error) error {
 	wpr := v.wordsPerRow()
 	buf := make([]uint64, wpr)
 	for r, addr := range v.rows {
@@ -49,7 +92,7 @@ func (v *Bitvector) Load(words []uint64) error {
 		for i := 0; i < wpr && lo+i < len(words); i++ {
 			buf[i] = words[lo+i]
 		}
-		if err := v.sys.dev.PokeRow(addr, buf); err != nil {
+		if err := writeRow(addr, buf); err != nil {
 			return err
 		}
 	}
@@ -59,7 +102,17 @@ func (v *Bitvector) Load(words []uint64) error {
 // Peek returns the vector's content through the simulation backdoor, free of
 // simulated cost.
 func (v *Bitvector) Peek() ([]uint64, error) {
-	out := make([]uint64, 0, v.Words())
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("Peek"); err != nil {
+		return nil, err
+	}
+	return v.peek()
+}
+
+// peek is Peek without locking; the caller holds v.sys.mu.
+func (v *Bitvector) peek() ([]uint64, error) {
+	out := make([]uint64, 0, v.words())
 	for _, addr := range v.rows {
 		row, err := v.sys.dev.PeekRow(addr)
 		if err != nil {
@@ -73,22 +126,16 @@ func (v *Bitvector) Peek() ([]uint64, error) {
 // Write stores data into the vector through the DRAM channel, charging the
 // corresponding commands and channel time.
 func (v *Bitvector) Write(words []uint64) error {
-	if len(words) > v.Words() {
-		return fmt.Errorf("ambit: Write: %d words exceed capacity %d", len(words), v.Words())
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("Write"); err != nil {
+		return err
 	}
-	wpr := v.wordsPerRow()
-	buf := make([]uint64, wpr)
-	for r, addr := range v.rows {
-		for i := range buf {
-			buf[i] = 0
-		}
-		lo := r * wpr
-		for i := 0; i < wpr && lo+i < len(words); i++ {
-			buf[i] = words[lo+i]
-		}
-		if err := v.sys.dev.WriteRow(addr, buf); err != nil {
-			return err
-		}
+	if len(words) > v.words() {
+		return fmt.Errorf("ambit: Write: %d words exceed capacity %d", len(words), v.words())
+	}
+	if err := v.store(words, v.sys.dev.WriteRow); err != nil {
+		return err
 	}
 	v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
 	return nil
@@ -97,7 +144,12 @@ func (v *Bitvector) Write(words []uint64) error {
 // Read returns the vector's content through the DRAM channel, charging the
 // corresponding commands and channel time.
 func (v *Bitvector) Read() ([]uint64, error) {
-	out := make([]uint64, 0, v.Words())
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("Read"); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, v.words())
 	for _, addr := range v.rows {
 		row, err := v.sys.dev.ReadRow(addr)
 		if err != nil {
@@ -111,6 +163,11 @@ func (v *Bitvector) Read() ([]uint64, error) {
 
 // Bit returns bit i (backdoor, cost-free).
 func (v *Bitvector) Bit(i int64) (bool, error) {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("Bit"); err != nil {
+		return false, err
+	}
 	if i < 0 || i >= v.bits {
 		return false, fmt.Errorf("ambit: Bit(%d) out of range [0,%d)", i, v.bits)
 	}
@@ -125,6 +182,11 @@ func (v *Bitvector) Bit(i int64) (bool, error) {
 
 // SetBit sets or clears bit i (backdoor, cost-free).
 func (v *Bitvector) SetBit(i int64, val bool) error {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("SetBit"); err != nil {
+		return err
+	}
 	if i < 0 || i >= v.bits {
 		return fmt.Errorf("ambit: SetBit(%d) out of range [0,%d)", i, v.bits)
 	}
@@ -147,7 +209,12 @@ func (v *Bitvector) SetBit(i int64, val bool) error {
 // bits beyond Len() are ignored if the caller kept them zero (Load/Write
 // zero-fill them).
 func (v *Bitvector) PopcountFree() (int64, error) {
-	words, err := v.Peek()
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	if err := v.checkLive("PopcountFree"); err != nil {
+		return 0, err
+	}
+	words, err := v.peek()
 	if err != nil {
 		return 0, err
 	}
@@ -162,6 +229,13 @@ func (v *Bitvector) PopcountFree() (int64, error) {
 // co-located corresponding rows (the bbop alignment requirement of
 // Section 5.4.3 plus the placement contract of Section 5.4.2).
 func (v *Bitvector) SameShape(o *Bitvector) bool {
+	v.sys.mu.Lock()
+	defer v.sys.mu.Unlock()
+	return v.sameShape(o)
+}
+
+// sameShape is SameShape without locking; the caller holds v.sys.mu.
+func (v *Bitvector) sameShape(o *Bitvector) bool {
 	if len(v.rows) != len(o.rows) {
 		return false
 	}

@@ -1,0 +1,200 @@
+package ambit
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSystemStress drives one System from many goroutines mixing
+// every public entry point — Alloc/Free, direct bulk ops, Copy/Fill,
+// Popcount, Bitvector I/O, batches, and Stats — and relies on the race
+// detector to catch synchronization bugs.  Functional results are checked
+// per goroutine (each works on its own vectors; the System-level state is
+// shared).
+func TestConcurrentSystemStress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DRAM.Geometry.Banks = 4
+	cfg.DRAM.Geometry.SubarraysPerBank = 4
+	cfg.DRAM.Geometry.RowsPerSubarray = 256
+	cfg.DRAM.Geometry.RowSizeBytes = 128
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(s.RowSizeBits())
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < iters; it++ {
+				a, err := s.Alloc(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				c, err := s.Alloc(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				dst, err := s.Alloc(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				wa := randWords(rng, a.Words())
+				wc := randWords(rng, c.Words())
+				if err := a.Load(wa); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Write(wc); err != nil {
+					errs <- err
+					return
+				}
+				switch it % 3 {
+				case 0: // direct ops
+					if err := s.Xor(dst, a, c); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // batch
+					b := s.NewBatch()
+					if err := b.And(dst, a, c); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := b.Popcount(dst); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := b.Run(); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // copy/fill path
+					if err := s.Fill(dst, true); err != nil {
+						errs <- err
+						return
+					}
+					if err := s.Copy(dst, a); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if _, err := dst.Read(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Popcount(dst); err != nil {
+					errs <- err
+					return
+				}
+				_ = s.Stats()
+				_ = s.ElapsedNS()
+				for _, v := range []*Bitvector{a, c, dst} {
+					if err := s.Free(v); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(gi))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every goroutine freed everything; no rows may have leaked relative to
+	// a fresh system with the same configuration.
+	fresh, err := NewSystem(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.FreeRows(), fresh.FreeRows(); got != want {
+		t.Fatalf("FreeRows = %d after full teardown, want %d", got, want)
+	}
+}
+
+// TestAllocatorReuseKeepsCoLocation is the allocator property test: after an
+// arbitrary interleaving of Alloc, Free, and re-Alloc, row r of every live
+// vector with base slot b still lives in slot (b + r) mod slots — the
+// invariant that keeps corresponding rows of cooperating vectors co-located
+// (Section 5.4.2) and every Copy on the FPM fast path.
+func TestAllocatorReuseKeepsCoLocation(t *testing.T) {
+	s := smallSystem(t)
+	g := s.Config().DRAM.Geometry
+	slots := g.Banks * g.SubarraysPerBank
+	rowBits := int64(s.RowSizeBits())
+	rng := rand.New(rand.NewSource(42))
+
+	type tracked struct {
+		v    *Bitvector
+		base int
+	}
+	var live []tracked
+
+	check := func() {
+		t.Helper()
+		for _, tr := range live {
+			for r := 0; r < tr.v.Rows(); r++ {
+				addr := tr.v.Row(r)
+				slot := addr.Subarray*g.Banks + addr.Bank
+				if want := (tr.base + r) % slots; slot != want {
+					t.Fatalf("vector base %d row %d in slot %d, want %d", tr.base, r, slot, want)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		switch {
+		case len(live) > 0 && rng.Intn(3) == 0: // free a random vector
+			i := rng.Intn(len(live))
+			if err := s.Free(live[i].v); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // allocate 1..6 rows at a random base
+			base := rng.Intn(slots)
+			bits := int64(1+rng.Intn(6)) * rowBits
+			v, err := s.AllocAt(bits, base)
+			if err != nil {
+				// Capacity pressure is fine; free something and move on.
+				if len(live) == 0 {
+					t.Fatal(err)
+				}
+				if err := s.Free(live[0].v); err != nil {
+					t.Fatal(err)
+				}
+				live = live[1:]
+				continue
+			}
+			live = append(live, tracked{v: v, base: base})
+		}
+		check()
+	}
+
+	// Two vectors allocated with the same base after heavy churn must still
+	// be co-located row for row (SameShape) so bulk ops accept them.
+	a, err := s.AllocAt(3*rowBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AllocAt(3*rowBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SameShape(c) {
+		t.Fatal("equal-base vectors not co-located after interleaved Free/Alloc churn")
+	}
+}

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"sync"
 
 	"ambit/internal/dram"
 )
@@ -30,6 +31,7 @@ type Controller struct {
 	// qualify except one in nand (AAP(B12, B5)).
 	SplitDecoder bool
 
+	mu    sync.Mutex // guards stats
 	stats Stats
 }
 
@@ -43,10 +45,18 @@ func New(dev *dram.Device) *Controller {
 func (c *Controller) Device() *dram.Device { return c.dev }
 
 // Stats returns a snapshot of the counters.
-func (c *Controller) Stats() Stats { return c.stats }
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // ResetStats zeroes the counters.
-func (c *Controller) ResetStats() { c.stats = Stats{} }
+func (c *Controller) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
 
 // AAPLatencyNS returns the latency of AAP(a1, a2) under the current decoder
 // configuration.
@@ -74,8 +84,10 @@ func (c *Controller) AAP(bank, sub int, a1, a2 dram.RowAddr) (float64, error) {
 		return 0, err
 	}
 	lat := c.AAPLatencyNS(a1, a2)
+	c.mu.Lock()
 	c.stats.AAPs++
 	c.stats.BusyNS += lat
+	c.mu.Unlock()
 	return lat, nil
 }
 
@@ -88,8 +100,10 @@ func (c *Controller) AP(bank, sub int, a dram.RowAddr) (float64, error) {
 		return 0, err
 	}
 	lat := c.APLatencyNS()
+	c.mu.Lock()
 	c.stats.APs++
 	c.stats.BusyNS += lat
+	c.mu.Unlock()
 	return lat, nil
 }
 
@@ -118,7 +132,9 @@ func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (f
 		}
 		total += lat
 	}
+	c.mu.Lock()
 	c.stats.OpCounts[op]++
+	c.mu.Unlock()
 	return total, nil
 }
 

@@ -18,6 +18,10 @@ type Bank struct {
 	// scheduler through Reserve; the functional model does not depend on
 	// it.
 	busyUntil float64
+
+	// busyNS accumulates the total time the bank has been occupied by
+	// reserved command trains; busyUntil - busyNS gaps are idle time.
+	busyNS float64
 }
 
 // NewBank constructs a bank with all-zero cells.
@@ -88,6 +92,12 @@ func (b *Bank) WriteColumn(col int, v uint64) error {
 // BusyUntil returns the bank's scheduled completion time in nanoseconds.
 func (b *Bank) BusyUntil() float64 { return b.busyUntil }
 
+// BusyNS returns the total time the bank has spent occupied by reserved
+// command trains since the last ResetTimeline.  The difference between the
+// owning system's elapsed time and this value is the bank's idle time — the
+// headroom a batch dispatcher can fill with independent operations.
+func (b *Bank) BusyNS() float64 { return b.busyNS }
+
 // Reserve advances the bank's completion time: the command train begins no
 // earlier than `start` and occupies the bank for `dur` nanoseconds.  It
 // returns the completion time.
@@ -96,9 +106,14 @@ func (b *Bank) Reserve(start, dur float64) float64 {
 		start = b.busyUntil
 	}
 	b.busyUntil = start + dur
+	b.busyNS += dur
 	return b.busyUntil
 }
 
-// ResetTimeline rewinds the bank's scheduled-completion clock to zero.  Used
-// when the owning system resets its simulated time base.
-func (b *Bank) ResetTimeline() { b.busyUntil = 0 }
+// ResetTimeline rewinds the bank's scheduled-completion clock and busy
+// accumulator to zero.  Used when the owning system resets its simulated
+// time base.
+func (b *Bank) ResetTimeline() {
+	b.busyUntil = 0
+	b.busyNS = 0
+}

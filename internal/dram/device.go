@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Stats counts the DRAM commands a device has executed, broken down the way
 // the energy model needs them (Section 7: "the activation energy increases by
@@ -48,9 +51,18 @@ func (s Stats) Sub(o Stats) Stats {
 // address interface is exactly that of commodity DRAM — ACTIVATE, READ,
 // WRITE, PRECHARGE — with the Ambit behaviour selected purely by the row
 // address group.
+//
+// Concurrency: the command counters are guarded by an internal mutex, so
+// command trains running on *different* banks may be issued from different
+// goroutines (the batch execution engine in the root package does exactly
+// that, holding one lock per bank).  Bank state itself — the open row, the
+// subarray cells, the scheduling timeline — is not locked here; callers must
+// not drive the same bank from two goroutines at once.
 type Device struct {
 	cfg   Config
 	banks []*Bank
+
+	mu    sync.Mutex // guards stats
 	stats Stats
 }
 
@@ -81,16 +93,34 @@ func (d *Device) Timing() Timing { return d.cfg.Timing }
 func (d *Device) Bank(i int) *Bank { return d.banks[i] }
 
 // Stats returns a snapshot of the command counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the command counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
 
 // ResetTimelines rewinds every bank's scheduling clock to zero.
 func (d *Device) ResetTimelines() {
 	for _, b := range d.banks {
 		b.ResetTimeline()
 	}
+}
+
+// BankBusyNS returns a snapshot of every bank's accumulated busy time —
+// the per-bank occupancy breakdown the system-level Stats expose.
+func (d *Device) BankBusyNS() []float64 {
+	out := make([]float64, len(d.banks))
+	for i, b := range d.banks {
+		out[i] = b.BusyNS()
+	}
+	return out
 }
 
 // Activate issues ACTIVATE to the addressed bank/subarray/row.
@@ -102,7 +132,9 @@ func (d *Device) Activate(p PhysAddr) error {
 	if err != nil {
 		return fmt.Errorf("activate %v: %w", p, err)
 	}
+	d.mu.Lock()
 	d.stats.Activates[n-1]++
+	d.mu.Unlock()
 	return nil
 }
 
@@ -112,7 +144,9 @@ func (d *Device) Precharge(bank int) error {
 		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
 	}
 	d.banks[bank].Precharge()
+	d.mu.Lock()
 	d.stats.Precharges++
+	d.mu.Unlock()
 	return nil
 }
 
@@ -121,7 +155,9 @@ func (d *Device) PrechargeAll() {
 	for _, b := range d.banks {
 		b.Precharge()
 	}
+	d.mu.Lock()
 	d.stats.Precharges += int64(len(d.banks))
+	d.mu.Unlock()
 }
 
 // ReadColumn reads 64-bit column col from the open row of bank.
@@ -133,7 +169,9 @@ func (d *Device) ReadColumn(bank, col int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	d.mu.Lock()
 	d.stats.ColumnReads++
+	d.mu.Unlock()
 	return v, nil
 }
 
@@ -145,7 +183,9 @@ func (d *Device) WriteColumn(bank, col int, v uint64) error {
 	if err := d.banks[bank].WriteColumn(col, v); err != nil {
 		return err
 	}
+	d.mu.Lock()
 	d.stats.ColumnWrites++
+	d.mu.Unlock()
 	return nil
 }
 

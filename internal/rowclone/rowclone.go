@@ -15,6 +15,7 @@ package rowclone
 
 import (
 	"fmt"
+	"sync"
 
 	"ambit/internal/dram"
 )
@@ -78,7 +79,9 @@ type Engine struct {
 	// benefit can be quantified).  When on, Copy prefers LISA over PSM
 	// for intra-bank inter-subarray copies.
 	EnableLISA bool
-	stats      Stats
+
+	mu    sync.Mutex // guards stats
+	stats Stats
 }
 
 // New creates an engine over dev with default bus bandwidths.
@@ -91,10 +94,18 @@ func New(dev *dram.Device) *Engine {
 }
 
 // Stats returns a snapshot of the copy counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // ResetStats zeroes the counters.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
 
 // FPMLatencyNS returns the latency of one FPM copy: two serial ACTIVATEs
 // plus a PRECHARGE (2·tRAS + tRP; 80 ns for DDR3-1600, matching the 80 ns
@@ -142,8 +153,10 @@ func (e *Engine) FPM(bank, sub int, src, dst dram.RowAddr) (float64, error) {
 		return 0, err
 	}
 	lat := e.FPMLatencyNS()
+	e.mu.Lock()
 	e.stats.FPMCopies++
 	e.stats.TotalNS += lat
+	e.mu.Unlock()
 	return lat, nil
 }
 
@@ -204,8 +217,10 @@ func (e *Engine) PSM(src, dst dram.PhysAddr) (float64, error) {
 		}
 	}
 	lat := e.PSMLatencyNS()
+	e.mu.Lock()
 	e.stats.PSMCopies++
 	e.stats.TotalNS += lat
+	e.mu.Unlock()
 	return lat, nil
 }
 
@@ -237,8 +252,10 @@ func (e *Engine) MCCopy(src, dst dram.PhysAddr) (float64, error) {
 		return 0, err
 	}
 	lat := e.MCLatencyNS()
+	e.mu.Lock()
 	e.stats.MCCopies++
 	e.stats.TotalNS += lat
+	e.mu.Unlock()
 	return lat, nil
 }
 
@@ -287,7 +304,9 @@ func (e *Engine) LISA(src, dst dram.PhysAddr) (float64, error) {
 		return 0, fmt.Errorf("rowclone: LISA write: %w", err)
 	}
 	lat := e.LISALatencyNS(src.Subarray, dst.Subarray)
+	e.mu.Lock()
 	e.stats.LISACopies++
 	e.stats.TotalNS += lat
+	e.mu.Unlock()
 	return lat, nil
 }

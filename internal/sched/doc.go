@@ -1,0 +1,39 @@
+// Package sched implements an FR-FCFS memory-request scheduler (Rixner et
+// al., ISCA 2000) — the scheduling policy of the paper's evaluated system
+// (Table 4: "FR-FCFS scheduling") — extended with Ambit command trains.
+//
+// Section 5.5.2: "When Ambit is plugged onto the system memory bus, the
+// controller can interleave the various AAP operations in the bitwise
+// operations with other regular memory requests from different
+// applications."  This scheduler demonstrates exactly that: AAP/AP trains
+// occupy one bank while ordinary reads and writes proceed on the others,
+// and the First-Ready (row-hit-first) policy keeps the row buffer working.
+//
+// # Relationship to the batch dispatcher
+//
+// This package and the top-level batch execution engine (ambit.Batch) model
+// two different schedulers at two different layers:
+//
+//   - sched is the memory controller's request scheduler.  It operates on
+//     individual DRAM commands (reads, writes, AAP/AP train steps) from an
+//     arbitrary mix of agents, chooses issue order per cycle by the
+//     first-ready-first-come-first-served policy, and models contention
+//     between Ambit traffic and regular traffic on a shared channel.  It
+//     knows nothing about which requests belong to the same logical
+//     operation beyond train ordering constraints.
+//
+//   - ambit.Batch is a driver-level program dispatcher.  It operates on
+//     whole bulk operations (And, Xor, Copy, ...), derives a dependency
+//     graph from their operand row sets before anything is issued, and
+//     lets every operation whose dependencies have completed proceed on
+//     its bank's own timeline.  It decides *what may run when*; the
+//     per-command interleaving below that level is the controller's
+//     concern.
+//
+// In hardware terms: Batch corresponds to the bbop issue logic at the
+// processor/driver boundary (Section 5.4), while sched corresponds to the
+// per-channel scheduler inside the memory controller (Section 5.5.2).  The
+// two compose — a batch releases operations, the controller schedules their
+// commands — and are modelled separately so each can be studied against its
+// own baseline (batch vs. serial issue; FR-FCFS vs. FCFS).
+package sched

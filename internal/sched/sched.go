@@ -1,13 +1,3 @@
-// Package sched implements an FR-FCFS memory-request scheduler (Rixner et
-// al., ISCA 2000) — the scheduling policy of the paper's evaluated system
-// (Table 4: "FR-FCFS scheduling") — extended with Ambit command trains.
-//
-// Section 5.5.2: "When Ambit is plugged onto the system memory bus, the
-// controller can interleave the various AAP operations in the bitwise
-// operations with other regular memory requests from different
-// applications."  This scheduler demonstrates exactly that: AAP/AP trains
-// occupy one bank while ordinary reads and writes proceed on the others,
-// and the First-Ready (row-hit-first) policy keeps the row buffer working.
 package sched
 
 import (

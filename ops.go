@@ -8,18 +8,51 @@ import (
 	"ambit/internal/dram"
 )
 
+// checkOperands validates that every operand is non-nil, belongs to this
+// System, and has not been freed.  Every operation entry point — the direct
+// System calls and the Batch recorder — applies it, so a use-after-Free is
+// always a clear error instead of a silent no-op.  The caller holds s.mu (or
+// is on a single-threaded construction path).
+func (s *System) checkOperands(name string, vs ...*Bitvector) error {
+	for _, v := range vs {
+		if v == nil {
+			return fmt.Errorf("ambit: %s: nil operand", name)
+		}
+		if v.sys != s {
+			return fmt.Errorf("ambit: %s: operand from another System", name)
+		}
+		if v.rows == nil {
+			return fmt.Errorf("ambit: %s: operand used after Free", name)
+		}
+	}
+	return nil
+}
+
+// coherenceNS returns the Section 5.4.4 cache-coherence charge for an
+// operation that must flush or invalidate `rows` cached rows before DRAM may
+// operate on them, and accounts it.  The caller holds s.mu.  See DESIGN.md
+// ("Coherence model") for which rows each primitive charges.
+func (s *System) coherenceNS(rows int64) float64 {
+	c := float64(rows) * s.cfg.CoherenceNSPerRow
+	s.stats.CoherenceNS += c
+	return c
+}
+
 // apply runs dst = op(a [, b]) row by row.  Corresponding rows of the
 // operands share a (bank, subarray) slot by the allocator's construction, so
 // every row-level operation is a pure Figure-8 command train; rows mapped to
 // different banks execute in parallel (Section 7's bank-level parallelism).
 func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
-	if dst == nil || a == nil || (!op.Unary() && b == nil) {
-		return fmt.Errorf("ambit: %v: nil operand", op)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	operands := []*Bitvector{dst, a}
+	if !op.Unary() {
+		operands = append(operands, b)
 	}
-	if dst.sys != s || a.sys != s || (!op.Unary() && b.sys != s) {
-		return fmt.Errorf("ambit: %v: operand from another System", op)
+	if err := s.checkOperands(op.String(), operands...); err != nil {
+		return err
 	}
-	if !dst.SameShape(a) || (!op.Unary() && !dst.SameShape(b)) {
+	if !dst.sameShape(a) || (!op.Unary() && !dst.sameShape(b)) {
 		return fmt.Errorf("ambit: %v: operands are not co-located row for row (size mismatch or foreign allocation); the Ambit driver requires cooperating bitvectors to be allocated with the same size on one System (Section 5.4.2)", op)
 	}
 
@@ -27,9 +60,7 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	// lines (Section 5.4.4).  Destination invalidation proceeds in
 	// parallel with the operation; source flushes precede it.
 	rows := int64(len(dst.rows)) * int64(op.InputRows())
-	coherence := float64(rows) * s.cfg.CoherenceNSPerRow
-	s.stats.CoherenceNS += coherence
-	start := s.stats.ElapsedNS + coherence
+	start := s.stats.ElapsedNS + s.coherenceNS(rows)
 
 	end := start
 	for r := range dst.rows {
@@ -79,13 +110,20 @@ func (s *System) Apply(op controller.Op, dst, a, b *Bitvector) error { return s.
 // Copy copies src into dst using RowClone: FPM when the corresponding rows
 // are co-located (the normal case under this allocator), PSM otherwise.
 func (s *System) Copy(dst, src *Bitvector) error {
-	if dst.sys != s || src.sys != s {
-		return fmt.Errorf("ambit: Copy: operand from another System")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOperands("Copy", dst, src); err != nil {
+		return err
 	}
 	if len(dst.rows) != len(src.rows) {
 		return fmt.Errorf("ambit: Copy: size mismatch (%d vs %d rows)", len(dst.rows), len(src.rows))
 	}
-	start := s.stats.ElapsedNS
+	// Coherence: flush the source rows and invalidate the destination
+	// rows.  Unlike a bulk bitwise train (which buffers through the
+	// B-group first), RowClone writes the destination in its very first
+	// command, so the destination invalidation cannot be hidden behind
+	// the operation (Section 5.4.4; DESIGN.md "Coherence model").
+	start := s.stats.ElapsedNS + s.coherenceNS(2*int64(len(dst.rows)))
 	end := start
 	for r := range dst.rows {
 		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
@@ -106,10 +144,14 @@ func (s *System) Copy(dst, src *Bitvector) error {
 // pre-initialized control rows — the "masked initialization" building block
 // of Section 8.4.2 and the row-initialization primitive of Section 3.4.
 func (s *System) Fill(v *Bitvector, bit bool) error {
-	if v.sys != s {
-		return fmt.Errorf("ambit: Fill: operand from another System")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOperands("Fill", v); err != nil {
+		return err
 	}
-	start := s.stats.ElapsedNS
+	// Coherence: invalidate the destination rows; the control-row source
+	// lives only in DRAM and needs no flush (DESIGN.md "Coherence model").
+	start := s.stats.ElapsedNS + s.coherenceNS(int64(len(v.rows)))
 	end := start
 	for _, addr := range v.rows {
 		var lat float64
@@ -137,8 +179,10 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 // perform bitcounts on the CPU, Section 8.1).  The cost charged is the
 // channel-bandwidth-bound streaming time.
 func (s *System) Popcount(v *Bitvector) (int64, error) {
-	if v.sys != s {
-		return 0, fmt.Errorf("ambit: Popcount: operand from another System")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOperands("Popcount", v); err != nil {
+		return 0, err
 	}
 	var n int64
 	for _, addr := range v.rows {
@@ -155,7 +199,8 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 }
 
 // chargeChannel advances simulated time by a channel-bandwidth-bound
-// transfer of the given byte count and records the traffic.
+// transfer of the given byte count and records the traffic.  The caller
+// holds s.mu.
 func (s *System) chargeChannel(bytes int64) {
 	gbps := s.dev.Timing().ChannelGBps
 	s.stats.ElapsedNS += float64(bytes) / gbps

@@ -15,6 +15,8 @@ import (
 const channelIOEnergyPerKB = 40.0
 
 // Stats accumulates the simulated cost of everything a System has executed.
+// Snapshots returned by System.Stats are self-contained values; the
+// BankBusyNS slice is freshly allocated per snapshot.
 type Stats struct {
 	// ElapsedNS is the simulated wall-clock time: bulk operations advance
 	// it by their cross-bank makespan, channel transfers by their
@@ -32,6 +34,12 @@ type Stats struct {
 	RowOps int64
 	// Copies counts RowClone row copies and initializations.
 	Copies int64
+	// BankBusyNS[i] is the total simulated time bank i spent occupied by
+	// command trains; ElapsedNS - BankBusyNS[i] is bank i's idle time.
+	// The per-bank breakdown makes batch overlap observable: a serial
+	// workload leaves every bank idle while any other bank works, while a
+	// well-packed batch drives the mean utilization toward 1.
+	BankBusyNS []float64
 }
 
 // TotalBulkOps sums BulkOps.
@@ -43,6 +51,19 @@ func (st Stats) TotalBulkOps() int64 {
 	return n
 }
 
+// MeanBankUtilization returns the average busy fraction across banks —
+// mean(BankBusyNS) / ElapsedNS — or 0 before any time has elapsed.
+func (st Stats) MeanBankUtilization() float64 {
+	if st.ElapsedNS <= 0 || len(st.BankBusyNS) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range st.BankBusyNS {
+		busy += b
+	}
+	return busy / (st.ElapsedNS * float64(len(st.BankBusyNS)))
+}
+
 // String renders a compact summary.
 func (st Stats) String() string {
 	var ops []string
@@ -51,16 +72,29 @@ func (st Stats) String() string {
 			ops = append(ops, fmt.Sprintf("%v:%d", controller.Op(i), n))
 		}
 	}
-	return fmt.Sprintf("elapsed %.0f ns, %d row-ops [%s], %d copies, %d channel bytes",
+	s := fmt.Sprintf("elapsed %.0f ns, %d row-ops [%s], %d copies, %d channel bytes",
 		st.ElapsedNS, st.RowOps, strings.Join(ops, " "), st.Copies, st.ChannelBytes)
+	if len(st.BankBusyNS) > 0 && st.ElapsedNS > 0 {
+		s += fmt.Sprintf(", %.0f%% mean bank utilization", st.MeanBankUtilization()*100)
+	}
+	return s
 }
 
-// Stats returns a snapshot of the accumulated counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the accumulated counters, including the
+// per-bank busy breakdown.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BankBusyNS = s.dev.BankBusyNS()
+	return st
+}
 
 // ResetStats zeroes the system, device, controller, and RowClone counters.
 // Memory contents and allocations are untouched.
 func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats = Stats{}
 	s.dev.ResetStats()
 	s.dev.ResetTimelines()
@@ -71,10 +105,16 @@ func (s *System) ResetStats() {
 // EnergyNJ returns the total simulated energy: the device's command energy
 // under the configured model plus channel I/O energy for external traffic.
 func (s *System) EnergyNJ() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	device := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats())
 	io := float64(s.stats.ChannelBytes) / 1024 * channelIOEnergyPerKB
 	return device + io
 }
 
 // ElapsedNS returns the simulated time consumed so far.
-func (s *System) ElapsedNS() float64 { return s.stats.ElapsedNS }
+func (s *System) ElapsedNS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.ElapsedNS
+}
