@@ -75,8 +75,17 @@ import (
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/energy"
+	"ambit/internal/fault"
 	"ambit/internal/rowclone"
 )
+
+// Reliability is the controller's execute-verify-retry policy (re-exported
+// so callers configure it without importing internal packages).
+type Reliability = controller.Reliability
+
+// FaultConfig is the seeded probabilistic TRA/DCC failure model
+// (re-exported so callers configure it without importing internal packages).
+type FaultConfig = fault.Config
 
 // Config configures a System.
 type Config struct {
@@ -94,6 +103,20 @@ type Config struct {
 	// supplies a realistic value.  See DESIGN.md ("Coherence model") for
 	// which rows each primitive charges.
 	CoherenceNSPerRow float64
+	// Fault configures the seeded probabilistic TRA/DCC failure model
+	// (internal/fault) injected into the device.  The zero value (the
+	// default) disables injection entirely: the system is byte- and
+	// stat-identical to an unfaulted one.
+	Fault fault.Config
+	// Reliability configures TMR-replicated execution with per-row
+	// verification, bounded retry, and corrected write-back (DESIGN.md
+	// "Reliability model").  When enabled, two D-group rows per subarray
+	// are reserved as replica scratch space and withheld from allocation.
+	Reliability Reliability
+	// QuarantineAfter, when positive, quarantines a data row after it
+	// accumulates that many detected faulty verification rounds: once
+	// freed, the row is never handed out again (graceful degradation).
+	QuarantineAfter int
 }
 
 // DefaultConfig returns the paper's standard configuration.
@@ -132,13 +155,30 @@ type System struct {
 	nextRow  []int
 	freeRows [][]int
 
+	// Reliability state: fm is the installed fault model (nil without
+	// one); faultScore accumulates detected faulty verification rounds
+	// per data row, and quarantined rows are withheld from reallocation
+	// by Free.  Guarded by mu.
+	fm          *fault.Model
+	faultScore  map[dram.PhysAddr]int
+	quarantined map[dram.PhysAddr]bool
+
 	stats Stats
 }
 
-// New creates a System with the default configuration.
-func New() (*System, error) { return NewSystem(DefaultConfig()) }
+// New creates a System with the default configuration, adjusted by the given
+// functional options (see Option).  New() with no options is the paper's
+// standard 8-bank DDR3-1600 module.
+func New(opts ...Option) (*System, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewSystem(cfg)
+}
 
-// NewSystem creates a System from cfg.
+// NewSystem creates a System from cfg — the compatibility construction route
+// (New with functional options builds the same Config).
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.DRAM.Validate(); err != nil {
 		return nil, err
@@ -146,21 +186,66 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Energy.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Reliability.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QuarantineAfter < 0 {
+		return nil, fmt.Errorf("ambit: QuarantineAfter must be non-negative, got %d", cfg.QuarantineAfter)
+	}
+	g := cfg.DRAM.Geometry
+	if cfg.Reliability.ECC && g.DataRows() <= eccScratchRows {
+		return nil, fmt.Errorf("ambit: geometry has %d data rows per subarray; reliability needs more than the %d ECC scratch rows",
+			g.DataRows(), eccScratchRows)
+	}
 	dev, err := dram.NewDevice(cfg.DRAM)
 	if err != nil {
 		return nil, err
 	}
+	var fm *fault.Model
+	if cfg.Fault.Enabled() {
+		if fm, err = fault.New(cfg.Fault); err != nil {
+			return nil, err
+		}
+		dev.SetFaultInjector(fm)
+	}
 	ctrl := controller.New(dev)
 	ctrl.SplitDecoder = cfg.SplitDecoder
-	g := cfg.DRAM.Geometry
 	return &System{
-		cfg:      cfg,
-		dev:      dev,
-		ctrl:     ctrl,
-		rc:       rowclone.New(dev),
-		nextRow:  make([]int, g.Banks*g.SubarraysPerBank),
-		freeRows: make([][]int, g.Banks*g.SubarraysPerBank),
+		cfg:         cfg,
+		dev:         dev,
+		ctrl:        ctrl,
+		rc:          rowclone.New(dev),
+		nextRow:     make([]int, g.Banks*g.SubarraysPerBank),
+		freeRows:    make([][]int, g.Banks*g.SubarraysPerBank),
+		fm:          fm,
+		faultScore:  make(map[dram.PhysAddr]int),
+		quarantined: make(map[dram.PhysAddr]bool),
 	}, nil
+}
+
+// eccScratchRows is the number of D-group rows per subarray reserved as TMR
+// replica scratch space when the reliability policy is enabled.
+const eccScratchRows = 2
+
+// dataRows returns the D-group rows available to the allocator: the
+// geometry's data rows, minus the per-subarray ECC scratch rows when the
+// reliability policy is enabled.
+func (s *System) dataRows() int {
+	n := s.dev.Geometry().DataRows()
+	if s.cfg.Reliability.ECC {
+		n -= eccScratchRows
+	}
+	return n
+}
+
+// scratchRows returns the two reserved replica scratch rows (the top of each
+// subarray's D group).  Valid only when the reliability policy is enabled.
+func (s *System) scratchRows() (dram.RowAddr, dram.RowAddr) {
+	n := s.dev.Geometry().DataRows()
+	return dram.D(n - 1), dram.D(n - 2)
 }
 
 // Config returns the system configuration.
@@ -231,7 +316,6 @@ func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("ambit: Alloc(%d): size must be positive", bits)
 	}
-	g := s.dev.Geometry()
 	rowBits := int64(s.RowSizeBits())
 	nRows := int((bits + rowBits - 1) / rowBits)
 	rows := make([]dram.PhysAddr, nRows)
@@ -243,7 +327,7 @@ func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
 			s.freeRows[slot] = free[:len(free)-1]
 		} else {
 			row = s.nextRow[slot]
-			if row >= g.DataRows() {
+			if row >= s.dataRows() {
 				return nil, fmt.Errorf("ambit: out of DRAM capacity (slot %d exhausted after %d rows)", slot, row)
 			}
 			s.nextRow[slot]++
@@ -256,23 +340,45 @@ func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
 // Free returns a bitvector's rows to the allocator for reuse.  The vector
 // must not be used afterwards (operations on a freed vector are rejected);
 // its contents are not scrubbed (call Fill first if the data is sensitive).
+// Rows quarantined by graceful degradation are retired instead of recycled:
+// they never re-enter the free list.
 func (s *System) Free(v *Bitvector) error {
-	if v == nil || v.sys != s {
-		return fmt.Errorf("ambit: Free: vector does not belong to this System")
+	if v == nil {
+		return fmt.Errorf("ambit: Free: %w", ErrNilOperand)
+	}
+	if v.sys != s {
+		return fmt.Errorf("ambit: Free: %w", ErrForeignSystem)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v.rows == nil {
-		return fmt.Errorf("ambit: Free: double free")
+		return fmt.Errorf("ambit: Free: double free: %w", ErrFreed)
 	}
 	g := s.dev.Geometry()
 	for _, addr := range v.rows {
+		if s.quarantined[addr] {
+			continue
+		}
 		slot := addr.Subarray*g.Banks + addr.Bank
 		s.freeRows[slot] = append(s.freeRows[slot], addr.Row.Index)
 	}
 	v.rows = nil
 	v.bits = 0
 	return nil
+}
+
+// Quarantined returns the physical addresses of every data row currently
+// quarantined by graceful degradation (rows whose accumulated detected-fault
+// score reached Config.QuarantineAfter).  Quarantined rows are retired on
+// Free and never reallocated.
+func (s *System) Quarantined() []dram.PhysAddr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]dram.PhysAddr, 0, len(s.quarantined))
+	for addr := range s.quarantined {
+		out = append(out, addr)
+	}
+	return out
 }
 
 // MustAlloc is Alloc that panics on failure; for examples and tests.
@@ -285,14 +391,14 @@ func (s *System) MustAlloc(bits int64) *Bitvector {
 }
 
 // FreeRows reports how many D-group rows remain unallocated (including rows
-// recycled by Free).
+// recycled by Free, excluding reliability scratch rows and quarantined rows,
+// which are never handed out).
 func (s *System) FreeRows() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g := s.dev.Geometry()
 	total := 0
 	for slot, used := range s.nextRow {
-		total += g.DataRows() - used + len(s.freeRows[slot])
+		total += s.dataRows() - used + len(s.freeRows[slot])
 	}
 	return total
 }

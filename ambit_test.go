@@ -1,6 +1,7 @@
 package ambit
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -247,16 +248,16 @@ func TestOpShapeMismatchRejected(t *testing.T) {
 	a := s.MustAlloc(int64(s.RowSizeBits()))
 	b := s.MustAlloc(int64(s.RowSizeBits() * 2))
 	d := s.MustAlloc(int64(s.RowSizeBits()))
-	if err := s.And(d, a, b); err == nil {
-		t.Error("size-mismatched operands accepted")
+	if err := s.And(d, a, b); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("size-mismatched operands: err = %v, want ErrShapeMismatch", err)
 	}
-	if err := s.And(d, a, nil); err == nil {
-		t.Error("nil operand accepted")
+	if err := s.And(d, a, nil); !errors.Is(err, ErrNilOperand) {
+		t.Errorf("nil operand: err = %v, want ErrNilOperand", err)
 	}
 	s2 := smallSystem(t)
 	foreign := s2.MustAlloc(int64(s.RowSizeBits()))
-	if err := s.And(d, a, foreign); err == nil {
-		t.Error("foreign-system operand accepted")
+	if err := s.And(d, a, foreign); !errors.Is(err, ErrForeignSystem) {
+		t.Errorf("foreign-system operand: err = %v, want ErrForeignSystem", err)
 	}
 }
 
@@ -546,16 +547,19 @@ func TestFreeValidation(t *testing.T) {
 	if err := s.Free(v); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Free(v); err == nil {
-		t.Error("double free accepted")
+	if err := s.Free(v); !errors.Is(err, ErrFreed) {
+		t.Errorf("double free: err = %v, want ErrFreed", err)
 	}
-	if err := s.Free(nil); err == nil {
-		t.Error("nil free accepted")
+	if err := s.Free(nil); !errors.Is(err, ErrNilOperand) {
+		t.Errorf("nil free: err = %v, want ErrNilOperand", err)
 	}
 	other := smallSystem(t)
 	foreign := other.MustAlloc(int64(other.RowSizeBits()))
-	if err := s.Free(foreign); err == nil {
-		t.Error("foreign free accepted")
+	if err := s.Free(foreign); !errors.Is(err, ErrForeignSystem) {
+		t.Errorf("foreign free: err = %v, want ErrForeignSystem", err)
+	}
+	if _, err := v.Peek(); !errors.Is(err, ErrFreed) {
+		t.Errorf("Peek after Free: err = %v, want ErrFreed", err)
 	}
 }
 

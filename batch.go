@@ -1,6 +1,7 @@
 package ambit
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -37,6 +38,10 @@ type batchOp struct {
 	// latency of each row-level operation, consumed by the deterministic
 	// timing phase.
 	rowLats []float64
+	// rowRel holds each row's reliability outcome when the TMR policy is
+	// enabled (nil otherwise); the timing phase folds it into the stats
+	// and quarantine scores so worker goroutines never touch s.stats.
+	rowRel []controller.RowResult
 }
 
 // name renders the op for error messages.
@@ -165,11 +170,11 @@ func (b *Batch) record(op *batchOp) error {
 	switch op.kind {
 	case batchBulk:
 		if !op.dst.sameShape(op.a) || (!op.op.Unary() && !op.dst.sameShape(op.b)) {
-			return fmt.Errorf("ambit: Batch.%v: operands are not co-located row for row (size mismatch or foreign allocation); cooperating bitvectors must be allocated with the same size and base slot on one System (Section 5.4.2)", op.op)
+			return fmt.Errorf("ambit: Batch.%v: %w (size mismatch or foreign allocation); cooperating bitvectors must be allocated with the same size and base slot on one System (Section 5.4.2)", op.op, ErrShapeMismatch)
 		}
 	case batchCopy:
 		if len(op.dst.rows) != len(op.a.rows) {
-			return fmt.Errorf("ambit: Batch.Copy: size mismatch (%d vs %d rows)", len(op.dst.rows), len(op.a.rows))
+			return fmt.Errorf("ambit: Batch.Copy: %w (%d vs %d rows)", ErrShapeMismatch, len(op.dst.rows), len(op.a.rows))
 		}
 	}
 	b.ops = append(b.ops, op)
@@ -259,12 +264,18 @@ func (b *Batch) Run() (BatchReport, error) {
 	for i, op := range b.ops {
 		for _, v := range op.operands() {
 			if v.rows == nil {
-				return BatchReport{}, fmt.Errorf("ambit: Batch op %d (%s): operand freed after recording", i, op.name())
+				return BatchReport{}, fmt.Errorf("ambit: Batch op %d (%s): operand freed after recording: %w", i, op.name(), ErrFreed)
 			}
 		}
 	}
 	g := program.Build(b.programOps())
 	if err := b.execute(g); err != nil {
+		// Reliability outcomes of completed rows are dropped on error
+		// (the timing phase never runs), but an exhausted retry budget is
+		// still counted so the failure is visible in the stats.
+		if errors.Is(err, ErrUncorrectable) {
+			s.stats.UncorrectableRows++
+		}
 		return BatchReport{}, err
 	}
 	makespan := b.schedule(g)
@@ -391,14 +402,26 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 	switch op.kind {
 	case batchBulk:
 		op.rowLats = make([]float64, len(op.dst.rows))
+		if s.cfg.Reliability.ECC {
+			op.rowRel = make([]controller.RowResult, len(op.dst.rows))
+		}
 		for r := range op.dst.rows {
 			da, aa := op.dst.rows[r], op.a.rows[r]
 			var ba dram.RowAddr
 			if !op.op.Unary() {
 				ba = op.b.rows[r].Row
 			}
+			var lat float64
+			var err error
 			lks[da.Bank].Lock()
-			lat, err := s.ctrl.ExecuteOp(op.op, da.Bank, da.Subarray, da.Row, aa.Row, ba)
+			if op.rowRel != nil {
+				var rr controller.RowResult
+				rr, err = s.execRowReliable(op.op, da, aa.Row, ba)
+				op.rowRel[r] = rr
+				lat = rr.LatencyNS
+			} else {
+				lat, err = s.ctrl.ExecuteOp(op.op, da.Bank, da.Subarray, da.Row, aa.Row, ba)
+			}
 			lks[da.Bank].Unlock()
 			if err != nil {
 				return fmt.Errorf("ambit: batch %v row %d: %w", op.op, r, err)
@@ -479,6 +502,9 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 				if done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat); done > end {
 					end = done
 				}
+			}
+			for r, rr := range op.rowRel {
+				s.accountReliabilityLocked(op.dst.rows[r], rr)
 			}
 			s.stats.BulkOps[op.op]++
 			s.stats.RowOps += int64(len(op.dst.rows))

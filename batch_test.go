@@ -1,6 +1,7 @@
 package ambit
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -301,25 +302,25 @@ func TestBatchRecordErrors(t *testing.T) {
 	big := s.MustAlloc(2 * n)
 
 	b := s.NewBatch()
-	if err := b.And(dst, nil, c); err == nil {
-		t.Fatal("And(nil operand) succeeded")
+	if err := b.And(dst, nil, c); !errors.Is(err, ErrNilOperand) {
+		t.Fatalf("And(nil operand): err = %v, want ErrNilOperand", err)
 	}
-	if err := b.And(big, a, c); err == nil {
-		t.Fatal("And with mismatched shapes succeeded")
+	if err := b.And(big, a, c); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("And with mismatched shapes: err = %v, want ErrShapeMismatch", err)
 	}
-	if err := b.Copy(big, a); err == nil {
-		t.Fatal("Copy with mismatched sizes succeeded")
+	if err := b.Copy(big, a); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("Copy with mismatched sizes: err = %v, want ErrShapeMismatch", err)
 	}
 	other := smallSystem(t)
-	if err := b.And(dst, other.MustAlloc(n), c); err == nil {
-		t.Fatal("And with foreign operand succeeded")
+	if err := b.And(dst, other.MustAlloc(n), c); !errors.Is(err, ErrForeignSystem) {
+		t.Fatalf("And with foreign operand: err = %v, want ErrForeignSystem", err)
 	}
 	freed := s.MustAlloc(n)
 	if err := s.Free(freed); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.And(dst, freed, c); err == nil {
-		t.Fatal("And with freed operand succeeded")
+	if err := b.And(dst, freed, c); !errors.Is(err, ErrFreed) {
+		t.Fatalf("And with freed operand: err = %v, want ErrFreed", err)
 	}
 	if b.Len() != 0 {
 		t.Fatalf("rejected records left %d ops in batch", b.Len())
@@ -339,8 +340,8 @@ func TestBatchFreedBetweenRecordAndRun(t *testing.T) {
 	if err := s.Free(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Run(); err == nil {
-		t.Fatal("Run with operand freed after recording succeeded")
+	if _, err := b.Run(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("Run with operand freed after recording: err = %v, want ErrFreed", err)
 	}
 }
 

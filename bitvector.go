@@ -20,11 +20,11 @@ type Bitvector struct {
 	rows []dram.PhysAddr
 }
 
-// checkLive verifies the vector has not been freed.  The caller holds
-// v.sys.mu.
+// checkLive verifies the vector has not been freed; failures wrap ErrFreed
+// for errors.Is.  The caller holds v.sys.mu.
 func (v *Bitvector) checkLive(name string) error {
 	if v.rows == nil {
-		return fmt.Errorf("ambit: %s: bitvector used after Free", name)
+		return fmt.Errorf("ambit: %s: %w", name, ErrFreed)
 	}
 	return nil
 }

@@ -10,10 +10,12 @@
 //	ambitbench -iterations 100000 table2
 //
 // Experiments: table1, table2, worstcase, fig8, fig9, table3, table4, aap,
-// fig10, fig11, fig12, batch, extensions.  The batch experiment exercises
-// the batch execution engine (ambit.Batch): independent operations spread
-// across banks overlap on per-bank timelines instead of serializing on the
-// global clock.
+// fig10, fig11, fig12, batch, extensions, faults.  The batch experiment
+// exercises the batch execution engine (ambit.Batch): independent operations
+// spread across banks overlap on per-bank timelines instead of serializing
+// on the global clock.  The faults experiment sweeps TRA/DCC failure rates
+// and compares raw results against the TMR + retry + quarantine reliability
+// policy (also available as `ambitsim -faults`).
 package main
 
 import (

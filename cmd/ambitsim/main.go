@@ -8,6 +8,7 @@
 //	ambitsim -op xor -a 1234 -b abcd -decoder naive
 //	ambitsim -decode B12          # show which wordlines an address raises
 //	ambitsim -info                # print device configuration
+//	ambitsim -faults -seed 7      # fault-rate sweep: raw vs TMR-protected
 //
 // Operands are hex strings; the operation is applied bytewise over the
 // operands (padded to equal length) through full row-wide DRAM command
@@ -27,6 +28,7 @@ import (
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/energy"
+	"ambit/internal/exp"
 )
 
 func fail(format string, args ...any) {
@@ -41,6 +43,8 @@ func main() {
 	decoder := flag.String("decoder", "split", "row decoder: split (Section 5.3) or naive")
 	decode := flag.String("decode", "", "decode a row address (e.g. B12, C0, D5) and exit")
 	info := flag.Bool("info", false, "print device configuration and exit")
+	faults := flag.Bool("faults", false, "run the fault-injection reliability sweep and exit")
+	seed := flag.Int64("seed", 1, "fault universe and data seed for -faults")
 	flag.Parse()
 
 	if *decode != "" {
@@ -49,6 +53,14 @@ func main() {
 	}
 	if *info {
 		printInfo()
+		return
+	}
+	if *faults {
+		text, err := exp.FaultSweep(*seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(text)
 		return
 	}
 	if *opName == "" {

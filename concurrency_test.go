@@ -4,7 +4,19 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"ambit/internal/fault"
 )
+
+// stressConfig is the compact geometry the concurrency stress tests share.
+func stressConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DRAM.Geometry.Banks = 4
+	cfg.DRAM.Geometry.SubarraysPerBank = 4
+	cfg.DRAM.Geometry.RowsPerSubarray = 256
+	cfg.DRAM.Geometry.RowSizeBytes = 128
+	return cfg
+}
 
 // TestConcurrentSystemStress drives one System from many goroutines mixing
 // every public entry point — Alloc/Free, direct bulk ops, Copy/Fill,
@@ -12,18 +24,67 @@ import (
 // detector to catch synchronization bugs.  Functional results are checked
 // per goroutine (each works on its own vectors; the System-level state is
 // shared).
+//
+// The "faulty-ecc" variant runs the same mix with fault injection, the TMR
+// reliability policy, and quarantine enabled, so every reliability counter
+// and the quarantine maps are exercised under the race detector too.
 func TestConcurrentSystemStress(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.DRAM.Geometry.Banks = 4
-	cfg.DRAM.Geometry.SubarraysPerBank = 4
-	cfg.DRAM.Geometry.RowsPerSubarray = 256
-	cfg.DRAM.Geometry.RowSizeBytes = 128
-	s, err := NewSystem(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := int64(s.RowSizeBits())
+	t.Run("default", func(t *testing.T) {
+		s, err := NewSystem(stressConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSystemStress(t, s)
+		// Every goroutine freed everything; no rows may have leaked
+		// relative to a fresh system with the same configuration.
+		fresh, err := NewSystem(s.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.FreeRows(), fresh.FreeRows(); got != want {
+			t.Fatalf("FreeRows = %d after full teardown, want %d", got, want)
+		}
+	})
+	t.Run("faulty-ecc", func(t *testing.T) {
+		cfg := stressConfig()
+		cfg.Fault = fault.Config{TRABitRate: 1e-3, TRARowRate: 0.01, DCCBitRate: 1e-3, RowVariation: 1, Seed: 6}
+		// MaxRetries 8 makes an exhausted retry budget effectively
+		// impossible at these rates, so the mix never sees
+		// ErrUncorrectable; retries/corrections still occur constantly.
+		cfg.Reliability = Reliability{ECC: true, MaxRetries: 8}
+		cfg.QuarantineAfter = 3
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSystemStress(t, s)
+		st := s.Stats()
+		// At these rates nearly every verification round corrects bits;
+		// a zero counter means the reliable path was bypassed.  (Retries
+		// are likely but not statistically certain, so not asserted.)
+		if st.CorrectedBits == 0 {
+			t.Fatal("stress mix under fault injection corrected no bits")
+		}
+		if st.InjectedFaults == 0 {
+			t.Fatal("stress mix injected no faults")
+		}
+		// Teardown: all rows freed, but quarantined rows were retired
+		// rather than recycled.
+		fresh, err := NewSystem(s.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.FreeRows(), fresh.FreeRows()-int(st.QuarantinedRows); got != want {
+			t.Fatalf("FreeRows = %d after teardown, want %d (fresh %d minus %d quarantined)",
+				got, want, fresh.FreeRows(), st.QuarantinedRows)
+		}
+	})
+}
 
+// runSystemStress is the shared stress mix.
+func runSystemStress(t *testing.T, s *System) {
+	t.Helper()
+	n := int64(s.RowSizeBits())
 	const goroutines = 8
 	const iters = 20
 	var wg sync.WaitGroup
@@ -112,15 +173,6 @@ func TestConcurrentSystemStress(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
-	}
-	// Every goroutine freed everything; no rows may have leaked relative to
-	// a fresh system with the same configuration.
-	fresh, err := NewSystem(s.Config())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := s.FreeRows(), fresh.FreeRows(); got != want {
-		t.Fatalf("FreeRows = %d after full teardown, want %d", got, want)
 	}
 }
 

@@ -1,0 +1,40 @@
+package ambit
+
+import (
+	"errors"
+
+	"ambit/internal/controller"
+)
+
+// Typed sentinel errors.  Every operation entry point — the direct System
+// calls, Bitvector I/O, and the Batch recorder — wraps these with %w, so
+// callers can classify failures programmatically:
+//
+//	if err := sys.And(dst, a, b); errors.Is(err, ambit.ErrFreed) { ... }
+//
+// The error strings returned by the entry points keep their descriptive
+// context (operation name, row, sizes); the sentinels carry the category.
+var (
+	// ErrNilOperand reports a nil *Bitvector operand.
+	ErrNilOperand = errors.New("nil operand")
+
+	// ErrForeignSystem reports an operand that belongs to another System.
+	ErrForeignSystem = errors.New("operand belongs to another System")
+
+	// ErrFreed reports a bitvector used after Free (including double
+	// Free and operands freed between Batch recording and Run).
+	ErrFreed = errors.New("bitvector used after Free")
+
+	// ErrShapeMismatch reports operands that are not co-located row for
+	// row — the Section 5.4.2 placement contract requires cooperating
+	// bitvectors to be allocated with the same size and base slot on one
+	// System.
+	ErrShapeMismatch = errors.New("operands are not co-located row for row")
+
+	// ErrUncorrectable reports a row whose TMR replicas still disagreed
+	// beyond the reliability policy's threshold after every retry (the
+	// controller's execute-verify-retry path; see DESIGN.md "Reliability
+	// model").  It is the controller's sentinel re-exported, so errors.Is
+	// works on errors surfacing from any layer.
+	ErrUncorrectable = controller.ErrUncorrectable
+)

@@ -124,6 +124,13 @@ func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (f
 	if err != nil {
 		return 0, err
 	}
+	// Give the fault injector (if any) the train's destination-row context,
+	// so per-row failure weakness applies to the row receiving the result.
+	row := -1
+	if dk.Group == dram.GroupD {
+		row = dk.Index
+	}
+	c.dev.BeginTrain(bank, sub, row)
 	var total float64
 	for _, s := range seq {
 		lat, err := c.ExecuteStep(bank, sub, s)

@@ -1,0 +1,75 @@
+package dram
+
+// Persistent fault injection.
+//
+// The one-shot InjectTRAFault hook (subarray.go) lets tests arm a single
+// deterministic fault mask.  A FaultInjector, by contrast, is consulted on
+// *every* analog event that can fail on real chips — each triple-row
+// activation and each write through a dual-contact cell's negation wordline —
+// so a probabilistic failure model (internal/fault) can corrupt results the
+// way "Functionally-Complete Boolean Logic in Real DRAM Chips" reports:
+// per-cell, per-row, silently.  With no injector installed the hot paths are
+// unchanged.
+
+// FaultContext identifies where a fault-injection opportunity occurs.
+type FaultContext struct {
+	// Bank and Subarray locate the subarray whose sense amplifiers are
+	// operating.
+	Bank, Subarray int
+	// Row is the D-group index of the destination row of the command train
+	// currently executing (recorded by Device.BeginTrain), or -1 when no
+	// train context is active.  Failure models use it to apply per-row
+	// weakness: the same physical destination row fails consistently more
+	// (or less) often than its neighbours.
+	Row int
+}
+
+// A FaultInjector decides which bits flip at each analog event.  Both methods
+// return a mask to XOR into the affected row (nil for "no fault"); masks
+// shorter than the row apply to its prefix.
+//
+// Implementations must be safe for concurrent use from different banks: the
+// batch execution engine issues command trains bank-parallel.
+type FaultInjector interface {
+	// TRAFaultMask is consulted after a triple-row activation computes its
+	// bitwise majority, before the result is restored into the cells.
+	TRAFaultMask(ctx FaultContext, words int) []uint64
+	// DCCFaultMask is consulted when the sense amplifiers overwrite a cell
+	// through its negation (n-) wordline — the Ambit-NOT capture path.
+	DCCFaultMask(ctx FaultContext, words int) []uint64
+}
+
+// SetFaultInjector installs fi on every subarray of the device; nil removes
+// it.  Call before issuing commands (installation is not synchronized with
+// in-flight trains).
+func (d *Device) SetFaultInjector(fi FaultInjector) {
+	for bi, b := range d.banks {
+		for si, sa := range b.subarrays {
+			sa.setInjector(fi, bi, si)
+		}
+	}
+}
+
+// BeginTrain records the D-group destination row of the command train about
+// to execute on (bank, sub), giving the fault injector its per-row context.
+// Pass row = -1 for trains with no data-row destination.  Out-of-range
+// coordinates are ignored.
+func (d *Device) BeginTrain(bank, sub, row int) {
+	if bank < 0 || bank >= len(d.banks) {
+		return
+	}
+	b := d.banks[bank]
+	if sub < 0 || sub >= len(b.subarrays) {
+		return
+	}
+	b.subarrays[sub].beginTrain(row)
+}
+
+// setInjector installs the injector and the subarray's fixed coordinates.
+func (s *Subarray) setInjector(fi FaultInjector, bank, sub int) {
+	s.injector = fi
+	s.fctx = FaultContext{Bank: bank, Subarray: sub, Row: -1}
+}
+
+// beginTrain records the destination row of the current command train.
+func (s *Subarray) beginTrain(row int) { s.fctx.Row = row }

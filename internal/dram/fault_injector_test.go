@@ -1,0 +1,149 @@
+package dram
+
+import "testing"
+
+// stubInjector is a deterministic FaultInjector recording every consultation.
+type stubInjector struct {
+	tra, dcc         []uint64
+	traCtxs, dccCtxs []FaultContext
+	traWords         int
+}
+
+func (s *stubInjector) TRAFaultMask(ctx FaultContext, words int) []uint64 {
+	s.traCtxs = append(s.traCtxs, ctx)
+	s.traWords = words
+	return s.tra
+}
+
+func (s *stubInjector) DCCFaultMask(ctx FaultContext, words int) []uint64 {
+	s.dccCtxs = append(s.dccCtxs, ctx)
+	return s.dcc
+}
+
+// TestInjectorTRAWiring: an installed injector's TRA mask is XORed into the
+// majority result of a triple-row activation, with the train context recorded
+// by BeginTrain.
+func TestInjectorTRAWiring(t *testing.T) {
+	d := newTestDevice(t)
+	w := d.Geometry().WordsPerRow()
+	mask := make([]uint64, w)
+	mask[0] = 0b1011
+	stub := &stubInjector{tra: mask}
+	d.SetFaultInjector(stub)
+
+	d.BeginTrain(0, 0, 7)
+	// T0/T1/T2 are all zero, so the TRA majority is zero and the row buffer
+	// afterwards is exactly the injected mask.
+	if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: B(12)}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.Bank(0).subarrays[0].RowBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != mask[0] {
+		t.Fatalf("row buffer word 0 = %b, want injected mask %b", buf[0], mask[0])
+	}
+	if len(stub.traCtxs) != 1 {
+		t.Fatalf("TRAFaultMask consulted %d times, want 1", len(stub.traCtxs))
+	}
+	if got := stub.traCtxs[0]; got != (FaultContext{Bank: 0, Subarray: 0, Row: 7}) {
+		t.Fatalf("TRA context = %+v, want bank 0 sub 0 row 7", got)
+	}
+	if stub.traWords != w {
+		t.Fatalf("TRAFaultMask words = %d, want %d", stub.traWords, w)
+	}
+	// The faulty majority is also restored into the source cells (TRA
+	// overwrites all three rows with the latched value).
+	if got := d.Bank(0).subarrays[0].PeekWordline(Wordline{WLT, 0}); got[0] != mask[0] {
+		t.Fatalf("T0 after faulty TRA = %b, want %b", got[0], mask[0])
+	}
+}
+
+// TestInjectorNotConsultedOnSingleActivation: ordinary activations never hit
+// the TRA hook.
+func TestInjectorNotConsultedOnSingleActivation(t *testing.T) {
+	d := newTestDevice(t)
+	stub := &stubInjector{tra: []uint64{1}}
+	d.SetFaultInjector(stub)
+	if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: D(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.traCtxs) != 0 {
+		t.Fatalf("TRAFaultMask consulted on a single-wordline activation")
+	}
+}
+
+// TestInjectorDCCWiring: writes through a negation wordline pass through the
+// DCC hook; the stored cell is the complemented row buffer XOR the mask.
+func TestInjectorDCCWiring(t *testing.T) {
+	d := newTestDevice(t)
+	w := d.Geometry().WordsPerRow()
+	sa := d.Bank(0).subarrays[0]
+	data := make([]uint64, w)
+	for i := range data {
+		data[i] = 0xdeadbeefcafef00d + uint64(i)
+	}
+	if err := sa.PokeRow(D(0), data); err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]uint64, w)
+	mask[1] = 0xff
+	stub := &stubInjector{dcc: mask}
+	d.SetFaultInjector(stub)
+	d.BeginTrain(0, 0, 0)
+
+	// AAP: sense D0, then overwrite ~DCC0 — the Ambit-NOT capture path.
+	if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: D(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: B(5)}); err != nil {
+		t.Fatal(err)
+	}
+	got := sa.PeekWordline(Wordline{WLDCCData, 0})
+	for i := range got {
+		want := ^data[i] ^ mask[i]
+		if got[i] != want {
+			t.Fatalf("DCC0 word %d = %x, want %x (negated data XOR mask)", i, got[i], want)
+		}
+	}
+	if len(stub.dccCtxs) == 0 {
+		t.Fatal("DCCFaultMask never consulted")
+	}
+	if got := stub.dccCtxs[0]; got != (FaultContext{Bank: 0, Subarray: 0, Row: 0}) {
+		t.Fatalf("DCC context = %+v, want bank 0 sub 0 row 0", got)
+	}
+}
+
+// TestInjectorRemoval: SetFaultInjector(nil) restores fault-free operation.
+func TestInjectorRemoval(t *testing.T) {
+	d := newTestDevice(t)
+	stub := &stubInjector{tra: []uint64{^uint64(0)}}
+	d.SetFaultInjector(stub)
+	d.SetFaultInjector(nil)
+	if err := d.Activate(PhysAddr{Bank: 0, Subarray: 0, Row: B(12)}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.Bank(0).subarrays[0].RowBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("word %d = %x after removing injector, want 0", i, v)
+		}
+	}
+	if len(stub.traCtxs) != 0 {
+		t.Fatal("removed injector still consulted")
+	}
+}
+
+// TestBeginTrainBoundsIgnored: out-of-range coordinates are a no-op, not a
+// panic (BeginTrain is called on the controller hot path).
+func TestBeginTrainBoundsIgnored(t *testing.T) {
+	d := newTestDevice(t)
+	d.BeginTrain(-1, 0, 0)
+	d.BeginTrain(99, 0, 0)
+	d.BeginTrain(0, -1, 0)
+	d.BeginTrain(0, 99, 0)
+}

@@ -34,6 +34,12 @@ type Subarray struct {
 	// model (internal/circuit) injects process-variation bit errors.
 	faultMask []uint64
 
+	// injector, when non-nil, is consulted on every TRA and every DCC
+	// negation write (see fault.go); fctx carries the subarray coordinates
+	// plus the current train's destination row.
+	injector FaultInjector
+	fctx     FaultContext
+
 	// scratch buffers reused by sense() so the activation hot path does
 	// not allocate.
 	scratch [3][]uint64
@@ -160,6 +166,13 @@ func (s *Subarray) sense(wls []Wordline) error {
 			}
 			s.faultMask = nil
 		}
+		if s.injector != nil {
+			if m := s.injector.TRAFaultMask(s.fctx, w); m != nil {
+				for i := 0; i < w && i < len(m); i++ {
+					s.amps[i] ^= m[i]
+				}
+			}
+		}
 	default:
 		return fmt.Errorf("dram: activation of %d wordlines not supported", len(wls))
 	}
@@ -196,12 +209,22 @@ func (s *Subarray) contribution(slot int, wl Wordline) []uint64 {
 func (s *Subarray) restore(wls []Wordline) { s.overwrite(wls) }
 
 // overwrite copies the row buffer into the cells of the given wordlines.
+// Writes through a negation wordline — the Ambit-NOT capture into a
+// dual-contact cell — pass through the fault injector: DCC restoration is an
+// analog transfer from bitline-bar that can fail on real chips.
 func (s *Subarray) overwrite(wls []Wordline) {
 	for _, wl := range wls {
 		dst := s.cell(wl)
 		if wl.Negated() {
+			var m []uint64
+			if s.injector != nil {
+				m = s.injector.DCCFaultMask(s.fctx, len(dst))
+			}
 			for i := range dst {
 				dst[i] = ^s.amps[i]
+			}
+			for i := 0; i < len(dst) && i < len(m); i++ {
+				dst[i] ^= m[i]
 			}
 		} else {
 			copy(dst, s.amps)

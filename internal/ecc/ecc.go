@@ -86,6 +86,20 @@ func (c *Codeword) Decode() (data []uint64, correctedBits int) {
 	return data, correctedBits
 }
 
+// VoteRows majority-decodes three replica rows in one call: the corrected
+// data plus the number of replica bits that disagreed with the majority.  It
+// is the vote function the controller's execute-verify-retry path
+// (controller.ExecuteOpReliable) consumes — passed in as a value because ecc
+// depends on controller for the Op type, so controller cannot import ecc.
+func VoteRows(r0, r1, r2 []uint64) ([]uint64, int, error) {
+	c, err := FromReplicas(r0, r1, r2)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, bad := c.Decode()
+	return data, bad, nil
+}
+
 // Healthy reports whether all replicas agree (no latent faults).
 func (c *Codeword) Healthy() bool {
 	for w := 0; w < c.Len(); w++ {

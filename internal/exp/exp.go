@@ -321,6 +321,7 @@ func All(mcIterations int, seed int64) ([]Named, error) {
 		{"fig12", Figure12},
 		{"batch", BatchEngine},
 		{"extensions", Extensions},
+		{"faults", func() (string, error) { return FaultSweep(seed) }},
 	}
 	out := make([]Named, 0, len(gens))
 	for _, g := range gens {
@@ -341,7 +342,7 @@ type Named struct {
 
 // Names lists the available experiment names.
 func Names() []string {
-	return []string{"table1", "table2", "worstcase", "fig8", "fig9", "table3", "table4", "aap", "fig10", "fig11", "fig12", "batch", "extensions"}
+	return []string{"table1", "table2", "worstcase", "fig8", "fig9", "table3", "table4", "aap", "fig10", "fig11", "fig12", "batch", "extensions", "faults"}
 }
 
 // Run generates one experiment by name.
@@ -373,6 +374,8 @@ func Run(name string, mcIterations int, seed int64) (string, error) {
 		return BatchEngine()
 	case "extensions":
 		return Extensions()
+	case "faults":
+		return FaultSweep(seed)
 	}
 	return "", fmt.Errorf("exp: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
 }

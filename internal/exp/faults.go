@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"ambit"
+	"ambit/internal/dram"
+	"ambit/internal/fault"
+)
+
+// FaultSweep is the reliability study: the same AND + XOR workload executed
+// under increasing TRA/DCC failure rates, once raw (faults land in the
+// results) and once under the TMR + retry + quarantine policy.  It reports
+// result accuracy, the reliability counters, and the latency/energy overhead
+// the protection costs at each rate.  All runs are deterministic in the seed.
+func FaultSweep(seed int64) (string, error) {
+	// 4 banks x 2 subarrays of 1 KB rows; a 512 Kib vector spans 64 rows
+	// across the 8 placement slots.
+	geom := dram.Geometry{Banks: 4, SubarraysPerBank: 2, RowsPerSubarray: 512, RowSizeBytes: 1024}
+	const vectorBits = 512 << 10
+
+	words := vectorBits / 64
+	rng := rand.New(rand.NewSource(seed))
+	wa, wb := make([]uint64, words), make([]uint64, words)
+	for i := range wa {
+		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
+	}
+
+	type result struct {
+		badBits       int64
+		uncorrectable bool
+		st            ambit.Stats
+		energyNJ      float64
+	}
+
+	run := func(rate float64, protected bool) (result, error) {
+		opts := []ambit.Option{
+			ambit.WithDRAM(dram.Config{Geometry: geom, Timing: dram.DDR3_1600()}),
+			ambit.WithFaultModel(fault.Config{
+				TRABitRate:   rate,
+				TRARowRate:   rate * 50,
+				DCCBitRate:   rate,
+				RowVariation: 1,
+				Seed:         seed,
+			}),
+		}
+		if protected {
+			opts = append(opts,
+				ambit.WithReliability(ambit.Reliability{ECC: true, MaxRetries: 8}),
+				ambit.WithQuarantine(3),
+			)
+		}
+		sys, err := ambit.New(opts...)
+		if err != nil {
+			return result{}, err
+		}
+		a, b := sys.MustAlloc(vectorBits), sys.MustAlloc(vectorBits)
+		andDst, xorDst := sys.MustAlloc(vectorBits), sys.MustAlloc(vectorBits)
+		if err := a.Load(wa); err != nil {
+			return result{}, err
+		}
+		if err := b.Load(wb); err != nil {
+			return result{}, err
+		}
+		var res result
+		if err := sys.And(andDst, a, b); err != nil {
+			if !errors.Is(err, ambit.ErrUncorrectable) {
+				return result{}, err
+			}
+			res.uncorrectable = true
+		}
+		if err := sys.Xor(xorDst, a, b); err != nil {
+			if !errors.Is(err, ambit.ErrUncorrectable) {
+				return result{}, err
+			}
+			res.uncorrectable = true
+		}
+		ga, err := andDst.Peek()
+		if err != nil {
+			return result{}, err
+		}
+		gx, err := xorDst.Peek()
+		if err != nil {
+			return result{}, err
+		}
+		for i := range wa {
+			res.badBits += int64(bits.OnesCount64(ga[i] ^ (wa[i] & wb[i])))
+			res.badBits += int64(bits.OnesCount64(gx[i] ^ (wa[i] ^ wb[i])))
+		}
+		res.st = sys.Stats()
+		res.energyNJ = sys.EnergyNJ()
+		return res, nil
+	}
+
+	b, w := table()
+	fmt.Fprintln(w, "TRA bit rate\tRaw bad bits\tTMR bad bits\tInjected\tCorrected\tRetries\tUncorr. rows\tQuarantined\tLatency ovh.\tEnergy ovh.")
+	for _, rate := range []float64{0, 1e-5, 1e-4, 1e-3} {
+		raw, err := run(rate, false)
+		if err != nil {
+			return "", err
+		}
+		prot, err := run(rate, true)
+		if err != nil {
+			return "", err
+		}
+		uncorr := fmt.Sprintf("%d", prot.st.UncorrectableRows)
+		latOvh := fmt.Sprintf("%.2fX", prot.st.ElapsedNS/raw.st.ElapsedNS)
+		energyOvh := fmt.Sprintf("%.2fX", prot.energyNJ/raw.energyNJ)
+		if prot.uncorrectable {
+			// The protected run aborted early, so its cost is not
+			// comparable to the raw run's.
+			uncorr += " (surfaced)"
+			latOvh, energyOvh = "-", "-"
+		}
+		fmt.Fprintf(w, "%.0e\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%s\t%s\n",
+			rate, raw.badBits, prot.badBits,
+			prot.st.InjectedFaults, prot.st.CorrectedBits, prot.st.Retries,
+			uncorr, prot.st.QuarantinedRows, latOvh, energyOvh)
+	}
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(b, "(2 x 512 Kib AND/XOR, seed %d; TRA row rate = 50x bit rate, DCC rate = bit rate; TMR = 3 replica trains + vote + retry <= 8 + quarantine after 3 faulty rounds)\n", seed)
+	return b.String(), nil
+}

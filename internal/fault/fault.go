@@ -1,0 +1,373 @@
+// Package fault models probabilistic failures of Ambit's analog in-DRAM
+// primitives: triple-row activation (TRA) and dual-contact-cell (DCC)
+// negation.
+//
+// The Ambit paper assumes these mechanisms are reliable after manufacturer
+// testing (Section 6), but measurements on real chips ("Functionally-Complete
+// Boolean Logic in Real DRAM Chips", PAPERS.md) show multi-row activation
+// fails probabilistically, with strong per-cell and per-row variation.  This
+// package reproduces that failure structure as a deterministic, seeded
+// dram.FaultInjector:
+//
+//   - a per-bit transient flip rate for each TRA and each DCC capture
+//     (TRABitRate, DCCBitRate) — the common case, corrected by TMR ECC,
+//   - a per-event gross row failure rate (TRARowRate) modelling a TRA whose
+//     charge sharing collapses entirely, corrupting a large fraction of the
+//     row — detected by the verifier and retried,
+//   - per-row weakness (RowVariation): each physical destination row gets a
+//     deterministic log-normal rate multiplier, so some rows fail
+//     consistently more often — the rows graceful degradation quarantines,
+//   - optional weak columns (WeakColumnFraction): a deterministic subset of
+//     bit positions per subarray that attracts half of all flips, modelling
+//     per-cell variation.
+//
+// Determinism: every random decision is drawn from a per-subarray splitmix64
+// stream keyed by (Seed, bank, subarray), and the per-row/per-column weights
+// are pure hashes of (Seed, coordinates).  A given sequence of events on one
+// subarray therefore produces identical faults across runs.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ambit/internal/dram"
+)
+
+// Config parameterizes a Model.  The zero value disables injection entirely.
+type Config struct {
+	// TRABitRate is the probability that any given result bit of a
+	// triple-row activation flips (before per-row scaling).
+	TRABitRate float64
+	// TRARowRate is the probability that a triple-row activation suffers a
+	// gross failure corrupting roughly a quarter of the row's bits.
+	TRARowRate float64
+	// DCCBitRate is the probability that any given bit written through a
+	// DCC negation wordline flips.
+	DCCBitRate float64
+	// RowVariation is the sigma of the log-normal per-row rate multiplier
+	// (0 = all rows identical).  A row's multiplier is exp(sigma·z) with z
+	// a standard normal hashed from the row's physical address, clamped to
+	// [1/32, 32].
+	RowVariation float64
+	// WeakColumnFraction is the fraction of each subarray's bit positions
+	// designated "weak"; when positive, half of all injected flips land on
+	// weak positions.  0 spreads flips uniformly.
+	WeakColumnFraction float64
+	// Seed selects the deterministic fault universe.
+	Seed int64
+}
+
+// Enabled reports whether the configuration injects any faults at all.
+func (c Config) Enabled() bool {
+	return c.TRABitRate > 0 || c.TRARowRate > 0 || c.DCCBitRate > 0
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"TRABitRate", c.TRABitRate},
+		{"TRARowRate", c.TRARowRate},
+		{"DCCBitRate", c.DCCBitRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s must be in [0,1], got %g", r.name, r.v)
+		}
+	}
+	if c.RowVariation < 0 {
+		return fmt.Errorf("fault: RowVariation must be non-negative, got %g", c.RowVariation)
+	}
+	if c.WeakColumnFraction < 0 || c.WeakColumnFraction >= 1 {
+		return fmt.Errorf("fault: WeakColumnFraction must be in [0,1), got %g", c.WeakColumnFraction)
+	}
+	return nil
+}
+
+// Counters accumulates what a Model has injected.
+type Counters struct {
+	// TRAEvents counts triple-row activations that had at least one bit
+	// flipped (gross failures included).
+	TRAEvents int64
+	// DCCEvents counts DCC negation writes that had at least one bit
+	// flipped.
+	DCCEvents int64
+	// GrossRows counts gross row-level TRA failures (a subset of
+	// TRAEvents).
+	GrossRows int64
+	// FlippedBits counts the total number of bits flipped.
+	FlippedBits int64
+}
+
+// Model is a deterministic seeded fault injector implementing
+// dram.FaultInjector.  Safe for concurrent use.
+type Model struct {
+	cfg Config
+
+	mu       sync.Mutex
+	streams  map[[2]int]*stream
+	counters Counters
+}
+
+var _ dram.FaultInjector = (*Model)(nil)
+
+// New creates a Model from cfg.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, streams: make(map[[2]int]*stream)}, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Counters returns a snapshot of the injection counters.
+func (m *Model) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters
+}
+
+// ResetCounters zeroes the injection counters.  The random streams keep their
+// positions: resetting counters does not replay the fault universe.
+func (m *Model) ResetCounters() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters = Counters{}
+}
+
+// TRAFaultMask implements dram.FaultInjector: bit flips plus possible gross
+// failure for one triple-row activation.
+func (m *Model) TRAFaultMask(ctx dram.FaultContext, words int) []uint64 {
+	if m.cfg.TRABitRate == 0 && m.cfg.TRARowRate == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stream(ctx)
+	scale := m.rowScale(ctx)
+	mask := st.bitFlips(nil, words, m.cfg.TRABitRate*scale)
+	gross := false
+	if p := m.cfg.TRARowRate * scale; p > 0 && st.rng.float64() < math.Min(p, 1) {
+		gross = true
+		if mask == nil {
+			mask = make([]uint64, words)
+		}
+		// A collapsed TRA leaves each bitline at an essentially random
+		// level; ANDing two draws flips ~25% of the row.
+		for i := range mask {
+			mask[i] |= st.rng.next() & st.rng.next()
+		}
+	}
+	if mask == nil {
+		return nil
+	}
+	m.counters.TRAEvents++
+	if gross {
+		m.counters.GrossRows++
+	}
+	m.counters.FlippedBits += popcount(mask)
+	return mask
+}
+
+// DCCFaultMask implements dram.FaultInjector: bit flips for one write through
+// a DCC negation wordline.
+func (m *Model) DCCFaultMask(ctx dram.FaultContext, words int) []uint64 {
+	if m.cfg.DCCBitRate == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stream(ctx)
+	mask := st.bitFlips(nil, words, m.cfg.DCCBitRate*m.rowScale(ctx))
+	if mask == nil {
+		return nil
+	}
+	m.counters.DCCEvents++
+	m.counters.FlippedBits += popcount(mask)
+	return mask
+}
+
+// RowScale returns the deterministic per-row rate multiplier for the data row
+// at the given physical address (1 when RowVariation is 0).
+func (m *Model) RowScale(bank, sub, row int) float64 {
+	return m.rowScale(dram.FaultContext{Bank: bank, Subarray: sub, Row: row})
+}
+
+// rowScale computes the log-normal per-row multiplier from a pure hash of the
+// row coordinates; events with no row context (ctx.Row < 0) scale by 1.
+func (m *Model) rowScale(ctx dram.FaultContext) float64 {
+	if m.cfg.RowVariation == 0 || ctx.Row < 0 {
+		return 1
+	}
+	h := hash4(uint64(m.cfg.Seed), uint64(ctx.Bank)+1, uint64(ctx.Subarray)+1, uint64(ctx.Row)+1)
+	u1 := toFloat(h)
+	u2 := toFloat(splitmix(h))
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	s := math.Exp(m.cfg.RowVariation * z)
+	return math.Min(32, math.Max(1.0/32, s))
+}
+
+// stream returns the (bank, subarray) random stream, creating it (and its
+// weak-column set) deterministically on first use.  The caller holds m.mu.
+func (m *Model) stream(ctx dram.FaultContext) *stream {
+	key := [2]int{ctx.Bank, ctx.Subarray}
+	st, ok := m.streams[key]
+	if !ok {
+		st = &stream{rng: rng{s: hash4(uint64(m.cfg.Seed), 0x5f4175, uint64(ctx.Bank)+1, uint64(ctx.Subarray)+1)}}
+		st.weakFrac = m.cfg.WeakColumnFraction
+		st.weakSeed = hash4(uint64(m.cfg.Seed), 0xc01, uint64(ctx.Bank)+1, uint64(ctx.Subarray)+1)
+		m.streams[key] = st
+	}
+	return st
+}
+
+// stream is the per-subarray random state.
+type stream struct {
+	rng      rng
+	weakFrac float64
+	weakSeed uint64
+	weakCols []int // lazily built per observed row width
+	weakBits int   // row width (bits) the weak set was built for
+}
+
+// bitFlips draws a Poisson number of flipped bits at the given per-bit rate
+// and ORs them into mask (allocating it on the first flip); returns the mask
+// (nil if no flips).
+func (s *stream) bitFlips(mask []uint64, words int, rate float64) []uint64 {
+	if rate <= 0 {
+		return mask
+	}
+	bits := words * 64
+	n := s.rng.poisson(float64(bits) * rate)
+	if n > bits {
+		n = bits
+	}
+	for i := 0; i < n; i++ {
+		if mask == nil {
+			mask = make([]uint64, words)
+		}
+		pos := s.pickBit(bits)
+		mask[pos/64] |= 1 << uint(pos%64)
+	}
+	return mask
+}
+
+// pickBit selects a bit position, biased toward the weak-column set when one
+// is configured.
+func (s *stream) pickBit(bits int) int {
+	if s.weakFrac > 0 {
+		if s.weakBits != bits {
+			s.buildWeakCols(bits)
+		}
+		if len(s.weakCols) > 0 && s.rng.float64() < 0.5 {
+			return s.weakCols[int(s.rng.next()%uint64(len(s.weakCols)))]
+		}
+	}
+	return int(s.rng.next() % uint64(bits))
+}
+
+// buildWeakCols derives the subarray's deterministic weak-column set for the
+// given row width.
+func (s *stream) buildWeakCols(bits int) {
+	n := int(s.weakFrac * float64(bits))
+	if n < 1 {
+		n = 1
+	}
+	cols := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	h := s.weakSeed
+	for len(cols) < n {
+		h = splitmix(h)
+		c := int(h % uint64(bits))
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	s.weakCols, s.weakBits = cols, bits
+}
+
+// rng is a splitmix64 generator: tiny, fast, and deterministic — exactly what
+// seeded fault reproduction needs (math/rand's global state would couple
+// subarrays together).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return splitmix(r.s)
+}
+
+func (r *rng) float64() float64 { return toFloat(r.next()) }
+
+// normal draws a standard normal via Box-Muller.
+func (r *rng) normal() float64 {
+	u1 := r.float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*r.float64())
+}
+
+// poisson draws Poisson(lambda): Knuth's product method for small lambda, a
+// rounded normal approximation beyond.
+func (r *rng) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*r.normal()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// splitmix is the splitmix64 finalizer.
+func splitmix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// hash4 mixes four words into one (for keying streams and per-row weights).
+func hash4(a, b, c, d uint64) uint64 {
+	h := splitmix(a ^ 0x9e3779b97f4a7c15)
+	h = splitmix(h ^ b)
+	h = splitmix(h ^ c)
+	h = splitmix(h ^ d)
+	return h
+}
+
+// toFloat maps a uint64 to [0, 1).
+func toFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+func popcount(mask []uint64) int64 {
+	var n int64
+	for _, w := range mask {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ambit/internal/controller"
+)
+
+// TestParseFormatParseRoundTrip is the text-first round-trip property: any
+// program that parses must survive format -> parse unchanged, instruction for
+// instruction.  (The format-first direction is TestFormatParseRoundTrip.)
+func TestParseFormatParseRoundTrip(t *testing.T) {
+	f := func(ops []uint8, dst, s1, s2 []uint16, size []uint8) bool {
+		var src strings.Builder
+		n := len(ops)
+		for _, s := range [][]uint16{dst, s1, s2} {
+			if len(s) < n {
+				n = len(s)
+			}
+		}
+		if len(size) < n {
+			n = len(size)
+		}
+		want := make([]Instruction, 0, n)
+		for i := 0; i < n; i++ {
+			in := Instruction{
+				Op:   controller.Ops[int(ops[i])%len(controller.Ops)],
+				Dst:  int64(dst[i]),
+				Src1: int64(s1[i]),
+				Size: int64(size[i]) + 1,
+			}
+			if in.Op.Unary() {
+				src.WriteString(in.Op.String() + " ")
+				writeNums(&src, in.Dst, in.Src1, in.Size)
+			} else {
+				in.Src2 = int64(s2[i])
+				src.WriteString(in.Op.String() + " ")
+				writeNums(&src, in.Dst, in.Src1, in.Src2, in.Size)
+			}
+			src.WriteString("\n")
+			want = append(want, in)
+		}
+		first, err := ParseProgram(src.String())
+		if err != nil || len(first) != len(want) {
+			return false
+		}
+		second, err := ParseProgram(FormatProgram(first))
+		if err != nil || len(second) != len(want) {
+			return false
+		}
+		for i := range want {
+			if first[i] != want[i] || second[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeNums(b *strings.Builder, nums ...int64) {
+	for i, v := range nums {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		// Alternate decimal and hex spellings; both must parse.
+		if i%2 == 0 {
+			b.WriteString(dec(v))
+		} else {
+			b.WriteString("0x" + hex(v))
+		}
+	}
+}
+
+func dec(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func hex(v int64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}
+
+// TestInstructionStringParses: the paper-style String() rendering (bbop_
+// prefix, commas) is accepted by the assembler.
+func TestInstructionStringParses(t *testing.T) {
+	for _, in := range []Instruction{
+		{Op: controller.OpAnd, Dst: 0x1000, Src1: 0x2000, Src2: 0x3000, Size: 8192},
+		{Op: controller.OpNot, Dst: 0x40, Src1: 0x80, Size: 64},
+		{Op: controller.OpXnor, Dst: 1, Src1: 2, Src2: 3, Size: 4},
+	} {
+		got, err := ParseInstruction(in.String())
+		if err != nil {
+			t.Fatalf("String() output %q rejected: %v", in.String(), err)
+		}
+		if got != in {
+			t.Fatalf("String round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+// TestParseNumOverflow: operands beyond int64 are rejected with an error, not
+// silently truncated.
+func TestParseNumOverflow(t *testing.T) {
+	bad := []string{
+		"and 1 2 3 0x123456789abcdef01",        // > 64-bit hex
+		"and 99999999999999999999999 2 3 4",    // > 64-bit decimal
+		"not 1 18446744073709551616 8",         // 2^64 decimal
+		"and 1 2 3 9223372036854775808",        // 2^63, one past int64 max
+		"xor 0xffffffffffffffffffffffff 1 2 3", // very wide hex
+	}
+	for _, line := range bad {
+		if _, err := ParseInstruction(line); err == nil {
+			t.Errorf("accepted overflowing line %q", line)
+		}
+	}
+	// Int64 max itself is representable and must parse.
+	in, err := ParseInstruction("not 1 9223372036854775807 8")
+	if err != nil {
+		t.Fatalf("int64 max rejected: %v", err)
+	}
+	if in.Src1 != 9223372036854775807 {
+		t.Fatalf("int64 max parsed as %d", in.Src1)
+	}
+}
+
+// TestParseProgramErrorPaths: opcode and operand-count failures surface with
+// the offending line number.
+func TestParseProgramErrorPaths(t *testing.T) {
+	cases := []struct {
+		src      string
+		wantLine string
+	}{
+		{"and 0 1 2 3\nmystery 1 2 3 4\n", "line 2"},
+		{"# only a comment\n\nnot 1 2\n", "line 3"},    // unary missing size
+		{"or 1 2 3 4\nor 1 2 3 4 5 6\n", "line 2"},     // too many operands
+		{"nand 1 2 0xzz 4\n", "line 1"},                // bad hex digit
+		{"\n\n\nxor 1 2 3 4\nxor 1, 2, 3\n", "line 5"}, // counts skip blanks
+	}
+	for _, c := range cases {
+		_, err := ParseProgram(c.src)
+		if err == nil {
+			t.Errorf("accepted bad program %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantLine) {
+			t.Errorf("error for %q = %v, want mention of %s", c.src, err, c.wantLine)
+		}
+	}
+}

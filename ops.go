@@ -1,28 +1,31 @@
 package ambit
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"ambit/internal/controller"
 	"ambit/internal/dram"
+	"ambit/internal/ecc"
 )
 
 // checkOperands validates that every operand is non-nil, belongs to this
 // System, and has not been freed.  Every operation entry point — the direct
 // System calls and the Batch recorder — applies it, so a use-after-Free is
-// always a clear error instead of a silent no-op.  The caller holds s.mu (or
-// is on a single-threaded construction path).
+// always a clear error instead of a silent no-op.  Failures wrap the typed
+// sentinels (ErrNilOperand, ErrForeignSystem, ErrFreed) for errors.Is.  The
+// caller holds s.mu (or is on a single-threaded construction path).
 func (s *System) checkOperands(name string, vs ...*Bitvector) error {
 	for _, v := range vs {
 		if v == nil {
-			return fmt.Errorf("ambit: %s: nil operand", name)
+			return fmt.Errorf("ambit: %s: %w", name, ErrNilOperand)
 		}
 		if v.sys != s {
-			return fmt.Errorf("ambit: %s: operand from another System", name)
+			return fmt.Errorf("ambit: %s: %w", name, ErrForeignSystem)
 		}
 		if v.rows == nil {
-			return fmt.Errorf("ambit: %s: operand used after Free", name)
+			return fmt.Errorf("ambit: %s: %w", name, ErrFreed)
 		}
 	}
 	return nil
@@ -53,7 +56,7 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 		return err
 	}
 	if !dst.sameShape(a) || (!op.Unary() && !dst.sameShape(b)) {
-		return fmt.Errorf("ambit: %v: operands are not co-located row for row (size mismatch or foreign allocation); the Ambit driver requires cooperating bitvectors to be allocated with the same size on one System (Section 5.4.2)", op)
+		return fmt.Errorf("ambit: %v: %w (size mismatch or foreign allocation); the Ambit driver requires cooperating bitvectors to be allocated with the same size on one System (Section 5.4.2)", op, ErrShapeMismatch)
 	}
 
 	// Cache coherence: flush dirty source lines, invalidate destination
@@ -69,9 +72,23 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 		if !op.Unary() {
 			ba = b.rows[r].Row
 		}
-		done, err := s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
-		if err != nil {
-			return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
+		var done float64
+		if s.cfg.Reliability.ECC {
+			rr, err := s.execRowReliable(op, da, aa.Row, ba)
+			s.accountReliabilityLocked(da, rr)
+			if err != nil {
+				if errors.Is(err, ErrUncorrectable) {
+					s.stats.UncorrectableRows++
+				}
+				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
+			}
+			done = s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
+		} else {
+			var err error
+			done, err = s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
+			if err != nil {
+				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
+			}
 		}
 		if done > end {
 			end = done
@@ -81,6 +98,29 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	s.stats.BulkOps[op]++
 	s.stats.RowOps += int64(len(dst.rows))
 	return nil
+}
+
+// execRowReliable runs one row-level command train under the TMR
+// execute-verify-retry policy (DESIGN.md "Reliability model"), using the two
+// reserved per-subarray scratch rows as replica space and internal/ecc's
+// majority vote as the decoder.  The caller holds s.mu.
+func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow dram.RowAddr) (controller.RowResult, error) {
+	s1, s2 := s.scratchRows()
+	return s.ctrl.ExecuteOpReliable(op, da.Bank, da.Subarray, da.Row, aRow, bRow, s1, s2, s.cfg.Reliability, ecc.VoteRows)
+}
+
+// accountReliabilityLocked folds one row's reliability outcome into the
+// stats and the quarantine score of the destination row.  The caller holds
+// s.mu.
+func (s *System) accountReliabilityLocked(da dram.PhysAddr, rr controller.RowResult) {
+	s.stats.CorrectedBits += rr.CorrectedBits
+	s.stats.Retries += rr.Retries
+	if rr.Detected > 0 && s.cfg.QuarantineAfter > 0 {
+		s.faultScore[da] += int(rr.Detected)
+		if s.faultScore[da] >= s.cfg.QuarantineAfter {
+			s.quarantined[da] = true
+		}
+	}
 }
 
 // And computes dst = a AND b inside DRAM (Figure 8a).
@@ -116,7 +156,7 @@ func (s *System) Copy(dst, src *Bitvector) error {
 		return err
 	}
 	if len(dst.rows) != len(src.rows) {
-		return fmt.Errorf("ambit: Copy: size mismatch (%d vs %d rows)", len(dst.rows), len(src.rows))
+		return fmt.Errorf("ambit: Copy: %w (%d vs %d rows)", ErrShapeMismatch, len(dst.rows), len(src.rows))
 	}
 	// Coherence: flush the source rows and invalidate the destination
 	// rows.  Unlike a bulk bitwise train (which buffers through the

@@ -1,0 +1,65 @@
+package ambit
+
+import (
+	"ambit/internal/dram"
+	"ambit/internal/energy"
+	"ambit/internal/fault"
+)
+
+// Option is a functional configuration option for New.
+//
+// Options are the primary construction API:
+//
+//	sys, err := ambit.New(
+//	    ambit.WithDRAM(dram.DefaultConfig()),
+//	    ambit.WithFaultModel(fault.Config{TRABitRate: 1e-4, Seed: 1}),
+//	    ambit.WithReliability(ambit.Reliability{ECC: true, MaxRetries: 4}),
+//	)
+//
+// The Config struct plus NewSystem remain fully supported as the
+// compatibility route; each option is a transparent setter over Config, so
+// the two styles compose (build a Config, or build with options — never
+// both halves of one field).
+type Option func(*Config)
+
+// WithDRAM sets the device geometry and timing.
+func WithDRAM(cfg dram.Config) Option {
+	return func(c *Config) { c.DRAM = cfg }
+}
+
+// WithEnergyModel sets the energy model.
+func WithEnergyModel(m energy.Model) Option {
+	return func(c *Config) { c.Energy = m }
+}
+
+// WithSplitDecoder enables or disables the Section 5.3 split-row-decoder AAP
+// latency optimization.
+func WithSplitDecoder(on bool) Option {
+	return func(c *Config) { c.SplitDecoder = on }
+}
+
+// WithCoherenceNSPerRow sets the cache-coherence charge per involved row
+// (Section 5.4.4).
+func WithCoherenceNSPerRow(ns float64) Option {
+	return func(c *Config) { c.CoherenceNSPerRow = ns }
+}
+
+// WithFaultModel installs a seeded probabilistic TRA/DCC failure model
+// (internal/fault).  The zero fault.Config disables injection.
+func WithFaultModel(fc fault.Config) Option {
+	return func(c *Config) { c.Fault = fc }
+}
+
+// WithReliability sets the controller's execute-verify-retry policy:
+// TMR-replicated execution with per-row verification, bounded retry of
+// detected-uncorrectable rows, and corrected write-back.
+func WithReliability(r Reliability) Option {
+	return func(c *Config) { c.Reliability = r }
+}
+
+// WithQuarantine enables graceful degradation: a data row accumulating the
+// given number of detected faulty verification rounds is quarantined — once
+// freed, the allocator never hands it out again.  0 disables quarantine.
+func WithQuarantine(afterDetectedFaults int) Option {
+	return func(c *Config) { c.QuarantineAfter = afterDetectedFaults }
+}

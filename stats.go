@@ -40,6 +40,29 @@ type Stats struct {
 	// workload leaves every bank idle while any other bank works, while a
 	// well-packed batch drives the mean utilization toward 1.
 	BankBusyNS []float64
+
+	// Reliability counters (all zero unless a fault model or the
+	// reliability policy is configured; see DESIGN.md "Reliability model").
+
+	// InjectedFaults counts fault-injection events: TRA activations and
+	// DCC negations in which the fault model flipped at least one bit.
+	InjectedFaults int64
+	// InjectedFaultBits counts the total bits flipped by the fault model.
+	InjectedFaultBits int64
+	// CorrectedBits counts replica bits corrected by the TMR majority
+	// vote during verified execution.
+	CorrectedBits int64
+	// Retries counts full command-train re-executions after a
+	// verification round found more disagreeing bits than the policy
+	// threshold (detected-uncorrectable).
+	Retries int64
+	// UncorrectableRows counts rows that exhausted the retry budget and
+	// surfaced ErrUncorrectable to the caller.
+	UncorrectableRows int64
+	// QuarantinedRows is the number of data rows currently quarantined by
+	// graceful degradation (snapshot of live state, not a running total;
+	// unaffected by ResetStats).
+	QuarantinedRows int64
 }
 
 // TotalBulkOps sums BulkOps.
@@ -77,21 +100,34 @@ func (st Stats) String() string {
 	if len(st.BankBusyNS) > 0 && st.ElapsedNS > 0 {
 		s += fmt.Sprintf(", %.0f%% mean bank utilization", st.MeanBankUtilization()*100)
 	}
+	if st.InjectedFaults > 0 || st.CorrectedBits > 0 || st.Retries > 0 ||
+		st.UncorrectableRows > 0 || st.QuarantinedRows > 0 {
+		s += fmt.Sprintf(", reliability: %d faults (%d bits) injected, %d bits corrected, %d retries, %d uncorrectable rows, %d quarantined rows",
+			st.InjectedFaults, st.InjectedFaultBits, st.CorrectedBits, st.Retries, st.UncorrectableRows, st.QuarantinedRows)
+	}
 	return s
 }
 
 // Stats returns a snapshot of the accumulated counters, including the
-// per-bank busy breakdown.
+// per-bank busy breakdown.  Fault-injection counters are read live from the
+// fault model; QuarantinedRows reflects the current quarantine set.
 func (s *System) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.BankBusyNS = s.dev.BankBusyNS()
+	if s.fm != nil {
+		fc := s.fm.Counters()
+		st.InjectedFaults = fc.TRAEvents + fc.DCCEvents
+		st.InjectedFaultBits = fc.FlippedBits
+	}
+	st.QuarantinedRows = int64(len(s.quarantined))
 	return st
 }
 
-// ResetStats zeroes the system, device, controller, and RowClone counters.
-// Memory contents and allocations are untouched.
+// ResetStats zeroes the system, device, controller, RowClone, and fault-model
+// counters.  Memory contents, allocations, and the quarantine set are
+// untouched (quarantine is memory state, not a statistic).
 func (s *System) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -100,6 +136,9 @@ func (s *System) ResetStats() {
 	s.dev.ResetTimelines()
 	s.ctrl.ResetStats()
 	s.rc.ResetStats()
+	if s.fm != nil {
+		s.fm.ResetCounters()
+	}
 }
 
 // EnergyNJ returns the total simulated energy: the device's command energy
