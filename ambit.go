@@ -87,6 +87,21 @@ type Reliability = controller.Reliability
 // (re-exported so callers configure it without importing internal packages).
 type FaultConfig = fault.Config
 
+// DRAMConfig is the device geometry and timing configuration (re-exported so
+// callers configure it without importing internal packages).
+type DRAMConfig = dram.Config
+
+// EnergyModel is the per-primitive energy model (re-exported so callers
+// configure it without importing internal packages).
+type EnergyModel = energy.Model
+
+// DefaultDRAMConfig returns the paper's standard device: an 8-bank
+// DDR3-1600 module with 8 KB rows.
+func DefaultDRAMConfig() DRAMConfig { return dram.DefaultConfig() }
+
+// DefaultEnergyModel returns the Table 3 energy calibration.
+func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
+
 // Config configures a System.
 type Config struct {
 	// DRAM is the device geometry and timing.  Defaults to the paper's
@@ -367,10 +382,11 @@ func (s *System) Free(v *Bitvector) error {
 	return nil
 }
 
-// Quarantined returns the physical addresses of every data row currently
-// quarantined by graceful degradation (rows whose accumulated detected-fault
-// score reached Config.QuarantineAfter).  Quarantined rows are retired on
-// Free and never reallocated.
+// Quarantined returns the physical addresses of every data row quarantined by
+// graceful degradation (rows whose accumulated detected-fault score reached
+// Config.QuarantineAfter).  Quarantine is permanent for the System's
+// lifetime: quarantined rows are retired on Free and never reallocated, and
+// there is no scrub path that returns them to service.
 func (s *System) Quarantined() []dram.PhysAddr {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -15,8 +15,8 @@ import (
 // ECC known to commute with in-DRAM bitwise computation — triple modular
 // redundancy (Section 5.4.5, internal/ecc):
 //
-//  1. execute the operation's Figure-8 command train three times, into the
-//     destination row and two reserved scratch rows (three independent
+//  1. execute the operation's Figure-8 command train three times, into two
+//     reserved scratch rows and then the destination row (three independent
 //     replicas of the result, each exposed independently to TRA/DCC faults),
 //  2. read the three replicas back and majority-vote them (the VoteFunc,
 //     supplied by the caller from internal/ecc so this package stays free of
@@ -108,6 +108,14 @@ func (c *Controller) rowAccessNS() float64 {
 // them from allocation); their contents are clobbered.  vote is the majority
 // decoder (ecc.VoteRows).  On success the destination row holds the corrected
 // result; the RowResult carries the full multi-attempt cost either way.
+//
+// In-place operations (dk aliasing di or dj) are supported: the scratch
+// replica trains execute first, while the sources are still intact, and dk's
+// own train — alias-safe on its own, since the sources stage through B-group
+// rows before dk is written — runs last.  Because a retry re-reads the
+// sources after dk's train has overwritten them, an aliased source is
+// preserved with one extra row read up front and restored with one row write
+// before each retry, both charged at full row-access latency.
 func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch1, scratch2 dram.RowAddr, pol Reliability, vote VoteFunc) (RowResult, error) {
 	var res RowResult
 	if vote == nil {
@@ -115,9 +123,25 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 	}
 	thr := pol.thresholdBits(c.dev.Geometry().RowSizeBytes * 8)
 	accessNS := c.rowAccessNS()
-	replicas := [3]dram.RowAddr{dk, scratch1, scratch2}
+	dkPhys := dram.PhysAddr{Bank: bank, Subarray: sub, Row: dk}
+	replicas := [3]dram.RowAddr{scratch1, scratch2, dk}
+	var saved []uint64
+	if aliased := dk == di || (!op.Unary() && dk == dj); aliased && pol.MaxRetries > 0 {
+		row, err := c.dev.ReadRow(dkPhys)
+		if err != nil {
+			return res, err
+		}
+		saved = row
+		res.LatencyNS += accessNS
+	}
 	var rows [3][]uint64
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 && saved != nil {
+			if err := c.dev.WriteRow(dkPhys, saved); err != nil {
+				return res, err
+			}
+			res.LatencyNS += accessNS
+		}
 		for _, dst := range replicas {
 			lat, err := c.ExecuteOp(op, bank, sub, dst, di, dj)
 			res.LatencyNS += lat
@@ -142,7 +166,7 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 		}
 		if bad <= thr {
 			if bad > 0 {
-				if err := c.dev.WriteRow(dram.PhysAddr{Bank: bank, Subarray: sub, Row: dk}, data); err != nil {
+				if err := c.dev.WriteRow(dkPhys, data); err != nil {
 					return res, err
 				}
 				res.LatencyNS += accessNS

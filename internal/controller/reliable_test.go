@@ -209,6 +209,110 @@ func TestReliableUncorrectable(t *testing.T) {
 	}
 }
 
+// TestReliableInPlaceFaultFree: dk aliasing a source must work on a fault-free
+// device — the scratch replica trains run before dk's train overwrites the
+// source, so all three replicas agree and the result is exact.
+func TestReliableInPlaceFaultFree(t *testing.T) {
+	c := testController(t)
+	rng := rand.New(rand.NewSource(4))
+	w := testGeom().WordsPerRow()
+	di, dj := randRow(rng, w), randRow(rng, w)
+	pokeRow(t, c, 0, 0, dram.D(0), di)
+	pokeRow(t, c, 0, 0, dram.D(1), dj)
+
+	// dk == di: Xor in place.
+	rr, err := c.ExecuteOpReliable(OpXor, 0, 0, dram.D(0), dram.D(0), dram.D(1),
+		dram.D(10), dram.D(11), Reliability{ECC: true, MaxRetries: 2}, majorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := peekRow(t, c, 0, 0, dram.D(0))
+	for i := range got {
+		if got[i] != di[i]^dj[i] {
+			t.Fatalf("word %d = %x, want in-place xor %x", i, got[i], di[i]^dj[i])
+		}
+	}
+	if rr.CorrectedBits != 0 || rr.Retries != 0 || rr.Detected != 0 {
+		t.Fatalf("fault-free in-place RowResult = %+v, want no reliability activity", rr)
+	}
+	// 3 trains + 3 verification reads + 1 source-preservation read.
+	want := 3*c.OpLatencyNS(OpXor) + 4*c.rowAccessNS()
+	if rr.LatencyNS != want {
+		t.Fatalf("LatencyNS = %v, want 3 trains + 3 reads + preserve = %v", rr.LatencyNS, want)
+	}
+
+	// Unary in place: dk == di with Not must be exact too (dj is ignored and
+	// must not participate in alias detection).
+	pokeRow(t, c, 0, 0, dram.D(0), di)
+	if _, err := c.ExecuteOpReliable(OpNot, 0, 0, dram.D(0), dram.D(0), dram.RowAddr{},
+		dram.D(10), dram.D(11), Reliability{ECC: true, MaxRetries: 2}, majorityVote); err != nil {
+		t.Fatal(err)
+	}
+	got = peekRow(t, c, 0, 0, dram.D(0))
+	for i := range got {
+		if got[i] != ^di[i] {
+			t.Fatalf("word %d = %x, want in-place not %x", i, got[i], ^di[i])
+		}
+	}
+}
+
+// dkGross corrupts, with a broad mask, every TRA of trains whose destination
+// is the given data row, for a bounded number of events — so attempt 0's dk
+// replica is grossly wrong (forcing a retry after dk, aliasing a source, has
+// been overwritten) while later attempts are clean.
+type dkGross struct {
+	row       int
+	remaining int
+}
+
+func (g *dkGross) TRAFaultMask(ctx dram.FaultContext, words int) []uint64 {
+	if g.remaining <= 0 || ctx.Row != g.row {
+		return nil
+	}
+	g.remaining--
+	return grossMask(words)
+}
+
+func (g *dkGross) DCCFaultMask(ctx dram.FaultContext, words int) []uint64 { return nil }
+
+// TestReliableInPlaceRetry: a retry of an in-place operation must recompute
+// from the preserved source, not from the destination replica the previous
+// attempt left behind.  Xor is the sharp probe: without restoration a retry
+// computes xor(xor(a,b), b) = a instead of xor(a,b) — silently, because all
+// three retry replicas would then agree on the wrong value.
+func TestReliableInPlaceRetry(t *testing.T) {
+	c := testController(t)
+	rng := rand.New(rand.NewSource(5))
+	w := testGeom().WordsPerRow()
+	di, dj := randRow(rng, w), randRow(rng, w)
+	pokeRow(t, c, 0, 0, dram.D(0), di)
+	pokeRow(t, c, 0, 0, dram.D(1), dj)
+	// Corrupt one TRA of the train destined for row 0 (= dk): the scratch
+	// trains carry other row contexts, so the hit lands in attempt 0's dk
+	// replica and the broad disagreement forces a retry.
+	c.Device().SetFaultInjector(&dkGross{row: 0, remaining: 1})
+
+	rr, err := c.ExecuteOpReliable(OpXor, 0, 0, dram.D(0), dram.D(0), dram.D(1),
+		dram.D(10), dram.D(11), Reliability{ECC: true, MaxRetries: 3}, majorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := peekRow(t, c, 0, 0, dram.D(0))
+	for i := range got {
+		if got[i] != di[i]^dj[i] {
+			t.Fatalf("word %d = %x, want %x (retry must recompute from the preserved source)", i, got[i], di[i]^dj[i])
+		}
+	}
+	if rr.Retries != 1 || rr.Detected != 1 {
+		t.Fatalf("RowResult = %+v, want exactly 1 retry and 1 detection", rr)
+	}
+	// Preserve read + two attempts (each 3 trains + 3 reads) + source restore.
+	wantLat := 6*c.OpLatencyNS(OpXor) + 8*c.rowAccessNS()
+	if rr.LatencyNS != wantLat {
+		t.Fatalf("LatencyNS = %v, want preserve + 2 attempts + restore = %v", rr.LatencyNS, wantLat)
+	}
+}
+
 func TestReliableNilVote(t *testing.T) {
 	c := testController(t)
 	if _, err := c.ExecuteOpReliable(OpAnd, 0, 0, dram.D(2), dram.D(0), dram.D(1),

@@ -115,10 +115,13 @@ func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow 
 func (s *System) accountReliabilityLocked(da dram.PhysAddr, rr controller.RowResult) {
 	s.stats.CorrectedBits += rr.CorrectedBits
 	s.stats.Retries += rr.Retries
-	if rr.Detected > 0 && s.cfg.QuarantineAfter > 0 {
+	if rr.Detected > 0 && s.cfg.QuarantineAfter > 0 && !s.quarantined[da] {
 		s.faultScore[da] += int(rr.Detected)
 		if s.faultScore[da] >= s.cfg.QuarantineAfter {
+			// The score has served its purpose; quarantine is permanent
+			// for the System's lifetime, so only the set membership stays.
 			s.quarantined[da] = true
+			delete(s.faultScore, da)
 		}
 	}
 }

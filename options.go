@@ -1,18 +1,14 @@
 package ambit
 
-import (
-	"ambit/internal/dram"
-	"ambit/internal/energy"
-	"ambit/internal/fault"
-)
-
 // Option is a functional configuration option for New.
 //
-// Options are the primary construction API:
+// Options are the primary construction API.  Every option's parameter type is
+// exported (or re-exported) by this package — DRAMConfig, EnergyModel,
+// FaultConfig, Reliability — so no internal imports are needed:
 //
 //	sys, err := ambit.New(
-//	    ambit.WithDRAM(dram.DefaultConfig()),
-//	    ambit.WithFaultModel(fault.Config{TRABitRate: 1e-4, Seed: 1}),
+//	    ambit.WithDRAM(ambit.DefaultDRAMConfig()),
+//	    ambit.WithFaultModel(ambit.FaultConfig{TRABitRate: 1e-4, Seed: 1}),
 //	    ambit.WithReliability(ambit.Reliability{ECC: true, MaxRetries: 4}),
 //	)
 //
@@ -23,12 +19,12 @@ import (
 type Option func(*Config)
 
 // WithDRAM sets the device geometry and timing.
-func WithDRAM(cfg dram.Config) Option {
+func WithDRAM(cfg DRAMConfig) Option {
 	return func(c *Config) { c.DRAM = cfg }
 }
 
 // WithEnergyModel sets the energy model.
-func WithEnergyModel(m energy.Model) Option {
+func WithEnergyModel(m EnergyModel) Option {
 	return func(c *Config) { c.Energy = m }
 }
 
@@ -45,8 +41,8 @@ func WithCoherenceNSPerRow(ns float64) Option {
 }
 
 // WithFaultModel installs a seeded probabilistic TRA/DCC failure model
-// (internal/fault).  The zero fault.Config disables injection.
-func WithFaultModel(fc fault.Config) Option {
+// (internal/fault).  The zero FaultConfig disables injection.
+func WithFaultModel(fc FaultConfig) Option {
 	return func(c *Config) { c.Fault = fc }
 }
 

@@ -249,6 +249,89 @@ func TestQuarantineRetiresFaultyRows(t *testing.T) {
 	}
 }
 
+// TestReliableInPlaceOps: operations whose destination aliases a source must
+// stay exact under the reliability policy — with a zero fault config they are
+// byte-identical to the unprotected path, and with injected faults plus
+// retries the recomputation must use the preserved source, not the replica a
+// failed attempt left in the destination.
+func TestReliableInPlaceOps(t *testing.T) {
+	newSys := func(extra ...Option) *System {
+		opts := append([]Option{
+			WithDRAM(DRAMConfig{Geometry: smallGeomForReliability(), Timing: dram.DDR3_1600()}),
+			WithReliability(Reliability{ECC: true, MaxRetries: 4}),
+		}, extra...)
+		sys, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	load := func(sys *System, bits int64) (*Bitvector, *Bitvector, []uint64, []uint64) {
+		a, b := sys.MustAlloc(bits), sys.MustAlloc(bits)
+		rng := rand.New(rand.NewSource(11))
+		wa, wb := make([]uint64, bits/64), make([]uint64, bits/64)
+		for i := range wa {
+			wa[i], wb[i] = rng.Uint64(), rng.Uint64()
+		}
+		if err := a.Load(wa); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Load(wb); err != nil {
+			t.Fatal(err)
+		}
+		return a, b, wa, wb
+	}
+
+	// Zero fault config: Not(v, v) and Xor(a, a, b) must be exact (this is
+	// the review regression: replica ordering once destroyed the aliased
+	// source and surfaced ErrUncorrectable on a fault-free system).
+	sys := newSys()
+	bits := int64(sys.RowSizeBits())
+	a, b, wa, wb := load(sys, bits)
+	if err := sys.Not(a, a); err != nil {
+		t.Fatalf("fault-free in-place Not: %v", err)
+	}
+	got, err := a.Peek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != ^wa[i] {
+			t.Fatalf("word %d = %x, want in-place not %x", i, got[i], ^wa[i])
+		}
+	}
+	if err := sys.Xor(b, a, b); err != nil {
+		t.Fatalf("fault-free in-place Xor: %v", err)
+	}
+	if got, err = b.Peek(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := ^wa[i] ^ wb[i]; got[i] != want {
+			t.Fatalf("word %d = %x, want in-place xor %x", i, got[i], want)
+		}
+	}
+
+	// Faulty substrate: gross TRA failures force retries; in-place results
+	// must still be exact because retries restore the aliased source.
+	sys = newSys(WithFaultModel(fault.Config{TRARowRate: 0.03, Seed: 3}))
+	a, b, wa, wb = load(sys, 16*bits)
+	if err := sys.Xor(a, a, b); err != nil {
+		t.Fatalf("faulty in-place Xor: %v", err)
+	}
+	if got, err = a.Peek(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := wa[i] ^ wb[i]; got[i] != want {
+			t.Fatalf("word %d = %x, want in-place xor %x under faults", i, got[i], want)
+		}
+	}
+	if st := sys.Stats(); st.Retries == 0 {
+		t.Fatalf("Stats = %+v; the fault rate should have forced at least one retry", st)
+	}
+}
+
 // TestZeroFaultConfigIdentical: installing a zero-valued fault model and no
 // reliability policy leaves the system byte- and stat-identical to a plain
 // one — the ISSUE's compatibility criterion.
