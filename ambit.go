@@ -70,12 +70,14 @@ package ambit
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/energy"
 	"ambit/internal/fault"
+	"ambit/internal/obs"
 	"ambit/internal/rowclone"
 )
 
@@ -94,6 +96,54 @@ type DRAMConfig = dram.Config
 // EnergyModel is the per-primitive energy model (re-exported so callers
 // configure it without importing internal packages).
 type EnergyModel = energy.Model
+
+// Tracer is the observability event tracer (re-exported from internal/obs so
+// callers configure tracing without importing internal packages).  A Tracer
+// fans Event values out to its sinks; a nil Tracer is valid and disabled.
+type Tracer = obs.Tracer
+
+// TraceEvent is one observability event: an op-level span or one DRAM
+// command (AAP, AP, RowClone copy, reliability verification, ...).
+type TraceEvent = obs.Event
+
+// TraceSink consumes trace events (re-exported from internal/obs).
+type TraceSink = obs.Sink
+
+// TraceEventKind classifies a TraceEvent.
+type TraceEventKind = obs.EventKind
+
+// Trace event kinds (re-exported from internal/obs).
+const (
+	// KindSpan is an op-level span: one public operation end to end.
+	KindSpan = obs.KindSpan
+	// KindCommand is one DRAM command-level event (AAP, AP, RowClone copy,
+	// reliability verification, ...).
+	KindCommand = obs.KindCommand
+)
+
+// MetricsRegistry accumulates per-opcode latency/energy histograms and named
+// counters (re-exported from internal/obs).
+type MetricsRegistry = obs.Registry
+
+// HistogramSnapshot is a self-contained histogram copy (re-exported from
+// internal/obs).
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// NewTracer creates a tracer fanning out to the given sinks; with at least
+// one sink it starts enabled.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.NewTracer(sinks...) }
+
+// NewLastNSink creates an in-memory ring buffer keeping the last n events.
+func NewLastNSink(n int) *obs.LastN { return obs.NewLastN(n) }
+
+// NewJSONLSink creates a sink writing Chrome trace-event-format JSON
+// (loadable in chrome://tracing or Perfetto).  Call Tracer.Flush to close the
+// JSON array when done.
+func NewJSONLSink(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewMetrics creates an empty metrics registry.  One registry may be shared
+// by several Systems; their observations merge.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 
 // DefaultDRAMConfig returns the paper's standard device: an 8-bank
 // DDR3-1600 module with 8 KB rows.
@@ -132,6 +182,16 @@ type Config struct {
 	// accumulates that many detected faulty verification rounds: once
 	// freed, the row is never handed out again (graceful degradation).
 	QuarantineAfter int
+	// Tracer, when non-nil and enabled, receives one span event per public
+	// operation and one command event per DRAM primitive (AAP/AP, RowClone
+	// copies, reliability verification rounds).  Nil or disabled tracing
+	// costs one atomic load per primitive (see bench_test.go's overhead
+	// gate) and leaves Stats byte-identical.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates per-opcode latency and energy
+	// histograms plus reliability counters for every operation this System
+	// executes.  A registry may be shared across Systems.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's standard configuration.
@@ -228,11 +288,16 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	ctrl := controller.New(dev)
 	ctrl.SplitDecoder = cfg.SplitDecoder
+	rc := rowclone.New(dev)
+	if cfg.Tracer != nil {
+		ctrl.SetTracer(cfg.Tracer, stepEnergyFunc(cfg.Energy, g))
+		rc.SetTracer(cfg.Tracer)
+	}
 	return &System{
 		cfg:         cfg,
 		dev:         dev,
 		ctrl:        ctrl,
-		rc:          rowclone.New(dev),
+		rc:          rc,
 		nextRow:     make([]int, g.Banks*g.SubarraysPerBank),
 		freeRows:    make([][]int, g.Banks*g.SubarraysPerBank),
 		fm:          fm,
@@ -244,6 +309,53 @@ func NewSystem(cfg Config) (*System, error) {
 // eccScratchRows is the number of D-group rows per subarray reserved as TMR
 // replica scratch space when the reliability policy is enabled.
 const eccScratchRows = 2
+
+// stepEnergyFunc builds the controller's per-primitive energy pricer from the
+// energy model (the controller cannot import internal/energy, which imports
+// it for the Op type): each ACTIVATE is weighted by the number of wordlines
+// the address raises (the paper's 22%-per-extra-wordline rule), plus one
+// PRECHARGE.
+func stepEnergyFunc(m energy.Model, g dram.Geometry) controller.StepEnergyFunc {
+	wordlines := func(a dram.RowAddr) int {
+		wls, err := dram.DecodeRowAddr(a, g)
+		if err != nil {
+			return 1
+		}
+		return len(wls)
+	}
+	return func(kind controller.StepKind, a1, a2 dram.RowAddr) float64 {
+		e := m.ActivateEnergyNJ(wordlines(a1)) + m.PrechargeNJ
+		if kind == controller.StepAAP {
+			e += m.ActivateEnergyNJ(wordlines(a2))
+		}
+		return e
+	}
+}
+
+// observing reports whether any observability consumer is configured; the
+// guard every operation checks before paying for span bookkeeping.
+func (s *System) observing() bool {
+	return s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil
+}
+
+// observeOpLocked records one completed operation into the metrics registry
+// and the tracer: a latency/energy histogram observation and one span event.
+// devBefore is the device-stats snapshot taken before the operation, so the
+// span's energy is the operation's own device energy.  bank is -1 for
+// operations spanning banks.  The caller holds s.mu.
+func (s *System) observeOpLocked(name string, bank, rows int, startNS, durNS float64, devBefore dram.Stats) {
+	nj := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats().Sub(devBefore))
+	if m := s.cfg.Metrics; m != nil {
+		m.ObserveLatencyNS(name, durNS)
+		m.ObserveEnergyNJ(name, nj)
+	}
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Name: name, Bank: bank, Subarray: -1,
+			StartNS: startNS, DurNS: durNS, EnergyPJ: nj * 1000, Rows: rows,
+		})
+	}
+}
 
 // dataRows returns the D-group rows available to the allocator: the
 // geometry's data rows, minus the per-subarray ECC scratch rows when the
@@ -277,6 +389,13 @@ func (s *System) Controller() *controller.Controller { return s.ctrl }
 // RowClone exposes the RowClone engine.  Direct engine access is not
 // synchronized with concurrent System calls.
 func (s *System) RowClone() *rowclone.Engine { return s.rc }
+
+// Tracer returns the configured tracer (nil without one).  Flush it after the
+// workload to finalize streaming sinks (the JSONL sink's closing bracket).
+func (s *System) Tracer() *Tracer { return s.cfg.Tracer }
+
+// Metrics returns the configured metrics registry (nil without one).
+func (s *System) Metrics() *MetricsRegistry { return s.cfg.Metrics }
 
 // slots returns the number of (bank, subarray) placement slots.
 func (s *System) slots() int {

@@ -10,6 +10,7 @@ import (
 
 	"ambit/internal/controller"
 	"ambit/internal/dram"
+	"ambit/internal/obs"
 	"ambit/internal/program"
 )
 
@@ -42,6 +43,29 @@ type batchOp struct {
 	// enabled (nil otherwise); the timing phase folds it into the stats
 	// and quarantine scores so worker goroutines never touch s.stats.
 	rowRel []controller.RowResult
+}
+
+// metricName is the opcode label used for metrics and spans — matching the
+// labels the direct-call path uses, so observations from both routes merge.
+func (o *batchOp) metricName() string {
+	switch o.kind {
+	case batchBulk:
+		return o.op.String()
+	case batchCopy:
+		return "copy"
+	case batchFill:
+		return "fill"
+	default:
+		return "popcount"
+	}
+}
+
+// rows returns how many rows the op touches (for span reporting).
+func (o *batchOp) rows() int {
+	if o.kind == batchPopcount {
+		return len(o.a.rows)
+	}
+	return len(o.dst.rows)
 }
 
 // name renders the op for error messages.
@@ -268,6 +292,11 @@ func (b *Batch) Run() (BatchReport, error) {
 			}
 		}
 	}
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
 	g := program.Build(b.programOps())
 	if err := b.execute(g); err != nil {
 		// Reliability outcomes of completed rows are dropped on error
@@ -275,10 +304,16 @@ func (b *Batch) Run() (BatchReport, error) {
 		// still counted so the failure is visible in the stats.
 		if errors.Is(err, ErrUncorrectable) {
 			s.stats.UncorrectableRows++
+			if m := s.cfg.Metrics; m != nil {
+				m.Add("uncorrectable_rows", 1)
+			}
 		}
 		return BatchReport{}, err
 	}
 	makespan := b.schedule(g)
+	if observing {
+		s.observeOpLocked("batch", -1, len(b.ops), s.stats.ElapsedNS-makespan, makespan, devBefore)
+	}
 	for _, op := range b.ops {
 		if op.result != nil {
 			op.result.done = true
@@ -487,6 +522,7 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 	finish := make([]float64, len(b.ops))
 	channelFree := base
 	makespan := base
+	observing := s.observing()
 	for i, op := range b.ops {
 		start := base
 		for _, d := range g.Deps(i) {
@@ -494,6 +530,7 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 				start = finish[d]
 			}
 		}
+		opStart := start
 		start += s.coherenceNS(op.coherenceRows())
 		end := start
 		switch op.kind {
@@ -527,6 +564,24 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 		finish[i] = end
 		if end > makespan {
 			makespan = end
+		}
+		// Per-op observation happens here, in the timing phase, where the
+		// op's placement on the simulated timeline is known (the functional
+		// phase runs concurrently and has no meaningful clock).  Energy is
+		// attributed to the enclosing batch span, not per op: device
+		// counters advance interleaved across the worker pool.
+		if observing {
+			name := op.metricName()
+			if m := s.cfg.Metrics; m != nil {
+				m.ObserveLatencyNS(name, end-opStart)
+			}
+			if tr := s.cfg.Tracer; tr.Enabled() {
+				tr.Emit(obs.Event{
+					Kind: obs.KindSpan, Name: name, Bank: -1, Subarray: -1,
+					StartNS: opStart, DurNS: end - opStart, Rows: op.rows(),
+					Comment: "batch",
+				})
+			}
 		}
 	}
 	s.stats.ElapsedNS = makespan

@@ -41,10 +41,13 @@ func main() {
 	aHex := flag.String("a", "", "first operand (hex)")
 	bHex := flag.String("b", "", "second operand (hex, binary ops only)")
 	decoder := flag.String("decoder", "split", "row decoder: split (Section 5.3) or naive")
+	timing := flag.String("timing", "ddr3-1600", "timing table: "+strings.Join(dram.TimingNames(), ", "))
 	decode := flag.String("decode", "", "decode a row address (e.g. B12, C0, D5) and exit")
 	info := flag.Bool("info", false, "print device configuration and exit")
 	faults := flag.Bool("faults", false, "run the fault-injection reliability sweep and exit")
 	seed := flag.Int64("seed", 1, "fault universe and data seed for -faults")
+	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of every DRAM command to this file")
+	metrics := flag.Bool("metrics", false, "print Prometheus-format latency/energy histograms after the run")
 	flag.Parse()
 
 	if *decode != "" {
@@ -90,6 +93,23 @@ func main() {
 
 	cfg := ambit.DefaultConfig()
 	cfg.SplitDecoder = *decoder != "naive"
+	cfg.DRAM.Timing, err = dram.TimingByName(*timing)
+	if err != nil {
+		fail("%v", err)
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Tracer = ambit.NewTracer(ambit.NewJSONLSink(traceFile))
+	}
+	var reg *ambit.MetricsRegistry
+	if *metrics {
+		reg = ambit.NewMetrics()
+		cfg.Metrics = reg
+	}
 	sys, err := ambit.NewSystem(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -115,6 +135,21 @@ func main() {
 	fmt.Printf("stats: %v\n", sys.Stats())
 	fmt.Printf("energy: %.2f nJ (model: %s wordline factor %.0f%%)\n",
 		sys.EnergyNJ(), "Rambus-style", energy.DefaultModel().ExtraWordlineFactor*100)
+	if traceFile != nil {
+		if err := sys.Tracer().Flush(); err != nil {
+			fail("trace flush: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail("trace close: %v", err)
+		}
+		fmt.Printf("trace: wrote %s (load in chrome://tracing)\n", *traceOut)
+	}
+	if reg != nil {
+		fmt.Println("metrics:")
+		if _, err := reg.WriteTo(os.Stdout); err != nil {
+			fail("metrics: %v", err)
+		}
+	}
 }
 
 // pad makes a hex string even-length.

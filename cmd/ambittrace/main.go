@@ -2,10 +2,15 @@
 // operations with per-step and cumulative latency, under either row-decoder
 // configuration (Section 5.3).
 //
+// Unlike a static expansion of the Figure 8 sequences, the trace is captured
+// from the live observability event stream of a real simulated execution: the
+// commands printed are exactly the commands the device executed, including
+// per-step energy under the Table 3 model.
+//
 // Usage:
 //
 //	ambittrace and xor           # trace one row-wide and, then xor
-//	ambittrace -timing ddr4 not
+//	ambittrace -timing ddr4-2400 not
 //	ambittrace -naive and        # without the split row decoder
 //	ambittrace -all              # trace all seven operations
 package main
@@ -14,29 +19,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"ambit"
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 )
 
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ambittrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
-	timingName := flag.String("timing", "ddr3-1600", "timing: ddr3-1600, ddr3-1333, ddr4-2400, hmc")
+	timingName := flag.String("timing", "ddr3-1600", "timing table: "+strings.Join(dram.TimingNames(), ", "))
 	naive := flag.Bool("naive", false, "disable the split row decoder (Section 5.3)")
 	all := flag.Bool("all", false, "trace all seven operations")
 	flag.Parse()
 
-	var timing dram.Timing
-	switch *timingName {
-	case "ddr3-1600":
-		timing = dram.DDR3_1600()
-	case "ddr3-1333":
-		timing = dram.DDR3_1333()
-	case "ddr4-2400":
-		timing = dram.DDR4_2400()
-	case "hmc":
-		timing = dram.HMCTiming()
-	default:
-		fmt.Fprintf(os.Stderr, "ambittrace: unknown timing %q\n", *timingName)
+	timing, err := dram.TimingByName(*timingName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ambittrace: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -59,29 +62,49 @@ func main() {
 	}
 
 	split := !*naive
+	sink := ambit.NewLastNSink(4096)
+	cfg := ambit.DefaultConfig()
+	cfg.DRAM.Timing = timing
+	cfg.SplitDecoder = split
+	cfg.Tracer = ambit.NewTracer(sink)
+	sys, err := ambit.NewSystem(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	rowBits := int64(sys.RowSizeBits())
+	a := sys.MustAlloc(rowBits)
+	b := sys.MustAlloc(rowBits)
+	d := sys.MustAlloc(rowBits)
+
 	fmt.Printf("timing %s, split decoder %v\n\n", timing.Name, split)
 	var cum float64
 	for _, op := range ops {
-		seq, err := controller.Sequence(op, dram.D(2), dram.D(0), dram.D(1))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ambittrace: %v\n", err)
-			os.Exit(1)
+		sink.Reset()
+		if err := sys.Apply(op, d, a, b); err != nil {
+			fail("%v", err)
 		}
-		fmt.Printf("D2 = %v(D0, D1):\n", op)
+		if op.Unary() {
+			fmt.Printf("D2 = %v(D0):\n", op)
+		} else {
+			fmt.Printf("D2 = %v(D0, D1):\n", op)
+		}
 		var opTotal float64
-		for _, s := range seq {
-			var lat float64
-			switch {
-			case s.Kind == controller.StepAP:
-				lat = timing.AP()
-			case split && (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB):
-				lat = timing.AAPSplit()
-			default:
-				lat = timing.AAPNaive()
+		for _, e := range sink.Events() {
+			if e.Kind != ambit.KindCommand {
+				continue
 			}
-			opTotal += lat
-			cum += lat
-			fmt.Printf("  %-28s %7.2f ns   (t = %8.2f ns)\n", s.String(), lat, cum)
+			step := e.Name + "(" + e.A1
+			if e.A2 != "" {
+				step += ", " + e.A2
+			}
+			step += ")"
+			opTotal += e.DurNS
+			cum += e.DurNS
+			line := fmt.Sprintf("  %-16s %7.2f ns   (t = %8.2f ns)   %6.2f nJ", step, e.DurNS, cum, e.EnergyPJ/1000)
+			if e.Comment != "" {
+				line += "   ; " + e.Comment
+			}
+			fmt.Println(line)
 		}
 		fmt.Printf("  -- %v total: %.2f ns --\n\n", op, opTotal)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ambit/internal/dram"
+	"ambit/internal/obs"
 )
 
 // Stats counts the primitives the controller has issued.
@@ -31,8 +32,50 @@ type Controller struct {
 	// qualify except one in nand (AAP(B12, B5)).
 	SplitDecoder bool
 
+	// tr receives one command event per AAP/AP (plus reliability events);
+	// a nil tracer costs one nil check per primitive.  stepEnergy, when
+	// set, prices each primitive for the events' pJ field (injected by the
+	// driver from the energy model; this package cannot import
+	// internal/energy, which imports it for Op).  Both are fixed at
+	// construction time via SetTracer and must not be mutated while
+	// command trains run.
+	tr         *obs.Tracer
+	stepEnergy StepEnergyFunc
+
 	mu    sync.Mutex // guards stats
 	stats Stats
+}
+
+// StepEnergyFunc returns the energy in nanojoules of one AAP/AP primitive
+// (the addresses determine how many wordlines each ACTIVATE raises).
+type StepEnergyFunc func(kind StepKind, a1, a2 dram.RowAddr) float64
+
+// SetTracer installs an observability tracer and an optional per-step energy
+// pricer.  Call before issuing commands; not synchronized with execution.
+func (c *Controller) SetTracer(tr *obs.Tracer, stepEnergy StepEnergyFunc) {
+	c.tr = tr
+	c.stepEnergy = stepEnergy
+}
+
+// emitCmd emits one command event.  The caller has already checked
+// c.tr.Enabled() or accepts the redundant check's cost.
+func (c *Controller) emitCmd(name string, bank, sub int, a1, a2 string, durNS, nj float64, comment string) {
+	if !c.tr.Enabled() {
+		return
+	}
+	c.tr.Emit(obs.Event{
+		Kind: obs.KindCommand, Name: name, Bank: bank, Subarray: sub,
+		StartNS: -1, DurNS: durNS, EnergyPJ: nj * 1000,
+		A1: a1, A2: a2, Comment: comment,
+	})
+}
+
+// stepEnergyNJ prices one primitive, or 0 without a pricer.
+func (c *Controller) stepEnergyNJ(kind StepKind, a1, a2 dram.RowAddr) float64 {
+	if c.stepEnergy == nil {
+		return 0
+	}
+	return c.stepEnergy(kind, a1, a2)
 }
 
 // New creates a controller over dev with the split decoder enabled (the
@@ -74,6 +117,11 @@ func (c *Controller) APLatencyNS() float64 { return c.dev.Timing().AP() }
 // AAP executes ACTIVATE a1; ACTIVATE a2; PRECHARGE on the given
 // bank/subarray and returns the train's latency.
 func (c *Controller) AAP(bank, sub int, a1, a2 dram.RowAddr) (float64, error) {
+	return c.aap(bank, sub, a1, a2, "")
+}
+
+// aap implements AAP, annotating the traced event with the Figure-8 comment.
+func (c *Controller) aap(bank, sub int, a1, a2 dram.RowAddr, comment string) (float64, error) {
 	if err := c.dev.Activate(dram.PhysAddr{Bank: bank, Subarray: sub, Row: a1}); err != nil {
 		return 0, fmt.Errorf("AAP(%v,%v) first activate: %w", a1, a2, err)
 	}
@@ -88,11 +136,20 @@ func (c *Controller) AAP(bank, sub int, a1, a2 dram.RowAddr) (float64, error) {
 	c.stats.AAPs++
 	c.stats.BusyNS += lat
 	c.mu.Unlock()
+	if c.tr.Enabled() {
+		c.emitCmd("AAP", bank, sub, a1.String(), a2.String(), lat,
+			c.stepEnergyNJ(StepAAP, a1, a2), comment)
+	}
 	return lat, nil
 }
 
 // AP executes ACTIVATE a; PRECHARGE.
 func (c *Controller) AP(bank, sub int, a dram.RowAddr) (float64, error) {
+	return c.ap(bank, sub, a, "")
+}
+
+// ap implements AP, annotating the traced event with the Figure-8 comment.
+func (c *Controller) ap(bank, sub int, a dram.RowAddr, comment string) (float64, error) {
 	if err := c.dev.Activate(dram.PhysAddr{Bank: bank, Subarray: sub, Row: a}); err != nil {
 		return 0, fmt.Errorf("AP(%v): %w", a, err)
 	}
@@ -104,15 +161,19 @@ func (c *Controller) AP(bank, sub int, a dram.RowAddr) (float64, error) {
 	c.stats.APs++
 	c.stats.BusyNS += lat
 	c.mu.Unlock()
+	if c.tr.Enabled() {
+		c.emitCmd("AP", bank, sub, a.String(), "", lat,
+			c.stepEnergyNJ(StepAP, a, dram.RowAddr{}), comment)
+	}
 	return lat, nil
 }
 
 // ExecuteStep runs one sequence step on the given bank/subarray.
 func (c *Controller) ExecuteStep(bank, sub int, s Step) (float64, error) {
 	if s.Kind == StepAAP {
-		return c.AAP(bank, sub, s.Addr1, s.Addr2)
+		return c.aap(bank, sub, s.Addr1, s.Addr2, s.Comment)
 	}
-	return c.AP(bank, sub, s.Addr1)
+	return c.ap(bank, sub, s.Addr1, s.Comment)
 }
 
 // ExecuteOp performs dk = op(di [, dj]) on rows of subarray sub in bank,

@@ -133,6 +133,7 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 		}
 		saved = row
 		res.LatencyNS += accessNS
+		c.emitCmd("SAVE", bank, sub, dk.String(), "", accessNS, 0, "preserve aliased source for retry")
 	}
 	var rows [3][]uint64
 	for attempt := 0; ; attempt++ {
@@ -141,6 +142,7 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 				return res, err
 			}
 			res.LatencyNS += accessNS
+			c.emitCmd("RESTORE", bank, sub, dk.String(), "", accessNS, 0, "restore aliased source before retry")
 		}
 		for _, dst := range replicas {
 			lat, err := c.ExecuteOp(op, bank, sub, dst, di, dj)
@@ -157,6 +159,7 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 			rows[i] = row
 		}
 		res.LatencyNS += 3 * accessNS
+		c.emitCmd("VERIFY", bank, sub, dk.String(), "", 3*accessNS, 0, "TMR replica readback")
 		data, bad, err := vote(rows[0], rows[1], rows[2])
 		if err != nil {
 			return res, err
@@ -171,6 +174,8 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 				}
 				res.LatencyNS += accessNS
 				res.CorrectedBits += int64(bad)
+				c.emitCmd("CORRECT", bank, sub, dk.String(), "",
+					accessNS, 0, fmt.Sprintf("majority-corrected %d bits", bad))
 			}
 			return res, nil
 		}
@@ -179,5 +184,7 @@ func (c *Controller) ExecuteOpReliable(op Op, bank, sub int, dk, di, dj, scratch
 				op, bank, sub, dk, bad, attempt+1, ErrUncorrectable)
 		}
 		res.Retries++
+		c.emitCmd("RETRY", bank, sub, dk.String(), "",
+			0, 0, fmt.Sprintf("%d disagreeing bits > threshold %d; re-executing train", bad, thr))
 	}
 }

@@ -24,7 +24,10 @@
 // into TRA results.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Geometry describes the structural organization of an Ambit DRAM device.
 //
@@ -223,6 +226,28 @@ func HMCTiming() Timing {
 		TOverlap:    4,
 		ChannelGBps: 320,
 	}
+}
+
+// TimingByName resolves a timing table by its short CLI name: "ddr3-1600",
+// "ddr3-1333", "ddr4-2400", or "hmc" (case-insensitive).  Every command-line
+// tool shares this resolver, so the accepted names never drift between tools.
+func TimingByName(name string) (Timing, error) {
+	switch strings.ToLower(name) {
+	case "ddr3-1600":
+		return DDR3_1600(), nil
+	case "ddr3-1333":
+		return DDR3_1333(), nil
+	case "ddr4-2400":
+		return DDR4_2400(), nil
+	case "hmc":
+		return HMCTiming(), nil
+	}
+	return Timing{}, fmt.Errorf("dram: unknown timing %q (have %s)", name, strings.Join(TimingNames(), ", "))
+}
+
+// TimingNames lists the names TimingByName accepts.
+func TimingNames() []string {
+	return []string{"ddr3-1600", "ddr3-1333", "ddr4-2400", "hmc"}
 }
 
 // Config bundles geometry and timing for device construction.

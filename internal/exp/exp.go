@@ -26,6 +26,22 @@ import (
 	"ambit/internal/sysmodel"
 )
 
+// observeOpts holds extra construction options appended to every System an
+// experiment builds — how cmd/ambitbench injects a shared tracer and metrics
+// registry into the experiments without changing their signatures.
+var observeOpts []ambit.Option
+
+// SetObserve installs options (ambit.WithTracer, ambit.WithMetrics) applied
+// to every System the experiments construct from then on.  Call before Run;
+// not synchronized with running experiments.
+func SetObserve(opts ...ambit.Option) { observeOpts = opts }
+
+// newSystem builds a System with the experiment's options plus any installed
+// observability options.
+func newSystem(opts ...ambit.Option) (*ambit.System, error) {
+	return ambit.New(append(opts, observeOpts...)...)
+}
+
 // table creates an aligned table writer over a string builder.
 func table() (*strings.Builder, *tabwriter.Writer) {
 	var b strings.Builder
@@ -388,7 +404,7 @@ func Run(name string, mcIterations int, seed int64) (string, error) {
 // per-bank timelines, so its makespan approaches sequential/banks.
 func BatchEngine() (string, error) {
 	run := func(groups int, batched bool) (float64, float64, int, error) {
-		sys, err := ambit.New()
+		sys, err := newSystem()
 		if err != nil {
 			return 0, 0, 0, err
 		}

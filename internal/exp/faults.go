@@ -53,7 +53,7 @@ func FaultSweep(seed int64) (string, error) {
 				ambit.WithQuarantine(3),
 			)
 		}
-		sys, err := ambit.New(opts...)
+		sys, err := newSystem(opts...)
 		if err != nil {
 			return result{}, err
 		}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// JSONL writes events as Chrome trace-event "complete" events (ph "X"), one
+// JSON object per line, inside a JSON array — the file loads directly in
+// chrome://tracing and Perfetto, and line-oriented tools can still grep it.
+//
+// Lane layout: command events render on one thread lane per bank
+// ("bank 0", "bank 1", ...); span events render on a dedicated "ops" lane.
+// Spans carry absolute simulated timestamps.  Command events emitted during
+// execution carry no absolute time (StartNS < 0): the sink places them
+// back-to-back on their bank lane, so per-lane ordering and every duration
+// are exact, and the cumulative nanoseconds per lane equal the simulated
+// busy time.  Timestamps are microseconds (the trace-event unit); durations
+// in nanoseconds are repeated verbatim under args.ns for structural tests.
+type JSONL struct {
+	w       io.Writer
+	err     error
+	pending string
+	started bool
+	closed  bool
+	cursor  map[int]float64 // per-tid placement cursor, ns
+	named   map[int]bool    // tids with a thread_name metadata event
+}
+
+// spanTID is the synthetic thread id of the op-level span lane.
+const spanTID = 9999
+
+// NewJSONL creates a JSONL sink over w.  Call Flush (directly or via
+// Tracer.Flush) when done to terminate the JSON array.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, cursor: map[int]float64{}, named: map[int]bool{}}
+}
+
+// write queues one rendered line; lines are comma-joined lazily so the final
+// line can close the array without a trailing comma.
+func (s *JSONL) write(line string) {
+	if s.err != nil || s.closed {
+		return
+	}
+	if !s.started {
+		s.started = true
+		if _, err := io.WriteString(s.w, "[\n"); err != nil {
+			s.err = err
+			return
+		}
+	}
+	if s.pending != "" {
+		if _, err := io.WriteString(s.w, s.pending+",\n"); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.pending = line
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(e Event) {
+	tid := spanTID
+	if e.Kind == KindCommand {
+		tid = e.Bank
+	}
+	if !s.named[tid] {
+		s.named[tid] = true
+		name := "ops"
+		if tid != spanTID {
+			name = fmt.Sprintf("bank %d", tid)
+		}
+		s.write(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%q}}`, tid, name))
+	}
+	start := e.StartNS
+	if start < 0 {
+		start = s.cursor[tid]
+	}
+	s.cursor[tid] = start + e.DurNS
+
+	var args strings.Builder
+	fmt.Fprintf(&args, `"ns":%s,"t_ns":%s`, ftoa(e.DurNS), ftoa(start))
+	if e.EnergyPJ != 0 {
+		fmt.Fprintf(&args, `,"pJ":%s`, ftoa(e.EnergyPJ))
+	}
+	if e.Rows > 0 {
+		fmt.Fprintf(&args, `,"rows":%d`, e.Rows)
+	}
+	if e.A1 != "" {
+		fmt.Fprintf(&args, `,"a1":%q`, e.A1)
+	}
+	if e.A2 != "" {
+		fmt.Fprintf(&args, `,"a2":%q`, e.A2)
+	}
+	if e.Comment != "" {
+		fmt.Fprintf(&args, `,"comment":%q`, e.Comment)
+	}
+	fmt.Fprintf(&args, `,"seq":%d`, e.Seq)
+
+	cat := "op"
+	if e.Kind == KindCommand {
+		cat = "command"
+	}
+	s.write(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{%s}}`,
+		e.Name, cat, tid, ftoa(start/1000), ftoa(e.DurNS/1000), args.String()))
+}
+
+// Flush terminates the JSON array.  Events emitted after Flush are dropped.
+func (s *JSONL) Flush() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err != nil {
+		return s.err
+	}
+	if !s.started {
+		_, s.err = io.WriteString(s.w, "[]\n")
+		return s.err
+	}
+	tail := s.pending + "\n]\n"
+	s.pending = ""
+	_, s.err = io.WriteString(s.w, tail)
+	return s.err
+}
+
+// ftoa renders a float compactly ("49", "2.5") for JSON output.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

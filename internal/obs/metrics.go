@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fixed histogram bucket bounds.  Fixed (rather than adaptive) buckets keep
+// observation O(buckets) with zero allocation and make histograms from
+// different runs and different Systems directly mergeable, which is what a
+// scrape-based monitoring pipeline needs.
+var (
+	// LatencyBucketsNS spans one split-decoder AAP (49 ns for DDR3-1600,
+	// Section 5.3) up to multi-millisecond batches.
+	LatencyBucketsNS = []float64{
+		50, 100, 250, 500,
+		1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4,
+		1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7,
+	}
+	// EnergyBucketsNJ spans one command train (tens of nJ, Table 3) up to
+	// large bulk workloads.
+	EnergyBucketsNJ = []float64{
+		1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+		1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+	}
+)
+
+// histogram is a fixed-bucket histogram; counts[i] is the number of
+// observations <= bounds[i], counts[len(bounds)] the +Inf overflow.  Guarded
+// by the owning Registry's lock.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// HistogramSnapshot is a self-contained copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive bucket upper bounds; Counts has one more
+	// entry than Bounds, the +Inf overflow bucket.
+	Bounds []float64
+	Counts []uint64
+	// Sum is the sum of all observed values; Count the number of
+	// observations.  Sum/Count is the mean; the bucket counts give the
+	// distribution.
+	Sum   float64
+	Count uint64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Registry accumulates per-opcode latency and energy histograms plus named
+// counters (retries, corrected bits, ...).  It is safe for concurrent use
+// and may be shared by several Systems — their observations merge, which is
+// how cmd/ambitbench aggregates across experiments.
+type Registry struct {
+	mu       sync.Mutex
+	latency  map[string]*histogram
+	energy   map[string]*histogram
+	counters map[string]int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		latency:  map[string]*histogram{},
+		energy:   map[string]*histogram{},
+		counters: map[string]int64{},
+	}
+}
+
+// ObserveLatencyNS records one operation's simulated latency.
+func (r *Registry) ObserveLatencyNS(op string, ns float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.latency[op]
+	if h == nil {
+		h = newHistogram(LatencyBucketsNS)
+		r.latency[op] = h
+	}
+	h.observe(ns)
+}
+
+// ObserveEnergyNJ records one operation's simulated device energy.
+func (r *Registry) ObserveEnergyNJ(op string, nj float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.energy[op]
+	if h == nil {
+		h = newHistogram(EnergyBucketsNJ)
+		r.energy[op] = h
+	}
+	h.observe(nj)
+}
+
+// Add increments counter name by delta (creating it at zero first).
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter returns the current value of a counter (0 if never touched).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// LatencyNS returns a snapshot of op's latency histogram.
+func (r *Registry) LatencyNS(op string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.latency[op]
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return h.snapshot(), true
+}
+
+// EnergyNJ returns a snapshot of op's energy histogram.
+func (r *Registry) EnergyNJ(op string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.energy[op]
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return h.snapshot(), true
+}
+
+// Ops returns the sorted set of opcodes with at least one latency or energy
+// observation.
+func (r *Registry) Ops() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	for op := range r.latency {
+		seen[op] = true
+	}
+	for op := range r.energy {
+		seen[op] = true
+	}
+	out := make([]string, 0, len(seen))
+	for op := range seen {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo renders the registry in Prometheus text exposition format:
+// ambit_op_latency_ns / ambit_op_energy_nj histograms labelled by op, and
+// ambit_<name>_total counters.  Output is deterministically ordered.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+
+	writeHist := func(metric, help string, m map[string]*histogram) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", metric, help, metric)
+		ops := make([]string, 0, len(m))
+		for op := range m {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			h := m[op]
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(&b, "%s_bucket{op=%q,le=%q} %d\n", metric, op, ftoa(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", metric, op, h.count)
+			fmt.Fprintf(&b, "%s_sum{op=%q} %s\n", metric, op, ftoa(h.sum))
+			fmt.Fprintf(&b, "%s_count{op=%q} %d\n", metric, op, h.count)
+		}
+	}
+	writeHist("ambit_op_latency_ns", "Simulated per-operation latency in nanoseconds.", r.latency)
+	writeHist("ambit_op_energy_nj", "Simulated per-operation device energy in nanojoules.", r.energy)
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "ambit_" + name + "_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative %s.\n# TYPE %s counter\n%s %d\n",
+			metric, strings.ReplaceAll(name, "_", " "), metric, metric, r.counters[name])
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveLatencyNS("and", 49)  // <= 50 bucket (bounds are inclusive)
+	r.ObserveLatencyNS("and", 50)  // still the 50 bucket
+	r.ObserveLatencyNS("and", 196) // 250 bucket
+	r.ObserveLatencyNS("and", 2e7) // +Inf overflow
+	h, ok := r.LatencyNS("and")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 4 {
+		t.Fatalf("count = %d, want 4", h.Count)
+	}
+	if want := 49 + 50 + 196 + 2e7; h.Sum != want {
+		t.Fatalf("sum = %g, want %g", h.Sum, want)
+	}
+	if h.Counts[0] != 2 {
+		t.Fatalf("le=50 bucket = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", h.Counts[len(h.Counts)-1])
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != h.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Add("retries", 0)
+	r.Add("retries", 3)
+	r.Add("corrected_bits", 17)
+	if got := r.Counter("retries"); got != 3 {
+		t.Fatalf("retries = %d, want 3", got)
+	}
+	if got := r.Counter("never_touched"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveLatencyNS("and", 196)
+	r.ObserveLatencyNS("xor", 335)
+	r.ObserveEnergyNJ("and", 42.5)
+	r.Add("retries", 2)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ambit_op_latency_ns histogram",
+		`ambit_op_latency_ns_bucket{op="and",le="250"} 1`,
+		`ambit_op_latency_ns_bucket{op="and",le="+Inf"} 1`,
+		`ambit_op_latency_ns_sum{op="and"} 196`,
+		`ambit_op_latency_ns_count{op="xor"} 1`,
+		"# TYPE ambit_op_energy_nj histogram",
+		`ambit_op_energy_nj_sum{op="and"} 42.5`,
+		"# TYPE ambit_retries_total counter",
+		"ambit_retries_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket semantics: le="+Inf" equals the count.
+	if strings.Count(out, `le="+Inf"`) != 3 {
+		t.Fatalf("want 3 +Inf buckets (and, xor latency; and energy):\n%s", out)
+	}
+	if got := r.Ops(); len(got) != 2 || got[0] != "and" || got[1] != "xor" {
+		t.Fatalf("Ops() = %v, want [and xor]", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package obs is the observability layer of the Ambit simulator: a
+// low-overhead event stream plus a metrics registry, threaded through the
+// controller, the RowClone engine, the request scheduler, and the system
+// front-end.
+//
+// Two event granularities flow through one Tracer:
+//
+//   - span events: one per public operation (And/Or/.../Copy/Fill/Batch.Run),
+//     carrying the opcode, row count, absolute simulated start time, duration,
+//     and device energy — where the time of a workload goes, op by op;
+//   - command events: one per DRAM command train primitive (AAP, AP, RowClone
+//     FPM/PSM, verification reads, retries, ...), carrying per-step
+//     nanoseconds and picojoules — Figure 8 made observable, including the
+//     Section 5.3 split-decoder AAP latency and TMR retry storms.
+//
+// Events fan out to pluggable sinks: a LastN ring buffer for tools and tests,
+// a JSONL sink in Chrome trace-event format (load the file in
+// chrome://tracing or https://ui.perfetto.dev), or any user Sink.
+//
+// The whole layer is gated by one atomic flag: Tracer.Enabled is a nil check
+// plus an atomic load, so with tracing off (or no tracer installed) the hot
+// paths pay well under the 2% overhead budget the bench gate enforces
+// (TestTracingDisabledOverheadGate).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind distinguishes the two event granularities.
+type EventKind uint8
+
+const (
+	// KindSpan is an operation-level span emitted by the system front-end.
+	KindSpan EventKind = iota
+	// KindCommand is a DRAM command-train primitive emitted by the
+	// controller, the RowClone engine, or the request scheduler.
+	KindCommand
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == KindSpan {
+		return "span"
+	}
+	return "command"
+}
+
+// Event is one observability event.  Numeric fields use the simulator's
+// native units: nanoseconds and picojoules.
+type Event struct {
+	Kind EventKind
+	// Name is the opcode for spans ("and", "copy", "batch", ...) and the
+	// command mnemonic for commands ("AAP", "AP", "FPM", "VERIFY", ...).
+	Name string
+	// Bank and Subarray locate a command; -1 when not applicable (spans
+	// cover rows across banks).
+	Bank, Subarray int
+	// StartNS is the absolute simulated start time.  Spans always carry
+	// it; commands emitted during execution carry -1 (the simulated
+	// schedule is decided after functional execution), and sinks place
+	// them sequentially per bank.  Scheduler-emitted commands carry
+	// absolute times.
+	StartNS float64
+	// DurNS is the simulated duration of the span or command.
+	DurNS float64
+	// EnergyPJ is the device energy attributed to the event (0 when the
+	// emitter has no energy model wired).
+	EnergyPJ float64
+	// Rows is the number of row-level command trains a span covers.
+	Rows int
+	// A1, A2 are the command's row addresses in the paper's notation
+	// ("D0", "B12", ...); empty for spans and single-address commands.
+	A1, A2 string
+	// Comment is the Figure-8 style annotation of a command's effect.
+	Comment string
+	// Seq is a global emission sequence number assigned by the Tracer.
+	Seq uint64
+}
+
+// Sink receives events from a Tracer.  Emit may be called from multiple
+// goroutines, but calls are serialized by the Tracer's lock, so a Sink needs
+// its own locking only if it is shared between tracers or read concurrently.
+type Sink interface {
+	Emit(Event)
+	// Flush finalizes any buffered output (for the JSONL sink, it closes
+	// the trace-event array).  Flush on a sink with nothing buffered is a
+	// no-op.
+	Flush() error
+}
+
+// NopSink discards every event.  Installing it (instead of no tracer) is the
+// honest way to benchmark the enabled-path dispatch cost.
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(Event) {}
+
+// Flush implements Sink.
+func (NopSink) Flush() error { return nil }
+
+// Tracer fans events out to its sinks, gated by an atomic enabled flag.
+//
+// A nil *Tracer is valid and permanently disabled, so instrumented code can
+// hold one unconditionally and guard emission with a single Enabled() call.
+type Tracer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// NewTracer creates a tracer over the given sinks, enabled iff at least one
+// sink is attached.
+func NewTracer(sinks ...Sink) *Tracer {
+	t := &Tracer{sinks: sinks}
+	t.enabled.Store(len(sinks) > 0)
+	return t
+}
+
+// Enabled reports whether events should be emitted.  It is safe on a nil
+// tracer and costs one atomic load — the only cost tracing adds to a hot
+// path when disabled.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// SetEnabled turns emission on or off.  Toggling is safe concurrently with
+// emission: events racing with a disable may still be delivered.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// AddSink attaches another sink.  It does not change the enabled flag.
+func (t *Tracer) AddSink(s Sink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sinks = append(t.sinks, s)
+}
+
+// Emit assigns the event its sequence number and delivers it to every sink.
+// Callers should guard with Enabled() to keep the disabled path free; Emit
+// itself also drops events when disabled, so a racing disable is safe.
+func (t *Tracer) Emit(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	e.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Flush flushes every sink, returning the first error.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LastN is a fixed-capacity ring-buffer sink retaining the most recent N
+// events — the cheap always-on flight recorder for tools and tests.
+type LastN struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewLastN creates a ring sink with capacity n (minimum 1).
+func NewLastN(n int) *LastN {
+	if n < 1 {
+		n = 1
+	}
+	return &LastN{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (s *LastN) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// Flush implements Sink.
+func (s *LastN) Flush() error { return nil }
+
+// Events returns the retained events, oldest first.
+func (s *LastN) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Reset empties the ring.
+func (s *LastN) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = 0
+	s.full = false
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("nil tracer Flush: %v", err)
+	}
+}
+
+func TestTracerEnableDisable(t *testing.T) {
+	sink := NewLastN(8)
+	tr := NewTracer(sink)
+	if !tr.Enabled() {
+		t.Fatal("tracer with a sink should start enabled")
+	}
+	tr.Emit(Event{Kind: KindCommand, Name: "AAP", DurNS: 49})
+	tr.SetEnabled(false)
+	tr.Emit(Event{Kind: KindCommand, Name: "AP", DurNS: 45})
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: KindCommand, Name: "AAP", DurNS: 49})
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (disabled emission must drop)", len(evs))
+	}
+	if evs[0].Seq == 0 || evs[1].Seq <= evs[0].Seq {
+		t.Fatalf("sequence numbers not monotone: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if NewTracer().Enabled() {
+		t.Fatal("tracer without sinks should start disabled")
+	}
+}
+
+func TestLastNRingWraps(t *testing.T) {
+	sink := NewLastN(3)
+	tr := NewTracer(sink)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindCommand, Name: fmt.Sprintf("e%d", i)})
+	}
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(evs))
+	}
+	for i, want := range []string{"e2", "e3", "e4"} {
+		if evs[i].Name != want {
+			t.Fatalf("event %d = %q, want %q (oldest-first order)", i, evs[i].Name, want)
+		}
+	}
+	sink.Reset()
+	if got := sink.Events(); len(got) != 0 {
+		t.Fatalf("after Reset: %d events, want 0", len(got))
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	sink := NewLastN(4096)
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: KindCommand, Name: "AAP", Bank: g, DurNS: 49})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(sink.Events()); got != 800 {
+		t.Fatalf("got %d events, want 800", got)
+	}
+}
+
+// TestJSONLChromeFormat checks that the JSONL sink produces a valid JSON
+// array of trace events with per-bank sequential placement and correct
+// durations (the structure chrome://tracing loads).
+func TestJSONLChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	tr := NewTracer(sink)
+	tr.Emit(Event{Kind: KindCommand, Name: "AAP", Bank: 0, StartNS: -1, DurNS: 49, EnergyPJ: 9000, A1: "D0", A2: "B0", Comment: "T0 = D0"})
+	tr.Emit(Event{Kind: KindCommand, Name: "AAP", Bank: 0, StartNS: -1, DurNS: 49, A1: "D1", A2: "B1"})
+	tr.Emit(Event{Kind: KindCommand, Name: "AP", Bank: 1, StartNS: -1, DurNS: 45, A1: "B14"})
+	tr.Emit(Event{Kind: KindSpan, Name: "and", Bank: -1, StartNS: 0, DurNS: 196, Rows: 1})
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	type row struct {
+		name string
+		tid  float64
+		ns   float64
+		tns  float64
+	}
+	var rows []row
+	for _, e := range events {
+		if e["ph"] == "M" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		rows = append(rows, row{
+			name: e["name"].(string),
+			tid:  e["tid"].(float64),
+			ns:   args["ns"].(float64),
+			tns:  args["t_ns"].(float64),
+		})
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d non-metadata events, want 4", len(rows))
+	}
+	// Second bank-0 AAP placed right after the first.
+	if rows[1].tns != 49 {
+		t.Fatalf("second bank-0 command placed at t=%g ns, want 49", rows[1].tns)
+	}
+	// Bank 1 lane starts at its own zero.
+	if rows[2].tns != 0 {
+		t.Fatalf("bank-1 command placed at t=%g ns, want 0", rows[2].tns)
+	}
+	if rows[3].name != "and" || rows[3].tid != spanTID || rows[3].ns != 196 {
+		t.Fatalf("span row mismatch: %+v", rows[3])
+	}
+	// Every line is a standalone JSON fragment (line-oriented output).
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		line = strings.TrimSuffix(strings.TrimSpace(line), ",")
+		if line == "[" || line == "]" || line == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q is not standalone JSON: %v", line, err)
+		}
+	}
+}
+
+func TestJSONLEmptyFlush(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace should be []: %q (err %v)", buf.String(), err)
+	}
+	// Emission after Flush is dropped, not corrupting the closed array.
+	sink.Emit(Event{Kind: KindCommand, Name: "AAP"})
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("double Flush: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("post-flush emission corrupted output: %q", buf.String())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"ambit/internal/dram"
+	"ambit/internal/obs"
 )
 
 // Mode identifies which copy mechanism an operation used.
@@ -80,8 +81,26 @@ type Engine struct {
 	// for intra-bank inter-subarray copies.
 	EnableLISA bool
 
+	// tr receives one command event per copy; nil costs one check.
+	tr *obs.Tracer
+
 	mu    sync.Mutex // guards stats
 	stats Stats
+}
+
+// SetTracer installs an observability tracer.  Call before issuing copies;
+// not synchronized with execution.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tr = tr }
+
+// emitCopy emits one copy command event onto the destination bank's lane.
+func (e *Engine) emitCopy(mode Mode, bank, sub int, src, dst, comment string, durNS float64) {
+	if !e.tr.Enabled() {
+		return
+	}
+	e.tr.Emit(obs.Event{
+		Kind: obs.KindCommand, Name: mode.String(), Bank: bank, Subarray: sub,
+		StartNS: -1, DurNS: durNS, A1: src, A2: dst, Comment: comment,
+	})
 }
 
 // New creates an engine over dev with default bus bandwidths.
@@ -157,6 +176,7 @@ func (e *Engine) FPM(bank, sub int, src, dst dram.RowAddr) (float64, error) {
 	e.stats.FPMCopies++
 	e.stats.TotalNS += lat
 	e.mu.Unlock()
+	e.emitCopy(ModeFPM, bank, sub, src.String(), dst.String(), "intra-subarray amplifier copy", lat)
 	return lat, nil
 }
 
@@ -221,6 +241,7 @@ func (e *Engine) PSM(src, dst dram.PhysAddr) (float64, error) {
 	e.stats.PSMCopies++
 	e.stats.TotalNS += lat
 	e.mu.Unlock()
+	e.emitCopy(ModePSM, dst.Bank, dst.Subarray, src.String(), dst.String(), "pipelined internal-bus copy", lat)
 	return lat, nil
 }
 
@@ -256,6 +277,7 @@ func (e *Engine) MCCopy(src, dst dram.PhysAddr) (float64, error) {
 	e.stats.MCCopies++
 	e.stats.TotalNS += lat
 	e.mu.Unlock()
+	e.emitCopy(ModeMC, dst.Bank, dst.Subarray, src.String(), dst.String(), "controller-mediated channel copy", lat)
 	return lat, nil
 }
 
@@ -308,5 +330,6 @@ func (e *Engine) LISA(src, dst dram.PhysAddr) (float64, error) {
 	e.stats.LISACopies++
 	e.stats.TotalNS += lat
 	e.mu.Unlock()
+	e.emitCopy(ModeLISA, dst.Bank, dst.Subarray, src.String(), dst.String(), "row-buffer-movement copy", lat)
 	return lat, nil
 }

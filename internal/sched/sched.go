@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ambit/internal/dram"
+	"ambit/internal/obs"
 )
 
 // Kind classifies a memory request.
@@ -90,7 +91,11 @@ type Scheduler struct {
 	SplitDecoder bool
 	// FCFSOnly disables the First-Ready rule (pure FCFS) for ablation.
 	FCFSOnly bool
-	banks    []bank
+	// Tracer, when set and enabled, receives one command event per serviced
+	// request with absolute simulated start times (the scheduler knows exact
+	// placement, unlike the controller's train emission).
+	Tracer *obs.Tracer
+	banks  []bank
 }
 
 // New builds a scheduler for a device with the given bank count and timing.
@@ -218,6 +223,17 @@ func (s *Scheduler) Run(reqs []Request) ([]Completion, Stats, error) {
 		}
 		if fin > stats.MakespanNS {
 			stats.MakespanNS = fin
+		}
+		if s.Tracer.Enabled() {
+			a2 := ""
+			if r.Kind == KindAAP {
+				a2 = r.Row2.String()
+			}
+			s.Tracer.Emit(obs.Event{
+				Kind: obs.KindCommand, Name: r.Kind.String(), Bank: r.Bank,
+				StartNS: now, DurNS: dur, A1: r.Row.String(), A2: a2,
+				Comment: class,
+			})
 		}
 		out = append(out, Completion{Request: r, StartNS: now, FinishNS: fin, RowHit: hit})
 	}

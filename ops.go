@@ -63,6 +63,12 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	// lines (Section 5.4.4).  Destination invalidation proceeds in
 	// parallel with the operation; source flushes precede it.
 	rows := int64(len(dst.rows)) * int64(op.InputRows())
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
 	start := s.stats.ElapsedNS + s.coherenceNS(rows)
 
 	end := start
@@ -79,6 +85,9 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 			if err != nil {
 				if errors.Is(err, ErrUncorrectable) {
 					s.stats.UncorrectableRows++
+					if m := s.cfg.Metrics; m != nil {
+						m.Add("uncorrectable_rows", 1)
+					}
 				}
 				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
 			}
@@ -97,6 +106,9 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	s.stats.ElapsedNS = end
 	s.stats.BulkOps[op]++
 	s.stats.RowOps += int64(len(dst.rows))
+	if observing {
+		s.observeOpLocked(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
+	}
 	return nil
 }
 
@@ -115,6 +127,17 @@ func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow 
 func (s *System) accountReliabilityLocked(da dram.PhysAddr, rr controller.RowResult) {
 	s.stats.CorrectedBits += rr.CorrectedBits
 	s.stats.Retries += rr.Retries
+	if m := s.cfg.Metrics; m != nil {
+		if rr.Retries > 0 {
+			m.Add("retries", rr.Retries)
+		}
+		if rr.CorrectedBits > 0 {
+			m.Add("corrected_bits", rr.CorrectedBits)
+		}
+		if rr.Detected > 0 {
+			m.Add("detected_rows", rr.Detected)
+		}
+	}
 	if rr.Detected > 0 && s.cfg.QuarantineAfter > 0 && !s.quarantined[da] {
 		s.faultScore[da] += int(rr.Detected)
 		if s.faultScore[da] >= s.cfg.QuarantineAfter {
@@ -166,6 +189,12 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	// B-group first), RowClone writes the destination in its very first
 	// command, so the destination invalidation cannot be hidden behind
 	// the operation (Section 5.4.4; DESIGN.md "Coherence model").
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
 	start := s.stats.ElapsedNS + s.coherenceNS(2*int64(len(dst.rows)))
 	end := start
 	for r := range dst.rows {
@@ -180,6 +209,9 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	}
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(dst.rows))
+	if observing {
+		s.observeOpLocked("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
+	}
 	return nil
 }
 
@@ -194,6 +226,12 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	}
 	// Coherence: invalidate the destination rows; the control-row source
 	// lives only in DRAM and needs no flush (DESIGN.md "Coherence model").
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
 	start := s.stats.ElapsedNS + s.coherenceNS(int64(len(v.rows)))
 	end := start
 	for _, addr := range v.rows {
@@ -214,6 +252,9 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	}
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(v.rows))
+	if observing {
+		s.observeOpLocked("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
+	}
 	return nil
 }
 
@@ -227,6 +268,12 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 	if err := s.checkOperands("Popcount", v); err != nil {
 		return 0, err
 	}
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
 	var n int64
 	for _, addr := range v.rows {
 		row, err := s.dev.ReadRow(addr)
@@ -238,6 +285,9 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 		}
 	}
 	s.chargeChannel(int64(len(v.rows)) * int64(s.dev.Geometry().RowSizeBytes))
+	if observing {
+		s.observeOpLocked("popcount", -1, len(v.rows), opStart, s.stats.ElapsedNS-opStart, devBefore)
+	}
 	return n, nil
 }
 

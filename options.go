@@ -59,3 +59,19 @@ func WithReliability(r Reliability) Option {
 func WithQuarantine(afterDetectedFaults int) Option {
 	return func(c *Config) { c.QuarantineAfter = afterDetectedFaults }
 }
+
+// WithTracer installs an observability tracer: one span event per public
+// operation plus one command event per DRAM primitive flow to its sinks
+// (ambit.NewLastNSink for in-memory inspection, ambit.NewJSONLSink for a
+// chrome://tracing file).  A nil or disabled tracer costs one atomic load per
+// primitive.
+func WithTracer(tr *Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithMetrics installs a metrics registry accumulating per-opcode latency and
+// energy histograms plus reliability counters.  Pass one registry to several
+// Systems to aggregate across them.
+func WithMetrics(m *MetricsRegistry) Option {
+	return func(c *Config) { c.Metrics = m }
+}

@@ -1,0 +1,262 @@
+package ambit
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+// Differential oracle harness: randomized programs of bulk operations run
+// through the full simulator (TRA majority, DCC negation, RowClone) and,
+// in parallel, through a plain-Go []uint64 oracle.  Any divergence between
+// the in-DRAM computation and ordinary word-wise boolean algebra — in any
+// operation, at any vector width (including non-row-multiples, whose padded
+// tail rows participate in every train) — fails the test.  The same program
+// generator backs the deterministic table test below and the FuzzOracle
+// fuzz target.
+
+// oracleGeometry is a deliberately small device so each program touches
+// multiple banks and subarrays while Systems stay cheap to build: 2 banks ×
+// 2 subarrays × 8 data rows of 64 bytes.
+func oracleGeometry() dram.Geometry {
+	return dram.Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 26, RowSizeBytes: 64}
+}
+
+// oracleStep is one generated program step.
+type oracleStep struct {
+	kind    byte // 'b' bulk, 'c' copy, 'f' fill, 'p' popcount
+	op      controller.Op
+	dst     int
+	a, b    int
+	fillBit bool
+}
+
+// oracleProgram draws a program over nv vectors from rng: mostly bulk ops,
+// with copies, fills and popcounts mixed in.
+func oracleProgram(rng *rand.Rand, steps, nv int) []oracleStep {
+	prog := make([]oracleStep, steps)
+	for i := range prog {
+		st := oracleStep{dst: rng.Intn(nv), a: rng.Intn(nv), b: rng.Intn(nv)}
+		switch r := rng.Intn(10); {
+		case r < 7:
+			st.kind = 'b'
+			st.op = controller.Ops[rng.Intn(len(controller.Ops))]
+		case r < 8:
+			st.kind = 'c'
+			if st.a == st.dst { // self-copy is rejected by RowClone-FPM
+				st.a = (st.a + 1) % nv
+			}
+		case r < 9:
+			st.kind = 'f'
+			st.fillBit = rng.Intn(2) == 1
+		default:
+			st.kind = 'p'
+		}
+		prog[i] = st
+	}
+	return prog
+}
+
+// runOracleProgram builds a system, runs the seed's program through it (as
+// direct calls, or as one Batch when batch is set), mirrors every step in the
+// word-wise oracle, and compares the full padded contents of every vector.
+func runOracleProgram(t *testing.T, seed int64, batch bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	cfg := DefaultConfig()
+	cfg.DRAM = dram.Config{Geometry: oracleGeometry(), Timing: dram.DDR3_1600()}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: NewSystem: %v", seed, err)
+	}
+
+	// All cooperating vectors share one width, drawn across whole-row and
+	// non-row-multiple sizes (1 bit up to 3 rows).
+	rowBits := int64(sys.RowSizeBits())
+	vecBits := 1 + rng.Int63n(3*rowBits)
+	const nv = 6
+	vecs := make([]*Bitvector, nv)
+	oracle := make([][]uint64, nv)
+	for i := range vecs {
+		vecs[i] = sys.MustAlloc(vecBits)
+		capWords := vecs[i].Words()
+		// Load a random prefix; the simulator zero-fills the tail, so the
+		// oracle starts from the same padded image.
+		load := make([]uint64, rng.Intn(capWords+1))
+		for j := range load {
+			load[j] = rng.Uint64()
+		}
+		if err := vecs[i].Load(load); err != nil {
+			t.Fatalf("seed %d: Load: %v", seed, err)
+		}
+		oracle[i] = make([]uint64, capWords)
+		copy(oracle[i], load)
+	}
+
+	prog := oracleProgram(rng, 7, nv)
+
+	// Oracle mirror of one step, over the full padded word image.
+	mirror := func(st oracleStep) {
+		switch st.kind {
+		case 'b':
+			dst, a, b := oracle[st.dst], oracle[st.a], oracle[st.b]
+			for w := range dst {
+				dst[w] = st.op.Eval(a[w], b[w])
+			}
+		case 'c':
+			copy(oracle[st.dst], oracle[st.a])
+		case 'f':
+			var v uint64
+			if st.fillBit {
+				v = ^uint64(0)
+			}
+			for w := range oracle[st.dst] {
+				oracle[st.dst][w] = v
+			}
+		}
+	}
+	oraclePop := func(i int) int64 {
+		var n int64
+		for _, w := range oracle[i] {
+			n += int64(bits.OnesCount64(w))
+		}
+		return n
+	}
+
+	if batch {
+		bt := sys.NewBatch()
+		var pops []*PopcountResult
+		var popVec []int
+		for _, st := range prog {
+			var err error
+			switch st.kind {
+			case 'b':
+				err = bt.Apply(st.op, vecs[st.dst], vecs[st.a], vecs[st.b])
+			case 'c':
+				err = bt.Copy(vecs[st.dst], vecs[st.a])
+			case 'f':
+				err = bt.Fill(vecs[st.dst], st.fillBit)
+			case 'p':
+				var res *PopcountResult
+				res, err = bt.Popcount(vecs[st.a])
+				pops = append(pops, res)
+				popVec = append(popVec, st.a)
+			}
+			if err != nil {
+				t.Fatalf("seed %d: batch record %c: %v", seed, st.kind, err)
+			}
+		}
+		if _, err := bt.Run(); err != nil {
+			t.Fatalf("seed %d: batch run: %v", seed, err)
+		}
+		// Mirror in program order after the run.  The batch graph enforces
+		// RAW/WAW/WAR hazards over the operand rows, so both the final image
+		// and each popcount's point-in-program view agree with sequential
+		// order.
+		var wantPops []int64
+		for _, st := range prog {
+			if st.kind == 'p' {
+				wantPops = append(wantPops, oraclePop(st.a))
+				continue
+			}
+			mirror(st)
+		}
+		for pi, res := range pops {
+			got, err := res.Value()
+			if err != nil {
+				t.Fatalf("seed %d: popcount %d (vec %d): %v", seed, pi, popVec[pi], err)
+			}
+			if got != wantPops[pi] {
+				t.Fatalf("seed %d: batch popcount %d (vec %d) = %d, oracle %d", seed, pi, popVec[pi], got, wantPops[pi])
+			}
+		}
+	} else {
+		for si, st := range prog {
+			var err error
+			switch st.kind {
+			case 'b':
+				err = sys.Apply(st.op, vecs[st.dst], vecs[st.a], vecs[st.b])
+			case 'c':
+				err = sys.Copy(vecs[st.dst], vecs[st.a])
+			case 'f':
+				err = sys.Fill(vecs[st.dst], st.fillBit)
+			case 'p':
+				var got int64
+				got, err = sys.Popcount(vecs[st.a])
+				if err == nil {
+					if want := oraclePop(st.a); got != want {
+						t.Fatalf("seed %d step %d: popcount(vec %d) = %d, oracle %d", seed, si, st.a, got, want)
+					}
+				}
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d (%c): %v", seed, si, st.kind, err)
+			}
+			mirror(st)
+		}
+	}
+
+	for i, v := range vecs {
+		got, err := v.Peek()
+		if err != nil {
+			t.Fatalf("seed %d: Peek vec %d: %v", seed, i, err)
+		}
+		for w := range got {
+			if got[w] != oracle[i][w] {
+				t.Fatalf("seed %d (batch=%v, %d bits): vec %d word %d: simulator %#016x, oracle %#016x\nprogram: %v",
+					seed, batch, vecBits, i, w, got[w], oracle[i][w], describeProgram(prog))
+			}
+		}
+	}
+}
+
+// describeProgram renders a program for failure messages.
+func describeProgram(prog []oracleStep) string {
+	s := ""
+	for _, st := range prog {
+		switch st.kind {
+		case 'b':
+			s += fmt.Sprintf("v%d=%v(v%d,v%d); ", st.dst, st.op, st.a, st.b)
+		case 'c':
+			s += fmt.Sprintf("v%d=copy(v%d); ", st.dst, st.a)
+		case 'f':
+			s += fmt.Sprintf("v%d=fill(%v); ", st.dst, st.fillBit)
+		case 'p':
+			s += fmt.Sprintf("popcount(v%d); ", st.a)
+		}
+	}
+	return s
+}
+
+// TestOracleDifferential drives the full 10k-seed differential sweep (a few
+// hundred under -short): every seed runs its program through direct calls,
+// and every fourth seed additionally through the batch engine.
+func TestOracleDifferential(t *testing.T) {
+	seeds := 10000
+	if testing.Short() {
+		seeds = 300
+	}
+	for seed := 0; seed < seeds; seed++ {
+		runOracleProgram(t, int64(seed), false)
+		if seed%4 == 0 {
+			runOracleProgram(t, int64(seed), true)
+		}
+	}
+}
+
+// FuzzOracle lets the fuzzer hunt for program seeds on which the simulator
+// and the word-wise oracle diverge (go test -fuzz=FuzzOracle).
+func FuzzOracle(f *testing.F) {
+	for _, s := range []int64{0, 1, 42, 1 << 40, -7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runOracleProgram(t, seed, false)
+		runOracleProgram(t, seed, true)
+	})
+}

@@ -38,7 +38,11 @@ type Stats struct {
 	// command trains; ElapsedNS - BankBusyNS[i] is bank i's idle time.
 	// The per-bank breakdown makes batch overlap observable: a serial
 	// workload leaves every bank idle while any other bank works, while a
-	// well-packed batch drives the mean utilization toward 1.
+	// well-packed batch drives the mean utilization toward 1.  Under the
+	// reliability policy each row's busy time includes the full TMR cost —
+	// every replica train of every attempt, the verification reads, and any
+	// restore/correction write-backs — so retries inflate BankBusyNS along
+	// with ElapsedNS (the retried trains really occupy the bank).
 	BankBusyNS []float64
 
 	// Reliability counters (all zero unless a fault model or the

@@ -1,0 +1,176 @@
+package ambit
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ambit/internal/controller"
+	"ambit/internal/dram"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files in testdata/")
+
+// traceEventJSON is the subset of a Chrome trace-event line the golden tests
+// compare structurally: event names, categories, and exact simulated
+// nanoseconds.  Wall-clock-free, so the files are stable across machines.
+type traceEventJSON struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TID  float64 `json:"tid"`
+	Args struct {
+		NS  float64 `json:"ns"`
+		TNS float64 `json:"t_ns"`
+	} `json:"args"`
+}
+
+// captureTrace runs one single-row op on a fresh default system (DDR3-1600,
+// split row decoder) with a JSONL sink attached and returns the raw trace
+// bytes plus the parsed "X" events in emission order.
+func captureTrace(t *testing.T, op controller.Op) ([]byte, []traceEventJSON) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.DRAM.Timing = dram.DDR3_1600()
+	cfg.SplitDecoder = true
+	cfg.Tracer = NewTracer(NewJSONLSink(&buf))
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	rowBits := int64(sys.RowSizeBits())
+	a, b, d := sys.MustAlloc(rowBits), sys.MustAlloc(rowBits), sys.MustAlloc(rowBits)
+	if err := sys.Apply(op, d, a, b); err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	var all []traceEventJSON
+	if err := json.Unmarshal(buf.Bytes(), &all); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.Bytes())
+	}
+	events := all[:0:0]
+	for _, e := range all {
+		if e.Ph == "X" { // skip thread_name metadata
+			events = append(events, e)
+		}
+	}
+	return buf.Bytes(), events
+}
+
+// TestGoldenTraces captures the JSONL trace of one single-row operation per
+// op class under the paper's standard configuration and compares it
+// structurally against the checked-in golden file: same event sequence
+// (names and categories), same per-event nanoseconds, same cumulative
+// totals.  Run with -update to regenerate testdata/ after an intentional
+// timing or emission change.
+//
+// Independent of the golden files, the test pins the Figure 8 / Section 5.3
+// numbers in code: each AAP costs 49 ns with the split decoder at DDR3-1600,
+// each AP 45 ns, and the op totals are and = 4 AAP = 196 ns,
+// not = 2 AAP = 98 ns, xor = 5 AAP + 2 AP = 335 ns.
+func TestGoldenTraces(t *testing.T) {
+	const aapNS, apNS = 49, 45
+	cases := []struct {
+		op       controller.Op
+		aaps     int
+		aps      int
+		totalNS  float64
+		spanName string
+	}{
+		{controller.OpAnd, 4, 0, 196, "and"},
+		{controller.OpNot, 2, 0, 98, "not"},
+		{controller.OpXor, 5, 2, 335, "xor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spanName, func(t *testing.T) {
+			raw, events := captureTrace(t, tc.op)
+
+			// Structural expectations pinned in code.
+			var aaps, aps, spans int
+			var cmdNS float64
+			for _, e := range events {
+				switch {
+				case e.Cat == "command" && e.Name == "AAP":
+					aaps++
+					if e.Args.NS != aapNS {
+						t.Errorf("AAP = %v ns, want %v (split decoder, DDR3-1600)", e.Args.NS, aapNS)
+					}
+					cmdNS += e.Args.NS
+				case e.Cat == "command" && e.Name == "AP":
+					aps++
+					if e.Args.NS != apNS {
+						t.Errorf("AP = %v ns, want %v", e.Args.NS, apNS)
+					}
+					cmdNS += e.Args.NS
+				case e.Cat == "command":
+					t.Errorf("unexpected command %q in a fault-free %s trace", e.Name, tc.spanName)
+				case e.Cat == "op":
+					spans++
+					if e.Name != tc.spanName {
+						t.Errorf("span name = %q, want %q", e.Name, tc.spanName)
+					}
+					if e.Args.NS != tc.totalNS {
+						t.Errorf("span duration = %v ns, want %v", e.Args.NS, tc.totalNS)
+					}
+				}
+			}
+			if aaps != tc.aaps || aps != tc.aps {
+				t.Errorf("command mix = %d AAP + %d AP, want %d AAP + %d AP", aaps, aps, tc.aaps, tc.aps)
+			}
+			if spans != 1 {
+				t.Errorf("got %d op spans, want 1", spans)
+			}
+			if cmdNS != tc.totalNS {
+				t.Errorf("command ns sum to %v, want %v", cmdNS, tc.totalNS)
+			}
+
+			// Golden-file comparison.
+			path := filepath.Join("testdata", "trace_"+tc.spanName+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			goldenRaw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestGoldenTraces -update` to create)", err)
+			}
+			var goldenAll []traceEventJSON
+			if err := json.Unmarshal(goldenRaw, &goldenAll); err != nil {
+				t.Fatalf("golden %s is not a JSON array: %v", path, err)
+			}
+			golden := goldenAll[:0:0]
+			for _, e := range goldenAll {
+				if e.Ph == "X" {
+					golden = append(golden, e)
+				}
+			}
+			if len(golden) != len(events) {
+				t.Fatalf("trace has %d events, golden has %d (run with -update after intentional changes)", len(events), len(golden))
+			}
+			for i := range events {
+				g, e := golden[i], events[i]
+				if g.Name != e.Name || g.Cat != e.Cat || g.TID != e.TID {
+					t.Errorf("event %d: got %s/%s tid %v, golden %s/%s tid %v", i, e.Cat, e.Name, e.TID, g.Cat, g.Name, g.TID)
+				}
+				if math.Abs(g.Args.NS-e.Args.NS) > 1e-9 || math.Abs(g.Args.TNS-e.Args.TNS) > 1e-9 {
+					t.Errorf("event %d (%s): got ns=%v t_ns=%v, golden ns=%v t_ns=%v",
+						i, e.Name, e.Args.NS, e.Args.TNS, g.Args.NS, g.Args.TNS)
+				}
+			}
+		})
+	}
+}
