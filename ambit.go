@@ -59,13 +59,18 @@
 // # Concurrency
 //
 // A System is safe for concurrent use: every exported method of System,
-// Bitvector, and Batch may be called from multiple goroutines.  Allocator
-// state and statistics are guarded by one mutex per System, so plain calls
-// and Batch.Run serialize against each other; parallelism inside a batch
-// comes from its worker pool, not from overlapping public calls.  Direct
-// access to the underlying Device, Controller, or RowClone engine (via
-// their accessors) is NOT synchronized and should be confined to one
-// goroutine.
+// Bitvector, and Batch may be called from multiple goroutines.  Execution is
+// sharded by bank (internal/exec): a direct bulk operation groups its rows by
+// bank, locks those banks' shards, and runs the per-bank command trains on a
+// bounded worker pool, so concurrent operations touching disjoint banks
+// proceed in parallel while operations sharing a bank serialize on its shard.
+// The parallel dispatch is deterministic — results and statistics are
+// bit-identical to a sequential run.  Operations that need a consistent
+// global view (Batch.Run, Popcount, Stats, Free, any configured
+// observability or fault injection) briefly take the execution lock
+// exclusively instead.  Direct access to the underlying Device, Controller,
+// or RowClone engine (via their accessors) is NOT synchronized and should be
+// confined to one goroutine.
 package ambit
 
 import (
@@ -76,6 +81,7 @@ import (
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/energy"
+	"ambit/internal/exec"
 	"ambit/internal/fault"
 	"ambit/internal/obs"
 	"ambit/internal/rowclone"
@@ -182,6 +188,11 @@ type Config struct {
 	// accumulates that many detected faulty verification rounds: once
 	// freed, the row is never handed out again (graceful degradation).
 	QuarantineAfter int
+	// ExecWorkers caps the goroutine pool the execution core uses to fan
+	// per-bank command trains out (both direct operations and batches).
+	// 0 means GOMAXPROCS.  The worker count never affects results or
+	// statistics, only host-side wall-clock.
+	ExecWorkers int
 	// Tracer, when non-nil and enabled, receives one span event per public
 	// operation and one command event per DRAM primitive (AAP/AP, RowClone
 	// copies, reliability verification rounds).  Nil or disabled tracing
@@ -213,11 +224,29 @@ type System struct {
 	ctrl *controller.Controller
 	rc   *rowclone.Engine
 
-	// mu guards the allocator state and stats below, and serializes
-	// operation execution: each public operation (and each Batch.Run)
-	// holds it end to end, so concurrent callers observe a consistent
-	// simulated timeline.
+	// eng is the shared execution core: per-bank shard locks plus the
+	// bounded worker pool both direct ops and batches dispatch through.
+	eng *exec.Engine
+
+	// execMu is the execution lock.  Parallel operation paths hold it for
+	// reading — many may run at once, coordinated by eng's bank shards and
+	// statsMu — while everything needing a consistent global view (serial
+	// operation paths, Batch.Run, Popcount, Stats snapshots, Free, raw
+	// bitvector data access) holds it exclusively.  Lock order:
+	// execMu > mu > bank shards > statsMu.
+	execMu sync.RWMutex
+
+	// mu guards the allocator state below (nextRow, freeRows).
 	mu sync.Mutex
+
+	// statsMu guards stats, faultScore, and quarantined against concurrent
+	// parallel operations (exclusive execMu holders may skip it: no reader
+	// or writer can run concurrently with them).
+	statsMu sync.Mutex
+
+	// forceSerial routes every operation through the serial exclusive path
+	// (test hook for determinism comparisons).
+	forceSerial bool
 
 	// Allocator state: nextRow[slot] is the next free D-group row in
 	// each (bank, subarray) slot; vector row r is placed in slot
@@ -233,7 +262,7 @@ type System struct {
 	// Reliability state: fm is the installed fault model (nil without
 	// one); faultScore accumulates detected faulty verification rounds
 	// per data row, and quarantined rows are withheld from reallocation
-	// by Free.  Guarded by mu.
+	// by Free.  Guarded by statsMu (see execMu).
 	fm          *fault.Model
 	faultScore  map[dram.PhysAddr]int
 	quarantined map[dram.PhysAddr]bool
@@ -270,6 +299,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.QuarantineAfter < 0 {
 		return nil, fmt.Errorf("ambit: QuarantineAfter must be non-negative, got %d", cfg.QuarantineAfter)
 	}
+	if cfg.ExecWorkers < 0 {
+		return nil, fmt.Errorf("ambit: ExecWorkers must be non-negative, got %d", cfg.ExecWorkers)
+	}
 	g := cfg.DRAM.Geometry
 	if cfg.Reliability.ECC && g.DataRows() <= eccScratchRows {
 		return nil, fmt.Errorf("ambit: geometry has %d data rows per subarray; reliability needs more than the %d ECC scratch rows",
@@ -298,6 +330,7 @@ func NewSystem(cfg Config) (*System, error) {
 		dev:         dev,
 		ctrl:        ctrl,
 		rc:          rc,
+		eng:         exec.New(g.Banks, cfg.ExecWorkers),
 		nextRow:     make([]int, g.Banks*g.SubarraysPerBank),
 		freeRows:    make([][]int, g.Banks*g.SubarraysPerBank),
 		fm:          fm,
@@ -336,6 +369,14 @@ func stepEnergyFunc(m energy.Model, g dram.Geometry) controller.StepEnergyFunc {
 // guard every operation checks before paying for span bookkeeping.
 func (s *System) observing() bool {
 	return s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil
+}
+
+// serialOnly reports whether operations must take the serial exclusive path:
+// observability needs op-level before/after device snapshots, the fault
+// model's RNG draw order must stay sequential to keep seeded runs
+// reproducible, and forceSerial is the test hook.
+func (s *System) serialOnly() bool {
+	return s.observing() || s.fm != nil || s.forceSerial
 }
 
 // observeOpLocked records one completed operation into the metrics registry
@@ -483,6 +524,11 @@ func (s *System) Free(v *Bitvector) error {
 	if v.sys != s {
 		return fmt.Errorf("ambit: Free: %w", ErrForeignSystem)
 	}
+	// Freeing mutates v.rows, which parallel operations read under the
+	// execution read-lock, so Free needs the exclusive lock; the allocator
+	// lists themselves are guarded by mu.
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v.rows == nil {
@@ -507,8 +553,8 @@ func (s *System) Free(v *Bitvector) error {
 // lifetime: quarantined rows are retired on Free and never reallocated, and
 // there is no scrub path that returns them to service.
 func (s *System) Quarantined() []dram.PhysAddr {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	out := make([]dram.PhysAddr, 0, len(s.quarantined))
 	for addr := range s.quarantined {
 		out = append(out, addr)

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -183,8 +182,8 @@ func (b *Batch) Len() int { return len(b.ops) }
 // record validates and appends one operation.
 func (b *Batch) record(op *batchOp) error {
 	s := b.sys
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	if b.ran {
 		return fmt.Errorf("ambit: Batch: cannot record %s after Run", op.name())
 	}
@@ -275,8 +274,8 @@ func (b *Batch) Popcount(v *Bitvector) (*PopcountResult, error) {
 // contents may reflect a partially executed program.
 func (b *Batch) Run() (BatchReport, error) {
 	s := b.sys
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	if b.ran {
 		return BatchReport{}, fmt.Errorf("ambit: Batch: already run")
 	}
@@ -352,13 +351,14 @@ func (b *Batch) programOps() []program.Op {
 
 // execute runs the functional phase: a dataflow dispatch over the dependency
 // graph with at most b.Workers concurrent executors.  Each op records its
-// per-row command-train latencies for the timing phase.
+// per-row command-train latencies for the timing phase.  Bank atomicity comes
+// from the shared execution engine's per-bank shards — the same locks the
+// direct-op parallel path uses.
 func (b *Batch) execute(g *program.Graph) error {
 	workers := b.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = b.sys.eng.Workers()
 	}
-	bankLocks := make([]sync.Mutex, b.sys.dev.Geometry().Banks)
 	sem := make(chan struct{}, workers)
 	indeg := make([]int32, len(b.ops))
 	for i := range b.ops {
@@ -376,7 +376,7 @@ func (b *Batch) execute(g *program.Graph) error {
 		go func() {
 			sem <- struct{}{}
 			if !failed.Load() {
-				if err := b.execOp(i, bankLocks); err != nil {
+				if err := b.execOp(i); err != nil {
 					failed.Store(true)
 					errMu.Lock()
 					if firstErr == nil {
@@ -408,32 +408,14 @@ func (b *Batch) execute(g *program.Graph) error {
 	return firstErr
 }
 
-// lockBanks locks one or two bank mutexes in ascending order (avoiding
-// deadlock between concurrent two-bank copies) and returns the unlock.
-func lockBanks(lks []sync.Mutex, x, y int) func() {
-	if x == y {
-		lks[x].Lock()
-		return lks[x].Unlock
-	}
-	if x > y {
-		x, y = y, x
-	}
-	lks[x].Lock()
-	lks[y].Lock()
-	lo, hi := x, y
-	return func() {
-		lks[hi].Unlock()
-		lks[lo].Unlock()
-	}
-}
-
-// execOp functionally executes op i, holding the relevant bank lock for each
+// execOp functionally executes op i, holding the relevant bank shard for each
 // row-level command train so concurrent ops interleave only at train
 // boundaries (a train is self-contained: it stages operands into the B-group
 // rows, operates, and copies out before releasing the bank).
-func (b *Batch) execOp(i int, lks []sync.Mutex) error {
+func (b *Batch) execOp(i int) error {
 	op := b.ops[i]
 	s := b.sys
+	eng := s.eng
 	switch op.kind {
 	case batchBulk:
 		op.rowLats = make([]float64, len(op.dst.rows))
@@ -448,7 +430,7 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 			}
 			var lat float64
 			var err error
-			lks[da.Bank].Lock()
+			eng.LockBank(da.Bank)
 			if op.rowRel != nil {
 				var rr controller.RowResult
 				rr, err = s.execRowReliable(op.op, da, aa.Row, ba)
@@ -457,7 +439,7 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 			} else {
 				lat, err = s.ctrl.ExecuteOp(op.op, da.Bank, da.Subarray, da.Row, aa.Row, ba)
 			}
-			lks[da.Bank].Unlock()
+			eng.UnlockBank(da.Bank)
 			if err != nil {
 				return fmt.Errorf("ambit: batch %v row %d: %w", op.op, r, err)
 			}
@@ -467,9 +449,9 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 		op.rowLats = make([]float64, len(op.dst.rows))
 		for r := range op.dst.rows {
 			src, dst := op.a.rows[r], op.dst.rows[r]
-			unlock := lockBanks(lks, src.Bank, dst.Bank)
+			eng.LockPair(src.Bank, dst.Bank)
 			_, lat, err := s.rc.Copy(src, dst)
-			unlock()
+			eng.UnlockPair(src.Bank, dst.Bank)
 			if err != nil {
 				return fmt.Errorf("ambit: batch Copy row %d: %w", r, err)
 			}
@@ -480,13 +462,13 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 		for r, addr := range op.dst.rows {
 			var lat float64
 			var err error
-			lks[addr.Bank].Lock()
+			eng.LockBank(addr.Bank)
 			if op.fillBit {
 				lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
 			} else {
 				lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
 			}
-			lks[addr.Bank].Unlock()
+			eng.UnlockBank(addr.Bank)
 			if err != nil {
 				return fmt.Errorf("ambit: batch Fill row %d: %w", r, err)
 			}
@@ -495,9 +477,9 @@ func (b *Batch) execOp(i int, lks []sync.Mutex) error {
 	case batchPopcount:
 		var n int64
 		for r, addr := range op.a.rows {
-			lks[addr.Bank].Lock()
+			eng.LockBank(addr.Bank)
 			row, err := s.dev.ReadRow(addr)
-			lks[addr.Bank].Unlock()
+			eng.UnlockBank(addr.Bank)
 			if err != nil {
 				return fmt.Errorf("ambit: batch Popcount row %d: %w", r, err)
 			}

@@ -304,6 +304,47 @@ func BenchmarkFunctionalBulkOps(b *testing.B) {
 	}
 }
 
+// BenchmarkDirectOps measures the hot direct-op path (System.Apply) across
+// operation types and row counts.  The allocator spreads consecutive rows
+// across banks, so rows >= 8 exercises every bank of the default geometry:
+// the per-bank sharded dispatch and the compiled command-train cache both
+// show up here (wall-clock and allocs/op; `ambitbench -json` captures the
+// same grid into the committed BENCH_*.json trajectory).
+func BenchmarkDirectOps(b *testing.B) {
+	for _, rows := range []int{1, 8, 64} {
+		for _, op := range []controller.Op{controller.OpAnd, controller.OpOr, controller.OpNot, controller.OpXor} {
+			op, rows := op, rows
+			b.Run(fmt.Sprintf("%s-rows%d", op, rows), func(b *testing.B) {
+				sys, err := New()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits := int64(rows) * int64(sys.RowSizeBits())
+				x, y, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+				rng := rand.New(rand.NewSource(1))
+				w := make([]uint64, x.Words())
+				for i := range w {
+					w[i] = rng.Uint64()
+				}
+				if err := x.Load(w); err != nil {
+					b.Fatal(err)
+				}
+				if err := y.Load(w); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(bits / 8)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sys.Apply(op, d, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCoherenceAblation prices Ambit app-level operations with and
 // without the Section 5.4.4 coherence charge (DESIGN.md ablation 6).
 func BenchmarkCoherenceAblation(b *testing.B) {

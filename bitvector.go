@@ -21,7 +21,7 @@ type Bitvector struct {
 }
 
 // checkLive verifies the vector has not been freed; failures wrap ErrFreed
-// for errors.Is.  The caller holds v.sys.mu.
+// for errors.Is.  The caller holds v.sys.execMu.
 func (v *Bitvector) checkLive(name string) error {
 	if v.rows == nil {
 		return fmt.Errorf("ambit: %s: %w", name, ErrFreed)
@@ -31,22 +31,22 @@ func (v *Bitvector) checkLive(name string) error {
 
 // Len returns the logical length in bits (0 after Free).
 func (v *Bitvector) Len() int64 {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	return v.bits
 }
 
 // Rows returns the number of DRAM rows backing the vector (0 after Free).
 func (v *Bitvector) Rows() int {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	return len(v.rows)
 }
 
 // Row returns the physical address of backing row r.
 func (v *Bitvector) Row(r int) dram.PhysAddr {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	return v.rows[r]
 }
 
@@ -56,20 +56,20 @@ func (v *Bitvector) wordsPerRow() int { return v.sys.dev.Geometry().WordsPerRow(
 // Words returns the number of 64-bit words the vector's rows hold (its
 // padded capacity; Len()/64 rounded up to whole rows).
 func (v *Bitvector) Words() int {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	return v.words()
 }
 
-// words is Words without locking; the caller holds v.sys.mu.
+// words is Words without locking; the caller holds v.sys.execMu.
 func (v *Bitvector) words() int { return len(v.rows) * v.wordsPerRow() }
 
 // Load installs data into the vector's rows through the simulation backdoor,
 // free of simulated cost.  Use it to set up experiment state; use Write for
 // costed stores.  Missing tail words are zero-filled.
 func (v *Bitvector) Load(words []uint64) error {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Load"); err != nil {
 		return err
 	}
@@ -80,7 +80,7 @@ func (v *Bitvector) Load(words []uint64) error {
 }
 
 // store writes words row by row through the given row writer, zero-filling
-// the tail.  The caller holds v.sys.mu.
+// the tail.  The caller holds v.sys.execMu.
 func (v *Bitvector) store(words []uint64, writeRow func(dram.PhysAddr, []uint64) error) error {
 	wpr := v.wordsPerRow()
 	buf := make([]uint64, wpr)
@@ -102,15 +102,15 @@ func (v *Bitvector) store(words []uint64, writeRow func(dram.PhysAddr, []uint64)
 // Peek returns the vector's content through the simulation backdoor, free of
 // simulated cost.
 func (v *Bitvector) Peek() ([]uint64, error) {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Peek"); err != nil {
 		return nil, err
 	}
 	return v.peek()
 }
 
-// peek is Peek without locking; the caller holds v.sys.mu.
+// peek is Peek without locking; the caller holds v.sys.execMu.
 func (v *Bitvector) peek() ([]uint64, error) {
 	out := make([]uint64, 0, v.words())
 	for _, addr := range v.rows {
@@ -126,8 +126,8 @@ func (v *Bitvector) peek() ([]uint64, error) {
 // Write stores data into the vector through the DRAM channel, charging the
 // corresponding commands and channel time.
 func (v *Bitvector) Write(words []uint64) error {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Write"); err != nil {
 		return err
 	}
@@ -144,8 +144,8 @@ func (v *Bitvector) Write(words []uint64) error {
 // Read returns the vector's content through the DRAM channel, charging the
 // corresponding commands and channel time.
 func (v *Bitvector) Read() ([]uint64, error) {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Read"); err != nil {
 		return nil, err
 	}
@@ -163,8 +163,8 @@ func (v *Bitvector) Read() ([]uint64, error) {
 
 // Bit returns bit i (backdoor, cost-free).
 func (v *Bitvector) Bit(i int64) (bool, error) {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Bit"); err != nil {
 		return false, err
 	}
@@ -182,8 +182,8 @@ func (v *Bitvector) Bit(i int64) (bool, error) {
 
 // SetBit sets or clears bit i (backdoor, cost-free).
 func (v *Bitvector) SetBit(i int64, val bool) error {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("SetBit"); err != nil {
 		return err
 	}
@@ -209,8 +209,8 @@ func (v *Bitvector) SetBit(i int64, val bool) error {
 // bits beyond Len() are ignored if the caller kept them zero (Load/Write
 // zero-fill them).
 func (v *Bitvector) PopcountFree() (int64, error) {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("PopcountFree"); err != nil {
 		return 0, err
 	}
@@ -229,12 +229,12 @@ func (v *Bitvector) PopcountFree() (int64, error) {
 // co-located corresponding rows (the bbop alignment requirement of
 // Section 5.4.3 plus the placement contract of Section 5.4.2).
 func (v *Bitvector) SameShape(o *Bitvector) bool {
-	v.sys.mu.Lock()
-	defer v.sys.mu.Unlock()
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
 	return v.sameShape(o)
 }
 
-// sameShape is SameShape without locking; the caller holds v.sys.mu.
+// sameShape is SameShape without locking; the caller holds v.sys.execMu.
 func (v *Bitvector) sameShape(o *Bitvector) bool {
 	if len(v.rows) != len(o.rows) {
 		return false

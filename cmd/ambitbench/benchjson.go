@@ -1,0 +1,248 @@
+package main
+
+// Machine-readable benchmarking: `ambitbench -json out.json` measures the
+// host-side cost of the functional simulation executing direct bulk
+// operations through the public API, across operation types and row counts
+// (rows spread across banks by the allocator), and writes a JSON report.
+// `ambitbench -compare old.json new.json` diffs two such reports — the
+// benchstat-style step CI runs on the committed BENCH_*.json trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"ambit"
+	"ambit/internal/controller"
+	"ambit/internal/sysmodel"
+)
+
+// BenchResult is one benchmark's measurements.
+type BenchResult struct {
+	// Name identifies the benchmark (op and row count).
+	Name string `json:"name"`
+	// Op is the bulk bitwise operation measured.
+	Op string `json:"op"`
+	// Rows is the number of DRAM rows per operand vector.
+	Rows int `json:"rows"`
+	// Banks is the number of distinct banks the destination rows occupy.
+	Banks int `json:"banks"`
+	// NsPerOp is the measured host wall-clock per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// GBPerS is the host-side functional throughput (output bytes/s).
+	GBPerS float64 `json:"gb_per_s"`
+	// AllocsPerOp is the heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the heap bytes allocated per operation.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// SimNS is the simulated (modelled DRAM) latency of one operation.
+	SimNS float64 `json:"sim_ns"`
+	// CPUModelNS is the modelled cost of the same operation on the paper's
+	// CPU baseline (streaming, Section 8).
+	CPUModelNS float64 `json:"cpu_model_ns"`
+	// SimSpeedupVsCPU is CPUModelNS / SimNS — the paper-style Ambit speedup.
+	SimSpeedupVsCPU float64 `json:"sim_speedup_vs_cpu"`
+}
+
+// BenchReport is the top-level JSON document.
+type BenchReport struct {
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// benchOps and benchRowCounts define the measured grid.  Row counts cover the
+// single-bank case, one row per bank, and a multi-row-per-bank spread (the
+// default geometry has 8 banks).
+var (
+	benchOps       = []controller.Op{controller.OpAnd, controller.OpOr, controller.OpNot, controller.OpXor}
+	benchRowCounts = []int{1, 8, 64}
+)
+
+// benchSetup allocates and loads three co-located vectors of `rows` DRAM rows.
+func benchSetup(rows int) (*ambit.System, *ambit.Bitvector, *ambit.Bitvector, *ambit.Bitvector, error) {
+	sys, err := ambit.New()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	bits := int64(rows) * int64(sys.RowSizeBits())
+	x, err := sys.Alloc(bits)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	y, err := sys.Alloc(bits)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	d, err := sys.Alloc(bits)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := make([]uint64, x.Words())
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := x.Load(w); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := y.Load(w); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return sys, x, y, d, nil
+}
+
+// distinctBanks counts the banks a vector's rows occupy.
+func distinctBanks(v *ambit.Bitvector) int {
+	seen := map[int]bool{}
+	for r := 0; r < v.Rows(); r++ {
+		seen[v.Row(r).Bank] = true
+	}
+	return len(seen)
+}
+
+// runBenchJSON measures the grid and writes the report to path.
+func runBenchJSON(path string) error {
+	m := sysmodel.MustDefault()
+	rep := BenchReport{
+		Tool:       "ambitbench -json",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, rows := range benchRowCounts {
+		for _, op := range benchOps {
+			op, rows := op, rows
+			sys, x, y, d, err := benchSetup(rows)
+			if err != nil {
+				return err
+			}
+			// Simulated latency of one op on an otherwise idle device.
+			if err := sys.Apply(op, d, x, y); err != nil {
+				return err
+			}
+			simNS := sys.ElapsedNS()
+			bytes := int64(rows) * int64(sys.Config().DRAM.Geometry.RowSizeBytes)
+			banks := distinctBanks(d)
+
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(bytes)
+				for i := 0; i < b.N; i++ {
+					if err := sys.Apply(op, d, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			// CPU baseline: streaming bulk bitwise op with an uncached
+			// working set (the paper's Section 8 comparison regime).
+			cpuNS := m.CPUBitwiseNS(op.InputRows(), bytes, 32<<20)
+			res := BenchResult{
+				Name:        fmt.Sprintf("DirectOps/%s-rows%d", op, rows),
+				Op:          op.String(),
+				Rows:        rows,
+				Banks:       banks,
+				NsPerOp:     nsPerOp,
+				AllocsPerOp: float64(r.AllocsPerOp()),
+				BytesPerOp:  float64(r.AllocedBytesPerOp()),
+				SimNS:       simNS,
+				CPUModelNS:  cpuNS,
+			}
+			if nsPerOp > 0 {
+				res.GBPerS = float64(bytes) / nsPerOp // bytes/ns == GB/s
+			}
+			if simNS > 0 {
+				res.SimSpeedupVsCPU = cpuNS / simNS
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-24s %12.0f ns/op %8.3f GB/s %6.1f allocs/op %12.0f sim-ns %8.2fx vs CPU\n",
+				res.Name, res.NsPerOp, res.GBPerS, res.AllocsPerOp, res.SimNS, res.SimSpeedupVsCPU)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadBenchReport reads a BenchReport from disk.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare prints a benchstat-style old/new comparison of two reports.
+func runCompare(oldPath, newPath string) error {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]BenchResult{}
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	names := make([]string, 0, len(newRep.Results))
+	newBy := map[string]BenchResult{}
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-24s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.0f %9s %12s %12.1f\n", name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %9s %12.1f %12.1f\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	for _, name := range sortedMissing(oldBy, newBy) {
+		fmt.Printf("%-24s removed\n", name)
+	}
+	return nil
+}
+
+// sortedMissing lists names present in old but absent from new.
+func sortedMissing(oldBy, newBy map[string]BenchResult) []string {
+	var out []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,6 +8,8 @@
 //	ambitbench                  # run every experiment
 //	ambitbench fig9 table3      # run selected experiments
 //	ambitbench -iterations 100000 table2
+//	ambitbench -json out.json   # machine-readable direct-op benchmark report
+//	ambitbench -compare BENCH_baseline.json BENCH_pr4.json
 //
 // Experiments: table1, table2, worstcase, fig8, fig9, table3, table4, aap,
 // fig10, fig11, fig12, batch, extensions, faults.  The batch experiment
@@ -39,10 +41,28 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the experiments' DRAM commands to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format histograms aggregated across all experiments")
+	jsonOut := flag.String("json", "", "run the direct-op benchmark grid and write a machine-readable report to this file")
+	compare := flag.Bool("compare", false, "compare two benchmark reports: ambitbench -compare old.json new.json")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(exp.Names(), "\n"))
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fail("-compare needs exactly two report files (old.json new.json)")
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchmarks: wrote %s\n", *jsonOut)
 		return
 	}
 

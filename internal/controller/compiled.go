@@ -1,0 +1,236 @@
+package controller
+
+import (
+	"fmt"
+
+	"ambit/internal/dram"
+)
+
+// Compiled command trains.  Figure 8's sequences are static: for a given op,
+// only the three data-row operands vary between rows, and they only ever
+// appear in GroupD slots.  Sequence() therefore compiles once per op (at
+// package init) into a template of compiledSteps whose operand slots are
+// roles resolved per train — the hot ExecuteOp path then runs without
+// allocating the []Step, the comment strings, or the per-command stats lock
+// round-trips of the traced path.
+
+// operandRole says which per-train operand an address slot resolves to.
+type operandRole uint8
+
+const (
+	roleFixed operandRole = iota // use the compiled address as-is
+	roleDK                       // destination row
+	roleDI                       // first source row
+	roleDJ                       // second source row
+)
+
+// compiledStep is one Figure-8 primitive with operand slots abstracted.
+type compiledStep struct {
+	kind   StepKind
+	a1, a2 dram.RowAddr // fixed addresses (used when the role is roleFixed)
+	r1, r2 operandRole
+	// split records whether the AAP qualifies for the Section 5.3 split
+	// decoder (exactly one B-group address).  Roles only substitute
+	// D-group addresses for D-group sentinels, so eligibility is a
+	// template property.
+	split bool
+}
+
+// addr1 resolves the step's first address against the train's operands.
+func (s *compiledStep) addr1(dk, di, dj dram.RowAddr) dram.RowAddr {
+	switch s.r1 {
+	case roleDK:
+		return dk
+	case roleDI:
+		return di
+	case roleDJ:
+		return dj
+	}
+	return s.a1
+}
+
+// addr2 resolves the step's second address against the train's operands.
+func (s *compiledStep) addr2(dk, di, dj dram.RowAddr) dram.RowAddr {
+	switch s.r2 {
+	case roleDK:
+		return dk
+	case roleDI:
+		return di
+	case roleDJ:
+		return dj
+	}
+	return s.a2
+}
+
+// compiledTrain is one op's full command train, plus the aggregate command
+// census the fused evaluator charges without walking the steps: acts[k]
+// counts ACTIVATEs raising k+1 wordlines, pres counts PRECHARGEs, and
+// aaps/aps/splitAAPs determine latency and controller counters.
+type compiledTrain struct {
+	steps     []compiledStep
+	acts      [3]int64
+	pres      int64
+	aaps, aps int64
+	splitAAPs int64
+}
+
+// latency returns the train's total latency under the given timings.
+func (ct *compiledTrain) latency(split bool, aapSplit, aapNaive, apLat float64) float64 {
+	if split {
+		return float64(ct.splitAAPs)*aapSplit + float64(ct.aaps-ct.splitAAPs)*aapNaive + float64(ct.aps)*apLat
+	}
+	return float64(ct.aaps)*aapNaive + float64(ct.aps)*apLat
+}
+
+// compiledTrains holds the per-op templates, built once at init.
+var compiledTrains [7]compiledTrain
+
+// Sentinel data-row indices marking the operand slots in the template build.
+// Sequence only inspects the address *group* of its operands, so negative
+// indices are safe and cannot collide with real rows.
+const (
+	sentinelDK = -1
+	sentinelDI = -2
+	sentinelDJ = -3
+)
+
+func compileRole(a dram.RowAddr) operandRole {
+	if a.Group != dram.GroupD {
+		return roleFixed
+	}
+	switch a.Index {
+	case sentinelDK:
+		return roleDK
+	case sentinelDI:
+		return roleDI
+	case sentinelDJ:
+		return roleDJ
+	}
+	return roleFixed
+}
+
+func init() {
+	for _, op := range Ops {
+		seq, err := Sequence(op, dram.D(sentinelDK), dram.D(sentinelDI), dram.D(sentinelDJ))
+		if err != nil {
+			panic(fmt.Sprintf("controller: compiling %v: %v", op, err))
+		}
+		ct := compiledTrain{steps: make([]compiledStep, len(seq))}
+		for i, s := range seq {
+			ct.steps[i] = compiledStep{
+				kind:  s.Kind,
+				a1:    s.Addr1,
+				a2:    s.Addr2,
+				r1:    compileRole(s.Addr1),
+				r2:    compileRole(s.Addr2),
+				split: (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB),
+			}
+			ct.acts[dram.WordlineCount(s.Addr1)-1]++
+			ct.pres++
+			if s.Kind == StepAAP {
+				ct.acts[dram.WordlineCount(s.Addr2)-1]++
+				ct.aaps++
+				if ct.steps[i].split {
+					ct.splitAAPs++
+				}
+			} else {
+				ct.aps++
+			}
+		}
+		compiledTrains[op] = ct
+	}
+}
+
+// executeOpCompiled is the untraced ExecuteOp fast path: it walks the
+// compiled template, issuing commands with locally accumulated device stats
+// committed once per train and one controller-stats lock per train, and
+// allocates nothing.
+func (c *Controller) executeOpCompiled(op Op, bank, sub int, dk, di, dj dram.RowAddr) (float64, error) {
+	if dk.Group != dram.GroupD {
+		return 0, fmt.Errorf("controller: %v operand %v is not a data row", op, dk)
+	}
+	if di.Group != dram.GroupD {
+		return 0, fmt.Errorf("controller: %v operand %v is not a data row", op, di)
+	}
+	if !op.Unary() && dj.Group != dram.GroupD {
+		return 0, fmt.Errorf("controller: %v operand %v is not a data row", op, dj)
+	}
+	if lat, ok := c.executeOpFused(op, bank, sub, dk, di, dj); ok {
+		return lat, nil
+	}
+	ct := &compiledTrains[op]
+	c.dev.BeginTrain(bank, sub, dk.Index)
+
+	t := c.dev.Timing()
+	aapSplit, aapNaive, apLat := t.AAPSplit(), t.AAPNaive(), t.AP()
+
+	var st dram.Stats
+	var total float64
+	var aaps, aps int64
+	commit := func() {
+		c.dev.CommitStats(st)
+		c.mu.Lock()
+		c.stats.AAPs += aaps
+		c.stats.APs += aps
+		c.stats.BusyNS += total
+		c.mu.Unlock()
+	}
+	for i := range ct.steps {
+		s := &ct.steps[i]
+		a1 := s.addr1(dk, di, dj)
+		p := dram.PhysAddr{Bank: bank, Subarray: sub, Row: a1}
+		if s.kind == StepAAP {
+			a2 := s.addr2(dk, di, dj)
+			if err := c.dev.ActivateLocal(p, &st); err != nil {
+				commit()
+				return total, c.wrapStepErr(op, i, dk, di, dj,
+					fmt.Errorf("AAP(%v,%v) first activate: %w", a1, a2, err))
+			}
+			p.Row = a2
+			if err := c.dev.ActivateLocal(p, &st); err != nil {
+				commit()
+				return total, c.wrapStepErr(op, i, dk, di, dj,
+					fmt.Errorf("AAP(%v,%v) second activate: %w", a1, a2, err))
+			}
+			if err := c.dev.PrechargeLocal(bank, &st); err != nil {
+				commit()
+				return total, c.wrapStepErr(op, i, dk, di, dj, err)
+			}
+			if c.SplitDecoder && s.split {
+				total += aapSplit
+			} else {
+				total += aapNaive
+			}
+			aaps++
+		} else {
+			if err := c.dev.ActivateLocal(p, &st); err != nil {
+				commit()
+				return total, c.wrapStepErr(op, i, dk, di, dj, fmt.Errorf("AP(%v): %w", a1, err))
+			}
+			if err := c.dev.PrechargeLocal(bank, &st); err != nil {
+				commit()
+				return total, c.wrapStepErr(op, i, dk, di, dj, err)
+			}
+			total += apLat
+			aps++
+		}
+	}
+	c.dev.CommitStats(st)
+	c.mu.Lock()
+	c.stats.AAPs += aaps
+	c.stats.APs += aps
+	c.stats.BusyNS += total
+	c.stats.OpCounts[op]++
+	c.mu.Unlock()
+	return total, nil
+}
+
+// wrapStepErr reproduces the traced path's "%v step %q: %w" error text by
+// rebuilding the Figure-8 step (errors are off the hot path, so the Sequence
+// allocation is fine here).
+func (c *Controller) wrapStepErr(op Op, idx int, dk, di, dj dram.RowAddr, err error) error {
+	if seq, serr := Sequence(op, dk, di, dj); serr == nil && idx < len(seq) {
+		return fmt.Errorf("%v step %q: %w", op, seq[idx], err)
+	}
+	return fmt.Errorf("%v step %d: %w", op, idx, err)
+}

@@ -1,0 +1,138 @@
+package controller
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ambit/internal/dram"
+	"ambit/internal/obs"
+)
+
+// TestCompiledMatchesSequence checks that every op's compiled template
+// resolves to exactly the []Step Sequence produces (addresses, kinds, and
+// split-decoder eligibility).
+func TestCompiledMatchesSequence(t *testing.T) {
+	dk, di, dj := dram.D(7), dram.D(11), dram.D(13)
+	for _, op := range Ops {
+		seq, err := Sequence(op, dk, di, dj)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		ct := &compiledTrains[op]
+		if len(ct.steps) != len(seq) {
+			t.Fatalf("%v: compiled %d steps, Sequence %d", op, len(ct.steps), len(seq))
+		}
+		for i := range seq {
+			cs := &ct.steps[i]
+			if cs.kind != seq[i].Kind {
+				t.Errorf("%v step %d: kind %v != %v", op, i, cs.kind, seq[i].Kind)
+			}
+			if got := cs.addr1(dk, di, dj); got != seq[i].Addr1 {
+				t.Errorf("%v step %d: addr1 %v != %v", op, i, got, seq[i].Addr1)
+			}
+			if seq[i].Kind == StepAAP {
+				if got := cs.addr2(dk, di, dj); got != seq[i].Addr2 {
+					t.Errorf("%v step %d: addr2 %v != %v", op, i, got, seq[i].Addr2)
+				}
+				wantSplit := (seq[i].Addr1.Group == dram.GroupB) != (seq[i].Addr2.Group == dram.GroupB)
+				if cs.split != wantSplit {
+					t.Errorf("%v step %d: split %v != %v", op, i, cs.split, wantSplit)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledExecutionMatchesTraced runs every op through the compiled fast
+// path and the traced Sequence path on twin controllers and demands identical
+// cell contents, latencies, controller stats, and device stats.
+func TestCompiledExecutionMatchesTraced(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func() *Controller { return testController(t) }
+	fast, slow := mk(), mk()
+	// An installed tracer with an enabled sink forces the Sequence path.
+	slow.SetTracer(obs.NewTracer(obs.NopSink{}), nil)
+
+	words := testGeom().WordsPerRow()
+	dk, di, dj := dram.D(0), dram.D(1), dram.D(2)
+	for _, op := range Ops {
+		x, y := randRow(rng, words), randRow(rng, words)
+		for _, c := range []*Controller{fast, slow} {
+			pokeRow(t, c, 0, 0, di, x)
+			pokeRow(t, c, 0, 0, dj, y)
+		}
+		latFast, err := fast.ExecuteOp(op, 0, 0, dk, di, dj)
+		if err != nil {
+			t.Fatalf("%v fast: %v", op, err)
+		}
+		latSlow, err := slow.ExecuteOp(op, 0, 0, dk, di, dj)
+		if err != nil {
+			t.Fatalf("%v traced: %v", op, err)
+		}
+		if latFast != latSlow {
+			t.Errorf("%v: latency %v != %v", op, latFast, latSlow)
+		}
+		got, want := peekRow(t, fast, 0, 0, dk), peekRow(t, slow, 0, 0, dk)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: result rows differ", op)
+		}
+	}
+	if fast.Stats() != slow.Stats() {
+		t.Errorf("controller stats diverged: fast %+v slow %+v", fast.Stats(), slow.Stats())
+	}
+	if fast.Device().Stats() != slow.Device().Stats() {
+		t.Errorf("device stats diverged: fast %+v slow %+v", fast.Device().Stats(), slow.Device().Stats())
+	}
+}
+
+// TestCompiledRejectsNonDataOperands mirrors TestSequenceRejectsNonDataOperands
+// on the fast path.
+func TestCompiledRejectsNonDataOperands(t *testing.T) {
+	c := testController(t)
+	cases := []struct {
+		dk, di, dj dram.RowAddr
+	}{
+		{dram.B(0), dram.D(1), dram.D(2)},
+		{dram.D(0), dram.C(1), dram.D(2)},
+		{dram.D(0), dram.D(1), dram.B(12)},
+	}
+	for _, tc := range cases {
+		if _, err := c.ExecuteOp(OpAnd, 0, 0, tc.dk, tc.di, tc.dj); err == nil {
+			t.Errorf("ExecuteOp(and, %v, %v, %v) accepted non-data operand", tc.dk, tc.di, tc.dj)
+		}
+	}
+	// Unary ops must ignore dj entirely.
+	if _, err := c.ExecuteOp(OpNot, 0, 0, dram.D(0), dram.D(1), dram.B(12)); err != nil {
+		t.Errorf("ExecuteOp(not) rejected unused dj: %v", err)
+	}
+}
+
+// BenchmarkSequence measures the allocation cost the compiled cache removes.
+func BenchmarkSequence(b *testing.B) {
+	dk, di, dj := dram.D(0), dram.D(1), dram.D(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sequence(OpAnd, dk, di, dj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleOp measures the full schedule path per row; the compiled
+// train keeps it allocation-free.
+func BenchmarkScheduleOp(b *testing.B) {
+	d, err := dram.NewDevice(dram.Config{Geometry: testGeom(), Timing: dram.DDR3_1600()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(d)
+	dk, di, dj := dram.D(0), dram.D(1), dram.D(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ScheduleOp(OpAnd, 0, 0, dk, di, dj, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

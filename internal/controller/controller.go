@@ -180,7 +180,15 @@ func (c *Controller) ExecuteStep(bank, sub int, s Step) (float64, error) {
 // returning the total command-train latency in nanoseconds.  The source rows
 // are preserved (Section 3.3: the TRA operates on copies in the designated
 // rows).
+//
+// With tracing disabled this dispatches to the compiled-train fast path
+// (compiled.go), which issues the identical command sequence without
+// allocating; the Sequence-driven path below remains the traced
+// implementation because it carries the Figure-8 comments into the events.
 func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (float64, error) {
+	if !c.tr.Enabled() {
+		return c.executeOpCompiled(op, bank, sub, dk, di, dj)
+	}
 	seq, err := Sequence(op, dk, di, dj)
 	if err != nil {
 		return 0, err
@@ -207,18 +215,21 @@ func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (f
 }
 
 // OpLatencyNS returns the command-train latency of one row-wide operation
-// without executing it (the schedule is static, Section 5.5.2).
+// without executing it (the schedule is static, Section 5.5.2).  Computed
+// from the compiled template, allocation-free.
 func (c *Controller) OpLatencyNS(op Op) float64 {
-	seq, err := Sequence(op, dram.D(0), dram.D(1), dram.D(2))
-	if err != nil {
-		panic(err)
-	}
+	ct := &compiledTrains[op]
+	t := c.dev.Timing()
 	var total float64
-	for _, s := range seq {
-		if s.Kind == StepAAP {
-			total += c.AAPLatencyNS(s.Addr1, s.Addr2)
-		} else {
-			total += c.APLatencyNS()
+	for i := range ct.steps {
+		s := &ct.steps[i]
+		switch {
+		case s.kind != StepAAP:
+			total += t.AP()
+		case c.SplitDecoder && s.split:
+			total += t.AAPSplit()
+		default:
+			total += t.AAPNaive()
 		}
 	}
 	return total

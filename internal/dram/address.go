@@ -150,6 +150,17 @@ var bGroupMap = [BGroupAddresses][]Wordline{
 	15: {{WLDCCData, 1}, {WLT, 0}, {WLT, 3}}, // B15 -> DCC1, T0, T3
 }
 
+// WordlineCount returns how many wordlines an address raises — Table 1 fan-out
+// for B-group addresses, one for everything else.  The address is assumed
+// structurally valid (B-group index in range); geometry-dependent range checks
+// are the caller's concern.
+func WordlineCount(a RowAddr) int {
+	if a.Group == GroupB {
+		return len(bGroupMap[a.Index])
+	}
+	return 1
+}
+
 // DecodeRowAddr implements the split row decoder of Section 5.3: it maps a
 // row address to the set of wordlines it raises.  B-group addresses are
 // decoded by the small B-group decoder (Table 1); C- and D-group addresses by
@@ -167,6 +178,25 @@ func DecodeRowAddr(a RowAddr, g Geometry) ([]Wordline, error) {
 		return []Wordline{{Kind: WLC, Index: a.Index}}, nil
 	default:
 		return []Wordline{{Kind: WLData, Index: a.Index}}, nil
+	}
+}
+
+// AppendWordlines appends the wordline set `a` raises to buf and returns the
+// extended slice.  It is DecodeRowAddr for hot paths: with a caller-owned
+// buffer of capacity >= 3 (the largest B-group set) the decode is
+// allocation-free for every address group, where DecodeRowAddr allocates a
+// fresh single-element slice for C- and D-group addresses.
+func AppendWordlines(buf []Wordline, a RowAddr, g Geometry) ([]Wordline, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, err
+	}
+	switch a.Group {
+	case GroupB:
+		return append(buf, bGroupMap[a.Index]...), nil
+	case GroupC:
+		return append(buf, Wordline{Kind: WLC, Index: a.Index}), nil
+	default:
+		return append(buf, Wordline{Kind: WLData, Index: a.Index}), nil
 	}
 }
 

@@ -22,6 +22,11 @@ type Bank struct {
 	// busyNS accumulates the total time the bank has been occupied by
 	// reserved command trains; busyUntil - busyNS gaps are idle time.
 	busyNS float64
+
+	// wlbuf is scratch for decoding row addresses without allocating (the
+	// largest B-group wordline set has 3 entries).  Safe to reuse per
+	// ACTIVATE because the subarray copies the set it raises.
+	wlbuf [3]Wordline
 }
 
 // NewBank constructs a bank with all-zero cells.
@@ -49,7 +54,7 @@ func (b *Bank) Activate(sub int, addr RowAddr) (int, error) {
 	if sub < 0 || sub >= len(b.subarrays) {
 		return 0, fmt.Errorf("dram: subarray %d out of range [0,%d)", sub, len(b.subarrays))
 	}
-	wls, err := DecodeRowAddr(addr, b.geom)
+	wls, err := AppendWordlines(b.wlbuf[:0], addr, b.geom)
 	if err != nil {
 		return 0, err
 	}

@@ -189,23 +189,65 @@ func (d *Device) WriteColumn(bank, col int, v uint64) error {
 	return nil
 }
 
+// ActivateLocal is Activate with the command count accumulated into st
+// instead of the device counters.  Hot paths batch a whole command train's
+// counts locally and publish them with one CommitStats call, replacing one
+// mutex round-trip per command with one per train.
+func (d *Device) ActivateLocal(p PhysAddr, st *Stats) error {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return err
+	}
+	n, err := d.banks[p.Bank].Activate(p.Subarray, p.Row)
+	if err != nil {
+		return fmt.Errorf("activate %v: %w", p, err)
+	}
+	st.Activates[n-1]++
+	return nil
+}
+
+// PrechargeLocal is Precharge with the command count accumulated into st.
+func (d *Device) PrechargeLocal(bank int, st *Stats) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	d.banks[bank].Precharge()
+	st.Precharges++
+	return nil
+}
+
+// CommitStats publishes locally accumulated command counts to the device
+// counters in one locked operation.
+func (d *Device) CommitStats(st Stats) {
+	d.mu.Lock()
+	d.stats.Add(st)
+	d.mu.Unlock()
+}
+
 // ReadRow performs an ACTIVATE, a full row of column reads, and a PRECHARGE,
 // returning the row contents.  This is the conventional (non-Ambit) way to
 // get data out of the array, used by baselines and by the public API's Read.
 func (d *Device) ReadRow(p PhysAddr) ([]uint64, error) {
-	if err := d.Activate(p); err != nil {
+	var st Stats
+	if err := d.ActivateLocal(p, &st); err != nil {
+		d.CommitStats(st)
 		return nil, err
 	}
+	b := d.banks[p.Bank]
 	w := d.cfg.Geometry.WordsPerRow()
 	out := make([]uint64, w)
 	for c := 0; c < w; c++ {
-		v, err := d.ReadColumn(p.Bank, c)
+		v, err := b.ReadColumn(c)
 		if err != nil {
+			st.ColumnReads += int64(c)
+			d.CommitStats(st)
 			return nil, err
 		}
 		out[c] = v
 	}
-	if err := d.Precharge(p.Bank); err != nil {
+	st.ColumnReads += int64(w)
+	err := d.PrechargeLocal(p.Bank, &st)
+	d.CommitStats(st)
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -217,15 +259,23 @@ func (d *Device) WriteRow(p PhysAddr, data []uint64) error {
 	if len(data) != d.cfg.Geometry.WordsPerRow() {
 		return ErrRowSize
 	}
-	if err := d.Activate(p); err != nil {
+	var st Stats
+	if err := d.ActivateLocal(p, &st); err != nil {
+		d.CommitStats(st)
 		return err
 	}
+	b := d.banks[p.Bank]
 	for c, v := range data {
-		if err := d.WriteColumn(p.Bank, c, v); err != nil {
+		if err := b.WriteColumn(c, v); err != nil {
+			st.ColumnWrites += int64(c)
+			d.CommitStats(st)
 			return err
 		}
 	}
-	return d.Precharge(p.Bank)
+	st.ColumnWrites += int64(len(data))
+	err := d.PrechargeLocal(p.Bank, &st)
+	d.CommitStats(st)
+	return err
 }
 
 // PeekRow returns the cell contents behind p without issuing commands.

@@ -22,8 +22,16 @@ type Subarray struct {
 	// Sense-amplifier state.  amps holds the bitline values (the row
 	// buffer); ampsOn reports whether sense amplification has happened
 	// since the last precharge.
-	amps   []uint64
-	ampsOn bool
+	//
+	// After a single-wordline non-negated activation amps *aliases* the
+	// sensed cell's storage instead of copying it: the row buffer and the
+	// restored cell are then physically the same data, which models the
+	// charge-restore without a row-sized copy.  All other activations
+	// latch into the subarray-owned ampsBuf.  Precharge re-points amps at
+	// ampsBuf.
+	amps    []uint64
+	ampsBuf []uint64
+	ampsOn  bool
 
 	// raised is the set of wordlines raised since the last precharge, in
 	// activation order.  Used for introspection and testing.
@@ -53,7 +61,8 @@ type Subarray struct {
 // memory.
 func NewSubarray(g Geometry) *Subarray {
 	w := g.WordsPerRow()
-	s := &Subarray{geom: g, amps: make([]uint64, w)}
+	s := &Subarray{geom: g, ampsBuf: make([]uint64, w)}
+	s.amps = s.ampsBuf
 	s.data = make([][]uint64, g.DataRows())
 	for i := range s.t {
 		s.t[i] = make([]uint64, w)
@@ -91,6 +100,21 @@ func (s *Subarray) cell(w Wordline) []uint64 {
 
 // Activated reports whether the subarray's sense amplifiers are enabled.
 func (s *Subarray) Activated() bool { return s.ampsOn }
+
+// FusedEligible reports whether a whole command train's net state transition
+// may be applied to this subarray in one fused pass instead of step by step:
+// the subarray must be precharged (a train's first ACTIVATE senses), and no
+// fault hook may be armed (both the one-shot TRA mask and the probabilistic
+// injector observe individual activations, which a fused train skips).
+func (s *Subarray) FusedEligible() bool {
+	return !s.ampsOn && s.faultMask == nil && s.injector == nil
+}
+
+// CellData returns the live storage backing one wordline, allocating lazily.
+// It exists for the controller's fused command-train evaluator; callers own
+// the subarray (bank shard held) and must leave it precharged, exactly as a
+// complete AAP/AP train would.
+func (s *Subarray) CellData(wl Wordline) []uint64 { return s.cell(wl) }
 
 // Raised returns the wordlines raised since the last precharge.
 func (s *Subarray) Raised() []Wordline { return append([]Wordline(nil), s.raised...) }
@@ -137,11 +161,14 @@ func (s *Subarray) sense(wls []Wordline) error {
 		if wls[0].Negated() {
 			// The cell presents its value on bitline-bar; the row
 			// buffer (bitline side) therefore latches the negation.
+			s.amps = s.ampsBuf
 			for i := 0; i < w; i++ {
 				s.amps[i] = ^src[i]
 			}
 		} else {
-			copy(s.amps, src)
+			// Alias the cell: row buffer and restored cell are the
+			// same storage until precharge.
+			s.amps = src
 		}
 	case 2:
 		// Dual activation on a precharged bank is only defined when
@@ -153,10 +180,12 @@ func (s *Subarray) sense(wls []Wordline) error {
 				return ErrUndefinedChargeSharing
 			}
 		}
+		s.amps = s.ampsBuf
 		copy(s.amps, a)
 	case 3:
 		// Triple-row activation: bitwise majority (Section 3.1).
 		a, b, c := s.contribution(0, wls[0]), s.contribution(1, wls[1]), s.contribution(2, wls[2])
+		s.amps = s.ampsBuf
 		for i := 0; i < w; i++ {
 			s.amps[i] = a[i]&b[i] | b[i]&c[i] | c[i]&a[i]
 		}
@@ -206,7 +235,22 @@ func (s *Subarray) contribution(slot int, wl Wordline) []uint64 {
 // activation: TRA overwrites all three source cells with the majority value
 // (Section 3.2, issue 3), and an n-wordline cell is charged from bitline-bar,
 // i.e. with the complement of the row-buffer value.
-func (s *Subarray) restore(wls []Wordline) { s.overwrite(wls) }
+//
+// Single-wordline restores are elided when they cannot change cell contents:
+// a non-negated cell is the row buffer (amps aliases it), and a negated cell
+// gets ^(^cell) = cell back — unless a fault injector is installed, whose
+// DCC mask draw must still happen on the restore.
+func (s *Subarray) restore(wls []Wordline) {
+	if len(wls) == 1 {
+		if !wls[0].Negated() {
+			return
+		}
+		if s.injector == nil {
+			return
+		}
+	}
+	s.overwrite(wls)
+}
 
 // overwrite copies the row buffer into the cells of the given wordlines.
 // Writes through a negation wordline — the Ambit-NOT capture into a
@@ -215,6 +259,9 @@ func (s *Subarray) restore(wls []Wordline) { s.overwrite(wls) }
 func (s *Subarray) overwrite(wls []Wordline) {
 	for _, wl := range wls {
 		dst := s.cell(wl)
+		if !wl.Negated() && len(dst) > 0 && len(s.amps) > 0 && &dst[0] == &s.amps[0] {
+			continue // cell is the row buffer itself
+		}
 		if wl.Negated() {
 			var m []uint64
 			if s.injector != nil {
@@ -236,6 +283,7 @@ func (s *Subarray) overwrite(wls []Wordline) {
 // amplifiers disabled (Section 2).
 func (s *Subarray) Precharge() {
 	s.ampsOn = false
+	s.amps = s.ampsBuf
 	s.raised = s.raised[:0]
 }
 

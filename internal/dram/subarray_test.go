@@ -417,3 +417,75 @@ func TestRaisedTracksActivationOrder(t *testing.T) {
 		t.Fatal("raised set not cleared by precharge")
 	}
 }
+
+// TestAmpsAliasWriteThrough checks the row-buffer-aliases-cell optimization:
+// after a single-wordline activation, column writes reach the cell, and the
+// elided restore leaves the cell intact across precharge.
+func TestAmpsAliasWriteThrough(t *testing.T) {
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(7))
+	want := randRow(rng, smallGeom().WordsPerRow())
+	if err := s.PokeRow(D(3), want); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+
+	activate(t, s, D(3))
+	buf, err := s.RowBuffer()
+	if err != nil {
+		t.Fatalf("row buffer: %v", err)
+	}
+	if !equalRows(buf, want) {
+		t.Fatalf("row buffer != cell after activation")
+	}
+	if err := s.WriteColumn(0, 0xdeadbeef); err != nil {
+		t.Fatalf("write column: %v", err)
+	}
+	s.Precharge()
+
+	want[0] = 0xdeadbeef
+	got, err := s.PeekRow(D(3))
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	if !equalRows(got, want) {
+		t.Fatalf("cell lost column write: got %x want %x", got[0], want[0])
+	}
+
+	// The next activation of a different row must not see stale state.
+	activate(t, s, C(0))
+	buf, err = s.RowBuffer()
+	if err != nil {
+		t.Fatalf("row buffer: %v", err)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("C0 activation latched %x at word %d", v, i)
+		}
+	}
+	s.Precharge()
+}
+
+// TestElidedNegatedRestorePreservesCell checks that skipping the
+// ^(^cell)=cell restore of a lone n-wordline activation leaves the DCC cell
+// unchanged while the row buffer still presents the negation.
+func TestElidedNegatedRestorePreservesCell(t *testing.T) {
+	s := newTestSubarray(t)
+	rng := rand.New(rand.NewSource(8))
+	want := randRow(rng, smallGeom().WordsPerRow())
+	copy(s.dcc[0], want)
+
+	activate(t, s, B(5)) // ~DCC0
+	buf, err := s.RowBuffer()
+	if err != nil {
+		t.Fatalf("row buffer: %v", err)
+	}
+	for i := range buf {
+		if buf[i] != ^want[i] {
+			t.Fatalf("word %d: buffer %x, want negation %x", i, buf[i], ^want[i])
+		}
+	}
+	s.Precharge()
+	if !equalRows(s.dcc[0], want) {
+		t.Fatalf("DCC cell changed by elided restore")
+	}
+}

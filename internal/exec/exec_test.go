@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestGroupByBank(t *testing.T) {
+	// 10 rows over 4 banks, row i -> bank i%4.
+	groups := GroupByBank(10, func(i int) int { return i % 4 })
+	want := []Group{
+		{Bank: 0, Rows: []int{0, 4, 8}},
+		{Bank: 1, Rows: []int{1, 5, 9}},
+		{Bank: 2, Rows: []int{2, 6}},
+		{Bank: 3, Rows: []int{3, 7}},
+	}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %+v, want %+v", groups, want)
+	}
+	if got := Banks(groups); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("banks = %v", got)
+	}
+	if GroupByBank(0, func(int) int { return 0 }) != nil {
+		t.Fatal("empty grouping should be nil")
+	}
+}
+
+// TestRunMatchesSequential checks the parallel merge against a sequential
+// fold for several worker counts.
+func TestRunMatchesSequential(t *testing.T) {
+	groups := GroupByBank(64, func(i int) int { return i % 8 })
+	fn := func(bank, row int) (float64, error) {
+		return float64(bank*1000 + row), nil
+	}
+	want := New(8, 1).Run(groups, fn)
+	for _, w := range []int{2, 4, 16} {
+		got := New(8, w).Run(groups, fn)
+		if got != want {
+			t.Fatalf("workers=%d: %+v != %+v", w, got, want)
+		}
+	}
+	if want.Completed != 64 || want.Err != nil || want.ErrRow != -1 {
+		t.Fatalf("unexpected sequential result %+v", want)
+	}
+	if want.EndNS != 7063 { // bank 7, row 63
+		t.Fatalf("EndNS = %v", want.EndNS)
+	}
+}
+
+// TestRunErrorStopsGroupPrefix checks per-bank prefix semantics: the failing
+// bank stops at its failing row, other banks complete, and the reported
+// error is the lowest-indexed failure.
+func TestRunErrorStopsGroupPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	groups := GroupByBank(16, func(i int) int { return i % 4 })
+	fail := map[int]bool{9: true, 6: true} // banks 1 and 2
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	fn := func(bank, row int) (float64, error) {
+		if fail[row] {
+			return 0, boom
+		}
+		mu.Lock()
+		ran[row] = true
+		mu.Unlock()
+		return float64(row), nil
+	}
+	for _, w := range []int{1, 4} {
+		mu.Lock()
+		ran = map[int]bool{}
+		mu.Unlock()
+		res := New(4, w).Run(groups, fn)
+		if !errors.Is(res.Err, boom) || res.ErrRow != 6 {
+			t.Fatalf("workers=%d: err=%v row=%d, want boom at 6", w, res.Err, res.ErrRow)
+		}
+		// Bank 2 ran {2}, bank 1 ran {1, 5}, banks 0 and 3 ran fully.
+		if res.Completed != 1+2+4+4 {
+			t.Fatalf("workers=%d: completed=%d", w, res.Completed)
+		}
+		if ran[6] || ran[9] || ran[10] || ran[13] {
+			t.Fatalf("workers=%d: rows after failure ran: %v", w, ran)
+		}
+		if res.EndNS != 15 {
+			t.Fatalf("workers=%d: EndNS=%v", w, res.EndNS)
+		}
+	}
+}
+
+// TestLockDisciplines exercises the shard-locking helpers under concurrency.
+func TestLockDisciplines(t *testing.T) {
+	e := New(8, 4)
+	var wg sync.WaitGroup
+	counters := make([]int, 8)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x, y := g%8, (g+3)%8
+			e.LockPair(x, y)
+			counters[x]++
+			if y != x {
+				counters[y]++
+			}
+			e.UnlockPair(x, y)
+			banks := []int{0, 3, 5}
+			e.LockBanks(banks)
+			for _, b := range banks {
+				counters[b]++
+			}
+			e.UnlockBanks(banks)
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != 16*2+16*3 {
+		t.Fatalf("total increments = %d", total)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if New(4, 0).Workers() <= 0 {
+		t.Fatal("default workers must be positive")
+	}
+	e := New(4, 7)
+	if e.Workers() != 7 {
+		t.Fatalf("Workers() = %d", e.Workers())
+	}
+	e.SetWorkers(2)
+	if e.Workers() != 2 {
+		t.Fatalf("after SetWorkers: %d", e.Workers())
+	}
+	e.SetWorkers(0)
+	if e.Workers() <= 0 {
+		t.Fatal("SetWorkers(0) must reset to a positive default")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/ecc"
+	"ambit/internal/exec"
 )
 
 // checkOperands validates that every operand is non-nil, belongs to this
@@ -15,7 +16,8 @@ import (
 // System calls and the Batch recorder — applies it, so a use-after-Free is
 // always a clear error instead of a silent no-op.  Failures wrap the typed
 // sentinels (ErrNilOperand, ErrForeignSystem, ErrFreed) for errors.Is.  The
-// caller holds s.mu (or is on a single-threaded construction path).
+// caller holds execMu (read or exclusive: Free mutates rows only under the
+// exclusive lock).
 func (s *System) checkOperands(name string, vs ...*Bitvector) error {
 	for _, v := range vs {
 		if v == nil {
@@ -33,21 +35,18 @@ func (s *System) checkOperands(name string, vs ...*Bitvector) error {
 
 // coherenceNS returns the Section 5.4.4 cache-coherence charge for an
 // operation that must flush or invalidate `rows` cached rows before DRAM may
-// operate on them, and accounts it.  The caller holds s.mu.  See DESIGN.md
-// ("Coherence model") for which rows each primitive charges.
+// operate on them, and accounts it.  The caller holds execMu exclusively or
+// statsMu.  See DESIGN.md ("Coherence model") for which rows each primitive
+// charges.
 func (s *System) coherenceNS(rows int64) float64 {
 	c := float64(rows) * s.cfg.CoherenceNSPerRow
 	s.stats.CoherenceNS += c
 	return c
 }
 
-// apply runs dst = op(a [, b]) row by row.  Corresponding rows of the
-// operands share a (bank, subarray) slot by the allocator's construction, so
-// every row-level operation is a pure Figure-8 command train; rows mapped to
-// different banks execute in parallel (Section 7's bank-level parallelism).
-func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// checkApplyOperands validates operand liveness and shape for one bulk op.
+// The caller holds execMu (read or exclusive).
+func (s *System) checkApplyOperands(op controller.Op, dst, a, b *Bitvector) error {
 	operands := []*Bitvector{dst, a}
 	if !op.Unary() {
 		operands = append(operands, b)
@@ -58,7 +57,35 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	if !dst.sameShape(a) || (!op.Unary() && !dst.sameShape(b)) {
 		return fmt.Errorf("ambit: %v: %w (size mismatch or foreign allocation); the Ambit driver requires cooperating bitvectors to be allocated with the same size on one System (Section 5.4.2)", op, ErrShapeMismatch)
 	}
+	return nil
+}
 
+// apply runs dst = op(a [, b]) row by row.  Corresponding rows of the
+// operands share a (bank, subarray) slot by the allocator's construction, so
+// every row-level operation is a pure Figure-8 command train; rows mapped to
+// different banks execute in parallel (Section 7's bank-level parallelism),
+// dispatched through the shared execution core (internal/exec).  The
+// parallel and serial paths are deterministic equals: identical results,
+// identical Stats.
+func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
+	if s.serialOnly() {
+		s.execMu.Lock()
+		defer s.execMu.Unlock()
+		return s.applySerial(op, dst, a, b)
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.applyParallel(op, dst, a, b)
+}
+
+// applySerial is the exclusive-lock path: used under observability (spans
+// need op-level before/after device snapshots), fault injection (RNG draw
+// order), and the forceSerial test hook.  The caller holds execMu
+// exclusively.
+func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
+	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
+		return err
+	}
 	// Cache coherence: flush dirty source lines, invalidate destination
 	// lines (Section 5.4.4).  Destination invalidation proceeds in
 	// parallel with the operation; source flushes precede it.
@@ -89,6 +116,10 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 						m.Add("uncorrectable_rows", 1)
 					}
 				}
+				// Partial failure: rows before r completed and reserved
+				// bank time; account the completed prefix (see below).
+				s.stats.ElapsedNS = end
+				s.stats.RowOps += int64(r)
 				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
 			}
 			done = s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
@@ -96,6 +127,11 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 			var err error
 			done, err = s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
 			if err != nil {
+				// Partial failure: the completed prefix [0, r) already
+				// reserved bank time, so the clock must advance to its
+				// end (and RowOps count it) even though the op failed.
+				s.stats.ElapsedNS = end
+				s.stats.RowOps += int64(r)
 				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
 			}
 		}
@@ -112,10 +148,71 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	return nil
 }
 
+// applyParallel is the sharded fast path: rows grouped by bank, per-bank
+// command trains on the worker pool, deterministic merge.  The caller holds
+// execMu for reading; observability is off (guaranteed by serialOnly), so no
+// span bookkeeping happens here.
+func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
+	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
+		return err
+	}
+	rows := int64(len(dst.rows)) * int64(op.InputRows())
+	s.statsMu.Lock()
+	start := s.stats.ElapsedNS + s.coherenceNS(rows)
+	s.statsMu.Unlock()
+
+	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
+	banks := exec.Banks(groups)
+	ecc := s.cfg.Reliability.ECC
+	s.eng.LockBanks(banks)
+	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		da, aa := dst.rows[r], a.rows[r]
+		var ba dram.RowAddr
+		if !op.Unary() {
+			ba = b.rows[r].Row
+		}
+		if ecc {
+			rr, err := s.execRowReliable(op, da, aa.Row, ba)
+			s.statsMu.Lock()
+			s.accountReliabilityLocked(da, rr)
+			s.statsMu.Unlock()
+			if err != nil {
+				return 0, err
+			}
+			return s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS), nil
+		}
+		return s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
+	})
+	s.eng.UnlockBanks(banks)
+
+	end := res.EndNS
+	if end < start {
+		end = start // every row failed; the coherence flush still happened
+	}
+	s.statsMu.Lock()
+	if end > s.stats.ElapsedNS {
+		s.stats.ElapsedNS = end
+	}
+	s.stats.RowOps += int64(res.Completed)
+	if res.Err == nil {
+		s.stats.BulkOps[op]++
+	} else if errors.Is(res.Err, ErrUncorrectable) {
+		s.stats.UncorrectableRows++
+	}
+	s.statsMu.Unlock()
+	if res.Err != nil {
+		// Per-bank prefix semantics: the failing bank stops at its failing
+		// row; other banks complete their rows (they are independent).
+		return fmt.Errorf("ambit: %v row %d: %w", op, res.ErrRow, res.Err)
+	}
+	return nil
+}
+
 // execRowReliable runs one row-level command train under the TMR
 // execute-verify-retry policy (DESIGN.md "Reliability model"), using the two
 // reserved per-subarray scratch rows as replica space and internal/ecc's
-// majority vote as the decoder.  The caller holds s.mu.
+// majority vote as the decoder.  The caller holds execMu (exclusively, or
+// for reading plus the destination's bank shard).
 func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow dram.RowAddr) (controller.RowResult, error) {
 	s1, s2 := s.scratchRows()
 	return s.ctrl.ExecuteOpReliable(op, da.Bank, da.Subarray, da.Row, aRow, bRow, s1, s2, s.cfg.Reliability, ecc.VoteRows)
@@ -123,7 +220,7 @@ func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow 
 
 // accountReliabilityLocked folds one row's reliability outcome into the
 // stats and the quarantine score of the destination row.  The caller holds
-// s.mu.
+// execMu exclusively, or statsMu on the parallel path.
 func (s *System) accountReliabilityLocked(da dram.PhysAddr, rr controller.RowResult) {
 	s.stats.CorrectedBits += rr.CorrectedBits
 	s.stats.Retries += rr.Retries
@@ -176,8 +273,66 @@ func (s *System) Apply(op controller.Op, dst, a, b *Bitvector) error { return s.
 // Copy copies src into dst using RowClone: FPM when the corresponding rows
 // are co-located (the normal case under this allocator), PSM otherwise.
 func (s *System) Copy(dst, src *Bitvector) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.serialOnly() {
+		s.execMu.Lock()
+		defer s.execMu.Unlock()
+		return s.copySerial(dst, src)
+	}
+	s.execMu.RLock()
+	// A cross-bank row pair (PSM copy through the channel) touches two
+	// banks per train; the parallel path shards by destination bank only,
+	// so such copies fall back to the exclusive path.
+	if err := s.checkOperands("Copy", dst, src); err != nil {
+		s.execMu.RUnlock()
+		return err
+	}
+	if len(dst.rows) != len(src.rows) {
+		s.execMu.RUnlock()
+		return fmt.Errorf("ambit: Copy: %w (%d vs %d rows)", ErrShapeMismatch, len(dst.rows), len(src.rows))
+	}
+	for r := range dst.rows {
+		if dst.rows[r].Bank != src.rows[r].Bank {
+			s.execMu.RUnlock()
+			s.execMu.Lock()
+			defer s.execMu.Unlock()
+			return s.copySerial(dst, src)
+		}
+	}
+	defer s.execMu.RUnlock()
+
+	s.statsMu.Lock()
+	start := s.stats.ElapsedNS + s.coherenceNS(2*int64(len(dst.rows)))
+	s.statsMu.Unlock()
+	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
+	banks := exec.Banks(groups)
+	s.eng.LockBanks(banks)
+	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
+		if err != nil {
+			return 0, err
+		}
+		return s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat), nil
+	})
+	s.eng.UnlockBanks(banks)
+
+	end := res.EndNS
+	if end < start {
+		end = start
+	}
+	s.statsMu.Lock()
+	if end > s.stats.ElapsedNS {
+		s.stats.ElapsedNS = end
+	}
+	s.stats.Copies += int64(res.Completed)
+	s.statsMu.Unlock()
+	if res.Err != nil {
+		return fmt.Errorf("ambit: Copy row %d: %w", res.ErrRow, res.Err)
+	}
+	return nil
+}
+
+// copySerial is Copy's exclusive-lock path; the caller holds execMu.
+func (s *System) copySerial(dst, src *Bitvector) error {
 	if err := s.checkOperands("Copy", dst, src); err != nil {
 		return err
 	}
@@ -200,6 +355,8 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	for r := range dst.rows {
 		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
 		if err != nil {
+			s.stats.ElapsedNS = end
+			s.stats.Copies += int64(r)
 			return fmt.Errorf("ambit: Copy row %d: %w", r, err)
 		}
 		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
@@ -219,8 +376,56 @@ func (s *System) Copy(dst, src *Bitvector) error {
 // pre-initialized control rows — the "masked initialization" building block
 // of Section 8.4.2 and the row-initialization primitive of Section 3.4.
 func (s *System) Fill(v *Bitvector, bit bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.serialOnly() {
+		s.execMu.Lock()
+		defer s.execMu.Unlock()
+		return s.fillSerial(v, bit)
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	if err := s.checkOperands("Fill", v); err != nil {
+		return err
+	}
+	s.statsMu.Lock()
+	start := s.stats.ElapsedNS + s.coherenceNS(int64(len(v.rows)))
+	s.statsMu.Unlock()
+	groups := exec.GroupByBank(len(v.rows), func(i int) int { return v.rows[i].Bank })
+	banks := exec.Banks(groups)
+	s.eng.LockBanks(banks)
+	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		addr := v.rows[r]
+		var lat float64
+		var err error
+		if bit {
+			lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
+		} else {
+			lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return s.dev.Bank(addr.Bank).Reserve(start, lat), nil
+	})
+	s.eng.UnlockBanks(banks)
+
+	end := res.EndNS
+	if end < start {
+		end = start
+	}
+	s.statsMu.Lock()
+	if end > s.stats.ElapsedNS {
+		s.stats.ElapsedNS = end
+	}
+	s.stats.Copies += int64(res.Completed)
+	s.statsMu.Unlock()
+	if res.Err != nil {
+		return fmt.Errorf("ambit: Fill: %w", res.Err)
+	}
+	return nil
+}
+
+// fillSerial is Fill's exclusive-lock path; the caller holds execMu.
+func (s *System) fillSerial(v *Bitvector, bit bool) error {
 	if err := s.checkOperands("Fill", v); err != nil {
 		return err
 	}
@@ -234,7 +439,7 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	opStart := s.stats.ElapsedNS
 	start := s.stats.ElapsedNS + s.coherenceNS(int64(len(v.rows)))
 	end := start
-	for _, addr := range v.rows {
+	for r, addr := range v.rows {
 		var lat float64
 		var err error
 		if bit {
@@ -243,6 +448,8 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 			lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
 		}
 		if err != nil {
+			s.stats.ElapsedNS = end
+			s.stats.Copies += int64(r)
 			return fmt.Errorf("ambit: Fill: %w", err)
 		}
 		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
@@ -263,8 +470,10 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 // perform bitcounts on the CPU, Section 8.1).  The cost charged is the
 // channel-bandwidth-bound streaming time.
 func (s *System) Popcount(v *Bitvector) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Popcount streams over the single shared channel, so it always takes
+	// the exclusive path: there is no per-bank parallelism to exploit.
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	if err := s.checkOperands("Popcount", v); err != nil {
 		return 0, err
 	}
@@ -293,7 +502,7 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 
 // chargeChannel advances simulated time by a channel-bandwidth-bound
 // transfer of the given byte count and records the traffic.  The caller
-// holds s.mu.
+// holds execMu exclusively.
 func (s *System) chargeChannel(bytes int64) {
 	gbps := s.dev.Timing().ChannelGBps
 	s.stats.ElapsedNS += float64(bytes) / gbps

@@ -60,6 +60,14 @@ func WithQuarantine(afterDetectedFaults int) Option {
 	return func(c *Config) { c.QuarantineAfter = afterDetectedFaults }
 }
 
+// WithExecWorkers caps the goroutine pool the execution core fans per-bank
+// command trains out on (direct ops and batches alike).  0, the default,
+// means GOMAXPROCS.  Worker count never affects results or statistics — only
+// host-side wall-clock.
+func WithExecWorkers(n int) Option {
+	return func(c *Config) { c.ExecWorkers = n }
+}
+
 // WithTracer installs an observability tracer: one span event per public
 // operation plus one command event per DRAM primitive flow to its sinks
 // (ambit.NewLastNSink for in-memory inspection, ambit.NewJSONLSink for a

@@ -116,8 +116,8 @@ func (st Stats) String() string {
 // per-bank busy breakdown.  Fault-injection counters are read live from the
 // fault model; QuarantinedRows reflects the current quarantine set.
 func (s *System) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	st := s.stats
 	st.BankBusyNS = s.dev.BankBusyNS()
 	if s.fm != nil {
@@ -133,8 +133,8 @@ func (s *System) Stats() Stats {
 // counters.  Memory contents, allocations, and the quarantine set are
 // untouched (quarantine is memory state, not a statistic).
 func (s *System) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	s.stats = Stats{}
 	s.dev.ResetStats()
 	s.dev.ResetTimelines()
@@ -148,8 +148,8 @@ func (s *System) ResetStats() {
 // EnergyNJ returns the total simulated energy: the device's command energy
 // under the configured model plus channel I/O energy for external traffic.
 func (s *System) EnergyNJ() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	device := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats())
 	io := float64(s.stats.ChannelBytes) / 1024 * channelIOEnergyPerKB
 	return device + io
@@ -157,7 +157,7 @@ func (s *System) EnergyNJ() float64 {
 
 // ElapsedNS returns the simulated time consumed so far.
 func (s *System) ElapsedNS() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	return s.stats.ElapsedNS
 }
