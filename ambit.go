@@ -85,6 +85,7 @@ import (
 	"ambit/internal/fault"
 	"ambit/internal/obs"
 	"ambit/internal/rowclone"
+	"ambit/internal/telemetry"
 )
 
 // Reliability is the controller's execute-verify-retry policy (re-exported
@@ -203,6 +204,19 @@ type Config struct {
 	// histograms plus reliability counters for every operation this System
 	// executes.  A registry may be shared across Systems.
 	Metrics *obs.Registry
+	// TraceSampling, when > 1, keeps one in TraceSampling op-level span
+	// events and drops the rest — back-pressure relief for sustained
+	// workloads.  Command events are never sampled.  0 or 1 keeps every
+	// span.  Applied to the configured Tracer at construction.
+	TraceSampling int
+	// TelemetryAddr, when non-empty, starts a live telemetry HTTP server on
+	// the address ("localhost:8612", ":0" for an ephemeral port — see
+	// System.TelemetryAddr) serving /metrics (Prometheus text), /healthz,
+	// /trace (SSE event stream), /banks (per-bank busy-fraction timelines),
+	// and /debug/pprof.  A Metrics registry and a Tracer stream sink are
+	// wired in automatically when not configured.  Shut down with
+	// System.Close.
+	TelemetryAddr string
 }
 
 // DefaultConfig returns the paper's standard configuration.
@@ -267,6 +281,13 @@ type System struct {
 	faultScore  map[dram.PhysAddr]int
 	quarantined map[dram.PhysAddr]bool
 
+	// Telemetry state, set at construction when Config.TelemetryAddr is
+	// non-empty and immutable afterwards: util collects per-bank busy
+	// intervals (nil keeps the hot paths free of collection), telemetry is
+	// the live HTTP server (closed by Close).
+	util      *exec.Util
+	telemetry *telemetry.Server
+
 	stats Stats
 }
 
@@ -302,7 +323,31 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.ExecWorkers < 0 {
 		return nil, fmt.Errorf("ambit: ExecWorkers must be non-negative, got %d", cfg.ExecWorkers)
 	}
+	if cfg.TraceSampling < 0 {
+		return nil, fmt.Errorf("ambit: TraceSampling must be non-negative, got %d", cfg.TraceSampling)
+	}
 	g := cfg.DRAM.Geometry
+
+	// Telemetry wiring must precede construction: the server scrapes the
+	// metrics registry and streams the tracer's events, so both must exist
+	// (and the stream sink be attached) before the controller captures the
+	// tracer.  The stream is bounded; a System without telemetry pays none
+	// of this.
+	var stream *obs.Stream
+	if cfg.TelemetryAddr != "" {
+		stream = obs.NewStream(telemetryRingEvents)
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		if cfg.Tracer == nil {
+			cfg.Tracer = obs.NewTracer(stream)
+		} else {
+			cfg.Tracer.AddSink(stream)
+		}
+	}
+	if cfg.TraceSampling > 1 && cfg.Tracer != nil {
+		cfg.Tracer.SetSpanSampling(cfg.TraceSampling)
+	}
 	if cfg.Reliability.ECC && g.DataRows() <= eccScratchRows {
 		return nil, fmt.Errorf("ambit: geometry has %d data rows per subarray; reliability needs more than the %d ECC scratch rows",
 			g.DataRows(), eccScratchRows)
@@ -325,7 +370,7 @@ func NewSystem(cfg Config) (*System, error) {
 		ctrl.SetTracer(cfg.Tracer, stepEnergyFunc(cfg.Energy, g))
 		rc.SetTracer(cfg.Tracer)
 	}
-	return &System{
+	sys := &System{
 		cfg:         cfg,
 		dev:         dev,
 		ctrl:        ctrl,
@@ -336,12 +381,29 @@ func NewSystem(cfg Config) (*System, error) {
 		fm:          fm,
 		faultScore:  make(map[dram.PhysAddr]int),
 		quarantined: make(map[dram.PhysAddr]bool),
-	}, nil
+	}
+	if cfg.TelemetryAddr != "" {
+		sys.util = exec.NewUtil(g.Banks, exec.DefaultUtilBinNS)
+		srv, err := telemetry.Serve(cfg.TelemetryAddr, telemetry.Sources{
+			Metrics: cfg.Metrics,
+			Stream:  stream,
+			Util:    sys.util,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ambit: telemetry: %w", err)
+		}
+		sys.telemetry = srv
+	}
+	return sys, nil
 }
 
 // eccScratchRows is the number of D-group rows per subarray reserved as TMR
 // replica scratch space when the reliability policy is enabled.
 const eccScratchRows = 2
+
+// telemetryRingEvents bounds the telemetry stream's retained event history
+// (the /trace endpoint's replay window).
+const telemetryRingEvents = 4096
 
 // stepEnergyFunc builds the controller's per-primitive energy pricer from the
 // energy model (the controller cannot import internal/energy, which imports
@@ -350,11 +412,13 @@ const eccScratchRows = 2
 // PRECHARGE.
 func stepEnergyFunc(m energy.Model, g dram.Geometry) controller.StepEnergyFunc {
 	wordlines := func(a dram.RowAddr) int {
-		wls, err := dram.DecodeRowAddr(a, g)
-		if err != nil {
+		// Alloc-free equivalent of len(dram.DecodeRowAddr(a, g)): only
+		// B-group addresses raise more than one wordline, and the pricer
+		// runs once per traced primitive.
+		if a.Group == dram.GroupB && (a.Index < 0 || a.Index >= dram.BGroupAddresses) {
 			return 1
 		}
-		return len(wls)
+		return dram.WordlineCount(a)
 	}
 	return func(kind controller.StepKind, a1, a2 dram.RowAddr) float64 {
 		e := m.ActivateEnergyNJ(wordlines(a1)) + m.PrechargeNJ
@@ -372,19 +436,25 @@ func (s *System) observing() bool {
 }
 
 // serialOnly reports whether operations must take the serial exclusive path:
-// observability needs op-level before/after device snapshots, the fault
-// model's RNG draw order must stay sequential to keep seeded runs
-// reproducible, and forceSerial is the test hook.
+// an armed probabilistic fault model's RNG draw order must stay sequential to
+// keep seeded runs reproducible, and forceSerial is the test hook.
+// Observability no longer forces it — the sharded tracer (obs.ShardSet) and
+// the atomic metrics registry make the parallel path produce byte-identical
+// traces and identical metrics.
 func (s *System) serialOnly() bool {
-	return s.observing() || s.fm != nil || s.forceSerial
+	return s.fm != nil || s.forceSerial
 }
 
-// observeOpLocked records one completed operation into the metrics registry
-// and the tracer: a latency/energy histogram observation and one span event.
+// observeOp records one completed operation into the metrics registry and
+// the tracer: a latency/energy histogram observation and one span event.
 // devBefore is the device-stats snapshot taken before the operation, so the
 // span's energy is the operation's own device energy.  bank is -1 for
-// operations spanning banks.  The caller holds s.mu.
-func (s *System) observeOpLocked(name string, bank, rows int, startNS, durNS float64, devBefore dram.Stats) {
+// operations spanning banks.  Safe from both the exclusive and the parallel
+// paths: the registry is atomic, the tracer locks internally, and the device
+// snapshot has its own lock.  (Under concurrent clients the energy
+// attribution between overlapping spans blends — totals are conserved; a
+// single-client program observes exactly what a serial run would.)
+func (s *System) observeOp(name string, bank, rows int, startNS, durNS float64, devBefore dram.Stats) {
 	nj := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats().Sub(devBefore))
 	if m := s.cfg.Metrics; m != nil {
 		m.ObserveLatencyNS(name, durNS)
@@ -396,6 +466,37 @@ func (s *System) observeOpLocked(name string, bank, rows int, startNS, durNS flo
 			StartNS: startNS, DurNS: durNS, EnergyPJ: nj * 1000, Rows: rows,
 		})
 	}
+}
+
+// utilRecord folds one reserved command-train interval into the bank
+// utilization collector.  A System without telemetry has no collector and
+// pays only this nil check.  endNS is the train's completion time on the
+// bank's timeline and durNS its latency, so the busy interval is
+// [endNS-durNS, endNS).
+func (s *System) utilRecord(bank int, endNS, durNS float64) {
+	if s.util != nil {
+		s.util.Record(bank, endNS-durNS, endNS)
+	}
+}
+
+// Close shuts down the live telemetry server, if Config.TelemetryAddr
+// started one; otherwise it is a no-op.  Idempotent.  The System remains
+// usable for simulation after Close — only the HTTP endpoints go away.
+func (s *System) Close() error {
+	if s.telemetry == nil {
+		return nil
+	}
+	return s.telemetry.Close()
+}
+
+// TelemetryAddr returns the telemetry server's listen address ("" when
+// telemetry is off).  With Config.TelemetryAddr ":0" this is where the
+// ephemeral port landed.
+func (s *System) TelemetryAddr() string {
+	if s.telemetry == nil {
+		return ""
+	}
+	return s.telemetry.Addr()
 }
 
 // dataRows returns the D-group rows available to the allocator: the

@@ -311,7 +311,7 @@ func (b *Batch) Run() (BatchReport, error) {
 	}
 	makespan := b.schedule(g)
 	if observing {
-		s.observeOpLocked("batch", -1, len(b.ops), s.stats.ElapsedNS-makespan, makespan, devBefore)
+		s.observeOp("batch", -1, len(b.ops), s.stats.ElapsedNS-makespan, makespan, devBefore)
 	}
 	for _, op := range b.ops {
 		if op.result != nil {
@@ -518,7 +518,9 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 		switch op.kind {
 		case batchBulk:
 			for r, lat := range op.rowLats {
-				if done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat); done > end {
+				done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat)
+				s.utilRecord(op.dst.rows[r].Bank, done, lat)
+				if done > end {
 					end = done
 				}
 			}
@@ -529,7 +531,9 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 			s.stats.RowOps += int64(len(op.dst.rows))
 		case batchCopy, batchFill:
 			for r, lat := range op.rowLats {
-				if done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat); done > end {
+				done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat)
+				s.utilRecord(op.dst.rows[r].Bank, done, lat)
+				if done > end {
 					end = done
 				}
 			}

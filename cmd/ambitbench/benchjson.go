@@ -193,15 +193,17 @@ func loadBenchReport(path string) (*BenchReport, error) {
 	return &rep, nil
 }
 
-// runCompare prints a benchstat-style old/new comparison of two reports.
-func runCompare(oldPath, newPath string) error {
+// runCompare prints a benchstat-style old/new comparison of two reports and
+// returns the benchmarks whose ns/op regressed by more than thresholdPct
+// percent (never any when thresholdPct is negative) — the CI gate's input.
+func runCompare(oldPath, newPath string, thresholdPct float64) ([]string, error) {
 	oldRep, err := loadBenchReport(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newRep, err := loadBenchReport(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	oldBy := map[string]BenchResult{}
 	for _, r := range oldRep.Results {
@@ -214,6 +216,7 @@ func runCompare(oldPath, newPath string) error {
 		names = append(names, r.Name)
 	}
 	sort.Strings(names)
+	var regressions []string
 	fmt.Printf("%-24s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, name := range names {
 		n := newBy[name]
@@ -224,7 +227,11 @@ func runCompare(oldPath, newPath string) error {
 		}
 		delta := "~"
 		if o.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+			pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if thresholdPct >= 0 && pct > thresholdPct {
+				regressions = append(regressions, fmt.Sprintf("%s (%s)", name, delta))
+			}
 		}
 		fmt.Printf("%-24s %14.0f %14.0f %9s %12.1f %12.1f\n",
 			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
@@ -232,7 +239,7 @@ func runCompare(oldPath, newPath string) error {
 	for _, name := range sortedMissing(oldBy, newBy) {
 		fmt.Printf("%-24s removed\n", name)
 	}
-	return nil
+	return regressions, nil
 }
 
 // sortedMissing lists names present in old but absent from new.

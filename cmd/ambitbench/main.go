@@ -43,6 +43,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print Prometheus-format histograms aggregated across all experiments")
 	jsonOut := flag.String("json", "", "run the direct-op benchmark grid and write a machine-readable report to this file")
 	compare := flag.Bool("compare", false, "compare two benchmark reports: ambitbench -compare old.json new.json")
+	threshold := flag.Float64("threshold", -1, "with -compare, exit nonzero when any benchmark's ns/op regresses by more than this percentage (negative = informational only)")
 	flag.Parse()
 
 	if *list {
@@ -53,8 +54,13 @@ func main() {
 		if flag.NArg() != 2 {
 			fail("-compare needs exactly two report files (old.json new.json)")
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
 			fail("%v", err)
+		}
+		if *threshold >= 0 && len(regressions) > 0 {
+			fail("%d benchmark(s) regressed beyond %.1f%%: %s",
+				len(regressions), *threshold, strings.Join(regressions, ", "))
 		}
 		return
 	}

@@ -1,0 +1,123 @@
+// Command ambitd runs the Ambit simulator as a long-lived daemon: a
+// continuous randomized bulk-bitwise workload with the live telemetry server
+// attached, for watching the simulator under sustained load.
+//
+// Usage:
+//
+//	ambitd                          # serve on localhost:8612
+//	ambitd -addr :9000 -rows 64     # bigger vectors, any interface
+//	ambitd -interval 10ms -sample 8 # slower op rate, 1-in-8 span sampling
+//
+// Endpoints (see `curl http://localhost:8612/`):
+//
+//	/metrics      Prometheus latency/energy histograms and counters
+//	/healthz      liveness
+//	/trace        live trace events (server-sent events)
+//	/banks        per-bank busy-fraction timelines (JSON)
+//	/debug/pprof  Go profiler
+//
+// The workload mixes every Figure-8 operation plus RowClone copies and fills
+// over bank-spread vectors, so /banks shows all banks active.  Interrupt
+// (ctrl-c) stops the workload, prints the final stats, and shuts the server
+// down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ambit"
+	"ambit/internal/controller"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ambitd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8612", "telemetry listen address")
+	rows := flag.Int("rows", 8, "DRAM rows per operand vector")
+	interval := flag.Duration("interval", 50*time.Millisecond, "pause between operations (0 = flat out)")
+	sample := flag.Int("sample", 0, "keep one in N op spans on /trace (0 or 1 = all)")
+	seed := flag.Int64("seed", 1, "workload data/op seed")
+	flag.Parse()
+	if *rows < 1 {
+		fail("-rows must be positive")
+	}
+
+	sys, err := ambit.New(
+		ambit.WithTelemetryAddr(*addr),
+		ambit.WithTraceSampling(*sample),
+	)
+	if err != nil {
+		fail("%v", err)
+	}
+	bits := int64(*rows) * int64(sys.RowSizeBits())
+	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	rng := rand.New(rand.NewSource(*seed))
+	w := make([]uint64, a.Words())
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := a.Load(w); err != nil {
+		fail("%v", err)
+	}
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := b.Load(w); err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("ambitd: serving on http://%s (try `curl http://%s/metrics`); ctrl-c to stop\n",
+		sys.TelemetryAddr(), sys.TelemetryAddr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	bulk := []controller.Op{
+		controller.OpAnd, controller.OpOr, controller.OpNot, controller.OpNand,
+		controller.OpNor, controller.OpXor, controller.OpXnor,
+	}
+	var ops int64
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		default:
+		}
+		var err error
+		switch k := rng.Intn(10); {
+		case k < 7:
+			err = sys.Apply(bulk[rng.Intn(len(bulk))], d, a, b)
+		case k < 8:
+			err = sys.Copy(d, a)
+		case k < 9:
+			err = sys.Fill(d, rng.Intn(2) == 1)
+		default:
+			_, err = sys.Popcount(d)
+		}
+		if err != nil {
+			fail("workload: %v", err)
+		}
+		ops++
+		if *interval > 0 {
+			select {
+			case <-stop:
+				break loop
+			case <-time.After(*interval):
+			}
+		}
+	}
+
+	fmt.Printf("ambitd: %d operations, final stats: %v\n", ops, sys.Stats())
+	if err := sys.Close(); err != nil {
+		fail("close: %v", err)
+	}
+}

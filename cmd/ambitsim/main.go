@@ -9,6 +9,12 @@
 //	ambitsim -decode B12          # show which wordlines an address raises
 //	ambitsim -info                # print device configuration
 //	ambitsim -faults -seed 7      # fault-rate sweep: raw vs TMR-protected
+//	ambitsim -serve :8612         # live telemetry server (demo workload)
+//	ambitsim -op and -a de -b 0f -serve :8612   # serve after running an op
+//
+// With -serve the process keeps running after the workload and exposes
+// /metrics (Prometheus), /healthz, /trace (SSE), /banks (per-bank busy
+// fractions), and /debug/pprof on the given address until interrupted.
 //
 // Operands are hex strings; the operation is applied bytewise over the
 // operands (padded to equal length) through full row-wide DRAM command
@@ -20,9 +26,12 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ambit"
 	"ambit/internal/controller"
@@ -48,6 +57,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault universe and data seed for -faults")
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of every DRAM command to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format latency/energy histograms after the run")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /trace, /banks, /debug/pprof) on this address and wait for interrupt; without -op, runs a demo workload")
 	flag.Parse()
 
 	if *decode != "" {
@@ -67,6 +77,10 @@ func main() {
 		return
 	}
 	if *opName == "" {
+		if *serve != "" {
+			serveDemo(*serve, *decoder != "naive", *timing, *seed)
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -110,6 +124,7 @@ func main() {
 		reg = ambit.NewMetrics()
 		cfg.Metrics = reg
 	}
+	cfg.TelemetryAddr = *serve
 	sys, err := ambit.NewSystem(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -150,6 +165,73 @@ func main() {
 			fail("metrics: %v", err)
 		}
 	}
+	if *serve != "" {
+		waitServing(sys)
+	}
+}
+
+// waitServing prints the telemetry URL and blocks until SIGINT/SIGTERM.
+func waitServing(sys *ambit.System) {
+	fmt.Printf("telemetry: serving on http://%s (try `curl http://%s/metrics`); ctrl-c to exit\n",
+		sys.TelemetryAddr(), sys.TelemetryAddr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	if err := sys.Close(); err != nil {
+		fail("telemetry close: %v", err)
+	}
+}
+
+// serveDemo runs a deterministic multi-row demo workload (every bulk op over
+// bank-spread vectors, plus a copy and fills) so the telemetry endpoints have
+// live histograms, traces, and bank timelines to show, then serves until
+// interrupted.
+func serveDemo(addr string, splitDecoder bool, timing string, seed int64) {
+	cfg := ambit.DefaultConfig()
+	cfg.SplitDecoder = splitDecoder
+	var err error
+	cfg.DRAM.Timing, err = dram.TimingByName(timing)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.TelemetryAddr = addr
+	sys, err := ambit.NewSystem(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	const rows = 8
+	bits := int64(rows) * int64(sys.RowSizeBits())
+	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]uint64, a.Words())
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := a.Load(w); err != nil {
+		fail("%v", err)
+	}
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	if err := b.Load(w); err != nil {
+		fail("%v", err)
+	}
+	for _, op := range []controller.Op{
+		controller.OpAnd, controller.OpOr, controller.OpNot, controller.OpNand,
+		controller.OpNor, controller.OpXor, controller.OpXnor,
+	} {
+		if err := sys.Apply(op, d, a, b); err != nil {
+			fail("%v", err)
+		}
+	}
+	if err := sys.Copy(d, a); err != nil {
+		fail("%v", err)
+	}
+	if err := sys.Fill(d, true); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("demo workload done: %v\n", sys.Stats())
+	waitServing(sys)
 }
 
 // pad makes a hex string even-length.

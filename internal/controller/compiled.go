@@ -2,6 +2,9 @@ package controller
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ambit/internal/dram"
 )
@@ -34,6 +37,208 @@ type compiledStep struct {
 	// D-group addresses for D-group sentinels, so eligibility is a
 	// template property.
 	split bool
+	// Trace replay templates (emitFusedTrain): the fixed addresses'
+	// strings, precomputed, and the Figure-8 comment split into literal
+	// runs and operand-role slots.  Every Figure-8 comment references at
+	// most one distinct operand role (cRole; roleFixed = pure literal), so
+	// rendered comments are interned per operand row index in cCache —
+	// replaying a traced train allocates nothing once a row's strings are
+	// cached.
+	a1Str, a2Str string
+	comment      []commentPart
+	cRole        operandRole
+	cCache       *internTable
+}
+
+// commentPart is one run of a compiled comment template: a literal when role
+// is roleFixed, otherwise an operand substitution slot.
+type commentPart struct {
+	lit  string
+	role operandRole
+}
+
+// internTable is a lock-free-read cache of strings indexed by a data-row
+// index; growth and fills happen copy-on-write under mu.  Misses render and
+// store; hits are one atomic load.  Tables hang off the package-level
+// compiled trains, so every controller shares them — the cached strings are
+// pure functions of (step template, row index).
+type internTable struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[[]string]
+}
+
+// lookup returns the interned string for idx, if cached.
+func (c *internTable) lookup(idx int) (string, bool) {
+	if idx < 0 {
+		return "", false
+	}
+	if p := c.tab.Load(); p != nil && idx < len(*p) {
+		if s := (*p)[idx]; s != "" {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// put caches s for idx and returns the canonical copy.  Negative indices
+// (test sentinels) are never cached.
+func (c *internTable) put(idx int, s string) string {
+	if idx < 0 {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var old []string
+	if p := c.tab.Load(); p != nil {
+		old = *p
+	}
+	if idx < len(old) && old[idx] != "" {
+		return old[idx] // lost the race; keep the canonical copy
+	}
+	n := len(old)
+	if idx >= n {
+		n = idx + 1
+		if grow := 2 * len(old); grow > n {
+			n = grow
+		}
+	}
+	next := make([]string, n)
+	copy(next, old)
+	next[idx] = s
+	c.tab.Store(&next)
+	return s
+}
+
+// dRowStrs interns the D-group address strings ("D0", "D1", ...) the traced
+// replay path renders three of per row.
+var dRowStrs internTable
+
+// dRowStr returns the interned dram.D(i).String().
+func dRowStr(i int) string {
+	if s, ok := dRowStrs.lookup(i); ok {
+		return s
+	}
+	return dRowStrs.put(i, dram.D(i).String())
+}
+
+// commentFor renders the step's comment for the given operands, using the
+// per-index intern cache when the comment is single-role.
+func (s *compiledStep) commentFor(dk, di, dj dram.RowAddr) string {
+	if s.cCache == nil {
+		if len(s.comment) == 1 && s.comment[0].role == roleFixed {
+			return s.comment[0].lit
+		}
+		return s.buildComment(dk, di, dj)
+	}
+	var idx int
+	switch s.cRole {
+	case roleDK:
+		idx = dk.Index
+	case roleDI:
+		idx = di.Index
+	default:
+		idx = dj.Index
+	}
+	if c, ok := s.cCache.lookup(idx); ok {
+		return c
+	}
+	return s.cCache.put(idx, s.buildComment(dk, di, dj))
+}
+
+// buildComment renders the step's compiled comment against the train's
+// operands, byte-identical to the Sequence-built original.
+func (s *compiledStep) buildComment(dk, di, dj dram.RowAddr) string {
+	return buildComment(s.comment, dk.String(), di.String(), dj.String())
+}
+
+// compileComment splits a sentinel-operand comment into literal runs and
+// operand slots.
+func compileComment(s string) []commentPart {
+	sentinels := [3]struct {
+		tok  string
+		role operandRole
+	}{
+		{dram.D(sentinelDK).String(), roleDK},
+		{dram.D(sentinelDI).String(), roleDI},
+		{dram.D(sentinelDJ).String(), roleDJ},
+	}
+	var parts []commentPart
+	for s != "" {
+		first, firstLen := -1, 0
+		role := roleFixed
+		for _, sn := range sentinels {
+			if i := strings.Index(s, sn.tok); i >= 0 && (first < 0 || i < first) {
+				first, firstLen, role = i, len(sn.tok), sn.role
+			}
+		}
+		if first < 0 {
+			parts = append(parts, commentPart{lit: s})
+			break
+		}
+		if first > 0 {
+			parts = append(parts, commentPart{lit: s[:first]})
+		}
+		parts = append(parts, commentPart{role: role})
+		s = s[first+firstLen:]
+	}
+	return parts
+}
+
+// commentRole reports the single operand role a compiled comment references
+// (roleFixed for pure literals) and whether it is single-role — every
+// Figure-8 comment is, which is what makes the per-index intern cache on
+// compiledStep sound.
+func commentRole(parts []commentPart) (operandRole, bool) {
+	role := roleFixed
+	for _, p := range parts {
+		if p.role == roleFixed {
+			continue
+		}
+		if role != roleFixed && p.role != role {
+			return roleFixed, false
+		}
+		role = p.role
+	}
+	return role, true
+}
+
+// buildComment renders a compiled comment against the train's operand
+// strings, byte-identical to the Sequence-built original.
+func buildComment(parts []commentPart, dkS, diS, djS string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	if len(parts) == 1 && parts[0].role == roleFixed {
+		return parts[0].lit
+	}
+	n := 0
+	for _, p := range parts {
+		switch p.role {
+		case roleDK:
+			n += len(dkS)
+		case roleDI:
+			n += len(diS)
+		case roleDJ:
+			n += len(djS)
+		default:
+			n += len(p.lit)
+		}
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, p := range parts {
+		switch p.role {
+		case roleDK:
+			b.WriteString(dkS)
+		case roleDI:
+			b.WriteString(diS)
+		case roleDJ:
+			b.WriteString(djS)
+		default:
+			b.WriteString(p.lit)
+		}
+	}
+	return b.String()
 }
 
 // addr1 resolves the step's first address against the train's operands.
@@ -118,12 +323,25 @@ func init() {
 		ct := compiledTrain{steps: make([]compiledStep, len(seq))}
 		for i, s := range seq {
 			ct.steps[i] = compiledStep{
-				kind:  s.Kind,
-				a1:    s.Addr1,
-				a2:    s.Addr2,
-				r1:    compileRole(s.Addr1),
-				r2:    compileRole(s.Addr2),
-				split: (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB),
+				kind:    s.Kind,
+				a1:      s.Addr1,
+				a2:      s.Addr2,
+				r1:      compileRole(s.Addr1),
+				r2:      compileRole(s.Addr2),
+				split:   (s.Addr1.Group == dram.GroupB) != (s.Addr2.Group == dram.GroupB),
+				comment: compileComment(s.Comment),
+			}
+			if ct.steps[i].r1 == roleFixed {
+				ct.steps[i].a1Str = s.Addr1.String()
+			}
+			if s.Kind == StepAAP && ct.steps[i].r2 == roleFixed {
+				ct.steps[i].a2Str = s.Addr2.String()
+			}
+			if role, single := commentRole(ct.steps[i].comment); single {
+				ct.steps[i].cRole = role
+				if role != roleFixed {
+					ct.steps[i].cCache = &internTable{}
+				}
 			}
 			ct.acts[dram.WordlineCount(s.Addr1)-1]++
 			ct.pres++
@@ -155,8 +373,10 @@ func (c *Controller) executeOpCompiled(op Op, bank, sub int, dk, di, dj dram.Row
 	if !op.Unary() && dj.Group != dram.GroupD {
 		return 0, fmt.Errorf("controller: %v operand %v is not a data row", op, dj)
 	}
-	if lat, ok := c.executeOpFused(op, bank, sub, dk, di, dj); ok {
-		return lat, nil
+	if !c.noFuse {
+		if lat, ok := c.executeOpFused(op, bank, sub, dk, di, dj); ok {
+			return lat, nil
+		}
 	}
 	ct := &compiledTrains[op]
 	c.dev.BeginTrain(bank, sub, dk.Index)

@@ -42,6 +42,11 @@ type Controller struct {
 	tr         *obs.Tracer
 	stepEnergy StepEnergyFunc
 
+	// noFuse disables the fused train evaluator on every path (test hook:
+	// equivalence tests force step-by-step execution and diff it against a
+	// fused run).
+	noFuse bool
+
 	mu    sync.Mutex // guards stats
 	stats Stats
 }
@@ -183,11 +188,21 @@ func (c *Controller) ExecuteStep(bank, sub int, s Step) (float64, error) {
 //
 // With tracing disabled this dispatches to the compiled-train fast path
 // (compiled.go), which issues the identical command sequence without
-// allocating; the Sequence-driven path below remains the traced
-// implementation because it carries the Figure-8 comments into the events.
+// allocating.  With tracing enabled it still tries the fused evaluator first
+// and replays the train's events from the Figure-8 sequence (emitFusedTrain):
+// the events are byte-identical to step-by-step execution at near-fused cost,
+// which is what keeps the traced-parallel overhead inside the CI gate.  The
+// Sequence interpreter below remains the fallback when the subarray state
+// makes fusing ineligible (armed fault hook, non-precharged bank).
 func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (float64, error) {
 	if !c.tr.Enabled() {
 		return c.executeOpCompiled(op, bank, sub, dk, di, dj)
+	}
+	if !c.noFuse {
+		if total, ok := c.executeOpFused(op, bank, sub, dk, di, dj); ok {
+			c.emitFusedTrain(op, bank, sub, dk, di, dj)
+			return total, nil
+		}
 	}
 	seq, err := Sequence(op, dk, di, dj)
 	if err != nil {
@@ -212,6 +227,82 @@ func (c *Controller) ExecuteOp(op Op, bank, sub int, dk, di, dj dram.RowAddr) (f
 	c.stats.OpCounts[op]++
 	c.mu.Unlock()
 	return total, nil
+}
+
+// emitFusedTrain replays the command events of one fused train.  The fused
+// evaluator commits state, census, and latency without materializing steps,
+// so the traced path reconstructs the per-step events from the op's compiled
+// template (compiled.go), whose address strings and comment parts were
+// precomputed from the same Figure-8 sequence the interpreter walks — same
+// names, addresses, latencies, energy, and comments, in the same order,
+// without rebuilding the sequence per row.
+func (c *Controller) emitFusedTrain(op Op, bank, sub int, dk, di, dj dram.RowAddr) {
+	ct := &compiledTrains[op]
+	t := c.dev.Timing()
+	aapSplit, aapNaive, apLat := t.AAPSplit(), t.AAPNaive(), t.AP()
+	// Operands reaching the fused path are validated D-group rows, so their
+	// renderings are interned once per distinct index.
+	dkS, diS, djS := dRowStr(dk.Index), dRowStr(di.Index), dRowStr(dj.Index)
+	opStr := func(role operandRole, fixed string) string {
+		switch role {
+		case roleDK:
+			return dkS
+		case roleDI:
+			return diS
+		case roleDJ:
+			return djS
+		}
+		return fixed
+	}
+	// Under a ShardSet (the parallel path) the whole train is filled into
+	// the bank's capture shard in place — no per-event dispatch or copying.
+	// Otherwise (traced serial path) events go through the ordinary
+	// emitCmd/Emit pipeline; both produce identical bytes.
+	if cb := c.tr.CommandBuffer(bank); cb.Active() {
+		evs := cb.Extend(len(ct.steps))
+		for i := range ct.steps {
+			s := &ct.steps[i]
+			a1 := s.addr1(dk, di, dj)
+			ev := &evs[i]
+			ev.Kind = obs.KindCommand
+			ev.Bank, ev.Subarray = bank, sub
+			ev.StartNS = -1
+			ev.Rows = 0
+			ev.A1 = opStr(s.r1, s.a1Str)
+			ev.Comment = s.commentFor(dk, di, dj)
+			if s.kind == StepAAP {
+				ev.Name = "AAP"
+				ev.A2 = opStr(s.r2, s.a2Str)
+				ev.DurNS = aapNaive
+				if c.SplitDecoder && s.split {
+					ev.DurNS = aapSplit
+				}
+				ev.EnergyPJ = c.stepEnergyNJ(StepAAP, a1, s.addr2(dk, di, dj)) * 1000
+			} else {
+				ev.Name = "AP"
+				ev.A2 = ""
+				ev.DurNS = apLat
+				ev.EnergyPJ = c.stepEnergyNJ(StepAP, a1, dram.RowAddr{}) * 1000
+			}
+		}
+		return
+	}
+	for i := range ct.steps {
+		s := &ct.steps[i]
+		a1 := s.addr1(dk, di, dj)
+		comment := s.commentFor(dk, di, dj)
+		if s.kind == StepAAP {
+			lat := aapNaive
+			if c.SplitDecoder && s.split {
+				lat = aapSplit
+			}
+			c.emitCmd("AAP", bank, sub, opStr(s.r1, s.a1Str), opStr(s.r2, s.a2Str),
+				lat, c.stepEnergyNJ(StepAAP, a1, s.addr2(dk, di, dj)), comment)
+		} else {
+			c.emitCmd("AP", bank, sub, opStr(s.r1, s.a1Str), "",
+				apLat, c.stepEnergyNJ(StepAP, a1, dram.RowAddr{}), comment)
+		}
+	}
 }
 
 // OpLatencyNS returns the command-train latency of one row-wide operation

@@ -42,6 +42,7 @@ func TestFusedMatchesStepwise(t *testing.T) {
 		for _, al := range aliases {
 			fused, step := testController(t), testController(t)
 			step.SetTracer(obs.NewTracer(obs.NopSink{}), nil)
+			step.noFuse = true // the traced path also fuses now; force stepwise
 			// Identical random state everywhere, including the scratch
 			// rows trains overwrite, so untouched rows must match too.
 			for _, addr := range auditRows {

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Group identifies which of the three row-address groups of Section 5.1 an
 // address belongs to.
@@ -49,7 +52,9 @@ func B(i int) RowAddr { return RowAddr{Group: GroupB, Index: i} }
 func C(i int) RowAddr { return RowAddr{Group: GroupC, Index: i} }
 
 // String renders the address in the paper's notation (D3, B12, C0, ...).
-func (a RowAddr) String() string { return fmt.Sprintf("%s%d", a.Group, a.Index) }
+// Traced command trains render three operand addresses per row, so this
+// avoids fmt on the common groups.
+func (a RowAddr) String() string { return a.Group.String() + strconv.Itoa(a.Index) }
 
 // Validate checks the address against a geometry.
 func (a RowAddr) Validate(g Geometry) error {

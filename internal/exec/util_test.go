@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestUtilRecordBins checks interval-to-bin folding: splitting across bin
+// boundaries, exact busy fractions, and padding to a common timeline length.
+func TestUtilRecordBins(t *testing.T) {
+	u := NewUtil(3, 100)
+
+	u.Record(0, 0, 50)    // half of bin 0
+	u.Record(0, 150, 350) // half of bin 1, all of bin 2, half of bin 3
+	u.Record(1, 90, 110)  // straddles bins 0/1: 10 ns each
+	u.Record(2, 400, 400) // zero-length: ignored
+	u.Record(2, 200, 100) // inverted: ignored
+	u.Record(-1, 0, 100)  // bad bank: ignored
+	u.Record(3, 0, 100)   // bad bank: ignored
+	u.Record(2, -50, 50)  // negative start: ignored
+
+	snap := u.Snapshot()
+	if snap.BinNS != 100 || snap.EndNS != 350 {
+		t.Fatalf("BinNS=%v EndNS=%v, want 100, 350", snap.BinNS, snap.EndNS)
+	}
+	if len(snap.Banks) != 3 {
+		t.Fatalf("got %d banks, want 3", len(snap.Banks))
+	}
+	want := [][]float64{
+		{0.5, 0.5, 1.0, 0.5},
+		{0.1, 0.1, 0, 0},
+		{0, 0, 0, 0},
+	}
+	for bank, fr := range want {
+		got := snap.Banks[bank].BusyFraction
+		if len(got) != len(fr) {
+			t.Fatalf("bank %d timeline length %d, want %d (padded)", bank, len(got), len(fr))
+		}
+		for i := range fr {
+			if !approx(got[i], fr[i]) {
+				t.Errorf("bank %d bin %d: %v, want %v", bank, i, got[i], fr[i])
+			}
+		}
+	}
+	if !approx(snap.Banks[0].TotalBusyNS, 250) {
+		t.Errorf("bank 0 TotalBusyNS = %v, want 250", snap.Banks[0].TotalBusyNS)
+	}
+	if !approx(snap.Banks[1].TotalBusyNS, 20) {
+		t.Errorf("bank 1 TotalBusyNS = %v, want 20", snap.Banks[1].TotalBusyNS)
+	}
+}
+
+// TestUtilNilAndDefaults covers the nil receiver (telemetry disabled) and the
+// default bin width.
+func TestUtilNilAndDefaults(t *testing.T) {
+	var u *Util
+	u.Record(0, 0, 100) // must not panic
+	d := NewUtil(1, 0)
+	if d.binNS != DefaultUtilBinNS {
+		t.Errorf("binNS = %v, want DefaultUtilBinNS", d.binNS)
+	}
+}
+
+// TestUtilFractionClamped checks that a bin never reports > 1 even when
+// disjoint sub-intervals fill it exactly.
+func TestUtilFractionClamped(t *testing.T) {
+	u := NewUtil(1, 100)
+	for i := 0; i < 10; i++ {
+		u.Record(0, float64(i*10), float64(i*10+10))
+	}
+	snap := u.Snapshot()
+	if f := snap.Banks[0].BusyFraction[0]; f != 1 {
+		t.Errorf("full bin fraction = %v, want exactly 1", f)
+	}
+}
+
+// TestUtilConcurrentRecord drives Record from many goroutines (one per bank,
+// the parallel engine's shape) under -race and checks totals.
+func TestUtilConcurrentRecord(t *testing.T) {
+	const banks, per = 8, 100
+	u := NewUtil(banks, 1000)
+	var wg sync.WaitGroup
+	for b := 0; b < banks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				u.Record(b, float64(i*20), float64(i*20+10))
+			}
+		}(b)
+	}
+	wg.Wait()
+	snap := u.Snapshot()
+	for b := 0; b < banks; b++ {
+		if !approx(snap.Banks[b].TotalBusyNS, per*10) {
+			t.Errorf("bank %d total %v, want %v", b, snap.Banks[b].TotalBusyNS, per*10)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Fixed histogram bucket bounds.  Fixed (rather than adaptive) buckets keep
@@ -28,25 +30,42 @@ var (
 	}
 )
 
+// atomicFloat64 is a lock-free float64 accumulator (CAS over the bit
+// pattern).  Adds from one goroutine sum in program order, so single-client
+// workloads keep the exact floating-point total a serial run produces.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
 // histogram is a fixed-bucket histogram; counts[i] is the number of
-// observations <= bounds[i], counts[len(bounds)] the +Inf overflow.  Guarded
-// by the owning Registry's lock.
+// observations <= bounds[i], counts[len(bounds)] the +Inf overflow.  All
+// fields are atomic, so observation takes no lock; a concurrent snapshot may
+// see an observation's bucket before its sum (each field is individually
+// consistent and monotone).
 type histogram struct {
 	bounds []float64
-	counts []uint64
-	sum    float64
-	count  uint64
+	counts []atomic.Uint64
+	sum    atomicFloat64
+	count  atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
 func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.count++
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
 }
 
 // HistogramSnapshot is a self-contained copy of one histogram.
@@ -63,11 +82,15 @@ type HistogramSnapshot struct {
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
 	return HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
-		Counts: append([]uint64(nil), h.counts...),
-		Sum:    h.sum,
-		Count:  h.count,
+		Counts: counts,
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
 	}
 }
 
@@ -75,66 +98,97 @@ func (h *histogram) snapshot() HistogramSnapshot {
 // counters (retries, corrected bits, ...).  It is safe for concurrent use
 // and may be shared by several Systems — their observations merge, which is
 // how cmd/ambitbench aggregates across experiments.
+//
+// The observation hot paths (ObserveLatencyNS, ObserveEnergyNJ, Add) are
+// lock-free once an opcode or counter exists: the name maps are replaced
+// copy-on-write under growMu only when a new entry appears, and the
+// histograms and counters themselves are atomic.
 type Registry struct {
-	mu       sync.Mutex
-	latency  map[string]*histogram
-	energy   map[string]*histogram
-	counters map[string]int64
+	growMu   sync.Mutex // serializes map growth; never taken on hot paths
+	latency  atomic.Pointer[map[string]*histogram]
+	energy   atomic.Pointer[map[string]*histogram]
+	counters atomic.Pointer[map[string]*atomic.Int64]
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		latency:  map[string]*histogram{},
-		energy:   map[string]*histogram{},
-		counters: map[string]int64{},
+	r := &Registry{}
+	lm, em, cm := map[string]*histogram{}, map[string]*histogram{}, map[string]*atomic.Int64{}
+	r.latency.Store(&lm)
+	r.energy.Store(&em)
+	r.counters.Store(&cm)
+	return r
+}
+
+// hist returns the named histogram, creating it copy-on-write on first use.
+func (r *Registry) hist(p *atomic.Pointer[map[string]*histogram], name string, bounds []float64) *histogram {
+	if h := (*p.Load())[name]; h != nil {
+		return h
 	}
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	m := *p.Load()
+	if h := m[name]; h != nil {
+		return h
+	}
+	next := make(map[string]*histogram, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	h := newHistogram(bounds)
+	next[name] = h
+	p.Store(&next)
+	return h
 }
 
 // ObserveLatencyNS records one operation's simulated latency.
 func (r *Registry) ObserveLatencyNS(op string, ns float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.latency[op]
-	if h == nil {
-		h = newHistogram(LatencyBucketsNS)
-		r.latency[op] = h
-	}
-	h.observe(ns)
+	r.hist(&r.latency, op, LatencyBucketsNS).observe(ns)
 }
 
 // ObserveEnergyNJ records one operation's simulated device energy.
 func (r *Registry) ObserveEnergyNJ(op string, nj float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.energy[op]
-	if h == nil {
-		h = newHistogram(EnergyBucketsNJ)
-		r.energy[op] = h
+	r.hist(&r.energy, op, EnergyBucketsNJ).observe(nj)
+}
+
+// counter returns the named counter, creating it copy-on-write on first use.
+func (r *Registry) counter(name string) *atomic.Int64 {
+	if c := (*r.counters.Load())[name]; c != nil {
+		return c
 	}
-	h.observe(nj)
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	m := *r.counters.Load()
+	if c := m[name]; c != nil {
+		return c
+	}
+	next := make(map[string]*atomic.Int64, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	c := new(atomic.Int64)
+	next[name] = c
+	r.counters.Store(&next)
+	return c
 }
 
 // Add increments counter name by delta (creating it at zero first).
 func (r *Registry) Add(name string, delta int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters[name] += delta
+	r.counter(name).Add(delta)
 }
 
 // Counter returns the current value of a counter (0 if never touched).
 func (r *Registry) Counter(name string) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	if c := (*r.counters.Load())[name]; c != nil {
+		return c.Load()
+	}
+	return 0
 }
 
 // LatencyNS returns a snapshot of op's latency histogram.
 func (r *Registry) LatencyNS(op string) (HistogramSnapshot, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.latency[op]
-	if !ok {
+	h := (*r.latency.Load())[op]
+	if h == nil {
 		return HistogramSnapshot{}, false
 	}
 	return h.snapshot(), true
@@ -142,10 +196,8 @@ func (r *Registry) LatencyNS(op string) (HistogramSnapshot, bool) {
 
 // EnergyNJ returns a snapshot of op's energy histogram.
 func (r *Registry) EnergyNJ(op string) (HistogramSnapshot, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.energy[op]
-	if !ok {
+	h := (*r.energy.Load())[op]
+	if h == nil {
 		return HistogramSnapshot{}, false
 	}
 	return h.snapshot(), true
@@ -154,13 +206,11 @@ func (r *Registry) EnergyNJ(op string) (HistogramSnapshot, bool) {
 // Ops returns the sorted set of opcodes with at least one latency or energy
 // observation.
 func (r *Registry) Ops() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	seen := map[string]bool{}
-	for op := range r.latency {
+	for op := range *r.latency.Load() {
 		seen[op] = true
 	}
-	for op := range r.energy {
+	for op := range *r.energy.Load() {
 		seen[op] = true
 	}
 	out := make([]string, 0, len(seen))
@@ -173,10 +223,11 @@ func (r *Registry) Ops() []string {
 
 // WriteTo renders the registry in Prometheus text exposition format:
 // ambit_op_latency_ns / ambit_op_energy_nj histograms labelled by op, and
-// ambit_<name>_total counters.  Output is deterministically ordered.
+// ambit_<name>_total counters.  Output is deterministically ordered.  The
+// totals (_count and the +Inf bucket) are derived from the bucket counts of
+// one snapshot, so every rendered histogram is internally consistent even
+// while observations race the scrape.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var b strings.Builder
 
 	writeHist := func(metric, help string, m map[string]*histogram) {
@@ -190,29 +241,31 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		}
 		sort.Strings(ops)
 		for _, op := range ops {
-			h := m[op]
+			s := m[op].snapshot()
 			var cum uint64
-			for i, bound := range h.bounds {
-				cum += h.counts[i]
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
 				fmt.Fprintf(&b, "%s_bucket{op=%q,le=%q} %d\n", metric, op, ftoa(bound), cum)
 			}
-			fmt.Fprintf(&b, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", metric, op, h.count)
-			fmt.Fprintf(&b, "%s_sum{op=%q} %s\n", metric, op, ftoa(h.sum))
-			fmt.Fprintf(&b, "%s_count{op=%q} %d\n", metric, op, h.count)
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(&b, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", metric, op, cum)
+			fmt.Fprintf(&b, "%s_sum{op=%q} %s\n", metric, op, ftoa(s.Sum))
+			fmt.Fprintf(&b, "%s_count{op=%q} %d\n", metric, op, cum)
 		}
 	}
-	writeHist("ambit_op_latency_ns", "Simulated per-operation latency in nanoseconds.", r.latency)
-	writeHist("ambit_op_energy_nj", "Simulated per-operation device energy in nanojoules.", r.energy)
+	writeHist("ambit_op_latency_ns", "Simulated per-operation latency in nanoseconds.", *r.latency.Load())
+	writeHist("ambit_op_energy_nj", "Simulated per-operation device energy in nanojoules.", *r.energy.Load())
 
-	names := make([]string, 0, len(r.counters))
-	for name := range r.counters {
+	counters := *r.counters.Load()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		metric := "ambit_" + name + "_total"
 		fmt.Fprintf(&b, "# HELP %s Cumulative %s.\n# TYPE %s counter\n%s %d\n",
-			metric, strings.ReplaceAll(name, "_", " "), metric, metric, r.counters[name])
+			metric, strings.ReplaceAll(name, "_", " "), metric, metric, counters[name].Load())
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err

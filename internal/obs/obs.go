@@ -104,10 +104,33 @@ func (NopSink) Flush() error { return nil }
 //
 // A nil *Tracer is valid and permanently disabled, so instrumented code can
 // hold one unconditionally and guard emission with a single Enabled() call.
+//
+// Two emission regimes coexist.  By default Emit assigns the event a global
+// sequence number and delivers it to every sink under the sink lock.  While a
+// ShardSet is installed (BeginShards), command events of the routed banks are
+// instead appended lock-free to per-bank shards and delivered in one
+// deterministic batch by MergeAndEmit — see shard.go.
 type Tracer struct {
 	enabled atomic.Bool
 	seq     atomic.Uint64
 
+	// routes is the installed shard route table (nil when no ShardSet is
+	// active).  Readers load it without a lock; BeginShards/MergeAndEmit
+	// replace it copy-on-write under shardMu.  shardSets recycles ShardSet
+	// objects (and their capture buffers) across operations.
+	routes    atomic.Pointer[routeTable]
+	shardMu   sync.Mutex
+	shardSets sync.Pool
+
+	// sampleN is the span sampling modulus (0 or 1: keep every span);
+	// spanCount numbers spans since sampling was last configured, so the
+	// first span after SetSpanSampling is always kept.
+	sampleN   atomic.Int64
+	spanCount atomic.Uint64
+
+	// mu guards sinks: both the slice (AddSink) and delivery (Emit, Flush),
+	// so sinks never observe a half-delivered batch interleaved with a
+	// mutation.  SetEnabled is atomic and never takes it.
 	mu    sync.Mutex
 	sinks []Sink
 }
@@ -131,7 +154,22 @@ func (t *Tracer) Enabled() bool {
 // emission: events racing with a disable may still be delivered.
 func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
 
-// AddSink attaches another sink.  It does not change the enabled flag.
+// SetSpanSampling keeps one in n span events (the 1st, the n+1th, ...) and
+// drops the rest — back-pressure relief for sustained workloads where
+// op-level spans dominate sink volume.  n <= 1 restores full emission.
+// Command events are never sampled: the command stream is what the
+// deterministic trace guarantees cover.  Safe concurrently with Emit.
+func (t *Tracer) SetSpanSampling(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.sampleN.Store(int64(n))
+	t.spanCount.Store(0)
+}
+
+// AddSink attaches another sink.  It does not change the enabled flag.  Safe
+// concurrently with Emit: the sink lock serializes the append against
+// delivery, so the new sink starts receiving at an event boundary.
 func (t *Tracer) AddSink(s Sink) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -141,9 +179,31 @@ func (t *Tracer) AddSink(s Sink) {
 // Emit assigns the event its sequence number and delivers it to every sink.
 // Callers should guard with Enabled() to keep the disabled path free; Emit
 // itself also drops events when disabled, so a racing disable is safe.
+// Span events are subject to SetSpanSampling; command events never are.
+//
+// If a ShardSet routes the event's bank (BeginShards), command events with
+// relative start times are captured into the bank's shard instead — lock-free,
+// sequence numbers deferred to the deterministic merge.  Span events and
+// absolute-time commands (the request scheduler's) always take the direct
+// path: they are emitted outside the sharded row loop.
 func (t *Tracer) Emit(e Event) {
 	if !t.Enabled() {
 		return
+	}
+	if e.Kind == KindSpan {
+		if n := t.sampleN.Load(); n > 1 && (t.spanCount.Add(1)-1)%uint64(n) != 0 {
+			return
+		}
+	}
+	if e.Kind == KindCommand && e.StartNS < 0 {
+		if rt := t.routes.Load(); rt != nil && e.Bank >= 0 && e.Bank < len(rt.shards) {
+			if sh := rt.shards[e.Bank]; sh != nil {
+				// Single writer: the emitting goroutine holds the bank's
+				// execution shard lock (the BeginShards contract).
+				sh.append(e)
+				return
+			}
+		}
 	}
 	e.Seq = t.seq.Add(1)
 	t.mu.Lock()

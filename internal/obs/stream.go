@@ -1,0 +1,101 @@
+package obs
+
+import "sync"
+
+// Stream is a Sink that fans events out to live subscribers while retaining
+// the most recent events in a bounded ring — the backing store of the
+// telemetry server's /trace SSE endpoint.
+//
+// Delivery to subscribers is non-blocking: a subscriber whose channel buffer
+// is full loses the event (counted in Dropped) rather than stalling the
+// simulator.  A new subscriber first receives the ring's retained history,
+// so `curl /trace` right after a run still shows the recent command stream.
+type Stream struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	full    bool
+	subs    map[uint64]chan Event
+	nextID  uint64
+	dropped uint64
+}
+
+// NewStream creates a stream retaining the last n events (minimum 1).
+func NewStream(n int) *Stream {
+	if n < 1 {
+		n = 1
+	}
+	return &Stream{ring: make([]Event, n), subs: map[uint64]chan Event{}}
+}
+
+// Emit implements Sink: retain the event and offer it to every subscriber.
+func (s *Stream) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[s.next] = e
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Flush implements Sink; a stream has nothing buffered.
+func (s *Stream) Flush() error { return nil }
+
+// Subscribe registers a live subscriber with the given channel buffer
+// (minimum 1) and returns its id, the event channel, and a snapshot of the
+// retained history (oldest first).  Events emitted after Subscribe returns
+// are delivered on the channel; the history snapshot and the channel never
+// overlap or drop between them, because both are taken under one lock.
+func (s *Stream) Subscribe(buf int) (uint64, <-chan Event, []Event) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = ch
+	return id, ch, s.historyLocked()
+}
+
+// Unsubscribe removes a subscriber.  Its channel is not closed (the emitter
+// may be racing a send); the subscriber just stops receiving.
+func (s *Stream) Unsubscribe(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+// History returns the retained events, oldest first.
+func (s *Stream) History() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.historyLocked()
+}
+
+func (s *Stream) historyLocked() []Event {
+	if !s.full {
+		return append([]Event(nil), s.ring[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Dropped reports how many events were lost to slow subscribers.
+func (s *Stream) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

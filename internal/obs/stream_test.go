@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamRingWraps checks bounded retention: the ring keeps only the most
+// recent n events, oldest first.
+func TestStreamRingWraps(t *testing.T) {
+	s := NewStream(4)
+	for i := 0; i < 7; i++ {
+		s.Emit(Event{Kind: KindSpan, Name: fmt.Sprintf("e%d", i)})
+	}
+	h := s.History()
+	if len(h) != 4 {
+		t.Fatalf("history length %d, want 4", len(h))
+	}
+	for i, e := range h {
+		if want := fmt.Sprintf("e%d", i+3); e.Name != want {
+			t.Errorf("history[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+}
+
+// TestStreamSubscribeHistoryThenLive checks the no-gap contract: a subscriber
+// gets the retained history snapshot, then every later event on the channel.
+func TestStreamSubscribeHistoryThenLive(t *testing.T) {
+	s := NewStream(8)
+	s.Emit(Event{Kind: KindSpan, Name: "old"})
+	id, ch, hist := s.Subscribe(4)
+	defer s.Unsubscribe(id)
+	if len(hist) != 1 || hist[0].Name != "old" {
+		t.Fatalf("history = %+v, want [old]", hist)
+	}
+	s.Emit(Event{Kind: KindSpan, Name: "live"})
+	select {
+	case e := <-ch:
+		if e.Name != "live" {
+			t.Errorf("live event %q, want %q", e.Name, "live")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live event not delivered")
+	}
+}
+
+// TestStreamSlowSubscriberDrops checks that a full subscriber buffer drops
+// (and counts) rather than blocking the emitter.
+func TestStreamSlowSubscriberDrops(t *testing.T) {
+	s := NewStream(8)
+	id, ch, _ := s.Subscribe(1)
+	defer s.Unsubscribe(id)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ { // would deadlock if Emit blocked
+			s.Emit(Event{Kind: KindSpan, Name: fmt.Sprintf("e%d", i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+	if d := s.Dropped(); d != 9 {
+		t.Errorf("Dropped = %d, want 9 (buffer of 1, 10 events)", d)
+	}
+	if e := <-ch; e.Name != "e0" {
+		t.Errorf("buffered event %q, want e0", e.Name)
+	}
+}
+
+// TestStreamConcurrent hammers Emit against Subscribe/Unsubscribe/History for
+// the -race audit.
+func TestStreamConcurrent(t *testing.T) {
+	s := NewStream(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.Emit(Event{Kind: KindCommand, Name: "AAP", Seq: uint64(i)})
+		}
+		close(stop)
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, ch, _ := s.Subscribe(2)
+				select {
+				case <-ch:
+				default:
+				}
+				s.History()
+				s.Unsubscribe(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(s.History()) != 64 {
+		t.Errorf("history length %d, want full ring of 64", len(s.History()))
+	}
+}

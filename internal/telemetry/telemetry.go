@@ -1,0 +1,192 @@
+// Package telemetry is the live observability endpoint of the simulator: a
+// small HTTP server exposing the metrics registry, the trace event stream,
+// and the per-bank utilization timelines of a running System.
+//
+// Endpoints:
+//
+//	/            index (plain-text endpoint listing)
+//	/healthz     liveness probe ("ok")
+//	/metrics     Prometheus text exposition of the metrics registry
+//	/trace       server-sent events: the live trace stream, preceded by the
+//	             bounded ring's retained history
+//	/banks       JSON per-bank busy-fraction timelines (exec.UtilSnapshot)
+//	/debug/pprof Go profiler endpoints
+//
+// The server is read-only and holds no simulator locks: /metrics renders an
+// atomic registry snapshot, /banks copies the collector under its own mutex,
+// and /trace subscribes to a non-blocking fan-out — a slow scraper can never
+// stall simulation.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"ambit/internal/exec"
+	"ambit/internal/obs"
+)
+
+// Sources are the data feeds the server exposes.  Any of them may be nil;
+// the corresponding endpoint then reports 503 Service Unavailable.
+type Sources struct {
+	// Metrics backs /metrics.
+	Metrics *obs.Registry
+	// Stream backs /trace.
+	Stream *obs.Stream
+	// Util backs /banks.
+	Util *exec.Util
+}
+
+// Server is a running telemetry HTTP server.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	src  Sources
+	done chan struct{}
+	once sync.Once
+}
+
+// Serve binds addr (":0" for an ephemeral port) and starts serving in a
+// background goroutine.
+func Serve(addr string, src Sources) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, src: src, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/banks", s.banks)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, interrupting open /trace streams.
+// Idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.done)
+		err = s.srv.Close()
+	})
+	return err
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "ambit telemetry\n\n"+
+		"/healthz      liveness\n"+
+		"/metrics      Prometheus latency/energy histograms and counters\n"+
+		"/trace        live trace events (server-sent events)\n"+
+		"/banks        per-bank busy-fraction timelines (JSON)\n"+
+		"/debug/pprof  Go profiler\n")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	if s.src.Metrics == nil {
+		http.Error(w, "no metrics registry configured", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.src.Metrics.WriteTo(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) banks(w http.ResponseWriter, _ *http.Request) {
+	if s.src.Util == nil {
+		http.Error(w, "no bank-utilization collector configured", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.src.Util.Snapshot()) //nolint:errcheck // client went away
+}
+
+// traceEvent is the JSON shape of one streamed event.
+type traceEvent struct {
+	Seq      uint64  `json:"seq"`
+	Kind     string  `json:"kind"`
+	Name     string  `json:"name"`
+	Bank     int     `json:"bank"`
+	Subarray int     `json:"subarray"`
+	StartNS  float64 `json:"start_ns"`
+	DurNS    float64 `json:"dur_ns"`
+	EnergyPJ float64 `json:"energy_pj"`
+	Rows     int     `json:"rows,omitempty"`
+	A1       string  `json:"a1,omitempty"`
+	A2       string  `json:"a2,omitempty"`
+	Comment  string  `json:"comment,omitempty"`
+}
+
+func writeSSE(w http.ResponseWriter, e obs.Event) error {
+	data, err := json.Marshal(traceEvent{
+		Seq: e.Seq, Kind: e.Kind.String(), Name: e.Name,
+		Bank: e.Bank, Subarray: e.Subarray,
+		StartNS: e.StartNS, DurNS: e.DurNS, EnergyPJ: e.EnergyPJ,
+		Rows: e.Rows, A1: e.A1, A2: e.A2, Comment: e.Comment,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if s.src.Stream == nil {
+		http.Error(w, "no trace stream configured", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	id, ch, history := s.src.Stream.Subscribe(1024)
+	defer s.src.Stream.Unsubscribe(id)
+	for _, e := range history {
+		if writeSSE(w, e) != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case e := <-ch:
+			if writeSSE(w, e) != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ambit/internal/exec"
+	"ambit/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints starts a fully-sourced server on an ephemeral port and
+// probes every endpoint.
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.ObserveLatencyNS("and", 196)
+	reg.Add("retries", 2)
+	stream := obs.NewStream(16)
+	stream.Emit(obs.Event{Kind: obs.KindCommand, Name: "AAP", Seq: 1, DurNS: 49, A1: "D0", A2: "B0"})
+	util := exec.NewUtil(2, 100)
+	util.Record(0, 0, 50)
+
+	s, err := Serve("127.0.0.1:0", Sources{Metrics: reg, Stream: stream, Util: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`ambit_op_latency_ns_sum{op="and"} 196`,
+		`ambit_op_latency_ns_count{op="and"} 1`,
+		"ambit_retries_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/banks")
+	if code != 200 || !strings.Contains(body, `"busy_fraction"`) {
+		t.Errorf("/banks = %d %q", code, body)
+	}
+
+	// /trace replays history, then streams live events.
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	lines := []string{}
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			lines = append(lines, data)
+			if len(lines) == 1 {
+				stream.Emit(obs.Event{Kind: obs.KindCommand, Name: "AP", Seq: 2, DurNS: 45})
+			}
+			if len(lines) == 2 {
+				break
+			}
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d SSE events, want history + live = 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"name":"AAP"`) || !strings.Contains(lines[1], `"name":"AP"`) {
+		t.Errorf("SSE events out of order: %v", lines)
+	}
+}
+
+// TestServerNilSources checks that missing sources degrade to 503, not
+// panics.
+func TestServerNilSources(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Sources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	for _, ep := range []string{"/metrics", "/banks", "/trace"} {
+		if code, _ := get(t, base+ep); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nil source = %d, want 503", ep, code)
+		}
+	}
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Errorf("/healthz = %d, want 200 even with nil sources", code)
+	}
+}
+
+// TestServerCloseIdempotent checks double-Close and that Close interrupts an
+// open /trace stream.
+func TestServerCloseIdempotent(t *testing.T) {
+	stream := obs.NewStream(4)
+	s, err := Serve("127.0.0.1:0", Sources{Stream: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Get("http://" + s.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.ReadAll(resp.Body) //nolint:errcheck // interrupted by Close
+	}()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("Close did not interrupt the open /trace stream")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -78,9 +78,8 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	return s.applyParallel(op, dst, a, b)
 }
 
-// applySerial is the exclusive-lock path: used under observability (spans
-// need op-level before/after device snapshots), fault injection (RNG draw
-// order), and the forceSerial test hook.  The caller holds execMu
+// applySerial is the exclusive-lock path: used under fault injection (RNG
+// draw order) and the forceSerial test hook.  The caller holds execMu
 // exclusively.
 func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
@@ -123,9 +122,10 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
 			}
 			done = s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
+			s.utilRecord(da.Bank, done, rr.LatencyNS)
 		} else {
 			var err error
-			done, err = s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
+			done, err = s.scheduleRow(op, da, aa.Row, ba, start)
 			if err != nil {
 				// Partial failure: the completed prefix [0, r) already
 				// reserved bank time, so the clock must advance to its
@@ -143,29 +143,54 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 	s.stats.BulkOps[op]++
 	s.stats.RowOps += int64(len(dst.rows))
 	if observing {
-		s.observeOpLocked(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
 
+// scheduleRow executes one row-level command train, reserves the bank's
+// timeline from `start`, and records the busy interval into the utilization
+// collector.  Semantically controller.ScheduleOp, inlined so the per-row
+// latency reaches the collector.
+func (s *System) scheduleRow(op controller.Op, da dram.PhysAddr, aRow, bRow dram.RowAddr, start float64) (float64, error) {
+	lat, err := s.ctrl.ExecuteOp(op, da.Bank, da.Subarray, da.Row, aRow, bRow)
+	if err != nil {
+		return 0, err
+	}
+	done := s.dev.Bank(da.Bank).Reserve(start, lat)
+	s.utilRecord(da.Bank, done, lat)
+	return done, nil
+}
+
 // applyParallel is the sharded fast path: rows grouped by bank, per-bank
 // command trains on the worker pool, deterministic merge.  The caller holds
-// execMu for reading; observability is off (guaranteed by serialOnly), so no
-// span bookkeeping happens here.
+// execMu for reading.  Observability rides along losslessly: command events
+// are captured into per-bank shards and merged into serial emission order
+// after the barrier (obs.ShardSet), metrics go to the atomic registry, and
+// the op span is emitted after the merge — a single-client traced run is
+// byte-identical to the serial path.
 func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
 		return err
 	}
 	rows := int64(len(dst.rows)) * int64(op.InputRows())
+	observing := s.observing()
+	var devBefore dram.Stats
 	s.statsMu.Lock()
-	start := s.stats.ElapsedNS + s.coherenceNS(rows)
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
+	start := opStart + s.coherenceNS(rows)
 	s.statsMu.Unlock()
 
 	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
 	banks := exec.Banks(groups)
 	ecc := s.cfg.Reliability.ECC
 	s.eng.LockBanks(banks)
+	ss := s.cfg.Tracer.BeginShards(banks)
 	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		ss.SetRow(bank, r)
 		da, aa := dst.rows[r], a.rows[r]
 		var ba dram.RowAddr
 		if !op.Unary() {
@@ -179,10 +204,13 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 			if err != nil {
 				return 0, err
 			}
-			return s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS), nil
+			done := s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
+			s.utilRecord(da.Bank, done, rr.LatencyNS)
+			return done, nil
 		}
-		return s.ctrl.ScheduleOp(op, da.Bank, da.Subarray, da.Row, aa.Row, ba, start)
+		return s.scheduleRow(op, da, aa.Row, ba, start)
 	})
+	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
 
 	end := res.EndNS
@@ -198,12 +226,18 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 		s.stats.BulkOps[op]++
 	} else if errors.Is(res.Err, ErrUncorrectable) {
 		s.stats.UncorrectableRows++
+		if m := s.cfg.Metrics; m != nil {
+			m.Add("uncorrectable_rows", 1)
+		}
 	}
 	s.statsMu.Unlock()
 	if res.Err != nil {
 		// Per-bank prefix semantics: the failing bank stops at its failing
 		// row; other banks complete their rows (they are independent).
 		return fmt.Errorf("ambit: %v row %d: %w", op, res.ErrRow, res.Err)
+	}
+	if observing {
+		s.observeOp(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -300,19 +334,30 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	}
 	defer s.execMu.RUnlock()
 
+	observing := s.observing()
+	var devBefore dram.Stats
 	s.statsMu.Lock()
-	start := s.stats.ElapsedNS + s.coherenceNS(2*int64(len(dst.rows)))
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
+	start := opStart + s.coherenceNS(2*int64(len(dst.rows)))
 	s.statsMu.Unlock()
 	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
 	banks := exec.Banks(groups)
 	s.eng.LockBanks(banks)
+	ss := s.cfg.Tracer.BeginShards(banks)
 	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		ss.SetRow(bank, r)
 		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
 		if err != nil {
 			return 0, err
 		}
-		return s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat), nil
+		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
+		s.utilRecord(dst.rows[r].Bank, done, lat)
+		return done, nil
 	})
+	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
 
 	end := res.EndNS
@@ -327,6 +372,9 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	s.statsMu.Unlock()
 	if res.Err != nil {
 		return fmt.Errorf("ambit: Copy row %d: %w", res.ErrRow, res.Err)
+	}
+	if observing {
+		s.observeOp("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -360,6 +408,7 @@ func (s *System) copySerial(dst, src *Bitvector) error {
 			return fmt.Errorf("ambit: Copy row %d: %w", r, err)
 		}
 		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
+		s.utilRecord(dst.rows[r].Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -367,7 +416,7 @@ func (s *System) copySerial(dst, src *Bitvector) error {
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(dst.rows))
 	if observing {
-		s.observeOpLocked("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -386,13 +435,21 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	if err := s.checkOperands("Fill", v); err != nil {
 		return err
 	}
+	observing := s.observing()
+	var devBefore dram.Stats
 	s.statsMu.Lock()
-	start := s.stats.ElapsedNS + s.coherenceNS(int64(len(v.rows)))
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
+	start := opStart + s.coherenceNS(int64(len(v.rows)))
 	s.statsMu.Unlock()
 	groups := exec.GroupByBank(len(v.rows), func(i int) int { return v.rows[i].Bank })
 	banks := exec.Banks(groups)
 	s.eng.LockBanks(banks)
+	ss := s.cfg.Tracer.BeginShards(banks)
 	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		ss.SetRow(bank, r)
 		addr := v.rows[r]
 		var lat float64
 		var err error
@@ -404,8 +461,11 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 		if err != nil {
 			return 0, err
 		}
-		return s.dev.Bank(addr.Bank).Reserve(start, lat), nil
+		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
+		s.utilRecord(addr.Bank, done, lat)
+		return done, nil
 	})
+	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
 
 	end := res.EndNS
@@ -420,6 +480,9 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	s.statsMu.Unlock()
 	if res.Err != nil {
 		return fmt.Errorf("ambit: Fill: %w", res.Err)
+	}
+	if observing {
+		s.observeOp("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -453,6 +516,7 @@ func (s *System) fillSerial(v *Bitvector, bit bool) error {
 			return fmt.Errorf("ambit: Fill: %w", err)
 		}
 		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
+		s.utilRecord(addr.Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -460,7 +524,7 @@ func (s *System) fillSerial(v *Bitvector, bit bool) error {
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(v.rows))
 	if observing {
-		s.observeOpLocked("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
+		s.observeOp("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -495,7 +559,7 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 	}
 	s.chargeChannel(int64(len(v.rows)) * int64(s.dev.Geometry().RowSizeBytes))
 	if observing {
-		s.observeOpLocked("popcount", -1, len(v.rows), opStart, s.stats.ElapsedNS-opStart, devBefore)
+		s.observeOp("popcount", -1, len(v.rows), opStart, s.stats.ElapsedNS-opStart, devBefore)
 	}
 	return n, nil
 }

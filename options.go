@@ -83,3 +83,24 @@ func WithTracer(tr *Tracer) Option {
 func WithMetrics(m *MetricsRegistry) Option {
 	return func(c *Config) { c.Metrics = m }
 }
+
+// WithTraceSampling keeps one in n op-level span events (the 1st, the n+1th,
+// ...) and drops the rest — back-pressure relief when sustained workloads
+// would otherwise flood span consumers.  Command events are never sampled,
+// so command-level traces stay complete and deterministic.  n <= 1 keeps
+// every span.
+func WithTraceSampling(n int) Option {
+	return func(c *Config) { c.TraceSampling = n }
+}
+
+// WithTelemetryAddr starts a live telemetry HTTP server on the given address
+// when the System is constructed: /metrics serves the Prometheus rendering
+// of the metrics registry, /healthz liveness, /trace a server-sent-events
+// stream of live trace events, /banks per-bank busy-fraction timelines, and
+// /debug/pprof the Go profiler.  A metrics registry and a tracer stream sink
+// are created automatically if none are configured.  Use ":0" to bind an
+// ephemeral port (read it back with System.TelemetryAddr) and System.Close
+// to shut the server down.
+func WithTelemetryAddr(addr string) Option {
+	return func(c *Config) { c.TelemetryAddr = addr }
+}

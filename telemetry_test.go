@@ -1,0 +1,244 @@
+package ambit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ambit/internal/exec"
+)
+
+// httpGet fetches a telemetry endpoint and returns status and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promSums extracts `<metric>_sum{op="..."} <v>` values from a Prometheus
+// text exposition.
+func promSums(body, metric string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, metric+`_sum{op="`)
+		if !ok {
+			continue
+		}
+		op, val, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseFloat(val, 64); err == nil {
+			out[op] = v
+		}
+	}
+	return out
+}
+
+// TestTelemetryEndToEnd boots a System with a live telemetry server on an
+// ephemeral port, runs the standard workload, and checks every endpoint
+// against the System's own accounting: /healthz liveness, /metrics histogram
+// sums equal to Stats.ElapsedNS (the ISSUE's acceptance criterion), /banks
+// busy time consistent with the op latencies, and /trace replaying the
+// retained command stream over SSE.  Close is idempotent and tears the
+// endpoints down.
+func TestTelemetryEndToEnd(t *testing.T) {
+	sys, err := New(WithTelemetryAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	addr := sys.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("TelemetryAddr is empty with telemetry configured")
+	}
+	base := "http://" + addr
+
+	obsWorkload(t, sys)
+	st := sys.Stats()
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var latSum float64
+	for _, v := range promSums(body, "ambit_op_latency_ns") {
+		latSum += v
+	}
+	if math.Abs(latSum-st.ElapsedNS) > 1e-6 {
+		t.Errorf("/metrics latency sums = %v ns, Stats.ElapsedNS = %v", latSum, st.ElapsedNS)
+	}
+	if !strings.Contains(body, "# TYPE ambit_op_latency_ns histogram") {
+		t.Error("/metrics missing the latency histogram TYPE line")
+	}
+
+	code, body = httpGet(t, base+"/banks")
+	if code != 200 {
+		t.Fatalf("/banks = %d", code)
+	}
+	var snap exec.UtilSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/banks is not UtilSnapshot JSON: %v\n%s", err, body)
+	}
+	if snap.BinNS != exec.DefaultUtilBinNS {
+		t.Errorf("/banks bin_ns = %v, want %v", snap.BinNS, exec.DefaultUtilBinNS)
+	}
+	if len(snap.Banks) != sys.Config().DRAM.Geometry.Banks {
+		t.Errorf("/banks has %d banks, geometry has %d", len(snap.Banks), sys.Config().DRAM.Geometry.Banks)
+	}
+	var busy float64
+	for _, b := range snap.Banks {
+		busy += b.TotalBusyNS
+		for i, f := range b.BusyFraction {
+			if f < 0 || f > 1 {
+				t.Errorf("bank %d bin %d busy fraction %v outside [0,1]", b.Bank, i, f)
+			}
+		}
+	}
+	if busy <= 0 {
+		t.Error("/banks records no busy time after the workload")
+	}
+	if snap.EndNS > st.ElapsedNS+1e-6 {
+		t.Errorf("/banks end_ns = %v beyond Stats.ElapsedNS = %v", snap.EndNS, st.ElapsedNS)
+	}
+
+	if code, body := httpGet(t, base+"/debug/pprof/cmdline"); code != 200 || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline = %d, %d bytes", code, len(body))
+	}
+
+	// /trace: the SSE stream must replay the ring's history immediately.
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/trace")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/trace Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	var first struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+		Name string `json:"name"`
+	}
+	found := false
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		if err := json.Unmarshal([]byte(data), &first); err != nil {
+			t.Fatalf("/trace event is not JSON: %v\n%s", err, data)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("/trace delivered no events from the history replay")
+	}
+	if first.Seq == 0 || first.Name == "" {
+		t.Errorf("/trace first event incomplete: %+v", first)
+	}
+
+	if err := sys.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("/healthz still reachable after Close")
+	}
+
+	// A closed System still simulates.
+	rowBits := int64(sys.RowSizeBits())
+	a, b := sys.MustAlloc(rowBits), sys.MustAlloc(rowBits)
+	if err := sys.Copy(b, a); err != nil {
+		t.Errorf("simulation after Close: %v", err)
+	}
+}
+
+// TestTelemetryOffByDefault pins the zero-cost default: no server, empty
+// address, Close is a no-op.
+func TestTelemetryOffByDefault(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr := sys.TelemetryAddr(); addr != "" {
+		t.Errorf("TelemetryAddr = %q, want empty without telemetry", addr)
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("Close without telemetry: %v", err)
+	}
+}
+
+// TestTelemetryBadAddr checks construction fails cleanly on an unbindable
+// address.
+func TestTelemetryBadAddr(t *testing.T) {
+	if _, err := New(WithTelemetryAddr("256.0.0.1:99999")); err == nil {
+		t.Error("unbindable telemetry address accepted")
+	}
+}
+
+// TestTelemetryMetricsMatchFinalStats is the ISSUE's acceptance criterion in
+// its literal form: after a run, `curl /metrics` returns Prometheus
+// histograms whose per-op sums match the final Stats — checked here for the
+// bulk-op count as well as the latency total.
+func TestTelemetryMetricsMatchFinalStats(t *testing.T) {
+	sys, err := New(WithTelemetryAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rowBits := int64(sys.RowSizeBits())
+	x, y, d := sys.MustAlloc(4*rowBits), sys.MustAlloc(4*rowBits), sys.MustAlloc(4*rowBits)
+	for i := 0; i < 3; i++ {
+		if err := sys.And(d, x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Xor(d, x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Stats()
+
+	code, body := httpGet(t, fmt.Sprintf("http://%s/metrics", sys.TelemetryAddr()))
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	sums := promSums(body, "ambit_op_latency_ns")
+	if math.Abs(sums["and"]+sums["xor"]-st.ElapsedNS) > 1e-6 {
+		t.Errorf("and+xor latency sums = %v, Stats.ElapsedNS = %v", sums["and"]+sums["xor"], st.ElapsedNS)
+	}
+	for _, op := range []string{"and", "xor"} {
+		want := fmt.Sprintf("ambit_op_latency_ns_count{op=%q} 3", op)
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
