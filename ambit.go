@@ -78,6 +78,7 @@ import (
 	"io"
 	"sync"
 
+	"ambit/internal/compile"
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/energy"
@@ -288,6 +289,13 @@ type System struct {
 	util      *exec.Util
 	telemetry *telemetry.Server
 
+	// funcCache interns compiled command trains by canonical expression
+	// key, so structurally identical Compile calls share one train (and
+	// one scheduling/allocation pass).  Guarded by funcMu; entries are
+	// immutable once stored.
+	funcMu    sync.Mutex
+	funcCache map[string]*compile.Compiled
+
 	stats Stats
 }
 
@@ -381,6 +389,7 @@ func NewSystem(cfg Config) (*System, error) {
 		fm:          fm,
 		faultScore:  make(map[dram.PhysAddr]int),
 		quarantined: make(map[dram.PhysAddr]bool),
+		funcCache:   make(map[string]*compile.Compiled),
 	}
 	if cfg.TelemetryAddr != "" {
 		sys.util = exec.NewUtil(g.Banks, exec.DefaultUtilBinNS)

@@ -21,11 +21,13 @@ const (
 	batchCopy
 	batchFill
 	batchPopcount
+	batchFunc
 )
 
 // batchOp is one recorded operation.  dst/a/b mirror the direct-call operand
 // roles: bulk ops use all three (b nil for unary), Copy uses dst/a
-// (destination/source), Fill uses dst, Popcount uses a.
+// (destination/source), Fill uses dst, Popcount uses a.  Compiled-function
+// calls use fn/dsts/srcs instead.
 type batchOp struct {
 	kind    batchKind
 	op      controller.Op
@@ -33,6 +35,10 @@ type batchOp struct {
 	a, b    *Bitvector
 	fillBit bool
 	result  *PopcountResult
+
+	fn   *Func
+	dsts []*Bitvector
+	srcs []*Bitvector
 
 	// rowLats is filled by the functional phase: the command-train
 	// latency of each row-level operation, consumed by the deterministic
@@ -54,6 +60,8 @@ func (o *batchOp) metricName() string {
 		return "copy"
 	case batchFill:
 		return "fill"
+	case batchFunc:
+		return "func:" + o.fn.name
 	default:
 		return "popcount"
 	}
@@ -61,8 +69,11 @@ func (o *batchOp) metricName() string {
 
 // rows returns how many rows the op touches (for span reporting).
 func (o *batchOp) rows() int {
-	if o.kind == batchPopcount {
+	switch o.kind {
+	case batchPopcount:
 		return len(o.a.rows)
+	case batchFunc:
+		return len(o.dsts[0].rows)
 	}
 	return len(o.dst.rows)
 }
@@ -76,6 +87,8 @@ func (o *batchOp) name() string {
 		return "Copy"
 	case batchFill:
 		return "Fill"
+	case batchFunc:
+		return "Call(" + o.fn.name + ")"
 	default:
 		return "Popcount"
 	}
@@ -94,6 +107,8 @@ func (o *batchOp) operands() []*Bitvector {
 		return []*Bitvector{o.dst, o.a}
 	case batchFill:
 		return []*Bitvector{o.dst}
+	case batchFunc:
+		return append(append([]*Bitvector(nil), o.dsts...), o.srcs...)
 	default:
 		return []*Bitvector{o.a}
 	}
@@ -112,6 +127,8 @@ func (o *batchOp) coherenceRows() int64 {
 		return 2 * int64(len(o.dst.rows))
 	case batchFill:
 		return int64(len(o.dst.rows))
+	case batchFunc:
+		return int64(len(o.dsts[0].rows)) * int64(o.fn.c.NumInputs)
 	default:
 		return 0
 	}
@@ -187,6 +204,15 @@ func (b *Batch) record(op *batchOp) error {
 	if b.ran {
 		return fmt.Errorf("ambit: Batch: cannot record %s after Run", op.name())
 	}
+	if op.kind == batchFunc {
+		// The compiled-function validator covers liveness, arity, shape,
+		// and the train-order aliasing rules in one place.
+		if err := s.checkFuncOperands(op.fn, op.dsts, op.srcs); err != nil {
+			return err
+		}
+		b.ops = append(b.ops, op)
+		return nil
+	}
 	if err := s.checkOperands("Batch."+op.name(), op.operands()...); err != nil {
 		return err
 	}
@@ -246,6 +272,17 @@ func (b *Batch) Copy(dst, src *Bitvector) error {
 // Fill records setting every bit of v to the given value.
 func (b *Batch) Fill(v *Bitvector, bit bool) error {
 	return b.record(&batchOp{kind: batchFill, dst: v, fillBit: bit})
+}
+
+// Call records dsts... = f(srcs...) for a compiled function (System.Compile).
+// Dependencies against other recorded operations follow from the operand row
+// sets, so chained calls — one function's outputs feeding another's inputs —
+// order correctly while independent calls overlap across banks.
+func (b *Batch) Call(f *Func, dsts []*Bitvector, srcs ...*Bitvector) error {
+	if f == nil {
+		return fmt.Errorf("ambit: Batch.Call: nil function")
+	}
+	return b.record(&batchOp{kind: batchFunc, fn: f, dsts: dsts, srcs: srcs})
 }
 
 // Popcount records a CPU-side population count of v.  The returned
@@ -343,6 +380,13 @@ func (b *Batch) programOps() []program.Op {
 			p.Writes = op.dst.rows
 		case batchPopcount:
 			p.Reads = op.a.rows
+		case batchFunc:
+			for _, d := range op.dsts {
+				p.Writes = append(p.Writes, d.rows...)
+			}
+			for _, src := range op.srcs {
+				p.Reads = append(p.Reads, src.rows...)
+			}
 		}
 		ops[i] = p
 	}
@@ -474,6 +518,20 @@ func (b *Batch) execOp(i int) error {
 			}
 			op.rowLats[r] = lat
 		}
+	case batchFunc:
+		n := len(op.dsts[0].rows)
+		op.rowLats = make([]float64, n)
+		buf := make([]dram.RowAddr, op.fn.c.NumInputs+op.fn.c.NumOutputs)
+		for r := 0; r < n; r++ {
+			da := fillFuncRow(op.fn, op.dsts, op.srcs, r, buf)
+			eng.LockBank(da.Bank)
+			lat, err := s.ctrl.ExecuteTrain(op.fn.c.Train, da.Bank, da.Subarray, buf)
+			eng.UnlockBank(da.Bank)
+			if err != nil {
+				return fmt.Errorf("ambit: batch func %s row %d: %w", op.fn.name, r, err)
+			}
+			op.rowLats[r] = lat
+		}
 	case batchPopcount:
 		var n int64
 		for r, addr := range op.a.rows {
@@ -538,6 +596,17 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 				}
 			}
 			s.stats.Copies += int64(len(op.dst.rows))
+		case batchFunc:
+			for r, lat := range op.rowLats {
+				bank := op.dsts[0].rows[r].Bank
+				done := s.dev.Bank(bank).Reserve(start, lat)
+				s.utilRecord(bank, done, lat)
+				if done > end {
+					end = done
+				}
+			}
+			s.stats.FuncOps++
+			s.stats.RowOps += int64(len(op.rowLats))
 		case batchPopcount:
 			bytes := int64(len(op.a.rows)) * int64(s.dev.Geometry().RowSizeBytes)
 			if channelFree > start {

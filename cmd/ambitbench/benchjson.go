@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"testing"
@@ -109,8 +110,44 @@ func distinctBanks(v *ambit.Bitvector) int {
 	return len(seen)
 }
 
-// runBenchJSON measures the grid and writes the report to path.
-func runBenchJSON(path string) error {
+// benchName is the grid naming scheme shared by the runner, -list, and -run.
+func benchName(op controller.Op, rows int) string {
+	return fmt.Sprintf("DirectOps/%s-rows%d", op, rows)
+}
+
+// benchGridNames returns every -json grid benchmark name in run order.
+func benchGridNames() []string {
+	names := make([]string, 0, len(benchRowCounts)*len(benchOps))
+	for _, rows := range benchRowCounts {
+		for _, op := range benchOps {
+			names = append(names, benchName(op, rows))
+		}
+	}
+	return names
+}
+
+// runBenchJSON measures the grid and writes the report to path.  A non-empty
+// filter is a regexp over grid names; a filter matching no benchmark is an
+// error so a typo cannot silently produce an empty report.
+func runBenchJSON(path, filter string) error {
+	match := func(string) bool { return true }
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return fmt.Errorf("-run %q: %w", filter, err)
+		}
+		match = re.MatchString
+		any := false
+		for _, name := range benchGridNames() {
+			if match(name) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("-run %q matches no benchmark in the grid (see ambitbench -list)", filter)
+		}
+	}
 	m := sysmodel.MustDefault()
 	rep := BenchReport{
 		Tool:       "ambitbench -json",
@@ -120,6 +157,9 @@ func runBenchJSON(path string) error {
 	for _, rows := range benchRowCounts {
 		for _, op := range benchOps {
 			op, rows := op, rows
+			if !match(benchName(op, rows)) {
+				continue
+			}
 			sys, x, y, d, err := benchSetup(rows)
 			if err != nil {
 				return err
@@ -146,7 +186,7 @@ func runBenchJSON(path string) error {
 			// working set (the paper's Section 8 comparison regime).
 			cpuNS := m.CPUBitwiseNS(op.InputRows(), bytes, 32<<20)
 			res := BenchResult{
-				Name:        fmt.Sprintf("DirectOps/%s-rows%d", op, rows),
+				Name:        benchName(op, rows),
 				Op:          op.String(),
 				Rows:        rows,
 				Banks:       banks,

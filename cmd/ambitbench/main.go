@@ -9,6 +9,7 @@
 //	ambitbench fig9 table3      # run selected experiments
 //	ambitbench -iterations 100000 table2
 //	ambitbench -json out.json   # machine-readable direct-op benchmark report
+//	ambitbench -json out.json -run 'xor'   # only grid entries matching a regexp
 //	ambitbench -compare BENCH_baseline.json BENCH_pr4.json
 //
 // Experiments: table1, table2, worstcase, fig8, fig9, table3, table4, aap,
@@ -42,12 +43,17 @@ func main() {
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the experiments' DRAM commands to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format histograms aggregated across all experiments")
 	jsonOut := flag.String("json", "", "run the direct-op benchmark grid and write a machine-readable report to this file")
+	runFilter := flag.String("run", "", "with -json, run only grid benchmarks whose name matches this regexp (a filter matching nothing is an error)")
 	compare := flag.Bool("compare", false, "compare two benchmark reports: ambitbench -compare old.json new.json")
 	threshold := flag.Float64("threshold", -1, "with -compare, exit nonzero when any benchmark's ns/op regresses by more than this percentage (negative = informational only)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(exp.Names(), "\n"))
+		fmt.Println("\nbenchmark grid (-json; filter with -run):")
+		for _, name := range benchGridNames() {
+			fmt.Println("  " + name)
+		}
 		return
 	}
 	if *compare {
@@ -65,11 +71,14 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut); err != nil {
+		if err := runBenchJSON(*jsonOut, *runFilter); err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("benchmarks: wrote %s\n", *jsonOut)
 		return
+	}
+	if *runFilter != "" {
+		fail("-run only filters the -json benchmark grid; pass -json out.json")
 	}
 
 	// One tracer and one registry are shared by every System the

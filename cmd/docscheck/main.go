@@ -1,0 +1,170 @@
+// Command docscheck is the CI documentation gate.  It fails (exit 1) when
+// the repository's documentation contract is violated:
+//
+//   - every Go package under internal/ and cmd/, plus the root package, must
+//     have a package comment (the doc comment attached to some file's
+//     `package` clause);
+//   - every relative link in the top-level markdown files must point at a
+//     file or directory that exists;
+//   - every `FILE.md §"Section title"` cross-reference in those files must
+//     resolve to a heading of the referenced file — this is what keeps
+//     section renumbering honest.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck        # from the repository root
+//
+// It needs no flags and prints one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// markdownFiles are the documents whose links and cross-references are
+// checked.  Missing files are themselves violations.
+var markdownFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+func main() {
+	var violations []string
+
+	violations = append(violations, checkPackageComments(".")...)
+	for _, md := range markdownFiles {
+		violations = append(violations, checkMarkdown(md)...)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "docscheck: "+v)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// checkPackageComments walks the module and reports every package directory
+// (root, internal/..., cmd/...) without a package doc comment.
+func checkPackageComments(root string) []string {
+	dirs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			if name == "testdata" || name == "examples" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		dirs[dir] = append(dirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("walking %s: %v", root, err)}
+	}
+
+	var out []string
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		sort.Strings(files)
+		documented := false
+		for _, f := range files {
+			src, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				out = append(out, fmt.Sprintf("%s: %v", f, err))
+				continue
+			}
+			if src.Doc != nil && strings.TrimSpace(src.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			out = append(out, fmt.Sprintf("%s: package has no package comment", dir))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	// linkRe matches [text](target) markdown links, including images.
+	linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// sectionRefRe matches prose cross-references of the form
+	// `FILE.md §"Section title"`.
+	sectionRefRe = regexp.MustCompile(`([A-Za-z0-9_-]+\.md) §"([^"]+)"`)
+	// headingRe matches ATX headings.
+	headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+)
+
+// checkMarkdown validates relative links and §-style cross-references in one
+// markdown file.
+func checkMarkdown(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	text := string(data)
+	var out []string
+
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+			continue // external link; not checked
+		}
+		if strings.HasPrefix(target, "#") {
+			continue // intra-document anchor
+		}
+		target = strings.SplitN(target, "#", 2)[0]
+		rel := filepath.Join(filepath.Dir(path), target)
+		if _, err := os.Stat(rel); err != nil {
+			out = append(out, fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[0], rel))
+		}
+	}
+
+	headings := map[string][]string{} // file -> headings, lazily loaded
+	for _, m := range sectionRefRe.FindAllStringSubmatch(text, -1) {
+		file, section := m[1], m[2]
+		hs, ok := headings[file]
+		if !ok {
+			fdata, err := os.ReadFile(filepath.Join(filepath.Dir(path), file))
+			if err != nil {
+				out = append(out, fmt.Sprintf("%s: cross-reference to missing file %s", path, file))
+				headings[file] = nil
+				continue
+			}
+			for _, h := range headingRe.FindAllStringSubmatch(string(fdata), -1) {
+				hs = append(hs, h[1])
+			}
+			headings[file] = hs
+		}
+		found := false
+		for _, h := range hs {
+			if strings.Contains(h, section) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, fmt.Sprintf("%s: %s §%q does not match any heading of %s", path, file, section, file))
+		}
+	}
+	return out
+}

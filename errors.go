@@ -31,6 +31,13 @@ var (
 	// System.
 	ErrShapeMismatch = errors.New("operands are not co-located row for row")
 
+	// ErrAliasedOperands reports a compiled-function call whose
+	// destination aliases another operand illegally: two outputs sharing
+	// one bitvector, or an output overwriting an input row before the
+	// command train's last read of it.  In-place calls where every read
+	// of the aliased input precedes the output's first write are allowed.
+	ErrAliasedOperands = errors.New("illegally aliased operands")
+
 	// ErrUncorrectable reports a row whose TMR replicas still disagreed
 	// beyond the reliability policy's threshold after every retry (the
 	// controller's execute-verify-retry path; see DESIGN.md "Reliability

@@ -70,6 +70,28 @@ func main() {
 		fmt.Printf("male users active in week %d: %d\n", w+1, males)
 	}
 
+	// Bit-serial refinement: how many days was each user active in week 1?
+	// PopcountVertical counts across the 7 daily bitmaps entirely in DRAM —
+	// a carry-save tree of compiled full-adder command trains — delivering
+	// the per-user count as 3 bit-planes (values 0..7).  A compiled
+	// predicate over those planes then selects the power users (>= 5 days:
+	// c4 & (c2 | c1) over the count bits) without the counts ever crossing
+	// the memory channel.
+	counts, err := sys.PopcountVertical(day[0]...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ge5, err := sys.Compile("ge5", ambit.And(ambit.Var(2), ambit.Or(ambit.Var(1), ambit.Var(0))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(ge5.Run(scratch, counts[0], counts[1], counts[2]))
+	power, err := sys.Popcount(scratch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("users active >= 5 days in week 1: %d (counted bit-serially in DRAM)\n", power)
+
 	st := sys.Stats()
 	fmt.Printf("\nsimulated cost: %.2f µs, %.1f µJ, %s\n",
 		st.ElapsedNS/1e3, sys.EnergyNJ()/1e3, st.String())

@@ -4,6 +4,13 @@
 // Sections 8.1–8.2).  Word-wise Go code is the honest stand-in for SIMD
 // intrinsics: the baseline *cost* models live in internal/sysmodel, while
 // these kernels supply correct results.
+//
+// Contract: every kernel is a deterministic word-wise method writing into
+// its receiver over same-length operands — no allocation on the operation
+// paths, no global state, and bit i of the result depends only on bit i of
+// the inputs.  The differential tests across the repository treat these
+// kernels as ground truth, so they must stay trivially auditable; distinct
+// receivers may be operated on concurrently.
 package bitvec
 
 import (

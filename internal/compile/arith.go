@@ -1,0 +1,79 @@
+package compile
+
+import "fmt"
+
+// Bit-serial arithmetic over row-major bit layouts (Section 7.2 of the
+// SIMDRAM-style framing): each Var is one DRAM row holding bit i of every
+// element in the vertical layout, so a width-bit adder over rows computes
+// that adder over every element of the batch at once.  These helpers only
+// build expression DAGs; CompileFn turns them into command trains.
+
+// HalfAdder returns (sum, carry) of two bits: sum = a ^ b, carry = a & b.
+func HalfAdder(a, b *Expr) (sum, carry *Expr) {
+	return Xor(a, b), And(a, b)
+}
+
+// FullAdder returns (sum, carry) of three bits.  The carry is the native
+// triple-row majority, making a full adder two TRAs plus the parity network.
+func FullAdder(a, b, cin *Expr) (sum, carry *Expr) {
+	return Xor(a, b, cin), Maj(a, b, cin)
+}
+
+// RippleAdd returns the width+1 output expressions of a width-bit unsigned
+// ripple-carry adder: sum bits LSB-first, then the carry-out.  Operand a is
+// Var(0)..Var(width-1) and operand b is Var(width)..Var(2*width-1), both
+// LSB-first.  The carry chain keeps at most one intermediate value live, so
+// the adder fits the designated-row register file at any width.
+func RippleAdd(width int) []*Expr {
+	if width < 1 {
+		panic(fmt.Sprintf("compile: RippleAdd(%d): width must be >= 1", width))
+	}
+	outs := make([]*Expr, 0, width+1)
+	var carry *Expr
+	for i := 0; i < width; i++ {
+		a, b := Var(i), Var(width+i)
+		var sum *Expr
+		if carry == nil {
+			sum, carry = HalfAdder(a, b)
+		} else {
+			sum, carry = FullAdder(a, b, carry)
+		}
+		outs = append(outs, sum)
+	}
+	return append(outs, carry)
+}
+
+// Equal returns the single output expression testing a == b over width-bit
+// unsigned operands in the RippleAdd layout: the conjunction of per-bit
+// XNORs, folded as a balanced tree to keep register pressure logarithmic.
+func Equal(width int) *Expr {
+	if width < 1 {
+		panic(fmt.Sprintf("compile: Equal(%d): width must be >= 1", width))
+	}
+	terms := make([]*Expr, width)
+	for i := 0; i < width; i++ {
+		terms[i] = Xnor(Var(i), Var(width+i))
+	}
+	return And(terms...)
+}
+
+// Less returns the single output expression testing a < b (unsigned) in the
+// RippleAdd layout, as the LSB-first borrow recurrence
+// lt_i = (!a_i & b_i) | ((a_i XNOR b_i) & lt_{i-1}); like the carry chain it
+// keeps one intermediate live and fits the register file at any width.
+func Less(width int) *Expr {
+	if width < 1 {
+		panic(fmt.Sprintf("compile: Less(%d): width must be >= 1", width))
+	}
+	var lt *Expr
+	for i := 0; i < width; i++ {
+		a, b := Var(i), Var(width+i)
+		below := And(Not(a), b)
+		if lt == nil {
+			lt = below
+		} else {
+			lt = Or(below, And(Xnor(a, b), lt))
+		}
+	}
+	return lt
+}

@@ -1,0 +1,21 @@
+// Package compile lowers boolean expression DAGs — and the bit-serial
+// arithmetic built from them — into single AAP/TRA command trains that use
+// only the substrate's native primitives: triple-row-activation majority and
+// dual-contact-cell negation.
+//
+// The pipeline is normalize → schedule → allocate → emit.  Normalization
+// (norm.go) hash-conses the DAG into the {And, Or, Maj, Not} gate basis with
+// constant folding, CSE, and De-Morgan/self-duality rewrites that push
+// negations into leaf signs where a DCC load performs them for free.
+// Lowering (lower.go) schedules gates in dependency order and treats the
+// designated rows T0–T3/DCC0/DCC1 as a six-slot register file with
+// liveness-based reuse; a function whose live values exceed the slots fails
+// with a *SpillError carrying the live-range table, because the substrate
+// has no spill path.  Eval (eval.go) is the independent pure-Go reference
+// the differential tests compare trains against.
+//
+// Everything here is pure computation on immutable inputs: CompileFn is
+// deterministic (same expressions → same train, same Key) and the returned
+// Compiled is safe for concurrent use.  Execution, scheduling, and statistics
+// live in internal/controller's Train machinery.
+package compile

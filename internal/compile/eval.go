@@ -1,0 +1,62 @@
+package compile
+
+// Reference evaluator: the pure-Go word-level semantics of an expression DAG,
+// evaluated directly on the surface AST (no normalization involved), so the
+// differential tests compare two independent definitions of each function.
+
+// Eval evaluates e over one 64-bit word per variable: vars[i] is the word
+// bound to Var(i).  Variables beyond len(vars) read as zero.  Shared
+// subexpressions are evaluated once.
+func Eval(e *Expr, vars []uint64) uint64 {
+	return evalMemo(e, vars, make(map[*Expr]uint64))
+}
+
+// EvalAll evaluates several expressions over the same bindings with a shared
+// memo table.
+func EvalAll(exprs []*Expr, vars []uint64) []uint64 {
+	memo := make(map[*Expr]uint64)
+	out := make([]uint64, len(exprs))
+	for i, e := range exprs {
+		out[i] = evalMemo(e, vars, memo)
+	}
+	return out
+}
+
+func evalMemo(e *Expr, vars []uint64, memo map[*Expr]uint64) uint64 {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var v uint64
+	switch e.kind {
+	case xVar:
+		if e.varIdx < len(vars) {
+			v = vars[e.varIdx]
+		}
+	case xConst:
+		if e.val {
+			v = ^uint64(0)
+		}
+	case xNot:
+		v = ^evalMemo(e.args[0], vars, memo)
+	case xAnd:
+		v = ^uint64(0)
+		for _, a := range e.args {
+			v &= evalMemo(a, vars, memo)
+		}
+	case xOr:
+		for _, a := range e.args {
+			v |= evalMemo(a, vars, memo)
+		}
+	case xXor:
+		for _, a := range e.args {
+			v ^= evalMemo(a, vars, memo)
+		}
+	case xMaj:
+		a := evalMemo(e.args[0], vars, memo)
+		b := evalMemo(e.args[1], vars, memo)
+		c := evalMemo(e.args[2], vars, memo)
+		v = (a & b) | (a & c) | (b & c)
+	}
+	memo[e] = v
+	return v
+}

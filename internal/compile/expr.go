@@ -1,0 +1,163 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// exprKind enumerates the surface-level boolean operators.  Nand/Nor/Xnor
+// are constructor sugar (Not of the positive form) and never appear as kinds.
+type exprKind uint8
+
+const (
+	xVar exprKind = iota
+	xConst
+	xNot
+	xAnd
+	xOr
+	xXor
+	xMaj
+)
+
+// Expr is a node of a boolean expression DAG over bit-vector variables.
+// Expressions are immutable once built; sharing a subexpression between two
+// parents (or two outputs of the same Compile call) is the intended way to
+// express common subterms, and the normalizer additionally merges structural
+// duplicates (CSE), so equivalent subtrees cost their scratch rows once.
+//
+// Variables are identified by a dense non-negative index: Var(i) is bound to
+// the i-th source operand when the compiled function runs.
+type Expr struct {
+	kind   exprKind
+	varIdx int
+	val    bool
+	args   []*Expr
+}
+
+// Var returns the i-th input variable.  Variable indices must be dense:
+// a function using Var(3) takes four source operands.  i must be >= 0.
+func Var(i int) *Expr {
+	if i < 0 {
+		panic(fmt.Sprintf("compile: Var(%d): negative variable index", i))
+	}
+	return &Expr{kind: xVar, varIdx: i}
+}
+
+// Lit returns the constant expression b (every bit zero or every bit one,
+// matching the pre-initialized control rows C0/C1).
+func Lit(b bool) *Expr { return &Expr{kind: xConst, val: b} }
+
+// Not returns the complement of x.
+func Not(x *Expr) *Expr { return &Expr{kind: xNot, args: []*Expr{x}} }
+
+// And returns the conjunction of xs.  And() is Lit(true); And(x) is x.
+func And(xs ...*Expr) *Expr { return nary(xAnd, xs) }
+
+// Or returns the disjunction of xs.  Or() is Lit(false); Or(x) is x.
+func Or(xs ...*Expr) *Expr { return nary(xOr, xs) }
+
+// Xor returns the parity of xs.  Xor() is Lit(false); Xor(x) is x.
+func Xor(xs ...*Expr) *Expr { return nary(xXor, xs) }
+
+// Maj returns the bitwise majority of a, b, and c — the native operation of
+// a triple-row activation.
+func Maj(a, b, c *Expr) *Expr { return &Expr{kind: xMaj, args: []*Expr{a, b, c}} }
+
+// Nand is Not(And(xs...)).
+func Nand(xs ...*Expr) *Expr { return Not(And(xs...)) }
+
+// Nor is Not(Or(xs...)).
+func Nor(xs ...*Expr) *Expr { return Not(Or(xs...)) }
+
+// Xnor is Not(Xor(xs...)).
+func Xnor(xs ...*Expr) *Expr { return Not(Xor(xs...)) }
+
+// nary builds an n-ary node, collapsing the trivial arities.  The empty
+// arity yields the operator's identity (true for And, false for Or/Xor).
+func nary(k exprKind, xs []*Expr) *Expr {
+	switch len(xs) {
+	case 0:
+		return Lit(k == xAnd)
+	case 1:
+		return xs[0]
+	}
+	args := append([]*Expr(nil), xs...)
+	return &Expr{kind: k, args: args}
+}
+
+// String renders the expression in infix notation for diagnostics.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.render(&b)
+	return b.String()
+}
+
+func (e *Expr) render(b *strings.Builder) {
+	switch e.kind {
+	case xVar:
+		fmt.Fprintf(b, "v%d", e.varIdx)
+	case xConst:
+		if e.val {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	case xNot:
+		b.WriteByte('!')
+		e.args[0].renderAtom(b)
+	case xMaj:
+		b.WriteString("MAJ(")
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.render(b)
+		}
+		b.WriteByte(')')
+	default:
+		sym := map[exprKind]string{xAnd: " & ", xOr: " | ", xXor: " ^ "}[e.kind]
+		b.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteString(sym)
+			}
+			a.render(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func (e *Expr) renderAtom(b *strings.Builder) {
+	if e.kind == xVar || e.kind == xConst || e.kind == xNot {
+		e.render(b)
+		return
+	}
+	e.render(b)
+}
+
+// MaxVar returns the largest variable index reachable from the expressions,
+// or -1 if none reference a variable.
+func MaxVar(exprs ...*Expr) int {
+	max := -1
+	seen := map[*Expr]struct{}{}
+	var walk func(*Expr)
+	walk = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if _, ok := seen[e]; ok {
+			return
+		}
+		seen[e] = struct{}{}
+		if e.kind == xVar && e.varIdx > max {
+			max = e.varIdx
+		}
+		for _, a := range e.args {
+			walk(a)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return max
+}

@@ -1,0 +1,379 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Normalization lowers the surface AST to the hardware's gate basis — And,
+// Or, and Maj (each one triple-row activation) plus interior Not (one
+// dual-contact negated capture) and signed leaves — with hash-consing so
+// structurally identical subterms become one node (CSE), constant folding,
+// and a cost-directed De Morgan rewrite that pushes negations toward the
+// leaves' sign bits where they are free (a DCC load negates for nothing) and
+// rewrites all-negated gates into a negated positive gate, which both saves
+// DCC pressure and exposes more sharing.
+//
+// Xor/Xnor/Nand/Nor desugar here: the designated-row register file makes a
+// direct Figure-8c style dual-rail xor unprofitable inside larger DAGs, so
+// xor2(a,b) = (a & !b) | (!a & b) and the normalizer's CSE shares the pieces.
+
+type nodeKind uint8
+
+const (
+	nLeaf nodeKind = iota
+	nConst
+	nGate
+)
+
+type gateKind uint8
+
+const (
+	gAnd gateKind = iota
+	gOr
+	gMaj
+	gNot
+)
+
+func (g gateKind) String() string {
+	switch g {
+	case gAnd:
+		return "and"
+	case gOr:
+		return "or"
+	case gMaj:
+		return "maj"
+	}
+	return "not"
+}
+
+// node is one hash-consed node of the normalized DAG.  Nodes are unique per
+// builder: structural equality implies pointer equality.
+type node struct {
+	id     int
+	kind   nodeKind
+	neg    bool // nLeaf: complemented variable
+	varIdx int  // nLeaf
+	val    bool // nConst
+	gk     gateKind
+	args   [3]*node // gate operands (1 for gNot, 2 for gAnd/gOr, 3 for gMaj)
+	n      int      // gate arity
+}
+
+// nodeKey is the interning key.
+type nodeKey struct {
+	kind       nodeKind
+	neg        bool
+	varIdx     int
+	val        bool
+	gk         gateKind
+	a0, a1, a2 int
+}
+
+type builder struct {
+	nodes []*node
+	memo  map[nodeKey]*node
+}
+
+func newBuilder() *builder {
+	return &builder{memo: make(map[nodeKey]*node)}
+}
+
+func (b *builder) intern(k nodeKey) (*node, bool) {
+	if n, ok := b.memo[k]; ok {
+		return n, true
+	}
+	n := &node{id: len(b.nodes)}
+	b.nodes = append(b.nodes, n)
+	b.memo[k] = n
+	return n, false
+}
+
+func (b *builder) leaf(varIdx int, neg bool) *node {
+	n, hit := b.intern(nodeKey{kind: nLeaf, neg: neg, varIdx: varIdx, a0: -1, a1: -1, a2: -1})
+	if !hit {
+		n.kind, n.neg, n.varIdx = nLeaf, neg, varIdx
+	}
+	return n
+}
+
+func (b *builder) cnst(val bool) *node {
+	n, hit := b.intern(nodeKey{kind: nConst, val: val, a0: -1, a1: -1, a2: -1})
+	if !hit {
+		n.kind, n.val = nConst, val
+	}
+	return n
+}
+
+func (b *builder) gate(gk gateKind, args ...*node) *node {
+	key := nodeKey{kind: nGate, gk: gk, a0: -1, a1: -1, a2: -1}
+	ids := []*int{&key.a0, &key.a1, &key.a2}
+	for i, a := range args {
+		*ids[i] = a.id
+	}
+	n, hit := b.intern(key)
+	if !hit {
+		n.kind, n.gk, n.n = nGate, gk, len(args)
+		copy(n.args[:], args)
+	}
+	return n
+}
+
+// isNegative reports that negating n is free: it is a complemented leaf or
+// an interior Not whose removal yields the positive gate.
+func isNegative(n *node) bool {
+	return (n.kind == nLeaf && n.neg) || (n.kind == nGate && n.gk == gNot)
+}
+
+// negate returns the complement of n, folding double negation, leaf signs,
+// and constants.
+func (b *builder) negate(n *node) *node {
+	switch {
+	case n.kind == nConst:
+		return b.cnst(!n.val)
+	case n.kind == nLeaf:
+		return b.leaf(n.varIdx, !n.neg)
+	case n.gk == gNot:
+		return n.args[0]
+	}
+	return b.gate(gNot, n)
+}
+
+// complementary reports x == !y structurally.
+func complementary(x, y *node) bool {
+	if x.kind == nLeaf && y.kind == nLeaf {
+		return x.varIdx == y.varIdx && x.neg != y.neg
+	}
+	if x.kind == nGate && x.gk == gNot && x.args[0] == y {
+		return true
+	}
+	if y.kind == nGate && y.gk == gNot && y.args[0] == x {
+		return true
+	}
+	return false
+}
+
+func (b *builder) mkAnd(x, y *node) *node {
+	if x.kind == nConst {
+		if !x.val {
+			return x
+		}
+		return y
+	}
+	if y.kind == nConst {
+		if !y.val {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if complementary(x, y) {
+		return b.cnst(false)
+	}
+	// De Morgan toward the positive form: !a & !b = !(a | b) spends one
+	// DCC capture instead of two and shares the inner Or.
+	if isNegative(x) && isNegative(y) {
+		return b.negate(b.mkOr(b.negate(x), b.negate(y)))
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.gate(gAnd, x, y)
+}
+
+func (b *builder) mkOr(x, y *node) *node {
+	if x.kind == nConst {
+		if x.val {
+			return x
+		}
+		return y
+	}
+	if y.kind == nConst {
+		if y.val {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if complementary(x, y) {
+		return b.cnst(true)
+	}
+	if isNegative(x) && isNegative(y) {
+		return b.negate(b.mkAnd(b.negate(x), b.negate(y)))
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.gate(gOr, x, y)
+}
+
+func (b *builder) mkMaj(x, y, z *node) *node {
+	// Constant operands collapse the majority to And/Or.
+	if x.kind == nConst {
+		if x.val {
+			return b.mkOr(y, z)
+		}
+		return b.mkAnd(y, z)
+	}
+	if y.kind == nConst {
+		return b.mkMaj(y, x, z)
+	}
+	if z.kind == nConst {
+		return b.mkMaj(z, x, y)
+	}
+	// Absorption: a duplicated operand decides the vote; a complementary
+	// pair cancels, leaving the third.
+	if x == y || x == z {
+		return x
+	}
+	if y == z {
+		return y
+	}
+	if complementary(x, y) {
+		return z
+	}
+	if complementary(x, z) {
+		return y
+	}
+	if complementary(y, z) {
+		return x
+	}
+	// Self-duality: MAJ(!a,!b,!c) = !MAJ(a,b,c).
+	if isNegative(x) && isNegative(y) && isNegative(z) {
+		return b.negate(b.mkMaj(b.negate(x), b.negate(y), b.negate(z)))
+	}
+	ns := []*node{x, y, z}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].id < ns[j].id })
+	return b.gate(gMaj, ns[0], ns[1], ns[2])
+}
+
+// xor2 lowers a two-input parity into the gate basis.
+func (b *builder) xor2(x, y *node) *node {
+	return b.mkOr(b.mkAnd(x, b.negate(y)), b.mkAnd(b.negate(x), y))
+}
+
+// reduceBalanced folds xs with f in a balanced tree, which keeps DAG depth —
+// and therefore peak register pressure — logarithmic in the arity.
+func reduceBalanced(xs []*node, f func(a, b *node) *node) *node {
+	for len(xs) > 1 {
+		dst := make([]*node, 0, (len(xs)+1)/2)
+		for i := 0; i < len(xs); i += 2 {
+			if i+1 < len(xs) {
+				dst = append(dst, f(xs[i], xs[i+1]))
+			} else {
+				dst = append(dst, xs[i])
+			}
+		}
+		xs = dst
+	}
+	return xs[0]
+}
+
+// normalize lowers a surface expression into the builder's gate DAG.
+func (b *builder) normalize(e *Expr, cache map[*Expr]*node) *node {
+	if n, ok := cache[e]; ok {
+		return n
+	}
+	var n *node
+	switch e.kind {
+	case xVar:
+		n = b.leaf(e.varIdx, false)
+	case xConst:
+		n = b.cnst(e.val)
+	case xNot:
+		n = b.negate(b.normalize(e.args[0], cache))
+	case xMaj:
+		n = b.mkMaj(
+			b.normalize(e.args[0], cache),
+			b.normalize(e.args[1], cache),
+			b.normalize(e.args[2], cache))
+	default:
+		args := make([]*node, len(e.args))
+		for i, a := range e.args {
+			args[i] = b.normalize(a, cache)
+		}
+		switch e.kind {
+		case xAnd:
+			n = reduceBalanced(args, b.mkAnd)
+		case xOr:
+			n = reduceBalanced(args, b.mkOr)
+		case xXor:
+			n = reduceBalanced(args, b.xor2)
+		}
+	}
+	cache[e] = n
+	return n
+}
+
+// renderNode renders a node for diagnostics, expanding at most one gate
+// level: operands appear as t<id> (gate values), v<i>/!v<i> (leaves), 0/1.
+func renderNode(n *node) string {
+	atom := func(a *node) string {
+		switch a.kind {
+		case nConst:
+			if a.val {
+				return "1"
+			}
+			return "0"
+		case nLeaf:
+			if a.neg {
+				return fmt.Sprintf("!v%d", a.varIdx)
+			}
+			return fmt.Sprintf("v%d", a.varIdx)
+		}
+		return fmt.Sprintf("t%d", a.id)
+	}
+	switch n.kind {
+	case nConst, nLeaf:
+		return atom(n)
+	}
+	switch n.gk {
+	case gNot:
+		return "!" + atom(n.args[0])
+	case gAnd:
+		return atom(n.args[0]) + " & " + atom(n.args[1])
+	case gOr:
+		return atom(n.args[0]) + " | " + atom(n.args[1])
+	}
+	return fmt.Sprintf("MAJ(%s, %s, %s)", atom(n.args[0]), atom(n.args[1]), atom(n.args[2]))
+}
+
+// canonicalKey renders the normalized DAG reachable from outs as a compact
+// canonical string: the template cache key for structurally identical
+// functions.  Node ids are interning order, which is deterministic in the
+// traversal, so two equal-shaped Compile calls produce equal keys.
+func canonicalKey(b *builder, outs []*node, numInputs int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "in%d|", numInputs)
+	for _, n := range b.nodes {
+		switch n.kind {
+		case nLeaf:
+			if n.neg {
+				fmt.Fprintf(&sb, "%d=!v%d;", n.id, n.varIdx)
+			} else {
+				fmt.Fprintf(&sb, "%d=v%d;", n.id, n.varIdx)
+			}
+		case nConst:
+			fmt.Fprintf(&sb, "%d=%v;", n.id, n.val)
+		default:
+			fmt.Fprintf(&sb, "%d=%v(", n.id, n.gk)
+			for i := 0; i < n.n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", n.args[i].id)
+			}
+			sb.WriteString(");")
+		}
+	}
+	sb.WriteString("|out")
+	for _, o := range outs {
+		fmt.Fprintf(&sb, ",%d", o.id)
+	}
+	return sb.String()
+}

@@ -14,6 +14,9 @@ type Stats struct {
 	APs  int64
 	// OpCounts counts completed bulk bitwise operations by Op.
 	OpCounts [7]int64
+	// Trains counts completed compiled command trains (ExecuteTrain), the
+	// per-row unit of compiled boolean functions.
+	Trains int64
 	// BusyNS is the total simulated DRAM-command latency issued.
 	BusyNS float64
 }

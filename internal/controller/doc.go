@@ -1,0 +1,23 @@
+// Package controller implements the Ambit controller of Section 5: the AAP
+// (ACTIVATE-ACTIVATE-PRECHARGE) and AP (ACTIVATE-PRECHARGE) primitives, the
+// command sequences for all seven bulk bitwise operations (Figure 8), the
+// split-row-decoder latency optimization (Section 5.3), per-operation
+// latency/command accounting, and the execute-verify-retry reliability
+// policy (TMR over weak analog primitives).
+//
+// Beyond the fixed Figure-8 sequences, Train is the general form: a
+// validated program of AAP/AP steps over symbolic operand slots plus fixed
+// B/C-group addresses, which internal/compile emits for arbitrary boolean
+// functions.  ExecuteOp and ExecuteTrain each pick between two equivalent
+// evaluators — a fused word-level interpreter for the common case, and
+// step-by-step device commands whenever a fault injector, raised wordline
+// state, or a two-wordline sensing step demands cell-accurate execution.
+// The two paths are contract-equal: identical cells, latencies, controller
+// and device statistics, and (when traced) byte-identical command event
+// streams, enforced by the *MatchesStepwise tests.
+//
+// A Controller is not safe for concurrent use on one bank: callers (the
+// root System and its batch engine) serialize access per bank via the
+// shared exec shard locks.  All results are deterministic — latency is pure
+// arithmetic over the timing parameters, and fault injection is seeded.
+package controller

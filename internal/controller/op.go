@@ -1,8 +1,3 @@
-// Package controller implements the Ambit controller of Section 5: the AAP
-// (ACTIVATE-ACTIVATE-PRECHARGE) and AP (ACTIVATE-PRECHARGE) primitives, the
-// command sequences for all seven bulk bitwise operations (Figure 8), the
-// split-row-decoder latency optimization (Section 5.3), and per-operation
-// latency/command accounting.
 package controller
 
 import "fmt"

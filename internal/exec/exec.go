@@ -7,6 +7,19 @@
 // the 32x/35x throughput headline comes from), so trains on different banks
 // may run concurrently; each bank's state is guarded by one shard lock held
 // for the duration of the operation that touches it.
+//
+// Invariants the rest of the stack relies on:
+//
+//   - Determinism: Run visits each bank's rows in index order on one
+//     goroutine, and Result (completion time, completed count, first error)
+//     is a pure fold over per-bank outcomes — the same inputs produce the
+//     same Result regardless of worker interleaving.  Parallel execution is
+//     therefore observationally equal to serial execution.
+//   - Prefix semantics: a failing bank stops at its failing row; other
+//     banks complete all of theirs.  Completed counts what actually ran.
+//   - Lock discipline: LockBanks acquires shard locks in ascending bank
+//     order (deadlock freedom); Util's collector is internally synchronized
+//     and safe to feed from any worker.
 package exec
 
 import (

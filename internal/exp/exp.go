@@ -2,6 +2,15 @@
 // of the Ambit paper's evaluation, each returning the reproduced rows/series
 // as formatted text.  cmd/ambitbench exposes them on the command line, and
 // EXPERIMENTS.md records their output against the paper's numbers.
+//
+// Contract: every generator is a pure function of the simulator's
+// deterministic models — no wall-clock time, no unseeded randomness — so
+// repeated runs produce byte-identical text, and the machine-readable Grid
+// results behind `ambitbench -json` are stable across runs and machines.
+// That stability is what makes the -compare/-threshold regression workflow
+// meaningful: a drifting number is a code change, not noise.  Generators
+// construct their own Systems and share nothing, so distinct experiments
+// may run concurrently; an individual generator is single-threaded.
 package exp
 
 import (

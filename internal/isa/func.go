@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// FuncOpcode is the opcode byte that marks a bbop_func instruction in an
+// encoded stream.  It is far outside the controller.Op value range, so plain
+// Decode rejects it and mixed streams can be demultiplexed on the first byte.
+const FuncOpcode = 0xF0
+
+// maxFuncOperands bounds each operand list of a bbop_func (the counts are
+// encoded in one byte each).
+const maxFuncOperands = 255
+
+// FuncInstruction is the bbop_func extension: a compiled multi-operand
+// boolean function (System.Compile) applied to size bytes at each operand
+// address.  FuncID names the compiled function in an external registry —
+// the instruction stream carries the call, not the command train.  Unlike
+// the fixed three-operand bbop encoding, bbop_func carries explicit
+// destination and source counts, so the encoded length varies per
+// instruction.
+type FuncInstruction struct {
+	FuncID uint16
+	Dsts   []int64
+	Srcs   []int64
+	Size   int64
+}
+
+// String renders the instruction in the bbop assembly style.
+func (in FuncInstruction) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bbop_func %d", in.FuncID)
+	for _, a := range in.Dsts {
+		fmt.Fprintf(&sb, ", %#x", a)
+	}
+	for _, a := range in.Srcs {
+		fmt.Fprintf(&sb, ", %#x", a)
+	}
+	fmt.Fprintf(&sb, ", %d", in.Size)
+	return sb.String()
+}
+
+// EncodedLen returns the instruction's encoded size in bytes.
+func (in FuncInstruction) EncodedLen() int {
+	return 1 + 2 + 1 + 1 + 8*(len(in.Dsts)+len(in.Srcs)) + 8
+}
+
+// Validate performs the bounds checks common to both execution paths.  A
+// bbop_func needs at least one destination; a constant function may have
+// zero sources.
+func (in FuncInstruction) Validate(am AddressMap) error {
+	if in.Size <= 0 {
+		return fmt.Errorf("isa: %v: size must be positive", in)
+	}
+	if len(in.Dsts) == 0 {
+		return fmt.Errorf("isa: %v: no destinations", in)
+	}
+	if len(in.Dsts) > maxFuncOperands || len(in.Srcs) > maxFuncOperands {
+		return fmt.Errorf("isa: %v: operand count exceeds %d", in, maxFuncOperands)
+	}
+	for _, a := range append(append([]int64(nil), in.Dsts...), in.Srcs...) {
+		if a < 0 || a+in.Size > am.Capacity() {
+			return fmt.Errorf("isa: %v: operand [%#x,%#x) outside memory", in, a, a+in.Size)
+		}
+	}
+	return nil
+}
+
+// AmbitEligible implements the Section 5.4.3 microarchitectural check for
+// bbop_func: offloadable iff every operand is row-aligned and the size is a
+// multiple of the DRAM row size.
+func (in FuncInstruction) AmbitEligible(am AddressMap) bool {
+	if in.Size%am.RowSize() != 0 {
+		return false
+	}
+	for _, a := range in.Dsts {
+		if a%am.RowSize() != 0 {
+			return false
+		}
+	}
+	for _, a := range in.Srcs {
+		if a%am.RowSize() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the instruction: opcode byte, function id (u16 LE),
+// destination and source counts (one byte each), the operand addresses
+// (destinations then sources, 8-byte LE each), then the size (8-byte LE).
+func (in FuncInstruction) Encode() []byte {
+	buf := make([]byte, 0, in.EncodedLen())
+	buf = append(buf, FuncOpcode)
+	buf = binary.LittleEndian.AppendUint16(buf, in.FuncID)
+	buf = append(buf, byte(len(in.Dsts)), byte(len(in.Srcs)))
+	for _, a := range in.Dsts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	}
+	for _, a := range in.Srcs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	}
+	return binary.LittleEndian.AppendUint64(buf, uint64(in.Size))
+}
+
+// DecodeFunc deserializes one bbop_func instruction and returns the number
+// of bytes consumed.
+func DecodeFunc(buf []byte) (FuncInstruction, int, error) {
+	if len(buf) < 5 {
+		return FuncInstruction{}, 0, fmt.Errorf("isa: short bbop_func header (%d bytes)", len(buf))
+	}
+	if buf[0] != FuncOpcode {
+		return FuncInstruction{}, 0, fmt.Errorf("isa: opcode %d is not bbop_func", buf[0])
+	}
+	in := FuncInstruction{FuncID: binary.LittleEndian.Uint16(buf[1:])}
+	nDst, nSrc := int(buf[3]), int(buf[4])
+	if nDst == 0 {
+		return FuncInstruction{}, 0, fmt.Errorf("isa: bbop_func with no destinations")
+	}
+	need := 5 + 8*(nDst+nSrc) + 8
+	if len(buf) < need {
+		return FuncInstruction{}, 0, fmt.Errorf("isa: short bbop_func (%d bytes, need %d)", len(buf), need)
+	}
+	off := 5
+	for i := 0; i < nDst; i++ {
+		in.Dsts = append(in.Dsts, int64(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	for i := 0; i < nSrc; i++ {
+		in.Srcs = append(in.Srcs, int64(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	in.Size = int64(binary.LittleEndian.Uint64(buf[off:]))
+	return in, need, nil
+}

@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+func funcTestMap(t *testing.T) AddressMap {
+	t.Helper()
+	am, err := NewAddressMap(dram.Geometry{
+		Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 32, RowSizeBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return am
+}
+
+func TestFuncInstructionRoundTrip(t *testing.T) {
+	ins := []FuncInstruction{
+		{FuncID: 7, Dsts: []int64{0}, Srcs: []int64{64, 128}, Size: 64},
+		{FuncID: 0xBEEF, Dsts: []int64{0, 64, 128}, Srcs: nil, Size: 128},
+		{FuncID: 1, Dsts: []int64{192}, Srcs: []int64{0, 64, 128, 256, 320}, Size: 64},
+	}
+	for _, in := range ins {
+		buf := in.Encode()
+		if len(buf) != in.EncodedLen() {
+			t.Errorf("%v: encoded %d bytes, EncodedLen says %d", in, len(buf), in.EncodedLen())
+		}
+		got, n, err := DecodeFunc(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: consumed %d of %d bytes", in, n, len(buf))
+		}
+		if got.FuncID != in.FuncID || got.Size != in.Size ||
+			!reflect.DeepEqual(got.Dsts, in.Dsts) ||
+			(len(in.Srcs) > 0 && !reflect.DeepEqual(got.Srcs, in.Srcs)) ||
+			(len(in.Srcs) == 0 && len(got.Srcs) != 0) {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+	// A bbop_func opcode is not a valid plain bbop instruction.
+	if _, err := Decode(ins[0].Encode()); err == nil {
+		t.Error("plain Decode accepted a bbop_func opcode")
+	}
+	// And vice versa.
+	if _, _, err := DecodeFunc(Instruction{Op: 0, Dst: 0, Src1: 64, Src2: 128, Size: 64}.Encode()); err == nil {
+		t.Error("DecodeFunc accepted a plain bbop opcode")
+	}
+	// Truncated stream.
+	if _, _, err := DecodeFunc(ins[2].Encode()[:20]); err == nil || !strings.Contains(err.Error(), "short") {
+		t.Errorf("truncated decode error = %v, want short-buffer report", err)
+	}
+}
+
+func TestFuncInstructionChecks(t *testing.T) {
+	am := funcTestMap(t)
+	ok := FuncInstruction{FuncID: 1, Dsts: []int64{0}, Srcs: []int64{64, 128}, Size: 64}
+	if err := ok.Validate(am); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	if !ok.AmbitEligible(am) {
+		t.Error("row-aligned row-sized bbop_func not eligible")
+	}
+	cases := []struct {
+		name string
+		in   FuncInstruction
+	}{
+		{"zero size", FuncInstruction{Dsts: []int64{0}, Size: 0}},
+		{"no dsts", FuncInstruction{Srcs: []int64{0}, Size: 64}},
+		{"out of bounds", FuncInstruction{Dsts: []int64{am.Capacity()}, Size: 64}},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(am); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.in)
+		}
+	}
+	for _, in := range []FuncInstruction{
+		{FuncID: 1, Dsts: []int64{8}, Srcs: []int64{64}, Size: 64},  // unaligned dst
+		{FuncID: 1, Dsts: []int64{0}, Srcs: []int64{100}, Size: 64}, // unaligned src
+		{FuncID: 1, Dsts: []int64{0}, Srcs: []int64{64}, Size: 32},  // sub-row size
+	} {
+		if in.AmbitEligible(am) {
+			t.Errorf("AmbitEligible accepted %+v", in)
+		}
+	}
+}

@@ -7,6 +7,11 @@
 // iteration.  It counts node visits and rotations so the full-system model
 // (internal/sysmodel) can charge cache-aware per-visit costs when
 // reproducing Figure 12.
+//
+// Contract: operations are deterministic (no randomized balancing), so the
+// visit and rotation counters are reproducible for a fixed operation
+// sequence — a requirement for the experiment harness's stable output.  A
+// Tree is not safe for concurrent use.
 package rbtree
 
 type color bool

@@ -32,6 +32,9 @@ type Stats struct {
 	BulkOps [7]int64
 	// RowOps counts row-level command trains executed.
 	RowOps int64
+	// FuncOps counts completed compiled-function executions (Func.Run,
+	// Func.RunMulti, and Batch.Call), each covering all its rows.
+	FuncOps int64
 	// Copies counts RowClone row copies and initializations.
 	Copies int64
 	// BankBusyNS[i] is the total simulated time bank i spent occupied by
@@ -101,6 +104,9 @@ func (st Stats) String() string {
 	}
 	s := fmt.Sprintf("elapsed %.0f ns, %d row-ops [%s], %d copies, %d channel bytes",
 		st.ElapsedNS, st.RowOps, strings.Join(ops, " "), st.Copies, st.ChannelBytes)
+	if st.FuncOps > 0 {
+		s += fmt.Sprintf(", %d func-ops", st.FuncOps)
+	}
 	if len(st.BankBusyNS) > 0 && st.ElapsedNS > 0 {
 		s += fmt.Sprintf(", %.0f%% mean bank utilization", st.MeanBankUtilization()*100)
 	}
