@@ -33,9 +33,10 @@
 //	a, _ := sys.Alloc(1 << 20) // 1 Mib bitvector
 //	b, _ := sys.Alloc(1 << 20)
 //	dst, _ := sys.Alloc(1 << 20)
-//	... load data with a.Load(...) / b.Load(...)
+//	... install data with a.Write(wa, ambit.Backdoor()) (cost-free) or
+//	... a.Write(wa) (charged over the simulated channel)
 //	sys.And(dst, a, b)         // executed inside simulated DRAM
-//	words, _ := dst.Peek()
+//	words, _ := dst.Read(ambit.Backdoor())
 //	fmt.Println(sys.Stats().ElapsedNS, "ns simulated")
 //
 // # Batch execution
@@ -76,6 +77,7 @@ package ambit
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
 
 	"ambit/internal/compile"
@@ -296,7 +298,21 @@ type System struct {
 	funcMu    sync.Mutex
 	funcCache map[string]*compile.Compiled
 
+	// ioScratch is the one-row staging buffer of the host I/O paths
+	// (Bitvector Write/WriteAt/ReadInto), allocated lazily and reused —
+	// all of those hold execMu exclusively, so one buffer suffices.
+	ioScratch []uint64
+
 	stats Stats
+}
+
+// rowScratch returns the lazily allocated one-row staging buffer; the caller
+// holds execMu exclusively.
+func (s *System) rowScratch() []uint64 {
+	if s.ioScratch == nil {
+		s.ioScratch = make([]uint64, s.dev.Geometry().WordsPerRow())
+	}
+	return s.ioScratch
 }
 
 // New creates a System with the default configuration, adjusted by the given
@@ -508,6 +524,31 @@ func (s *System) TelemetryAddr() string {
 	return s.telemetry.Addr()
 }
 
+// RegisterHTTP mounts an additional handler on the live telemetry server
+// under the given path prefix and lists it on the server's index page —
+// how the serving layer (internal/service) exposes its namespace API on the
+// same port as /metrics.  It fails when the System was built without
+// Config.TelemetryAddr.
+func (s *System) RegisterHTTP(path, desc string, h http.Handler) error {
+	if s.telemetry == nil {
+		return fmt.Errorf("ambit: RegisterHTTP(%s): no telemetry server (set Config.TelemetryAddr)", path)
+	}
+	return s.telemetry.Register(path, desc, h)
+}
+
+// BankSaturation returns the mean busy fraction of all banks over the
+// trailing windowNS of recorded simulated time — the admission-control
+// signal behind the telemetry server's /banks timelines.  The second result
+// is false when the System was built without telemetry (no utilization
+// collector).  A fraction near 1 means the device's banks are back to back
+// with command trains: new work will only queue.
+func (s *System) BankSaturation(windowNS float64) (float64, bool) {
+	if s.util == nil {
+		return 0, false
+	}
+	return s.util.TailBusyFraction(windowNS), true
+}
+
 // dataRows returns the D-group rows available to the allocator: the
 // geometry's data rows, minus the per-subarray ECC scratch rows when the
 // reliability policy is enabled.
@@ -569,6 +610,56 @@ func (s *System) slotAddr(slot, row int) dram.PhysAddr {
 // of DRAM row size").
 func (s *System) RowSizeBits() int { return s.dev.Geometry().RowSizeBytes * 8 }
 
+// Quota is a row-count budget carved out of the System's allocator — the
+// per-tenant admission unit of the serving layer.  AllocQuota charges a
+// vector's rows against a quota at allocation time and rejects the
+// allocation with ErrQuotaExceeded when the budget would overflow; Free
+// credits the rows back.  A Quota is safe for concurrent use and may meter
+// vectors on any number of goroutines.
+type Quota struct {
+	mu    sync.Mutex
+	limit int
+	used  int
+}
+
+// NewQuota creates a budget of maxRows DRAM rows (non-positive means an
+// unlimited quota that only tracks usage).
+func NewQuota(maxRows int) *Quota { return &Quota{limit: maxRows} }
+
+// Limit returns the row budget (0 = unlimited).
+func (q *Quota) Limit() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.limit
+}
+
+// Used returns the rows currently charged against the quota.
+func (q *Quota) Used() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.used
+}
+
+// reserve charges n rows, failing without side effects on overflow.
+func (q *Quota) reserve(n int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.limit > 0 && q.used+n > q.limit {
+		return fmt.Errorf("ambit: %d rows over budget (%d used of %d): %w", n, q.used, q.limit, ErrQuotaExceeded)
+	}
+	q.used += n
+	return nil
+}
+
+// release credits n rows back.
+func (q *Quota) release(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used -= n; q.used < 0 {
+		q.used = 0
+	}
+}
+
 // Alloc allocates a bitvector of at least `bits` bits, rounded up to whole
 // DRAM rows.  Row r of the vector is placed in placement slot (r mod slots),
 // so the corresponding rows of all vectors allocated by this System share a
@@ -577,7 +668,22 @@ func (s *System) RowSizeBits() int { return s.dev.Geometry().RowSizeBytes * 8 }
 func (s *System) Alloc(bits int64) (*Bitvector, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.allocLocked(bits, 0)
+	return s.allocLocked(bits, 0, nil)
+}
+
+// AllocQuota allocates like AllocAt but meters the vector's rows against the
+// given quota: the rows are reserved from q before any device row is
+// committed (ErrQuotaExceeded when the budget would overflow, with nothing
+// allocated), and Free credits them back.  A nil quota makes AllocQuota
+// identical to AllocAt.  Vectors of one tenant that cooperate in bulk
+// operations must share a base slot, exactly as with AllocAt.
+func (s *System) AllocQuota(bits int64, baseSlot int, q *Quota) (*Bitvector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if baseSlot < 0 || baseSlot >= s.slots() {
+		return nil, fmt.Errorf("ambit: AllocQuota: base slot %d out of range [0,%d)", baseSlot, s.slots())
+	}
+	return s.allocLocked(bits, baseSlot, q)
 }
 
 // AllocAt allocates like Alloc but starts placement at the given
@@ -593,16 +699,24 @@ func (s *System) AllocAt(bits int64, baseSlot int) (*Bitvector, error) {
 	if baseSlot < 0 || baseSlot >= s.slots() {
 		return nil, fmt.Errorf("ambit: AllocAt: base slot %d out of range [0,%d)", baseSlot, s.slots())
 	}
-	return s.allocLocked(bits, baseSlot)
+	return s.allocLocked(bits, baseSlot, nil)
 }
 
-// allocLocked implements Alloc/AllocAt; the caller holds s.mu.
-func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
+// allocLocked implements Alloc/AllocAt/AllocQuota; the caller holds s.mu.
+// The quota reservation happens before any row is committed, so a failed
+// reservation leaves the allocator untouched; a failed row grab rolls the
+// whole allocation (and the reservation) back.
+func (s *System) allocLocked(bits int64, baseSlot int, q *Quota) (*Bitvector, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("ambit: Alloc(%d): size must be positive", bits)
 	}
 	rowBits := int64(s.RowSizeBits())
 	nRows := int((bits + rowBits - 1) / rowBits)
+	if q != nil {
+		if err := q.reserve(nRows); err != nil {
+			return nil, err
+		}
+	}
 	rows := make([]dram.PhysAddr, nRows)
 	for r := 0; r < nRows; r++ {
 		slot := (baseSlot + r) % s.slots()
@@ -613,13 +727,21 @@ func (s *System) allocLocked(bits int64, baseSlot int) (*Bitvector, error) {
 		} else {
 			row = s.nextRow[slot]
 			if row >= s.dataRows() {
-				return nil, fmt.Errorf("ambit: out of DRAM capacity (slot %d exhausted after %d rows)", slot, row)
+				// Roll back the rows committed so far and the reservation.
+				for _, a := range rows[:r] {
+					sl := a.Subarray*s.dev.Geometry().Banks + a.Bank
+					s.freeRows[sl] = append(s.freeRows[sl], a.Row.Index)
+				}
+				if q != nil {
+					q.release(nRows)
+				}
+				return nil, fmt.Errorf("ambit: slot %d exhausted after %d rows: %w", slot, row, ErrCapacity)
 			}
 			s.nextRow[slot]++
 		}
 		rows[r] = s.slotAddr(slot, row)
 	}
-	return &Bitvector{sys: s, bits: bits, rows: rows}, nil
+	return &Bitvector{sys: s, bits: bits, rows: rows, quota: q}, nil
 }
 
 // Free returns a bitvector's rows to the allocator for reuse.  The vector
@@ -651,6 +773,12 @@ func (s *System) Free(v *Bitvector) error {
 		}
 		slot := addr.Subarray*g.Banks + addr.Bank
 		s.freeRows[slot] = append(s.freeRows[slot], addr.Row.Index)
+	}
+	// Credit the full row count back to the vector's quota — quarantined
+	// rows too: the tenant does not pay for retired hardware.
+	if v.quota != nil {
+		v.quota.release(len(v.rows))
+		v.quota = nil
 	}
 	v.rows = nil
 	v.bits = 0

@@ -119,10 +119,10 @@ func TestLoadPeekRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	v := s.MustAlloc(int64(s.RowSizeBits() * 3))
 	data := randWords(rng, v.Words())
-	if err := v.Load(data); err != nil {
+	if err := v.Write(data, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	got, err := v.Peek()
+	got, err := v.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,16 +132,16 @@ func TestLoadPeekRoundTrip(t *testing.T) {
 		}
 	}
 	// Load with short data zero-fills the tail.
-	if err := v.Load(data[:3]); err != nil {
+	if err := v.Write(data[:3], Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = v.Peek()
+	got, _ = v.Read(Backdoor())
 	for i := 3; i < len(got); i++ {
 		if got[i] != 0 {
 			t.Fatalf("tail word %d = %#x, want 0", i, got[i])
 		}
 	}
-	if err := v.Load(make([]uint64, v.Words()+1)); err == nil {
+	if err := v.Write(make([]uint64, v.Words()+1), Backdoor()); err == nil {
 		t.Error("oversized Load accepted")
 	}
 }
@@ -193,16 +193,16 @@ func TestAllBulkOpsFunctional(t *testing.T) {
 			bits := int64(s.RowSizeBits() * 6) // multiple rows, crosses all banks
 			a, b, d := s.MustAlloc(bits), s.MustAlloc(bits), s.MustAlloc(bits)
 			da, db := randWords(rng, a.Words()), randWords(rng, b.Words())
-			if err := a.Load(da); err != nil {
+			if err := a.Write(da, Backdoor()); err != nil {
 				t.Fatal(err)
 			}
-			if err := b.Load(db); err != nil {
+			if err := b.Write(db, Backdoor()); err != nil {
 				t.Fatal(err)
 			}
 			if err := tc.do(s, d, a, b); err != nil {
 				t.Fatal(err)
 			}
-			got, err := d.Peek()
+			got, err := d.Read(Backdoor())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -226,16 +226,16 @@ func TestOpAliasingDestination(t *testing.T) {
 	bits := int64(s.RowSizeBits())
 	a, b := s.MustAlloc(bits), s.MustAlloc(bits)
 	da, db := randWords(rng, a.Words()), randWords(rng, b.Words())
-	if err := a.Load(da); err != nil {
+	if err := a.Write(da, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(db); err != nil {
+	if err := b.Write(db, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.And(a, a, b); err != nil { // a = a & b
 		t.Fatal(err)
 	}
-	got, _ := a.Peek()
+	got, _ := a.Read(Backdoor())
 	for i := range got {
 		if got[i] != da[i]&db[i] {
 			t.Fatalf("aliased and word %d wrong", i)
@@ -278,7 +278,7 @@ func TestOpsProperty(t *testing.T) {
 			for i := range w {
 				w[i] = val
 			}
-			return v.Load(w) == nil
+			return v.Write(w, Backdoor()) == nil
 		}
 		if !fill(a, x) || !fill(b, y) {
 			return false
@@ -286,7 +286,7 @@ func TestOpsProperty(t *testing.T) {
 		if err := s.Apply(op, d, a, b); err != nil {
 			return false
 		}
-		got, err := d.Peek()
+		got, err := d.Read(Backdoor())
 		if err != nil {
 			return false
 		}
@@ -303,13 +303,13 @@ func TestCopyAndFill(t *testing.T) {
 	bits := int64(s.RowSizeBits() * 3)
 	a, b := s.MustAlloc(bits), s.MustAlloc(bits)
 	data := randWords(rng, a.Words())
-	if err := a.Load(data); err != nil {
+	if err := a.Write(data, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Copy(b, a); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := b.Peek()
+	got, _ := b.Read(Backdoor())
 	for i := range data {
 		if got[i] != data[i] {
 			t.Fatalf("copy word %d mismatch", i)
@@ -318,7 +318,7 @@ func TestCopyAndFill(t *testing.T) {
 	if err := s.Fill(b, true); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = b.Peek()
+	got, _ = b.Read(Backdoor())
 	for i := range got {
 		if got[i] != ^uint64(0) {
 			t.Fatalf("fill(1) word %d = %#x", i, got[i])
@@ -327,7 +327,7 @@ func TestCopyAndFill(t *testing.T) {
 	if err := s.Fill(b, false); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = b.Peek()
+	got, _ = b.Read(Backdoor())
 	for i := range got {
 		if got[i] != 0 {
 			t.Fatalf("fill(0) word %d = %#x", i, got[i])
@@ -344,7 +344,7 @@ func TestPopcount(t *testing.T) {
 	w := make([]uint64, v.Words())
 	w[0] = 0b1011
 	w[3] = ^uint64(0)
-	if err := v.Load(w); err != nil {
+	if err := v.Write(w, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	n, err := s.Popcount(v)
@@ -558,7 +558,7 @@ func TestFreeValidation(t *testing.T) {
 	if err := s.Free(foreign); !errors.Is(err, ErrForeignSystem) {
 		t.Errorf("foreign free: err = %v, want ErrForeignSystem", err)
 	}
-	if _, err := v.Peek(); !errors.Is(err, ErrFreed) {
+	if _, err := v.Read(Backdoor()); !errors.Is(err, ErrFreed) {
 		t.Errorf("Peek after Free: err = %v, want ErrFreed", err)
 	}
 }

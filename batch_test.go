@@ -13,7 +13,7 @@ func rowBits(s *System) int64 { return int64(s.RowSizeBits()) }
 func loadRand(t *testing.T, rng *rand.Rand, v *Bitvector) []uint64 {
 	t.Helper()
 	w := randWords(rng, v.Words())
-	if err := v.Load(w); err != nil {
+	if err := v.Write(w, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	return w
@@ -47,7 +47,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 	for _, pair := range [][2]*Bitvector{{sv.a, bv.a}, {sv.b, bv.b}, {sv.c, bv.c}} {
 		w := randWords(rng, pair[0].Words())
 		for _, v := range pair {
-			if err := v.Load(w); err != nil {
+			if err := v.Write(w, Backdoor()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -86,11 +86,11 @@ func TestBatchMatchesSequential(t *testing.T) {
 		t.Fatalf("Waves = %d, want 2", rep.Waves)
 	}
 
-	want, err := sv.out.Peek()
+	want, err := sv.out.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := bv.out.Peek()
+	got, err := bv.out.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestBatchCopyFillPopcount(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, err := dst.Peek()
+	got, err := dst.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestBatchOverlapReducesMakespan(t *testing.T) {
 			v *Bitvector
 			w []uint64
 		}{{sg[i].a, wa}, {bg[i].a, wa}, {sg[i].b, wb}, {bg[i].b, wb}} {
-			if err := p.v.Load(p.w); err != nil {
+			if err := p.v.Write(p.w, Backdoor()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -226,11 +226,11 @@ func TestBatchOverlapReducesMakespan(t *testing.T) {
 		t.Fatalf("system clock advanced %.0f ns, want makespan %.0f ns", got, rep.MakespanNS)
 	}
 	for i := range bg {
-		want, err := sg[i].dst.Peek()
+		want, err := sg[i].dst.Read(Backdoor())
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := bg[i].dst.Peek()
+		got, err := bg[i].dst.Read(Backdoor())
 		if err != nil {
 			t.Fatal(err)
 		}

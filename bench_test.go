@@ -287,10 +287,10 @@ func BenchmarkFunctionalBulkOps(b *testing.B) {
 			for i := range w {
 				w[i] = rng.Uint64()
 			}
-			if err := x.Load(w); err != nil {
+			if err := x.Write(w, Backdoor()); err != nil {
 				b.Fatal(err)
 			}
-			if err := y.Load(w); err != nil {
+			if err := y.Write(w, Backdoor()); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(bits / 8)
@@ -326,10 +326,10 @@ func BenchmarkDirectOps(b *testing.B) {
 				for i := range w {
 					w[i] = rng.Uint64()
 				}
-				if err := x.Load(w); err != nil {
+				if err := x.Write(w, Backdoor()); err != nil {
 					b.Fatal(err)
 				}
-				if err := y.Load(w); err != nil {
+				if err := y.Write(w, Backdoor()); err != nil {
 					b.Fatal(err)
 				}
 				b.SetBytes(bits / 8)
@@ -569,13 +569,13 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 			for k := range w {
 				w[k] = rng.Uint64()
 			}
-			if err := gs[i][0].Load(w); err != nil {
+			if err := gs[i][0].Write(w, Backdoor()); err != nil {
 				b.Fatal(err)
 			}
 			for k := range w {
 				w[k] = rng.Uint64()
 			}
-			if err := gs[i][1].Load(w); err != nil {
+			if err := gs[i][1].Write(w, Backdoor()); err != nil {
 				b.Fatal(err)
 			}
 		}

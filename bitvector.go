@@ -18,6 +18,10 @@ type Bitvector struct {
 	sys  *System
 	bits int64
 	rows []dram.PhysAddr
+
+	// quota is the row budget the vector was allocated under (nil for
+	// unmetered vectors); Free credits the rows back to it.
+	quota *Quota
 }
 
 // checkLive verifies the vector has not been freed; failures wrap ErrFreed
@@ -64,26 +68,53 @@ func (v *Bitvector) Words() int {
 // words is Words without locking; the caller holds v.sys.execMu.
 func (v *Bitvector) words() int { return len(v.rows) * v.wordsPerRow() }
 
-// Load installs data into the vector's rows through the simulation backdoor,
-// free of simulated cost.  Use it to set up experiment state; use Write for
-// costed stores.  Missing tail words are zero-filled.
-func (v *Bitvector) Load(words []uint64) error {
+// IOOption configures one host I/O transfer (Read, ReadInto, Write,
+// WriteAt).  The zero configuration is the costed path: data moves over the
+// simulated DRAM channel, charging the corresponding commands, channel time,
+// and energy.
+type IOOption func(ioConfig) ioConfig
+
+type ioConfig struct{ backdoor bool }
+
+// Backdoor routes the transfer through the simulation backdoor: cell
+// contents are copied directly, free of simulated cost and without issuing
+// DRAM commands.  Use it to install experiment state or inspect results when
+// the transfer itself is not part of the workload being measured.
+func Backdoor() IOOption {
+	return func(c ioConfig) ioConfig { c.backdoor = true; return c }
+}
+
+// applyIO folds the options into a config by value, keeping it off the heap
+// so the ReadInto/WriteAt hot paths stay allocation-free.
+func applyIO(opts []IOOption) ioConfig {
+	var c ioConfig
+	for _, o := range opts {
+		c = o(c)
+	}
+	return c
+}
+
+// Write stores words into the vector from offset 0, zero-filling the unset
+// tail up to the padded capacity (Words).  This is the canonical bulk
+// install: by default it moves the vector's rows over the DRAM channel and
+// charges commands plus channel time; with Backdoor it is cost-free.
+// Writing more than Words words wraps ErrOutOfRange.
+func (v *Bitvector) Write(words []uint64, opts ...IOOption) error {
+	io := applyIO(opts)
 	v.sys.execMu.Lock()
 	defer v.sys.execMu.Unlock()
-	if err := v.checkLive("Load"); err != nil {
+	if err := v.checkLive("Write"); err != nil {
 		return err
 	}
 	if len(words) > v.words() {
-		return fmt.Errorf("ambit: Load: %d words exceed capacity %d", len(words), v.words())
+		return fmt.Errorf("ambit: Write: %d words exceed capacity %d: %w", len(words), v.words(), ErrOutOfRange)
 	}
-	return v.store(words, v.sys.dev.PokeRow)
-}
-
-// store writes words row by row through the given row writer, zero-filling
-// the tail.  The caller holds v.sys.execMu.
-func (v *Bitvector) store(words []uint64, writeRow func(dram.PhysAddr, []uint64) error) error {
+	writeRow := v.sys.dev.WriteRow
+	if io.backdoor {
+		writeRow = v.sys.dev.PokeRow
+	}
 	wpr := v.wordsPerRow()
-	buf := make([]uint64, wpr)
+	buf := v.sys.rowScratch()
 	for r, addr := range v.rows {
 		for i := range buf {
 			buf[i] = 0
@@ -96,69 +127,161 @@ func (v *Bitvector) store(words []uint64, writeRow func(dram.PhysAddr, []uint64)
 			return err
 		}
 	}
+	if !io.backdoor {
+		v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
+	}
 	return nil
 }
 
-// Peek returns the vector's content through the simulation backdoor, free of
-// simulated cost.
-func (v *Bitvector) Peek() ([]uint64, error) {
+// WriteAt stores words at the given word offset without touching the rest of
+// the vector (no zero-fill).  Only the covered rows move: partially covered
+// rows are read-modified through the backdoor and written back whole.  The
+// costed path charges channel time for every touched row; with Backdoor the
+// update is cost-free.  A range past the padded capacity wraps ErrOutOfRange.
+func (v *Bitvector) WriteAt(wordOff int, words []uint64, opts ...IOOption) error {
+	io := applyIO(opts)
 	v.sys.execMu.Lock()
 	defer v.sys.execMu.Unlock()
-	if err := v.checkLive("Peek"); err != nil {
-		return nil, err
+	if err := v.checkLive("WriteAt"); err != nil {
+		return err
 	}
-	return v.peek()
-}
-
-// peek is Peek without locking; the caller holds v.sys.execMu.
-func (v *Bitvector) peek() ([]uint64, error) {
-	out := make([]uint64, 0, v.words())
-	for _, addr := range v.rows {
-		row, err := v.sys.dev.PeekRow(addr)
-		if err != nil {
-			return nil, err
+	if wordOff < 0 || wordOff+len(words) > v.words() {
+		return fmt.Errorf("ambit: WriteAt: words [%d,%d) exceed capacity %d: %w",
+			wordOff, wordOff+len(words), v.words(), ErrOutOfRange)
+	}
+	if len(words) == 0 {
+		return nil
+	}
+	writeRow := v.sys.dev.WriteRow
+	if io.backdoor {
+		writeRow = v.sys.dev.PokeRow
+	}
+	wpr := v.wordsPerRow()
+	buf := v.sys.rowScratch()
+	first, last := wordOff/wpr, (wordOff+len(words)-1)/wpr
+	for r := first; r <= last; r++ {
+		lo, hi := r*wpr, (r+1)*wpr // this row's word range within the vector
+		src := buf
+		if wordOff <= lo && hi <= wordOff+len(words) {
+			// Fully covered: write straight from the caller's slice.
+			src = words[lo-wordOff : hi-wordOff]
+		} else {
+			// Partially covered: read-modify-write through the backdoor.
+			if err := v.sys.dev.PeekRowInto(v.rows[r], buf); err != nil {
+				return err
+			}
+			for i := lo; i < hi; i++ {
+				if i >= wordOff && i < wordOff+len(words) {
+					buf[i-lo] = words[i-wordOff]
+				}
+			}
 		}
-		out = append(out, row...)
+		if err := writeRow(v.rows[r], src); err != nil {
+			return err
+		}
 	}
-	return out, nil
-}
-
-// Write stores data into the vector through the DRAM channel, charging the
-// corresponding commands and channel time.
-func (v *Bitvector) Write(words []uint64) error {
-	v.sys.execMu.Lock()
-	defer v.sys.execMu.Unlock()
-	if err := v.checkLive("Write"); err != nil {
-		return err
+	if !io.backdoor {
+		v.sys.chargeChannel(int64(last-first+1) * int64(v.sys.dev.Geometry().RowSizeBytes))
 	}
-	if len(words) > v.words() {
-		return fmt.Errorf("ambit: Write: %d words exceed capacity %d", len(words), v.words())
-	}
-	if err := v.store(words, v.sys.dev.WriteRow); err != nil {
-		return err
-	}
-	v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
 	return nil
 }
 
-// Read returns the vector's content through the DRAM channel, charging the
-// corresponding commands and channel time.
-func (v *Bitvector) Read() ([]uint64, error) {
+// Read returns the vector's full padded content (Words words).  By default
+// the rows stream over the DRAM channel, charging commands and channel time;
+// with Backdoor the copy is cost-free.
+func (v *Bitvector) Read(opts ...IOOption) ([]uint64, error) {
 	v.sys.execMu.Lock()
 	defer v.sys.execMu.Unlock()
 	if err := v.checkLive("Read"); err != nil {
 		return nil, err
 	}
-	out := make([]uint64, 0, v.words())
-	for _, addr := range v.rows {
-		row, err := v.sys.dev.ReadRow(addr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, row...)
+	out := make([]uint64, v.words())
+	if err := v.readInto(out, applyIO(opts)); err != nil {
+		return nil, err
 	}
-	v.sys.chargeChannel(int64(len(v.rows)) * int64(v.sys.dev.Geometry().RowSizeBytes))
 	return out, nil
+}
+
+// ReadInto is Read into a caller-supplied buffer, allocating nothing: it
+// fills dst with min(len(dst), Words) words from offset 0 and returns the
+// count.  Only the rows needed to cover dst move (and are charged, on the
+// costed path); a partially needed final row is staged through a per-System
+// scratch row.  This is the hot read path of the serving layer and
+// ambitbench — size dst with Words once and reuse it across calls.
+func (v *Bitvector) ReadInto(dst []uint64, opts ...IOOption) (int, error) {
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
+	if err := v.checkLive("ReadInto"); err != nil {
+		return 0, err
+	}
+	if len(dst) > v.words() {
+		dst = dst[:v.words()]
+	}
+	if err := v.readInto(dst, applyIO(opts)); err != nil {
+		return 0, err
+	}
+	return len(dst), nil
+}
+
+// readInto fills dst (len(dst) <= words()) from word offset 0; the caller
+// holds v.sys.execMu exclusively.
+func (v *Bitvector) readInto(dst []uint64, io ioConfig) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	readRow := v.sys.dev.ReadRowInto
+	if io.backdoor {
+		readRow = v.sys.dev.PeekRowInto
+	}
+	wpr := v.wordsPerRow()
+	rows := (len(dst) + wpr - 1) / wpr
+	for r := 0; r < rows; r++ {
+		lo := r * wpr
+		if lo+wpr <= len(dst) {
+			if err := readRow(v.rows[r], dst[lo:lo+wpr]); err != nil {
+				return err
+			}
+			continue
+		}
+		// Partially needed final row: stage through the scratch row.
+		buf := v.sys.rowScratch()
+		if err := readRow(v.rows[r], buf); err != nil {
+			return err
+		}
+		copy(dst[lo:], buf)
+	}
+	if !io.backdoor {
+		v.sys.chargeChannel(int64(rows) * int64(v.sys.dev.Geometry().RowSizeBytes))
+	}
+	return nil
+}
+
+// peek returns the full content through the backdoor without locking; the
+// caller holds v.sys.execMu.
+func (v *Bitvector) peek() ([]uint64, error) {
+	out := make([]uint64, v.words())
+	if err := v.readInto(out, ioConfig{backdoor: true}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Load installs data through the simulation backdoor, free of simulated
+// cost, zero-filling the unset tail.
+//
+// Deprecated: Load is Write with the Backdoor option; use
+// v.Write(words, ambit.Backdoor()).
+func (v *Bitvector) Load(words []uint64) error {
+	return v.Write(words, Backdoor())
+}
+
+// Peek returns the vector's content through the simulation backdoor, free of
+// simulated cost.
+//
+// Deprecated: Peek is Read with the Backdoor option; use
+// v.Read(ambit.Backdoor()).
+func (v *Bitvector) Peek() ([]uint64, error) {
+	return v.Read(Backdoor())
 }
 
 // Bit returns bit i (backdoor, cost-free).
@@ -169,7 +292,7 @@ func (v *Bitvector) Bit(i int64) (bool, error) {
 		return false, err
 	}
 	if i < 0 || i >= v.bits {
-		return false, fmt.Errorf("ambit: Bit(%d) out of range [0,%d)", i, v.bits)
+		return false, fmt.Errorf("ambit: Bit(%d) outside [0,%d): %w", i, v.bits, ErrOutOfRange)
 	}
 	rowBits := int64(v.sys.RowSizeBits())
 	row, err := v.sys.dev.PeekRow(v.rows[i/rowBits])
@@ -188,7 +311,7 @@ func (v *Bitvector) SetBit(i int64, val bool) error {
 		return err
 	}
 	if i < 0 || i >= v.bits {
-		return fmt.Errorf("ambit: SetBit(%d) out of range [0,%d)", i, v.bits)
+		return fmt.Errorf("ambit: SetBit(%d) outside [0,%d): %w", i, v.bits, ErrOutOfRange)
 	}
 	rowBits := int64(v.sys.RowSizeBits())
 	addr := v.rows[i/rowBits]

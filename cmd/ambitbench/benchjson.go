@@ -89,13 +89,13 @@ func benchSetup(rows int) (*ambit.System, *ambit.Bitvector, *ambit.Bitvector, *a
 	for i := range w {
 		w[i] = rng.Uint64()
 	}
-	if err := x.Load(w); err != nil {
+	if err := x.Write(w, ambit.Backdoor()); err != nil {
 		return nil, nil, nil, nil, err
 	}
 	for i := range w {
 		w[i] = rng.Uint64()
 	}
-	if err := y.Load(w); err != nil {
+	if err := y.Write(w, ambit.Backdoor()); err != nil {
 		return nil, nil, nil, nil, err
 	}
 	return sys, x, y, d, nil

@@ -1,25 +1,36 @@
-// Command ambitd runs the Ambit simulator as a long-lived daemon: a
-// continuous randomized bulk-bitwise workload with the live telemetry server
-// attached, for watching the simulator under sustained load.
+// Command ambitd serves the Ambit simulator as a multi-tenant bitvector
+// service: the /v1 namespace API (internal/service) mounted next to the live
+// telemetry endpoints, one HTTP server for both.
 //
 // Usage:
 //
-//	ambitd                          # serve on localhost:8612
-//	ambitd -addr :9000 -rows 64     # bigger vectors, any interface
-//	ambitd -interval 10ms -sample 8 # slower op rate, 1-in-8 span sampling
+//	ambitd                            # serve on localhost:8612
+//	ambitd -addr :9000                # any interface
+//	ambitd -max-inflight 4 -quota 256 # tighter admission + tenant quotas
+//	ambitd -warm                      # keep a background synthetic workload
+//
+// Quickstart (see README.md "Serving bitvectors over HTTP" for the full
+// walk-through):
+//
+//	curl -X PUT localhost:8612/v1/namespaces/t0
+//	curl -X PUT localhost:8612/v1/namespaces/t0/vectors/a -d '{"bits":65536}'
+//	curl -X PUT --data-binary @words.le localhost:8612/v1/namespaces/t0/vectors/a/data
+//	curl -X POST localhost:8612/v1/namespaces/t0/ops -d '{"op":"not","dst":"a","a":"a"}'
+//	curl -X POST localhost:8612/v1/namespaces/t0/query -d '{"op":"popcount","vector":"a"}'
 //
 // Endpoints (see `curl http://localhost:8612/`):
 //
-//	/metrics      Prometheus latency/energy histograms and counters
+//	/v1/...       the namespace API (service layer)
+//	/metrics      Prometheus histograms, counters, and svc_* gauges
 //	/healthz      liveness
 //	/trace        live trace events (server-sent events)
 //	/banks        per-bank busy-fraction timelines (JSON)
 //	/debug/pprof  Go profiler
 //
-// The workload mixes every Figure-8 operation plus RowClone copies and fills
-// over bank-spread vectors, so /banks shows all banks active.  Interrupt
-// (ctrl-c) stops the workload, prints the final stats, and shuts the server
-// down.
+// With -warm, a low-rate randomized bulk-bitwise workload (the old ambitd
+// behaviour) runs in the background so /trace and /banks show activity even
+// before the first client connects.  Interrupt (ctrl-c) stops everything and
+// prints the final stats.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 
 	"ambit"
 	"ambit/internal/controller"
+	"ambit/internal/service"
 )
 
 func fail(format string, args ...any) {
@@ -41,15 +53,17 @@ func fail(format string, args ...any) {
 }
 
 func main() {
-	addr := flag.String("addr", "localhost:8612", "telemetry listen address")
-	rows := flag.Int("rows", 8, "DRAM rows per operand vector")
-	interval := flag.Duration("interval", 50*time.Millisecond, "pause between operations (0 = flat out)")
+	addr := flag.String("addr", "localhost:8612", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent requests executing on the simulator (0 = default 16)")
+	maxQueue := flag.Int("max-queue", 0, "requests waiting for an execution slot before 429 (0 = default 64)")
+	maxWait := flag.Duration("max-wait", 0, "queueing deadline before 429 + Retry-After (0 = default 2s)")
+	quota := flag.Int("quota", 0, "default per-namespace row quota (0 = default 4096, negative = unlimited)")
+	saturation := flag.Float64("saturation", 0, "bank busy-fraction rejection threshold (0 = default 0.95, negative = off)")
 	sample := flag.Int("sample", 0, "keep one in N op spans on /trace (0 or 1 = all)")
-	seed := flag.Int64("seed", 1, "workload data/op seed")
+	warm := flag.Bool("warm", false, "run a background synthetic workload")
+	interval := flag.Duration("interval", 50*time.Millisecond, "pause between background workload ops (with -warm)")
+	seed := flag.Int64("seed", 1, "background workload seed (with -warm)")
 	flag.Parse()
-	if *rows < 1 {
-		fail("-rows must be positive")
-	}
 
 	sys, err := ambit.New(
 		ambit.WithTelemetryAddr(*addr),
@@ -58,38 +72,68 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	bits := int64(*rows) * int64(sys.RowSizeBits())
-	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
-	rng := rand.New(rand.NewSource(*seed))
-	w := make([]uint64, a.Words())
-	for i := range w {
-		w[i] = rng.Uint64()
-	}
-	if err := a.Load(w); err != nil {
-		fail("%v", err)
-	}
-	for i := range w {
-		w[i] = rng.Uint64()
-	}
-	if err := b.Load(w); err != nil {
+	svc := service.New(sys, service.Config{
+		MaxInflight:         *maxInflight,
+		MaxQueue:            *maxQueue,
+		MaxWait:             *maxWait,
+		DefaultQuotaRows:    *quota,
+		SaturationThreshold: *saturation,
+	})
+	if err := sys.RegisterHTTP("/v1/", "multi-tenant bitvector namespace API", svc); err != nil {
 		fail("%v", err)
 	}
 
-	fmt.Printf("ambitd: serving on http://%s (try `curl http://%s/metrics`); ctrl-c to stop\n",
+	fmt.Printf("ambitd: serving on http://%s (try `curl http://%s/v1/stats`); ctrl-c to stop\n",
 		sys.TelemetryAddr(), sys.TelemetryAddr())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	done := make(chan struct{})
+	workloadExited := make(chan struct{})
+	if *warm {
+		go func() {
+			defer close(workloadExited)
+			warmWorkload(sys, *seed, *interval, done)
+		}()
+	} else {
+		close(workloadExited)
+	}
+	<-stop
+	close(done)
+	<-workloadExited
+
+	fmt.Printf("ambitd: final stats: %v\n", sys.Stats())
+	if err := svc.Close(); err != nil {
+		fail("close: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		fail("close: %v", err)
+	}
+}
+
+// warmWorkload is the old ambitd loop: randomized Figure-8 operations plus
+// RowClone copies and fills over bank-spread vectors, at a gentle rate.
+func warmWorkload(sys *ambit.System, seed int64, interval time.Duration, done <-chan struct{}) {
+	bits := 8 * int64(sys.RowSizeBits())
+	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]uint64, a.Words())
+	for _, v := range []*ambit.Bitvector{a, b} {
+		for i := range w {
+			w[i] = rng.Uint64()
+		}
+		if err := v.Write(w, ambit.Backdoor()); err != nil {
+			fail("%v", err)
+		}
+	}
 	bulk := []controller.Op{
 		controller.OpAnd, controller.OpOr, controller.OpNot, controller.OpNand,
 		controller.OpNor, controller.OpXor, controller.OpXnor,
 	}
-	var ops int64
-loop:
 	for {
 		select {
-		case <-stop:
-			break loop
+		case <-done:
+			return
 		default:
 		}
 		var err error
@@ -106,18 +150,8 @@ loop:
 		if err != nil {
 			fail("workload: %v", err)
 		}
-		ops++
-		if *interval > 0 {
-			select {
-			case <-stop:
-				break loop
-			case <-time.After(*interval):
-			}
+		if interval > 0 {
+			time.Sleep(interval)
 		}
-	}
-
-	fmt.Printf("ambitd: %d operations, final stats: %v\n", ops, sys.Stats())
-	if err := sys.Close(); err != nil {
-		fail("close: %v", err)
 	}
 }

@@ -1,0 +1,127 @@
+// Command ambitload drives a running ambitd with multi-tenant workloads and
+// reports what the service sustained.  It is both a benchmark client and the
+// CI smoke test for the serving layer (-check).
+//
+// Usage:
+//
+//	ambitload                                  # 4 bitmap-index tenants
+//	ambitload -workload bitfunnel -tenants 8   # document-filtering shape
+//	ambitload -bits 8388608 -queries 4         # the paper's 8M-user point
+//	ambitload -check                           # exit nonzero unless healthy
+//
+// The client retries 429 rejections with the server's advised backoff —
+// graceful degradation under overload is expected behaviour, and the
+// rejected/retried count is part of the report.  With -check, ambitload
+// additionally scrapes /metrics and fails unless the run completed with zero
+// hard errors and the service published nonzero sustained qps and p99
+// latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ambit/internal/service/loadgen"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ambitload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8612", "ambitd base URL")
+	workload := flag.String("workload", "bitmapindex", "traffic shape: bitmapindex or bitfunnel")
+	tenants := flag.Int("tenants", 4, "concurrent tenant namespaces")
+	bits := flag.Int64("bits", 1<<16, "users/documents per bitvector (8388608 = the paper's 8M sweep point)")
+	queries := flag.Int("queries", 8, "queries per tenant")
+	quota := flag.Int("quota", -1, "per-tenant row quota (-1 = unlimited, 0 = server default)")
+	backdoor := flag.Bool("backdoor", false, "install data via the cost-free backdoor channel")
+	seed := flag.Int64("seed", 1, "data seed")
+	timeout := flag.Duration("timeout", 10*time.Second, "how long to wait for the server to come up")
+	check := flag.Bool("check", false, "smoke-test mode: fail unless the run is clean and /metrics shows nonzero qps and p99")
+	flag.Parse()
+
+	var wl loadgen.Workload
+	switch strings.ToLower(*workload) {
+	case "bitmapindex":
+		wl = loadgen.BitmapIndex
+	case "bitfunnel":
+		wl = loadgen.BitFunnel
+	default:
+		fail("unknown -workload %q (want bitmapindex or bitfunnel)", *workload)
+	}
+
+	c := &loadgen.Client{Base: strings.TrimRight(*addr, "/")}
+	if err := c.WaitHealthy(*timeout); err != nil {
+		fail("%v", err)
+	}
+
+	res := loadgen.Run(c, loadgen.Config{
+		Workload:  wl,
+		Tenants:   *tenants,
+		Bits:      *bits,
+		Queries:   *queries,
+		QuotaRows: *quota,
+		Backdoor:  *backdoor,
+		Seed:      *seed,
+	})
+	fmt.Printf("ambitload: %s workload, %d tenants, %d bits/vector: %s\n", wl, *tenants, *bits, res)
+	if res.FirstErr != nil {
+		fmt.Fprintf(os.Stderr, "ambitload: first error: %v\n", res.FirstErr)
+	}
+
+	if stats, err := c.ServiceStats(); err == nil {
+		fmt.Printf("ambitload: /v1/stats: qps=%.1f p50=%.0fns p99=%.0fns bank_saturation=%.3f\n",
+			num(stats, "qps"), num(stats, "p50_wall_ns"), num(stats, "p99_wall_ns"), num(stats, "bank_saturation"))
+	}
+
+	if !*check {
+		if res.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Smoke-test assertions: clean run, live telemetry.  The qps/p99 gauges
+	// refresh once a second, so give the stats loop a beat to fold the run
+	// in before scraping.
+	if res.Errors > 0 {
+		fail("check: %d hard errors (first: %v)", res.Errors, res.FirstErr)
+	}
+	if res.Queries == 0 {
+		fail("check: no queries completed")
+	}
+	// qps is a per-second delta: it is nonzero on the first tick after the
+	// run and decays back to zero once the service is idle again, so keep
+	// the maximum seen while polling.
+	var qps, p99 float64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g, err := c.MetricGauges()
+		if err != nil {
+			fail("check: %v", err)
+		}
+		qps = max(qps, g["ambit_svc_qps"])
+		p99 = max(p99, g["ambit_svc_p99_wall_ns"])
+		if (qps > 0 && p99 > 0) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if qps <= 0 {
+		fail("check: /metrics ambit_svc_qps = %v, want > 0", qps)
+	}
+	if p99 <= 0 {
+		fail("check: /metrics ambit_svc_p99_wall_ns = %v, want > 0", p99)
+	}
+	fmt.Printf("ambitload: check ok (qps=%.1f p99=%.0fns)\n", qps, p99)
+}
+
+func num(m map[string]any, k string) float64 {
+	f, _ := m[k].(float64)
+	return f
+}

@@ -133,16 +133,16 @@ func main() {
 	va := sys.MustAlloc(bits)
 	vb := sys.MustAlloc(bits)
 	vd := sys.MustAlloc(bits)
-	if err := va.Load(bytesToWords(a, n)); err != nil {
+	if err := va.Write(bytesToWords(a, n), ambit.Backdoor()); err != nil {
 		fail("%v", err)
 	}
-	if err := vb.Load(bytesToWords(b, n)); err != nil {
+	if err := vb.Write(bytesToWords(b, n), ambit.Backdoor()); err != nil {
 		fail("%v", err)
 	}
 	if err := sys.Apply(op, vd, va, vb); err != nil {
 		fail("%v", err)
 	}
-	words, err := vd.Peek()
+	words, err := vd.Read(ambit.Backdoor())
 	if err != nil {
 		fail("%v", err)
 	}
@@ -207,13 +207,13 @@ func serveDemo(addr string, splitDecoder bool, timing string, seed int64) {
 	for i := range w {
 		w[i] = rng.Uint64()
 	}
-	if err := a.Load(w); err != nil {
+	if err := a.Write(w, ambit.Backdoor()); err != nil {
 		fail("%v", err)
 	}
 	for i := range w {
 		w[i] = rng.Uint64()
 	}
-	if err := b.Load(w); err != nil {
+	if err := b.Write(w, ambit.Backdoor()); err != nil {
 		fail("%v", err)
 	}
 	for _, op := range []controller.Op{

@@ -117,7 +117,7 @@ func TestFuncDifferential(t *testing.T) {
 			srcs := make([]*Bitvector, nIn)
 			for i := range srcs {
 				srcs[i] = md.sys.MustAlloc(bits)
-				if err := srcs[i].Load(inputs[i]); err != nil {
+				if err := srcs[i].Write(inputs[i], Backdoor()); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -135,7 +135,7 @@ func TestFuncDifferential(t *testing.T) {
 				}
 				want := compile.EvalAll(exprs, vars)
 				for j := range dsts {
-					got, err := dsts[j].Peek()
+					got, err := dsts[j].Read(Backdoor())
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -147,7 +147,7 @@ func TestFuncDifferential(t *testing.T) {
 			}
 			// Inputs must survive.
 			for i := range srcs {
-				got, err := srcs[i].Peek()
+				got, err := srcs[i].Read(Backdoor())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -233,16 +233,16 @@ func TestFuncAliasRules(t *testing.T) {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := a.Load(wa); err != nil {
+	if err := a.Write(wa, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(wb); err != nil {
+	if err := b.Write(wb, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := and2.Run(a, a, b); err != nil {
 		t.Fatalf("legal in-place And rejected: %v", err)
 	}
-	got, err := a.Peek()
+	got, err := a.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestBatchCall(t *testing.T) {
 		for i := range w {
 			w[i] = rng.Uint64()
 		}
-		if err := v.Load(w); err != nil {
+		if err := v.Write(w, Backdoor()); err != nil {
 			t.Fatal(err)
 		}
 		return v, w
@@ -331,7 +331,7 @@ func TestBatchCall(t *testing.T) {
 	if rep.Ops != 2 || rep.Waves != 2 {
 		t.Errorf("report %+v, want 2 ops in 2 waves (chained calls conflict)", rep)
 	}
-	got, err := out.Peek()
+	got, err := out.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestPopcountVertical(t *testing.T) {
 		for w := range data[i] {
 			data[i][w] = rng.Uint64()
 		}
-		if err := vs[i].Load(data[i]); err != nil {
+		if err := vs[i].Write(data[i], Backdoor()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -388,7 +388,7 @@ func TestPopcountVertical(t *testing.T) {
 	}
 	outWords := make([][]uint64, len(outs))
 	for j, o := range outs {
-		if outWords[j], err = o.Peek(); err != nil {
+		if outWords[j], err = o.Read(Backdoor()); err != nil {
 			t.Fatal(err)
 		}
 	}

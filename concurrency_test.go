@@ -112,7 +112,7 @@ func runSystemStress(t *testing.T, s *System) {
 				}
 				wa := randWords(rng, a.Words())
 				wc := randWords(rng, c.Words())
-				if err := a.Load(wa); err != nil {
+				if err := a.Write(wa, Backdoor()); err != nil {
 					errs <- err
 					return
 				}

@@ -44,4 +44,30 @@ var (
 	// model").  It is the controller's sentinel re-exported, so errors.Is
 	// works on errors surfacing from any layer.
 	ErrUncorrectable = controller.ErrUncorrectable
+
+	// ErrCapacity reports an allocation the device cannot hold: some
+	// placement slot has no free D-group rows left.
+	ErrCapacity = errors.New("out of DRAM capacity")
+
+	// ErrQuotaExceeded reports an allocation that would push a Quota past
+	// its row budget — the tenant-level admission failure of the serving
+	// layer (DESIGN.md "Serving layer").  The device itself may still have
+	// free rows.
+	ErrQuotaExceeded = errors.New("row quota exceeded")
+
+	// ErrSaturated reports a request rejected by admission control because
+	// the device or the request queue is saturated.  It is returned by the
+	// serving layer (internal/service), never by the library paths; it
+	// lives here so clients of both can classify every failure with one
+	// errors.Is vocabulary.  Saturation is transient: back off and retry.
+	ErrSaturated = errors.New("device saturated, retry later")
+
+	// ErrOutOfRange reports a bit index or word offset outside the
+	// vector's bounds (Bit/SetBit positions, Read/Write/ReadInto/WriteAt
+	// word counts past the padded capacity).
+	ErrOutOfRange = errors.New("index out of range")
 )
+
+// ErrForeignVector is the name the serving layer's docs use for
+// ErrForeignSystem; they are one sentinel.
+var ErrForeignVector = ErrForeignSystem

@@ -55,7 +55,7 @@ func main() {
 		}
 	}
 	for i := range rows {
-		must(rows[i].Load(rowWords[i]))
+		must(rows[i].Write(rowWords[i], ambit.Backdoor()))
 	}
 
 	// Query: documents containing all three terms.

@@ -112,7 +112,7 @@ func load(sys *ambit.System, rng *rand.Rand, density float64) *ambit.Bitvector {
 		}
 		words[i] = w
 	}
-	must(v.Load(words))
+	must(v.Write(words, ambit.Backdoor()))
 	return v
 }
 

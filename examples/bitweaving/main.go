@@ -40,7 +40,7 @@ func main() {
 			}
 		}
 		plane[p] = sys.MustAlloc(rows)
-		must(plane[p].Load(words))
+		must(plane[p].Write(words, ambit.Backdoor()))
 	}
 
 	sys.ResetStats()

@@ -63,7 +63,7 @@ func main() {
 		}
 	}
 	for i, p := range planes {
-		if err := p.Load(words[i]); err != nil {
+		if err := p.Write(words[i], ambit.Backdoor()); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func main() {
 
 	// Verify against a CPU-side scan of the original columns.
 	wantHits := 0
-	got, err := match.Peek()
+	got, err := match.Read(ambit.Backdoor())
 	if err != nil {
 		log.Fatal(err)
 	}

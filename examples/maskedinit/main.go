@@ -33,14 +33,14 @@ func main() {
 	for i := range img {
 		img[i] = rng.Uint64()
 	}
-	must(image.Load(img))
+	must(image.Write(img, ambit.Backdoor()))
 	// Mask selects the red channel (byte 0 of every 4-byte pixel); value
 	// is all-zero: "clearing a specific color in an image" (§8.4.2).
 	mw := make([]uint64, mask.Words())
 	for i := range mw {
 		mw[i] = 0x000000FF000000FF
 	}
-	must(mask.Load(mw))
+	must(mask.Write(mw, ambit.Backdoor()))
 	must(sys.Fill(value, false))
 
 	sys.ResetStats()
@@ -50,7 +50,7 @@ func main() {
 	must(sys.And(set, value, mask))
 	must(sys.Or(image, keep, set))
 
-	got, _ := image.Peek()
+	got, _ := image.Read(ambit.Backdoor())
 	for i := range got {
 		if want := img[i] &^ mw[i]; got[i] != want {
 			log.Fatalf("masked init wrong at word %d", i)
@@ -63,13 +63,13 @@ func main() {
 	// Bulk-XOR encryption (§8.4.3): keystream XORed in DRAM.
 	ks := xcrypt.NewKeystream(0xC0FFEE).Vector(bits)
 	keyv := sys.MustAlloc(bits)
-	must(keyv.Load(ks.Words()))
+	must(keyv.Write(ks.Words(), ambit.Backdoor()))
 	cipher := sys.MustAlloc(bits)
 	sys.ResetStats()
 	must(sys.Xor(cipher, image, keyv))
 	must(sys.Xor(cipher, cipher, keyv)) // decrypt: XOR is an involution
-	dec, _ := cipher.Peek()
-	img2, _ := image.Peek()
+	dec, _ := cipher.Read(ambit.Backdoor())
+	img2, _ := image.Read(ambit.Backdoor())
 	for i := range dec {
 		if dec[i] != img2[i] {
 			log.Fatal("encrypt/decrypt round trip failed")

@@ -32,8 +32,8 @@ func main() {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	must(a.Load(wa))
-	must(b.Load(wb))
+	must(a.Write(wa, ambit.Backdoor()))
+	must(b.Write(wb, ambit.Backdoor()))
 
 	// Run every operation in DRAM and verify against the CPU.
 	type opCase struct {
@@ -53,7 +53,7 @@ func main() {
 	for _, c := range cases {
 		sys.ResetStats()
 		must(c.run())
-		got, err := dst.Peek()
+		got, err := dst.Read(ambit.Backdoor())
 		if err != nil {
 			log.Fatal(err)
 		}

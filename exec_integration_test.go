@@ -26,10 +26,10 @@ func execWorkload(t *testing.T, sys *System) [][]uint64 {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := a.Load(wa); err != nil {
+	if err := a.Write(wa, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(wb); err != nil {
+	if err := b.Write(wb, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.And(c, a, b); err != nil {
@@ -65,7 +65,7 @@ func execWorkload(t *testing.T, sys *System) [][]uint64 {
 	}
 	var out [][]uint64
 	for _, v := range []*Bitvector{a, b, c, d} {
-		words, err := v.Peek()
+		words, err := v.Read(Backdoor())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +156,7 @@ func TestParallelExecutionRaceStress(t *testing.T) {
 				}
 				if iter%3 == 0 {
 					_ = sys.Stats()
-					if _, err := dst.Peek(); err != nil {
+					if _, err := dst.Read(Backdoor()); err != nil {
 						t.Errorf("goroutine %d: Peek: %v", g, err)
 						return
 					}
@@ -256,7 +256,7 @@ func TestPartialFailureAccountingParallel(t *testing.T) {
 		t.Errorf("TotalBulkOps = %d, want 0 (op failed)", st.TotalBulkOps())
 	}
 	// The five completed rows must actually hold the AND result.
-	got, perr := d.Peek()
+	got, perr := d.Read(Backdoor())
 	if perr != nil {
 		t.Fatal(perr)
 	}

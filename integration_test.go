@@ -32,10 +32,10 @@ func TestTRAFaultInjectionEndToEnd(t *testing.T) {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := a.Load(wa); err != nil {
+	if err := a.Write(wa, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(wb); err != nil {
+	if err := b.Write(wb, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -59,7 +59,7 @@ func TestTRAFaultInjectionEndToEnd(t *testing.T) {
 	if err := sys.And(d, a, b); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Peek()
+	got, err := d.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,10 +184,10 @@ func TestChainedPipelineFunctional(t *testing.T) {
 	for i := range wx {
 		wx[i], weq[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := x.Load(wx); err != nil {
+	if err := x.Write(wx, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := eq.Load(weq); err != nil {
+	if err := eq.Write(weq, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.Fill(lt, false); err != nil {
@@ -206,8 +206,8 @@ func TestChainedPipelineFunctional(t *testing.T) {
 	if err := sys.And(eq, eq, x); err != nil {
 		t.Fatal(err)
 	}
-	gotLT, _ := lt.Peek()
-	gotEQ, _ := eq.Peek()
+	gotLT, _ := lt.Read(Backdoor())
+	gotEQ, _ := eq.Read(Backdoor())
 	for i := range wx {
 		if want := weq[i] &^ wx[i]; gotLT[i] != want {
 			t.Fatalf("lt word %d = %#x, want %#x", i, gotLT[i], want)

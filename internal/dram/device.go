@@ -227,30 +227,39 @@ func (d *Device) CommitStats(st Stats) {
 // returning the row contents.  This is the conventional (non-Ambit) way to
 // get data out of the array, used by baselines and by the public API's Read.
 func (d *Device) ReadRow(p PhysAddr) ([]uint64, error) {
+	out := make([]uint64, d.cfg.Geometry.WordsPerRow())
+	if err := d.ReadRowInto(p, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadRowInto is ReadRow into a caller-supplied buffer of exactly
+// WordsPerRow words, allocating nothing — the host read path of the
+// zero-copy Bitvector API.
+func (d *Device) ReadRowInto(p PhysAddr, dst []uint64) error {
+	if len(dst) != d.cfg.Geometry.WordsPerRow() {
+		return ErrRowSize
+	}
 	var st Stats
 	if err := d.ActivateLocal(p, &st); err != nil {
 		d.CommitStats(st)
-		return nil, err
+		return err
 	}
 	b := d.banks[p.Bank]
-	w := d.cfg.Geometry.WordsPerRow()
-	out := make([]uint64, w)
-	for c := 0; c < w; c++ {
+	for c := range dst {
 		v, err := b.ReadColumn(c)
 		if err != nil {
 			st.ColumnReads += int64(c)
 			d.CommitStats(st)
-			return nil, err
+			return err
 		}
-		out[c] = v
+		dst[c] = v
 	}
-	st.ColumnReads += int64(w)
+	st.ColumnReads += int64(len(dst))
 	err := d.PrechargeLocal(p.Bank, &st)
 	d.CommitStats(st)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return err
 }
 
 // WriteRow performs an ACTIVATE, a full row of column writes, and a
@@ -284,6 +293,15 @@ func (d *Device) PeekRow(p PhysAddr) ([]uint64, error) {
 		return nil, err
 	}
 	return d.banks[p.Bank].Subarray(p.Subarray).PeekRow(p.Row)
+}
+
+// PeekRowInto is PeekRow into a caller-supplied buffer of exactly
+// WordsPerRow words, allocating nothing.
+func (d *Device) PeekRowInto(p PhysAddr, dst []uint64) error {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return err
+	}
+	return d.banks[p.Bank].Subarray(p.Subarray).PeekRowInto(p.Row, dst)
 }
 
 // PokeRow overwrites the cell contents behind p without issuing commands.

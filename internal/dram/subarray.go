@@ -339,6 +339,22 @@ func (s *Subarray) PeekRow(a RowAddr) ([]uint64, error) {
 	return append([]uint64(nil), s.cell(wls[0])...), nil
 }
 
+// PeekRowInto is PeekRow into a caller-supplied buffer of exactly one row's
+// words, allocating nothing.
+func (s *Subarray) PeekRowInto(a RowAddr, dst []uint64) error {
+	var wlbuf [3]Wordline
+	wls, err := AppendWordlines(wlbuf[:0], a, s.geom)
+	if err != nil {
+		return err
+	}
+	src := s.cell(wls[0])
+	if len(dst) != len(src) {
+		return ErrRowSize
+	}
+	copy(dst, src)
+	return nil
+}
+
 // PeekWordline returns a copy of the cells behind one physical wordline.
 func (s *Subarray) PeekWordline(wl Wordline) []uint64 {
 	return append([]uint64(nil), s.cell(wl)...)
@@ -348,7 +364,8 @@ func (s *Subarray) PeekWordline(wl Wordline) []uint64 {
 // issuing DRAM commands.  Used to initialize memory content ("load a memory
 // image") in tests and by the backdoor loader of the public API.
 func (s *Subarray) PokeRow(a RowAddr, data []uint64) error {
-	wls, err := DecodeRowAddr(a, s.geom)
+	var wlbuf [3]Wordline
+	wls, err := AppendWordlines(wlbuf[:0], a, s.geom)
 	if err != nil {
 		return err
 	}

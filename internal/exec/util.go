@@ -90,6 +90,50 @@ type UtilSnapshot struct {
 	Banks []BankUtil `json:"banks"`
 }
 
+// TailBusyFraction returns the mean busy fraction across all banks over the
+// trailing windowNS of recorded simulated time (ending at the latest
+// recorded interval end), in [0, 1].  It scans only the tail bins, so it is
+// cheap enough to call per admission decision; before anything is recorded
+// it returns 0.
+func (u *Util) TailBusyFraction(windowNS float64) float64 {
+	if u == nil || windowNS <= 0 {
+		return 0
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.endNS <= 0 || len(u.bins) == 0 {
+		return 0
+	}
+	startNS := u.endNS - windowNS
+	if startNS < 0 {
+		startNS = 0
+	}
+	first, last := int(startNS/u.binNS), int(u.endNS/u.binNS)
+	var busy float64
+	for _, bins := range u.bins {
+		for b := first; b <= last && b < len(bins); b++ {
+			lo, hi := float64(b)*u.binNS, float64(b+1)*u.binNS
+			if startNS > lo {
+				lo = startNS
+			}
+			if u.endNS < hi {
+				hi = u.endNS
+			}
+			if hi <= lo {
+				continue
+			}
+			// The bin's busy time, attributed uniformly within the bin.
+			busy += bins[b] * (hi - lo) / u.binNS
+		}
+	}
+	window := u.endNS - startNS
+	f := busy / (window * float64(len(u.bins)))
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
 // Snapshot returns the busy-fraction timelines.
 func (u *Util) Snapshot() UtilSnapshot {
 	u.mu.Lock()

@@ -437,10 +437,10 @@ func BatchEngine() (string, error) {
 			for k := range w {
 				w[k] = rng.Uint64()
 			}
-			if err := g.a.Load(w); err != nil {
+			if err := g.a.Write(w, ambit.Backdoor()); err != nil {
 				return 0, 0, 0, err
 			}
-			if err := g.b.Load(w); err != nil {
+			if err := g.b.Write(w, ambit.Backdoor()); err != nil {
 				return 0, 0, 0, err
 			}
 			gs[i] = g

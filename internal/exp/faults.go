@@ -59,10 +59,10 @@ func FaultSweep(seed int64) (string, error) {
 		}
 		a, b := sys.MustAlloc(vectorBits), sys.MustAlloc(vectorBits)
 		andDst, xorDst := sys.MustAlloc(vectorBits), sys.MustAlloc(vectorBits)
-		if err := a.Load(wa); err != nil {
+		if err := a.Write(wa, ambit.Backdoor()); err != nil {
 			return result{}, err
 		}
-		if err := b.Load(wb); err != nil {
+		if err := b.Write(wb, ambit.Backdoor()); err != nil {
 			return result{}, err
 		}
 		var res result
@@ -78,11 +78,11 @@ func FaultSweep(seed int64) (string, error) {
 			}
 			res.uncorrectable = true
 		}
-		ga, err := andDst.Peek()
+		ga, err := andDst.Read(ambit.Backdoor())
 		if err != nil {
 			return result{}, err
 		}
-		gx, err := xorDst.Peek()
+		gx, err := xorDst.Read(ambit.Backdoor())
 		if err != nil {
 			return result{}, err
 		}

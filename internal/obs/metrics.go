@@ -46,6 +46,8 @@ func (f *atomicFloat64) Add(v float64) {
 
 func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+func (f *atomicFloat64) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
 // histogram is a fixed-bucket histogram; counts[i] is the number of
 // observations <= bounds[i], counts[len(bounds)] the +Inf overflow.  All
 // fields are atomic, so observation takes no lock; a concurrent snapshot may
@@ -81,6 +83,44 @@ type HistogramSnapshot struct {
 	Count uint64
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation within the containing bucket.  An empty
+// snapshot returns 0; observations in the +Inf overflow bucket clamp to the
+// highest finite bound, so the estimate is a lower bound when the
+// distribution's tail escapes the bucket range.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if c == 0 {
+			return s.Bounds[i]
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + frac*(s.Bounds[i]-lo)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 func (h *histogram) snapshot() HistogramSnapshot {
 	counts := make([]uint64, len(h.counts))
 	for i := range h.counts {
@@ -108,15 +148,18 @@ type Registry struct {
 	latency  atomic.Pointer[map[string]*histogram]
 	energy   atomic.Pointer[map[string]*histogram]
 	counters atomic.Pointer[map[string]*atomic.Int64]
+	gauges   atomic.Pointer[map[string]*atomicFloat64]
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	r := &Registry{}
-	lm, em, cm := map[string]*histogram{}, map[string]*histogram{}, map[string]*atomic.Int64{}
+	lm, em := map[string]*histogram{}, map[string]*histogram{}
+	cm, gm := map[string]*atomic.Int64{}, map[string]*atomicFloat64{}
 	r.latency.Store(&lm)
 	r.energy.Store(&em)
 	r.counters.Store(&cm)
+	r.gauges.Store(&gm)
 	return r
 }
 
@@ -181,6 +224,41 @@ func (r *Registry) Add(name string, delta int64) {
 func (r *Registry) Counter(name string) int64 {
 	if c := (*r.counters.Load())[name]; c != nil {
 		return c.Load()
+	}
+	return 0
+}
+
+// gauge returns the named gauge, creating it copy-on-write on first use.
+func (r *Registry) gauge(name string) *atomicFloat64 {
+	if g := (*r.gauges.Load())[name]; g != nil {
+		return g
+	}
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	m := *r.gauges.Load()
+	if g := m[name]; g != nil {
+		return g
+	}
+	next := make(map[string]*atomicFloat64, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	g := new(atomicFloat64)
+	next[name] = g
+	r.gauges.Store(&next)
+	return g
+}
+
+// SetGauge sets gauge name to v — a last-value-wins instantaneous reading
+// (queries/sec, p99 latency, queue depth), unlike the monotone counters.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.gauge(name).Store(v)
+}
+
+// Gauge returns the current value of a gauge (0 if never set).
+func (r *Registry) Gauge(name string) float64 {
+	if g := (*r.gauges.Load())[name]; g != nil {
+		return g.Load()
 	}
 	return 0
 }
@@ -266,6 +344,18 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		metric := "ambit_" + name + "_total"
 		fmt.Fprintf(&b, "# HELP %s Cumulative %s.\n# TYPE %s counter\n%s %d\n",
 			metric, strings.ReplaceAll(name, "_", " "), metric, metric, counters[name].Load())
+	}
+
+	gauges := *r.gauges.Load()
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "ambit_" + name
+		fmt.Fprintf(&b, "# HELP %s Instantaneous %s.\n# TYPE %s gauge\n%s %s\n",
+			metric, strings.ReplaceAll(name, "_", " "), metric, metric, ftoa(gauges[name].Load()))
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err

@@ -1,0 +1,108 @@
+package service
+
+// Admission control: a bounded in-flight semaphore plus a bounded wait queue
+// in front of the simulator, with a bank-saturation veto.  This is the
+// graceful-degradation layer — when the device cannot keep up, clients get a
+// fast 429 with Retry-After instead of piling onto an unbounded queue.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"ambit"
+)
+
+type admission struct {
+	sys *ambit.System
+	cfg Config
+	reg *ambit.MetricsRegistry
+
+	// slots is the in-flight semaphore (capacity MaxInflight).
+	slots chan struct{}
+	// waiters counts requests currently queued for a slot; bounded by
+	// MaxQueue.
+	waiters  atomic.Int64
+	active   atomic.Int64
+	retrySec int
+}
+
+func newAdmission(sys *ambit.System, cfg Config, reg *ambit.MetricsRegistry) *admission {
+	retry := int(cfg.MaxWait / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	return &admission{
+		sys:      sys,
+		cfg:      cfg,
+		reg:      reg,
+		slots:    make(chan struct{}, cfg.MaxInflight),
+		retrySec: retry,
+	}
+}
+
+// acquire admits one request, blocking in the bounded queue for at most
+// MaxWait.  On success it returns the release func; on overload it returns an
+// error wrapping ambit.ErrSaturated.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// Saturation veto: the trailing-window bank busy fraction only moves
+	// while work executes (simulated time advances with ops), so the veto
+	// applies only when requests are actually in flight — an idle device
+	// with a historically busy tail must not lock clients out forever.
+	if a.cfg.SaturationThreshold >= 0 && a.active.Load() > 0 {
+		if sat, ok := a.sys.BankSaturation(a.cfg.SaturationWindowNS); ok && sat > a.cfg.SaturationThreshold {
+			return nil, &saturatedError{
+				retryAfterSec: a.retrySec,
+				msg:           "banks saturated, retry later",
+			}
+		}
+	}
+
+	// Fast path: free execution slot.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return a.release, nil
+	default:
+	}
+
+	// Queue, bounded: the MaxQueue+1'th waiter is turned away immediately.
+	if a.waiters.Add(1) > int64(a.cfg.MaxQueue) {
+		a.waiters.Add(-1)
+		return nil, &saturatedError{
+			retryAfterSec: a.retrySec,
+			msg:           "request queue full, retry later",
+		}
+	}
+	defer a.waiters.Add(-1)
+
+	t := time.NewTimer(a.cfg.MaxWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return a.release, nil
+	case <-t.C:
+		return nil, &saturatedError{
+			retryAfterSec: a.retrySec,
+			msg:           "queued past deadline, retry later",
+		}
+	case <-ctx.Done():
+		return nil, badRequestf("client cancelled while queued: %v", ctx.Err())
+	}
+}
+
+func (a *admission) admitted() {
+	n := a.active.Add(1)
+	a.reg.SetGauge("svc_inflight", float64(n))
+}
+
+func (a *admission) release() {
+	<-a.slots
+	n := a.active.Add(-1)
+	a.reg.SetGauge("svc_inflight", float64(n))
+}
+
+func (a *admission) inflight() int { return int(a.active.Load()) }
+
+func (a *admission) queued() int { return int(a.waiters.Load()) }

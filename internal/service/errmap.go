@@ -1,0 +1,96 @@
+package service
+
+// HTTP error mapping: every failure a handler returns is classified onto a
+// status code and a stable machine-readable kind, so clients program against
+// ambit's typed sentinels without string matching (the reason the library
+// wraps ErrFreed/ErrQuotaExceeded/... in the first place).
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ambit"
+)
+
+// httpError carries an explicit status produced by the handlers themselves
+// (not-found names, malformed bodies, conflicts).
+type httpError struct {
+	status int
+	kind   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func notFoundf(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, kind: "not_found", msg: fmt.Sprintf(format, args...)}
+}
+
+func badRequestf(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, kind: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+func conflictf(format string, args ...any) error {
+	return &httpError{status: http.StatusConflict, kind: "conflict", msg: fmt.Sprintf(format, args...)}
+}
+
+// saturatedError is ErrSaturated dressed with the advised retry delay.
+type saturatedError struct {
+	retryAfterSec int
+	msg           string
+}
+
+func (e *saturatedError) Error() string { return e.msg }
+
+func (e *saturatedError) Unwrap() error { return ambit.ErrSaturated }
+
+// classify maps an error onto (status, kind, retryAfterSec); retryAfterSec 0
+// means no Retry-After header.
+func classify(err error) (status int, kind string, retryAfterSec int) {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status, he.kind, 0
+	}
+	var se *saturatedError
+	switch {
+	case errors.As(err, &se):
+		return http.StatusTooManyRequests, "saturated", se.retryAfterSec
+	case errors.Is(err, ambit.ErrSaturated):
+		return http.StatusTooManyRequests, "saturated", 1
+	case errors.Is(err, ambit.ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded", 0
+	case errors.Is(err, ambit.ErrFreed):
+		return http.StatusNotFound, "freed", 0
+	case errors.Is(err, ambit.ErrCapacity):
+		return http.StatusInsufficientStorage, "capacity", 0
+	case errors.Is(err, ambit.ErrShapeMismatch),
+		errors.Is(err, ambit.ErrOutOfRange),
+		errors.Is(err, ambit.ErrAliasedOperands),
+		errors.Is(err, ambit.ErrNilOperand),
+		errors.Is(err, ambit.ErrForeignSystem):
+		return http.StatusBadRequest, "bad_request", 0
+	case errors.Is(err, ambit.ErrUncorrectable):
+		return http.StatusInternalServerError, "uncorrectable", 0
+	default:
+		return http.StatusInternalServerError, "internal", 0
+	}
+}
+
+// writeErr renders an error as the JSON error body, counts it, and attaches
+// Retry-After for transient saturation.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status, kind, retryAfter := classify(err)
+	switch kind {
+	case "quota_exceeded":
+		s.reg.Add("svc_rejected_quota", 1)
+	case "saturated":
+		s.reg.Add("svc_rejected_saturated", 1)
+	default:
+		s.reg.Add("svc_errors", 1)
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error(), "kind": kind}) //nolint:errcheck // client went away
+}

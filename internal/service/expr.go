@@ -1,0 +1,110 @@
+package service
+
+// Wire format for compiled boolean functions: a JSON expression tree mapping
+// 1:1 onto ambit's Expr constructors.  Exactly one field per node:
+//
+//	{"var": 0}                           input i
+//	{"lit": true}                        constant
+//	{"not": {...}}                       negation
+//	{"and": [...]} / {"or"} / {"xor"}    n-ary gates (n >= 1)
+//	{"nand"} / {"nor"} / {"xnor"}        negated n-ary gates
+//	{"maj": [x, y, z]}                   3-input majority (the TRA primitive)
+
+import (
+	"fmt"
+
+	"ambit"
+)
+
+type exprJSON struct {
+	Var  *int       `json:"var,omitempty"`
+	Lit  *bool      `json:"lit,omitempty"`
+	Not  *exprJSON  `json:"not,omitempty"`
+	And  []exprJSON `json:"and,omitempty"`
+	Or   []exprJSON `json:"or,omitempty"`
+	Xor  []exprJSON `json:"xor,omitempty"`
+	Nand []exprJSON `json:"nand,omitempty"`
+	Nor  []exprJSON `json:"nor,omitempty"`
+	Xnor []exprJSON `json:"xnor,omitempty"`
+	Maj  []exprJSON `json:"maj,omitempty"`
+}
+
+func (e *exprJSON) parse() (*ambit.Expr, error) {
+	set := 0
+	if e.Var != nil {
+		set++
+	}
+	if e.Lit != nil {
+		set++
+	}
+	if e.Not != nil {
+		set++
+	}
+	for _, args := range [][]exprJSON{e.And, e.Or, e.Xor, e.Nand, e.Nor, e.Xnor, e.Maj} {
+		if args != nil {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("expression node must set exactly one of var/lit/not/and/or/xor/nand/nor/xnor/maj, got %d", set)
+	}
+	switch {
+	case e.Var != nil:
+		if *e.Var < 0 {
+			return nil, fmt.Errorf("var index %d is negative", *e.Var)
+		}
+		return ambit.Var(*e.Var), nil
+	case e.Lit != nil:
+		return ambit.Lit(*e.Lit), nil
+	case e.Not != nil:
+		x, err := e.Not.parse()
+		if err != nil {
+			return nil, err
+		}
+		return ambit.Not(x), nil
+	case e.Maj != nil:
+		if len(e.Maj) != 3 {
+			return nil, fmt.Errorf("maj takes exactly 3 arguments, got %d", len(e.Maj))
+		}
+		args, err := parseAll(e.Maj)
+		if err != nil {
+			return nil, err
+		}
+		return ambit.Maj(args[0], args[1], args[2]), nil
+	case e.And != nil:
+		return parseNary("and", e.And, ambit.And)
+	case e.Or != nil:
+		return parseNary("or", e.Or, ambit.Or)
+	case e.Xor != nil:
+		return parseNary("xor", e.Xor, ambit.Xor)
+	case e.Nand != nil:
+		return parseNary("nand", e.Nand, ambit.Nand)
+	case e.Nor != nil:
+		return parseNary("nor", e.Nor, ambit.Nor)
+	default:
+		return parseNary("xnor", e.Xnor, ambit.Xnor)
+	}
+}
+
+func parseAll(nodes []exprJSON) ([]*ambit.Expr, error) {
+	out := make([]*ambit.Expr, len(nodes))
+	for i := range nodes {
+		x, err := nodes[i].parse()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+func parseNary(gate string, nodes []exprJSON, ctor func(...*ambit.Expr) *ambit.Expr) (*ambit.Expr, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%s needs at least one argument", gate)
+	}
+	args, err := parseAll(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return ctor(args...), nil
+}

@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workload selects the traffic shape.
+type Workload string
+
+const (
+	// BitmapIndex is the Section 8.1 analytics shape: per-tenant daily
+	// activity bitmaps, weekly ORs, cross-week ANDs, popcount answers.
+	BitmapIndex Workload = "bitmapindex"
+	// BitFunnel is the Section 8.4.1 filtering shape: bit-sliced Bloom
+	// signature rows, a query ANDs the rows its terms hash to.
+	BitFunnel Workload = "bitfunnel"
+)
+
+// Config sizes a run.
+type Config struct {
+	// Workload is the traffic shape (default BitmapIndex).
+	Workload Workload
+	// Tenants is the number of concurrent namespaces (default 4).
+	Tenants int
+	// Bits is the user/document population per bitvector (default 1<<16;
+	// the paper's bitmap-index sweep point is 8<<20).
+	Bits int64
+	// Queries per tenant (default 8).
+	Queries int
+	// QuotaRows per tenant namespace (0 = server default, <0 unlimited).
+	QuotaRows int
+	// Backdoor loads data through the cost-free channel (default costed).
+	Backdoor bool
+	// Seed makes the data deterministic.
+	Seed int64
+	// MaxRetries bounds 429-retry attempts per request (default 50).
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.Workload == "" {
+		c.Workload = BitmapIndex
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Bits <= 0 {
+		c.Bits = 1 << 16
+	}
+	if c.Queries <= 0 {
+		c.Queries = 8
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 50
+	}
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Requests counts successful API calls.
+	Requests int64
+	// Queries counts completed popcount answers.
+	Queries int64
+	// Rejected counts 429 responses (each later retried).
+	Rejected int64
+	// Errors counts hard failures.
+	Errors int64
+	// Wall is the end-to-end duration.
+	Wall time.Duration
+	// FirstErr samples one hard failure for diagnosis.
+	FirstErr error
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d requests, %d queries, %d rejected(retried), %d errors in %v",
+		r.Requests, r.Queries, r.Rejected, r.Errors, r.Wall)
+}
+
+// counterSink accumulates a Result across goroutines.
+type counterSink struct {
+	requests, queries, rejected, errors atomic.Int64
+	errOnce                             sync.Once
+	firstErr                            error
+}
+
+func (s *counterSink) fail(err error) {
+	s.errors.Add(1)
+	s.errOnce.Do(func() { s.firstErr = err })
+}
+
+// retry runs fn, retrying transient 429s with the server-advised backoff.
+func (s *counterSink) retry(maxRetries int, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			s.requests.Add(1)
+			return nil
+		}
+		if ae, ok := err.(*APIError); ok && ae.Retryable() && attempt < maxRetries {
+			s.rejected.Add(1)
+			delay := ae.RetryAfter
+			if delay <= 0 || delay > 100*time.Millisecond {
+				delay = 10 * time.Millisecond
+			}
+			time.Sleep(delay)
+			continue
+		}
+		s.fail(err)
+		return err
+	}
+}
+
+// Run drives the configured workload against the service and blocks until
+// every tenant finishes.
+func Run(c *Client, cfg Config) Result {
+	cfg.fill()
+	sink := &counterSink{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			switch cfg.Workload {
+			case BitFunnel:
+				runBitFunnelTenant(c, cfg, sink, t)
+			default:
+				runBitmapIndexTenant(c, cfg, sink, t)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return Result{
+		Requests: sink.requests.Load(),
+		Queries:  sink.queries.Load(),
+		Rejected: sink.rejected.Load(),
+		Errors:   sink.errors.Load(),
+		Wall:     time.Since(start),
+		FirstErr: sink.firstErr,
+	}
+}
+
+func randomWords(rng *rand.Rand, bits int64, density float64) []uint64 {
+	words := make([]uint64, (bits+63)/64)
+	for i := range words {
+		var w uint64
+		for b := 0; b < 64; b++ {
+			if rng.Float64() < density {
+				w |= 1 << uint(b)
+			}
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// runBitmapIndexTenant is one tenant of the Section 8.1 analytics shape:
+// seven daily activity bitmaps per query round, OR-reduced into a weekly
+// bitmap, AND-merged into the running every-week bitmap, then popcounted.
+func runBitmapIndexTenant(c *Client, cfg Config, sink *counterSink, tenant int) {
+	const days = 7
+	ns := fmt.Sprintf("bmi-%d", tenant)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(tenant)))
+	r := func(fn func() error) bool { return sink.retry(cfg.MaxRetries, fn) == nil }
+
+	if !r(func() error { return c.CreateNamespace(ns, cfg.QuotaRows) }) {
+		return
+	}
+	defer c.DropNamespace(ns) //nolint:errcheck // best-effort teardown
+	names := make([]string, days)
+	for d := range names {
+		names[d] = fmt.Sprintf("day%d", d)
+	}
+	for _, n := range append(names, "weekly", "every") {
+		if !r(func() error { return c.CreateVector(ns, n, cfg.Bits) }) {
+			return
+		}
+	}
+	for _, n := range names {
+		words := randomWords(rng, cfg.Bits, 0.3)
+		if !r(func() error { return c.WriteData(ns, n, words, cfg.Backdoor) }) {
+			return
+		}
+	}
+	if !r(func() error { return c.Fill(ns, "every", true) }) {
+		return
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		if !r(func() error { return c.Op(ns, "copy", "weekly", names[0], "") }) {
+			return
+		}
+		for d := 1; d < days; d++ {
+			day := names[d]
+			if !r(func() error { return c.Op(ns, "or", "weekly", "weekly", day) }) {
+				return
+			}
+		}
+		if !r(func() error { return c.Op(ns, "and", "every", "every", "weekly") }) {
+			return
+		}
+		if !r(func() error { _, err := c.Popcount(ns, "every"); return err }) {
+			return
+		}
+		sink.queries.Add(1)
+	}
+}
+
+// runBitFunnelTenant is one tenant of the Section 8.4.1 filtering shape:
+// bit-sliced Bloom signature rows; each query ANDs a handful of rows into an
+// accumulator and popcounts the surviving documents.
+func runBitFunnelTenant(c *Client, cfg Config, sink *counterSink, tenant int) {
+	const sigBits = 16
+	const termsPerQuery = 3
+	ns := fmt.Sprintf("bf-%d", tenant)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(tenant)))
+	r := func(fn func() error) bool { return sink.retry(cfg.MaxRetries, fn) == nil }
+
+	if !r(func() error { return c.CreateNamespace(ns, cfg.QuotaRows) }) {
+		return
+	}
+	defer c.DropNamespace(ns) //nolint:errcheck // best-effort teardown
+	rows := make([]string, sigBits)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("sig%02d", i)
+	}
+	for _, n := range append(rows, "acc") {
+		if !r(func() error { return c.CreateVector(ns, n, cfg.Bits) }) {
+			return
+		}
+	}
+	for _, n := range rows {
+		words := randomWords(rng, cfg.Bits, 0.2)
+		if !r(func() error { return c.WriteData(ns, n, words, cfg.Backdoor) }) {
+			return
+		}
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		first := rows[rng.Intn(sigBits)]
+		if !r(func() error { return c.Op(ns, "copy", "acc", first, "") }) {
+			return
+		}
+		for i := 1; i < termsPerQuery; i++ {
+			row := rows[rng.Intn(sigBits)]
+			if !r(func() error { return c.Op(ns, "and", "acc", "acc", row) }) {
+				return
+			}
+		}
+		if !r(func() error { _, err := c.Popcount(ns, "acc"); return err }) {
+			return
+		}
+		sink.queries.Add(1)
+	}
+}

@@ -1,0 +1,99 @@
+package service
+
+// Background stats loop: a once-a-second ticker that folds the wall-clock
+// latencies of completed requests into the svc_qps / svc_p50_wall_ns /
+// svc_p99_wall_ns gauges, so /metrics and /v1/stats expose sustained
+// throughput and tail latency without any per-scrape computation.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+const statsRingSize = 4096
+
+type statsLoop struct {
+	reg interface {
+		SetGauge(name string, v float64)
+	}
+
+	mu      sync.Mutex
+	ring    [statsRingSize]float64 // wall-ns of recent completions
+	n       int                    // valid entries in ring (<= statsRingSize)
+	next    int                    // ring write cursor
+	total   uint64                 // completions ever observed
+	scratch []float64
+
+	stop_ chan struct{}
+	once  sync.Once
+}
+
+func newStatsLoop(reg interface {
+	SetGauge(name string, v float64)
+}) *statsLoop {
+	l := &statsLoop{reg: reg, stop_: make(chan struct{}), scratch: make([]float64, 0, statsRingSize)}
+	go l.run()
+	return l
+}
+
+// observe records one completed request's wall-clock latency.
+func (l *statsLoop) observe(wallNS float64) {
+	l.mu.Lock()
+	l.ring[l.next] = wallNS
+	l.next = (l.next + 1) % statsRingSize
+	if l.n < statsRingSize {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+func (l *statsLoop) stop() { l.once.Do(func() { close(l.stop_) }) }
+
+func (l *statsLoop) run() {
+	const interval = time.Second
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastTotal uint64
+	lastTick := time.Now()
+	for {
+		select {
+		case <-l.stop_:
+			return
+		case now := <-t.C:
+			elapsed := now.Sub(lastTick).Seconds()
+			if elapsed <= 0 {
+				elapsed = interval.Seconds()
+			}
+			l.mu.Lock()
+			total := l.total
+			l.scratch = append(l.scratch[:0], l.ring[:l.n]...)
+			l.mu.Unlock()
+			l.reg.SetGauge("svc_qps", float64(total-lastTotal)/elapsed)
+			lastTotal = total
+			lastTick = now
+			if len(l.scratch) > 0 {
+				sort.Float64s(l.scratch)
+				l.reg.SetGauge("svc_p50_wall_ns", quantileSorted(l.scratch, 0.50))
+				l.reg.SetGauge("svc_p99_wall_ns", quantileSorted(l.scratch, 0.99))
+			}
+		}
+	}
+}
+
+// quantileSorted reads quantile q from an ascending slice (nearest-rank).
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

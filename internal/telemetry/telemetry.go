@@ -46,10 +46,18 @@ type Sources struct {
 type Server struct {
 	ln   net.Listener
 	srv  *http.Server
+	mux  *http.ServeMux
 	src  Sources
 	done chan struct{}
 	once sync.Once
+
+	// extraMu guards extras, the endpoints mounted after start via
+	// Register (listed on the index page).
+	extraMu sync.Mutex
+	extras  []extraEndpoint
 }
+
+type extraEndpoint struct{ path, desc string }
 
 // Serve binds addr (":0" for an ephemeral port) and starts serving in a
 // background goroutine.
@@ -72,9 +80,25 @@ func Serve(addr string, src Sources) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
+}
+
+// Register mounts an additional handler under the given path (or path
+// prefix, with a trailing slash) and lists it on the index page.  ServeMux
+// registration is safe while the server runs; registering a path twice
+// panics inside net/http, so each extension owns a distinct prefix.
+func (s *Server) Register(path, desc string, h http.Handler) error {
+	if path == "" || path[0] != '/' {
+		return fmt.Errorf("telemetry: Register(%q): path must start with /", path)
+	}
+	s.mux.Handle(path, h)
+	s.extraMu.Lock()
+	s.extras = append(s.extras, extraEndpoint{path: path, desc: desc})
+	s.extraMu.Unlock()
+	return nil
 }
 
 // Addr returns the bound listen address (host:port).
@@ -102,6 +126,11 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		"/trace        live trace events (server-sent events)\n"+
 		"/banks        per-bank busy-fraction timelines (JSON)\n"+
 		"/debug/pprof  Go profiler\n")
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	for _, e := range s.extras {
+		fmt.Fprintf(w, "%-13s %s\n", e.path, e.desc)
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

@@ -28,7 +28,7 @@ func obsWorkload(t *testing.T, sys *System) map[string]uint64 {
 		for j := range words {
 			words[j] = rng.Uint64()
 		}
-		if err := vecs[i].Load(words); err != nil {
+		if err := vecs[i].Write(words, Backdoor()); err != nil {
 			t.Fatalf("Load: %v", err)
 		}
 	}

@@ -91,7 +91,7 @@ func runOracleProgram(t *testing.T, seed int64, batch bool) {
 		for j := range load {
 			load[j] = rng.Uint64()
 		}
-		if err := vecs[i].Load(load); err != nil {
+		if err := vecs[i].Write(load, Backdoor()); err != nil {
 			t.Fatalf("seed %d: Load: %v", seed, err)
 		}
 		oracle[i] = make([]uint64, capWords)
@@ -202,7 +202,7 @@ func runOracleProgram(t *testing.T, seed int64, batch bool) {
 	}
 
 	for i, v := range vecs {
-		got, err := v.Peek()
+		got, err := v.Read(Backdoor())
 		if err != nil {
 			t.Fatalf("seed %d: Peek vec %d: %v", seed, i, err)
 		}

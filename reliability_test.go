@@ -52,10 +52,10 @@ func runFaultyWorkload(t *testing.T, seed int64) (mismatches int64, st Stats) {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := a.Load(wa); err != nil {
+	if err := a.Write(wa, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(wb); err != nil {
+	if err := b.Write(wb, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.And(andDst, a, b); err != nil {
@@ -64,11 +64,11 @@ func runFaultyWorkload(t *testing.T, seed int64) (mismatches int64, st Stats) {
 	if err := sys.Xor(xorDst, a, b); err != nil {
 		t.Fatal(err)
 	}
-	ga, err := andDst.Peek()
+	ga, err := andDst.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
-	gx, err := xorDst.Peek()
+	gx, err := xorDst.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,16 +145,16 @@ func TestRawFaultsCorruptWithoutECC(t *testing.T) {
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := a.Load(wa); err != nil {
+	if err := a.Write(wa, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Load(wb); err != nil {
+	if err := b.Write(wb, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.Xor(dst, a, b); err != nil {
 		t.Fatal(err)
 	}
-	got, err := dst.Peek()
+	got, err := dst.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,10 +273,10 @@ func TestReliableInPlaceOps(t *testing.T) {
 		for i := range wa {
 			wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 		}
-		if err := a.Load(wa); err != nil {
+		if err := a.Write(wa, Backdoor()); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Load(wb); err != nil {
+		if err := b.Write(wb, Backdoor()); err != nil {
 			t.Fatal(err)
 		}
 		return a, b, wa, wb
@@ -291,7 +291,7 @@ func TestReliableInPlaceOps(t *testing.T) {
 	if err := sys.Not(a, a); err != nil {
 		t.Fatalf("fault-free in-place Not: %v", err)
 	}
-	got, err := a.Peek()
+	got, err := a.Read(Backdoor())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestReliableInPlaceOps(t *testing.T) {
 	if err := sys.Xor(b, a, b); err != nil {
 		t.Fatalf("fault-free in-place Xor: %v", err)
 	}
-	if got, err = b.Peek(); err != nil {
+	if got, err = b.Read(Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
@@ -319,7 +319,7 @@ func TestReliableInPlaceOps(t *testing.T) {
 	if err := sys.Xor(a, a, b); err != nil {
 		t.Fatalf("faulty in-place Xor: %v", err)
 	}
-	if got, err = a.Peek(); err != nil {
+	if got, err = a.Read(Backdoor()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
@@ -347,10 +347,10 @@ func TestZeroFaultConfigIdentical(t *testing.T) {
 		for i := range wa {
 			wa[i] = rng.Uint64()
 		}
-		if err := a.Load(wa); err != nil {
+		if err := a.Write(wa, Backdoor()); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Load(wa[:512]); err != nil {
+		if err := b.Write(wa[:512], Backdoor()); err != nil {
 			t.Fatal(err)
 		}
 		if err := sys.Xor(dst, a, b); err != nil {
@@ -359,7 +359,7 @@ func TestZeroFaultConfigIdentical(t *testing.T) {
 		if err := sys.Nand(dst, dst, a); err != nil {
 			t.Fatal(err)
 		}
-		got, err := dst.Peek()
+		got, err := dst.Read(Backdoor())
 		if err != nil {
 			t.Fatal(err)
 		}
