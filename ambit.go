@@ -86,6 +86,7 @@ import (
 	"ambit/internal/energy"
 	"ambit/internal/exec"
 	"ambit/internal/fault"
+	"ambit/internal/isa"
 	"ambit/internal/obs"
 	"ambit/internal/rowclone"
 	"ambit/internal/telemetry"
@@ -98,6 +99,23 @@ type Reliability = controller.Reliability
 // FaultConfig is the seeded probabilistic TRA/DCC failure model
 // (re-exported so callers configure it without importing internal packages).
 type FaultConfig = fault.Config
+
+// FaultProfile is a named chip-to-chip variation profile: a base fault
+// configuration plus temperature scaling, data-pattern bias, an activation-
+// width failure curve, and per-subarray weakness/quarantine entries
+// (re-exported so callers configure it without importing internal packages).
+// Load one with LoadFaultProfile or look a builtin up with FaultProfileByName.
+type FaultProfile = fault.Profile
+
+// FaultProfileByName returns a copy of the named builtin profile and whether
+// the name is known; see FaultProfiles for the names.
+func FaultProfileByName(name string) (*FaultProfile, bool) { return fault.ProfileByName(name) }
+
+// FaultProfiles lists the builtin variation-profile names, sorted.
+func FaultProfiles() []string { return fault.Profiles() }
+
+// LoadFaultProfile parses and validates a variation profile from a JSON file.
+func LoadFaultProfile(path string) (*FaultProfile, error) { return fault.LoadProfileFile(path) }
 
 // DRAMConfig is the device geometry and timing configuration (re-exported so
 // callers configure it without importing internal packages).
@@ -183,6 +201,21 @@ type Config struct {
 	// default) disables injection entirely: the system is byte- and
 	// stat-identical to an unfaulted one.
 	Fault fault.Config
+	// FaultProfile, when non-nil, selects a chip-to-chip variation profile
+	// — a base fault configuration plus temperature scaling, data-pattern
+	// bias, an activation-width (MAJ-X) failure curve, and per-subarray
+	// weak/quarantine entries.  Mutually exclusive with Fault: a profile
+	// wraps its own base configuration.  Subarrays the profile quarantines
+	// are excluded from allocation placement entirely.
+	FaultProfile *FaultProfile
+	// MaxMajInputs, when positive, enables many-row majority (System.Maj):
+	// it is the largest odd operand count Maj accepts (3..15).  Enabling it
+	// reserves a per-subarray staging block of 16 rows (32 when
+	// MaxMajInputs > 7) at the top of the D group, withheld from
+	// allocation, into which operands are replicated before the
+	// simultaneous many-row ACTIVATE.  0 disables Maj and reserves
+	// nothing.
+	MaxMajInputs int
 	// Reliability configures TMR-replicated execution with per-row
 	// verification, bounded retry, and corrected write-back (DESIGN.md
 	// "Reliability model").  When enabled, two D-group rows per subarray
@@ -276,6 +309,20 @@ type System struct {
 	nextRow  []int
 	freeRows [][]int
 
+	// slotRing is the allocator's placement ring: the slot indices that
+	// accept allocations, in ascending order.  Without a variation profile
+	// it is the identity [0..slots); with one, subarrays the profile
+	// quarantines are excluded, so placement simply never reaches weak
+	// silicon.  Immutable after construction.
+	slotRing []int
+
+	// Many-row majority state (Config.MaxMajInputs > 0): majW is the
+	// staging-block width (16 or 32 wordlines) and majScratchBase the
+	// first staging row, directly below the ECC scratch rows at the top
+	// of every subarray's D group.  majW == 0 means Maj is disabled.
+	majW           int
+	majScratchBase int
+
 	// Reliability state: fm is the installed fault model (nil without
 	// one); faultScore accumulates detected faulty verification rounds
 	// per data row, and quarantined rows are withheld from reallocation
@@ -338,6 +385,19 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Fault.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.FaultProfile != nil {
+		if err := cfg.FaultProfile.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Fault.Enabled() {
+			return nil, fmt.Errorf("ambit: Fault and FaultProfile are mutually exclusive; profile %q carries its own base fault configuration", cfg.FaultProfile.Name)
+		}
+	}
+	if cfg.MaxMajInputs != 0 {
+		if cfg.MaxMajInputs < 3 || cfg.MaxMajInputs%2 == 0 || cfg.MaxMajInputs > isa.MaxMajInputs {
+			return nil, fmt.Errorf("ambit: MaxMajInputs must be 0 or odd in [3,%d], got %d", isa.MaxMajInputs, cfg.MaxMajInputs)
+		}
+	}
 	if err := cfg.Reliability.Validate(); err != nil {
 		return nil, err
 	}
@@ -376,6 +436,25 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("ambit: geometry has %d data rows per subarray; reliability needs more than the %d ECC scratch rows",
 			g.DataRows(), eccScratchRows)
 	}
+	// The MAJ-X staging block: wide enough for two replicas of every
+	// operand (controller.PlanMaj), 16 wordlines up to 7 inputs, the full
+	// 32 beyond.  It sits directly below the ECC scratch rows, so both
+	// reservations must leave allocable rows behind.
+	majW := 0
+	if cfg.MaxMajInputs > 0 {
+		majW = 16
+		if cfg.MaxMajInputs > 7 {
+			majW = 32
+		}
+		reserved := majW
+		if cfg.Reliability.ECC {
+			reserved += eccScratchRows
+		}
+		if g.DataRows() <= reserved {
+			return nil, fmt.Errorf("ambit: geometry has %d data rows per subarray; MaxMajInputs=%d needs more than the %d reserved staging/scratch rows",
+				g.DataRows(), cfg.MaxMajInputs, reserved)
+		}
+	}
 	dev, err := dram.NewDevice(cfg.DRAM)
 	if err != nil {
 		return nil, err
@@ -385,6 +464,19 @@ func NewSystem(cfg Config) (*System, error) {
 		if fm, err = fault.New(cfg.Fault); err != nil {
 			return nil, err
 		}
+	} else if p := cfg.FaultProfile; p != nil && p.Base.Enabled() {
+		// A profile whose base rates are all zero (e.g. profile:clean)
+		// installs no injector at all: the fast paths stay fused and the
+		// run is byte-identical to an unfaulted one.  Quarantine entries
+		// still shape the allocator's placement ring below.
+		if fm, err = fault.NewFromProfile(p); err != nil {
+			return nil, err
+		}
+	}
+	if fm != nil {
+		// Eagerly build every per-(bank, subarray) stream so parallel
+		// workers reach them lock-free (fault.Model.Prepare).
+		fm.Prepare(g.Banks, g.SubarraysPerBank)
 		dev.SetFaultInjector(fm)
 	}
 	ctrl := controller.New(dev)
@@ -406,7 +498,20 @@ func NewSystem(cfg Config) (*System, error) {
 		faultScore:  make(map[dram.PhysAddr]int),
 		quarantined: make(map[dram.PhysAddr]bool),
 		funcCache:   make(map[string]*compile.Compiled),
+		majW:        majW,
 	}
+	// Placement ring: every slot, minus the subarrays the profile marks
+	// quarantined — weak silicon is never placed on at all.
+	for slot := 0; slot < g.Banks*g.SubarraysPerBank; slot++ {
+		if p := cfg.FaultProfile; p != nil && p.Quarantined(slot%g.Banks, slot/g.Banks) {
+			continue
+		}
+		sys.slotRing = append(sys.slotRing, slot)
+	}
+	if len(sys.slotRing) == 0 {
+		return nil, fmt.Errorf("ambit: profile %q quarantines every (bank, subarray) slot", cfg.FaultProfile.Name)
+	}
+	sys.majScratchBase = sys.dataRows()
 	if cfg.TelemetryAddr != "" {
 		sys.util = exec.NewUtil(g.Banks, exec.DefaultUtilBinNS)
 		srv, err := telemetry.Serve(cfg.TelemetryAddr, telemetry.Sources{
@@ -446,6 +551,12 @@ func stepEnergyFunc(m energy.Model, g dram.Geometry) controller.StepEnergyFunc {
 		return dram.WordlineCount(a)
 	}
 	return func(kind controller.StepKind, a1, a2 dram.RowAddr) float64 {
+		if kind == controller.StepMaj {
+			// The many-row train: one ACTIVATE raising a1.Index
+			// wordlines (the StepMaj convention), one single-row
+			// ACTIVATE of the destination, one PRECHARGE.
+			return m.ActivateEnergyNJ(a1.Index) + m.ActivateEnergyNJ(1) + m.PrechargeNJ
+		}
 		e := m.ActivateEnergyNJ(wordlines(a1)) + m.PrechargeNJ
 		if kind == controller.StepAAP {
 			e += m.ActivateEnergyNJ(wordlines(a2))
@@ -460,14 +571,18 @@ func (s *System) observing() bool {
 	return s.cfg.Tracer.Enabled() || s.cfg.Metrics != nil
 }
 
-// serialOnly reports whether operations must take the serial exclusive path:
-// an armed probabilistic fault model's RNG draw order must stay sequential to
-// keep seeded runs reproducible, and forceSerial is the test hook.
-// Observability no longer forces it — the sharded tracer (obs.ShardSet) and
-// the atomic metrics registry make the parallel path produce byte-identical
-// traces and identical metrics.
+// serialOnly reports whether operations must take the serial exclusive path.
+// Only the forceSerial test hook remains: an armed fault model no longer
+// forces it, because the model's RNG streams are keyed per (bank, subarray)
+// and the execution core runs each bank's rows in ascending order on one
+// goroutine under that bank's shard lock — every stream sees the same draw
+// sequence at any worker count, and the model's counters are order-
+// independent atomic sums, merged exactly like the tracer's per-bank shards.
+// Observability does not force it either — the sharded tracer (obs.ShardSet)
+// and the atomic metrics registry make the parallel path produce
+// byte-identical traces and identical metrics.
 func (s *System) serialOnly() bool {
-	return s.fm != nil || s.forceSerial
+	return s.forceSerial
 }
 
 // observeOp records one completed operation into the metrics registry and
@@ -551,13 +666,16 @@ func (s *System) BankSaturation(windowNS float64) (float64, bool) {
 
 // dataRows returns the D-group rows available to the allocator: the
 // geometry's data rows, minus the per-subarray ECC scratch rows when the
-// reliability policy is enabled.
+// reliability policy is enabled, minus the MAJ-X staging block when many-row
+// majority is enabled.  Equivalently, the base of the reserved region: the
+// staging block occupies [dataRows, dataRows+majW), the ECC scratch rows the
+// top two rows above that.
 func (s *System) dataRows() int {
 	n := s.dev.Geometry().DataRows()
 	if s.cfg.Reliability.ECC {
 		n -= eccScratchRows
 	}
-	return n
+	return n - s.majW
 }
 
 // scratchRows returns the two reserved replica scratch rows (the top of each
@@ -661,10 +779,11 @@ func (q *Quota) release(n int) {
 }
 
 // Alloc allocates a bitvector of at least `bits` bits, rounded up to whole
-// DRAM rows.  Row r of the vector is placed in placement slot (r mod slots),
-// so the corresponding rows of all vectors allocated by this System share a
-// subarray and every bitwise operation runs entirely on RowClone-FPM-
-// reachable rows.
+// DRAM rows.  Row r of the vector is placed in the r-th (mod ring length)
+// slot of the placement ring — all slots, minus any subarrays the active
+// variation profile quarantines — so the corresponding rows of all vectors
+// allocated by this System share a subarray and every bitwise operation runs
+// entirely on RowClone-FPM-reachable rows.
 func (s *System) Alloc(bits int64) (*Bitvector, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -719,7 +838,11 @@ func (s *System) allocLocked(bits int64, baseSlot int, q *Quota) (*Bitvector, er
 	}
 	rows := make([]dram.PhysAddr, nRows)
 	for r := 0; r < nRows; r++ {
-		slot := (baseSlot + r) % s.slots()
+		// Placement walks the ring of non-quarantined slots, so a
+		// variation profile's weak subarrays are never reached; without
+		// a profile the ring is the identity and this is the historical
+		// (baseSlot + r) mod slots placement.
+		slot := s.slotRing[(baseSlot+r)%len(s.slotRing)]
 		var row int
 		if free := s.freeRows[slot]; len(free) > 0 {
 			row = free[len(free)-1]
@@ -810,14 +933,15 @@ func (s *System) MustAlloc(bits int64) *Bitvector {
 }
 
 // FreeRows reports how many D-group rows remain unallocated (including rows
-// recycled by Free, excluding reliability scratch rows and quarantined rows,
-// which are never handed out).
+// recycled by Free; excluding reliability scratch rows, MAJ-X staging rows,
+// quarantined rows, and rows in profile-quarantined subarrays, none of which
+// are ever handed out).
 func (s *System) FreeRows() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := 0
-	for slot, used := range s.nextRow {
-		total += s.dataRows() - used + len(s.freeRows[slot])
+	for _, slot := range s.slotRing {
+		total += s.dataRows() - s.nextRow[slot] + len(s.freeRows[slot])
 	}
 	return total
 }

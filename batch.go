@@ -399,6 +399,22 @@ func (b *Batch) programOps() []program.Op {
 // from the shared execution engine's per-bank shards — the same locks the
 // direct-op parallel path uses.
 func (b *Batch) execute(g *program.Graph) error {
+	if b.sys.fm != nil {
+		// An armed fault model keys its RNG streams per (bank, subarray)
+		// and needs a deterministic train order within each pair.  Direct
+		// ops get that from the engine's ascending-row dispatch; batch
+		// op-level concurrency does not (two independent ops may share a
+		// bank and interleave trains race-dependently), so the functional
+		// phase runs in recording order — a valid topological order,
+		// since dependencies only point backwards.  The timing phase is
+		// unaffected: simulated-time overlap is computed identically.
+		for i := range b.ops {
+			if err := b.execOp(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	workers := b.Workers
 	if workers <= 0 {
 		workers = b.sys.eng.Workers()

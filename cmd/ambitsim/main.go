@@ -9,6 +9,8 @@
 //	ambitsim -decode B12          # show which wordlines an address raises
 //	ambitsim -info                # print device configuration
 //	ambitsim -faults -seed 7      # fault-rate sweep: raw vs TMR-protected
+//	ambitsim -profilesweep        # clean vs vendor variation-profile sweep
+//	ambitsim -op and -a de -b 0f -profile vendorA-85C   # run under a profile
 //	ambitsim -serve :8612         # live telemetry server (demo workload)
 //	ambitsim -op and -a de -b 0f -serve :8612   # serve after running an op
 //
@@ -54,7 +56,9 @@ func main() {
 	decode := flag.String("decode", "", "decode a row address (e.g. B12, C0, D5) and exit")
 	info := flag.Bool("info", false, "print device configuration and exit")
 	faults := flag.Bool("faults", false, "run the fault-injection reliability sweep and exit")
-	seed := flag.Int64("seed", 1, "fault universe and data seed for -faults")
+	profileSweep := flag.Bool("profilesweep", false, "run the variation-profile reliability sweep (clean vs vendor profiles) and exit")
+	profileName := flag.String("profile", "", "chip-to-chip variation profile: a builtin name ("+strings.Join(ambit.FaultProfiles(), ", ")+") or a profile JSON file path")
+	seed := flag.Int64("seed", 1, "fault universe and data seed for -faults / -profilesweep")
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of every DRAM command to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format latency/energy histograms after the run")
 	serve := flag.String("serve", "", "serve live telemetry (/metrics, /trace, /banks, /debug/pprof) on this address and wait for interrupt; without -op, runs a demo workload")
@@ -70,6 +74,14 @@ func main() {
 	}
 	if *faults {
 		text, err := exp.FaultSweep(*seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(text)
+		return
+	}
+	if *profileSweep {
+		text, err := exp.ProfileSweep(*seed)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -110,6 +122,13 @@ func main() {
 	cfg.DRAM.Timing, err = dram.TimingByName(*timing)
 	if err != nil {
 		fail("%v", err)
+	}
+	if *profileName != "" {
+		p, err := resolveProfile(*profileName)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.FaultProfile = p
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -168,6 +187,20 @@ func main() {
 	if *serve != "" {
 		waitServing(sys)
 	}
+}
+
+// resolveProfile turns the -profile argument into a variation profile: a
+// builtin name (with or without the "profile:" prefix) or a JSON file path.
+func resolveProfile(arg string) (*ambit.FaultProfile, error) {
+	name := strings.TrimPrefix(arg, "profile:")
+	if p, ok := ambit.FaultProfileByName(name); ok {
+		return p, nil
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return ambit.LoadFaultProfile(arg)
+	}
+	return nil, fmt.Errorf("unknown profile %q (builtins: %s; or pass a profile JSON file path)",
+		arg, strings.Join(ambit.FaultProfiles(), ", "))
 }
 
 // waitServing prints the telemetry URL and blocks until SIGINT/SIGTERM.

@@ -152,6 +152,28 @@ func (p Params) NominalDeviation(k int) float64 {
 	return float64(2*k-3) * p.CellCapFF * p.VDD / (6*p.CellCapFF + 2*p.BitlineCapFF)
 }
 
+// ManyRowNominalDeviation generalizes Equation 1 to a simultaneous activation
+// of m rows with k of them charged (the MAJ-X primitive of the many-row
+// activation papers):
+//
+//	δ = (2k−m)·Cc·VDD / (2·(m·Cc + Cb))
+//
+// At m = 3 this reduces exactly to NominalDeviation.  The magnitude shrinks
+// as m grows — each additional connected cell dilutes the per-bitline charge
+// margin — which is why measured failure rates climb with activation width,
+// and why bitlines whose ones-count sits one step from the tie point
+// (|2k−m| at its minimum) dominate the failures.  m must be in
+// [1, 32] and k in [0, m].
+func (p Params) ManyRowNominalDeviation(m, k int) (float64, error) {
+	if m < 1 || m > 32 {
+		return 0, fmt.Errorf("circuit: many-row deviation: m must be in [1,32], got %d", m)
+	}
+	if k < 0 || k > m {
+		return 0, fmt.Errorf("circuit: many-row deviation: k must be in [0,%d], got %d", m, k)
+	}
+	return float64(2*k-m) * p.CellCapFF * p.VDD / (2 * (float64(m)*p.CellCapFF + p.BitlineCapFF)), nil
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParamsValidateTable drives every rejection branch of Params.Validate
+// by name, including the edge cases the bulk TestParamsValidation skips
+// (zero/negative deviation terms, boundary ChargeDecay values).
+func TestParamsValidateTable(t *testing.T) {
+	good := DefaultParams()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		ok     bool
+	}{
+		{"default", func(p *Params) {}, true},
+		{"zero cell cap", func(p *Params) { p.CellCapFF = 0 }, false},
+		{"negative cell cap", func(p *Params) { p.CellCapFF = -22 }, false},
+		{"zero bitline cap", func(p *Params) { p.BitlineCapFF = 0 }, false},
+		{"negative bitline cap", func(p *Params) { p.BitlineCapFF = -70 }, false},
+		{"zero vdd", func(p *Params) { p.VDD = 0 }, false},
+		{"negative vdd", func(p *Params) { p.VDD = -1.5 }, false},
+		{"decay at zero", func(p *Params) { p.ChargeDecay = 0 }, true},
+		{"decay just below one", func(p *Params) { p.ChargeDecay = 0.999 }, true},
+		{"decay at one", func(p *Params) { p.ChargeDecay = 1 }, false},
+		{"negative decay", func(p *Params) { p.ChargeDecay = -0.1 }, false},
+		{"zero offset frac", func(p *Params) { p.SenseOffsetFrac = 0 }, true},
+		{"negative offset frac", func(p *Params) { p.SenseOffsetFrac = -0.01 }, false},
+		{"zero loss frac", func(p *Params) { p.TransferLossFrac = 0 }, true},
+		{"negative loss frac", func(p *Params) { p.TransferLossFrac = -0.2 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid params rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("invalid params accepted: %+v", p)
+			}
+		})
+	}
+}
+
+// TestManyRowNominalDeviationReducesToEquation1: at m = 3 the generalized
+// formula must agree exactly with NominalDeviation for every k.
+func TestManyRowNominalDeviationReducesToEquation1(t *testing.T) {
+	p := DefaultParams()
+	for k := 0; k <= 3; k++ {
+		got, err := p.ManyRowNominalDeviation(3, k)
+		if err != nil {
+			t.Fatalf("m=3 k=%d: %v", k, err)
+		}
+		if want := p.NominalDeviation(k); math.Abs(got-want) > 1e-15 {
+			t.Errorf("m=3 k=%d: %g, want Equation 1's %g", k, got, want)
+		}
+	}
+}
+
+// TestManyRowNominalDeviationProperties: the charge-sharing margin shrinks
+// as the activation widens, is antisymmetric around the tie point, zero at a
+// tie, and positive iff the charged cells hold the majority.
+func TestManyRowNominalDeviationProperties(t *testing.T) {
+	p := DefaultParams()
+	for m := 1; m <= 32; m++ {
+		for k := 0; k <= m; k++ {
+			d, err := p.ManyRowNominalDeviation(m, k)
+			if err != nil {
+				t.Fatalf("m=%d k=%d: %v", m, k, err)
+			}
+			switch {
+			case 2*k == m && d != 0:
+				t.Errorf("m=%d k=%d: tie must have zero deviation, got %g", m, k, d)
+			case 2*k > m && d <= 0:
+				t.Errorf("m=%d k=%d: majority charged must deviate positive, got %g", m, k, d)
+			case 2*k < m && d >= 0:
+				t.Errorf("m=%d k=%d: minority charged must deviate negative, got %g", m, k, d)
+			}
+			dOpp, _ := p.ManyRowNominalDeviation(m, m-k)
+			if math.Abs(d+dOpp) > 1e-15 {
+				t.Errorf("m=%d: deviation not antisymmetric: k=%d gives %g, k=%d gives %g", m, k, d, m-k, dOpp)
+			}
+		}
+	}
+	// Width dilution: the one-above-tie margin at 2m rows is strictly
+	// smaller than at m rows — the physical reason measured failure rates
+	// climb with activation width.
+	for _, m := range []int{4, 8, 16} {
+		dm, _ := p.ManyRowNominalDeviation(m, m/2+1)
+		d2m, _ := p.ManyRowNominalDeviation(2*m, m+1)
+		if d2m >= dm {
+			t.Errorf("margin must shrink with width: m=%d gives %g, m=%d gives %g", m, dm, 2*m, d2m)
+		}
+	}
+}
+
+func TestManyRowNominalDeviationRangeErrors(t *testing.T) {
+	p := DefaultParams()
+	bad := [][2]int{{0, 0}, {-1, 0}, {33, 0}, {3, -1}, {3, 4}, {16, 17}}
+	for _, mk := range bad {
+		if _, err := p.ManyRowNominalDeviation(mk[0], mk[1]); err == nil {
+			t.Errorf("ManyRowNominalDeviation(%d, %d) accepted out-of-range arguments", mk[0], mk[1])
+		}
+	}
+}

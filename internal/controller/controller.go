@@ -17,6 +17,8 @@ type Stats struct {
 	// Trains counts completed compiled command trains (ExecuteTrain), the
 	// per-row unit of compiled boolean functions.
 	Trains int64
+	// Majs counts completed many-row majority trains (ExecuteMaj).
+	Majs int64
 	// BusyNS is the total simulated DRAM-command latency issued.
 	BusyNS float64
 }

@@ -134,7 +134,9 @@ func (c *Controller) executeOpFused(op Op, bank, sub int, dk, di, dj dram.RowAdd
 	ct := &compiledTrains[op]
 	t := c.dev.Timing()
 	total := ct.latency(c.SplitDecoder, t.AAPSplit(), t.AAPNaive(), t.AP())
-	c.dev.CommitStats(dram.Stats{Activates: ct.acts, Precharges: ct.pres})
+	st := dram.Stats{Precharges: ct.pres}
+	copy(st.Activates[:], ct.acts[:])
+	c.dev.CommitStats(st)
 	c.mu.Lock()
 	c.stats.AAPs += ct.aaps
 	c.stats.APs += ct.aps

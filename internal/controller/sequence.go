@@ -15,14 +15,24 @@ const (
 	StepAAP StepKind = iota
 	// StepAP is ACTIVATE addr; PRECHARGE.
 	StepAP
+	// StepMaj is the many-row train: one simultaneous ACTIVATE of W data
+	// rows, an ACTIVATE of the destination, and a PRECHARGE (ExecuteMaj).
+	// When priced through a StepEnergyFunc, a1.Index carries W — the
+	// number of wordlines the first ACTIVATE raises — and a2 is the
+	// destination row.
+	StepMaj
 )
 
 // String implements fmt.Stringer.
 func (k StepKind) String() string {
-	if k == StepAAP {
+	switch k {
+	case StepAAP:
 		return "AAP"
+	case StepAP:
+		return "AP"
+	default:
+		return "MAJ"
 	}
-	return "AP"
 }
 
 // Step is one primitive of a bulk bitwise operation's command sequence.

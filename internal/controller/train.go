@@ -387,7 +387,9 @@ func (c *Controller) executeTrainFused(t *Train, bank, sub int, rows []dram.RowA
 	}
 
 	total := c.TrainLatencyNS(t)
-	c.dev.CommitStats(dram.Stats{Activates: t.acts, Precharges: t.pres})
+	st := dram.Stats{Precharges: t.pres}
+	copy(st.Activates[:], t.acts[:])
+	c.dev.CommitStats(st)
 	c.mu.Lock()
 	c.stats.AAPs += t.aaps
 	c.stats.APs += t.aps

@@ -9,9 +9,10 @@ import (
 // the energy model needs them (Section 7: "the activation energy increases by
 // 22% for each additional wordline raised").
 type Stats struct {
-	// Activates[k] counts ACTIVATE commands that raised k+1 wordlines
-	// (k = 0, 1, 2).
-	Activates [3]int64
+	// Activates[k] counts ACTIVATE commands that raised k+1 wordlines.
+	// Conventional and Ambit commands use k = 0..2; many-row simultaneous
+	// activation (ActivateMany) uses k up to MaxSimultaneousWordlines-1.
+	Activates [MaxSimultaneousWordlines]int64
 	// Precharges counts PRECHARGE commands.
 	Precharges int64
 	// ColumnReads and ColumnWrites count 64-bit column accesses.
@@ -21,7 +22,11 @@ type Stats struct {
 
 // TotalActivates returns the total number of ACTIVATE commands.
 func (s Stats) TotalActivates() int64 {
-	return s.Activates[0] + s.Activates[1] + s.Activates[2]
+	var n int64
+	for _, v := range s.Activates {
+		n += v
+	}
+	return n
 }
 
 // Add accumulates o into s.

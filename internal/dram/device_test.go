@@ -82,8 +82,8 @@ func TestDeviceStatsCounting(t *testing.T) {
 }
 
 func TestStatsAddSub(t *testing.T) {
-	a := Stats{Activates: [3]int64{5, 2, 1}, Precharges: 4, ColumnReads: 7, ColumnWrites: 3}
-	b := Stats{Activates: [3]int64{1, 1, 1}, Precharges: 1, ColumnReads: 2, ColumnWrites: 1}
+	a := Stats{Activates: [MaxSimultaneousWordlines]int64{5, 2, 1}, Precharges: 4, ColumnReads: 7, ColumnWrites: 3}
+	b := Stats{Activates: [MaxSimultaneousWordlines]int64{1, 1, 1}, Precharges: 1, ColumnReads: 2, ColumnWrites: 1}
 	var sum Stats
 	sum.Add(a)
 	sum.Add(b)

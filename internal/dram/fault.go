@@ -22,6 +22,11 @@ type FaultContext struct {
 	// weakness: the same physical destination row fails consistently more
 	// (or less) often than its neighbours.
 	Row int
+	// K is the number of wordlines raised simultaneously by the event (3
+	// for a TRA, up to MaxSimultaneousWordlines for a many-row activation,
+	// 0 when not applicable).  Failure models use it to scale rates with
+	// activation width, as the many-row characterization papers measure.
+	K int
 }
 
 // A FaultInjector decides which bits flip at each analog event.  Both methods
@@ -37,6 +42,18 @@ type FaultInjector interface {
 	// DCCFaultMask is consulted when the sense amplifiers overwrite a cell
 	// through its negation (n-) wordline — the Ambit-NOT capture path.
 	DCCFaultMask(ctx FaultContext, words int) []uint64
+}
+
+// A ManyRowFaultInjector is a FaultInjector that additionally understands
+// many-row simultaneous activation.  MajFaultMask is consulted after a
+// many-row activation computes its bitwise majority; weak is the
+// minimum-charge-margin mask — bits whose ones-count sat closest to the tie
+// point, which real-chip measurements show fail far more often (the
+// data-pattern dependence of the 2024 characterizations).  Injectors that do
+// not implement this interface fall back to TRAFaultMask for many-row events.
+type ManyRowFaultInjector interface {
+	FaultInjector
+	MajFaultMask(ctx FaultContext, words int, weak []uint64) []uint64
 }
 
 // SetFaultInjector installs fi on every subarray of the device; nil removes

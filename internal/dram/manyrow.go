@@ -1,0 +1,197 @@
+package dram
+
+import "fmt"
+
+// Many-row simultaneous activation.
+//
+// The 2024 characterization "Simultaneous Many-Row Activation in Off-the-Shelf
+// DRAM Chips" (PAPERS.md) shows commodity parts can raise 16 or 32 wordlines
+// in one ACTIVATE by exploiting back-to-back row addresses, computing the
+// bitwise majority of all connected cells — MAJ-X, the generalization of
+// Ambit's triple-row MAJ-3.  This file models that primitive: charge sharing
+// across W cells per bitline, sense amplification of the majority value, and
+// restoration into every connected cell, with the same fault-injection hooks
+// as the TRA path plus a data-pattern-dependent weak-bit mask (bitlines whose
+// ones-count sat closest to the tie point have the smallest charge-sharing
+// margin and fail most often on real chips).
+
+// MaxSimultaneousWordlines is the largest number of wordlines one ACTIVATE
+// may raise simultaneously — the 32-row activation demonstrated on real
+// chips.
+const MaxSimultaneousWordlines = 32
+
+// countPlanes is the number of bitplane counter slices needed to hold a
+// per-bitline ones-count up to MaxSimultaneousWordlines.
+const countPlanes = 6
+
+// slicedEq returns the bit positions whose plane-sliced count equals t.
+func slicedEq(p *[countPlanes]uint64, t int) uint64 {
+	eq := ^uint64(0)
+	for i := 0; i < countPlanes; i++ {
+		bm := uint64(0)
+		if t>>uint(i)&1 == 1 {
+			bm = ^uint64(0)
+		}
+		eq &= ^(p[i] ^ bm)
+	}
+	return eq
+}
+
+// slicedGt returns the bit positions whose plane-sliced count exceeds t.
+func slicedGt(p *[countPlanes]uint64, t int) uint64 {
+	gt := uint64(0)
+	eq := ^uint64(0)
+	for i := countPlanes - 1; i >= 0; i-- {
+		bm := uint64(0)
+		if t>>uint(i)&1 == 1 {
+			bm = ^uint64(0)
+		}
+		gt |= eq & p[i] &^ bm
+		eq &= ^(p[i] ^ bm)
+	}
+	return gt
+}
+
+// ActivateMany performs one simultaneous activation of the given D-group rows:
+// every bitline charge-shares across all W cells, the sense amplifiers latch
+// the bitwise majority, and the value is restored into every connected cell.
+// W must be in [2, MaxSimultaneousWordlines] with distinct in-range rows, and
+// the subarray must be precharged (a many-row activation always senses).
+//
+// A bitline whose ones-count is exactly W/2 has zero charge-sharing deviation
+// and no defined result: such ties return ErrUndefinedChargeSharing, exactly
+// like a disagreeing two-row activation.  Callers that need tie-free majority
+// replicate an odd number of operands an even number of times (the
+// controller's MAJ-X planner).
+//
+// Fault hooks mirror the TRA path: a one-shot InjectTRAFault mask applies
+// first, then an installed injector is consulted — through MajFaultMask (with
+// the minimum-margin weak-bit mask) when it implements ManyRowFaultInjector,
+// through TRAFaultMask otherwise.
+//
+// Returns the number of wordlines raised, for energy accounting.
+func (s *Subarray) ActivateMany(rows []int) (int, error) {
+	w := len(rows)
+	if w < 2 || w > MaxSimultaneousWordlines {
+		return 0, fmt.Errorf("dram: simultaneous activation of %d wordlines not supported (want 2..%d)", w, MaxSimultaneousWordlines)
+	}
+	if s.ampsOn {
+		return 0, fmt.Errorf("dram: many-row activation on an activated subarray")
+	}
+	for i, r := range rows {
+		if r < 0 || r >= s.geom.DataRows() {
+			return 0, fmt.Errorf("dram: many-row activation: data row %d out of range [0,%d)", r, s.geom.DataRows())
+		}
+		for _, q := range rows[:i] {
+			if q == r {
+				return 0, fmt.Errorf("dram: many-row activation: duplicate row %d", r)
+			}
+		}
+	}
+
+	words := s.geom.WordsPerRow()
+	s.amps = s.ampsBuf
+	if s.weakBuf == nil {
+		s.weakBuf = make([]uint64, words)
+	}
+	// Margin thresholds: the majority is count > W/2; the minimum possible
+	// nonzero margin is |2*count - W| = 2 for even W, 1 for odd W.
+	half := w / 2
+	loMargin, hiMargin := half-1, half+1
+	if w%2 == 1 {
+		loMargin, hiMargin = half, half+1
+	}
+	for i := 0; i < words; i++ {
+		var planes [countPlanes]uint64
+		for _, r := range rows {
+			var v uint64
+			if s.data[r] != nil {
+				v = s.data[r][i]
+			}
+			c := v
+			for p := 0; p < countPlanes && c != 0; p++ {
+				planes[p], c = planes[p]^c, planes[p]&c
+			}
+		}
+		if w%2 == 0 {
+			if tie := slicedEq(&planes, half); tie != 0 {
+				return 0, fmt.Errorf("dram: many-row activation of %d rows: %d bitline(s) tied at %d ones: %w",
+					w, onesCount(tie), half, ErrUndefinedChargeSharing)
+			}
+		}
+		s.amps[i] = slicedGt(&planes, half)
+		s.weakBuf[i] = slicedEq(&planes, loMargin) | slicedEq(&planes, hiMargin)
+	}
+
+	if s.faultMask != nil {
+		for i := 0; i < words && i < len(s.faultMask); i++ {
+			s.amps[i] ^= s.faultMask[i]
+		}
+		s.faultMask = nil
+	}
+	if s.injector != nil {
+		ctx := s.fctx
+		ctx.K = w
+		var m []uint64
+		if mi, ok := s.injector.(ManyRowFaultInjector); ok {
+			m = mi.MajFaultMask(ctx, words, s.weakBuf)
+		} else {
+			m = s.injector.TRAFaultMask(ctx, words)
+		}
+		for i := 0; i < words && i < len(m); i++ {
+			s.amps[i] ^= m[i]
+		}
+	}
+
+	s.ampsOn = true
+	for _, r := range rows {
+		if s.data[r] == nil {
+			s.data[r] = make([]uint64, words)
+		}
+		copy(s.data[r], s.amps)
+		s.raised = append(s.raised, Wordline{Kind: WLData, Index: r})
+	}
+	return w, nil
+}
+
+// onesCount counts set bits (local helper; math/bits is avoided here only to
+// keep this file's imports minimal).
+func onesCount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// ActivateMany issues a many-row simultaneous ACTIVATE for the given D-group
+// rows of subarray sub.  Like Activate, it is rejected while a different
+// subarray is open.  Returns the number of wordlines raised.
+func (b *Bank) ActivateMany(sub int, rows []int) (int, error) {
+	if sub < 0 || sub >= len(b.subarrays) {
+		return 0, fmt.Errorf("dram: subarray %d out of range [0,%d)", sub, len(b.subarrays))
+	}
+	if b.open >= 0 && b.open != sub {
+		return 0, fmt.Errorf("%w: subarray %d open, many-row activate to subarray %d", ErrBankActive, b.open, sub)
+	}
+	n, err := b.subarrays[sub].ActivateMany(rows)
+	if err != nil {
+		return 0, err
+	}
+	b.open = sub
+	return n, nil
+}
+
+// ActivateManyLocal issues a many-row simultaneous ACTIVATE with the command
+// count accumulated into st (see ActivateLocal for the batching contract).
+func (d *Device) ActivateManyLocal(bank, sub int, rows []int, st *Stats) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	n, err := d.banks[bank].ActivateMany(sub, rows)
+	if err != nil {
+		return fmt.Errorf("many-row activate bank %d sub %d: %w", bank, sub, err)
+	}
+	st.Activates[n-1]++
+	return nil
+}

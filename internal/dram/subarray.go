@@ -51,6 +51,11 @@ type Subarray struct {
 	// scratch buffers reused by sense() so the activation hot path does
 	// not allocate.
 	scratch [3][]uint64
+
+	// weakBuf holds the minimum-charge-margin bit mask of the most recent
+	// many-row activation (see ActivateMany); reused across calls so the
+	// hot path does not allocate.
+	weakBuf []uint64
 }
 
 // NewSubarray constructs a subarray with all cells zeroed except C1, which is

@@ -138,11 +138,11 @@ func TestDDR3EnergyByInputRows(t *testing.T) {
 func TestDeviceEnergyFromStats(t *testing.T) {
 	m := DefaultModel()
 	s := dram.Stats{
-		Activates:    [3]int64{2, 1, 1},
 		Precharges:   3,
 		ColumnReads:  10,
 		ColumnWrites: 10,
 	}
+	s.Activates[0], s.Activates[1], s.Activates[2] = 2, 1, 1
 	want := 2*m.ActivateEnergyNJ(1) + m.ActivateEnergyNJ(2) + m.ActivateEnergyNJ(3) +
 		3*m.PrechargeNJ + 20*m.ColumnAccessNJ
 	if got := m.DeviceEnergyNJ(s); math.Abs(got-want) > 1e-9 {

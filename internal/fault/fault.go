@@ -1,36 +1,50 @@
 // Package fault models probabilistic failures of Ambit's analog in-DRAM
-// primitives: triple-row activation (TRA) and dual-contact-cell (DCC)
-// negation.
+// primitives: triple-row activation (TRA), many-row simultaneous activation
+// (MAJ-X), and dual-contact-cell (DCC) negation.
 //
 // The Ambit paper assumes these mechanisms are reliable after manufacturer
 // testing (Section 6), but measurements on real chips ("Functionally-Complete
-// Boolean Logic in Real DRAM Chips", PAPERS.md) show multi-row activation
-// fails probabilistically, with strong per-cell and per-row variation.  This
-// package reproduces that failure structure as a deterministic, seeded
-// dram.FaultInjector:
+// Boolean Logic in Real DRAM Chips" and "Simultaneous Many-Row Activation in
+// Off-the-Shelf DRAM Chips", PAPERS.md) show multi-row activation fails
+// probabilistically, with strong per-cell, per-row, per-chip, data-pattern,
+// and temperature variation.  This package reproduces that failure structure
+// as a deterministic, seeded dram.FaultInjector:
 //
-//   - a per-bit transient flip rate for each TRA and each DCC capture
+//   - a per-bit transient flip rate for each TRA/MAJ-X and each DCC capture
 //     (TRABitRate, DCCBitRate) — the common case, corrected by TMR ECC,
-//   - a per-event gross row failure rate (TRARowRate) modelling a TRA whose
-//     charge sharing collapses entirely, corrupting a large fraction of the
-//     row — detected by the verifier and retried,
+//   - a per-event gross row failure rate (TRARowRate) modelling an activation
+//     whose charge sharing collapses entirely, corrupting a large fraction of
+//     the row — detected by the verifier and retried,
 //   - per-row weakness (RowVariation): each physical destination row gets a
 //     deterministic log-normal rate multiplier, so some rows fail
 //     consistently more often — the rows graceful degradation quarantines,
 //   - optional weak columns (WeakColumnFraction): a deterministic subset of
 //     bit positions per subarray that attracts half of all flips, modelling
-//     per-cell variation.
+//     per-cell variation,
+//   - an optional chip-to-chip variation Profile (profile.go) layering
+//     temperature scaling, an activation-width failure curve, data-pattern
+//     bias toward minimum-margin bits, and named weak subarrays on top.
 //
-// Determinism: every random decision is drawn from a per-subarray splitmix64
-// stream keyed by (Seed, bank, subarray), and the per-row/per-column weights
-// are pure hashes of (Seed, coordinates).  A given sequence of events on one
-// subarray therefore produces identical faults across runs.
+// Determinism and concurrency: every random decision is drawn from a
+// per-subarray splitmix64 stream keyed by (Seed, bank, subarray), and the
+// per-row/per-column weights are pure hashes of (Seed, coordinates).  A given
+// sequence of events on one subarray therefore produces identical faults
+// across runs — regardless of what happens on other subarrays, and regardless
+// of how many goroutines drive other banks.  Draws for the *same* (bank,
+// subarray) pair must be serialized by the caller; the DRAM device guarantees
+// this (a bank executes one command train at a time, and the parallel engine
+// holds one lock per bank), which is what lets faulted parallel execution
+// stay bit-identical to faulted serial execution: each stream sees the same
+// draw sequence, and the counters are order-independent atomic sums, merged
+// exactly like the tracer's per-bank shards.  After Prepare the per-pair
+// streams are reached without any lock.
 package fault
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"ambit/internal/dram"
 )
@@ -38,9 +52,9 @@ import (
 // Config parameterizes a Model.  The zero value disables injection entirely.
 type Config struct {
 	// TRABitRate is the probability that any given result bit of a
-	// triple-row activation flips (before per-row scaling).
+	// triple-row (or many-row) activation flips (before per-row scaling).
 	TRABitRate float64
-	// TRARowRate is the probability that a triple-row activation suffers a
+	// TRARowRate is the probability that a multi-row activation suffers a
 	// gross failure corrupting roughly a quarter of the row's bits.
 	TRARowRate float64
 	// DCCBitRate is the probability that any given bit written through a
@@ -74,14 +88,20 @@ func (c Config) Validate() error {
 		{"TRARowRate", c.TRARowRate},
 		{"DCCBitRate", c.DCCBitRate},
 	} {
+		if math.IsNaN(r.v) {
+			return fmt.Errorf("fault: %s must not be NaN", r.name)
+		}
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("fault: %s must be in [0,1], got %g", r.name, r.v)
 		}
 	}
-	if c.RowVariation < 0 {
+	if math.IsNaN(c.RowVariation) || c.RowVariation < 0 {
 		return fmt.Errorf("fault: RowVariation must be non-negative, got %g", c.RowVariation)
 	}
-	if c.WeakColumnFraction < 0 || c.WeakColumnFraction >= 1 {
+	if math.IsInf(c.RowVariation, 1) {
+		return fmt.Errorf("fault: RowVariation must be finite, got %g", c.RowVariation)
+	}
+	if math.IsNaN(c.WeakColumnFraction) || c.WeakColumnFraction < 0 || c.WeakColumnFraction >= 1 {
 		return fmt.Errorf("fault: WeakColumnFraction must be in [0,1), got %g", c.WeakColumnFraction)
 	}
 	return nil
@@ -92,52 +112,138 @@ type Counters struct {
 	// TRAEvents counts triple-row activations that had at least one bit
 	// flipped (gross failures included).
 	TRAEvents int64
+	// MajEvents counts many-row (MAJ-X) activations that had at least one
+	// bit flipped (gross failures included).
+	MajEvents int64
 	// DCCEvents counts DCC negation writes that had at least one bit
 	// flipped.
 	DCCEvents int64
-	// GrossRows counts gross row-level TRA failures (a subset of
-	// TRAEvents).
+	// GrossRows counts gross row-level activation failures (a subset of
+	// TRAEvents + MajEvents).
 	GrossRows int64
 	// FlippedBits counts the total number of bits flipped.
 	FlippedBits int64
 }
 
 // Model is a deterministic seeded fault injector implementing
-// dram.FaultInjector.  Safe for concurrent use.
+// dram.ManyRowFaultInjector.
+//
+// Concurrency: draws on distinct (bank, subarray) pairs may proceed from
+// different goroutines; draws on the same pair must be externally serialized
+// (the DRAM device's one-train-per-bank discipline provides this).  Counters
+// are atomic and may be read at any time.
 type Model struct {
-	cfg Config
+	cfg  Config
+	prof *Profile // nil when built from a plain Config
 
-	mu       sync.Mutex
-	streams  map[[2]int]*stream
-	counters Counters
+	tempScale float64 // profile temperature multiplier (1 when unset)
+
+	mu      sync.Mutex         // guards streams (the un-Prepared fallback map)
+	streams map[[2]int]*stream // lazily keyed by (bank, subarray)
+	dense   [][]*stream        // [bank][subarray], non-nil after Prepare
+
+	tra     atomic.Int64
+	maj     atomic.Int64
+	dcc     atomic.Int64
+	gross   atomic.Int64
+	flipped atomic.Int64
 }
 
-var _ dram.FaultInjector = (*Model)(nil)
+var _ dram.ManyRowFaultInjector = (*Model)(nil)
 
 // New creates a Model from cfg.
 func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg, streams: make(map[[2]int]*stream)}, nil
+	return &Model{cfg: cfg, tempScale: 1, streams: make(map[[2]int]*stream)}, nil
 }
 
-// Config returns the model configuration.
+// NewFromProfile creates a Model from a chip-to-chip variation profile: the
+// profile's base rates, scaled by its temperature point, with its
+// activation-width curve, data-pattern bias, and weak-subarray multipliers
+// applied per draw.
+func NewFromProfile(p *Profile) (*Model, error) {
+	if p == nil {
+		return nil, fmt.Errorf("fault: nil profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cp := p.clone()
+	return &Model{
+		cfg:       cp.Base,
+		prof:      cp,
+		tempScale: cp.TempScale(),
+		streams:   make(map[[2]int]*stream),
+	}, nil
+}
+
+// Config returns the model configuration (a profile model's base rates).
 func (m *Model) Config() Config { return m.cfg }
+
+// Profile returns the variation profile the model was built from, or nil.
+func (m *Model) Profile() *Profile { return m.prof }
+
+// Prepare eagerly creates the per-(bank, subarray) streams for a device of
+// the given geometry, so subsequent draws never touch a lock or a map: the
+// parallel engine can then drive different banks' fault streams concurrently
+// with zero coordination.  Streams created by Prepare are seeded identically
+// to lazily created ones, so prepared and unprepared models produce the same
+// fault universe.
+func (m *Model) Prepare(banks, subarrays int) {
+	if banks <= 0 || subarrays <= 0 {
+		return
+	}
+	dense := make([][]*stream, banks)
+	for b := range dense {
+		dense[b] = make([]*stream, subarrays)
+		for s := range dense[b] {
+			dense[b][s] = m.newStream(b, s)
+		}
+	}
+	m.dense = dense
+}
 
 // Counters returns a snapshot of the injection counters.
 func (m *Model) Counters() Counters {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters
+	return Counters{
+		TRAEvents:   m.tra.Load(),
+		MajEvents:   m.maj.Load(),
+		DCCEvents:   m.dcc.Load(),
+		GrossRows:   m.gross.Load(),
+		FlippedBits: m.flipped.Load(),
+	}
 }
 
 // ResetCounters zeroes the injection counters.  The random streams keep their
 // positions: resetting counters does not replay the fault universe.
 func (m *Model) ResetCounters() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counters = Counters{}
+	m.tra.Store(0)
+	m.maj.Store(0)
+	m.dcc.Store(0)
+	m.gross.Store(0)
+	m.flipped.Store(0)
+}
+
+// activationMask draws the bit-flip + gross-failure mask shared by the TRA
+// and MAJ-X paths.  weak and bias configure the data-pattern draw (nil/0 for
+// TRA).  Returns the mask and whether the event was a gross failure.
+func (m *Model) activationMask(st *stream, words int, bitRate, rowRate float64, weak []uint64, bias float64) ([]uint64, bool) {
+	mask := st.bitFlips(nil, words, bitRate, weak, bias)
+	gross := false
+	if rowRate > 0 && st.rng.float64() < math.Min(rowRate, 1) {
+		gross = true
+		if mask == nil {
+			mask = make([]uint64, words)
+		}
+		// A collapsed activation leaves each bitline at an essentially
+		// random level; ANDing two draws flips ~25% of the row.
+		for i := range mask {
+			mask[i] |= st.rng.next() & st.rng.next()
+		}
+	}
+	return mask, gross
 }
 
 // TRAFaultMask implements dram.FaultInjector: bit flips plus possible gross
@@ -146,31 +252,45 @@ func (m *Model) TRAFaultMask(ctx dram.FaultContext, words int) []uint64 {
 	if m.cfg.TRABitRate == 0 && m.cfg.TRARowRate == 0 {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.stream(ctx)
-	scale := m.rowScale(ctx)
-	mask := st.bitFlips(nil, words, m.cfg.TRABitRate*scale)
-	gross := false
-	if p := m.cfg.TRARowRate * scale; p > 0 && st.rng.float64() < math.Min(p, 1) {
-		gross = true
-		if mask == nil {
-			mask = make([]uint64, words)
-		}
-		// A collapsed TRA leaves each bitline at an essentially random
-		// level; ANDing two draws flips ~25% of the row.
-		for i := range mask {
-			mask[i] |= st.rng.next() & st.rng.next()
-		}
-	}
+	scale := m.rowScale(ctx) * m.tempScale * st.mult
+	mask, gross := m.activationMask(st, words, m.cfg.TRABitRate*scale, m.cfg.TRARowRate*scale, nil, 0)
 	if mask == nil {
 		return nil
 	}
-	m.counters.TRAEvents++
+	m.tra.Add(1)
 	if gross {
-		m.counters.GrossRows++
+		m.gross.Add(1)
 	}
-	m.counters.FlippedBits += popcount(mask)
+	m.flipped.Add(popcount(mask))
+	return mask
+}
+
+// MajFaultMask implements dram.ManyRowFaultInjector: bit flips plus possible
+// gross failure for one many-row simultaneous activation of ctx.K wordlines.
+// The base rates are additionally scaled by the profile's activation-width
+// curve, and — when the profile sets PatternBias — flips are steered toward
+// the minimum-charge-margin bits in weak, reproducing the data-pattern
+// dependence of the real-chip measurements.
+func (m *Model) MajFaultMask(ctx dram.FaultContext, words int, weak []uint64) []uint64 {
+	if m.cfg.TRABitRate == 0 && m.cfg.TRARowRate == 0 {
+		return nil
+	}
+	st := m.stream(ctx)
+	scale := m.rowScale(ctx) * m.tempScale * st.mult * m.kMult(ctx.K)
+	var bias float64
+	if m.prof != nil {
+		bias = m.prof.PatternBias
+	}
+	mask, gross := m.activationMask(st, words, m.cfg.TRABitRate*scale, m.cfg.TRARowRate*scale, weak, bias)
+	if mask == nil {
+		return nil
+	}
+	m.maj.Add(1)
+	if gross {
+		m.gross.Add(1)
+	}
+	m.flipped.Add(popcount(mask))
 	return mask
 }
 
@@ -180,16 +300,35 @@ func (m *Model) DCCFaultMask(ctx dram.FaultContext, words int) []uint64 {
 	if m.cfg.DCCBitRate == 0 {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := m.stream(ctx)
-	mask := st.bitFlips(nil, words, m.cfg.DCCBitRate*m.rowScale(ctx))
+	mask := st.bitFlips(nil, words, m.cfg.DCCBitRate*m.rowScale(ctx)*m.tempScale*st.mult, nil, 0)
 	if mask == nil {
 		return nil
 	}
-	m.counters.DCCEvents++
-	m.counters.FlippedBits += popcount(mask)
+	m.dcc.Add(1)
+	m.flipped.Add(popcount(mask))
 	return mask
+}
+
+// kMult returns the profile's activation-width rate multiplier for a k-row
+// simultaneous activation (1 with no profile or an empty curve).  The curve
+// is piecewise linear between its points and clamped at the ends.
+func (m *Model) kMult(k int) float64 {
+	if m.prof == nil || len(m.prof.KCurve) == 0 || k <= 0 {
+		return 1
+	}
+	curve := m.prof.KCurve
+	if k <= curve[0].K {
+		return curve[0].Mult
+	}
+	for i := 1; i < len(curve); i++ {
+		if k <= curve[i].K {
+			lo, hi := curve[i-1], curve[i]
+			f := float64(k-lo.K) / float64(hi.K-lo.K)
+			return lo.Mult + f*(hi.Mult-lo.Mult)
+		}
+	}
+	return curve[len(curve)-1].Mult
 }
 
 // RowScale returns the deterministic per-row rate multiplier for the data row
@@ -215,23 +354,42 @@ func (m *Model) rowScale(ctx dram.FaultContext) float64 {
 	return math.Min(32, math.Max(1.0/32, s))
 }
 
-// stream returns the (bank, subarray) random stream, creating it (and its
-// weak-column set) deterministically on first use.  The caller holds m.mu.
+// newStream deterministically constructs the (bank, subarray) random stream
+// and its weak-column seed; the seeding is a pure function of the model
+// configuration and the coordinates, never of creation order.
+func (m *Model) newStream(bank, sub int) *stream {
+	st := &stream{rng: rng{s: hash4(uint64(m.cfg.Seed), 0x5f4175, uint64(bank)+1, uint64(sub)+1)}}
+	st.weakFrac = m.cfg.WeakColumnFraction
+	st.weakSeed = hash4(uint64(m.cfg.Seed), 0xc01, uint64(bank)+1, uint64(sub)+1)
+	st.mult = 1
+	if m.prof != nil {
+		st.mult = m.prof.MultFor(bank, sub)
+	}
+	return st
+}
+
+// stream returns the (bank, subarray) random stream: lock-free from the dense
+// table after Prepare, otherwise created on first use under the map lock.
 func (m *Model) stream(ctx dram.FaultContext) *stream {
+	if m.dense != nil && ctx.Bank >= 0 && ctx.Bank < len(m.dense) &&
+		ctx.Subarray >= 0 && ctx.Subarray < len(m.dense[ctx.Bank]) {
+		return m.dense[ctx.Bank][ctx.Subarray]
+	}
 	key := [2]int{ctx.Bank, ctx.Subarray}
+	m.mu.Lock()
 	st, ok := m.streams[key]
 	if !ok {
-		st = &stream{rng: rng{s: hash4(uint64(m.cfg.Seed), 0x5f4175, uint64(ctx.Bank)+1, uint64(ctx.Subarray)+1)}}
-		st.weakFrac = m.cfg.WeakColumnFraction
-		st.weakSeed = hash4(uint64(m.cfg.Seed), 0xc01, uint64(ctx.Bank)+1, uint64(ctx.Subarray)+1)
+		st = m.newStream(ctx.Bank, ctx.Subarray)
 		m.streams[key] = st
 	}
+	m.mu.Unlock()
 	return st
 }
 
 // stream is the per-subarray random state.
 type stream struct {
 	rng      rng
+	mult     float64 // profile weak-subarray rate multiplier (1 = nominal)
 	weakFrac float64
 	weakSeed uint64
 	weakCols []int // lazily built per observed row width
@@ -240,8 +398,10 @@ type stream struct {
 
 // bitFlips draws a Poisson number of flipped bits at the given per-bit rate
 // and ORs them into mask (allocating it on the first flip); returns the mask
-// (nil if no flips).
-func (s *stream) bitFlips(mask []uint64, words int, rate float64) []uint64 {
+// (nil if no flips).  When bias > 0 and weak is non-empty, each flip lands on
+// a set bit of weak with probability bias (the data-pattern-dependent draw);
+// otherwise positions follow the weak-column bias, then uniform.
+func (s *stream) bitFlips(mask []uint64, words int, rate float64, weak []uint64, bias float64) []uint64 {
 	if rate <= 0 {
 		return mask
 	}
@@ -250,14 +410,48 @@ func (s *stream) bitFlips(mask []uint64, words int, rate float64) []uint64 {
 	if n > bits {
 		n = bits
 	}
+	weakTotal := int64(0)
+	if bias > 0 {
+		weakTotal = popcount(weak)
+	}
 	for i := 0; i < n; i++ {
 		if mask == nil {
 			mask = make([]uint64, words)
 		}
-		pos := s.pickBit(bits)
+		pos := -1
+		if weakTotal > 0 && s.rng.float64() < bias {
+			pos = nthSetBit(weak, int(s.rng.next()%uint64(weakTotal)))
+		}
+		if pos < 0 {
+			pos = s.pickBit(bits)
+		}
 		mask[pos/64] |= 1 << uint(pos%64)
 	}
 	return mask
+}
+
+// nthSetBit returns the position of the n-th (0-based) set bit of mask, or -1.
+func nthSetBit(mask []uint64, n int) int {
+	for w, v := range mask {
+		for b := 0; v != 0; v &= v - 1 {
+			b = trailingZeros(v)
+			if n == 0 {
+				return w*64 + b
+			}
+			n--
+		}
+	}
+	return -1
+}
+
+// trailingZeros counts trailing zero bits of a nonzero word.
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // pickBit selects a bit position, biased toward the weak-column set when one

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Chip-to-chip variation profiles.
+//
+// A Profile names one measured-silicon scenario: a chip (or chip population)
+// at a temperature point, with its base failure rates, its activation-width
+// failure curve, its data-pattern sensitivity, and the subarrays its
+// characterization found weak.  Profiles are what the scenario suites load
+// from testdata/ and what the public API selects with WithFaultProfile and
+// ambitsim selects with -profile.
+
+// KPoint is one point of a profile's activation-width failure curve: the rate
+// multiplier that applies when K wordlines are raised simultaneously.  The
+// curve is piecewise linear between points and clamped at the ends.
+type KPoint struct {
+	K    int     `json:"k"`
+	Mult float64 `json:"mult"`
+}
+
+// WeakSubarray marks one subarray the profile's characterization found weak.
+// Mult multiplies every failure rate for events on that subarray (0 is
+// treated as 1, for quarantine-only entries); Quarantine additionally tells
+// the allocator never to place data rows there.
+type WeakSubarray struct {
+	Bank       int     `json:"bank"`
+	Sub        int     `json:"sub"`
+	Mult       float64 `json:"mult,omitempty"`
+	Quarantine bool    `json:"quarantine,omitempty"`
+}
+
+// Profile is a named chip-to-chip variation scenario.
+type Profile struct {
+	// Name identifies the profile (e.g. "clean", "vendorA-85C").
+	Name string `json:"name"`
+	// Description is a one-line human-readable summary.
+	Description string `json:"description,omitempty"`
+	// Base holds the failure rates measured at the reference temperature.
+	Base Config `json:"base"`
+	// TempC is the operating temperature of the scenario; RefTempC is the
+	// temperature the base rates were measured at.  Rates scale by
+	// 2^((TempC-RefTempC)/TempDoubleEveryC) — the exponential temperature
+	// dependence the real-chip characterizations report.
+	TempC            float64 `json:"temp_c,omitempty"`
+	RefTempC         float64 `json:"ref_temp_c,omitempty"`
+	TempDoubleEveryC float64 `json:"temp_double_every_c,omitempty"`
+	// PatternBias in [0,1] is the probability that a many-row activation
+	// flip lands on a minimum-charge-margin bit (the data-pattern
+	// dependence); 0 spreads flips per the base weak-column model.
+	PatternBias float64 `json:"pattern_bias,omitempty"`
+	// KCurve is the activation-width failure curve (may be empty).
+	KCurve []KPoint `json:"k_curve,omitempty"`
+	// Weak lists the profile's weak subarrays (may be empty).
+	Weak []WeakSubarray `json:"weak,omitempty"`
+}
+
+// clone returns a deep copy, so callers can hold a Profile without aliasing
+// registry or caller slices.
+func (p *Profile) clone() *Profile {
+	cp := *p
+	cp.KCurve = append([]KPoint(nil), p.KCurve...)
+	cp.Weak = append([]WeakSubarray(nil), p.Weak...)
+	return &cp
+}
+
+// TempScale returns the temperature rate multiplier,
+// 2^((TempC-RefTempC)/TempDoubleEveryC) (1 when TempDoubleEveryC is 0).
+func (p *Profile) TempScale() float64 {
+	if p.TempDoubleEveryC == 0 {
+		return 1
+	}
+	return math.Exp2((p.TempC - p.RefTempC) / p.TempDoubleEveryC)
+}
+
+// MultFor returns the weak-subarray rate multiplier for (bank, sub), 1 when
+// the subarray is not listed (a listed Mult of 0 also reads as 1 — the
+// quarantine-only case).
+func (p *Profile) MultFor(bank, sub int) float64 {
+	for _, w := range p.Weak {
+		if w.Bank == bank && w.Sub == sub {
+			if w.Mult == 0 {
+				return 1
+			}
+			return w.Mult
+		}
+	}
+	return 1
+}
+
+// Quarantined reports whether the profile quarantines (bank, sub): the
+// allocator must not place data rows there.
+func (p *Profile) Quarantined(bank, sub int) bool {
+	for _, w := range p.Weak {
+		if w.Bank == bank && w.Sub == sub {
+			return w.Quarantine
+		}
+	}
+	return false
+}
+
+// Validate checks the profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("fault: profile has no name")
+	}
+	if err := p.Base.Validate(); err != nil {
+		return fmt.Errorf("fault: profile %q: %w", p.Name, err)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"temp_c", p.TempC},
+		{"ref_temp_c", p.RefTempC},
+		{"temp_double_every_c", p.TempDoubleEveryC},
+		{"pattern_bias", p.PatternBias},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("fault: profile %q: %s must be finite, got %g", p.Name, f.name, f.v)
+		}
+	}
+	if p.TempDoubleEveryC < 0 {
+		return fmt.Errorf("fault: profile %q: temp_double_every_c must be non-negative, got %g", p.Name, p.TempDoubleEveryC)
+	}
+	if p.TempDoubleEveryC == 0 && p.TempC != p.RefTempC {
+		return fmt.Errorf("fault: profile %q: temperature point %g != reference %g but temp_double_every_c is 0", p.Name, p.TempC, p.RefTempC)
+	}
+	if p.PatternBias < 0 || p.PatternBias > 1 {
+		return fmt.Errorf("fault: profile %q: pattern_bias must be in [0,1], got %g", p.Name, p.PatternBias)
+	}
+	lastK := 0
+	for i, kp := range p.KCurve {
+		if kp.K < 3 || kp.K > 32 {
+			return fmt.Errorf("fault: profile %q: k_curve[%d]: k must be in [3,32], got %d", p.Name, i, kp.K)
+		}
+		if kp.K <= lastK {
+			return fmt.Errorf("fault: profile %q: k_curve[%d]: k %d not strictly ascending", p.Name, i, kp.K)
+		}
+		if math.IsNaN(kp.Mult) || math.IsInf(kp.Mult, 0) || kp.Mult <= 0 {
+			return fmt.Errorf("fault: profile %q: k_curve[%d]: mult must be positive and finite, got %g", p.Name, i, kp.Mult)
+		}
+		lastK = kp.K
+	}
+	seen := make(map[[2]int]bool, len(p.Weak))
+	for i, w := range p.Weak {
+		if w.Bank < 0 || w.Sub < 0 {
+			return fmt.Errorf("fault: profile %q: weak[%d]: negative coordinates (%d, %d)", p.Name, i, w.Bank, w.Sub)
+		}
+		key := [2]int{w.Bank, w.Sub}
+		if seen[key] {
+			return fmt.Errorf("fault: profile %q: weak[%d]: duplicate subarray (%d, %d)", p.Name, i, w.Bank, w.Sub)
+		}
+		seen[key] = true
+		if math.IsNaN(w.Mult) || math.IsInf(w.Mult, 0) || w.Mult < 0 {
+			return fmt.Errorf("fault: profile %q: weak[%d]: mult must be non-negative and finite, got %g", p.Name, i, w.Mult)
+		}
+	}
+	return nil
+}
+
+// ParseProfile decodes and validates a JSON profile.  Unknown fields are
+// rejected, so typos in scenario files fail loudly instead of silently
+// configuring nothing.
+func ParseProfile(data []byte) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: parse profile: %w", err)
+	}
+	// Trailing garbage after the JSON value is an error too.
+	if dec.More() {
+		return nil, fmt.Errorf("fault: parse profile: trailing data after JSON value")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadProfileFile reads and parses a JSON profile from path.
+func LoadProfileFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: load profile: %w", err)
+	}
+	return ParseProfile(data)
+}
+
+// builtins is the registry of named profiles shipped with the simulator;
+// testdata/profiles/ holds their JSON twins (kept in sync by a test) for the
+// file-loading path.
+var builtins = []*Profile{
+	{
+		Name:        "clean",
+		Description: "ideal silicon: no injected faults, no weak subarrays (the Ambit paper's post-manufacturing-test assumption)",
+	},
+	{
+		Name:        "vendorA-85C",
+		Description: "worst measured vendor at 85C: elevated rates, strong many-row width dependence, pattern-sensitive flips, two retired subarrays",
+		Base: Config{
+			TRABitRate:         2e-4,
+			TRARowRate:         1e-3,
+			DCCBitRate:         1e-4,
+			RowVariation:       1.2,
+			WeakColumnFraction: 0.02,
+			Seed:               0xA85,
+		},
+		TempC:            85,
+		RefTempC:         45,
+		TempDoubleEveryC: 20,
+		PatternBias:      0.6,
+		KCurve: []KPoint{
+			{K: 4, Mult: 1},
+			{K: 8, Mult: 1.6},
+			{K: 16, Mult: 2.5},
+			{K: 32, Mult: 4},
+		},
+		Weak: []WeakSubarray{
+			{Bank: 1, Sub: 0, Mult: 6},
+			{Bank: 2, Sub: 1, Mult: 12, Quarantine: true},
+			{Bank: 3, Sub: 1, Quarantine: true},
+		},
+	},
+	{
+		Name:        "vendorB-25C",
+		Description: "median vendor at room temperature: low rates, mild width dependence, no retired subarrays",
+		Base: Config{
+			TRABitRate:         1e-5,
+			TRARowRate:         5e-5,
+			DCCBitRate:         1e-5,
+			RowVariation:       0.8,
+			WeakColumnFraction: 0.01,
+			Seed:               0xB25,
+		},
+		TempC:            25,
+		RefTempC:         25,
+		TempDoubleEveryC: 10,
+		PatternBias:      0.3,
+		KCurve: []KPoint{
+			{K: 4, Mult: 1},
+			{K: 16, Mult: 1.5},
+			{K: 32, Mult: 2.2},
+		},
+	},
+}
+
+// Profiles returns the names of the built-in profiles, sorted.
+func Profiles() []string {
+	names := make([]string, len(builtins))
+	for i, p := range builtins {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName returns a copy of the built-in profile with the given name.
+func ProfileByName(name string) (*Profile, bool) {
+	for _, p := range builtins {
+		if p.Name == name {
+			return p.clone(), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseProfile: the variation-profile parser must never panic, and
+// anything it accepts must be a valid profile a Model can be built from.
+// Malformed curves, non-finite rates, duplicate subarray entries, unknown
+// fields, and trailing garbage must all surface as errors.
+func FuzzParseProfile(f *testing.F) {
+	// Seed with the shipped profile twins plus targeted malformed inputs.
+	twins, err := filepath.Glob(filepath.Join("testdata", "profiles", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range twins {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		``,
+		`{`,
+		`{"name":"x"}`,
+		`{"name":"x","base":{"TRABitRate":1e999}}`,
+		`{"name":"x","base":{"TRABitRate":-1}}`,
+		`{"name":"x","k_curve":[{"k":4,"mult":1},{"k":4,"mult":2}]}`,
+		`{"name":"x","weak":[{"bank":0,"sub":0},{"bank":0,"sub":0}]}`,
+		`{"name":"x","pattern_bias":2}`,
+		`{"name":"x","temp_c":85}`,
+		`{"name":"x","unknown_field":true}`,
+		`{"name":"x"} trailing`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"name":"x","base":{"Seed":"not a number"}}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("ParseProfile returned a profile alongside an error")
+			}
+			return
+		}
+		// Accepted input: the profile must survive its own validation and
+		// build a working model.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseProfile accepted a profile its own Validate rejects: %v", err)
+		}
+		m, err := NewFromProfile(p)
+		if err != nil {
+			t.Fatalf("NewFromProfile rejected a parsed-and-validated profile: %v", err)
+		}
+		m.Prepare(2, 2)
+	})
+}

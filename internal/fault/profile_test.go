@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validProfile returns a profile exercising every optional feature, valid by
+// construction; tests mutate one field at a time.
+func validProfile() Profile {
+	return Profile{
+		Name:             "test",
+		Base:             Config{TRABitRate: 1e-4, TRARowRate: 1e-3, DCCBitRate: 1e-4, RowVariation: 1, WeakColumnFraction: 0.05, Seed: 7},
+		TempC:            60,
+		RefTempC:         40,
+		TempDoubleEveryC: 10,
+		PatternBias:      0.5,
+		KCurve:           []KPoint{{K: 4, Mult: 1}, {K: 16, Mult: 2}},
+		Weak:             []WeakSubarray{{Bank: 0, Sub: 1, Mult: 3}, {Bank: 1, Sub: 0, Quarantine: true}},
+	}
+}
+
+// TestProfileValidateTable drives every rejection branch of
+// Profile.Validate, plus the accepting baseline.
+func TestProfileValidateTable(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantSub string // substring the error must contain; "" = accept
+	}{
+		{"valid", func(p *Profile) {}, ""},
+		{"no name", func(p *Profile) { p.Name = "" }, "no name"},
+		{"bad base rate", func(p *Profile) { p.Base.TRABitRate = 1.5 }, "TRABitRate"},
+		{"nan base rate", func(p *Profile) { p.Base.DCCBitRate = nan }, "DCCBitRate"},
+		{"nan temp", func(p *Profile) { p.TempC = nan }, "temp_c"},
+		{"inf ref temp", func(p *Profile) { p.RefTempC = inf }, "ref_temp_c"},
+		{"nan doubling", func(p *Profile) { p.TempDoubleEveryC = nan }, "temp_double_every_c"},
+		{"negative doubling", func(p *Profile) { p.TempDoubleEveryC = -5 }, "non-negative"},
+		{"temp point without doubling", func(p *Profile) { p.TempDoubleEveryC = 0 }, "temp_double_every_c is 0"},
+		{"nan bias", func(p *Profile) { p.PatternBias = nan }, "pattern_bias"},
+		{"bias above one", func(p *Profile) { p.PatternBias = 1.5 }, "pattern_bias"},
+		{"bias below zero", func(p *Profile) { p.PatternBias = -0.1 }, "pattern_bias"},
+		{"k below range", func(p *Profile) { p.KCurve[0].K = 2 }, "k must be in [3,32]"},
+		{"k above range", func(p *Profile) { p.KCurve[1].K = 33 }, "k must be in [3,32]"},
+		{"k not ascending", func(p *Profile) { p.KCurve[1].K = 4 }, "ascending"},
+		{"zero k mult", func(p *Profile) { p.KCurve[0].Mult = 0 }, "mult must be positive"},
+		{"nan k mult", func(p *Profile) { p.KCurve[0].Mult = nan }, "mult must be positive"},
+		{"inf k mult", func(p *Profile) { p.KCurve[1].Mult = inf }, "mult must be positive"},
+		{"negative weak bank", func(p *Profile) { p.Weak[0].Bank = -1 }, "negative coordinates"},
+		{"negative weak sub", func(p *Profile) { p.Weak[0].Sub = -2 }, "negative coordinates"},
+		{"duplicate weak entry", func(p *Profile) { p.Weak[1] = p.Weak[0] }, "duplicate subarray"},
+		{"negative weak mult", func(p *Profile) { p.Weak[0].Mult = -1 }, "mult must be non-negative"},
+		{"nan weak mult", func(p *Profile) { p.Weak[0].Mult = nan }, "mult must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProfile()
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("valid profile rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid profile accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if _, err := NewFromProfile(&p); err == nil {
+				t.Fatalf("NewFromProfile accepted invalid profile")
+			}
+		})
+	}
+}
+
+// TestConfigValidateTable drives every rejection branch of Config.Validate
+// by name, including the non-finite inputs a JSON profile could smuggle in.
+func TestConfigValidateTable(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantSub string
+	}{
+		{"zero value", Config{}, ""},
+		{"full valid", Config{TRABitRate: 0.1, TRARowRate: 0.01, DCCBitRate: 0.1, RowVariation: 1, WeakColumnFraction: 0.1}, ""},
+		{"tra bit negative", Config{TRABitRate: -1}, "TRABitRate"},
+		{"tra bit above one", Config{TRABitRate: 1.5}, "TRABitRate"},
+		{"tra bit nan", Config{TRABitRate: nan}, "TRABitRate"},
+		{"tra row negative", Config{TRARowRate: -0.1}, "TRARowRate"},
+		{"tra row nan", Config{TRARowRate: nan}, "TRARowRate"},
+		{"dcc above one", Config{DCCBitRate: 2}, "DCCBitRate"},
+		{"dcc nan", Config{DCCBitRate: nan}, "DCCBitRate"},
+		{"row variation negative", Config{RowVariation: -0.5}, "RowVariation"},
+		{"row variation nan", Config{RowVariation: nan}, "RowVariation"},
+		{"row variation inf", Config{RowVariation: inf}, "RowVariation"},
+		{"weak fraction negative", Config{WeakColumnFraction: -0.1}, "WeakColumnFraction"},
+		{"weak fraction one", Config{WeakColumnFraction: 1}, "WeakColumnFraction"},
+		{"weak fraction nan", Config{WeakColumnFraction: nan}, "WeakColumnFraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatalf("New accepted invalid config")
+			}
+		})
+	}
+}
+
+// TestBuiltinProfilesMatchTestdata: the JSON twins under testdata/profiles/
+// must stay byte-for-byte semantically identical to the builtin registry —
+// they are the file-loading path's conformance fixtures.
+func TestBuiltinProfilesMatchTestdata(t *testing.T) {
+	names := Profiles()
+	if len(names) == 0 {
+		t.Fatal("no builtin profiles")
+	}
+	for _, name := range names {
+		builtin, ok := ProfileByName(name)
+		if !ok {
+			t.Fatalf("ProfileByName(%q) lost a listed profile", name)
+		}
+		loaded, err := LoadProfileFile(filepath.Join("testdata", "profiles", name+".json"))
+		if err != nil {
+			t.Fatalf("load twin of %q: %v", name, err)
+		}
+		if !reflect.DeepEqual(builtin, loaded) {
+			t.Errorf("profile %q: builtin and testdata twin diverge:\nbuiltin: %+v\nfile:    %+v", name, builtin, loaded)
+		}
+	}
+}
+
+// TestProfileByNameClones: mutating a returned profile must not corrupt the
+// registry.
+func TestProfileByNameClones(t *testing.T) {
+	p1, _ := ProfileByName("vendorA-85C")
+	p1.KCurve[0].Mult = 99
+	p1.Weak[0].Mult = 99
+	p1.Base.Seed = 99
+	p2, _ := ProfileByName("vendorA-85C")
+	if p2.KCurve[0].Mult == 99 || p2.Weak[0].Mult == 99 || p2.Base.Seed == 99 {
+		t.Fatal("ProfileByName returned an aliased profile; registry corrupted")
+	}
+	if _, ok := ProfileByName("no-such-profile"); ok {
+		t.Fatal("unknown profile reported as found")
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", "{"},
+		{"unknown field", `{"name":"x","bogus":1}`},
+		{"trailing data", `{"name":"x"} {"name":"y"}`},
+		{"wrong type", `{"name":42}`},
+		{"invalid curve", `{"name":"x","k_curve":[{"k":2,"mult":1}]}`},
+		{"duplicate weak", `{"name":"x","weak":[{"bank":0,"sub":0},{"bank":0,"sub":0}]}`},
+		{"infinite mult", `{"name":"x","k_curve":[{"k":4,"mult":1e999}]}`},
+		{"no name", `{}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseProfile([]byte(tc.data)); err == nil {
+				t.Fatalf("ParseProfile accepted %q", tc.data)
+			}
+		})
+	}
+	p, err := ParseProfile([]byte(`{"name":"minimal"}`))
+	if err != nil {
+		t.Fatalf("minimal profile rejected: %v", err)
+	}
+	if p.Name != "minimal" || p.TempScale() != 1 {
+		t.Fatalf("minimal profile parsed wrong: %+v", p)
+	}
+}
+
+func TestTempScale(t *testing.T) {
+	p := Profile{TempC: 85, RefTempC: 45, TempDoubleEveryC: 20}
+	if got := p.TempScale(); got != 4 {
+		t.Fatalf("40C above reference at 20C doubling: scale %g, want 4", got)
+	}
+	p = Profile{TempC: 25, RefTempC: 45, TempDoubleEveryC: 20}
+	if got := p.TempScale(); got != 0.5 {
+		t.Fatalf("20C below reference: scale %g, want 0.5", got)
+	}
+	p = Profile{TempC: 30, RefTempC: 30}
+	if got := p.TempScale(); got != 1 {
+		t.Fatalf("no doubling interval: scale %g, want 1", got)
+	}
+}
+
+func TestMultForAndQuarantined(t *testing.T) {
+	p := Profile{Weak: []WeakSubarray{
+		{Bank: 1, Sub: 0, Mult: 6},
+		{Bank: 2, Sub: 1, Quarantine: true},
+	}}
+	if got := p.MultFor(1, 0); got != 6 {
+		t.Fatalf("listed subarray mult %g, want 6", got)
+	}
+	if got := p.MultFor(2, 1); got != 1 {
+		t.Fatalf("quarantine-only subarray mult %g, want 1", got)
+	}
+	if got := p.MultFor(0, 0); got != 1 {
+		t.Fatalf("unlisted subarray mult %g, want 1", got)
+	}
+	if !p.Quarantined(2, 1) {
+		t.Fatal("quarantined subarray not reported")
+	}
+	if p.Quarantined(1, 0) || p.Quarantined(0, 0) {
+		t.Fatal("non-quarantined subarray reported quarantined")
+	}
+}
+
+// TestKMult: the activation-width curve interpolates piecewise-linearly and
+// clamps at both ends.
+func TestKMult(t *testing.T) {
+	p := validProfile()
+	p.KCurve = []KPoint{{K: 4, Mult: 1}, {K: 16, Mult: 2.5}, {K: 32, Mult: 4}}
+	m, err := NewFromProfile(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 1}, // below the curve: clamp to the first point
+		{3, 1}, // still below
+		{4, 1}, // exactly the first point
+		{10, 1.75},
+		{16, 2.5}, // exactly a middle point
+		{24, 3.25},
+		{32, 4}, // exactly the last point
+		{40, 4}, // above the curve: clamp to the last point
+	}
+	for _, tc := range cases {
+		if got := m.kMult(tc.k); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("kMult(%d) = %g, want %g", tc.k, got, tc.want)
+		}
+	}
+	// No curve at all: every width multiplies by exactly 1.
+	p2 := validProfile()
+	p2.KCurve = nil
+	m2, err := NewFromProfile(&p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 3, 16, 32} {
+		if got := m2.kMult(k); got != 1 {
+			t.Errorf("curve-less kMult(%d) = %g, want 1", k, got)
+		}
+	}
+}

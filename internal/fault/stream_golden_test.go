@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fault-stream fixtures in testdata/faultstreams")
+
+// streamListing draws a fixed event schedule from every (bank, subarray)
+// stream of a 2x2 device and renders each draw as one line.  The schedule
+// interleaves TRA, MAJ-16/MAJ-32, and DCC events with varying row contexts,
+// so the listing pins down the complete per-stream draw sequence: seeding,
+// per-row scaling, temperature and width multipliers, pattern bias, weak
+// columns, and gross-failure draws.
+func streamListing(m *Model) string {
+	const words = 4
+	var sb strings.Builder
+	// A fixed weak-margin mask pattern for the MAJ draws: alternating
+	// nibbles, the shape ActivateMany's minimum-margin detector produces.
+	weak := make([]uint64, words)
+	for i := range weak {
+		weak[i] = 0x0F0F0F0F0F0F0F0F
+	}
+	for bank := 0; bank < 2; bank++ {
+		for sub := 0; sub < 2; sub++ {
+			for i := 0; i < 12; i++ {
+				row := (i * 5) % 13
+				ctx := dram.FaultContext{Bank: bank, Subarray: sub, Row: row}
+				var kind string
+				var mask []uint64
+				switch i % 4 {
+				case 0, 1:
+					kind = "TRA"
+					mask = m.TRAFaultMask(ctx, words)
+				case 2:
+					ctx.K = 16 + 16*(i%2)
+					kind = fmt.Sprintf("MAJ%d", ctx.K)
+					mask = m.MajFaultMask(ctx, words, weak)
+				case 3:
+					kind = "DCC"
+					mask = m.DCCFaultMask(ctx, words)
+				}
+				fmt.Fprintf(&sb, "b%d s%d %-5s row=%-2d", bank, sub, kind, row)
+				if mask == nil {
+					sb.WriteString(" clean\n")
+					continue
+				}
+				for _, w := range mask {
+					fmt.Fprintf(&sb, " %016x", w)
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	c := m.Counters()
+	fmt.Fprintf(&sb, "counters: tra=%d maj=%d dcc=%d gross=%d flipped=%d\n",
+		c.TRAEvents, c.MajEvents, c.DCCEvents, c.GrossRows, c.FlippedBits)
+	return sb.String()
+}
+
+// TestGoldenFaultStreams locks the deterministic per-(bank, subarray) fault
+// streams to golden fixtures: any change to seeding, draw order, or scaling
+// shows up as a fixture diff.  Regenerate with `go test ./internal/fault
+// -run TestGoldenFaultStreams -update` and review the diff.
+func TestGoldenFaultStreams(t *testing.T) {
+	cases := []struct {
+		name  string
+		model func(t *testing.T) *Model
+	}{
+		{
+			// The plain config path: the draw sequence the pre-profile
+			// model produced, which must never drift (WithFaultModel
+			// users rely on seed-stable runs across versions).
+			name: "plain",
+			model: func(t *testing.T) *Model {
+				m, err := New(Config{TRABitRate: 2e-2, TRARowRate: 5e-2, DCCBitRate: 2e-2, RowVariation: 1, WeakColumnFraction: 0.1, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			},
+		},
+		{
+			// The profile path with every scaling feature armed.
+			name: "vendorA-85C",
+			model: func(t *testing.T) *Model {
+				p, ok := ProfileByName("vendorA-85C")
+				if !ok {
+					t.Fatal("builtin vendorA-85C missing")
+				}
+				// Raise the base rates so the 12-event schedule shows
+				// structure (the shipped rates are realistically sparse).
+				p.Base.TRABitRate = 2e-2
+				p.Base.TRARowRate = 5e-2
+				p.Base.DCCBitRate = 2e-2
+				m, err := NewFromProfile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, prepared := range []bool{false, true} {
+				m := tc.model(t)
+				if prepared {
+					m.Prepare(2, 2)
+				}
+				got := streamListing(m)
+				path := filepath.Join("testdata", "faultstreams", tc.name+".golden")
+				if *update && !prepared {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden fixture (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("prepared=%v: fault streams diverge from %s:\n--- got ---\n%s--- want ---\n%s",
+						prepared, path, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamsParallelDrawsMatchSerial: with per-pair serialization (one
+// goroutine per (bank, subarray), as the execution engine guarantees), a
+// prepared model drawn from four goroutines produces exactly the serial
+// masks, independent of scheduling.
+func TestStreamsParallelDrawsMatchSerial(t *testing.T) {
+	cfg := Config{TRABitRate: 1e-2, TRARowRate: 2e-2, DCCBitRate: 1e-2, RowVariation: 1, WeakColumnFraction: 0.1, Seed: 9}
+	const words, events = 4, 200
+
+	serial := make(map[[2]int][][]uint64)
+	ms, _ := New(cfg)
+	ms.Prepare(2, 2)
+	for bank := 0; bank < 2; bank++ {
+		for sub := 0; sub < 2; sub++ {
+			for i := 0; i < events; i++ {
+				ctx := dram.FaultContext{Bank: bank, Subarray: sub, Row: i % 17}
+				serial[[2]int{bank, sub}] = append(serial[[2]int{bank, sub}], ms.TRAFaultMask(ctx, words))
+			}
+		}
+	}
+
+	mp, _ := New(cfg)
+	mp.Prepare(2, 2)
+	type res struct {
+		key   [2]int
+		masks [][]uint64
+	}
+	ch := make(chan res, 4)
+	for bank := 0; bank < 2; bank++ {
+		for sub := 0; sub < 2; sub++ {
+			go func(bank, sub int) {
+				var masks [][]uint64
+				for i := 0; i < events; i++ {
+					ctx := dram.FaultContext{Bank: bank, Subarray: sub, Row: i % 17}
+					masks = append(masks, mp.TRAFaultMask(ctx, words))
+				}
+				ch <- res{[2]int{bank, sub}, masks}
+			}(bank, sub)
+		}
+	}
+	for n := 0; n < 4; n++ {
+		r := <-ch
+		want := serial[r.key]
+		for i := range want {
+			if !maskEqual(r.masks[i], want[i]) {
+				t.Fatalf("stream (%d,%d) draw %d diverges between serial and parallel", r.key[0], r.key[1], i)
+			}
+		}
+	}
+	if ms.Counters() != mp.Counters() {
+		t.Fatalf("counters diverge: serial %+v parallel %+v", ms.Counters(), mp.Counters())
+	}
+}

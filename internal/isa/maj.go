@@ -1,0 +1,119 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// MajOpcode is the opcode byte that marks a bbop_maj instruction in an
+// encoded stream.  Like FuncOpcode it is far outside the controller.Op value
+// range, so plain Decode rejects it and mixed streams demultiplex on the
+// first byte.
+const MajOpcode = 0xF1
+
+// MaxMajInputs bounds a bbop_maj source list: the majority must have an odd
+// input count and the widest 32-row simultaneous activation fits at most 15
+// inputs at 2 replicas each.
+const MaxMajInputs = 15
+
+// MajInstruction is the bbop_maj extension: a multi-input bitwise majority
+// dst = MAJ(srcs...) over size bytes, executed with one many-row
+// simultaneous activation per row (the MAJ-X primitive of the 2024
+// characterization papers).  The source count must be odd so the majority is
+// well defined.
+type MajInstruction struct {
+	Dst  int64
+	Srcs []int64
+	Size int64
+}
+
+// String renders the instruction in the bbop assembly style.
+func (in MajInstruction) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bbop_maj %#x", in.Dst)
+	for _, a := range in.Srcs {
+		fmt.Fprintf(&sb, ", %#x", a)
+	}
+	fmt.Fprintf(&sb, ", %d", in.Size)
+	return sb.String()
+}
+
+// EncodedLen returns the instruction's encoded size in bytes.
+func (in MajInstruction) EncodedLen() int {
+	return 1 + 1 + 8 + 8*len(in.Srcs) + 8
+}
+
+// Validate performs the bounds checks common to both execution paths.
+func (in MajInstruction) Validate(am AddressMap) error {
+	if in.Size <= 0 {
+		return fmt.Errorf("isa: %v: size must be positive", in)
+	}
+	if len(in.Srcs) < 3 || len(in.Srcs)%2 == 0 {
+		return fmt.Errorf("isa: %v: majority needs an odd source count >= 3, got %d", in, len(in.Srcs))
+	}
+	if len(in.Srcs) > MaxMajInputs {
+		return fmt.Errorf("isa: %v: source count exceeds %d", in, MaxMajInputs)
+	}
+	for _, a := range append([]int64{in.Dst}, in.Srcs...) {
+		if a < 0 || a+in.Size > am.Capacity() {
+			return fmt.Errorf("isa: %v: operand [%#x,%#x) outside memory", in, a, a+in.Size)
+		}
+	}
+	return nil
+}
+
+// AmbitEligible implements the Section 5.4.3 microarchitectural check for
+// bbop_maj: offloadable iff every operand is row-aligned and the size is a
+// multiple of the DRAM row size.
+func (in MajInstruction) AmbitEligible(am AddressMap) bool {
+	if in.Size%am.RowSize() != 0 || in.Dst%am.RowSize() != 0 {
+		return false
+	}
+	for _, a := range in.Srcs {
+		if a%am.RowSize() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the instruction: opcode byte, source count (one byte),
+// the destination address, the source addresses, then the size (all 8-byte
+// LE).
+func (in MajInstruction) Encode() []byte {
+	buf := make([]byte, 0, in.EncodedLen())
+	buf = append(buf, MajOpcode, byte(len(in.Srcs)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(in.Dst))
+	for _, a := range in.Srcs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	}
+	return binary.LittleEndian.AppendUint64(buf, uint64(in.Size))
+}
+
+// DecodeMaj deserializes one bbop_maj instruction and returns the number of
+// bytes consumed.
+func DecodeMaj(buf []byte) (MajInstruction, int, error) {
+	if len(buf) < 2 {
+		return MajInstruction{}, 0, fmt.Errorf("isa: short bbop_maj header (%d bytes)", len(buf))
+	}
+	if buf[0] != MajOpcode {
+		return MajInstruction{}, 0, fmt.Errorf("isa: opcode %d is not bbop_maj", buf[0])
+	}
+	nSrc := int(buf[1])
+	if nSrc < 3 || nSrc%2 == 0 || nSrc > MaxMajInputs {
+		return MajInstruction{}, 0, fmt.Errorf("isa: bbop_maj with %d sources (want odd, 3..%d)", nSrc, MaxMajInputs)
+	}
+	need := 2 + 8 + 8*nSrc + 8
+	if len(buf) < need {
+		return MajInstruction{}, 0, fmt.Errorf("isa: short bbop_maj (%d bytes, need %d)", len(buf), need)
+	}
+	in := MajInstruction{Dst: int64(binary.LittleEndian.Uint64(buf[2:]))}
+	off := 10
+	for i := 0; i < nSrc; i++ {
+		in.Srcs = append(in.Srcs, int64(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	in.Size = int64(binary.LittleEndian.Uint64(buf[off:]))
+	return in, need, nil
+}

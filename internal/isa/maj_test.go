@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func majFixture() MajInstruction {
+	return MajInstruction{Dst: 0, Srcs: []int64{0x40, 0x80, 0xC0}, Size: 0x40}
+}
+
+// TestMajEncodeDecodeRoundTrip: Encode then DecodeMaj reproduces the
+// instruction exactly and consumes EncodedLen bytes, for every legal source
+// count.
+func TestMajEncodeDecodeRoundTrip(t *testing.T) {
+	for k := 3; k <= MaxMajInputs; k += 2 {
+		in := MajInstruction{Dst: 0x1000, Size: 0x40}
+		for i := 0; i < k; i++ {
+			in.Srcs = append(in.Srcs, int64(0x40*(i+1)))
+		}
+		buf := in.Encode()
+		if len(buf) != in.EncodedLen() {
+			t.Fatalf("k=%d: Encode produced %d bytes, EncodedLen says %d", k, len(buf), in.EncodedLen())
+		}
+		got, n, err := DecodeMaj(buf)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("k=%d: decoded %d of %d bytes", k, n, len(buf))
+		}
+		if got.Dst != in.Dst || got.Size != in.Size || len(got.Srcs) != k {
+			t.Fatalf("k=%d: round trip %+v != %+v", k, got, in)
+		}
+		for i := range in.Srcs {
+			if got.Srcs[i] != in.Srcs[i] {
+				t.Fatalf("k=%d: source %d round-tripped to %#x, want %#x", k, i, got.Srcs[i], in.Srcs[i])
+			}
+		}
+	}
+}
+
+// TestMajDecodeErrors: header, opcode, source-count, and truncation failures
+// are all rejected.
+func TestMajDecodeErrors(t *testing.T) {
+	good := majFixture().Encode()
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{MajOpcode}},
+		{"wrong opcode", append([]byte{0x00}, good[1:]...)},
+		{"even source count", func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = 4
+			return b
+		}()},
+		{"too few sources", func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = 1
+			return b
+		}()},
+		{"too many sources", func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = MaxMajInputs + 2
+			return b
+		}()},
+		{"truncated body", good[:len(good)-1]},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeMaj(tc.buf); err == nil {
+			t.Errorf("%s: DecodeMaj accepted", tc.name)
+		}
+	}
+	// The plain Instruction decoder must reject the bbop_maj opcode so mixed
+	// streams demultiplex on the first byte.
+	if _, err := Decode(good); err == nil {
+		t.Error("Decode accepted a bbop_maj instruction")
+	}
+}
+
+// TestMajValidate drives every rejection branch of MajInstruction.Validate.
+func TestMajValidate(t *testing.T) {
+	am, err := NewAddressMap(testGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := majFixture().Validate(am); err != nil {
+		t.Fatalf("fixture rejected: %v", err)
+	}
+	cap := am.Capacity()
+	cases := []struct {
+		name   string
+		mutate func(*MajInstruction)
+	}{
+		{"zero size", func(in *MajInstruction) { in.Size = 0 }},
+		{"negative size", func(in *MajInstruction) { in.Size = -64 }},
+		{"even sources", func(in *MajInstruction) { in.Srcs = in.Srcs[:2] }},
+		{"single source", func(in *MajInstruction) { in.Srcs = in.Srcs[:1] }},
+		{"too many sources", func(in *MajInstruction) {
+			in.Srcs = make([]int64, MaxMajInputs+2)
+		}},
+		{"negative dst", func(in *MajInstruction) { in.Dst = -1 }},
+		{"dst past end", func(in *MajInstruction) { in.Dst = cap - 1 }},
+		{"src past end", func(in *MajInstruction) { in.Srcs[2] = cap }},
+	}
+	for _, tc := range cases {
+		in := majFixture()
+		tc.mutate(&in)
+		if err := in.Validate(am); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, in)
+		}
+	}
+}
+
+// TestMajAmbitEligible: offload requires row alignment of every operand and
+// a row-multiple size.
+func TestMajAmbitEligible(t *testing.T) {
+	am, err := NewAddressMap(testGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := am.RowSize()
+	in := MajInstruction{Dst: 0, Srcs: []int64{rs, 2 * rs, 3 * rs}, Size: 2 * rs}
+	if !in.AmbitEligible(am) {
+		t.Fatal("row-aligned bbop_maj not eligible")
+	}
+	for _, mutate := range []func(*MajInstruction){
+		func(in *MajInstruction) { in.Dst = 1 },
+		func(in *MajInstruction) { in.Srcs[1] = rs + 8 },
+		func(in *MajInstruction) { in.Size = rs + 1 },
+	} {
+		j := MajInstruction{Dst: in.Dst, Srcs: append([]int64(nil), in.Srcs...), Size: in.Size}
+		mutate(&j)
+		if j.AmbitEligible(am) {
+			t.Errorf("misaligned bbop_maj %+v reported eligible", j)
+		}
+	}
+}
+
+// TestMajString: the assembly rendering lists dst, every source, and the
+// size.
+func TestMajString(t *testing.T) {
+	got := majFixture().String()
+	for _, part := range []string{"bbop_maj", "0x0", "0x40", "0x80", "0xc0", "64"} {
+		if !strings.Contains(got, part) {
+			t.Errorf("String() = %q, missing %q", got, part)
+		}
+	}
+}

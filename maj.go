@@ -1,0 +1,179 @@
+package ambit
+
+import (
+	"fmt"
+
+	"ambit/internal/dram"
+	"ambit/internal/exec"
+)
+
+// Many-row majority: the MAJ-X primitive of the 2024 simultaneous-activation
+// characterization papers, surfaced as a first-class System operation.  Each
+// row-level train replicates the operands into the reserved per-subarray
+// staging block (controller.PlanMaj's even replication plus a balanced
+// zero/one fill) and raises all staging wordlines in one ACTIVATE, computing
+// a k-input bitwise majority in a single many-row charge-sharing step.
+//
+// Maj runs outside the TMR reliability policy: replicated execute-verify-
+// retry is defined over the Figure-8 binary trains, and the staging block is
+// a single shared scratch region.  Under a fault model, many-row activations
+// draw from the same per-(bank, subarray) streams as TRAs — scaled by the
+// profile's activation-width curve — so faulted Maj runs are deterministic
+// at any worker count, exactly like the binary operations.
+
+// Maj computes dst = MAJ(srcs...) — the bitwise majority of an odd number of
+// source vectors — using many-row simultaneous activation.  It requires
+// Config.MaxMajInputs > 0 (WithManyRowMaj) and accepts 3 to MaxMajInputs
+// sources.  All operands must be co-located row for row (allocated with the
+// same base slot); dst may also be one of the sources, but the sources must
+// be distinct vectors.
+func (s *System) Maj(dst *Bitvector, srcs ...*Bitvector) error {
+	if s.serialOnly() {
+		s.execMu.Lock()
+		defer s.execMu.Unlock()
+		return s.majSerial(dst, srcs)
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.majParallel(dst, srcs)
+}
+
+// checkMajOperands validates operand liveness, arity, distinctness, and
+// row-for-row co-location for one Maj call.  The caller holds execMu (read
+// or exclusive).
+func (s *System) checkMajOperands(dst *Bitvector, srcs []*Bitvector) error {
+	if s.cfg.MaxMajInputs <= 0 {
+		return fmt.Errorf("ambit: Maj: many-row majority is disabled (set Config.MaxMajInputs / WithManyRowMaj)")
+	}
+	k := len(srcs)
+	if k < 3 || k%2 == 0 || k > s.cfg.MaxMajInputs {
+		return fmt.Errorf("ambit: Maj: source count must be odd in [3,%d], got %d", s.cfg.MaxMajInputs, k)
+	}
+	if err := s.checkOperands("Maj", append([]*Bitvector{dst}, srcs...)...); err != nil {
+		return err
+	}
+	for i, a := range srcs {
+		if !dst.sameShape(a) {
+			return fmt.Errorf("ambit: Maj: source %d: %w (operands must be equal-sized and co-located row for row; allocate them with one base slot)", i, ErrShapeMismatch)
+		}
+		for _, b := range srcs[:i] {
+			if a == b {
+				return fmt.Errorf("ambit: Maj: duplicate source vector (a repeated operand would weight the majority; copy it first)")
+			}
+		}
+	}
+	return nil
+}
+
+// majRowAddrs collects the per-row controller arguments for row r.
+func majRowAddrs(dst *Bitvector, srcs []*Bitvector, r int, buf []dram.RowAddr) (da dram.PhysAddr, srcRows []dram.RowAddr) {
+	da = dst.rows[r]
+	srcRows = buf[:0]
+	for _, a := range srcs {
+		srcRows = append(srcRows, a.rows[r].Row)
+	}
+	return da, srcRows
+}
+
+// majSerial is the exclusive-lock path; the caller holds execMu exclusively.
+func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
+	if err := s.checkMajOperands(dst, srcs); err != nil {
+		return err
+	}
+	rows := int64(len(dst.rows)) * int64(len(srcs)+1)
+	observing := s.observing()
+	var devBefore dram.Stats
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
+	start := s.stats.ElapsedNS + s.coherenceNS(rows)
+
+	end := start
+	buf := make([]dram.RowAddr, 0, len(srcs))
+	for r := range dst.rows {
+		da, srcRows := majRowAddrs(dst, srcs, r, buf)
+		lat, err := s.ctrl.ExecuteMaj(da.Bank, da.Subarray, da.Row, srcRows, s.majScratchBase, s.majW)
+		if err != nil {
+			// Partial failure: the completed prefix [0, r) reserved bank
+			// time; the clock advances to its end (see applySerial).
+			s.stats.ElapsedNS = end
+			s.stats.RowOps += int64(r)
+			return fmt.Errorf("ambit: Maj row %d: %w", r, err)
+		}
+		done := s.dev.Bank(da.Bank).Reserve(start, lat)
+		s.utilRecord(da.Bank, done, lat)
+		if done > end {
+			end = done
+		}
+	}
+	s.stats.ElapsedNS = end
+	s.stats.MajOps++
+	s.stats.RowOps += int64(len(dst.rows))
+	if observing {
+		s.observeOp("maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
+	}
+	return nil
+}
+
+// majParallel is the sharded fast path, mirroring applyParallel: rows
+// grouped by bank, per-bank trains on the worker pool, deterministic merge.
+// The caller holds execMu for reading.
+func (s *System) majParallel(dst *Bitvector, srcs []*Bitvector) error {
+	if err := s.checkMajOperands(dst, srcs); err != nil {
+		return err
+	}
+	rows := int64(len(dst.rows)) * int64(len(srcs)+1)
+	observing := s.observing()
+	var devBefore dram.Stats
+	s.statsMu.Lock()
+	if observing {
+		devBefore = s.dev.Stats()
+	}
+	opStart := s.stats.ElapsedNS
+	start := opStart + s.coherenceNS(rows)
+	s.statsMu.Unlock()
+
+	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
+	banks := exec.Banks(groups)
+	s.eng.LockBanks(banks)
+	ss := s.cfg.Tracer.BeginShards(banks)
+	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
+		ss.SetRow(bank, r)
+		da, srcRows := majRowAddrs(dst, srcs, r, make([]dram.RowAddr, 0, len(srcs)))
+		lat, err := s.ctrl.ExecuteMaj(da.Bank, da.Subarray, da.Row, srcRows, s.majScratchBase, s.majW)
+		if err != nil {
+			return 0, err
+		}
+		done := s.dev.Bank(da.Bank).Reserve(start, lat)
+		s.utilRecord(da.Bank, done, lat)
+		return done, nil
+	})
+	ss.MergeAndEmit()
+	s.eng.UnlockBanks(banks)
+
+	end := res.EndNS
+	if end < start {
+		end = start // every row failed; the coherence flush still happened
+	}
+	s.statsMu.Lock()
+	if end > s.stats.ElapsedNS {
+		s.stats.ElapsedNS = end
+	}
+	s.stats.RowOps += int64(res.Completed)
+	if res.Err == nil {
+		s.stats.MajOps++
+	}
+	s.statsMu.Unlock()
+	if res.Err != nil {
+		return fmt.Errorf("ambit: Maj row %d: %w", res.ErrRow, res.Err)
+	}
+	if observing {
+		s.observeOp("maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
+	}
+	return nil
+}
+
+// MajWidth returns the configured many-row activation width (the staging
+// block's wordline count: 16 or 32), or 0 when Maj is disabled.
+func (s *System) MajWidth() int { return s.majW }

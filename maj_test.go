@@ -1,0 +1,225 @@
+package ambit
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ambit/internal/dram"
+)
+
+// majSystem returns a compact system with MAJ-X enabled for up to k inputs.
+func majSystem(t *testing.T, k int) *System {
+	t.Helper()
+	s, err := New(
+		WithDRAM(DRAMConfig{
+			Geometry: dram.Geometry{Banks: 4, SubarraysPerBank: 2, RowsPerSubarray: 64, RowSizeBytes: 128},
+			Timing:   dram.DDR3_1600(),
+		}),
+		WithManyRowMaj(k),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// softMaj is the word-wise majority oracle over an odd operand count.
+func softMaj(inputs [][]uint64) []uint64 {
+	out := make([]uint64, len(inputs[0]))
+	for i := range out {
+		for bit := 0; bit < 64; bit++ {
+			c := 0
+			for _, in := range inputs {
+				if in[i]>>uint(bit)&1 == 1 {
+					c++
+				}
+			}
+			if 2*c > len(inputs) {
+				out[i] |= 1 << uint(bit)
+			}
+		}
+	}
+	return out
+}
+
+// TestMajFunctional: System.Maj computes the exact k-input majority over
+// multi-row vectors at both activation widths, leaves sources intact, and
+// counts one MajOp per call.
+func TestMajFunctional(t *testing.T) {
+	for _, k := range []int{3, 5, 7} {
+		sys := majSystem(t, k)
+		if k <= 7 && sys.MajWidth() != 16 {
+			t.Fatalf("k=%d: MajWidth = %d, want 16", k, sys.MajWidth())
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		bits := int64(6 * sys.RowSizeBits())
+		dst := sys.MustAlloc(bits)
+		srcs := make([]*Bitvector, k)
+		data := make([][]uint64, k)
+		for i := 0; i < k; i++ {
+			srcs[i] = sys.MustAlloc(bits)
+			data[i] = randWords(rng, srcs[i].Words())
+			if err := srcs[i].Write(data[i], Backdoor()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Maj(dst, srcs...); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		got, err := dst.Read(Backdoor())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := softMaj(data)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: word %d = %016x, want %016x", k, i, got[i], want[i])
+			}
+		}
+		for i, s := range srcs {
+			back, err := s.Read(Backdoor())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range back {
+				if back[j] != data[i][j] {
+					t.Fatalf("k=%d: source %d clobbered at word %d", k, i, j)
+				}
+			}
+		}
+		st := sys.Stats()
+		if st.MajOps != 1 {
+			t.Fatalf("k=%d: MajOps = %d, want 1", k, st.MajOps)
+		}
+		if st.RowOps != 6 {
+			t.Fatalf("k=%d: RowOps = %d, want 6", k, st.RowOps)
+		}
+		if !strings.Contains(st.String(), "maj-ops") {
+			t.Fatalf("Stats string %q does not mention maj-ops", st.String())
+		}
+	}
+}
+
+// TestMajWideWidth: a 9-input majority needs the 32-row activation.
+func TestMajWideWidth(t *testing.T) {
+	sys := majSystem(t, 9)
+	if sys.MajWidth() != 32 {
+		t.Fatalf("MajWidth = %d, want 32 for k=9", sys.MajWidth())
+	}
+	rng := rand.New(rand.NewSource(9))
+	bits := int64(2 * sys.RowSizeBits())
+	dst := sys.MustAlloc(bits)
+	srcs := make([]*Bitvector, 9)
+	data := make([][]uint64, 9)
+	for i := range srcs {
+		srcs[i] = sys.MustAlloc(bits)
+		data[i] = randWords(rng, srcs[i].Words())
+		if err := srcs[i].Write(data[i], Backdoor()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Maj(dst, srcs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Read(Backdoor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := softMaj(data)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d = %016x, want %016x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMajAliasing: the destination may be one of the sources.
+func TestMajAliasing(t *testing.T) {
+	sys := majSystem(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	bits := int64(3 * sys.RowSizeBits())
+	a, b, c := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	data := make([][]uint64, 3)
+	for i, v := range []*Bitvector{a, b, c} {
+		data[i] = randWords(rng, v.Words())
+		if err := v.Write(data[i], Backdoor()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Maj(a, a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(Backdoor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := softMaj(data)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased word %d = %016x, want %016x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMajValidation drives every rejection branch of checkMajOperands.
+func TestMajValidation(t *testing.T) {
+	// Disabled by default.
+	plain := smallSystem(t)
+	bits := int64(plain.RowSizeBits())
+	pd, p1, p2, p3 := plain.MustAlloc(bits), plain.MustAlloc(bits), plain.MustAlloc(bits), plain.MustAlloc(bits)
+	if err := plain.Maj(pd, p1, p2, p3); err == nil {
+		t.Fatal("Maj accepted on a system without WithManyRowMaj")
+	}
+
+	sys := majSystem(t, 5)
+	bits = int64(2 * sys.RowSizeBits())
+	d := sys.MustAlloc(bits)
+	a, b, c := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
+	e, f := sys.MustAlloc(bits), sys.MustAlloc(bits)
+	short := sys.MustAlloc(bits / 2) // one row: a different shape
+
+	if err := sys.Maj(d, a, b); err == nil {
+		t.Error("even source count accepted")
+	}
+	if err := sys.Maj(d, a, b, c, e, f, a, b); err == nil {
+		t.Error("source count above MaxMajInputs accepted")
+	}
+	if err := sys.Maj(d, a, b, a); err == nil {
+		t.Error("duplicate source accepted")
+	}
+	if err := sys.Maj(d, a, b, short); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("shape mismatch: err = %v, want ErrShapeMismatch", err)
+	}
+	if err := sys.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Maj(d, a, b, f); !errors.Is(err, ErrFreed) {
+		t.Errorf("freed source: err = %v, want ErrFreed", err)
+	}
+	if st := sys.Stats(); st.MajOps != 0 {
+		t.Fatalf("rejected calls counted: MajOps = %d", st.MajOps)
+	}
+}
+
+// TestMajConfigValidation: even or out-of-range MaxMajInputs is rejected at
+// construction, as is a geometry too small for the staging block.
+func TestMajConfigValidation(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 17, -3} {
+		if _, err := New(WithManyRowMaj(k)); err == nil {
+			t.Errorf("MaxMajInputs = %d accepted", k)
+		}
+	}
+	// 32 data rows: a 32-row staging block leaves nothing to allocate.
+	_, err := New(
+		WithDRAM(DRAMConfig{
+			Geometry: dram.Geometry{Banks: 2, SubarraysPerBank: 2, RowsPerSubarray: 50, RowSizeBytes: 64},
+			Timing:   dram.DDR3_1600(),
+		}),
+		WithManyRowMaj(9),
+	)
+	if err == nil {
+		t.Error("geometry with no data rows left after MAJ staging accepted")
+	}
+}

@@ -78,9 +78,10 @@ func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
 	return s.applyParallel(op, dst, a, b)
 }
 
-// applySerial is the exclusive-lock path: used under fault injection (RNG
-// draw order) and the forceSerial test hook.  The caller holds execMu
-// exclusively.
+// applySerial is the exclusive-lock path: the forceSerial test hook and the
+// determinism baseline the differential tests compare the parallel path
+// against (fault models included — per-(bank, subarray) RNG streams make the
+// two paths draw identically).  The caller holds execMu exclusively.
 func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
 		return err

@@ -46,6 +46,24 @@ func WithFaultModel(fc FaultConfig) Option {
 	return func(c *Config) { c.Fault = fc }
 }
 
+// WithFaultProfile installs a chip-to-chip variation profile: a named base
+// fault configuration plus temperature scaling, data-pattern bias, an
+// activation-width (MAJ-X) failure curve, and per-subarray weak/quarantine
+// entries.  Get one from FaultProfileByName ("clean", "vendorA-85C", ...) or
+// LoadFaultProfile.  Mutually exclusive with WithFaultModel; subarrays the
+// profile quarantines are excluded from allocation placement.
+func WithFaultProfile(p *FaultProfile) Option {
+	return func(c *Config) { c.FaultProfile = p }
+}
+
+// WithManyRowMaj enables many-row simultaneous-activation majority
+// (System.Maj) with up to maxInputs operands (odd, 3..15).  A per-subarray
+// staging block of 16 rows (32 when maxInputs > 7) is reserved at the top of
+// the D group and withheld from allocation.  0 disables Maj.
+func WithManyRowMaj(maxInputs int) Option {
+	return func(c *Config) { c.MaxMajInputs = maxInputs }
+}
+
 // WithReliability sets the controller's execute-verify-retry policy:
 // TMR-replicated execution with per-row verification, bounded retry of
 // detected-uncorrectable rows, and corrected write-back.

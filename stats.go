@@ -35,6 +35,9 @@ type Stats struct {
 	// FuncOps counts completed compiled-function executions (Func.Run,
 	// Func.RunMulti, and Batch.Call), each covering all its rows.
 	FuncOps int64
+	// MajOps counts completed many-row majority operations (System.Maj),
+	// each covering all its rows.
+	MajOps int64
 	// Copies counts RowClone row copies and initializations.
 	Copies int64
 	// BankBusyNS[i] is the total simulated time bank i spent occupied by
@@ -70,6 +73,11 @@ type Stats struct {
 	// graceful degradation (snapshot of live state, not a running total;
 	// unaffected by ResetStats).
 	QuarantinedRows int64
+	// FaultProfile is the name of the active chip-to-chip variation
+	// profile (Config.FaultProfile), empty without one.  Constant over the
+	// System's lifetime; carried in the snapshot so sweep reports can
+	// label results.
+	FaultProfile string
 }
 
 // TotalBulkOps sums BulkOps.
@@ -107,6 +115,12 @@ func (st Stats) String() string {
 	if st.FuncOps > 0 {
 		s += fmt.Sprintf(", %d func-ops", st.FuncOps)
 	}
+	if st.MajOps > 0 {
+		s += fmt.Sprintf(", %d maj-ops", st.MajOps)
+	}
+	if st.FaultProfile != "" {
+		s += fmt.Sprintf(", profile %s", st.FaultProfile)
+	}
 	if len(st.BankBusyNS) > 0 && st.ElapsedNS > 0 {
 		s += fmt.Sprintf(", %.0f%% mean bank utilization", st.MeanBankUtilization()*100)
 	}
@@ -128,8 +142,11 @@ func (s *System) Stats() Stats {
 	st.BankBusyNS = s.dev.BankBusyNS()
 	if s.fm != nil {
 		fc := s.fm.Counters()
-		st.InjectedFaults = fc.TRAEvents + fc.DCCEvents
+		st.InjectedFaults = fc.TRAEvents + fc.MajEvents + fc.DCCEvents
 		st.InjectedFaultBits = fc.FlippedBits
+	}
+	if p := s.cfg.FaultProfile; p != nil {
+		st.FaultProfile = p.Name
 	}
 	st.QuarantinedRows = int64(len(s.quarantined))
 	return st
