@@ -905,6 +905,7 @@ func (s *System) Free(v *Bitvector) error {
 	}
 	v.rows = nil
 	v.bits = 0
+	v.views = nil // the rows may be reallocated; stale views must not alias them
 	return nil
 }
 

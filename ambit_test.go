@@ -118,7 +118,7 @@ func TestLoadPeekRoundTrip(t *testing.T) {
 	s := smallSystem(t)
 	rng := rand.New(rand.NewSource(1))
 	v := s.MustAlloc(int64(s.RowSizeBits() * 3))
-	data := randWords(rng, v.Words())
+	data := randWords(rng, v.WordCount())
 	if err := v.Write(data, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestLoadPeekRoundTrip(t *testing.T) {
 			t.Fatalf("tail word %d = %#x, want 0", i, got[i])
 		}
 	}
-	if err := v.Write(make([]uint64, v.Words()+1), Backdoor()); err == nil {
+	if err := v.Write(make([]uint64, v.WordCount()+1), Backdoor()); err == nil {
 		t.Error("oversized Load accepted")
 	}
 }
@@ -150,7 +150,7 @@ func TestWriteReadChargesChannel(t *testing.T) {
 	s := smallSystem(t)
 	rng := rand.New(rand.NewSource(2))
 	v := s.MustAlloc(int64(s.RowSizeBits()))
-	data := randWords(rng, v.Words())
+	data := randWords(rng, v.WordCount())
 	if err := v.Write(data); err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestWriteReadChargesChannel(t *testing.T) {
 			t.Fatalf("word %d mismatch", i)
 		}
 	}
-	if err := v.Write(make([]uint64, v.Words()+1)); err == nil {
+	if err := v.Write(make([]uint64, v.WordCount()+1)); err == nil {
 		t.Error("oversized Write accepted")
 	}
 }
@@ -192,7 +192,7 @@ func TestAllBulkOpsFunctional(t *testing.T) {
 			rng := rand.New(rand.NewSource(3))
 			bits := int64(s.RowSizeBits() * 6) // multiple rows, crosses all banks
 			a, b, d := s.MustAlloc(bits), s.MustAlloc(bits), s.MustAlloc(bits)
-			da, db := randWords(rng, a.Words()), randWords(rng, b.Words())
+			da, db := randWords(rng, a.WordCount()), randWords(rng, b.WordCount())
 			if err := a.Write(da, Backdoor()); err != nil {
 				t.Fatal(err)
 			}
@@ -225,7 +225,7 @@ func TestOpAliasingDestination(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	bits := int64(s.RowSizeBits())
 	a, b := s.MustAlloc(bits), s.MustAlloc(bits)
-	da, db := randWords(rng, a.Words()), randWords(rng, b.Words())
+	da, db := randWords(rng, a.WordCount()), randWords(rng, b.WordCount())
 	if err := a.Write(da, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestOpsProperty(t *testing.T) {
 		bits := int64(s.RowSizeBits())
 		a, b, d := s.MustAlloc(bits), s.MustAlloc(bits), s.MustAlloc(bits)
 		fill := func(v *Bitvector, val uint64) bool {
-			w := make([]uint64, v.Words())
+			w := make([]uint64, v.WordCount())
 			for i := range w {
 				w[i] = val
 			}
@@ -302,7 +302,7 @@ func TestCopyAndFill(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	bits := int64(s.RowSizeBits() * 3)
 	a, b := s.MustAlloc(bits), s.MustAlloc(bits)
-	data := randWords(rng, a.Words())
+	data := randWords(rng, a.WordCount())
 	if err := a.Write(data, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestCopyAndFill(t *testing.T) {
 func TestPopcount(t *testing.T) {
 	s := smallSystem(t)
 	v := s.MustAlloc(int64(s.RowSizeBits()))
-	w := make([]uint64, v.Words())
+	w := make([]uint64, v.WordCount())
 	w[0] = 0b1011
 	w[3] = ^uint64(0)
 	if err := v.Write(w, Backdoor()); err != nil {

@@ -298,9 +298,14 @@ func (b *Batch) Popcount(v *Bitvector) (*PopcountResult, error) {
 // Run executes the recorded program.
 //
 // The run has two phases.  The functional phase executes every operation's
-// command trains against the simulated device, fanning independent
-// operations out across a worker pool (one lock per bank keeps trains on a
-// bank atomic).  The timing phase then replays the program in deterministic
+// command trains against the simulated device.  When the batch is untraced,
+// fault-free, and non-ECC, the whole program collapses into one fused
+// word-parallel pass per bank (executeFused): the program is flattened into
+// row-level items, each bank's items run on one goroutine in recording order,
+// and consecutive same-opcode bulk items evaluate in a single word-parallel
+// kernel sweep.  Otherwise independent operations fan out across a worker
+// pool (one lock per bank keeps trains on a bank atomic).  Both routes are
+// bit- and Stats-identical.  The timing phase then replays the program in deterministic
 // order against the per-bank timelines: an operation starts when its
 // dependencies finish, and each of its row trains occupies its bank from the
 // bank's own earliest free moment — so independent operations on disjoint
@@ -393,12 +398,18 @@ func (b *Batch) programOps() []program.Op {
 	return ops
 }
 
-// execute runs the functional phase: a dataflow dispatch over the dependency
-// graph with at most b.Workers concurrent executors.  Each op records its
-// per-row command-train latencies for the timing phase.  Bank atomicity comes
-// from the shared execution engine's per-bank shards — the same locks the
+// execute runs the functional phase.  Untraced, fault-free, non-ECC batches
+// take the fused whole-program path (executeFused): the entire program
+// collapses into one word-parallel pass per bank, instead of one dispatch per
+// operation.  Otherwise this is a dataflow dispatch over the dependency graph
+// with at most b.Workers concurrent executors.  Each op records its per-row
+// command-train latencies for the timing phase.  Bank atomicity comes from
+// the shared execution engine's per-bank shards — the same locks the
 // direct-op parallel path uses.
 func (b *Batch) execute(g *program.Graph) error {
+	if b.fusedEligible() {
+		return b.executeFused()
+	}
 	if b.sys.fm != nil {
 		// An armed fault model keys its RNG streams per (bank, subarray)
 		// and needs a deterministic train order within each pair.  Direct
@@ -466,6 +477,287 @@ func (b *Batch) execute(g *program.Graph) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// batchItem is one row-level unit of the flattened fused program: op indexes
+// the recorded operation, row the row within it.  The flat item list is built
+// in recording order, so an item's index is its recording-order position —
+// the deterministic tiebreaker for error merging.
+type batchItem struct {
+	op, row int32
+}
+
+// rowBufPool recycles full-row word buffers for the fused batch path's
+// popcount streams — the per-(bank, worker) arena that keeps the steady-state
+// data plane allocation-free.
+var rowBufPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// fusedEligible reports whether the whole program can run as one fused
+// per-bank pass.  Tracing needs per-command events, ECC needs the
+// execute-verify-retry wrapper, and an armed fault model needs the stepwise
+// per-train RNG draws — all of which the fused evaluation elides — so any of
+// them forces the general dataflow path.  Cross-bank copy rows (PSM copies
+// through the channel) touch two banks per train and would break the
+// one-goroutine-per-bank execution invariant, so they disqualify too.
+func (b *Batch) fusedEligible() bool {
+	s := b.sys
+	if s.cfg.Tracer.Enabled() || s.fm != nil || s.cfg.Reliability.ECC {
+		return false
+	}
+	for _, op := range b.ops {
+		if op.kind != batchCopy {
+			continue
+		}
+		for r := range op.dst.rows {
+			if op.a.rows[r].Bank != op.dst.rows[r].Bank {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// executeFused is the batch-level fused functional phase.  The recorded
+// program is flattened into row-level items and partitioned by bank; each
+// bank's slice executes on one goroutine in recording order, which preserves
+// every data dependency: cooperating operands are co-located row-for-row by
+// the allocator (and copy rows are bank-local per fusedEligible), so any two
+// items that touch the same DRAM row land in the same bank's stream, already
+// ordered.  Within a stream, consecutive bulk items with the same opcode
+// coalesce into a single word-parallel fused evaluation — the whole program
+// becomes a handful of fused passes per bank instead of one dispatch per op.
+// Per-row latencies land in rowLats exactly as the stepwise phase records
+// them, so the timing phase (schedule) and all Stats are unchanged.
+func (b *Batch) executeFused() error {
+	s := b.sys
+	n := 0
+	for _, op := range b.ops {
+		rows := op.rows()
+		if op.kind != batchPopcount {
+			op.rowLats = make([]float64, rows)
+		}
+		n += rows
+	}
+	items := make([]batchItem, 0, n)
+	addrs := make([]dram.PhysAddr, 0, n)
+	for i, op := range b.ops {
+		switch op.kind {
+		case batchPopcount:
+			for r, a := range op.a.rows {
+				items = append(items, batchItem{int32(i), int32(r)})
+				addrs = append(addrs, a)
+			}
+		case batchFunc:
+			for r, a := range op.dsts[0].rows {
+				items = append(items, batchItem{int32(i), int32(r)})
+				addrs = append(addrs, a)
+			}
+		default:
+			for r, a := range op.dst.rows {
+				items = append(items, batchItem{int32(i), int32(r)})
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	plan := s.eng.PlanAddrs(addrs)
+	defer plan.Release()
+	groups := plan.Groups()
+	if len(groups) == 0 {
+		return nil
+	}
+	// Run holds execMu exclusively and each bank's stream runs on exactly one
+	// goroutine, so no shard locks are needed.  Workers caps host
+	// concurrency; errors merge lowest-item-first so the reported failure is
+	// deterministic regardless of interleaving.
+	workers := b.Workers
+	if workers <= 0 {
+		workers = s.eng.Workers()
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	errItems := make([]int, len(groups))
+	errs := make([]error, len(groups))
+	runGroup := func(gi int) {
+		errItems[gi], errs[gi] = b.runFusedGroup(groups[gi].Rows, items)
+	}
+	if workers <= 1 {
+		for gi := range groups {
+			runGroup(gi)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		drain := func() {
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				runGroup(gi)
+			}
+		}
+		wg.Add(workers - 1)
+		for k := 0; k < workers-1; k++ {
+			go func() {
+				defer wg.Done()
+				drain()
+			}()
+		}
+		drain()
+		wg.Wait()
+	}
+	var firstErr error
+	firstItem := -1
+	for gi, err := range errs {
+		if err != nil && (firstErr == nil || errItems[gi] < firstItem) {
+			firstErr, firstItem = err, errItems[gi]
+		}
+	}
+	return firstErr
+}
+
+// runFusedGroup executes one bank's slice of the flattened program in
+// recording order.  idx holds indices into items (ascending, i.e. recording
+// order).  On failure it returns the failing item's global index and its
+// error (formatted exactly as the stepwise phase formats it); on success
+// (-1, nil).
+func (b *Batch) runFusedGroup(idx []int, items []batchItem) (int, error) {
+	s := b.sys
+	var rowBuf *[]uint64 // lazily claimed popcount arena
+	defer func() {
+		if rowBuf != nil {
+			rowBufPool.Put(rowBuf)
+		}
+	}()
+	k := 0
+	for k < len(idx) {
+		it := items[idx[k]]
+		op := b.ops[it.op]
+		switch op.kind {
+		case batchBulk:
+			// Coalesce the maximal run of consecutive bulk items with the
+			// same opcode into one fused evaluation.
+			j := k + 1
+			for j < len(idx) {
+				nx := b.ops[items[idx[j]].op]
+				if nx.kind != batchBulk || nx.op != op.op {
+					break
+				}
+				j++
+			}
+			if item, err := b.runFusedBulkRun(idx[k:j], items); err != nil {
+				return item, err
+			}
+			k = j
+		case batchCopy:
+			_, lat, err := s.rc.Copy(op.a.rows[it.row], op.dst.rows[it.row])
+			if err != nil {
+				return idx[k], fmt.Errorf("ambit: batch Copy row %d: %w", it.row, err)
+			}
+			op.rowLats[it.row] = lat
+			k++
+		case batchFill:
+			addr := op.dst.rows[it.row]
+			var lat float64
+			var err error
+			if op.fillBit {
+				lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
+			} else {
+				lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
+			}
+			if err != nil {
+				return idx[k], fmt.Errorf("ambit: batch Fill row %d: %w", it.row, err)
+			}
+			op.rowLats[it.row] = lat
+			k++
+		case batchFunc:
+			bp := rowAddrPool.Get().(*[]dram.RowAddr)
+			buf := *bp
+			nOps := op.fn.c.NumInputs + op.fn.c.NumOutputs
+			if cap(buf) < nOps {
+				buf = make([]dram.RowAddr, nOps)
+			}
+			buf = buf[:nOps]
+			da := fillFuncRow(op.fn, op.dsts, op.srcs, int(it.row), buf)
+			lat, err := s.ctrl.ExecuteTrain(op.fn.c.Train, da.Bank, da.Subarray, buf)
+			*bp = buf[:0]
+			rowAddrPool.Put(bp)
+			if err != nil {
+				return idx[k], fmt.Errorf("ambit: batch func %s row %d: %w", op.fn.name, it.row, err)
+			}
+			op.rowLats[it.row] = lat
+			k++
+		case batchPopcount:
+			if rowBuf == nil {
+				rowBuf = rowBufPool.Get().(*[]uint64)
+				if wpr := s.dev.Geometry().WordsPerRow(); cap(*rowBuf) < wpr {
+					*rowBuf = make([]uint64, wpr)
+				}
+				*rowBuf = (*rowBuf)[:s.dev.Geometry().WordsPerRow()]
+			}
+			addr := op.a.rows[it.row]
+			if err := s.dev.ReadRowInto(addr, *rowBuf); err != nil {
+				return idx[k], fmt.Errorf("ambit: batch Popcount row %d: %w", it.row, err)
+			}
+			var pc int64
+			for _, w := range *rowBuf {
+				pc += int64(bits.OnesCount64(w))
+			}
+			atomic.AddInt64(&op.result.n, pc)
+			k++
+		}
+	}
+	return -1, nil
+}
+
+// runFusedBulkRun executes a run of same-opcode bulk items — one fused
+// word-parallel pass over all of their trains, with the stepwise per-row
+// controller call as the exact-semantics fallback when the fused dispatch
+// rejects the run (raised amplifiers, an armed per-subarray injector).
+func (b *Batch) runFusedBulkRun(idx []int, items []batchItem) (int, error) {
+	s := b.sys
+	op0 := b.ops[items[idx[0]].op].op
+	unary := op0.Unary()
+	tp := trainPool.Get().(*[]controller.RowTrain)
+	trains := (*tp)[:0]
+	bank := -1
+	for _, ii := range idx {
+		it := items[ii]
+		op := b.ops[it.op]
+		da := op.dst.rows[it.row]
+		bank = da.Bank
+		t := controller.RowTrain{Sub: da.Subarray, DK: da.Row, DI: op.a.rows[it.row].Row}
+		if !unary {
+			t.DJ = op.b.rows[it.row].Row
+		}
+		trains = append(trains, t)
+	}
+	lat, ok := s.ctrl.ExecuteOpRowsFused(op0, bank, trains)
+	*tp = trains[:0]
+	trainPool.Put(tp)
+	if ok {
+		for _, ii := range idx {
+			it := items[ii]
+			b.ops[it.op].rowLats[it.row] = lat
+		}
+		return -1, nil
+	}
+	for _, ii := range idx {
+		it := items[ii]
+		op := b.ops[it.op]
+		da, aa := op.dst.rows[it.row], op.a.rows[it.row]
+		var ba dram.RowAddr
+		if !unary {
+			ba = op.b.rows[it.row].Row
+		}
+		lat, err := s.ctrl.ExecuteOp(op.op, da.Bank, da.Subarray, da.Row, aa.Row, ba)
+		if err != nil {
+			return ii, fmt.Errorf("ambit: batch %v row %d: %w", op.op, it.row, err)
+		}
+		op.rowLats[it.row] = lat
+	}
+	return -1, nil
 }
 
 // execOp functionally executes op i, holding the relevant bank shard for each

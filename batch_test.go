@@ -12,7 +12,7 @@ func rowBits(s *System) int64 { return int64(s.RowSizeBits()) }
 // loadRand fills v with deterministic pseudo-random words.
 func loadRand(t *testing.T, rng *rand.Rand, v *Bitvector) []uint64 {
 	t.Helper()
-	w := randWords(rng, v.Words())
+	w := randWords(rng, v.WordCount())
 	if err := v.Write(w, Backdoor()); err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 	}
 	sv, bv := mk(seq), mk(bat)
 	for _, pair := range [][2]*Bitvector{{sv.a, bv.a}, {sv.b, bv.b}, {sv.c, bv.c}} {
-		w := randWords(rng, pair[0].Words())
+		w := randWords(rng, pair[0].WordCount())
 		for _, v := range pair {
 			if err := v.Write(w, Backdoor()); err != nil {
 				t.Fatal(err)
@@ -152,8 +152,8 @@ func TestBatchCopyFillPopcount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if op != int64(ones.Words())*64 {
-		t.Fatalf("Fill(true) popcount = %d, want %d", op, int64(ones.Words())*64)
+	if op != int64(ones.WordCount())*64 {
+		t.Fatalf("Fill(true) popcount = %d, want %d", op, int64(ones.WordCount())*64)
 	}
 }
 
@@ -184,8 +184,8 @@ func TestBatchOverlapReducesMakespan(t *testing.T) {
 	}
 	sg, bg := alloc(seq), alloc(bat)
 	for i := range sg {
-		wa := randWords(rng, sg[i].a.Words())
-		wb := randWords(rng, sg[i].b.Words())
+		wa := randWords(rng, sg[i].a.WordCount())
+		wb := randWords(rng, sg[i].b.WordCount())
 		for _, p := range []struct {
 			v *Bitvector
 			w []uint64

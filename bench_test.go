@@ -283,7 +283,7 @@ func BenchmarkFunctionalBulkOps(b *testing.B) {
 			y := sys.MustAlloc(bits)
 			d := sys.MustAlloc(bits)
 			rng := rand.New(rand.NewSource(1))
-			w := make([]uint64, x.Words())
+			w := make([]uint64, x.WordCount())
 			for i := range w {
 				w[i] = rng.Uint64()
 			}
@@ -322,7 +322,7 @@ func BenchmarkDirectOps(b *testing.B) {
 				bits := int64(rows) * int64(sys.RowSizeBits())
 				x, y, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 				rng := rand.New(rand.NewSource(1))
-				w := make([]uint64, x.Words())
+				w := make([]uint64, x.WordCount())
 				for i := range w {
 					w[i] = rng.Uint64()
 				}
@@ -565,7 +565,7 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 				}
 				gs[i][j] = v
 			}
-			w := make([]uint64, gs[i][0].Words())
+			w := make([]uint64, gs[i][0].WordCount())
 			for k := range w {
 				w[k] = rng.Uint64()
 			}

@@ -22,6 +22,11 @@ type Bitvector struct {
 	// quota is the row budget the vector was allocated under (nil for
 	// unmetered vectors); Free credits the rows back to it.
 	quota *Quota
+
+	// views caches the per-row storage slices handed out by Words, built
+	// on first use and cleared by Free (the rows return to the allocator;
+	// a stale view would alias another vector's data).
+	views [][]uint64
 }
 
 // checkLive verifies the vector has not been freed; failures wrap ErrFreed
@@ -57,16 +62,155 @@ func (v *Bitvector) Row(r int) dram.PhysAddr {
 // wordsPerRow returns 64-bit words per backing row.
 func (v *Bitvector) wordsPerRow() int { return v.sys.dev.Geometry().WordsPerRow() }
 
-// Words returns the number of 64-bit words the vector's rows hold (its
+// WordCount returns the number of 64-bit words the vector's rows hold (its
 // padded capacity; Len()/64 rounded up to whole rows).
-func (v *Bitvector) Words() int {
+func (v *Bitvector) WordCount() int {
 	v.sys.execMu.Lock()
 	defer v.sys.execMu.Unlock()
 	return v.words()
 }
 
-// words is Words without locking; the caller holds v.sys.execMu.
+// words is WordCount without locking; the caller holds v.sys.execMu.
 func (v *Bitvector) words() int { return len(v.rows) * v.wordsPerRow() }
+
+// Words returns zero-copy views of the vector's backing rows: one slice of
+// WordsPerRow 64-bit words per DRAM row, in row order, aliasing the
+// simulated cell storage directly.  Reading or writing the slices is host
+// access to the rows without staging copies — the data plane of the serving
+// layer and ambitbench's host I/O path.
+//
+// Cost model (the coherence contract): by default the call charges one full
+// transfer of the vector's rows over the DRAM channel, with the same command
+// census as Read — acquiring a host-visible image of DRAM contents is not
+// free — plus the Section 5.4.4 coherence accounting for the vector's rows.
+// Subsequent access through the views models cached host access and costs
+// nothing until the views are refreshed (call Words again) or the data is
+// pushed back (SetWords / Write).  With Backdoor the views are handed out
+// cost-free.  Either way, host writes through a view are NOT automatically
+// visible to Ambit operations at zero cost in the model: every bulk
+// operation already charges coherence flushes for its operand rows, which is
+// exactly the flush such dirty host lines need.
+//
+// The views stay valid until the vector is freed; Free invalidates them (the
+// rows return to the allocator).  Views alias live simulation state: using
+// them concurrently with operations on the same vector is a data race, just
+// as with any shared memory.
+func (v *Bitvector) Words(opts ...IOOption) ([][]uint64, error) {
+	io := applyIO(opts)
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
+	if err := v.checkLive("Words"); err != nil {
+		return nil, err
+	}
+	if err := v.materializeViews(); err != nil {
+		return nil, err
+	}
+	if !io.backdoor {
+		v.chargeViewTransfer(false)
+	}
+	return v.views, nil
+}
+
+// ViewWords invokes fn with the vector's zero-copy row views (see Words)
+// while holding the System's execution lock, so the access is serialized
+// against every operation on the System — the safe form of view access for
+// concurrent callers such as the serving layer's data plane, which would
+// otherwise race with operations mutating the same rows.  The views must not
+// be retained after fn returns.  Costs are charged exactly as Words: one full
+// view transfer on the costed path, nothing with Backdoor.  fn's error is
+// returned unchanged.
+func (v *Bitvector) ViewWords(fn func(views [][]uint64) error, opts ...IOOption) error {
+	io := applyIO(opts)
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
+	if err := v.checkLive("ViewWords"); err != nil {
+		return err
+	}
+	if err := v.materializeViews(); err != nil {
+		return err
+	}
+	if !io.backdoor {
+		v.chargeViewTransfer(false)
+	}
+	return fn(v.views)
+}
+
+// SetWords installs words into the vector's backing rows from offset 0
+// without staging copies or zero-filling (use Write for install-with-
+// zero-fill semantics), returning how many words were stored:
+// min(len(words), WordCount).  By default the touched rows are charged as
+// one channel transfer with Write's command census plus coherence
+// accounting; with Backdoor the install is cost-free.
+func (v *Bitvector) SetWords(words []uint64, opts ...IOOption) (int, error) {
+	io := applyIO(opts)
+	v.sys.execMu.Lock()
+	defer v.sys.execMu.Unlock()
+	if err := v.checkLive("SetWords"); err != nil {
+		return 0, err
+	}
+	if err := v.materializeViews(); err != nil {
+		return 0, err
+	}
+	if len(words) > v.words() {
+		words = words[:v.words()]
+	}
+	n := len(words)
+	for _, row := range v.views {
+		if len(words) == 0 {
+			break
+		}
+		c := copy(row, words)
+		words = words[c:]
+	}
+	if !io.backdoor && n > 0 {
+		v.chargeViewTransferRows(true, (n+v.wordsPerRow()-1)/v.wordsPerRow())
+	}
+	return n, nil
+}
+
+// materializeViews builds the per-row storage views on first use; the caller
+// holds v.sys.execMu and has checked liveness.
+func (v *Bitvector) materializeViews() error {
+	if v.views != nil {
+		return nil
+	}
+	views := make([][]uint64, len(v.rows))
+	for r, addr := range v.rows {
+		row, err := v.sys.dev.RowData(addr)
+		if err != nil {
+			return fmt.Errorf("ambit: Words: row %d: %w", r, err)
+		}
+		views[r] = row
+	}
+	v.views = views
+	return nil
+}
+
+// chargeViewTransfer charges the costed Words/SetWords path for all rows.
+func (v *Bitvector) chargeViewTransfer(write bool) {
+	v.chargeViewTransferRows(write, len(v.rows))
+}
+
+// chargeViewTransferRows commits the command census of moving `rows` full
+// rows between host and DRAM (one single-wordline ACTIVATE, a full row of
+// column accesses, and a PRECHARGE per row — Read/Write's census), charges
+// the channel time, and accounts the coherence flush for those rows.  The
+// caller holds execMu exclusively.
+func (v *Bitvector) chargeViewTransferRows(write bool, rows int) {
+	s := v.sys
+	g := s.dev.Geometry()
+	var st dram.Stats
+	st.Activates[0] = int64(rows)
+	st.Precharges = int64(rows)
+	if write {
+		st.ColumnWrites = int64(rows) * int64(g.WordsPerRow())
+	} else {
+		st.ColumnReads = int64(rows) * int64(g.WordsPerRow())
+	}
+	s.dev.CommitStats(st)
+	s.stats.ElapsedNS += s.coherenceNS(int64(rows))
+	s.chargeChannel(int64(rows) * int64(g.RowSizeBytes))
+}
 
 // IOOption configures one host I/O transfer (Read, ReadInto, Write,
 // WriteAt).  The zero configuration is the costed path: data moves over the
@@ -114,16 +258,35 @@ func (v *Bitvector) Write(words []uint64, opts ...IOOption) error {
 		writeRow = v.sys.dev.PokeRow
 	}
 	wpr := v.wordsPerRow()
-	buf := v.sys.rowScratch()
+	var zero []uint64 // scratch, zeroed lazily for the all-zero tail rows
 	for r, addr := range v.rows {
-		for i := range buf {
-			buf[i] = 0
-		}
 		lo := r * wpr
-		for i := 0; i < wpr && lo+i < len(words); i++ {
-			buf[i] = words[lo+i]
+		var src []uint64
+		switch {
+		case lo+wpr <= len(words):
+			// Fully covered: write straight from the caller's slice.
+			src = words[lo : lo+wpr]
+		case lo < len(words):
+			// Partially covered boundary row: stage through scratch with
+			// the tail zero-filled.
+			buf := v.sys.rowScratch()
+			n := copy(buf, words[lo:])
+			for i := n; i < len(buf); i++ {
+				buf[i] = 0
+			}
+			src = buf
+		default:
+			// Unset tail row: all zeros (the boundary row, if any, was
+			// already written, so re-zeroing the scratch is safe).
+			if zero == nil {
+				zero = v.sys.rowScratch()
+				for i := range zero {
+					zero[i] = 0
+				}
+			}
+			src = zero
 		}
-		if err := writeRow(addr, buf); err != nil {
+		if err := writeRow(addr, src); err != nil {
 			return err
 		}
 	}

@@ -3,9 +3,14 @@ package main
 // Machine-readable benchmarking: `ambitbench -json out.json` measures the
 // host-side cost of the functional simulation executing direct bulk
 // operations through the public API, across operation types and row counts
-// (rows spread across banks by the allocator), and writes a JSON report.
-// `ambitbench -compare old.json new.json` diffs two such reports — the
-// benchstat-style step CI runs on the committed BENCH_*.json trajectory.
+// (rows spread across banks by the allocator), plus a host-I/O grid covering
+// the staged (ReadInto/Write) and zero-copy (ViewWords/SetWords) data paths,
+// and writes a JSON report.  `-maxprocs 1,4` repeats the grid once per
+// GOMAXPROCS setting, tagging each result, and `-cpuprofile out.pprof`
+// captures a CPU profile of the whole run.  `ambitbench -compare old.json
+// new.json` diffs two such reports — the benchstat-style step CI runs on the
+// committed BENCH_*.json trajectory; results are keyed name@gomaxprocs so
+// single-core and multi-core measurements compare independently.
 
 import (
 	"encoding/json"
@@ -14,6 +19,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 
@@ -26,12 +32,16 @@ import (
 type BenchResult struct {
 	// Name identifies the benchmark (op and row count).
 	Name string `json:"name"`
-	// Op is the bulk bitwise operation measured.
+	// Op is the bulk bitwise operation (or host-I/O path) measured.
 	Op string `json:"op"`
 	// Rows is the number of DRAM rows per operand vector.
 	Rows int `json:"rows"`
 	// Banks is the number of distinct banks the destination rows occupy.
 	Banks int `json:"banks"`
+	// GOMAXPROCS records the setting this result was measured under (0 in
+	// reports from before the multi-core sweep; fall back to the
+	// report-level value).
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// NsPerOp is the measured host wall-clock per operation.
 	NsPerOp float64 `json:"ns_per_op"`
 	// GBPerS is the host-side functional throughput (output bytes/s).
@@ -65,6 +75,13 @@ var (
 	benchRowCounts = []int{1, 8, 64}
 )
 
+// hostIOPaths and hostIORowCounts define the host-I/O grid: the staged read
+// and write paths against their zero-copy view counterparts.
+var (
+	hostIOPaths     = []string{"readinto", "write", "viewwords", "setwords"}
+	hostIORowCounts = []int{8, 64}
+)
+
 // benchSetup allocates and loads three co-located vectors of `rows` DRAM rows.
 func benchSetup(rows int) (*ambit.System, *ambit.Bitvector, *ambit.Bitvector, *ambit.Bitvector, error) {
 	sys, err := ambit.New()
@@ -85,7 +102,7 @@ func benchSetup(rows int) (*ambit.System, *ambit.Bitvector, *ambit.Bitvector, *a
 		return nil, nil, nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(1))
-	w := make([]uint64, x.Words())
+	w := make([]uint64, x.WordCount())
 	for i := range w {
 		w[i] = rng.Uint64()
 	}
@@ -115,21 +132,164 @@ func benchName(op controller.Op, rows int) string {
 	return fmt.Sprintf("DirectOps/%s-rows%d", op, rows)
 }
 
+// hostIOName names one host-I/O grid benchmark.
+func hostIOName(path string, rows int) string {
+	return fmt.Sprintf("HostIO/%s-rows%d", path, rows)
+}
+
 // benchGridNames returns every -json grid benchmark name in run order.
 func benchGridNames() []string {
-	names := make([]string, 0, len(benchRowCounts)*len(benchOps))
+	names := make([]string, 0, len(benchRowCounts)*len(benchOps)+len(hostIORowCounts)*len(hostIOPaths))
 	for _, rows := range benchRowCounts {
 		for _, op := range benchOps {
 			names = append(names, benchName(op, rows))
 		}
 	}
+	for _, rows := range hostIORowCounts {
+		for _, path := range hostIOPaths {
+			names = append(names, hostIOName(path, rows))
+		}
+	}
 	return names
 }
 
-// runBenchJSON measures the grid and writes the report to path.  A non-empty
-// filter is a regexp over grid names; a filter matching no benchmark is an
-// error so a typo cannot silently produce an empty report.
-func runBenchJSON(path, filter string) error {
+// appendResult finalizes derived fields, tags the current GOMAXPROCS, and
+// prints the human-readable line.
+func appendResult(rep *BenchReport, res BenchResult, bytes int64) {
+	res.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if res.NsPerOp > 0 {
+		res.GBPerS = float64(bytes) / res.NsPerOp // bytes/ns == GB/s
+	}
+	if res.SimNS > 0 && res.CPUModelNS > 0 {
+		res.SimSpeedupVsCPU = res.CPUModelNS / res.SimNS
+	}
+	rep.Results = append(rep.Results, res)
+	fmt.Printf("%-26s @%d %12.0f ns/op %8.3f GB/s %6.1f allocs/op %12.0f sim-ns %8.2fx vs CPU\n",
+		res.Name, res.GOMAXPROCS, res.NsPerOp, res.GBPerS, res.AllocsPerOp, res.SimNS, res.SimSpeedupVsCPU)
+}
+
+// runDirectOpGrid measures the direct-op grid under the current GOMAXPROCS.
+func runDirectOpGrid(rep *BenchReport, match func(string) bool, m *sysmodel.Machine) error {
+	for _, rows := range benchRowCounts {
+		for _, op := range benchOps {
+			op, rows := op, rows
+			if !match(benchName(op, rows)) {
+				continue
+			}
+			sys, x, y, d, err := benchSetup(rows)
+			if err != nil {
+				return err
+			}
+			// Simulated latency of one op on an otherwise idle device.
+			if err := sys.Apply(op, d, x, y); err != nil {
+				return err
+			}
+			simNS := sys.ElapsedNS()
+			bytes := int64(rows) * int64(sys.Config().DRAM.Geometry.RowSizeBytes)
+
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(bytes)
+				for i := 0; i < b.N; i++ {
+					if err := sys.Apply(op, d, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			appendResult(rep, BenchResult{
+				Name:        benchName(op, rows),
+				Op:          op.String(),
+				Rows:        rows,
+				Banks:       distinctBanks(d),
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: float64(r.AllocsPerOp()),
+				BytesPerOp:  float64(r.AllocedBytesPerOp()),
+				SimNS:       simNS,
+				// CPU baseline: streaming bulk bitwise op with an uncached
+				// working set (the paper's Section 8 comparison regime).
+				CPUModelNS: m.CPUBitwiseNS(op.InputRows(), bytes, 32<<20),
+			}, bytes)
+		}
+	}
+	return nil
+}
+
+// runHostIOGrid measures the host-I/O grid: how fast the host can move data
+// in and out of the simulated device over the costed channel, via the staged
+// paths (ReadInto, Write) and the zero-copy view paths (ViewWords, SetWords).
+func runHostIOGrid(rep *BenchReport, match func(string) bool) error {
+	for _, rows := range hostIORowCounts {
+		any := false
+		for _, path := range hostIOPaths {
+			if match(hostIOName(path, rows)) {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		sys, x, _, _, err := benchSetup(rows)
+		if err != nil {
+			return err
+		}
+		bytes := int64(rows) * int64(sys.Config().DRAM.Geometry.RowSizeBytes)
+		banks := distinctBanks(x)
+		words := make([]uint64, x.WordCount())
+		var sink int
+		view := func(views [][]uint64) error {
+			for _, row := range views {
+				sink += len(row)
+			}
+			return nil
+		}
+		body := map[string]func() error{
+			"readinto": func() error { _, err := x.ReadInto(words); return err },
+			"write":    func() error { return x.Write(words) },
+			"viewwords": func() error {
+				return x.ViewWords(view)
+			},
+			"setwords": func() error { _, err := x.SetWords(words); return err },
+		}
+		for _, path := range hostIOPaths {
+			if !match(hostIOName(path, rows)) {
+				continue
+			}
+			fn := body[path]
+			before := sys.ElapsedNS()
+			if err := fn(); err != nil {
+				return err
+			}
+			simNS := sys.ElapsedNS() - before
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(bytes)
+				for i := 0; i < b.N; i++ {
+					if err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			appendResult(rep, BenchResult{
+				Name:        hostIOName(path, rows),
+				Op:          path,
+				Rows:        rows,
+				Banks:       banks,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: float64(r.AllocsPerOp()),
+				BytesPerOp:  float64(r.AllocedBytesPerOp()),
+				SimNS:       simNS,
+			}, bytes)
+		}
+	}
+	return nil
+}
+
+// runBenchJSON measures the grid once per GOMAXPROCS setting in procs and
+// writes the combined report to path.  A non-empty filter is a regexp over
+// grid names; a filter matching no benchmark is an error so a typo cannot
+// silently produce an empty report.  A non-empty cpuProfile captures a pprof
+// CPU profile of the whole run.
+func runBenchJSON(path, filter string, procs []int, cpuProfile string) error {
 	match := func(string) bool { return true }
 	if filter != "" {
 		re, err := regexp.Compile(filter)
@@ -148,65 +308,41 @@ func runBenchJSON(path, filter string) error {
 			return fmt.Errorf("-run %q matches no benchmark in the grid (see ambitbench -list)", filter)
 		}
 	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	if len(procs) == 0 {
+		procs = []int{prev}
+	}
 	m := sysmodel.MustDefault()
 	rep := BenchReport{
 		Tool:       "ambitbench -json",
 		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: prev,
 	}
-	for _, rows := range benchRowCounts {
-		for _, op := range benchOps {
-			op, rows := op, rows
-			if !match(benchName(op, rows)) {
-				continue
-			}
-			sys, x, y, d, err := benchSetup(rows)
-			if err != nil {
-				return err
-			}
-			// Simulated latency of one op on an otherwise idle device.
-			if err := sys.Apply(op, d, x, y); err != nil {
-				return err
-			}
-			simNS := sys.ElapsedNS()
-			bytes := int64(rows) * int64(sys.Config().DRAM.Geometry.RowSizeBytes)
-			banks := distinctBanks(d)
-
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				b.SetBytes(bytes)
-				for i := 0; i < b.N; i++ {
-					if err := sys.Apply(op, d, x, y); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-			// CPU baseline: streaming bulk bitwise op with an uncached
-			// working set (the paper's Section 8 comparison regime).
-			cpuNS := m.CPUBitwiseNS(op.InputRows(), bytes, 32<<20)
-			res := BenchResult{
-				Name:        benchName(op, rows),
-				Op:          op.String(),
-				Rows:        rows,
-				Banks:       banks,
-				NsPerOp:     nsPerOp,
-				AllocsPerOp: float64(r.AllocsPerOp()),
-				BytesPerOp:  float64(r.AllocedBytesPerOp()),
-				SimNS:       simNS,
-				CPUModelNS:  cpuNS,
-			}
-			if nsPerOp > 0 {
-				res.GBPerS = float64(bytes) / nsPerOp // bytes/ns == GB/s
-			}
-			if simNS > 0 {
-				res.SimSpeedupVsCPU = cpuNS / simNS
-			}
-			rep.Results = append(rep.Results, res)
-			fmt.Printf("%-24s %12.0f ns/op %8.3f GB/s %6.1f allocs/op %12.0f sim-ns %8.2fx vs CPU\n",
-				res.Name, res.NsPerOp, res.GBPerS, res.AllocsPerOp, res.SimNS, res.SimSpeedupVsCPU)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		if err := runDirectOpGrid(&rep, match, m); err != nil {
+			return err
+		}
+		if err := runHostIOGrid(&rep, match); err != nil {
+			return err
 		}
 	}
+	runtime.GOMAXPROCS(prev)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -233,9 +369,21 @@ func loadBenchReport(path string) (*BenchReport, error) {
 	return &rep, nil
 }
 
+// resultKey keys one result for comparison: name@gomaxprocs, falling back to
+// the report-level GOMAXPROCS for reports from before the per-result tag.
+func resultKey(rep *BenchReport, r BenchResult) string {
+	g := r.GOMAXPROCS
+	if g == 0 {
+		g = rep.GOMAXPROCS
+	}
+	return fmt.Sprintf("%s@%d", r.Name, g)
+}
+
 // runCompare prints a benchstat-style old/new comparison of two reports and
 // returns the benchmarks whose ns/op regressed by more than thresholdPct
 // percent (never any when thresholdPct is negative) — the CI gate's input.
+// Results are matched by name@gomaxprocs, so single- and multi-core
+// measurements gate independently.
 func runCompare(oldPath, newPath string, thresholdPct float64) ([]string, error) {
 	oldRep, err := loadBenchReport(oldPath)
 	if err != nil {
@@ -247,22 +395,23 @@ func runCompare(oldPath, newPath string, thresholdPct float64) ([]string, error)
 	}
 	oldBy := map[string]BenchResult{}
 	for _, r := range oldRep.Results {
-		oldBy[r.Name] = r
+		oldBy[resultKey(oldRep, r)] = r
 	}
-	names := make([]string, 0, len(newRep.Results))
+	keys := make([]string, 0, len(newRep.Results))
 	newBy := map[string]BenchResult{}
 	for _, r := range newRep.Results {
-		newBy[r.Name] = r
-		names = append(names, r.Name)
+		k := resultKey(newRep, r)
+		newBy[k] = r
+		keys = append(keys, k)
 	}
-	sort.Strings(names)
+	sort.Strings(keys)
 	var regressions []string
-	fmt.Printf("%-24s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
-	for _, name := range names {
-		n := newBy[name]
-		o, ok := oldBy[name]
+	fmt.Printf("%-30s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, key := range keys {
+		n := newBy[key]
+		o, ok := oldBy[key]
 		if !ok {
-			fmt.Printf("%-24s %14s %14.0f %9s %12s %12.1f\n", name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
+			fmt.Printf("%-30s %14s %14.0f %9s %12s %12.1f\n", key, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
 			continue
 		}
 		delta := "~"
@@ -270,24 +419,24 @@ func runCompare(oldPath, newPath string, thresholdPct float64) ([]string, error)
 			pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 			delta = fmt.Sprintf("%+.1f%%", pct)
 			if thresholdPct >= 0 && pct > thresholdPct {
-				regressions = append(regressions, fmt.Sprintf("%s (%s)", name, delta))
+				regressions = append(regressions, fmt.Sprintf("%s (%s)", key, delta))
 			}
 		}
-		fmt.Printf("%-24s %14.0f %14.0f %9s %12.1f %12.1f\n",
-			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+		fmt.Printf("%-30s %14.0f %14.0f %9s %12.1f %12.1f\n",
+			key, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
 	}
-	for _, name := range sortedMissing(oldBy, newBy) {
-		fmt.Printf("%-24s removed\n", name)
+	for _, key := range sortedMissing(oldBy, newBy) {
+		fmt.Printf("%-30s removed\n", key)
 	}
 	return regressions, nil
 }
 
-// sortedMissing lists names present in old but absent from new.
+// sortedMissing lists keys present in old but absent from new.
 func sortedMissing(oldBy, newBy map[string]BenchResult) []string {
 	var out []string
-	for name := range oldBy {
-		if _, ok := newBy[name]; !ok {
-			out = append(out, name)
+	for key := range oldBy {
+		if _, ok := newBy[key]; !ok {
+			out = append(out, key)
 		}
 	}
 	sort.Strings(out)

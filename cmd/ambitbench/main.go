@@ -42,8 +42,10 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the experiments' DRAM commands to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format histograms aggregated across all experiments")
-	jsonOut := flag.String("json", "", "run the direct-op benchmark grid and write a machine-readable report to this file")
+	jsonOut := flag.String("json", "", "run the benchmark grid and write a machine-readable report to this file")
 	runFilter := flag.String("run", "", "with -json, run only grid benchmarks whose name matches this regexp (a filter matching nothing is an error)")
+	maxprocs := flag.String("maxprocs", "", "with -json, comma-separated GOMAXPROCS settings to sweep (e.g. 1,4); each result is tagged with its setting")
+	cpuProfile := flag.String("cpuprofile", "", "with -json, write a pprof CPU profile of the benchmark run to this file")
 	compare := flag.Bool("compare", false, "compare two benchmark reports: ambitbench -compare old.json new.json")
 	threshold := flag.Float64("threshold", -1, "with -compare, exit nonzero when any benchmark's ns/op regresses by more than this percentage (negative = informational only)")
 	flag.Parse()
@@ -71,7 +73,17 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, *runFilter); err != nil {
+		var procs []int
+		if *maxprocs != "" {
+			for _, part := range strings.Split(*maxprocs, ",") {
+				var p int
+				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p <= 0 {
+					fail("-maxprocs %q: want comma-separated positive integers", *maxprocs)
+				}
+				procs = append(procs, p)
+			}
+		}
+		if err := runBenchJSON(*jsonOut, *runFilter, procs, *cpuProfile); err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("benchmarks: wrote %s\n", *jsonOut)
@@ -79,6 +91,9 @@ func main() {
 	}
 	if *runFilter != "" {
 		fail("-run only filters the -json benchmark grid; pass -json out.json")
+	}
+	if *maxprocs != "" || *cpuProfile != "" {
+		fail("-maxprocs and -cpuprofile apply to the -json benchmark grid; pass -json out.json")
 	}
 
 	// One tracer and one registry are shared by every System the

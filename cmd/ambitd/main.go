@@ -117,7 +117,7 @@ func warmWorkload(sys *ambit.System, seed int64, interval time.Duration, done <-
 	bits := 8 * int64(sys.RowSizeBits())
 	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 	rng := rand.New(rand.NewSource(seed))
-	w := make([]uint64, a.Words())
+	w := make([]uint64, a.WordCount())
 	for _, v := range []*ambit.Bitvector{a, b} {
 		for i := range w {
 			w[i] = rng.Uint64()

@@ -236,7 +236,7 @@ func serveDemo(addr string, splitDecoder bool, timing string, seed int64) {
 	bits := int64(rows) * int64(sys.RowSizeBits())
 	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 	rng := rand.New(rand.NewSource(seed))
-	w := make([]uint64, a.Words())
+	w := make([]uint64, a.WordCount())
 	for i := range w {
 		w[i] = rng.Uint64()
 	}

@@ -5,7 +5,6 @@ import (
 
 	"ambit/internal/compile"
 	"ambit/internal/dram"
-	"ambit/internal/exec"
 )
 
 // Expr is a boolean expression DAG over bit-vector variables — the input
@@ -299,29 +298,18 @@ func (s *System) runFuncParallel(f *Func, dsts, srcs []*Bitvector) error {
 	start := opStart + s.coherenceNS(rows)
 	s.statsMu.Unlock()
 
-	groups := exec.GroupByBank(nRows, func(i int) int { return dsts[0].rows[i].Bank })
-	banks := exec.Banks(groups)
-	nOps := f.c.NumInputs + f.c.NumOutputs
-	bufs := make([][]dram.RowAddr, s.dev.Geometry().Banks)
-	backing := make([]dram.RowAddr, len(banks)*nOps)
-	for i, bank := range banks {
-		bufs[bank] = backing[i*nOps : (i+1)*nOps]
-	}
+	plan := s.eng.PlanAddrs(dsts[0].rows)
+	banks := plan.Banks()
 	s.eng.LockBanks(banks)
 	ss := s.cfg.Tracer.BeginShards(banks)
-	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
-		ss.SetRow(bank, r)
-		da := fillFuncRow(f, dsts, srcs, r, bufs[bank])
-		lat, err := s.ctrl.ExecuteTrain(f.c.Train, da.Bank, da.Subarray, bufs[bank])
-		if err != nil {
-			return 0, err
-		}
-		done := s.dev.Bank(da.Bank).Reserve(start, lat)
-		s.utilRecord(da.Bank, done, lat)
-		return done, nil
-	})
+	run := getOpRunner(s)
+	run.kind, run.f, run.dsts, run.srcs = runFunc, f, dsts, srcs
+	run.start, run.ss = start, ss
+	res := s.eng.RunPlan(plan, run)
+	putOpRunner(run)
 	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
+	plan.Release()
 
 	end := res.EndNS
 	if end < start {

@@ -227,8 +227,8 @@ func TestFuncAliasRules(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := sys.MustAlloc(bits), sys.MustAlloc(bits)
-	wa := make([]uint64, a.Words())
-	wb := make([]uint64, b.Words())
+	wa := make([]uint64, a.WordCount())
+	wb := make([]uint64, b.WordCount())
 	rng := rand.New(rand.NewSource(5))
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()

@@ -110,8 +110,8 @@ func runSystemStress(t *testing.T, s *System) {
 					errs <- err
 					return
 				}
-				wa := randWords(rng, a.Words())
-				wc := randWords(rng, c.Words())
+				wa := randWords(rng, a.WordCount())
+				wc := randWords(rng, c.WordCount())
 				if err := a.Write(wa, Backdoor()); err != nil {
 					errs <- err
 					return

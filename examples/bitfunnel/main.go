@@ -38,7 +38,7 @@ func main() {
 	rowWords := make([][]uint64, sigBits)
 	for i := range rows {
 		rows[i] = sys.MustAlloc(docs)
-		rowWords[i] = make([]uint64, rows[i].Words())
+		rowWords[i] = make([]uint64, rows[i].WordCount())
 	}
 
 	// Index synthetic documents.

@@ -102,7 +102,7 @@ func main() {
 // load allocates a users-bit vector and fills it with the given density.
 func load(sys *ambit.System, rng *rand.Rand, density float64) *ambit.Bitvector {
 	v := sys.MustAlloc(users)
-	words := make([]uint64, v.Words())
+	words := make([]uint64, v.WordCount())
 	for i := range words {
 		var w uint64
 		for b := 0; b < 64; b++ {

@@ -43,7 +43,7 @@ func main() {
 	words := make([][]uint64, 6)
 	for i := range planes {
 		planes[i] = sys.MustAlloc(records)
-		words[i] = make([]uint64, planes[i].Words())
+		words[i] = make([]uint64, planes[i].WordCount())
 	}
 	for r := 0; r < records; r++ {
 		score[r] = uint16(rng.Intn(16))

@@ -29,14 +29,14 @@ func main() {
 	tmp := sys.MustAlloc(bits)
 
 	rng := rand.New(rand.NewSource(9))
-	img := make([]uint64, image.Words())
+	img := make([]uint64, image.WordCount())
 	for i := range img {
 		img[i] = rng.Uint64()
 	}
 	must(image.Write(img, ambit.Backdoor()))
 	// Mask selects the red channel (byte 0 of every 4-byte pixel); value
 	// is all-zero: "clearing a specific color in an image" (§8.4.2).
-	mw := make([]uint64, mask.Words())
+	mw := make([]uint64, mask.WordCount())
 	for i := range mw {
 		mw[i] = 0x000000FF000000FF
 	}

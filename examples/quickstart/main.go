@@ -27,8 +27,8 @@ func main() {
 
 	// Load deterministic random data through the simulation backdoor.
 	rng := rand.New(rand.NewSource(1))
-	wa := make([]uint64, a.Words())
-	wb := make([]uint64, b.Words())
+	wa := make([]uint64, a.WordCount())
+	wb := make([]uint64, b.WordCount())
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}

@@ -22,7 +22,7 @@ func execWorkload(t *testing.T, sys *System) [][]uint64 {
 	a, b := sys.MustAlloc(bits), sys.MustAlloc(bits)
 	c, d := sys.MustAlloc(bits), sys.MustAlloc(bits)
 	rng := rand.New(rand.NewSource(42))
-	wa, wb := make([]uint64, a.Words()), make([]uint64, b.Words())
+	wa, wb := make([]uint64, a.WordCount()), make([]uint64, b.WordCount())
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}

@@ -28,7 +28,7 @@ func TestTRAFaultInjectionEndToEnd(t *testing.T) {
 	bits := int64(sys.RowSizeBits())
 	a, b, d := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 	rng := rand.New(rand.NewSource(1))
-	wa, wb := make([]uint64, a.Words()), make([]uint64, b.Words())
+	wa, wb := make([]uint64, a.WordCount()), make([]uint64, b.WordCount())
 	for i := range wa {
 		wa[i], wb[i] = rng.Uint64(), rng.Uint64()
 	}
@@ -42,7 +42,7 @@ func TestTRAFaultInjectionEndToEnd(t *testing.T) {
 	// Derive a fault mask from the ±15% Monte-Carlo failure rate.
 	mc := circuit.MonteCarlo(circuit.DefaultParams(), 0.15, 20000, rand.New(rand.NewSource(2)))
 	fm := circuit.NewFailureModel(mc.FailureRate(), 3)
-	mask := fm.Mask(a.Words())
+	mask := fm.Mask(a.WordCount())
 	var faultyBits int
 	for _, m := range mask {
 		for x := m; x != 0; x &= x - 1 {
@@ -179,8 +179,8 @@ func TestChainedPipelineFunctional(t *testing.T) {
 	tmp := sys.MustAlloc(bits)
 
 	rng := rand.New(rand.NewSource(4))
-	wx := make([]uint64, x.Words())
-	weq := make([]uint64, x.Words())
+	wx := make([]uint64, x.WordCount())
+	weq := make([]uint64, x.WordCount())
 	for i := range wx {
 		wx[i], weq[i] = rng.Uint64(), rng.Uint64()
 	}

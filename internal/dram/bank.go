@@ -94,6 +94,27 @@ func (b *Bank) WriteColumn(col int, v uint64) error {
 	return b.subarrays[b.open].WriteColumn(col, v)
 }
 
+// RowBufferData returns the open subarray's live sense-amplifier storage, or
+// nil when the bank is precharged.  Bulk-reading it is equivalent to a full
+// row of ReadColumn calls — the host read path uses it to replace the
+// per-column loop with one copy.
+func (b *Bank) RowBufferData() []uint64 {
+	if b.open < 0 {
+		return nil
+	}
+	return b.subarrays[b.open].rowBufferData()
+}
+
+// DirectWritable returns the row buffer when bulk-overwriting it is
+// equivalent to a full row of WriteColumn calls (see
+// Subarray.directWritable), or nil when the write must go column by column.
+func (b *Bank) DirectWritable() []uint64 {
+	if b.open < 0 {
+		return nil
+	}
+	return b.subarrays[b.open].directWritable()
+}
+
 // BusyUntil returns the bank's scheduled completion time in nanoseconds.
 func (b *Bank) BusyUntil() float64 { return b.busyUntil }
 

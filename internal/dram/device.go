@@ -252,16 +252,25 @@ func (d *Device) ReadRowInto(p PhysAddr, dst []uint64) error {
 		return err
 	}
 	b := d.banks[p.Bank]
-	for c := range dst {
-		v, err := b.ReadColumn(c)
-		if err != nil {
-			st.ColumnReads += int64(c)
-			d.CommitStats(st)
-			return err
+	if buf := b.RowBufferData(); len(buf) == len(dst) {
+		// Bulk fast path: the row buffer is live after a successful
+		// ACTIVATE, and a full-row read is exactly its contents.  Same
+		// command census as the column loop, one memmove instead of
+		// per-column dispatch.
+		copy(dst, buf)
+		st.ColumnReads += int64(len(dst))
+	} else {
+		for c := range dst {
+			v, err := b.ReadColumn(c)
+			if err != nil {
+				st.ColumnReads += int64(c)
+				d.CommitStats(st)
+				return err
+			}
+			dst[c] = v
 		}
-		dst[c] = v
+		st.ColumnReads += int64(len(dst))
 	}
-	st.ColumnReads += int64(len(dst))
 	err := d.PrechargeLocal(p.Bank, &st)
 	d.CommitStats(st)
 	return err
@@ -279,14 +288,22 @@ func (d *Device) WriteRow(p PhysAddr, data []uint64) error {
 		return err
 	}
 	b := d.banks[p.Bank]
-	for c, v := range data {
-		if err := b.WriteColumn(c, v); err != nil {
-			st.ColumnWrites += int64(c)
-			d.CommitStats(st)
-			return err
+	if buf := b.DirectWritable(); len(buf) == len(data) {
+		// Bulk fast path: a single non-negated activation leaves the row
+		// buffer aliasing the cell storage, so overwriting it wholesale is
+		// exactly what the column loop would do — same census, one memmove.
+		copy(buf, data)
+		st.ColumnWrites += int64(len(data))
+	} else {
+		for c, v := range data {
+			if err := b.WriteColumn(c, v); err != nil {
+				st.ColumnWrites += int64(c)
+				d.CommitStats(st)
+				return err
+			}
 		}
+		st.ColumnWrites += int64(len(data))
 	}
-	st.ColumnWrites += int64(len(data))
 	err := d.PrechargeLocal(p.Bank, &st)
 	d.CommitStats(st)
 	return err
@@ -307,6 +324,17 @@ func (d *Device) PeekRowInto(p PhysAddr, dst []uint64) error {
 		return err
 	}
 	return d.banks[p.Bank].Subarray(p.Subarray).PeekRowInto(p.Row, dst)
+}
+
+// RowData returns the live cell storage behind a single-wordline,
+// non-negated row address, allocating lazily and issuing no commands — the
+// device-level entry of the zero-copy host view API.  The caller owns
+// synchronization and accounting.
+func (d *Device) RowData(p PhysAddr) ([]uint64, error) {
+	if err := p.Validate(d.cfg.Geometry); err != nil {
+		return nil, err
+	}
+	return d.banks[p.Bank].Subarray(p.Subarray).RowData(p.Row)
 }
 
 // PokeRow overwrites the cell contents behind p without issuing commands.

@@ -121,6 +121,50 @@ func (s *Subarray) FusedEligible() bool {
 // complete AAP/AP train would.
 func (s *Subarray) CellData(wl Wordline) []uint64 { return s.cell(wl) }
 
+// RowData returns the live cell storage behind a single-wordline,
+// non-negated row address, allocating lazily.  This is the backing of the
+// zero-copy host view API (Bitvector.Words in the root package): the caller
+// reads and writes the slice directly, bypassing the command interface, and
+// owns whatever accounting that access model requires.
+func (s *Subarray) RowData(a RowAddr) ([]uint64, error) {
+	var wlbuf [3]Wordline
+	wls, err := AppendWordlines(wlbuf[:0], a, s.geom)
+	if err != nil {
+		return nil, err
+	}
+	if len(wls) != 1 || wls[0].Negated() {
+		return nil, fmt.Errorf("dram: RowData on multi-wordline or negated address %v", a)
+	}
+	return s.cell(wls[0]), nil
+}
+
+// rowBufferData returns the live sense-amplifier storage, or nil when the
+// amplifiers are off.  Reading it is equivalent to a full row of ReadColumn
+// calls, without the per-column dispatch.
+func (s *Subarray) rowBufferData() []uint64 {
+	if !s.ampsOn {
+		return nil
+	}
+	return s.amps
+}
+
+// directWritable returns the row buffer when bulk-overwriting it is
+// equivalent to a full row of WriteColumn calls: exactly one non-negated
+// wordline is raised and its cell storage is the row buffer itself (the
+// aliasing a single-row activation establishes).  nil otherwise — negated
+// wordlines and multi-wordline AAP states need WriteColumn's polarity-aware
+// propagation.
+func (s *Subarray) directWritable() []uint64 {
+	if !s.ampsOn || len(s.raised) != 1 || s.raised[0].Negated() {
+		return nil
+	}
+	dst := s.cell(s.raised[0])
+	if len(dst) == 0 || len(s.amps) == 0 || &dst[0] != &s.amps[0] {
+		return nil
+	}
+	return s.amps
+}
+
 // Raised returns the wordlines raised since the last precharge.
 func (s *Subarray) Raised() []Wordline { return append([]Wordline(nil), s.raised...) }
 

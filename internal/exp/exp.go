@@ -433,7 +433,7 @@ func BatchEngine() (string, error) {
 			if g.dst, err = mk(); err != nil {
 				return 0, 0, 0, err
 			}
-			w := make([]uint64, g.a.Words())
+			w := make([]uint64, g.a.WordCount())
 			for k := range w {
 				w[k] = rng.Uint64()
 			}

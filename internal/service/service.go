@@ -37,6 +37,11 @@
 // Data transfers default to the costed DRAM channel; `?backdoor=1` routes
 // them through the cost-free simulation backdoor (ambit.Backdoor), which is
 // how workload state is installed without perturbing the measured costs.
+// The read plane is zero-copy: GET data serializes straight from the
+// vector's row views (ambit.Bitvector.ViewWords) under the System's
+// execution lock, with no intermediate word buffer; the write plane installs
+// fully covered rows directly from the decoded request body (ambit.Bitvector
+// Write's direct-row path).
 //
 // # Concurrency
 //
@@ -410,7 +415,7 @@ func (s *Server) handleVecCreate(w http.ResponseWriter, r *http.Request) error {
 	}
 	ns.vectors[name] = v
 	s.reg.SetGauge("svc_quota_rows_used", s.totalQuotaUsed())
-	return writeJSON(w, http.StatusCreated, vecInfo{Name: name, Bits: v.Len(), Rows: v.Rows(), Words: v.Words()})
+	return writeJSON(w, http.StatusCreated, vecInfo{Name: name, Bits: v.Len(), Rows: v.Rows(), Words: v.WordCount()})
 }
 
 func (s *Server) handleVecInfo(w http.ResponseWriter, r *http.Request) {
@@ -425,7 +430,7 @@ func (s *Server) handleVecInfo(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, vecInfo{Name: name, Bits: v.Len(), Rows: v.Rows(), Words: v.Words()}) //nolint:errcheck // client went away
+	writeJSON(w, http.StatusOK, vecInfo{Name: name, Bits: v.Len(), Rows: v.Rows(), Words: v.WordCount()}) //nolint:errcheck // client went away
 }
 
 func (s *Server) handleVecFree(w http.ResponseWriter, r *http.Request) error {
@@ -509,26 +514,25 @@ func (s *Server) handleDataRead(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	wp := s.wordsMu.Get().(*[]uint64)
-	defer s.wordsMu.Put(wp)
-	words := *wp
-	if n := v.Words(); cap(words) < n {
-		words = make([]uint64, n)
-	} else {
-		words = words[:n]
-	}
-	*wp = words[:0]
-	n, err := v.ReadInto(words, ioOpts(r)...)
-	if err != nil {
-		return err
-	}
 	bufp := s.bufPool.Get().(*[]byte)
 	defer s.bufPool.Put(bufp)
 	out := (*bufp)[:0]
-	for _, word := range words[:n] {
-		out = binary.LittleEndian.AppendUint64(out, word)
-	}
+	// Serialize straight out of the vector's zero-copy row views — no
+	// intermediate word buffer.  ViewWords holds the System's execution lock
+	// for the duration, so a concurrent operation on the same vector cannot
+	// tear the snapshot.
+	err = v.ViewWords(func(views [][]uint64) error {
+		for _, row := range views {
+			for _, word := range row {
+				out = binary.LittleEndian.AppendUint64(out, word)
+			}
+		}
+		return nil
+	}, ioOpts(r)...)
 	*bufp = out[:0]
+	if err != nil {
+		return err
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(out)))
 	_, err = w.Write(out)

@@ -496,9 +496,16 @@ func TestServiceLibraryDifferential(t *testing.T) {
 	if _, err := libSys.Popcount(lc); err != nil {
 		t.Fatalf("Popcount: %v", err)
 	}
-	libWords := make([]uint64, lc.Words())
-	if _, err := lc.ReadInto(libWords); err != nil {
-		t.Fatalf("ReadInto: %v", err)
+	// The service's GET data plane serializes from the zero-copy views, so
+	// the mirror must read — and charge — the same way.
+	libWords := make([]uint64, 0, lc.WordCount())
+	if err := lc.ViewWords(func(views [][]uint64) error {
+		for _, row := range views {
+			libWords = append(libWords, row...)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ViewWords: %v", err)
 	}
 	libStats := libSys.Stats()
 

@@ -23,10 +23,10 @@ func TestWriteAtPartialRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wpr := v.Words() / v.Rows()
+	wpr := v.WordCount() / v.Rows()
 	rng := rand.New(rand.NewSource(11))
 
-	base := make([]uint64, v.Words())
+	base := make([]uint64, v.WordCount())
 	for i := range base {
 		base[i] = rng.Uint64()
 	}
@@ -69,10 +69,10 @@ func TestWriteAtPartialRows(t *testing.T) {
 	if err := v.WriteAt(-1, []uint64{0}); !errors.Is(err, ErrOutOfRange) {
 		t.Fatalf("WriteAt(-1) = %v, want ErrOutOfRange", err)
 	}
-	if err := v.WriteAt(v.Words(), []uint64{0}); !errors.Is(err, ErrOutOfRange) {
+	if err := v.WriteAt(v.WordCount(), []uint64{0}); !errors.Is(err, ErrOutOfRange) {
 		t.Fatalf("WriteAt(past end) = %v, want ErrOutOfRange", err)
 	}
-	if err := v.Write(make([]uint64, v.Words()+1)); !errors.Is(err, ErrOutOfRange) {
+	if err := v.Write(make([]uint64, v.WordCount()+1)); !errors.Is(err, ErrOutOfRange) {
 		t.Fatalf("oversized Write = %v, want ErrOutOfRange", err)
 	}
 }
@@ -88,9 +88,9 @@ func TestReadIntoPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wpr := v.Words() / v.Rows()
+	wpr := v.WordCount() / v.Rows()
 	rng := rand.New(rand.NewSource(13))
-	data := make([]uint64, v.Words())
+	data := make([]uint64, v.WordCount())
 	for i := range data {
 		data[i] = rng.Uint64()
 	}
@@ -98,15 +98,15 @@ func TestReadIntoPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, n := range []int{0, 1, wpr - 1, wpr, wpr + 3, v.Words(), v.Words() + 10} {
+	for _, n := range []int{0, 1, wpr - 1, wpr, wpr + 3, v.WordCount(), v.WordCount() + 10} {
 		dst := make([]uint64, n)
 		got, err := v.ReadInto(dst, Backdoor())
 		if err != nil {
 			t.Fatalf("ReadInto(len %d): %v", n, err)
 		}
 		want := n
-		if want > v.Words() {
-			want = v.Words()
+		if want > v.WordCount() {
+			want = v.WordCount()
 		}
 		if got != want {
 			t.Fatalf("ReadInto(len %d) = %d, want %d", n, got, want)
@@ -132,7 +132,7 @@ func TestHostIOChannelAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wpr := v.Words() / v.Rows()
+	wpr := v.WordCount() / v.Rows()
 
 	check := func(label string, wantBytes int64, op func() error) {
 		t.Helper()
@@ -145,7 +145,7 @@ func TestHostIOChannelAccounting(t *testing.T) {
 		}
 	}
 
-	data := make([]uint64, v.Words())
+	data := make([]uint64, v.WordCount())
 	check("backdoor Write", 0, func() error { return v.Write(data, Backdoor()) })
 	check("costed Write", 4*rowBytes, func() error { return v.Write(data) })
 	check("backdoor Read", 0, func() error { _, err := v.Read(Backdoor()); return err })
@@ -173,10 +173,10 @@ func TestReadIntoAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Write(make([]uint64, v.Words()), Backdoor()); err != nil {
+	if err := v.Write(make([]uint64, v.WordCount()), Backdoor()); err != nil {
 		t.Fatal(err)
 	}
-	dst := make([]uint64, v.Words())
+	dst := make([]uint64, v.WordCount())
 	if _, err := v.ReadInto(dst, Backdoor()); err != nil { // warm the scratch row
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestDeprecatedWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data := make([]uint64, v.Words())
+	data := make([]uint64, v.WordCount())
 	for i := range data {
 		data[i] = uint64(i) * 0x9e3779b97f4a7c15
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ambit/internal/dram"
-	"ambit/internal/exec"
 )
 
 // Many-row majority: the MAJ-X primitive of the 2024 simultaneous-activation
@@ -134,23 +133,18 @@ func (s *System) majParallel(dst *Bitvector, srcs []*Bitvector) error {
 	start := opStart + s.coherenceNS(rows)
 	s.statsMu.Unlock()
 
-	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
-	banks := exec.Banks(groups)
+	plan := s.eng.PlanAddrs(dst.rows)
+	banks := plan.Banks()
 	s.eng.LockBanks(banks)
 	ss := s.cfg.Tracer.BeginShards(banks)
-	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
-		ss.SetRow(bank, r)
-		da, srcRows := majRowAddrs(dst, srcs, r, make([]dram.RowAddr, 0, len(srcs)))
-		lat, err := s.ctrl.ExecuteMaj(da.Bank, da.Subarray, da.Row, srcRows, s.majScratchBase, s.majW)
-		if err != nil {
-			return 0, err
-		}
-		done := s.dev.Bank(da.Bank).Reserve(start, lat)
-		s.utilRecord(da.Bank, done, lat)
-		return done, nil
-	})
+	run := getOpRunner(s)
+	run.kind, run.dst, run.srcs = runMaj, dst, srcs
+	run.start, run.ss = start, ss
+	res := s.eng.RunPlan(plan, run)
+	putOpRunner(run)
 	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
+	plan.Release()
 
 	end := res.EndNS
 	if end < start {

@@ -60,7 +60,7 @@ func TestMajFunctional(t *testing.T) {
 		data := make([][]uint64, k)
 		for i := 0; i < k; i++ {
 			srcs[i] = sys.MustAlloc(bits)
-			data[i] = randWords(rng, srcs[i].Words())
+			data[i] = randWords(rng, srcs[i].WordCount())
 			if err := srcs[i].Write(data[i], Backdoor()); err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +115,7 @@ func TestMajWideWidth(t *testing.T) {
 	data := make([][]uint64, 9)
 	for i := range srcs {
 		srcs[i] = sys.MustAlloc(bits)
-		data[i] = randWords(rng, srcs[i].Words())
+		data[i] = randWords(rng, srcs[i].WordCount())
 		if err := srcs[i].Write(data[i], Backdoor()); err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +143,7 @@ func TestMajAliasing(t *testing.T) {
 	a, b, c := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 	data := make([][]uint64, 3)
 	for i, v := range []*Bitvector{a, b, c} {
-		data[i] = randWords(rng, v.Words())
+		data[i] = randWords(rng, v.WordCount())
 		if err := v.Write(data[i], Backdoor()); err != nil {
 			t.Fatal(err)
 		}

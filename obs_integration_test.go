@@ -24,7 +24,7 @@ func obsWorkload(t *testing.T, sys *System) map[string]uint64 {
 	vecs := make([]*Bitvector, 4)
 	for i := range vecs {
 		vecs[i] = sys.MustAlloc(vecBits)
-		words := make([]uint64, vecs[i].Words())
+		words := make([]uint64, vecs[i].WordCount())
 		for j := range words {
 			words[j] = rng.Uint64()
 		}

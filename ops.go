@@ -8,7 +8,6 @@ import (
 	"ambit/internal/controller"
 	"ambit/internal/dram"
 	"ambit/internal/ecc"
-	"ambit/internal/exec"
 )
 
 // checkOperands validates that every operand is non-nil, belongs to this
@@ -47,11 +46,16 @@ func (s *System) coherenceNS(rows int64) float64 {
 // checkApplyOperands validates operand liveness and shape for one bulk op.
 // The caller holds execMu (read or exclusive).
 func (s *System) checkApplyOperands(op controller.Op, dst, a, b *Bitvector) error {
-	operands := []*Bitvector{dst, a}
-	if !op.Unary() {
-		operands = append(operands, b)
+	// Two fixed-arity variadic calls instead of one built-up slice: the
+	// argument slices stay on the stack, keeping the direct-op path at zero
+	// allocations.
+	var err error
+	if op.Unary() {
+		err = s.checkOperands(op.String(), dst, a)
+	} else {
+		err = s.checkOperands(op.String(), dst, a, b)
 	}
-	if err := s.checkOperands(op.String(), operands...); err != nil {
+	if err != nil {
 		return err
 	}
 	if !dst.sameShape(a) || (!op.Unary() && !dst.sameShape(b)) {
@@ -185,34 +189,18 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 	start := opStart + s.coherenceNS(rows)
 	s.statsMu.Unlock()
 
-	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
-	banks := exec.Banks(groups)
-	ecc := s.cfg.Reliability.ECC
+	plan := s.eng.PlanAddrs(dst.rows)
+	banks := plan.Banks()
 	s.eng.LockBanks(banks)
 	ss := s.cfg.Tracer.BeginShards(banks)
-	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
-		ss.SetRow(bank, r)
-		da, aa := dst.rows[r], a.rows[r]
-		var ba dram.RowAddr
-		if !op.Unary() {
-			ba = b.rows[r].Row
-		}
-		if ecc {
-			rr, err := s.execRowReliable(op, da, aa.Row, ba)
-			s.statsMu.Lock()
-			s.accountReliabilityLocked(da, rr)
-			s.statsMu.Unlock()
-			if err != nil {
-				return 0, err
-			}
-			done := s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
-			s.utilRecord(da.Bank, done, rr.LatencyNS)
-			return done, nil
-		}
-		return s.scheduleRow(op, da, aa.Row, ba, start)
-	})
+	run := getOpRunner(s)
+	run.kind, run.op, run.dst, run.a, run.b = runBulk, op, dst, a, b
+	run.start, run.ss, run.ecc = start, ss, s.cfg.Reliability.ECC
+	res := s.eng.RunPlan(plan, run)
+	putOpRunner(run)
 	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
+	plan.Release()
 
 	end := res.EndNS
 	if end < start {
@@ -344,22 +332,18 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	opStart := s.stats.ElapsedNS
 	start := opStart + s.coherenceNS(2*int64(len(dst.rows)))
 	s.statsMu.Unlock()
-	groups := exec.GroupByBank(len(dst.rows), func(i int) int { return dst.rows[i].Bank })
-	banks := exec.Banks(groups)
+	plan := s.eng.PlanAddrs(dst.rows)
+	banks := plan.Banks()
 	s.eng.LockBanks(banks)
 	ss := s.cfg.Tracer.BeginShards(banks)
-	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
-		ss.SetRow(bank, r)
-		_, lat, err := s.rc.Copy(src.rows[r], dst.rows[r])
-		if err != nil {
-			return 0, err
-		}
-		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
-		s.utilRecord(dst.rows[r].Bank, done, lat)
-		return done, nil
-	})
+	run := getOpRunner(s)
+	run.kind, run.dst, run.a = runCopy, dst, src
+	run.start, run.ss = start, ss
+	res := s.eng.RunPlan(plan, run)
+	putOpRunner(run)
 	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
+	plan.Release()
 
 	end := res.EndNS
 	if end < start {
@@ -445,29 +429,18 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	opStart := s.stats.ElapsedNS
 	start := opStart + s.coherenceNS(int64(len(v.rows)))
 	s.statsMu.Unlock()
-	groups := exec.GroupByBank(len(v.rows), func(i int) int { return v.rows[i].Bank })
-	banks := exec.Banks(groups)
+	plan := s.eng.PlanAddrs(v.rows)
+	banks := plan.Banks()
 	s.eng.LockBanks(banks)
 	ss := s.cfg.Tracer.BeginShards(banks)
-	res := s.eng.Run(groups, func(bank, r int) (float64, error) {
-		ss.SetRow(bank, r)
-		addr := v.rows[r]
-		var lat float64
-		var err error
-		if bit {
-			lat, err = s.rc.InitOne(addr.Bank, addr.Subarray, addr.Row)
-		} else {
-			lat, err = s.rc.InitZero(addr.Bank, addr.Subarray, addr.Row)
-		}
-		if err != nil {
-			return 0, err
-		}
-		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
-		s.utilRecord(addr.Bank, done, lat)
-		return done, nil
-	})
+	run := getOpRunner(s)
+	run.kind, run.dst, run.fill = runFill, v, bit
+	run.start, run.ss = start, ss
+	res := s.eng.RunPlan(plan, run)
+	putOpRunner(run)
 	ss.MergeAndEmit()
 	s.eng.UnlockBanks(banks)
+	plan.Release()
 
 	end := res.EndNS
 	if end < start {
@@ -549,12 +522,12 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 	}
 	opStart := s.stats.ElapsedNS
 	var n int64
+	buf := s.rowScratch()
 	for _, addr := range v.rows {
-		row, err := s.dev.ReadRow(addr)
-		if err != nil {
+		if err := s.dev.ReadRowInto(addr, buf); err != nil {
 			return 0, err
 		}
-		for _, w := range row {
+		for _, w := range buf {
 			n += int64(bits.OnesCount64(w))
 		}
 	}

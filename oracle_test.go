@@ -84,7 +84,7 @@ func runOracleProgram(t *testing.T, seed int64, batch bool) {
 	oracle := make([][]uint64, nv)
 	for i := range vecs {
 		vecs[i] = sys.MustAlloc(vecBits)
-		capWords := vecs[i].Words()
+		capWords := vecs[i].WordCount()
 		// Load a random prefix; the simulator zero-fills the tail, so the
 		// oracle starts from the same padded image.
 		load := make([]uint64, rng.Intn(capWords+1))

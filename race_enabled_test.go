@@ -1,0 +1,9 @@
+//go:build race
+
+package ambit
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count gates skip under it: the race runtime itself allocates,
+// which would fail the zero-allocation assertions for reasons unrelated to
+// the code under test.
+const raceEnabled = true

@@ -39,7 +39,7 @@ func faultedWorkload(t *testing.T, sys *System) [][]uint64 {
 	a, b := sys.MustAlloc(bits), sys.MustAlloc(bits)
 	c, d, e := sys.MustAlloc(bits), sys.MustAlloc(bits), sys.MustAlloc(bits)
 	rng := rand.New(rand.NewSource(271828))
-	wa, wb, wc := make([]uint64, a.Words()), make([]uint64, b.Words()), make([]uint64, c.Words())
+	wa, wb, wc := make([]uint64, a.WordCount()), make([]uint64, b.WordCount()), make([]uint64, c.WordCount())
 	for i := range wa {
 		wa[i], wb[i], wc[i] = rng.Uint64(), rng.Uint64(), rng.Uint64()
 	}
