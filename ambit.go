@@ -157,6 +157,16 @@ type MetricsRegistry = obs.Registry
 // internal/obs).
 type HistogramSnapshot = obs.HistogramSnapshot
 
+// Label is one key="value" pair of a labeled metric series (re-exported from
+// internal/obs).  The registry's Labeled* methods accept any label keys;
+// the serving layer uses ns="<namespace>" throughout.
+type Label = obs.Label
+
+// WallBucketsNS are the registry's request wall-clock histogram bounds
+// (re-exported from internal/obs): real host durations from 1 µs to 10 s,
+// unlike the simulated-time latency buckets.
+var WallBucketsNS = obs.WallBucketsNS
+
 // NewTracer creates a tracer fanning out to the given sinks; with at least
 // one sink it starts enabled.
 func NewTracer(sinks ...TraceSink) *Tracer { return obs.NewTracer(sinks...) }
@@ -245,6 +255,11 @@ type Config struct {
 	// workloads.  Command events are never sampled.  0 or 1 keeps every
 	// span.  Applied to the configured Tracer at construction.
 	TraceSampling int
+	// BankUtil enables the per-bank utilization collector (bank busy-interval
+	// timelines, saturation, and per-tenant busy attribution via
+	// System.TagBusyNS) without a telemetry server.  Implied by
+	// TelemetryAddr.
+	BankUtil bool
 	// TelemetryAddr, when non-empty, starts a live telemetry HTTP server on
 	// the address ("localhost:8612", ":0" for an ephemeral port — see
 	// System.TelemetryAddr) serving /metrics (Prometheus text), /healthz,
@@ -512,8 +527,10 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("ambit: profile %q quarantines every (bank, subarray) slot", cfg.FaultProfile.Name)
 	}
 	sys.majScratchBase = sys.dataRows()
-	if cfg.TelemetryAddr != "" {
+	if cfg.TelemetryAddr != "" || cfg.BankUtil {
 		sys.util = exec.NewUtil(g.Banks, exec.DefaultUtilBinNS)
+	}
+	if cfg.TelemetryAddr != "" {
 		srv, err := telemetry.Serve(cfg.TelemetryAddr, telemetry.Sources{
 			Metrics: cfg.Metrics,
 			Stream:  stream,
@@ -594,7 +611,7 @@ func (s *System) serialOnly() bool {
 // snapshot has its own lock.  (Under concurrent clients the energy
 // attribution between overlapping spans blends — totals are conserved; a
 // single-client program observes exactly what a serial run would.)
-func (s *System) observeOp(name string, bank, rows int, startNS, durNS float64, devBefore dram.Stats) {
+func (s *System) observeOp(tag Tag, name string, bank, rows int, startNS, durNS float64, devBefore dram.Stats) {
 	nj := s.cfg.Energy.DeviceEnergyNJ(s.dev.Stats().Sub(devBefore))
 	if m := s.cfg.Metrics; m != nil {
 		m.ObserveLatencyNS(name, durNS)
@@ -604,18 +621,20 @@ func (s *System) observeOp(name string, bank, rows int, startNS, durNS float64, 
 		tr.Emit(obs.Event{
 			Kind: obs.KindSpan, Name: name, Bank: bank, Subarray: -1,
 			StartNS: startNS, DurNS: durNS, EnergyPJ: nj * 1000, Rows: rows,
+			NS: tag.NS, Req: tag.Req,
 		})
 	}
 }
 
 // utilRecord folds one reserved command-train interval into the bank
-// utilization collector.  A System without telemetry has no collector and
-// pays only this nil check.  endNS is the train's completion time on the
-// bank's timeline and durNS its latency, so the busy interval is
+// utilization collector, attributing the busy time to the tag's namespace
+// when one is set.  A System without telemetry has no collector and pays
+// only this nil check.  endNS is the train's completion time on the bank's
+// timeline and durNS its latency, so the busy interval is
 // [endNS-durNS, endNS).
-func (s *System) utilRecord(bank int, endNS, durNS float64) {
+func (s *System) utilRecord(tag Tag, bank int, endNS, durNS float64) {
 	if s.util != nil {
-		s.util.Record(bank, endNS-durNS, endNS)
+		s.util.RecordTagged(tag.NS, bank, endNS-durNS, endNS)
 	}
 }
 
@@ -654,8 +673,9 @@ func (s *System) RegisterHTTP(path, desc string, h http.Handler) error {
 // BankSaturation returns the mean busy fraction of all banks over the
 // trailing windowNS of recorded simulated time — the admission-control
 // signal behind the telemetry server's /banks timelines.  The second result
-// is false when the System was built without telemetry (no utilization
-// collector).  A fraction near 1 means the device's banks are back to back
+// is false when the System has no utilization collector (neither
+// Config.TelemetryAddr nor Config.BankUtil).  A fraction near 1 means the
+// device's banks are back to back
 // with command trains: new work will only queue.
 func (s *System) BankSaturation(windowNS float64) (float64, bool) {
 	if s.util == nil {

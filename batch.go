@@ -353,7 +353,7 @@ func (b *Batch) Run() (BatchReport, error) {
 	}
 	makespan := b.schedule(g)
 	if observing {
-		s.observeOp("batch", -1, len(b.ops), s.stats.ElapsedNS-makespan, makespan, devBefore)
+		s.observeOp(Tag{}, "batch", -1, len(b.ops), s.stats.ElapsedNS-makespan, makespan, devBefore)
 	}
 	for _, op := range b.ops {
 		if op.result != nil {
@@ -885,20 +885,20 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 		case batchBulk:
 			for r, lat := range op.rowLats {
 				done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat)
-				s.utilRecord(op.dst.rows[r].Bank, done, lat)
+				s.utilRecord(Tag{}, op.dst.rows[r].Bank, done, lat)
 				if done > end {
 					end = done
 				}
 			}
 			for r, rr := range op.rowRel {
-				s.accountReliabilityLocked(op.dst.rows[r], rr)
+				s.accountReliabilityLocked(Tag{}, op.dst.rows[r], rr)
 			}
 			s.stats.BulkOps[op.op]++
 			s.stats.RowOps += int64(len(op.dst.rows))
 		case batchCopy, batchFill:
 			for r, lat := range op.rowLats {
 				done := s.dev.Bank(op.dst.rows[r].Bank).Reserve(start, lat)
-				s.utilRecord(op.dst.rows[r].Bank, done, lat)
+				s.utilRecord(Tag{}, op.dst.rows[r].Bank, done, lat)
 				if done > end {
 					end = done
 				}
@@ -908,7 +908,7 @@ func (b *Batch) schedule(g *program.Graph) float64 {
 			for r, lat := range op.rowLats {
 				bank := op.dsts[0].rows[r].Bank
 				done := s.dev.Bank(bank).Reserve(start, lat)
-				s.utilRecord(bank, done, lat)
+				s.utilRecord(Tag{}, bank, done, lat)
 				if done > end {
 					end = done
 				}

@@ -20,12 +20,18 @@
 //
 // Endpoints (see `curl http://localhost:8612/`):
 //
-//	/v1/...       the namespace API (service layer)
-//	/metrics      Prometheus histograms, counters, and svc_* gauges
-//	/healthz      liveness
-//	/trace        live trace events (server-sent events)
-//	/banks        per-bank busy-fraction timelines (JSON)
-//	/debug/pprof  Go profiler
+//	/v1/...         the namespace API (service layer)
+//	/metrics        Prometheus histograms, counters (per-tenant svc_* series
+//	                included), and svc_* gauges
+//	/healthz        liveness
+//	/trace          live trace events (server-sent events); ?ns=NAME keeps
+//	                only the named tenant's spans
+//	/banks          per-bank busy-fraction timelines (JSON)
+//	/debug/slowlog  slowest requests (JSON, slowest first; ?n=K truncates)
+//	/debug/pprof    Go profiler
+//
+// With -log, every failed request and one in -log-every successful requests
+// is written to stderr as a structured log line (text or JSON).
 //
 // With -warm, a low-rate randomized bulk-bitwise workload (the old ambitd
 // behaviour) runs in the background so /trace and /banks show activity even
@@ -36,6 +42,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -60,6 +67,9 @@ func main() {
 	quota := flag.Int("quota", 0, "default per-namespace row quota (0 = default 4096, negative = unlimited)")
 	saturation := flag.Float64("saturation", 0, "bank busy-fraction rejection threshold (0 = default 0.95, negative = off)")
 	sample := flag.Int("sample", 0, "keep one in N op spans on /trace (0 or 1 = all)")
+	logMode := flag.String("log", "", "structured request logging to stderr: text or json (empty = off)")
+	logEvery := flag.Int("log-every", 100, "log one in N successful requests (failures always logged; with -log)")
+	slowlogSize := flag.Int("slowlog", 0, "slowest requests retained for /debug/slowlog (0 = default 64)")
 	warm := flag.Bool("warm", false, "run a background synthetic workload")
 	interval := flag.Duration("interval", 50*time.Millisecond, "pause between background workload ops (with -warm)")
 	seed := flag.Int64("seed", 1, "background workload seed (with -warm)")
@@ -72,14 +82,30 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	var logger *slog.Logger
+	switch *logMode {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fail("-log must be text, json, or empty, got %q", *logMode)
+	}
 	svc := service.New(sys, service.Config{
 		MaxInflight:         *maxInflight,
 		MaxQueue:            *maxQueue,
 		MaxWait:             *maxWait,
 		DefaultQuotaRows:    *quota,
 		SaturationThreshold: *saturation,
+		Logger:              logger,
+		LogEvery:            *logEvery,
+		SlowlogSize:         *slowlogSize,
 	})
 	if err := sys.RegisterHTTP("/v1/", "multi-tenant bitvector namespace API", svc); err != nil {
+		fail("%v", err)
+	}
+	if err := sys.RegisterHTTP("/debug/slowlog", "slowest requests (JSON, slowest first)", svc.SlowlogHandler()); err != nil {
 		fail("%v", err)
 	}
 

@@ -13,8 +13,9 @@
 // graceful degradation under overload is expected behaviour, and the
 // rejected/retried count is part of the report.  With -check, ambitload
 // additionally scrapes /metrics and fails unless the run completed with zero
-// hard errors and the service published nonzero sustained qps and p99
-// latency.
+// hard errors, the service published nonzero sustained qps and p99 latency,
+// and every tenant namespace the run loaded shows nonzero per-tenant
+// ambit_svc_*_total{ns="..."} series.
 package main
 
 import (
@@ -118,7 +119,23 @@ func main() {
 	if p99 <= 0 {
 		fail("check: /metrics ambit_svc_p99_wall_ns = %v, want > 0", p99)
 	}
-	fmt.Printf("ambitload: check ok (qps=%.1f p99=%.0fns)\n", qps, p99)
+	// Per-tenant attribution: every namespace the run loaded must have left
+	// nonzero ns-labeled svc_* series behind (the namespaces themselves are
+	// dropped, but their metric series persist).
+	samples, err := c.MetricSamples()
+	if err != nil {
+		fail("check: %v", err)
+	}
+	for _, ns := range res.Namespaces {
+		for _, family := range []string{"ambit_svc_requests_total", "ambit_svc_ops_total", "ambit_svc_queries_total"} {
+			series := fmt.Sprintf("%s{ns=%q}", family, ns)
+			if samples[series] <= 0 {
+				fail("check: /metrics %s = %v, want > 0", series, samples[series])
+			}
+		}
+	}
+	fmt.Printf("ambitload: check ok (qps=%.1f p99=%.0fns, %d tenant namespaces attributed)\n",
+		qps, p99, len(res.Namespaces))
 }
 
 func num(m map[string]any, k string) float64 {

@@ -8,7 +8,11 @@
 //     file or directory that exists;
 //   - every `FILE.md §"Section title"` cross-reference in those files must
 //     resolve to a heading of the referenced file — this is what keeps
-//     section renumbering honest.
+//     section renumbering honest;
+//   - every backticked metric name cited in those files (`ambit_...` or
+//     `svc_...`, labels and exposition suffixes included) must trace back to
+//     a metric name registered somewhere in the non-test Go sources — docs
+//     may not advertise series /metrics does not serve.
 //
 // Usage:
 //
@@ -37,8 +41,11 @@ func main() {
 	var violations []string
 
 	violations = append(violations, checkPackageComments(".")...)
+	corpus, corpusViolations := goSourceCorpus(".")
+	violations = append(violations, corpusViolations...)
 	for _, md := range markdownFiles {
 		violations = append(violations, checkMarkdown(md)...)
+		violations = append(violations, checkMetricNames(md, corpus)...)
 	}
 
 	if len(violations) > 0 {
@@ -101,6 +108,85 @@ func checkPackageComments(root string) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// goSourceCorpus concatenates every non-test .go file so metric-name
+// citations can be traced back to the string literals that register them.
+func goSourceCorpus(root string) (string, []string) {
+	var b strings.Builder
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			if name == "testdata" || name == "examples" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		return b.String(), []string{fmt.Sprintf("walking %s: %v", root, err)}
+	}
+	return b.String(), nil
+}
+
+// metricRefRe matches backticked metric citations: `ambit_...` or `svc_...`,
+// optionally with a {label="..."} set and/or an exposition suffix.
+var metricRefRe = regexp.MustCompile("`((?:ambit_|svc_)[a-z0-9_]+)(\\{[^`]*\\})?`")
+
+// checkMetricNames verifies that every metric name a document cites is
+// registered somewhere in the Go sources.  Citations are normalized — labels
+// dropped, the exposition `ambit_` prefix and `_total`/`_bucket`/`_sum`/
+// `_count` suffixes stripped — and each candidate base name must occur as a
+// quoted string literal (with or without the `ambit_` prefix) in non-test
+// code.
+func checkMetricNames(path, corpus string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range metricRefRe.FindAllStringSubmatch(string(data), -1) {
+		cited := m[1]
+		if seen[cited] {
+			continue
+		}
+		seen[cited] = true
+		bases := []string{cited, strings.TrimPrefix(cited, "ambit_")}
+		for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(bases[1], suffix); trimmed != bases[1] {
+				bases = append(bases, trimmed)
+			}
+		}
+		found := false
+		for _, base := range bases {
+			if strings.Contains(corpus, fmt.Sprintf("%q", base)) ||
+				strings.Contains(corpus, fmt.Sprintf("%q", "ambit_"+base)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, fmt.Sprintf("%s: cites metric %q not registered in any non-test .go source", path, cited))
+		}
+	}
 	return out
 }
 

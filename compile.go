@@ -170,15 +170,19 @@ func (f *Func) Run(dst *Bitvector, srcs ...*Bitvector) error {
 // unverified even when Config.Reliability.ECC is on (fault injection still
 // applies, via the step-by-step path).
 func (f *Func) RunMulti(dsts []*Bitvector, srcs ...*Bitvector) error {
-	s := f.sys
+	return f.sys.runMultiTagged(Tag{}, f, dsts, srcs)
+}
+
+// runMultiTagged is RunMulti with a request tag.
+func (s *System) runMultiTagged(tag Tag, f *Func, dsts []*Bitvector, srcs []*Bitvector) error {
 	if s.serialOnly() {
 		s.execMu.Lock()
 		defer s.execMu.Unlock()
-		return s.runFuncSerial(f, dsts, srcs)
+		return s.runFuncSerial(tag, f, dsts, srcs)
 	}
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
-	return s.runFuncParallel(f, dsts, srcs)
+	return s.runFuncParallel(tag, f, dsts, srcs)
 }
 
 // checkFuncOperands validates operand liveness, shape, and aliasing for one
@@ -238,7 +242,7 @@ func fillFuncRow(f *Func, dsts, srcs []*Bitvector, r int, buf []dram.RowAddr) dr
 
 // runFuncSerial is the exclusive-lock path (fault injection, forceSerial).
 // The caller holds execMu exclusively.
-func (s *System) runFuncSerial(f *Func, dsts, srcs []*Bitvector) error {
+func (s *System) runFuncSerial(tag Tag, f *Func, dsts, srcs []*Bitvector) error {
 	if err := s.checkFuncOperands(f, dsts, srcs); err != nil {
 		return err
 	}
@@ -264,7 +268,7 @@ func (s *System) runFuncSerial(f *Func, dsts, srcs []*Bitvector) error {
 			return fmt.Errorf("ambit: func %s row %d: %w", f.name, r, err)
 		}
 		done := s.dev.Bank(da.Bank).Reserve(start, lat)
-		s.utilRecord(da.Bank, done, lat)
+		s.utilRecord(tag, da.Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -273,7 +277,7 @@ func (s *System) runFuncSerial(f *Func, dsts, srcs []*Bitvector) error {
 	s.stats.FuncOps++
 	s.stats.RowOps += int64(nRows)
 	if observing {
-		s.observeOp("func:"+f.name, -1, nRows, opStart, end-opStart, devBefore)
+		s.observeOp(tag, "func:"+f.name, -1, nRows, opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -282,7 +286,7 @@ func (s *System) runFuncSerial(f *Func, dsts, srcs []*Bitvector) error {
 // trains on the worker pool, deterministic merge — mirroring applyParallel.
 // One operand buffer per bank keeps the scheduling path allocation-free.
 // The caller holds execMu for reading.
-func (s *System) runFuncParallel(f *Func, dsts, srcs []*Bitvector) error {
+func (s *System) runFuncParallel(tag Tag, f *Func, dsts, srcs []*Bitvector) error {
 	if err := s.checkFuncOperands(f, dsts, srcs); err != nil {
 		return err
 	}
@@ -304,7 +308,7 @@ func (s *System) runFuncParallel(f *Func, dsts, srcs []*Bitvector) error {
 	ss := s.cfg.Tracer.BeginShards(banks)
 	run := getOpRunner(s)
 	run.kind, run.f, run.dsts, run.srcs = runFunc, f, dsts, srcs
-	run.start, run.ss = start, ss
+	run.start, run.ss, run.tag = start, ss, tag
 	res := s.eng.RunPlan(plan, run)
 	putOpRunner(run)
 	ss.MergeAndEmit()
@@ -328,7 +332,7 @@ func (s *System) runFuncParallel(f *Func, dsts, srcs []*Bitvector) error {
 		return fmt.Errorf("ambit: func %s row %d: %w", f.name, res.ErrRow, res.Err)
 	}
 	if observing {
-		s.observeOp("func:"+f.name, -1, nRows, opStart, end-opStart, devBefore)
+		s.observeOp(tag, "func:"+f.name, -1, nRows, opStart, end-opStart, devBefore)
 	}
 	return nil
 }

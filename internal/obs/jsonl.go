@@ -97,6 +97,15 @@ func (s *JSONL) Emit(e Event) {
 	if e.Comment != "" {
 		fmt.Fprintf(&args, `,"comment":%q`, e.Comment)
 	}
+	// The args key "ns" is taken (duration nanoseconds, above), so request
+	// identity uses "tenant"/"req"; untagged events render byte-identically
+	// to traces produced before tagging existed.
+	if e.NS != "" {
+		fmt.Fprintf(&args, `,"tenant":%q`, e.NS)
+	}
+	if e.Req != "" {
+		fmt.Fprintf(&args, `,"req":%q`, e.Req)
+	}
 	fmt.Fprintf(&args, `,"seq":%d`, e.Seq)
 
 	cat := "op"

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	a := Label{Key: "ns", Value: "alice"}
+	b := Label{Key: "ns", Value: "bob"}
+
+	r.AddLabeled("svc_requests", 2, a)
+	r.AddLabeled("svc_requests", 5, b)
+	r.LabeledCounter("svc_requests", a).Add(1)
+
+	if got := r.LabeledCounterValue("svc_requests", a); got != 3 {
+		t.Errorf("alice = %d, want 3", got)
+	}
+	if got := r.LabeledCounterValue("svc_requests", b); got != 5 {
+		t.Errorf("bob = %d, want 5", got)
+	}
+	// Reads must not create series.
+	if got := r.LabeledCounterValue("svc_requests", Label{Key: "ns", Value: "carol"}); got != 0 {
+		t.Errorf("carol = %d, want 0", got)
+	}
+	if got := r.LabeledCounterValue("no_such_family", a); got != 0 {
+		t.Errorf("unknown family = %d, want 0", got)
+	}
+	if keys := r.LabeledSeriesKeys("svc_requests"); len(keys) != 2 {
+		t.Errorf("series keys = %v, want exactly alice and bob", keys)
+	}
+	// Nil handles are safe no-ops.
+	var nilC *Counter
+	nilC.Add(1)
+	if nilC.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+}
+
+func TestLabeledLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	// The same label set in either order must address the same series.
+	r.AddLabeled("multi", 1, Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	r.AddLabeled("multi", 1, Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	if got := r.LabeledCounterValue("multi", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"}); got != 2 {
+		t.Errorf("reordered labels read %d, want 2", got)
+	}
+	keys := r.LabeledSeriesKeys("multi")
+	if len(keys) != 1 || keys[0] != `a="1",b="2"` {
+		t.Errorf("series keys = %v, want one canonical a-then-b key", keys)
+	}
+}
+
+func TestLabeledHistogramAndGauge(t *testing.T) {
+	r := NewRegistry()
+	ns := Label{Key: "ns", Value: "t0"}
+	h := r.LabeledHistogram("svc_wall_ns", WallBucketsNS, ns)
+	h.Observe(2e3)
+	h.Observe(5e6)
+	snap, ok := r.LabeledHistogramSnapshot("svc_wall_ns", ns)
+	if !ok || snap.Count != 2 || snap.Sum != 2e3+5e6 {
+		t.Fatalf("snapshot = %+v (ok=%v), want count 2 sum %g", snap, ok, 2e3+5e6)
+	}
+	if _, ok := r.LabeledHistogramSnapshot("svc_wall_ns", Label{Key: "ns", Value: "t1"}); ok {
+		t.Error("snapshot of nonexistent series reported ok")
+	}
+	all := r.LabeledHistograms("svc_wall_ns")
+	if len(all) != 1 || all[0].Snap.Count != 2 {
+		t.Errorf("LabeledHistograms = %+v, want the one t0 series", all)
+	}
+
+	g := r.LabeledGauge("svc_depth", ns)
+	g.Set(7.5)
+	if g.Value() != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", g.Value())
+	}
+}
+
+func TestLabeledOverflowFoldIn(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < MaxSeriesPerFamily; i++ {
+		r.AddLabeled("flood", 1, Label{Key: "ns", Value: fmt.Sprintf("t%03d", i)})
+	}
+	// Past the cap, every new label set lands on the single overflow series.
+	for i := 0; i < 10; i++ {
+		r.AddLabeled("flood", 1, Label{Key: "ns", Value: fmt.Sprintf("extra%d", i)})
+	}
+	if got := r.LabeledCounterValue("flood", Label{Key: "overflow", Value: "true"}); got != 10 {
+		t.Errorf("overflow series = %d, want 10", got)
+	}
+	// Existing series keep working after the fold-in starts.
+	r.AddLabeled("flood", 1, Label{Key: "ns", Value: "t000"})
+	if got := r.LabeledCounterValue("flood", Label{Key: "ns", Value: "t000"}); got != 2 {
+		t.Errorf("t000 = %d, want 2", got)
+	}
+	if keys := r.LabeledSeriesKeys("flood"); len(keys) != MaxSeriesPerFamily+1 {
+		t.Errorf("%d series keys, want cap %d + overflow", len(keys), MaxSeriesPerFamily)
+	}
+}
+
+func TestLabeledExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Add("svc_requests", 4) // flat sample of the same name
+	r.AddLabeled("svc_requests", 3, Label{Key: "ns", Value: "alice"})
+	r.AddLabeled("svc_requests", 1, Label{Key: "ns", Value: "bob"})
+	r.LabeledGauge("svc_depth", Label{Key: "ns", Value: "alice"}).Set(2)
+	r.LabeledHistogram("svc_wall_ns", WallBucketsNS, Label{Key: "ns", Value: "alice"}).Observe(1500)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ambit_svc_requests_total counter",
+		"ambit_svc_requests_total 4",
+		`ambit_svc_requests_total{ns="alice"} 3`,
+		`ambit_svc_requests_total{ns="bob"} 1`,
+		`ambit_svc_depth{ns="alice"} 2`,
+		`ambit_svc_wall_ns_bucket{ns="alice",le="2500"} 1`,
+		`ambit_svc_wall_ns_sum{ns="alice"} 1500`,
+		`ambit_svc_wall_ns_count{ns="alice"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The flat sample and the labeled series must share one HELP/TYPE block.
+	if strings.Count(out, "# TYPE ambit_svc_requests_total") != 1 {
+		t.Errorf("ambit_svc_requests_total declared more than once:\n%s", out)
+	}
+}
+
+// TestLabeledConcurrent races many tenants' writes against exposition reads
+// and snapshot sweeps; run under -race in CI, it is the data-race gate for
+// the labeled-family machinery (copy-on-write series creation racing
+// lock-free hot-path updates).
+func TestLabeledConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := Label{Key: "ns", Value: fmt.Sprintf("tenant-%d", w)}
+			shared := Label{Key: "ns", Value: "shared"}
+			h := r.LabeledHistogram("svc_wall_ns", WallBucketsNS, own)
+			for i := 0; i < iters; i++ {
+				r.AddLabeled("svc_requests", 1, own)
+				r.AddLabeled("svc_requests", 1, shared)
+				h.Observe(float64(1000 * (i + 1)))
+				r.LabeledGauge("svc_depth", own).Set(float64(i))
+				if i%50 == 0 {
+					// Churn fresh series to race map growth.
+					r.AddLabeled("churn", 1, Label{Key: "ns", Value: fmt.Sprintf("w%d-i%d", w, i)})
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if _, err := r.WriteTo(&b); err != nil {
+				t.Errorf("WriteTo: %v", err)
+				return
+			}
+			r.LabeledHistograms("svc_wall_ns")
+			r.LabeledSeriesKeys("svc_requests")
+			r.LabeledCounterValue("svc_requests", Label{Key: "ns", Value: "shared"})
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	var total int64
+	for w := 0; w < writers; w++ {
+		own := Label{Key: "ns", Value: fmt.Sprintf("tenant-%d", w)}
+		if got := r.LabeledCounterValue("svc_requests", own); got != iters {
+			t.Errorf("tenant-%d = %d, want %d", w, got, iters)
+		}
+		total += r.LabeledCounterValue("svc_requests", own)
+	}
+	if got := r.LabeledCounterValue("svc_requests", Label{Key: "ns", Value: "shared"}); got != writers*iters {
+		t.Errorf("shared = %d, want %d", got, writers*iters)
+	}
+	if total != writers*iters {
+		t.Errorf("per-tenant totals sum to %d, want %d", total, writers*iters)
+	}
+}

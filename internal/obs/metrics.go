@@ -149,6 +149,11 @@ type Registry struct {
 	energy   atomic.Pointer[map[string]*histogram]
 	counters atomic.Pointer[map[string]*atomic.Int64]
 	gauges   atomic.Pointer[map[string]*atomicFloat64]
+	// labeled holds the bounded-cardinality labeled families (labels.go),
+	// keyed by family name.  A labeled family and a flat counter/gauge of
+	// the same name render as one exposition block: the unlabeled sample
+	// first, then the labeled series.
+	labeled atomic.Pointer[map[string]*labeledFamily]
 }
 
 // NewRegistry creates an empty registry.
@@ -156,10 +161,12 @@ func NewRegistry() *Registry {
 	r := &Registry{}
 	lm, em := map[string]*histogram{}, map[string]*histogram{}
 	cm, gm := map[string]*atomic.Int64{}, map[string]*atomicFloat64{}
+	fm := map[string]*labeledFamily{}
 	r.latency.Store(&lm)
 	r.energy.Store(&em)
 	r.counters.Store(&cm)
 	r.gauges.Store(&gm)
+	r.labeled.Store(&fm)
 	return r
 }
 
@@ -300,11 +307,15 @@ func (r *Registry) Ops() []string {
 }
 
 // WriteTo renders the registry in Prometheus text exposition format:
-// ambit_op_latency_ns / ambit_op_energy_nj histograms labelled by op, and
-// ambit_<name>_total counters.  Output is deterministically ordered.  The
-// totals (_count and the +Inf bucket) are derived from the bucket counts of
-// one snapshot, so every rendered histogram is internally consistent even
-// while observations race the scrape.
+// ambit_op_latency_ns / ambit_op_energy_nj histograms labelled by op,
+// ambit_<name>_total counters, ambit_<name> gauges, and the labeled
+// families (labels.go) as ambit_<family>... series with their label sets.
+// A flat counter/gauge and a labeled family sharing a name render under one
+// HELP/TYPE block — unlabeled sample first, labeled series after, sorted by
+// canonical label key.  Output is deterministically ordered.  The totals
+// (_count and the +Inf bucket) are derived from the bucket counts of one
+// snapshot, so every rendered histogram is internally consistent even while
+// observations race the scrape.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 
@@ -334,28 +345,75 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	writeHist("ambit_op_latency_ns", "Simulated per-operation latency in nanoseconds.", *r.latency.Load())
 	writeHist("ambit_op_energy_nj", "Simulated per-operation device energy in nanojoules.", *r.energy.Load())
 
+	for _, f := range r.labeledFamilies(famHistogram) {
+		metric := "ambit_" + f.name
+		fmt.Fprintf(&b, "# HELP %s Labeled %s histogram.\n# TYPE %s histogram\n",
+			metric, strings.ReplaceAll(f.name, "_", " "), metric)
+		for _, sr := range f.sortedSeries() {
+			s := sr.h.Snapshot()
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", metric, sr.key, ftoa(bound), cum)
+			}
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(&b, "%s_bucket{%s,le=\"+Inf\"} %d\n", metric, sr.key, cum)
+			fmt.Fprintf(&b, "%s_sum{%s} %s\n", metric, sr.key, ftoa(s.Sum))
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", metric, sr.key, cum)
+		}
+	}
+
 	counters := *r.counters.Load()
-	names := make([]string, 0, len(counters))
+	counterFams := r.labeledFamilies(famCounter)
+	names := make([]string, 0, len(counters)+len(counterFams))
 	for name := range counters {
 		names = append(names, name)
 	}
+	for _, f := range counterFams {
+		if _, ok := counters[f.name]; !ok {
+			names = append(names, f.name)
+		}
+	}
 	sort.Strings(names)
+	fams := *r.labeled.Load()
 	for _, name := range names {
 		metric := "ambit_" + name + "_total"
-		fmt.Fprintf(&b, "# HELP %s Cumulative %s.\n# TYPE %s counter\n%s %d\n",
-			metric, strings.ReplaceAll(name, "_", " "), metric, metric, counters[name].Load())
+		fmt.Fprintf(&b, "# HELP %s Cumulative %s.\n# TYPE %s counter\n",
+			metric, strings.ReplaceAll(name, "_", " "), metric)
+		if c, ok := counters[name]; ok {
+			fmt.Fprintf(&b, "%s %d\n", metric, c.Load())
+		}
+		if f := fams[name]; f != nil && f.kind == famCounter {
+			for _, sr := range f.sortedSeries() {
+				fmt.Fprintf(&b, "%s{%s} %d\n", metric, sr.key, sr.c.Value())
+			}
+		}
 	}
 
 	gauges := *r.gauges.Load()
+	gaugeFams := r.labeledFamilies(famGauge)
 	names = names[:0]
 	for name := range gauges {
 		names = append(names, name)
 	}
+	for _, f := range gaugeFams {
+		if _, ok := gauges[f.name]; !ok {
+			names = append(names, f.name)
+		}
+	}
 	sort.Strings(names)
 	for _, name := range names {
 		metric := "ambit_" + name
-		fmt.Fprintf(&b, "# HELP %s Instantaneous %s.\n# TYPE %s gauge\n%s %s\n",
-			metric, strings.ReplaceAll(name, "_", " "), metric, metric, ftoa(gauges[name].Load()))
+		fmt.Fprintf(&b, "# HELP %s Instantaneous %s.\n# TYPE %s gauge\n",
+			metric, strings.ReplaceAll(name, "_", " "), metric)
+		if g, ok := gauges[name]; ok {
+			fmt.Fprintf(&b, "%s %s\n", metric, ftoa(g.Load()))
+		}
+		if f := fams[name]; f != nil && f.kind == famGauge {
+			for _, sr := range f.sortedSeries() {
+				fmt.Fprintf(&b, "%s{%s} %s\n", metric, sr.key, ftoa(sr.g.Value()))
+			}
+		}
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err

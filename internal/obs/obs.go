@@ -75,6 +75,12 @@ type Event struct {
 	A1, A2 string
 	// Comment is the Figure-8 style annotation of a command's effect.
 	Comment string
+	// NS and Req carry the request identity of the tenant operation that
+	// produced the event: the namespace (tenant) name and the request id
+	// (X-Request-ID).  Both are empty for untagged library use and for
+	// command events, which belong to the deterministic per-bank stream
+	// rather than to one request.
+	NS, Req string
 	// Seq is a global emission sequence number assigned by the Tracer.
 	Seq uint64
 }

@@ -80,14 +80,30 @@ func classify(err error) (status int, kind string, retryAfterSec int) {
 // writeErr renders an error as the JSON error body, counts it, and attaches
 // Retry-After for transient saturation.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	s.writeErrNS(w, nil, err)
+}
+
+// writeErrNS is writeErr with per-tenant attribution: when nh is non-nil the
+// rejection/error is also counted on the namespace's labeled series, so
+// /metrics distinguishes which tenant is being throttled or failing.
+func (s *Server) writeErrNS(w http.ResponseWriter, nh *nsHandles, err error) {
 	status, kind, retryAfter := classify(err)
 	switch kind {
 	case "quota_exceeded":
 		s.reg.Add("svc_rejected_quota", 1)
+		if nh != nil {
+			nh.rejQuota.Add(1)
+		}
 	case "saturated":
 		s.reg.Add("svc_rejected_saturated", 1)
+		if nh != nil {
+			nh.rejSat.Add(1)
+		}
 	default:
 		s.reg.Add("svc_errors", 1)
+		if nh != nil {
+			nh.errors.Add(1)
+		}
 	}
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfter))

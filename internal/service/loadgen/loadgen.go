@@ -202,9 +202,28 @@ func (c *Client) ServiceStats() (map[string]any, error) {
 }
 
 // MetricGauges fetches /metrics and returns the plain (unlabelled) numeric
-// samples by metric name — gauges and counters; histogram series carry
-// labels and are skipped.
+// samples by metric name — gauges and counters; labeled series (histogram
+// buckets, per-tenant shadows) are skipped.  Use MetricSamples to see those.
 func (c *Client) MetricGauges() (map[string]float64, error) {
+	all, err := c.MetricSamples()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for name, v := range all {
+		if !strings.Contains(name, "{") {
+			out[name] = v
+		}
+	}
+	return out, nil
+}
+
+// MetricSamples fetches /metrics and returns every numeric sample keyed by
+// its full series identity, labels included — the plain
+// "ambit_svc_requests_total" next to the per-tenant
+// `ambit_svc_requests_total{ns="bmi-0"}`.  Keys match the exposition text
+// verbatim (labels sorted by key, values %q-quoted).
+func (c *Client) MetricSamples() (map[string]float64, error) {
 	resp, err := c.hc().Get(c.Base + "/metrics")
 	if err != nil {
 		return nil, err
@@ -219,18 +238,21 @@ func (c *Client) MetricGauges() (map[string]float64, error) {
 	}
 	out := map[string]float64{}
 	for _, line := range strings.Split(string(raw), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		name, val, ok := strings.Cut(line, " ")
-		if !ok {
+		// The value is everything past the last space; the numeric value
+		// itself never contains one, so the cut is safe even when a quoted
+		// label value does.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
 			continue
 		}
-		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		f, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
 		if err != nil {
 			continue
 		}
-		out[name] = f
+		out[strings.TrimSpace(line[:i])] = f
 	}
 	return out, nil
 }

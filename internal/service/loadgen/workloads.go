@@ -73,6 +73,11 @@ type Result struct {
 	Wall time.Duration
 	// FirstErr samples one hard failure for diagnosis.
 	FirstErr error
+	// Namespaces lists every tenant namespace the run created.  The
+	// namespaces themselves are dropped on tenant exit, but their labeled
+	// ns="..." metric series persist on /metrics, so checkers can assert
+	// per-tenant attribution after the run.
+	Namespaces []string
 }
 
 func (r Result) String() string {
@@ -120,27 +125,35 @@ func Run(c *Client, cfg Config) Result {
 	cfg.fill()
 	sink := &counterSink{}
 	start := time.Now()
+	namespaces := make([]string, cfg.Tenants)
 	var wg sync.WaitGroup
 	for t := 0; t < cfg.Tenants; t++ {
+		switch cfg.Workload {
+		case BitFunnel:
+			namespaces[t] = fmt.Sprintf("bf-%d", t)
+		default:
+			namespaces[t] = fmt.Sprintf("bmi-%d", t)
+		}
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
 			switch cfg.Workload {
 			case BitFunnel:
-				runBitFunnelTenant(c, cfg, sink, t)
+				runBitFunnelTenant(c, cfg, sink, namespaces[t], t)
 			default:
-				runBitmapIndexTenant(c, cfg, sink, t)
+				runBitmapIndexTenant(c, cfg, sink, namespaces[t], t)
 			}
 		}(t)
 	}
 	wg.Wait()
 	return Result{
-		Requests: sink.requests.Load(),
-		Queries:  sink.queries.Load(),
-		Rejected: sink.rejected.Load(),
-		Errors:   sink.errors.Load(),
-		Wall:     time.Since(start),
-		FirstErr: sink.firstErr,
+		Requests:   sink.requests.Load(),
+		Queries:    sink.queries.Load(),
+		Rejected:   sink.rejected.Load(),
+		Errors:     sink.errors.Load(),
+		Wall:       time.Since(start),
+		FirstErr:   sink.firstErr,
+		Namespaces: namespaces,
 	}
 }
 
@@ -161,9 +174,8 @@ func randomWords(rng *rand.Rand, bits int64, density float64) []uint64 {
 // runBitmapIndexTenant is one tenant of the Section 8.1 analytics shape:
 // seven daily activity bitmaps per query round, OR-reduced into a weekly
 // bitmap, AND-merged into the running every-week bitmap, then popcounted.
-func runBitmapIndexTenant(c *Client, cfg Config, sink *counterSink, tenant int) {
+func runBitmapIndexTenant(c *Client, cfg Config, sink *counterSink, ns string, tenant int) {
 	const days = 7
-	ns := fmt.Sprintf("bmi-%d", tenant)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(tenant)))
 	r := func(fn func() error) bool { return sink.retry(cfg.MaxRetries, fn) == nil }
 
@@ -212,10 +224,9 @@ func runBitmapIndexTenant(c *Client, cfg Config, sink *counterSink, tenant int) 
 // runBitFunnelTenant is one tenant of the Section 8.4.1 filtering shape:
 // bit-sliced Bloom signature rows; each query ANDs a handful of rows into an
 // accumulator and popcounts the surviving documents.
-func runBitFunnelTenant(c *Client, cfg Config, sink *counterSink, tenant int) {
+func runBitFunnelTenant(c *Client, cfg Config, sink *counterSink, ns string, tenant int) {
 	const sigBits = 16
 	const termsPerQuery = 3
-	ns := fmt.Sprintf("bf-%d", tenant)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(tenant)))
 	r := func(fn func() error) bool { return sink.retry(cfg.MaxRetries, fn) == nil }
 

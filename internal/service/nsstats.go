@@ -1,0 +1,84 @@
+package service
+
+// Per-namespace stats: GET /v1/namespaces/{ns}/stats is the tenant-scoped
+// counterpart of /v1/stats, read entirely from the ns="..." labeled series
+// the request path maintains — request/op/error counters, wall-latency
+// percentiles, the reliability attribution the execution layer commits
+// (retries, corrected bits, MAJ-X fault injections), and the tenant's share
+// of device busy time (System.TagBusyNS).
+
+import (
+	"net/http"
+
+	"ambit"
+)
+
+// NamespaceStats is the GET /v1/namespaces/{ns}/stats response.  The counter
+// fields mirror the ambit_svc_*_total{ns="..."} series /metrics exposes; the
+// reliability fields mirror the tenant-labeled shadows of the flat
+// reliability counters (ambit_retries_total{ns="..."}, ...).
+type NamespaceStats struct {
+	Name      string `json:"name"`
+	BaseSlot  int    `json:"base_slot"`
+	QuotaRows int    `json:"quota_rows"`
+	UsedRows  int    `json:"used_rows"`
+	Vectors   int    `json:"vectors"`
+	Funcs     int    `json:"funcs"`
+
+	Requests          int64   `json:"requests_total"`
+	Ops               int64   `json:"ops_total"`
+	Queries           int64   `json:"queries_total"`
+	Errors            int64   `json:"errors_total"`
+	RejectedQuota     int64   `json:"rejected_quota_total"`
+	RejectedSaturated int64   `json:"rejected_saturated_total"`
+	P50WallNS         float64 `json:"p50_wall_ns"`
+	P99WallNS         float64 `json:"p99_wall_ns"`
+
+	Retries           int64 `json:"retries_total"`
+	CorrectedBits     int64 `json:"corrected_bits_total"`
+	DetectedRows      int64 `json:"detected_rows_total"`
+	UncorrectableRows int64 `json:"uncorrectable_rows_total"`
+	MajFaultEvents    int64 `json:"maj_fault_events_total"`
+	MajFaultBits      int64 `json:"maj_fault_bits_total"`
+
+	// BankBusyNS is the simulated device time this tenant's operations
+	// occupied banks for (0 when the System has no utilization collector).
+	BankBusyNS float64 `json:"bank_busy_ns"`
+}
+
+func (s *Server) handleNSStats(w http.ResponseWriter, r *http.Request) {
+	ns, err := s.ns(r.PathValue("ns"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	ns.mu.Lock()
+	st := NamespaceStats{
+		Name:      ns.name,
+		BaseSlot:  ns.baseSlot,
+		QuotaRows: ns.quota.Limit(),
+		UsedRows:  ns.quota.Used(),
+		Vectors:   len(ns.vectors),
+		Funcs:     len(ns.funcs),
+	}
+	ns.mu.Unlock()
+	label := ambit.Label{Key: "ns", Value: ns.name}
+	st.Requests = s.reg.LabeledCounterValue("svc_requests", label)
+	st.Ops = s.reg.LabeledCounterValue("svc_ops", label)
+	st.Queries = s.reg.LabeledCounterValue("svc_queries", label)
+	st.Errors = s.reg.LabeledCounterValue("svc_errors", label)
+	st.RejectedQuota = s.reg.LabeledCounterValue("svc_rejected_quota", label)
+	st.RejectedSaturated = s.reg.LabeledCounterValue("svc_rejected_saturated", label)
+	if snap, ok := s.reg.LabeledHistogramSnapshot("svc_wall_ns", label); ok {
+		st.P50WallNS = snap.Quantile(0.50)
+		st.P99WallNS = snap.Quantile(0.99)
+	}
+	st.Retries = s.reg.LabeledCounterValue("retries", label)
+	st.CorrectedBits = s.reg.LabeledCounterValue("corrected_bits", label)
+	st.DetectedRows = s.reg.LabeledCounterValue("detected_rows", label)
+	st.UncorrectableRows = s.reg.LabeledCounterValue("uncorrectable_rows", label)
+	st.MajFaultEvents = s.reg.LabeledCounterValue("maj_fault_events", label)
+	st.MajFaultBits = s.reg.LabeledCounterValue("maj_fault_bits", label)
+	st.BankBusyNS, _ = s.sys.TagBusyNS(ns.name)
+	writeJSON(w, http.StatusOK, st) //nolint:errcheck // client went away
+}

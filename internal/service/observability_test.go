@@ -1,0 +1,303 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"ambit"
+)
+
+func newTestServiceOpts(t *testing.T, cfg Config, opts ...ambit.Option) (*Server, *httptest.Server, *ambit.System) {
+	t.Helper()
+	sys, err := ambit.New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc := New(sys, cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+		sys.Close()
+	})
+	return svc, ts, sys
+}
+
+// driveTenant walks one namespace through a fixed request sequence: create,
+// one vector, one backdoor data load, then `ops` bulk NOTs and `queries`
+// popcounts.  It returns the number of admitted requests issued.
+func driveTenant(t *testing.T, base, ns string, rowBits int64, ops, queries int) int64 {
+	t.Helper()
+	nsURL := base + "/v1/namespaces/" + ns
+	if st, b, _ := do(t, "PUT", nsURL, nil); st != http.StatusCreated {
+		t.Fatalf("%s create: %d %s", ns, st, b)
+	}
+	if st, b, _ := do(t, "PUT", nsURL+"/vectors/v", mustJSON(t, map[string]int64{"bits": rowBits})); st != http.StatusCreated {
+		t.Fatalf("%s vec create: %d %s", ns, st, b)
+	}
+	if st, b, _ := do(t, "PUT", nsURL+"/vectors/v/data?backdoor=1", wordsToBytes(make([]uint64, rowBits/64))); st != http.StatusOK {
+		t.Fatalf("%s write: %d %s", ns, st, b)
+	}
+	for i := 0; i < ops; i++ {
+		if st, b, _ := do(t, "POST", nsURL+"/ops", mustJSON(t, map[string]string{"op": "not", "dst": "v", "a": "v"})); st != http.StatusOK {
+			t.Fatalf("%s op: %d %s", ns, st, b)
+		}
+	}
+	for i := 0; i < queries; i++ {
+		if st, b, _ := do(t, "POST", nsURL+"/query", mustJSON(t, map[string]string{"op": "popcount", "vector": "v"})); st != http.StatusOK {
+			t.Fatalf("%s query: %d %s", ns, st, b)
+		}
+	}
+	return int64(3 + ops + queries)
+}
+
+// TestServicePerTenantMetrics checks the tenant-labeled request/op/query
+// counters against a known request mix, their sum against the flat service
+// counters, and the /v1/namespaces/{ns}/stats view against both.
+func TestServicePerTenantMetrics(t *testing.T) {
+	svc, ts, sys := newTestService(t, Config{})
+	rowBits := int64(sys.RowSizeBits())
+
+	aliceReqs := driveTenant(t, ts.URL, "alice", rowBits, 3, 2)
+	bobReqs := driveTenant(t, ts.URL, "bob", rowBits, 1, 1)
+
+	label := func(ns string) ambit.Label { return ambit.Label{Key: "ns", Value: ns} }
+	checks := []struct {
+		family string
+		ns     string
+		want   int64
+	}{
+		{"svc_requests", "alice", aliceReqs},
+		{"svc_requests", "bob", bobReqs},
+		{"svc_ops", "alice", 3},
+		{"svc_ops", "bob", 1},
+		{"svc_queries", "alice", 2},
+		{"svc_queries", "bob", 1},
+		{"svc_errors", "alice", 0},
+		{"svc_rejected_quota", "alice", 0},
+	}
+	for _, c := range checks {
+		if got := svc.reg.LabeledCounterValue(c.family, label(c.ns)); got != c.want {
+			t.Errorf("%s{ns=%q} = %d, want %d", c.family, c.ns, got, c.want)
+		}
+	}
+	// The labeled series partition the flat counters: no request is counted
+	// for a tenant without being counted globally, and vice versa.
+	for _, family := range []string{"svc_requests", "svc_ops", "svc_queries"} {
+		sum := svc.reg.LabeledCounterValue(family, label("alice")) +
+			svc.reg.LabeledCounterValue(family, label("bob"))
+		if flat := svc.reg.Counter(family); sum != flat {
+			t.Errorf("%s: labeled sum %d != flat counter %d", family, sum, flat)
+		}
+	}
+	// Wall-time attribution: every admitted request lands exactly one
+	// observation in the tenant's histogram series.
+	snap, ok := svc.reg.LabeledHistogramSnapshot("svc_wall_ns", label("alice"))
+	if !ok || snap.Count != uint64(aliceReqs) {
+		t.Errorf("svc_wall_ns{ns=alice} count = %d (ok=%v), want %d", snap.Count, ok, aliceReqs)
+	}
+
+	// The per-namespace stats endpoint reads the same series.
+	st, body, _ := do(t, "GET", ts.URL+"/v1/namespaces/alice/stats", nil)
+	if st != http.StatusOK {
+		t.Fatalf("ns stats: %d %s", st, body)
+	}
+	var nst NamespaceStats
+	if err := json.Unmarshal(body, &nst); err != nil {
+		t.Fatalf("ns stats decode: %v", err)
+	}
+	if nst.Name != "alice" || nst.Requests != aliceReqs || nst.Ops != 3 || nst.Queries != 2 {
+		t.Errorf("ns stats = %+v, want alice with %d requests, 3 ops, 2 queries", nst, aliceReqs)
+	}
+	if nst.P99WallNS <= 0 {
+		t.Errorf("ns stats p99_wall_ns = %v, want > 0", nst.P99WallNS)
+	}
+	if st, body, _ := do(t, "GET", ts.URL+"/v1/namespaces/nope/stats", nil); st != http.StatusNotFound {
+		t.Errorf("unknown ns stats: %d %s", st, body)
+	}
+}
+
+// TestServiceRequestID checks request-identity propagation at the HTTP edge:
+// a client-supplied X-Request-ID is echoed back, and requests without one get
+// a server-assigned ID.
+func TestServiceRequestID(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{})
+
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/namespaces/rid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "client-chosen-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-chosen-42" {
+		t.Errorf("echoed request ID = %q, want client-chosen-42", got)
+	}
+
+	_, _, hdr := do(t, "POST", ts.URL+"/v1/namespaces/rid/query", mustJSON(t, map[string]string{"op": "popcount", "vector": "x"}))
+	if hdr.Get("X-Request-ID") == "" {
+		t.Error("server did not assign a request ID")
+	}
+}
+
+// TestServiceSlowlog drives a request mix and checks the /debug/slowlog
+// handler: entries ordered slowest-first, annotated with tenant and request
+// identity, and truncated by ?n=.
+func TestServiceSlowlog(t *testing.T) {
+	svc, ts, sys := newTestService(t, Config{SlowlogSize: 8})
+	rowBits := int64(sys.RowSizeBits())
+	reqs := driveTenant(t, ts.URL, "slow", rowBits, 2, 1)
+
+	rec := httptest.NewRecorder()
+	svc.SlowlogHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("slowlog: %d %s", rec.Code, rec.Body)
+	}
+	var entries []SlowEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatalf("slowlog decode: %v", err)
+	}
+	if int64(len(entries)) != reqs {
+		t.Fatalf("slowlog has %d entries, want all %d requests (cap 8)", len(entries), reqs)
+	}
+	for i, e := range entries {
+		if e.NS != "slow" || e.Req == "" || e.Route == "" || e.WallNS <= 0 {
+			t.Errorf("entry %d incomplete: %+v", i, e)
+		}
+		if i > 0 && entries[i-1].WallNS < e.WallNS {
+			t.Errorf("slowlog not sorted slowest-first at %d: %v < %v", i, entries[i-1].WallNS, e.WallNS)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	svc.SlowlogHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog?n=2", nil))
+	var top []SlowEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &top); err != nil {
+		t.Fatalf("slowlog?n=2 decode: %v", err)
+	}
+	if len(top) != 2 || !reflect.DeepEqual(top, entries[:2]) {
+		t.Errorf("slowlog?n=2 = %+v, want the 2 slowest of %+v", top, entries[:2])
+	}
+}
+
+// TestServiceSetWordsFullCoverDifferential is the write-plane oracle for the
+// SetWords fast path: a full-cover HTTP data write must produce the same
+// vector contents and byte-identical Stats as the library's SetWords.
+func TestServiceSetWordsFullCoverDifferential(t *testing.T) {
+	_, ts, svcSys := newTestService(t, Config{})
+	base := ts.URL + "/v1/namespaces/t"
+	libSys, err := ambit.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer libSys.Close()
+
+	rowBits := int64(svcSys.RowSizeBits())
+	bits := 2 * rowBits // exact row multiple: the SetWords full-cover path
+	rng := rand.New(rand.NewSource(3))
+	words := make([]uint64, bits/64)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+
+	if st, b, _ := do(t, "PUT", base, nil); st != http.StatusCreated {
+		t.Fatalf("ns create: %d %s", st, b)
+	}
+	if st, b, _ := do(t, "PUT", base+"/vectors/v", mustJSON(t, map[string]int64{"bits": bits})); st != http.StatusCreated {
+		t.Fatalf("vec create: %d %s", st, b)
+	}
+	if st, b, _ := do(t, "PUT", base+"/vectors/v/data", wordsToBytes(words)); st != http.StatusOK {
+		t.Fatalf("write: %d %s", st, b)
+	}
+	st, svcBytes, _ := do(t, "GET", base+"/vectors/v/data", nil)
+	if st != http.StatusOK {
+		t.Fatalf("read: %d %s", st, svcBytes)
+	}
+	svcStats := svcSys.Stats()
+
+	lv, err := libSys.AllocAt(bits, 0)
+	if err != nil {
+		t.Fatalf("AllocAt: %v", err)
+	}
+	if _, err := lv.SetWords(words); err != nil {
+		t.Fatalf("SetWords: %v", err)
+	}
+	libWords := make([]uint64, 0, lv.WordCount())
+	if err := lv.ViewWords(func(views [][]uint64) error {
+		for _, row := range views {
+			libWords = append(libWords, row...)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ViewWords: %v", err)
+	}
+	libStats := libSys.Stats()
+
+	if !bytes.Equal(svcBytes, wordsToBytes(libWords)) {
+		t.Fatal("service full-cover write and library SetWords produced different contents")
+	}
+	if !reflect.DeepEqual(svcStats, libStats) {
+		t.Fatalf("service and library Stats diverge:\nservice: %+v\nlibrary: %+v", svcStats, libStats)
+	}
+}
+
+// TestServicePerTenantReliabilityAttribution drives a fault-injecting system
+// through the service from two tenants and checks that the ns-labeled
+// reliability shadows partition the flat counters exactly — which themselves
+// must match Stats.
+func TestServicePerTenantReliabilityAttribution(t *testing.T) {
+	reg := ambit.NewMetrics()
+	svc, ts, sys := newTestServiceOpts(t, Config{},
+		ambit.WithMetrics(reg),
+		ambit.WithFaultModel(ambit.FaultConfig{TRABitRate: 1e-3, DCCBitRate: 1e-4, RowVariation: 1, Seed: 17}),
+		ambit.WithReliability(ambit.Reliability{ECC: true, MaxRetries: 8}),
+	)
+	rowBits := int64(sys.RowSizeBits())
+
+	driveTenant(t, ts.URL, "alice", 4*rowBits, 6, 1)
+	driveTenant(t, ts.URL, "bob", 4*rowBits, 3, 1)
+
+	st := sys.Stats()
+	if st.CorrectedBits == 0 {
+		t.Fatal("workload injected no correctable faults; raise the rate so the test exercises attribution")
+	}
+	label := func(ns string) ambit.Label { return ambit.Label{Key: "ns", Value: ns} }
+	for _, c := range []struct {
+		family string
+		want   int64
+	}{
+		{"corrected_bits", st.CorrectedBits},
+		{"retries", st.Retries},
+	} {
+		if flat := reg.Counter(c.family); flat != c.want {
+			t.Errorf("flat %s counter = %d, Stats says %d", c.family, flat, c.want)
+		}
+		sum := reg.LabeledCounterValue(c.family, label("alice")) + reg.LabeledCounterValue(c.family, label("bob"))
+		if sum != c.want {
+			t.Errorf("%s: tenant-labeled sum %d != Stats total %d", c.family, sum, c.want)
+		}
+	}
+	// Families without a Stats counterpart still partition their flat
+	// counter.
+	for _, family := range []string{"detected_rows", "uncorrectable_rows"} {
+		sum := reg.LabeledCounterValue(family, label("alice")) + reg.LabeledCounterValue(family, label("bob"))
+		if flat := reg.Counter(family); sum != flat {
+			t.Errorf("%s: tenant-labeled sum %d != flat counter %d", family, sum, flat)
+		}
+	}
+	// Both tenants ran faulty TRAs, so each must own a nonzero share.
+	for _, ns := range []string{"alice", "bob"} {
+		if got := reg.LabeledCounterValue("corrected_bits", label(ns)); got <= 0 {
+			t.Errorf("corrected_bits{ns=%q} = %d, want > 0", ns, got)
+		}
+	}
+	_ = svc
+}

@@ -1,0 +1,88 @@
+package service
+
+// Request identity: every admitted request carries an X-Request-ID (accepted
+// from the client or assigned by the server and echoed back) and executes
+// under an ambit.Tag{NS, Req} stashed in the request context.  The tag is
+// what threads the (tenant, request) identity through admission, execution,
+// and observability — spans, utilization attribution, labeled metrics, the
+// slow-request ring, and the structured request log all read it.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+
+	"ambit"
+)
+
+// maxRequestIDLen bounds client-supplied request ids so a hostile header
+// cannot bloat spans, logs, or the slowlog.
+const maxRequestIDLen = 64
+
+// requestID returns the client's X-Request-ID (truncated to maxRequestIDLen)
+// or a fresh random id when the client sent none.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		if len(id) > maxRequestIDLen {
+			id = id[:maxRequestIDLen]
+		}
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand.Read never fails
+	return hex.EncodeToString(b[:])
+}
+
+// tagKey keys the request tag in the context.
+type tagKey struct{}
+
+// withTag stashes the request tag in the context.
+func withTag(ctx context.Context, t ambit.Tag) context.Context {
+	return context.WithValue(ctx, tagKey{}, t)
+}
+
+// tagFrom reads the request tag back (zero Tag outside an admitted request).
+func tagFrom(ctx context.Context) ambit.Tag {
+	t, _ := ctx.Value(tagKey{}).(ambit.Tag)
+	return t
+}
+
+// statusWriter records the response status code for the slowlog and the
+// request log; an unset status means an implicit 200 from the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// logRequest emits one structured request log line when Config.Logger is set.
+// Failed requests are always logged (at Warn); successes are sampled 1-in-
+// Config.LogEvery to keep sustained workloads from flooding the log.
+func (s *Server) logRequest(route string, tag ambit.Tag, status int, wallNS float64, err error) {
+	lg := s.cfg.Logger
+	if lg == nil {
+		return
+	}
+	if err == nil && s.cfg.LogEvery > 1 && s.logSeq.Add(1)%uint64(s.cfg.LogEvery) != 1 {
+		return
+	}
+	attrs := []any{"route", route, "ns", tag.NS, "req", tag.Req, "status", status, "wall_ns", wallNS}
+	if err != nil {
+		lg.Warn("request failed", append(attrs, "err", err.Error())...)
+		return
+	}
+	lg.Info("request", attrs...)
+}

@@ -23,6 +23,7 @@
 //	GET    /v1/namespaces                           list namespaces
 //	PUT    /v1/namespaces/{ns}                      create {"quota_rows":N}
 //	GET    /v1/namespaces/{ns}                      namespace info
+//	GET    /v1/namespaces/{ns}/stats                per-tenant JSON stats
 //	DELETE /v1/namespaces/{ns}                      drop + free all vectors
 //	PUT    /v1/namespaces/{ns}/vectors/{vec}        create {"bits":N}
 //	GET    /v1/namespaces/{ns}/vectors/{vec}        vector info
@@ -39,9 +40,28 @@
 // how workload state is installed without perturbing the measured costs.
 // The read plane is zero-copy: GET data serializes straight from the
 // vector's row views (ambit.Bitvector.ViewWords) under the System's
-// execution lock, with no intermediate word buffer; the write plane installs
-// fully covered rows directly from the decoded request body (ambit.Bitvector
-// Write's direct-row path).
+// execution lock, with no intermediate word buffer.  The write plane is
+// symmetric: a body covering the vector's full padded capacity installs
+// through the zero-copy row views (ambit.Bitvector.SetWords); a partial body
+// falls back to Write, whose contract zero-fills the unset tail.
+//
+// # Observability
+//
+// Every admitted request carries an X-Request-ID — accepted from the client
+// or assigned by the server, and always echoed in the response header — and
+// executes its simulator calls through ambit.System.Tagged, so op spans,
+// Chrome-trace JSONL, and the telemetry server's /trace stream (filterable
+// with ?ns=NAME) carry the (tenant, request) identity.  The registry keeps
+// per-tenant labeled families alongside the flat totals: svc_requests,
+// svc_ops, svc_queries, svc_errors, svc_rejected_quota, and
+// svc_rejected_saturated counters plus the svc_wall_ns wall-clock histogram,
+// all rendered by /metrics as ambit_svc_*{ns="..."} series, with the
+// execution layer adding per-tenant reliability attribution (retries,
+// corrected_bits, detected_rows, uncorrectable_rows, maj_fault_events,
+// maj_fault_bits).  GET /v1/namespaces/{ns}/stats reads the same series back
+// as one JSON document; the K slowest requests are retained for
+// /debug/slowlog (SlowlogHandler); and Config.Logger enables sampled
+// structured request logging (log/slog).
 //
 // # Concurrency
 //
@@ -66,14 +86,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ambit"
 	"ambit/internal/controller"
+	"ambit/internal/obs"
 )
 
 // Config tunes the server; the zero value selects every default.
@@ -99,6 +122,17 @@ type Config struct {
 	DefaultQuotaRows int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives one structured log record per request:
+	// failures always, successes sampled 1-in-LogEvery.  Nil disables
+	// request logging entirely.
+	Logger *slog.Logger
+	// LogEvery samples successful-request log records: 1 in LogEvery is
+	// emitted (<= 1 logs every request).  Failed requests are never sampled
+	// away.
+	LogEvery int
+	// SlowlogSize is how many of the slowest requests the /debug/slowlog
+	// ring retains (default 64).
+	SlowlogSize int
 }
 
 func (c *Config) fill() {
@@ -139,11 +173,69 @@ type Server struct {
 	namespaces map[string]*namespace
 	nextBase   int
 
-	stats *statsLoop
+	stats  *statsLoop
+	slow   *slowlog
+	logSeq atomic.Uint64 // request-log sampling sequence
+
+	// handles caches one bundle of labeled-series handles per namespace
+	// name, so the request hot path bumps per-tenant counters with plain
+	// atomics instead of re-resolving label sets in the registry.  Entries
+	// survive namespace drops (the underlying series are permanent).
+	handleMu sync.RWMutex
+	handles  map[string]*nsHandles
 
 	bufPool sync.Pool // *[]byte staging buffers for data transfers
 	wordsMu sync.Pool // *[]uint64 word buffers for data transfers
 }
+
+// nsHandles is one namespace's cached labeled-series handles (see
+// internal/obs labels.go for the family semantics).
+type nsHandles struct {
+	requests *obs.Counter
+	ops      *obs.Counter
+	queries  *obs.Counter
+	errors   *obs.Counter
+	rejQuota *obs.Counter
+	rejSat   *obs.Counter
+	wall     *obs.Histogram
+}
+
+// nsHandles returns (building on first use) the labeled-series bundle of the
+// named namespace.
+func (s *Server) nsHandles(name string) *nsHandles {
+	s.handleMu.RLock()
+	h := s.handles[name]
+	s.handleMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	label := ambit.Label{Key: "ns", Value: name}
+	h = &nsHandles{
+		requests: s.reg.LabeledCounter("svc_requests", label),
+		ops:      s.reg.LabeledCounter("svc_ops", label),
+		queries:  s.reg.LabeledCounter("svc_queries", label),
+		errors:   s.reg.LabeledCounter("svc_errors", label),
+		rejQuota: s.reg.LabeledCounter("svc_rejected_quota", label),
+		rejSat:   s.reg.LabeledCounter("svc_rejected_saturated", label),
+		wall:     s.reg.LabeledHistogram("svc_wall_ns", ambit.WallBucketsNS, label),
+	}
+	s.handleMu.Lock()
+	switch prev := s.handles[name]; {
+	case prev != nil:
+		h = prev
+	case len(s.handles) < maxHandleCache:
+		// Past the cap the bundle is simply not cached: the registry has
+		// folded such series into its overflow anyway, so re-resolving is
+		// both rare and cheap.
+		s.handles[name] = h
+	}
+	s.handleMu.Unlock()
+	return h
+}
+
+// maxHandleCache bounds the per-namespace handle cache against clients
+// probing unbounded name sets (mirrors the registry's own cardinality cap).
+const maxHandleCache = 1024
 
 // namespace is one tenant.
 type namespace struct {
@@ -172,9 +264,11 @@ func New(sys *ambit.System, cfg Config) *Server {
 		mux:        http.NewServeMux(),
 		reg:        reg,
 		namespaces: make(map[string]*namespace),
+		handles:    make(map[string]*nsHandles),
 	}
 	s.adm = newAdmission(sys, cfg, reg)
 	s.stats = newStatsLoop(reg)
+	s.slow = newSlowlog(cfg.SlowlogSize)
 	s.bufPool.New = func() any { b := make([]byte, 0, 1<<16); return &b }
 	s.wordsMu.New = func() any { w := make([]uint64, 0, 1<<13); return &w }
 	s.routes()
@@ -196,6 +290,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/namespaces", s.handleNSList)
 	s.mux.HandleFunc("PUT /v1/namespaces/{ns}", s.admitted("svc.ns_create", s.handleNSCreate))
 	s.mux.HandleFunc("GET /v1/namespaces/{ns}", s.handleNSInfo)
+	s.mux.HandleFunc("GET /v1/namespaces/{ns}/stats", s.handleNSStats)
 	s.mux.HandleFunc("DELETE /v1/namespaces/{ns}", s.admitted("svc.ns_drop", s.handleNSDrop))
 	s.mux.HandleFunc("PUT /v1/namespaces/{ns}/vectors/{vec}", s.admitted("svc.vec_create", s.handleVecCreate))
 	s.mux.HandleFunc("GET /v1/namespaces/{ns}/vectors/{vec}", s.handleVecInfo)
@@ -208,26 +303,42 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/namespaces/{ns}/funcs/{fn}/run", s.admitted("svc.func_run", s.handleFuncRun))
 }
 
-// admitted wraps a handler with admission control, request metrics, and the
-// wall-clock latency observation feeding qps/p99.
+// admitted wraps a handler with request identity, admission control, and
+// observability: the X-Request-ID is accepted or assigned (and echoed), the
+// ambit.Tag{NS, Req} rides the request context into the tagged simulator
+// calls, and completion feeds the flat and per-tenant request metrics, the
+// wall-clock histogram behind qps/p99, the slow-request ring, and the
+// sampled structured log.
 func (s *Server) admitted(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tag := ambit.Tag{NS: r.PathValue("ns"), Req: requestID(r)}
+		w.Header().Set("X-Request-ID", tag.Req)
+		r = r.WithContext(withTag(r.Context(), tag))
+		nh := s.nsHandles(tag.NS)
 		s.reg.Add("svc_requests", 1)
+		nh.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		release, err := s.adm.acquire(r.Context())
 		if err != nil {
-			s.writeErr(w, err)
+			// Rejected before execution: counted (flat + per-tenant) and
+			// logged, but not folded into the wall-latency distribution —
+			// the request never ran.
+			s.writeErrNS(sw, nh, err)
+			s.logRequest(route, tag, sw.status, 0, err)
 			return
 		}
 		defer release()
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		err = h(w, r)
+		err = h(sw, r)
+		if err != nil {
+			s.writeErrNS(sw, nh, err)
+		}
 		wall := float64(time.Since(start).Nanoseconds())
 		s.reg.ObserveLatencyNS(route, wall)
-		s.stats.observe(wall)
-		if err != nil {
-			s.writeErr(w, err)
-		}
+		nh.wall.Observe(wall)
+		s.slow.record(SlowEntry{Time: start, Req: tag.Req, NS: tag.NS, Route: route, Status: sw.status, WallNS: wall})
+		s.logRequest(route, tag, sw.status, wall, err)
 	}
 }
 
@@ -499,7 +610,15 @@ func (s *Server) handleDataWrite(w http.ResponseWriter, r *http.Request) error {
 		words = append(words, binary.LittleEndian.Uint64(body[i:]))
 	}
 	*wp = words[:0]
-	if err := v.Write(words, ioOpts(r)...); err != nil {
+	// A body covering the vector's full padded capacity installs through the
+	// zero-copy row views (SetWords) — no per-row staging, no redundant
+	// zero-fill.  A partial body keeps Write's contract: the unset tail is
+	// zero-filled.
+	if len(words) == v.WordCount() {
+		if _, err := v.SetWords(words, ioOpts(r)...); err != nil {
+			return err
+		}
+	} else if err := v.Write(words, ioOpts(r)...); err != nil {
 		return err
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{"words": len(words)})
@@ -569,17 +688,18 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	tagged := s.sys.Tagged(tagFrom(r.Context()))
 	switch op := strings.ToLower(req.Op); op {
 	case "copy":
 		a, err := ns.vec(req.A)
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Copy(dst, a); err != nil {
+		if err := tagged.Copy(dst, a); err != nil {
 			return err
 		}
 	case "fill":
-		if err := s.sys.Fill(dst, req.Bit); err != nil {
+		if err := tagged.Fill(dst, req.Bit); err != nil {
 			return err
 		}
 	default:
@@ -597,11 +717,12 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) error {
 				return err
 			}
 		}
-		if err := s.sys.Apply(bop, dst, a, b); err != nil {
+		if err := tagged.Apply(bop, dst, a, b); err != nil {
 			return err
 		}
 	}
 	s.reg.Add("svc_ops", 1)
+	s.nsHandles(ns.name).ops.Add(1)
 	return writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
@@ -627,11 +748,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		n, err := s.sys.Popcount(v)
+		n, err := s.sys.Tagged(tagFrom(r.Context())).Popcount(v)
 		if err != nil {
 			return err
 		}
 		s.reg.Add("svc_queries", 1)
+		s.nsHandles(ns.name).queries.Add(1)
 		return writeJSON(w, http.StatusOK, map[string]any{"count": n})
 	default:
 		return badRequestf("unknown query op %q (want popcount)", req.Op)
@@ -712,10 +834,11 @@ func (s *Server) handleFuncRun(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 	}
-	if err := f.RunMulti(dsts, srcs...); err != nil {
+	if err := s.sys.Tagged(tagFrom(r.Context())).RunFunc(f, dsts, srcs...); err != nil {
 		return err
 	}
 	s.reg.Add("svc_ops", 1)
+	s.nsHandles(ns.name).ops.Add(1)
 	return writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 

@@ -1,0 +1,99 @@
+package service
+
+// Slow-request ring: a bounded top-K (by wall-clock time) record of completed
+// requests, exposed as /debug/slowlog on the telemetry server.  Unlike the
+// p99 gauge — one number over everything — the slowlog answers "which
+// requests were slow": each entry carries the request id, tenant, route, and
+// status, so a latency spike on the dashboard resolves to concrete request
+// ids that can then be chased through the trace stream (/trace?ns=) and the
+// structured log.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// defaultSlowlogSize is the retained entry count when Config.SlowlogSize is
+// unset.
+const defaultSlowlogSize = 64
+
+// SlowEntry is one retained slow request.
+type SlowEntry struct {
+	Time   time.Time `json:"time"`
+	Req    string    `json:"req,omitempty"`
+	NS     string    `json:"ns,omitempty"`
+	Route  string    `json:"route"`
+	Status int       `json:"status"`
+	WallNS float64   `json:"wall_ns"`
+}
+
+// slowlog keeps the K slowest requests seen so far.  Entries are stored
+// unordered; at capacity the current minimum is evicted when a slower request
+// arrives.  K is small (tens), so the linear min scan under the mutex is
+// cheaper than heap bookkeeping would make readable.
+type slowlog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry
+}
+
+func newSlowlog(capacity int) *slowlog {
+	if capacity <= 0 {
+		capacity = defaultSlowlogSize
+	}
+	return &slowlog{cap: capacity}
+}
+
+// record offers one completed request to the ring.
+func (l *slowlog) record(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	min := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].WallNS < l.entries[min].WallNS {
+			min = i
+		}
+	}
+	if e.WallNS > l.entries[min].WallNS {
+		l.entries[min] = e
+	}
+}
+
+// top returns the retained entries sorted slowest first, truncated to n when
+// n > 0.
+func (l *slowlog) top(n int) []SlowEntry {
+	l.mu.Lock()
+	out := append([]SlowEntry(nil), l.entries...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].WallNS > out[j].WallNS })
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// SlowlogHandler returns the /debug/slowlog handler: the slowest retained
+// requests as a JSON array, slowest first.  ?n=K truncates to the top K.
+// Mount it on the telemetry server with System.RegisterHTTP.
+func (s *Server) SlowlogHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.slow.top(n)) //nolint:errcheck // client went away
+	})
+}

@@ -1,53 +1,35 @@
 package service
 
-// Background stats loop: a once-a-second ticker that folds the wall-clock
-// latencies of completed requests into the svc_qps / svc_p50_wall_ns /
-// svc_p99_wall_ns gauges, so /metrics and /v1/stats expose sustained
-// throughput and tail latency without any per-scrape computation.
+// Background stats loop: a once-a-second ticker deriving the svc_qps /
+// svc_p50_wall_ns / svc_p99_wall_ns gauges from the svc_wall_ns labeled
+// histogram family — the same per-namespace bucket counts /metrics exposes.
+// Each tick sums the family's series into total bucket counts, diffs them
+// against the previous tick, and reads the interval's quantiles off the
+// delta distribution, so /v1/stats reports sustained throughput and tail
+// latency with no per-request ring maintenance and no sorting: the histogram
+// observation the request path already performs is the only bookkeeping.
 
 import (
-	"math"
-	"sort"
 	"sync"
 	"time"
+
+	"ambit"
 )
 
-const statsRingSize = 4096
-
 type statsLoop struct {
-	reg interface {
-		SetGauge(name string, v float64)
-	}
+	reg *ambit.MetricsRegistry
 
-	mu      sync.Mutex
-	ring    [statsRingSize]float64 // wall-ns of recent completions
-	n       int                    // valid entries in ring (<= statsRingSize)
-	next    int                    // ring write cursor
-	total   uint64                 // completions ever observed
-	scratch []float64
+	mu   sync.Mutex
+	prev ambit.HistogramSnapshot // previous tick's summed bucket totals
 
 	stop_ chan struct{}
 	once  sync.Once
 }
 
-func newStatsLoop(reg interface {
-	SetGauge(name string, v float64)
-}) *statsLoop {
-	l := &statsLoop{reg: reg, stop_: make(chan struct{}), scratch: make([]float64, 0, statsRingSize)}
+func newStatsLoop(reg *ambit.MetricsRegistry) *statsLoop {
+	l := &statsLoop{reg: reg, stop_: make(chan struct{})}
 	go l.run()
 	return l
-}
-
-// observe records one completed request's wall-clock latency.
-func (l *statsLoop) observe(wallNS float64) {
-	l.mu.Lock()
-	l.ring[l.next] = wallNS
-	l.next = (l.next + 1) % statsRingSize
-	if l.n < statsRingSize {
-		l.n++
-	}
-	l.total++
-	l.mu.Unlock()
 }
 
 func (l *statsLoop) stop() { l.once.Do(func() { close(l.stop_) }) }
@@ -56,7 +38,6 @@ func (l *statsLoop) run() {
 	const interval = time.Second
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	var lastTotal uint64
 	lastTick := time.Now()
 	for {
 		select {
@@ -67,33 +48,52 @@ func (l *statsLoop) run() {
 			if elapsed <= 0 {
 				elapsed = interval.Seconds()
 			}
-			l.mu.Lock()
-			total := l.total
-			l.scratch = append(l.scratch[:0], l.ring[:l.n]...)
-			l.mu.Unlock()
-			l.reg.SetGauge("svc_qps", float64(total-lastTotal)/elapsed)
-			lastTotal = total
 			lastTick = now
-			if len(l.scratch) > 0 {
-				sort.Float64s(l.scratch)
-				l.reg.SetGauge("svc_p50_wall_ns", quantileSorted(l.scratch, 0.50))
-				l.reg.SetGauge("svc_p99_wall_ns", quantileSorted(l.scratch, 0.99))
-			}
+			l.tick(elapsed)
 		}
 	}
 }
 
-// quantileSorted reads quantile q from an ascending slice (nearest-rank).
-func quantileSorted(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
+// wallTotals sums the bucket counts of every svc_wall_ns series (the
+// overflow series included) into one combined snapshot.
+func (l *statsLoop) wallTotals() ambit.HistogramSnapshot {
+	var total ambit.HistogramSnapshot
+	for _, series := range l.reg.LabeledHistograms("svc_wall_ns") {
+		s := series.Snap
+		if total.Counts == nil {
+			total.Bounds = s.Bounds
+			total.Counts = make([]uint64, len(s.Counts))
+		}
+		for i, c := range s.Counts {
+			total.Counts[i] += c
+		}
 	}
-	i := int(math.Ceil(q*float64(len(xs)))) - 1
-	if i < 0 {
-		i = 0
+	return total
+}
+
+// tick publishes the gauges for one interval.  The delta's total count is
+// derived from its bucket counts, so the quantile rank and the distribution
+// it walks are one consistent view even while observations race the tick.
+func (l *statsLoop) tick(elapsedSec float64) {
+	cur := l.wallTotals()
+	l.mu.Lock()
+	prev := l.prev
+	l.prev = cur
+	l.mu.Unlock()
+	delta := ambit.HistogramSnapshot{Bounds: cur.Bounds, Counts: make([]uint64, len(cur.Counts))}
+	for i, c := range cur.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if c > p {
+			delta.Counts[i] = c - p
+		}
+		delta.Count += delta.Counts[i]
 	}
-	if i >= len(xs) {
-		i = len(xs) - 1
+	l.reg.SetGauge("svc_qps", float64(delta.Count)/elapsedSec)
+	if delta.Count > 0 {
+		l.reg.SetGauge("svc_p50_wall_ns", delta.Quantile(0.50))
+		l.reg.SetGauge("svc_p99_wall_ns", delta.Quantile(0.99))
 	}
-	return xs[i]
 }

@@ -8,7 +8,8 @@
 //	/healthz     liveness probe ("ok")
 //	/metrics     Prometheus text exposition of the metrics registry
 //	/trace       server-sent events: the live trace stream, preceded by the
-//	             bounded ring's retained history
+//	             bounded ring's retained history; ?ns=NAME keeps only the
+//	             named tenant's span events
 //	/banks       JSON per-bank busy-fraction timelines (exec.UtilSnapshot)
 //	/debug/pprof Go profiler endpoints
 //
@@ -167,6 +168,8 @@ type traceEvent struct {
 	A1       string  `json:"a1,omitempty"`
 	A2       string  `json:"a2,omitempty"`
 	Comment  string  `json:"comment,omitempty"`
+	NS       string  `json:"ns,omitempty"`
+	Req      string  `json:"req,omitempty"`
 }
 
 func writeSSE(w http.ResponseWriter, e obs.Event) error {
@@ -175,6 +178,7 @@ func writeSSE(w http.ResponseWriter, e obs.Event) error {
 		Bank: e.Bank, Subarray: e.Subarray,
 		StartNS: e.StartNS, DurNS: e.DurNS, EnergyPJ: e.EnergyPJ,
 		Rows: e.Rows, A1: e.A1, A2: e.A2, Comment: e.Comment,
+		NS: e.NS, Req: e.Req,
 	})
 	if err != nil {
 		return err
@@ -197,9 +201,18 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
+	// ?ns= restricts the stream to one tenant's span events.  Command
+	// events belong to the deterministic per-bank stream, not to a single
+	// request, so they carry no namespace and a filtered stream skips them.
+	ns := r.URL.Query().Get("ns")
+	keep := func(e obs.Event) bool { return ns == "" || e.NS == ns }
+
 	id, ch, history := s.src.Stream.Subscribe(1024)
 	defer s.src.Stream.Unsubscribe(id)
 	for _, e := range history {
+		if !keep(e) {
+			continue
+		}
 		if writeSSE(w, e) != nil {
 			return
 		}
@@ -208,6 +221,9 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case e := <-ch:
+			if !keep(e) {
+				continue
+			}
 			if writeSSE(w, e) != nil {
 				return
 			}

@@ -27,14 +27,42 @@ import (
 // same base slot); dst may also be one of the sources, but the sources must
 // be distinct vectors.
 func (s *System) Maj(dst *Bitvector, srcs ...*Bitvector) error {
+	return s.majTagged(Tag{}, dst, srcs)
+}
+
+// majTagged is Maj with a request tag.  Beyond the usual span/utilization
+// tagging, a tagged Maj attributes the fault model's many-row injection
+// events to the tenant: the per-(bank,subarray) fault streams are
+// deterministic, so the counter delta across the operation is exactly the
+// operation's own injections when requests serialize, and a conserved blend
+// under concurrent clients (the same caveat as span energy attribution).
+func (s *System) majTagged(tag Tag, dst *Bitvector, srcs []*Bitvector) error {
 	if s.serialOnly() {
 		s.execMu.Lock()
 		defer s.execMu.Unlock()
-		return s.majSerial(dst, srcs)
+		return s.majSerial(tag, dst, srcs)
 	}
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
-	return s.majParallel(dst, srcs)
+	return s.majParallel(tag, dst, srcs)
+}
+
+// majFaultsBefore snapshots the fault model's many-row injection counters
+// for per-tenant attribution; returns zeros when attribution is off.
+func (s *System) majFaultsBefore(tag Tag) (events, bits int64, on bool) {
+	if tag.NS == "" || s.fm == nil || s.cfg.Metrics == nil {
+		return 0, 0, false
+	}
+	fc := s.fm.Counters()
+	return fc.MajEvents, fc.FlippedBits, true
+}
+
+// majFaultsCommit charges the counter deltas since majFaultsBefore to the
+// tenant's labeled maj_fault families.
+func (s *System) majFaultsCommit(tag Tag, events, bits int64) {
+	fc := s.fm.Counters()
+	s.addLabeledNS(tag, "maj_fault_events", fc.MajEvents-events)
+	s.addLabeledNS(tag, "maj_fault_bits", fc.FlippedBits-bits)
 }
 
 // checkMajOperands validates operand liveness, arity, distinctness, and
@@ -75,7 +103,7 @@ func majRowAddrs(dst *Bitvector, srcs []*Bitvector, r int, buf []dram.RowAddr) (
 }
 
 // majSerial is the exclusive-lock path; the caller holds execMu exclusively.
-func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
+func (s *System) majSerial(tag Tag, dst *Bitvector, srcs []*Bitvector) error {
 	if err := s.checkMajOperands(dst, srcs); err != nil {
 		return err
 	}
@@ -85,6 +113,7 @@ func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
 	if observing {
 		devBefore = s.dev.Stats()
 	}
+	fmEvents, fmBits, fmAttr := s.majFaultsBefore(tag)
 	opStart := s.stats.ElapsedNS
 	start := s.stats.ElapsedNS + s.coherenceNS(rows)
 
@@ -101,7 +130,7 @@ func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
 			return fmt.Errorf("ambit: Maj row %d: %w", r, err)
 		}
 		done := s.dev.Bank(da.Bank).Reserve(start, lat)
-		s.utilRecord(da.Bank, done, lat)
+		s.utilRecord(tag, da.Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -109,8 +138,11 @@ func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
 	s.stats.ElapsedNS = end
 	s.stats.MajOps++
 	s.stats.RowOps += int64(len(dst.rows))
+	if fmAttr {
+		s.majFaultsCommit(tag, fmEvents, fmBits)
+	}
 	if observing {
-		s.observeOp("maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -118,12 +150,13 @@ func (s *System) majSerial(dst *Bitvector, srcs []*Bitvector) error {
 // majParallel is the sharded fast path, mirroring applyParallel: rows
 // grouped by bank, per-bank trains on the worker pool, deterministic merge.
 // The caller holds execMu for reading.
-func (s *System) majParallel(dst *Bitvector, srcs []*Bitvector) error {
+func (s *System) majParallel(tag Tag, dst *Bitvector, srcs []*Bitvector) error {
 	if err := s.checkMajOperands(dst, srcs); err != nil {
 		return err
 	}
 	rows := int64(len(dst.rows)) * int64(len(srcs)+1)
 	observing := s.observing()
+	fmEvents, fmBits, fmAttr := s.majFaultsBefore(tag)
 	var devBefore dram.Stats
 	s.statsMu.Lock()
 	if observing {
@@ -139,7 +172,7 @@ func (s *System) majParallel(dst *Bitvector, srcs []*Bitvector) error {
 	ss := s.cfg.Tracer.BeginShards(banks)
 	run := getOpRunner(s)
 	run.kind, run.dst, run.srcs = runMaj, dst, srcs
-	run.start, run.ss = start, ss
+	run.start, run.ss, run.tag = start, ss, tag
 	res := s.eng.RunPlan(plan, run)
 	putOpRunner(run)
 	ss.MergeAndEmit()
@@ -159,11 +192,14 @@ func (s *System) majParallel(dst *Bitvector, srcs []*Bitvector) error {
 		s.stats.MajOps++
 	}
 	s.statsMu.Unlock()
+	if fmAttr {
+		s.majFaultsCommit(tag, fmEvents, fmBits)
+	}
 	if res.Err != nil {
 		return fmt.Errorf("ambit: Maj row %d: %w", res.ErrRow, res.Err)
 	}
 	if observing {
-		s.observeOp("maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "maj", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package ambit
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -303,6 +304,42 @@ func TestTracingDisabledOverheadGate(t *testing.T) {
 	t.Logf("off = %.1f ns/op, disabled = %.1f ns/op, ratio = %.4f", off, disabled, ratio)
 	if ratio > 1.05 {
 		t.Errorf("disabled tracing costs %.1f%% over the no-tracer baseline (budget 5%%)", (ratio-1)*100)
+	}
+}
+
+// TestLabeledMetricsDisabledOverheadGate extends the overhead gate to the
+// per-tenant labeled-metrics machinery: untagged (library, zero-Tag)
+// operations never touch a labeled series, so a registry full of live
+// labeled families must cost them no more than an empty registry does.
+// Unlike the tracing gate's two sequential best-of-three blocks, the two
+// variants here run in interleaved pairs so clock drift between blocks
+// cannot masquerade as overhead; the gate compares the best observed run
+// of each variant.  Same 5% budget; opt in via AMBIT_OVERHEAD_GATE=1.
+func TestLabeledMetricsDisabledOverheadGate(t *testing.T) {
+	if os.Getenv("AMBIT_OVERHEAD_GATE") == "" {
+		t.Skip("set AMBIT_OVERHEAD_GATE=1 to run the labeled-metrics overhead gate")
+	}
+	plainFn := func(b *testing.B) { tracingBenchWorkload(b, WithMetrics(NewMetrics())) }
+	labeledFn := func(b *testing.B) {
+		// The registry carries live labeled families — as after serving
+		// multi-tenant traffic — but the benchmark ops run untagged.
+		reg := NewMetrics()
+		for i := 0; i < 64; i++ {
+			reg.AddLabeled("svc_requests", 1, Label{Key: "ns", Value: fmt.Sprintf("tenant-%d", i)})
+			reg.LabeledHistogram("svc_wall_ns", WallBucketsNS,
+				Label{Key: "ns", Value: fmt.Sprintf("tenant-%d", i)}).Observe(1e6)
+		}
+		tracingBenchWorkload(b, WithMetrics(reg))
+	}
+	plain, labeled := math.Inf(1), math.Inf(1)
+	for i := 0; i < 5; i++ {
+		plain = math.Min(plain, float64(testing.Benchmark(plainFn).NsPerOp()))
+		labeled = math.Min(labeled, float64(testing.Benchmark(labeledFn).NsPerOp()))
+	}
+	ratio := labeled / plain
+	t.Logf("plain registry = %.1f ns/op, labeled registry = %.1f ns/op, ratio = %.4f", plain, labeled, ratio)
+	if ratio > 1.05 {
+		t.Errorf("untagged ops cost %.1f%% more on a registry with labeled families (budget 5%%)", (ratio-1)*100)
 	}
 }
 

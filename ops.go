@@ -72,21 +72,27 @@ func (s *System) checkApplyOperands(op controller.Op, dst, a, b *Bitvector) erro
 // parallel and serial paths are deterministic equals: identical results,
 // identical Stats.
 func (s *System) apply(op controller.Op, dst, a, b *Bitvector) error {
+	return s.applyTagged(Tag{}, op, dst, a, b)
+}
+
+// applyTagged is apply with a request tag: the tag flows to the op span, the
+// utilization collector, and the reliability commit points (tag.go).
+func (s *System) applyTagged(tag Tag, op controller.Op, dst, a, b *Bitvector) error {
 	if s.serialOnly() {
 		s.execMu.Lock()
 		defer s.execMu.Unlock()
-		return s.applySerial(op, dst, a, b)
+		return s.applySerial(tag, op, dst, a, b)
 	}
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
-	return s.applyParallel(op, dst, a, b)
+	return s.applyParallel(tag, op, dst, a, b)
 }
 
 // applySerial is the exclusive-lock path: the forceSerial test hook and the
 // determinism baseline the differential tests compare the parallel path
 // against (fault models included — per-(bank, subarray) RNG streams make the
 // two paths draw identically).  The caller holds execMu exclusively.
-func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
+func (s *System) applySerial(tag Tag, op controller.Op, dst, a, b *Bitvector) error {
 	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
 		return err
 	}
@@ -112,13 +118,14 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 		var done float64
 		if s.cfg.Reliability.ECC {
 			rr, err := s.execRowReliable(op, da, aa.Row, ba)
-			s.accountReliabilityLocked(da, rr)
+			s.accountReliabilityLocked(tag, da, rr)
 			if err != nil {
 				if errors.Is(err, ErrUncorrectable) {
 					s.stats.UncorrectableRows++
 					if m := s.cfg.Metrics; m != nil {
 						m.Add("uncorrectable_rows", 1)
 					}
+					s.addLabeledNS(tag, "uncorrectable_rows", 1)
 				}
 				// Partial failure: rows before r completed and reserved
 				// bank time; account the completed prefix (see below).
@@ -127,10 +134,10 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 				return fmt.Errorf("ambit: %v row %d: %w", op, r, err)
 			}
 			done = s.dev.Bank(da.Bank).Reserve(start, rr.LatencyNS)
-			s.utilRecord(da.Bank, done, rr.LatencyNS)
+			s.utilRecord(tag, da.Bank, done, rr.LatencyNS)
 		} else {
 			var err error
-			done, err = s.scheduleRow(op, da, aa.Row, ba, start)
+			done, err = s.scheduleRow(tag, op, da, aa.Row, ba, start)
 			if err != nil {
 				// Partial failure: the completed prefix [0, r) already
 				// reserved bank time, so the clock must advance to its
@@ -148,7 +155,7 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 	s.stats.BulkOps[op]++
 	s.stats.RowOps += int64(len(dst.rows))
 	if observing {
-		s.observeOp(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -157,13 +164,13 @@ func (s *System) applySerial(op controller.Op, dst, a, b *Bitvector) error {
 // timeline from `start`, and records the busy interval into the utilization
 // collector.  Semantically controller.ScheduleOp, inlined so the per-row
 // latency reaches the collector.
-func (s *System) scheduleRow(op controller.Op, da dram.PhysAddr, aRow, bRow dram.RowAddr, start float64) (float64, error) {
+func (s *System) scheduleRow(tag Tag, op controller.Op, da dram.PhysAddr, aRow, bRow dram.RowAddr, start float64) (float64, error) {
 	lat, err := s.ctrl.ExecuteOp(op, da.Bank, da.Subarray, da.Row, aRow, bRow)
 	if err != nil {
 		return 0, err
 	}
 	done := s.dev.Bank(da.Bank).Reserve(start, lat)
-	s.utilRecord(da.Bank, done, lat)
+	s.utilRecord(tag, da.Bank, done, lat)
 	return done, nil
 }
 
@@ -174,7 +181,7 @@ func (s *System) scheduleRow(op controller.Op, da dram.PhysAddr, aRow, bRow dram
 // after the barrier (obs.ShardSet), metrics go to the atomic registry, and
 // the op span is emitted after the merge — a single-client traced run is
 // byte-identical to the serial path.
-func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
+func (s *System) applyParallel(tag Tag, op controller.Op, dst, a, b *Bitvector) error {
 	if err := s.checkApplyOperands(op, dst, a, b); err != nil {
 		return err
 	}
@@ -195,7 +202,7 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 	ss := s.cfg.Tracer.BeginShards(banks)
 	run := getOpRunner(s)
 	run.kind, run.op, run.dst, run.a, run.b = runBulk, op, dst, a, b
-	run.start, run.ss, run.ecc = start, ss, s.cfg.Reliability.ECC
+	run.start, run.ss, run.ecc, run.tag = start, ss, s.cfg.Reliability.ECC, tag
 	res := s.eng.RunPlan(plan, run)
 	putOpRunner(run)
 	ss.MergeAndEmit()
@@ -218,6 +225,7 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 		if m := s.cfg.Metrics; m != nil {
 			m.Add("uncorrectable_rows", 1)
 		}
+		s.addLabeledNS(tag, "uncorrectable_rows", 1)
 	}
 	s.statsMu.Unlock()
 	if res.Err != nil {
@@ -226,7 +234,7 @@ func (s *System) applyParallel(op controller.Op, dst, a, b *Bitvector) error {
 		return fmt.Errorf("ambit: %v row %d: %w", op, res.ErrRow, res.Err)
 	}
 	if observing {
-		s.observeOp(op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, op.String(), -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -242,20 +250,26 @@ func (s *System) execRowReliable(op controller.Op, da dram.PhysAddr, aRow, bRow 
 }
 
 // accountReliabilityLocked folds one row's reliability outcome into the
-// stats and the quarantine score of the destination row.  The caller holds
-// execMu exclusively, or statsMu on the parallel path.
-func (s *System) accountReliabilityLocked(da dram.PhysAddr, rr controller.RowResult) {
+// stats and the quarantine score of the destination row, and — when the
+// operation carries a tenant tag — into the per-namespace labeled shadow
+// counters, so ECC corrections and retries are attributable to the workload
+// that incurred them.  The caller holds execMu exclusively, or statsMu on
+// the parallel path.
+func (s *System) accountReliabilityLocked(tag Tag, da dram.PhysAddr, rr controller.RowResult) {
 	s.stats.CorrectedBits += rr.CorrectedBits
 	s.stats.Retries += rr.Retries
 	if m := s.cfg.Metrics; m != nil {
 		if rr.Retries > 0 {
 			m.Add("retries", rr.Retries)
+			s.addLabeledNS(tag, "retries", rr.Retries)
 		}
 		if rr.CorrectedBits > 0 {
 			m.Add("corrected_bits", rr.CorrectedBits)
+			s.addLabeledNS(tag, "corrected_bits", rr.CorrectedBits)
 		}
 		if rr.Detected > 0 {
 			m.Add("detected_rows", rr.Detected)
+			s.addLabeledNS(tag, "detected_rows", rr.Detected)
 		}
 	}
 	if rr.Detected > 0 && s.cfg.QuarantineAfter > 0 && !s.quarantined[da] {
@@ -295,11 +309,14 @@ func (s *System) Apply(op controller.Op, dst, a, b *Bitvector) error { return s.
 
 // Copy copies src into dst using RowClone: FPM when the corresponding rows
 // are co-located (the normal case under this allocator), PSM otherwise.
-func (s *System) Copy(dst, src *Bitvector) error {
+func (s *System) Copy(dst, src *Bitvector) error { return s.copyTagged(Tag{}, dst, src) }
+
+// copyTagged is Copy with a request tag.
+func (s *System) copyTagged(tag Tag, dst, src *Bitvector) error {
 	if s.serialOnly() {
 		s.execMu.Lock()
 		defer s.execMu.Unlock()
-		return s.copySerial(dst, src)
+		return s.copySerial(tag, dst, src)
 	}
 	s.execMu.RLock()
 	// A cross-bank row pair (PSM copy through the channel) touches two
@@ -318,7 +335,7 @@ func (s *System) Copy(dst, src *Bitvector) error {
 			s.execMu.RUnlock()
 			s.execMu.Lock()
 			defer s.execMu.Unlock()
-			return s.copySerial(dst, src)
+			return s.copySerial(tag, dst, src)
 		}
 	}
 	defer s.execMu.RUnlock()
@@ -338,7 +355,7 @@ func (s *System) Copy(dst, src *Bitvector) error {
 	ss := s.cfg.Tracer.BeginShards(banks)
 	run := getOpRunner(s)
 	run.kind, run.dst, run.a = runCopy, dst, src
-	run.start, run.ss = start, ss
+	run.start, run.ss, run.tag = start, ss, tag
 	res := s.eng.RunPlan(plan, run)
 	putOpRunner(run)
 	ss.MergeAndEmit()
@@ -359,13 +376,13 @@ func (s *System) Copy(dst, src *Bitvector) error {
 		return fmt.Errorf("ambit: Copy row %d: %w", res.ErrRow, res.Err)
 	}
 	if observing {
-		s.observeOp("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
 
 // copySerial is Copy's exclusive-lock path; the caller holds execMu.
-func (s *System) copySerial(dst, src *Bitvector) error {
+func (s *System) copySerial(tag Tag, dst, src *Bitvector) error {
 	if err := s.checkOperands("Copy", dst, src); err != nil {
 		return err
 	}
@@ -393,7 +410,7 @@ func (s *System) copySerial(dst, src *Bitvector) error {
 			return fmt.Errorf("ambit: Copy row %d: %w", r, err)
 		}
 		done := s.dev.Bank(dst.rows[r].Bank).Reserve(start, lat)
-		s.utilRecord(dst.rows[r].Bank, done, lat)
+		s.utilRecord(tag, dst.rows[r].Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -401,7 +418,7 @@ func (s *System) copySerial(dst, src *Bitvector) error {
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(dst.rows))
 	if observing {
-		s.observeOp("copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "copy", -1, len(dst.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -409,11 +426,14 @@ func (s *System) copySerial(dst, src *Bitvector) error {
 // Fill sets every bit of v to the given value using RowClone from the
 // pre-initialized control rows — the "masked initialization" building block
 // of Section 8.4.2 and the row-initialization primitive of Section 3.4.
-func (s *System) Fill(v *Bitvector, bit bool) error {
+func (s *System) Fill(v *Bitvector, bit bool) error { return s.fillTagged(Tag{}, v, bit) }
+
+// fillTagged is Fill with a request tag.
+func (s *System) fillTagged(tag Tag, v *Bitvector, bit bool) error {
 	if s.serialOnly() {
 		s.execMu.Lock()
 		defer s.execMu.Unlock()
-		return s.fillSerial(v, bit)
+		return s.fillSerial(tag, v, bit)
 	}
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
@@ -435,7 +455,7 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 	ss := s.cfg.Tracer.BeginShards(banks)
 	run := getOpRunner(s)
 	run.kind, run.dst, run.fill = runFill, v, bit
-	run.start, run.ss = start, ss
+	run.start, run.ss, run.tag = start, ss, tag
 	res := s.eng.RunPlan(plan, run)
 	putOpRunner(run)
 	ss.MergeAndEmit()
@@ -456,13 +476,13 @@ func (s *System) Fill(v *Bitvector, bit bool) error {
 		return fmt.Errorf("ambit: Fill: %w", res.Err)
 	}
 	if observing {
-		s.observeOp("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "fill", -1, len(v.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
 
 // fillSerial is Fill's exclusive-lock path; the caller holds execMu.
-func (s *System) fillSerial(v *Bitvector, bit bool) error {
+func (s *System) fillSerial(tag Tag, v *Bitvector, bit bool) error {
 	if err := s.checkOperands("Fill", v); err != nil {
 		return err
 	}
@@ -490,7 +510,7 @@ func (s *System) fillSerial(v *Bitvector, bit bool) error {
 			return fmt.Errorf("ambit: Fill: %w", err)
 		}
 		done := s.dev.Bank(addr.Bank).Reserve(start, lat)
-		s.utilRecord(addr.Bank, done, lat)
+		s.utilRecord(tag, addr.Bank, done, lat)
 		if done > end {
 			end = done
 		}
@@ -498,7 +518,7 @@ func (s *System) fillSerial(v *Bitvector, bit bool) error {
 	s.stats.ElapsedNS = end
 	s.stats.Copies += int64(len(v.rows))
 	if observing {
-		s.observeOp("fill", -1, len(v.rows), opStart, end-opStart, devBefore)
+		s.observeOp(tag, "fill", -1, len(v.rows), opStart, end-opStart, devBefore)
 	}
 	return nil
 }
@@ -507,7 +527,10 @@ func (s *System) fillSerial(v *Bitvector, bit bool) error {
 // memory channel (Ambit has no in-DRAM bitcount; the paper's workloads
 // perform bitcounts on the CPU, Section 8.1).  The cost charged is the
 // channel-bandwidth-bound streaming time.
-func (s *System) Popcount(v *Bitvector) (int64, error) {
+func (s *System) Popcount(v *Bitvector) (int64, error) { return s.popcountTagged(Tag{}, v) }
+
+// popcountTagged is Popcount with a request tag.
+func (s *System) popcountTagged(tag Tag, v *Bitvector) (int64, error) {
 	// Popcount streams over the single shared channel, so it always takes
 	// the exclusive path: there is no per-bank parallelism to exploit.
 	s.execMu.Lock()
@@ -533,7 +556,7 @@ func (s *System) Popcount(v *Bitvector) (int64, error) {
 	}
 	s.chargeChannel(int64(len(v.rows)) * int64(s.dev.Geometry().RowSizeBytes))
 	if observing {
-		s.observeOp("popcount", -1, len(v.rows), opStart, s.stats.ElapsedNS-opStart, devBefore)
+		s.observeOp(tag, "popcount", -1, len(v.rows), opStart, s.stats.ElapsedNS-opStart, devBefore)
 	}
 	return n, nil
 }

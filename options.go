@@ -111,6 +111,15 @@ func WithTraceSampling(n int) Option {
 	return func(c *Config) { c.TraceSampling = n }
 }
 
+// WithBankUtil enables the per-bank utilization collector without starting a
+// telemetry server: System.BankSaturation and System.TagBusyNS (per-tenant
+// busy-time attribution) work, at the cost of one interval record per command
+// train.  Implied by WithTelemetryAddr; the default (off) keeps the hot paths
+// free of collection.
+func WithBankUtil(on bool) Option {
+	return func(c *Config) { c.BankUtil = on }
+}
+
 // WithTelemetryAddr starts a live telemetry HTTP server on the given address
 // when the System is constructed: /metrics serves the Prometheus rendering
 // of the metrics registry, /healthz liveness, /trace a server-sent-events

@@ -53,6 +53,7 @@ type opRunner struct {
 	ecc   bool
 	start float64
 	ss    *obs.ShardSet
+	tag   Tag
 }
 
 var opRunnerPool = sync.Pool{New: func() any { return new(opRunner) }}
@@ -123,7 +124,7 @@ func (r *opRunner) runBulkGroup(bank int, rows []int) exec.GroupResult {
 			bk := s.dev.Bank(bank)
 			for range rows {
 				done := bk.Reserve(r.start, lat)
-				s.utilRecord(bank, done, lat)
+				s.utilRecord(r.tag, bank, done, lat)
 				if done > res.EndNS {
 					res.EndNS = done
 				}
@@ -143,17 +144,17 @@ func (r *opRunner) runBulkGroup(bank int, rows []int) exec.GroupResult {
 		if r.ecc {
 			rr, err := s.execRowReliable(op, da, aa.Row, ba)
 			s.statsMu.Lock()
-			s.accountReliabilityLocked(da, rr)
+			s.accountReliabilityLocked(r.tag, da, rr)
 			s.statsMu.Unlock()
 			if err != nil {
 				res.Err, res.ErrRow = err, row
 				return res
 			}
 			done = s.dev.Bank(da.Bank).Reserve(r.start, rr.LatencyNS)
-			s.utilRecord(da.Bank, done, rr.LatencyNS)
+			s.utilRecord(r.tag, da.Bank, done, rr.LatencyNS)
 		} else {
 			var err error
-			done, err = s.scheduleRow(op, da, aa.Row, ba, r.start)
+			done, err = s.scheduleRow(r.tag, op, da, aa.Row, ba, r.start)
 			if err != nil {
 				res.Err, res.ErrRow = err, row
 				return res
@@ -179,7 +180,7 @@ func (r *opRunner) runCopyGroup(bank int, rows []int) exec.GroupResult {
 			return res
 		}
 		done := s.dev.Bank(r.dst.rows[row].Bank).Reserve(r.start, lat)
-		s.utilRecord(r.dst.rows[row].Bank, done, lat)
+		s.utilRecord(r.tag, r.dst.rows[row].Bank, done, lat)
 		res.Completed++
 		if done > res.EndNS {
 			res.EndNS = done
@@ -207,7 +208,7 @@ func (r *opRunner) runFillGroup(bank int, rows []int) exec.GroupResult {
 			return res
 		}
 		done := s.dev.Bank(addr.Bank).Reserve(r.start, lat)
-		s.utilRecord(addr.Bank, done, lat)
+		s.utilRecord(r.tag, addr.Bank, done, lat)
 		res.Completed++
 		if done > res.EndNS {
 			res.EndNS = done
@@ -237,7 +238,7 @@ func (r *opRunner) runFuncGroup(bank int, rows []int) exec.GroupResult {
 			break
 		}
 		done := s.dev.Bank(da.Bank).Reserve(r.start, lat)
-		s.utilRecord(da.Bank, done, lat)
+		s.utilRecord(r.tag, da.Bank, done, lat)
 		res.Completed++
 		if done > res.EndNS {
 			res.EndNS = done
@@ -265,7 +266,7 @@ func (r *opRunner) runMajGroup(bank int, rows []int) exec.GroupResult {
 			break
 		}
 		done := s.dev.Bank(da.Bank).Reserve(r.start, lat)
-		s.utilRecord(da.Bank, done, lat)
+		s.utilRecord(r.tag, da.Bank, done, lat)
 		res.Completed++
 		if done > res.EndNS {
 			res.EndNS = done

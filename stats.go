@@ -184,3 +184,17 @@ func (s *System) ElapsedNS() float64 {
 	defer s.execMu.Unlock()
 	return s.stats.ElapsedNS
 }
+
+// TagBusyNS returns the total simulated bank-busy time attributed to the
+// given utilization tag — the namespace of Tagged operations (Tag.NS), or ""
+// for untagged work.  The second result is false when the System has no
+// utilization collector (neither Config.TelemetryAddr nor Config.BankUtil is
+// set).  Together with Stats().BankBusyNS this answers the serving layer's
+// per-tenant accounting question: how much device time did each tenant's
+// requests actually occupy.
+func (s *System) TagBusyNS(tag string) (float64, bool) {
+	if s.util == nil {
+		return 0, false
+	}
+	return s.util.TagBusyNS(tag), true
+}

@@ -1,0 +1,80 @@
+package ambit
+
+import (
+	"ambit/internal/controller"
+	"ambit/internal/obs"
+)
+
+// Request-scoped execution tagging: the serving layer executes every tenant
+// operation through a Tagged view, so the (tenant, request) identity rides
+// with the operation into the observability layer — op spans and Chrome-trace
+// JSONL carry the namespace and request id, the bank-utilization collector
+// attributes busy time per namespace, and the TMR reliability commit points
+// bump per-namespace labeled counters alongside the global Stats fields.
+// Untagged library calls (the plain System methods) behave exactly as before:
+// they execute with the zero Tag, which annotates nothing and costs nothing
+// beyond passing an empty struct down the call chain.
+
+// Tag identifies the tenant and request an operation executes on behalf of.
+// The zero Tag means "untagged" and is what every plain System method uses.
+type Tag struct {
+	// NS is the tenant namespace name.
+	NS string
+	// Req is the request id (the service's X-Request-ID).
+	Req string
+}
+
+// Tagged is a request-scoped view of a System: the same operations, executed
+// with a Tag attached.  It is a value — create one per request with
+// System.Tagged; there is nothing to release.
+type Tagged struct {
+	s   *System
+	tag Tag
+}
+
+// Tagged returns a view of the System that executes operations under tag.
+func (s *System) Tagged(tag Tag) Tagged { return Tagged{s: s, tag: tag} }
+
+// System returns the underlying System.
+func (t Tagged) System() *System { return t.s }
+
+// Tag returns the view's tag.
+func (t Tagged) Tag() Tag { return t.tag }
+
+// Apply computes dst = op(a[, b]) under the view's tag.
+func (t Tagged) Apply(op controller.Op, dst, a, b *Bitvector) error {
+	return t.s.applyTagged(t.tag, op, dst, a, b)
+}
+
+// Copy copies src into dst (RowClone) under the view's tag.
+func (t Tagged) Copy(dst, src *Bitvector) error { return t.s.copyTagged(t.tag, dst, src) }
+
+// Fill sets every bit of v under the view's tag.
+func (t Tagged) Fill(v *Bitvector, bit bool) error { return t.s.fillTagged(t.tag, v, bit) }
+
+// Popcount counts v's set bits under the view's tag.
+func (t Tagged) Popcount(v *Bitvector) (int64, error) { return t.s.popcountTagged(t.tag, v) }
+
+// Maj computes dst = MAJ(srcs...) under the view's tag.
+func (t Tagged) Maj(dst *Bitvector, srcs ...*Bitvector) error {
+	return t.s.majTagged(t.tag, dst, srcs)
+}
+
+// RunFunc executes dsts... = f(srcs...) under the view's tag.  f must have
+// been compiled on the view's System (ErrForeignSystem otherwise).
+func (t Tagged) RunFunc(f *Func, dsts []*Bitvector, srcs ...*Bitvector) error {
+	return t.s.runMultiTagged(t.tag, f, dsts, srcs)
+}
+
+// addLabeledNS bumps the ns-labeled series of a counter family when the
+// operation is tagged — the per-tenant shadow of a flat reliability counter.
+// The flat counter itself stays the caller's responsibility, so the
+// metrics↔Stats invariants of untagged runs are untouched.
+func (s *System) addLabeledNS(tag Tag, name string, delta int64) {
+	if tag.NS == "" || delta <= 0 {
+		return
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.AddLabeled(name, delta, obs.Label{Key: "ns", Value: tag.NS})
+	}
+}
